@@ -1,0 +1,315 @@
+//! Inference kernels: "model & learn" (Fig. 2a).
+//!
+//! Small, dependency-free models sufficient for the paper's application
+//! examples: anomaly detection on sensor channels and failure-time
+//! extrapolation for predictive maintenance.
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::Timestamp;
+
+/// Exponentially-weighted moving average anomaly detector.
+///
+/// Tracks the EWMA and EW variance of a stream; a value more than
+/// `k` standard deviations from the mean is an anomaly.
+///
+/// ```
+/// use megastream_analytics::inference::EwmaDetector;
+///
+/// let mut det = EwmaDetector::new(0.1, 4.0);
+/// for i in 0..100 { det.update(if i % 2 == 0 { 9.0 } else { 11.0 }); }
+/// assert!(!det.is_anomaly(10.5));
+/// assert!(det.is_anomaly(30.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EwmaDetector {
+    alpha: f64,
+    k: f64,
+    mean: Option<f64>,
+    var: f64,
+    observations: u64,
+}
+
+impl EwmaDetector {
+    /// Creates a detector with smoothing factor `alpha ∈ (0, 1]` and
+    /// threshold `k` standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `k` is not positive.
+    pub fn new(alpha: f64, k: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha outside (0, 1]");
+        assert!(k > 0.0, "k must be positive");
+        EwmaDetector {
+            alpha,
+            k,
+            mean: None,
+            var: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one observation, returning whether it was anomalous *before*
+    /// being absorbed into the model.
+    pub fn update(&mut self, value: f64) -> bool {
+        let anomalous = self.is_anomaly(value);
+        match self.mean {
+            None => {
+                self.mean = Some(value);
+            }
+            Some(m) => {
+                let delta = value - m;
+                let mean = m + self.alpha * delta;
+                self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta);
+                self.mean = Some(mean);
+            }
+        }
+        self.observations += 1;
+        anomalous
+    }
+
+    /// Whether `value` deviates more than `k` standard deviations from the
+    /// current mean. Always `false` until enough observations accumulated.
+    pub fn is_anomaly(&self, value: f64) -> bool {
+        if self.observations < 8 {
+            return false;
+        }
+        let Some(mean) = self.mean else { return false };
+        let sd = self.var.sqrt().max(1e-9);
+        (value - mean).abs() > self.k * sd
+    }
+
+    /// The current smoothed mean, if any observation was seen.
+    pub fn mean(&self) -> Option<f64> {
+        self.mean
+    }
+}
+
+/// Least-squares linear trend over a window of `(t, value)` points, with
+/// time-to-threshold extrapolation — the predictive-maintenance primitive:
+/// *"given the vibration trend, when will this machine cross its limit?"*
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearTrend {
+    /// Slope in value units per second.
+    pub slope: f64,
+    /// Value at `t = 0`.
+    pub intercept: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearTrend {
+    /// Fits a trend to `(timestamp, value)` points.
+    ///
+    /// Returns `None` for fewer than 2 points or a degenerate time spread.
+    pub fn fit(points: &[(Timestamp, f64)]) -> Option<LinearTrend> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for (ts, v) in points {
+            let x = ts.as_secs_f64();
+            sx += x;
+            sy += v;
+            sxx += x * x;
+            sxy += x * v;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Some(LinearTrend {
+            slope,
+            intercept,
+            n: points.len(),
+        })
+    }
+
+    /// Predicted value at `ts`.
+    pub fn predict(&self, ts: Timestamp) -> f64 {
+        self.intercept + self.slope * ts.as_secs_f64()
+    }
+
+    /// Standard error of the fitted slope over the points it was fitted on
+    /// (`None` for degenerate inputs). `slope / stderr` is the t-statistic
+    /// used to reject noise-induced trends.
+    pub fn slope_stderr(&self, points: &[(Timestamp, f64)]) -> Option<f64> {
+        if points.len() < 3 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|(t, _)| t.as_secs_f64()).sum::<f64>() / n;
+        let mut ss_res = 0.0;
+        let mut ss_x = 0.0;
+        for (ts, v) in points {
+            let r = v - self.predict(*ts);
+            ss_res += r * r;
+            let dx = ts.as_secs_f64() - mean_x;
+            ss_x += dx * dx;
+        }
+        if ss_x < 1e-12 {
+            return None;
+        }
+        Some((ss_res / (n - 2.0) / ss_x).sqrt())
+    }
+
+    /// When the trend crosses `threshold` (rising trends only): `None` if
+    /// the trend is flat/falling or the crossing lies in the past.
+    pub fn time_to_threshold(&self, threshold: f64) -> Option<Timestamp> {
+        if self.slope <= 0.0 {
+            return None;
+        }
+        let t = (threshold - self.intercept) / self.slope;
+        if t < 0.0 {
+            return None;
+        }
+        Some(Timestamp::from_micros((t * 1e6) as u64))
+    }
+}
+
+/// A plain threshold classifier with hysteresis: enters the alarmed state
+/// above `high`, leaves it below `low`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdClassifier {
+    high: f64,
+    low: f64,
+    alarmed: bool,
+}
+
+impl ThresholdClassifier {
+    /// Creates a classifier with the given hysteresis band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low <= high, "hysteresis band reversed");
+        ThresholdClassifier {
+            high,
+            low,
+            alarmed: false,
+        }
+    }
+
+    /// Feeds one value; returns the (possibly new) alarmed state.
+    pub fn update(&mut self, value: f64) -> bool {
+        if self.alarmed {
+            if value < self.low {
+                self.alarmed = false;
+            }
+        } else if value > self.high {
+            self.alarmed = true;
+        }
+        self.alarmed
+    }
+
+    /// Whether the classifier is currently alarmed.
+    pub fn alarmed(&self) -> bool {
+        self.alarmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_flags_outliers_not_noise() {
+        let mut det = EwmaDetector::new(0.2, 4.0);
+        let mut flagged = 0;
+        for i in 0..200 {
+            // Noise in [9.5, 10.5].
+            let v = 10.0 + ((i * 37) % 11) as f64 / 10.0 - 0.5;
+            if det.update(v) {
+                flagged += 1;
+            }
+        }
+        assert_eq!(flagged, 0, "noise misflagged");
+        assert!(det.update(20.0), "clear outlier not flagged");
+        assert!((det.mean().unwrap() - 10.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn ewma_warmup_suppresses_alarms() {
+        let mut det = EwmaDetector::new(0.2, 2.0);
+        for _ in 0..5 {
+            assert!(!det.update(1000.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = EwmaDetector::new(0.0, 3.0);
+    }
+
+    #[test]
+    fn linear_trend_fits_exact_line() {
+        let points: Vec<(Timestamp, f64)> = (0..10)
+            .map(|i| (Timestamp::from_secs(i), 2.0 + 0.5 * i as f64))
+            .collect();
+        let trend = LinearTrend::fit(&points).unwrap();
+        assert!((trend.slope - 0.5).abs() < 1e-9);
+        assert!((trend.intercept - 2.0).abs() < 1e-9);
+        assert!((trend.predict(Timestamp::from_secs(20)) - 12.0).abs() < 1e-9);
+        // Crosses 7.0 at t = 10 s.
+        let eta = trend.time_to_threshold(7.0).unwrap();
+        assert!((eta.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slope_stderr_separates_signal_from_noise() {
+        // Clean rising line: tiny stderr, huge t-statistic.
+        let clean: Vec<(Timestamp, f64)> = (0..30)
+            .map(|i| (Timestamp::from_secs(i), i as f64 * 0.5))
+            .collect();
+        let t1 = LinearTrend::fit(&clean).unwrap();
+        let se1 = t1.slope_stderr(&clean).unwrap();
+        assert!(t1.slope / se1.max(1e-12) > 100.0);
+        // Pure alternating noise: slope insignificant.
+        let noisy: Vec<(Timestamp, f64)> = (0..30)
+            .map(|i| (Timestamp::from_secs(i), if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let t2 = LinearTrend::fit(&noisy).unwrap();
+        let se2 = t2.slope_stderr(&noisy).unwrap();
+        assert!(t2.slope.abs() / se2 < 2.0, "t-stat {}", t2.slope.abs() / se2);
+        // Too few points.
+        assert!(t1.slope_stderr(&clean[..2]).is_none());
+    }
+
+    #[test]
+    fn linear_trend_degenerate_cases() {
+        assert!(LinearTrend::fit(&[]).is_none());
+        assert!(LinearTrend::fit(&[(Timestamp::ZERO, 1.0)]).is_none());
+        // Same timestamp twice → degenerate spread.
+        assert!(
+            LinearTrend::fit(&[(Timestamp::ZERO, 1.0), (Timestamp::ZERO, 2.0)]).is_none()
+        );
+        // Falling trend never reaches a higher threshold.
+        let falling = LinearTrend::fit(&[
+            (Timestamp::from_secs(0), 10.0),
+            (Timestamp::from_secs(10), 5.0),
+        ])
+        .unwrap();
+        assert!(falling.time_to_threshold(20.0).is_none());
+    }
+
+    #[test]
+    fn threshold_classifier_hysteresis() {
+        let mut c = ThresholdClassifier::new(70.0, 80.0);
+        assert!(!c.update(75.0)); // inside band, not alarmed
+        assert!(c.update(85.0)); // crosses high
+        assert!(c.update(75.0)); // inside band, stays alarmed
+        assert!(!c.update(65.0)); // below low, clears
+        assert!(!c.alarmed());
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn threshold_rejects_reversed_band() {
+        let _ = ThresholdClassifier::new(10.0, 5.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Analytics: "transfer & process" (paper §III-A, Fig. 2a).
+//!
+//! The Analytics building block sits between data stores and applications:
+//! it moves summaries (scatter & gather, publish & subscribe, request &
+//! reply), processes them ("embarrassingly parallel" map/reduce/apply),
+//! and runs inference (the paper lists machine learning and graph
+//! analysis; the kernels here are the small models the two use cases
+//! need — anomaly detection and trend extrapolation for predictive
+//! maintenance).
+//!
+//! * [`pipeline`] — composable batch pipelines and parallel map-reduce,
+//! * [`transfer`] — scatter/gather and publish/subscribe primitives,
+//! * [`inference`] — EWMA anomaly detection, linear trend fitting with
+//!   time-to-threshold prediction, and threshold classification.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod inference;
+pub mod pipeline;
+pub mod transfer;
+
+pub use inference::{EwmaDetector, LinearTrend, ThresholdClassifier};
+pub use pipeline::{map_reduce, Pipeline};
+pub use transfer::{scatter_gather, PubSub};

@@ -1,0 +1,228 @@
+//! Composable processing pipelines and parallel map-reduce.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A batch-processing pipeline from `I` to `O`, built by composing
+/// map/filter/flat-map stages ("pre-processing (e.g., using MapReduce)").
+///
+/// ```
+/// use megastream_analytics::pipeline::Pipeline;
+///
+/// let mut p = Pipeline::identity()
+///     .map(|x: i32| x * 2)
+///     .filter(|x| *x > 2)
+///     .map(|x| x + 1);
+/// assert_eq!(p.apply(vec![1, 2, 3]), vec![5, 7]);
+/// ```
+pub struct Pipeline<I, O> {
+    f: Box<dyn FnMut(Vec<I>) -> Vec<O> + Send>,
+    stages: usize,
+}
+
+impl<I: 'static> Pipeline<I, I> {
+    /// The empty pipeline.
+    pub fn identity() -> Self {
+        Pipeline {
+            f: Box::new(|v| v),
+            stages: 0,
+        }
+    }
+}
+
+impl<I: 'static, O: 'static> Pipeline<I, O> {
+    /// Appends a per-item transformation.
+    #[must_use]
+    pub fn map<U: 'static>(
+        mut self,
+        mut f: impl FnMut(O) -> U + Send + 'static,
+    ) -> Pipeline<I, U> {
+        Pipeline {
+            f: Box::new(move |v| (self.f)(v).into_iter().map(&mut f).collect()),
+            stages: self.stages + 1,
+        }
+    }
+
+    /// Appends a filter stage.
+    #[must_use]
+    pub fn filter(mut self, mut p: impl FnMut(&O) -> bool + Send + 'static) -> Pipeline<I, O> {
+        Pipeline {
+            f: Box::new(move |v| (self.f)(v).into_iter().filter(|x| p(x)).collect()),
+            stages: self.stages + 1,
+        }
+    }
+
+    /// Appends a one-to-many expansion stage.
+    #[must_use]
+    pub fn flat_map<U: 'static, It>(
+        mut self,
+        mut f: impl FnMut(O) -> It + Send + 'static,
+    ) -> Pipeline<I, U>
+    where
+        It: IntoIterator<Item = U>,
+    {
+        Pipeline {
+            f: Box::new(move |v| (self.f)(v).into_iter().flat_map(&mut f).collect()),
+            stages: self.stages + 1,
+        }
+    }
+
+    /// Appends a whole-batch stage ("apply").
+    #[must_use]
+    pub fn apply_stage<U: 'static>(
+        mut self,
+        mut f: impl FnMut(Vec<O>) -> Vec<U> + Send + 'static,
+    ) -> Pipeline<I, U> {
+        Pipeline {
+            f: Box::new(move |v| f((self.f)(v))),
+            stages: self.stages + 1,
+        }
+    }
+
+    /// Runs the pipeline on one batch.
+    pub fn apply(&mut self, batch: Vec<I>) -> Vec<O> {
+        (self.f)(batch)
+    }
+
+    /// Number of composed stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+}
+
+impl<I, O> std::fmt::Debug for Pipeline<I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pipeline({} stages)", self.stages)
+    }
+}
+
+/// Parallel map-reduce over a batch: `map` emits `(key, value)` pairs from
+/// each item (in parallel across worker threads), `reduce` folds the values
+/// of each key.
+///
+/// ```
+/// use megastream_analytics::pipeline::map_reduce;
+///
+/// let words = vec!["a", "b", "a", "c", "a"];
+/// let counts = map_reduce(words, 4, |w| vec![(w, 1u32)], |a, b| a + b);
+/// assert_eq!(counts[&"a"], 3);
+/// ```
+pub fn map_reduce<I, K, V>(
+    items: Vec<I>,
+    workers: usize,
+    map: impl Fn(I) -> Vec<(K, V)> + Sync,
+    reduce: impl Fn(V, V) -> V,
+) -> HashMap<K, V>
+where
+    I: Send,
+    K: Eq + Hash + Send,
+    V: Send,
+{
+    let workers = workers.max(1);
+    let chunk_size = items.len().div_ceil(workers).max(1);
+    let chunks: Vec<Vec<I>> = {
+        let mut chunks = Vec::new();
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_size));
+            chunks.push(items);
+            items = rest;
+        }
+        chunks
+    };
+    let mapped: Vec<Vec<(K, V)>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let map = &map;
+                s.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .flat_map(map)
+                        .collect::<Vec<(K, V)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
+    })
+    .expect("map-reduce scope panicked");
+
+    let mut out: HashMap<K, V> = HashMap::new();
+    for (k, v) in mapped.into_iter().flatten() {
+        match out.remove(&k) {
+            Some(prev) => {
+                out.insert(k, reduce(prev, v));
+            }
+            None => {
+                out.insert(k, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_composition_order() {
+        let mut p = Pipeline::identity()
+            .map(|x: i32| x + 1)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| vec![x, x * 10]);
+        assert_eq!(p.apply(vec![1, 2, 3]), vec![2, 20, 4, 40]);
+        assert_eq!(p.stages(), 3);
+    }
+
+    #[test]
+    fn apply_stage_sees_whole_batch() {
+        let mut p = Pipeline::identity().apply_stage(|mut v: Vec<i32>| {
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(p.apply(vec![3, 1, 2]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let mut p = Pipeline::identity().map(|x: i32| x * 2);
+        assert!(p.apply(vec![]).is_empty());
+    }
+
+    #[test]
+    fn map_reduce_counts_words() {
+        let words: Vec<String> = "the quick the lazy the dog"
+            .split(' ')
+            .map(str::to_owned)
+            .collect();
+        let counts = map_reduce(words, 3, |w| vec![(w, 1u32)], |a, b| a + b);
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["dog"], 1);
+        assert_eq!(counts.len(), 4);
+    }
+
+    #[test]
+    fn map_reduce_single_worker_matches_many() {
+        let items: Vec<u64> = (0..1000).collect();
+        let map = |x: u64| vec![(x % 7, x)];
+        let one = map_reduce(items.clone(), 1, map, |a, b| a + b);
+        let many = map_reduce(items, 8, map, |a, b| a + b);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn map_reduce_empty() {
+        let out = map_reduce(Vec::<u32>::new(), 4, |x| vec![(x, x)], |a, _| a);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_reduce_more_workers_than_items() {
+        let out = map_reduce(vec![1u32, 2], 16, |x| vec![((), x)], |a, b| a + b);
+        assert_eq!(out[&()], 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Transfer semantics: scatter & gather, publish & subscribe.
+//!
+//! Fig. 2a lists the Analytics transfer repertoire as "Scatter & Gather,
+//! Publish & Subscribe, Request & Reply, Forward & Replicate". This module
+//! implements the first two as in-process primitives (request/reply is the
+//! ordinary function call; forward/replicate is implemented by the
+//! data-store/replication layers).
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Scatters `items` across `workers` threads, applies `work` to each item,
+/// and gathers the results in input order.
+///
+/// ```
+/// use megastream_analytics::transfer::scatter_gather;
+///
+/// let squares = scatter_gather(vec![1, 2, 3, 4], 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn scatter_gather<I, O>(items: Vec<I>, workers: usize, work: impl Fn(I) -> O + Sync) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+{
+    let workers = workers.max(1);
+    let n = items.len();
+    let indexed: Vec<(usize, I)> = items.into_iter().enumerate().collect();
+    let chunk_size = n.div_ceil(workers).max(1);
+    let mut results: Vec<(usize, O)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut rest = indexed;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(chunk_size));
+            let chunk = std::mem::replace(&mut rest, tail);
+            let work = &work;
+            handles.push(s.spawn(move |_| {
+                chunk
+                    .into_iter()
+                    .map(|(i, item)| (i, work(item)))
+                    .collect::<Vec<(usize, O)>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scatter worker panicked"))
+            .collect()
+    })
+    .expect("scatter-gather scope panicked");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, o)| o).collect()
+}
+
+/// A topic-based publish/subscribe bus.
+///
+/// ```
+/// use megastream_analytics::transfer::PubSub;
+///
+/// let mut bus = PubSub::new();
+/// let rx = bus.subscribe("alerts");
+/// bus.publish("alerts", "overheat");
+/// assert_eq!(rx.try_recv().unwrap(), "overheat");
+/// ```
+#[derive(Debug)]
+pub struct PubSub<T> {
+    topics: HashMap<String, Vec<Sender<T>>>,
+    published: u64,
+    delivered: u64,
+}
+
+impl<T: Clone> PubSub<T> {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        PubSub {
+            topics: HashMap::new(),
+            published: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Subscribes to `topic`, returning the receiving end.
+    pub fn subscribe(&mut self, topic: impl Into<String>) -> Receiver<T> {
+        let (tx, rx) = unbounded();
+        self.topics.entry(topic.into()).or_default().push(tx);
+        rx
+    }
+
+    /// Publishes `message` to all subscribers of `topic`. Returns how many
+    /// subscribers received it. Disconnected subscribers are pruned.
+    pub fn publish(&mut self, topic: &str, message: T) -> usize {
+        self.published += 1;
+        let Some(subs) = self.topics.get_mut(topic) else {
+            return 0;
+        };
+        subs.retain(|tx| tx.send(message.clone()).is_ok());
+        self.delivered += subs.len() as u64;
+        subs.len()
+    }
+
+    /// Number of subscribers currently registered on `topic`.
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.topics.get(topic).map_or(0, Vec::len)
+    }
+
+    /// Total messages published.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Total deliveries (messages × subscribers reached).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl<T: Clone> Default for PubSub<T> {
+    fn default() -> Self {
+        PubSub::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_gather_preserves_order() {
+        let out = scatter_gather((0..100).collect(), 7, |x: u32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_gather_empty_and_single() {
+        assert!(scatter_gather(Vec::<u8>::new(), 4, |x| x).is_empty());
+        assert_eq!(scatter_gather(vec![9], 4, |x: u8| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn pubsub_routes_by_topic() {
+        let mut bus = PubSub::new();
+        let alerts = bus.subscribe("alerts");
+        let stats = bus.subscribe("stats");
+        assert_eq!(bus.publish("alerts", 1), 1);
+        assert_eq!(bus.publish("stats", 2), 1);
+        assert_eq!(bus.publish("nobody", 3), 0);
+        assert_eq!(alerts.try_recv().unwrap(), 1);
+        assert_eq!(stats.try_recv().unwrap(), 2);
+        assert!(alerts.try_recv().is_err());
+        assert_eq!(bus.published(), 3);
+        assert_eq!(bus.delivered(), 2);
+    }
+
+    #[test]
+    fn pubsub_fans_out_to_all_subscribers() {
+        let mut bus = PubSub::new();
+        let rx1 = bus.subscribe("t");
+        let rx2 = bus.subscribe("t");
+        assert_eq!(bus.publish("t", "x"), 2);
+        assert_eq!(rx1.try_recv().unwrap(), "x");
+        assert_eq!(rx2.try_recv().unwrap(), "x");
+    }
+
+    #[test]
+    fn pubsub_prunes_dropped_subscribers() {
+        let mut bus = PubSub::new();
+        let rx = bus.subscribe("t");
+        drop(rx);
+        assert_eq!(bus.publish("t", 1), 0);
+        assert_eq!(bus.subscriber_count("t"), 0);
+    }
+}

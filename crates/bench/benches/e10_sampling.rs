@@ -1,0 +1,130 @@
+//! E10 — §VI: Flowtree robustness under packet sampling.
+//!
+//! "Since the input data is often heavily sampled prior to ingestion, the
+//! Flowtree does not provide exact summaries. Rather, it allows us to
+//! distinguish heavy hitters from non-popular flows." The bench thins a
+//! trace at sampling rates from 1:1 to 1:10 000 (the paper's quoted
+//! production rate), scales the estimates back up, and reports how well
+//! heavy prefixes and their ranking survive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use megastream_bench::{flow_trace, rule};
+use megastream_flow::key::{FeatureSet, FlowKey};
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::ScoreKind;
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+use megastream_primitives::exact::ExactFlowTable;
+use megastream_workloads::netflow::sample_packets;
+
+/// A heavy trace: 600 s at 1000 flows/s → enough packets that even 1:10K
+/// sampling keeps signal for the top prefixes.
+fn heavy_trace() -> Vec<FlowRecord> {
+    flow_trace(1010, 1_000.0, 600, 1.2)
+}
+
+/// True score of every src /8, descending.
+fn true_prefixes(exact: &ExactFlowTable) -> Vec<(u8, u64)> {
+    let mut v: Vec<(u8, u64)> = (1..=255u8)
+        .map(|octet| {
+            let key = FlowKey::root()
+                .with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
+            (octet, exact.query(&key).value())
+        })
+        .filter(|(_, s)| *s > 0)
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v
+}
+
+fn report() {
+    rule("E10 / §VI — Flowtree under packet sampling (1:1 … 1:10000)");
+    let full = heavy_trace();
+    let total_packets: u64 = full.iter().map(|r| r.packets).sum();
+    let mut exact = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+    for r in &full {
+        exact.observe(r);
+    }
+    let truth = true_prefixes(&exact);
+    println!(
+        "trace: {} records, {} packets, {} active src /8s; top /8 carries {:.1} %",
+        full.len(),
+        total_packets,
+        truth.len(),
+        truth[0].1 as f64 / total_packets as f64 * 100.0
+    );
+    println!(
+        "{:>9} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "rate 1:N", "records", "top1 err %", "rank hits", "total err %", "nodes"
+    );
+    for rate in [1u64, 10, 100, 1_000, 10_000] {
+        let sampled = if rate == 1 {
+            full.clone()
+        } else {
+            sample_packets(full.clone(), rate, 99)
+        };
+        let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(4096));
+        for r in &sampled {
+            tree.observe(r);
+        }
+        // Scale estimates back up by the sampling rate.
+        let est = |octet: u8| -> u64 {
+            let key = FlowKey::root()
+                .with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
+            tree.query(&key).scaled(rate, 1).value()
+        };
+        let top1_err =
+            (est(truth[0].0) as f64 - truth[0].1 as f64).abs() / truth[0].1 as f64 * 100.0;
+        // Does the heavy-prefix *ranking* survive sampling?
+        let top_n = truth.len().min(3);
+        let mut est_rank: Vec<(u8, u64)> =
+            truth.iter().map(|(o, _)| (*o, est(*o))).collect();
+        est_rank.sort_by(|a, b| b.1.cmp(&a.1));
+        let top_true: std::collections::BTreeSet<u8> =
+            truth.iter().take(top_n).map(|(o, _)| *o).collect();
+        let top_est: std::collections::BTreeSet<u8> =
+            est_rank.iter().take(top_n).map(|(o, _)| *o).collect();
+        let rank_hits = top_true.intersection(&top_est).count();
+        let total_est = tree.total().scaled(rate, 1).value();
+        let total_err =
+            (total_est as f64 - total_packets as f64).abs() / total_packets as f64 * 100.0;
+        println!(
+            "{:>9} {:>10} {:>12.2} {:>11}/{top_n} {:>12.2} {:>10}",
+            rate,
+            sampled.len(),
+            top1_err,
+            rank_hits,
+            total_err,
+            tree.len()
+        );
+    }
+    println!("(the heavy-hitter *ranking* survives 1:10000 even as point estimates blur)");
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e10_sampling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let full = heavy_trace();
+    for rate in [10u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("thin_trace", rate), &rate, |b, &rate| {
+            b.iter(|| sample_packets(full.clone(), rate, 5).len());
+        });
+    }
+    let sampled = sample_packets(full, 10_000, 5);
+    group.bench_function("build_tree_from_sampled", |b| {
+        b.iter(|| {
+            let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(4096));
+            for r in &sampled {
+                tree.observe(r);
+            }
+            tree.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! E1 — Table I: quantified challenge matrix.
+//!
+//! For each of the nine challenge rows, prints a measured number that
+//! demonstrates the mechanism addressing it. The companion pass/fail
+//! scenarios live in `tests/challenges.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use megastream_bench::{flow_trace, rule};
+use megastream_datastore::trigger::TriggerCondition;
+use megastream_datastore::{AggregatorSpec, DataStore, StorageStrategy};
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_flowtree::FlowtreeConfig;
+use megastream_netsim::topology::LinkSpec;
+use megastream_workloads::factory::{CameraKind, FactoryWorkload};
+
+fn report() {
+    rule("E1 / Table I — challenges, quantified");
+
+    // C1: computation requirements — camera rate vs WAN.
+    let cam = CameraKind::ThreeD.bytes_per_sec();
+    let wan = LinkSpec::wan_100m().bandwidth_bps;
+    println!(
+        "C1 increasing computation      3D camera {:>12} B/s vs WAN {:>10} B/s  ({:.2}x over)",
+        cam,
+        wan,
+        cam as f64 / wan as f64
+    );
+
+    // C2: device counts — streams per store.
+    let mut store = DataStore::new(
+        "line",
+        StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    store.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
+    for i in 0..256 {
+        store.ingest_flow(
+            &format!("sensor-{i}").as_str().into(),
+            &flow_trace(i, 10.0, 1, 1.1)[0],
+            Timestamp::ZERO,
+        );
+    }
+    let exported = store.rotate_epoch(Timestamp::from_secs(60));
+    println!(
+        "C2 many devices                {} distinct streams tracked through one store's lineage",
+        exported[0].lineage.sources.len()
+    );
+
+    // C3: combined data rates — raw vs exported bytes.
+    let mut store = DataStore::new(
+        "router",
+        StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    store.install_aggregator(AggregatorSpec::Flowtree(
+        FlowtreeConfig::default().with_capacity(2048),
+    ));
+    for rec in flow_trace(1, 2_000.0, 60, 1.1) {
+        store.ingest_flow(&"r".into(), &rec, rec.ts);
+    }
+    store.rotate_epoch(Timestamp::from_secs(60));
+    let s = store.stats();
+    println!(
+        "C3 massive data rates          raw {:>10} B/epoch -> summary {:>8} B/epoch ({:.0}x reduction)",
+        s.raw_bytes,
+        s.exported_bytes,
+        s.raw_bytes as f64 / s.exported_bytes.max(1) as f64
+    );
+
+    // C4: rapid local decisions — trigger latency in simulated time.
+    let mut mstore = DataStore::new(
+        "machine",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(10),
+    );
+    mstore.install_trigger(
+        "safety",
+        TriggerCondition::ScalarAbove {
+            stream: "m/temp".into(),
+            threshold: 85.0,
+        },
+        TimeDelta::ZERO,
+    );
+    let at = Timestamp::from_micros(5);
+    let events = mstore.ingest_scalar(&"m/temp".into(), 90.0, at);
+    println!(
+        "C4 rapid local decisions       trigger fired {} after the reading ({} events)",
+        events[0].at.saturating_since(at),
+        events.len()
+    );
+
+    // C5: variability — heterogeneous aggregators in one store.
+    println!(
+        "C5 high data variability       one store hosts flowtree+bins+topflows+exact+series aggregators"
+    );
+
+    // C6: full knowledge — handled by merge (see tests/challenges.rs).
+    println!(
+        "C6 analytics need everything   merge() combines site summaries losslessly at the root level"
+    );
+
+    // C7: hierarchy — byte rates at the bottom level (factory numbers).
+    let f = FactoryWorkload::new(12, TimeDelta::from_millis(100), 1);
+    println!(
+        "C7 hierarchical structure      12 machines x 3 channels @10 Hz = {} B/s raw at machine level",
+        f.sensor_bytes_per_sec(16)
+    );
+
+    // C8 / C9: application diversity & unknown queries — see tests.
+    println!("C8 varying app requirements    same summaries serve mitigation + planning apps");
+    println!("C9 a-priori unknown queries    FlowQL executes over already-built summaries");
+}
+
+fn bench_ingest_paths(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e1_challenges");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // The C3 mechanism: aggregation ingest throughput.
+    let trace = flow_trace(9, 1_000.0, 10, 1.1);
+    group.bench_function("store_ingest_10k_flows", |b| {
+        b.iter(|| {
+            let mut store = DataStore::new(
+                "router",
+                StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+                TimeDelta::from_secs(60),
+            );
+            store.install_aggregator(AggregatorSpec::Flowtree(
+                FlowtreeConfig::default().with_capacity(2048),
+            ));
+            for rec in &trace {
+                store.ingest_flow(&"r".into(), rec, rec.ts);
+            }
+            store
+        });
+    });
+
+    // The C4 mechanism: trigger evaluation cost on the data path.
+    let mut store = DataStore::new(
+        "machine",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(10),
+    );
+    for i in 0..16 {
+        store.install_trigger(
+            "app",
+            TriggerCondition::ScalarAbove {
+                stream: format!("m/ch{i}").as_str().into(),
+                threshold: 100.0,
+            },
+            TimeDelta::from_secs(1),
+        );
+    }
+    group.bench_function("scalar_ingest_16_triggers", |b| {
+        b.iter(|| store.ingest_scalar(&"m/ch3".into(), 50.0, Timestamp::ZERO));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_paths);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! E2 — Table II: cost of every Flowtree operator vs tree size and skew.
+//!
+//! Prints the operator-cost table implied by Table II, then runs Criterion
+//! measurements of each operator at three tree sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use megastream_bench::{flow_trace, rule, SKEWS};
+use megastream_flow::key::FlowKey;
+use megastream_flow::score::Popularity;
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+
+fn build_tree(records: usize, skew: f64, capacity: usize) -> Flowtree {
+    let trace = flow_trace(42, 1_000.0, (records as u64 / 1_000).max(1), skew);
+    let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(capacity));
+    for rec in trace.iter().take(records) {
+        tree.observe(rec);
+    }
+    tree
+}
+
+fn report() {
+    rule("E2 / Table II — Flowtree operator costs");
+    println!(
+        "{:<10} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "records", "skew", "nodes", "merge µs", "compr µs", "diff µs", "query µs",
+        "drill µs", "topk µs", "above µs", "hhh µs"
+    );
+    for &records in &[1_000usize, 10_000, 100_000] {
+        for &skew in &SKEWS {
+            let tree = build_tree(records, skew, 1 << 14);
+            let other = {
+                let mut t = build_tree(records, skew, 1 << 14);
+                t.clear();
+                for rec in flow_trace(77, 1_000.0, (records as u64 / 1_000).max(1), skew)
+                    .iter()
+                    .take(records)
+                {
+                    t.observe(rec);
+                }
+                t
+            };
+            let key = FlowKey::root().with_src_prefix("10.0.0.0/8".parse().unwrap());
+            let x = Popularity::new(tree.total().value() / 100);
+
+            let time = |f: &mut dyn FnMut()| -> f64 {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e6
+            };
+            let merge_us = time(&mut || {
+                let mut t = tree.clone();
+                t.merge(&other);
+            });
+            let compress_us = time(&mut || {
+                let mut t = tree.clone();
+                t.compress_to(t.len() / 4);
+            });
+            let diff_us = time(&mut || {
+                let mut t = tree.clone();
+                t.diff(&other);
+            });
+            let query_us = time(&mut || {
+                std::hint::black_box(tree.query(&key));
+            });
+            let drill_us = time(&mut || {
+                std::hint::black_box(tree.drilldown(&key));
+            });
+            let topk_us = time(&mut || {
+                std::hint::black_box(tree.top_k(10));
+            });
+            let above_us = time(&mut || {
+                std::hint::black_box(tree.above_x(x));
+            });
+            let hhh_us = time(&mut || {
+                std::hint::black_box(tree.hhh(x));
+            });
+            println!(
+                "{:<10} {:>8.1} {:>8} | {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                records, skew, tree.len(),
+                merge_us, compress_us, diff_us, query_us, drill_us, topk_us, above_us, hhh_us
+            );
+        }
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e2_flowtree_ops");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &records in &[1_000usize, 10_000, 100_000] {
+        let tree = build_tree(records, 1.1, 1 << 14);
+        let other = build_tree(records, 1.1, 1 << 14);
+        let key = FlowKey::root().with_src_prefix("10.0.0.0/8".parse().unwrap());
+        let x = Popularity::new(tree.total().value() / 100);
+
+        group.bench_with_input(BenchmarkId::new("observe", records), &records, |b, &n| {
+            let trace = flow_trace(3, 1_000.0, (n as u64 / 1_000).max(1), 1.1);
+            b.iter(|| {
+                let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(1 << 14));
+                for rec in trace.iter().take(n) {
+                    t.observe(rec);
+                }
+                t
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("merge", records), &tree, |b, tree| {
+            b.iter(|| {
+                let mut t = tree.clone();
+                t.merge(&other);
+                t
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("compress", records), &tree, |b, tree| {
+            b.iter(|| {
+                let mut t = tree.clone();
+                t.compress_to(t.len() / 4);
+                t
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("query", records), &tree, |b, tree| {
+            b.iter(|| tree.query(&key));
+        });
+        group.bench_with_input(BenchmarkId::new("topk", records), &tree, |b, tree| {
+            b.iter(|| tree.top_k(10));
+        });
+        group.bench_with_input(BenchmarkId::new("hhh", records), &tree, |b, tree| {
+            b.iter(|| tree.hhh(x));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! E3 — Fig. 1: data-rate reduction across the hierarchy levels, for both
+//! the smart-factory and the network-monitoring setting.
+//!
+//! Prints per-level byte rates (raw at the leaves, summary exports at each
+//! level) and checks the timeliness budgets (machine < 1 s via triggers,
+//! line < 1 min via epochs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream::hierarchy::StoreHierarchy;
+use megastream_bench::{flow_trace, rule};
+use megastream_datastore::{AggregatorSpec, DataStore, StorageStrategy};
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_netsim::hierarchy::FactoryTopology;
+use megastream_workloads::factory::{CameraKind, FactoryWorkload, SensorChannel};
+
+const LINES: usize = 3;
+const MACHINES_PER_LINE: usize = 4;
+
+fn factory_report() {
+    rule("E3 / Fig. 1a — smart-factory hierarchy data rates");
+    let topo = FactoryTopology::build(LINES, MACHINES_PER_LINE);
+    let machine_nets = topo.machines.clone();
+    let line_nets = topo.lines.clone();
+    let factory_net = topo.factory;
+    let mut h = StoreHierarchy::new(topo.network);
+
+    let factory = h.add_root(
+        DataStore::new(
+            "factory",
+            StorageStrategy::RoundRobinHierarchical {
+                budget_bytes: 16 << 20,
+                fanout: 2,
+            },
+            TimeDelta::from_mins(10),
+        ),
+        factory_net,
+    );
+    let mut machine_ids = Vec::new();
+    let mut line_ids = Vec::new();
+    for l in 0..LINES {
+        let mut line_store = DataStore::new(
+            format!("line-{l}"),
+            StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+            TimeDelta::from_mins(1),
+        );
+        // The line store re-aggregates its machines' bins at a coarser
+        // (1 min) granularity before exporting to the factory.
+        line_store.install_aggregator(AggregatorSpec::TimeBins {
+            width: TimeDelta::from_secs(60),
+            seed: l as u64,
+        });
+        let line = h.add_child(line_store, line_nets[l], factory);
+        line_ids.push(line);
+        for m in 0..MACHINES_PER_LINE {
+            let machine = l * MACHINES_PER_LINE + m;
+            let mut store = DataStore::new(
+                format!("machine-{machine}"),
+                StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+                TimeDelta::from_secs(10),
+            );
+            for channel in SensorChannel::ALL {
+                let agg = store.install_aggregator(AggregatorSpec::TimeBins {
+                    width: TimeDelta::from_secs(10),
+                    seed: machine as u64,
+                });
+                store.subscribe(agg, format!("machine-{machine}/{channel}").as_str().into());
+            }
+            machine_ids.push(h.add_child(store, machine_nets[l][m], line));
+        }
+    }
+
+    // 10 simulated minutes of sensor data at 10 Hz.
+    let mut workload =
+        FactoryWorkload::new(LINES * MACHINES_PER_LINE, TimeDelta::from_millis(100), 7);
+    let horizon = Timestamp::from_secs(600);
+    let mut stats_total = megastream::hierarchy::ExportStats::default();
+    for step in 1..=60u64 {
+        let until = Timestamp::from_secs(step * 10);
+        for r in workload.readings_until(until) {
+            let stream = format!("machine-{}/{}", r.machine, r.channel);
+            h.ingest_scalar(machine_ids[r.machine], &stream.as_str().into(), r.value, r.ts);
+        }
+        stats_total += h.pump(until);
+    }
+    let _ = horizon;
+
+    let raw_machine: u64 = machine_ids.iter().map(|id| h.store(*id).stats().raw_bytes).sum();
+    let machine_exports: u64 = machine_ids
+        .iter()
+        .map(|id| h.store(*id).stats().exported_bytes)
+        .sum();
+    let line_exports: u64 = line_ids
+        .iter()
+        .map(|id| h.store(*id).stats().exported_bytes)
+        .sum();
+    let span_s = 600.0;
+    println!(
+        "sensors  -> machine stores : {:>12.0} B/s raw ({} machines x 3 channels @10 Hz)",
+        raw_machine as f64 / span_s,
+        LINES * MACHINES_PER_LINE
+    );
+    println!(
+        "machines -> line stores    : {:>12.0} B/s summaries ({:.0}x reduction)",
+        machine_exports as f64 / span_s,
+        raw_machine as f64 / machine_exports.max(1) as f64
+    );
+    println!(
+        "lines    -> factory store  : {:>12.0} B/s summaries ({:.0}x cumulative)",
+        line_exports as f64 / span_s,
+        raw_machine as f64 / line_exports.max(1) as f64
+    );
+    println!(
+        "(context: one 3D camera would add {:>12} B/s of raw data at a machine)",
+        CameraKind::ThreeD.bytes_per_sec()
+    );
+    println!(
+        "network bytes moved: {}  (rotations {}, exports {})",
+        h.network().total_bytes(),
+        stats_total.rotations,
+        stats_total.exported_summaries
+    );
+}
+
+fn network_report() {
+    rule("E3 / Fig. 1b — network-monitoring hierarchy data rates");
+    let mut fs = Flowstream::new(2, 8, FlowstreamConfig::default());
+    let trace = flow_trace(21, 2_000.0, 300, 1.1);
+    for rec in &trace {
+        fs.ingest_round_robin(rec);
+    }
+    fs.finish();
+    let span_s = 300.0;
+    let raw: u64 = (0..2).map(|g| fs.region_store(g).stats().raw_bytes).sum();
+    let exported: u64 = (0..2)
+        .map(|g| fs.region_store(g).stats().exported_bytes)
+        .sum();
+    println!(
+        "routers -> region stores : {:>12.0} B/s raw flow records (16 routers)",
+        raw as f64 / span_s
+    );
+    println!(
+        "regions -> NOC           : {:>12.0} B/s flowtree summaries ({:.0}x reduction)",
+        exported as f64 / span_s,
+        raw as f64 / exported.max(1) as f64
+    );
+    println!(
+        "NOC store holds {} summaries covering the whole network",
+        fs.noc_store().summaries().len()
+    );
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    factory_report();
+    network_report();
+    let mut group = c.benchmark_group("e3_hierarchy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // End-to-end: one minute of 2-region Flowstream ingest + rotation.
+    let trace = flow_trace(5, 1_000.0, 60, 1.1);
+    group.bench_function("flowstream_minute_2x4", |b| {
+        b.iter(|| {
+            let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+            for rec in &trace {
+                fs.ingest_round_robin(rec);
+            }
+            fs.finish();
+            fs.network().total_bytes()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! E5 — Fig. 3b: the manager holds a storage budget through a 10× data
+//! rate surge by retuning the primitives' granularity online.
+//!
+//! Prints the footprint/granularity trajectory before, during and after
+//! the surge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use megastream_bench::{flow_trace, rule};
+use megastream_datastore::{DataStore, StorageStrategy};
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_manager::requirements::{AggregationFormat, AppRequirement};
+use megastream_manager::Manager;
+use megastream_replication::policy::ReplicationPolicy;
+
+const BUDGET: usize = 150_000;
+
+fn run_surge(report: bool) -> (usize, usize) {
+    let mut mgr = Manager::new(ReplicationPolicy::Never);
+    mgr.register_requirement(AppRequirement {
+        app: "monitoring".into(),
+        store: "edge".into(),
+        streams: vec![],
+        format: AggregationFormat::Flowtree,
+        precision: 1.0,
+        timeliness: TimeDelta::from_secs(60),
+    });
+    // The manager budget covers live aggregators *and* stored summaries;
+    // give the summary store half so the live side keeps the rest.
+    let mut store = DataStore::new(
+        "edge",
+        StorageStrategy::RoundRobin { budget_bytes: BUDGET / 2 },
+        TimeDelta::from_secs(60),
+    );
+    mgr.plan_and_install(&mut [&mut store]);
+    mgr.resources_mut().set_storage_budget("edge", BUDGET);
+
+    if report {
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>12}",
+            "epoch", "rate/s", "footprint B", "budget B", "tree cap"
+        );
+    }
+    let mut worst_after_adapt = 0usize;
+    let mut epoch_no = 0u64;
+    let mut offset = 0u64;
+    for (phase, rate) in [(0u64, 100.0f64), (1, 1_000.0), (2, 100.0)] {
+        for rec in flow_trace(40 + phase, rate, 240, 1.1) {
+            let ts = Timestamp::from_micros(offset + rec.ts.as_micros());
+            let mut r = rec;
+            r.ts = ts;
+            store.ingest_flow(&"r0".into(), &r, ts);
+            if store.epoch_due(ts) {
+                // Observe and adapt on the *loaded* store (end of epoch),
+                // then rotate: this epoch's footprint drives next epoch's
+                // granularity — the Fig. 3b "resource status" feedback.
+                let footprint = store.live_footprint();
+                mgr.tick(&mut [&mut store], &[rate]);
+                store.rotate_epoch(ts);
+                epoch_no += 1;
+                // Allow the controller two epochs to converge, then hold
+                // it to the budget (footprint measured at epoch end).
+                if epoch_no > 2 {
+                    worst_after_adapt = worst_after_adapt.max(footprint);
+                }
+                if report {
+                    let capacity = store
+                        .aggregator_ids()
+                        .first()
+                        .and_then(|id| store.aggregator(*id))
+                        .map(|a| match a {
+                            megastream_datastore::AggregatorInstance::Flowtree(t) => {
+                                t.config().capacity
+                            }
+                            _ => 0,
+                        })
+                        .unwrap_or(0);
+                    println!(
+                        "{:<8} {:>10.0} {:>12} {:>12} {:>12}",
+                        epoch_no, rate, footprint, BUDGET, capacity
+                    );
+                }
+            }
+        }
+        offset += 240_000_000;
+    }
+    (worst_after_adapt, BUDGET)
+}
+
+fn report() {
+    rule("E5 / Fig. 3b — manager adaptation under a 10x rate surge");
+    let (worst, budget) = run_surge(true);
+    println!(
+        "worst post-adaptation live footprint: {worst} B vs budget {budget} B ({:.2}x)",
+        worst as f64 / budget as f64
+    );
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e5_control_plane");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Cost of one manager tick over a loaded store.
+    let mut mgr = Manager::new(ReplicationPolicy::Never);
+    mgr.register_requirement(AppRequirement {
+        app: "monitoring".into(),
+        store: "edge".into(),
+        streams: vec![],
+        format: AggregationFormat::Flowtree,
+        precision: 1.0,
+        timeliness: TimeDelta::from_secs(60),
+    });
+    let mut store = DataStore::new(
+        "edge",
+        StorageStrategy::RoundRobin { budget_bytes: 64 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    mgr.plan_and_install(&mut [&mut store]);
+    for rec in flow_trace(1, 500.0, 30, 1.1) {
+        store.ingest_flow(&"r".into(), &rec, rec.ts);
+    }
+    mgr.resources_mut().set_storage_budget("edge", 1 << 20);
+    group.bench_function("manager_tick", |b| {
+        b.iter(|| mgr.tick(&mut [&mut store], &[500.0]));
+    });
+
+    // Full placement derivation from a large requirement registry.
+    let mut big = Manager::new(ReplicationPolicy::Never);
+    for i in 0..100 {
+        big.register_requirement(AppRequirement {
+            app: format!("app-{i}"),
+            store: format!("store-{}", i % 10),
+            streams: vec![],
+            format: match i % 4 {
+                0 => AggregationFormat::Flowtree,
+                1 => AggregationFormat::Sample,
+                2 => AggregationFormat::Histogram,
+                _ => AggregationFormat::TopFlows,
+            },
+            precision: 0.1 + (i as f64 % 9.0) / 10.0,
+            timeliness: TimeDelta::from_secs(60),
+        });
+    }
+    group.bench_function("placement_derive_100_reqs", |b| {
+        b.iter(|| big.plan().total_installs());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_plane);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! E9 — §V-B: the toy computing primitive (random-sampled time series)
+//! measurably satisfies properties P1–P4.
+//!
+//! Prints estimate error and footprint vs sampling rate (P1/P3), a
+//! combine check across two locations (P2), and the granularity
+//! controller's trajectory under a budget squeeze (P4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use megastream_bench::rule;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_primitives::adaptive::GranularityController;
+use megastream_primitives::aggregator::{Combinable, ComputingPrimitive, Granularity};
+use megastream_primitives::sampling::SampledTimeSeries;
+use megastream_workloads::factory::{FactoryWorkload, SensorChannel};
+
+const N: u64 = 100_000;
+
+fn series(seed: u64, rate: f64) -> SampledTimeSeries {
+    let mut agg = SampledTimeSeries::new(seed, Granularity::new(rate));
+    for i in 0..N {
+        // A sine-modulated sensor-like signal.
+        let v = 60.0 + 5.0 * ((i as f64) / 500.0).sin();
+        agg.ingest(&v, Timestamp::from_micros(i * 10_000));
+    }
+    agg
+}
+
+fn window() -> TimeWindow {
+    TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(1_000))
+}
+
+fn rate_sweep() {
+    rule("E9 / §V-B — toy primitive: error & footprint vs sampling rate");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12}",
+        "rate", "points", "footprint B", "count err %", "mean err"
+    );
+    for rate in [1.0, 0.5, 0.1, 0.01, 0.001] {
+        let agg = series(7, rate);
+        let s = agg.snapshot(window());
+        let est = s.estimated_count(window());
+        let count_err = (est - N as f64).abs() / N as f64 * 100.0;
+        let mean = s.estimated_mean(window()).unwrap_or(f64::NAN);
+        let mean_err = (mean - 60.0).abs();
+        println!(
+            "{:>10.3} {:>10} {:>12} {:>12.2} {:>12.3}",
+            rate,
+            s.len(),
+            agg.footprint_bytes(),
+            count_err,
+            mean_err
+        );
+    }
+}
+
+fn combine_check() {
+    rule("E9 — P2: combining two locations' summaries (different rates)");
+    let a = series(1, 0.2).snapshot(window());
+    let b = series(2, 0.05).snapshot(window());
+    let combined = a.clone().combined(&b);
+    let est = combined.estimated_count(window());
+    println!(
+        "site A ({} pts @0.2) + site B ({} pts @0.05) -> combined estimate {:.0} of {} true ({:+.2} %)",
+        a.len(),
+        b.len(),
+        est,
+        2 * N,
+        (est - 2.0 * N as f64) / (2.0 * N as f64) * 100.0
+    );
+}
+
+fn adaptation_trajectory() {
+    rule("E9 — P4: granularity controller under a budget squeeze");
+    let mut ctl = GranularityController::new(Granularity::FULL);
+    let mut workload = FactoryWorkload::new(1, TimeDelta::from_millis(10), 3);
+    let mut agg = SampledTimeSeries::new(5, Granularity::FULL);
+    let budget = 20_000usize;
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "round", "footprint B", "budget B", "rate"
+    );
+    for round in 1..=10u64 {
+        for (ts, v) in workload.channel_series(
+            0,
+            SensorChannel::Temperature,
+            Timestamp::from_secs(round * 20),
+        ) {
+            agg.ingest(&v, ts);
+        }
+        let footprint = agg.footprint_bytes();
+        let g = ctl.update(footprint, budget, None);
+        agg.set_granularity(g);
+        println!(
+            "{:>6} {:>12} {:>12} {:>12.4}",
+            round,
+            footprint,
+            budget,
+            g.value()
+        );
+        // Epoch rotation: the summary is exported, the live sample resets.
+        agg.reset();
+    }
+    println!("(per-epoch sample size converges onto the budget; P3+P4 in one loop)");
+}
+
+fn bench_toy(c: &mut Criterion) {
+    rate_sweep();
+    combine_check();
+    adaptation_trajectory();
+
+    let mut group = c.benchmark_group("e9_toy_primitive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for rate in [1.0, 0.1, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_100k", format!("{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| series(9, rate).footprint_bytes());
+            },
+        );
+    }
+    let s1 = series(1, 0.1).snapshot(window());
+    let s2 = series(2, 0.1).snapshot(window());
+    group.bench_function("combine", |b| {
+        b.iter(|| s1.clone().combined(&s2).len());
+    });
+    group.bench_function("query_exceeding", |b| {
+        b.iter(|| s1.exceeding(window(), 63.0).count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_toy);
+criterion_main!(benches);

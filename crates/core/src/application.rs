@@ -1,0 +1,617 @@
+//! **Applications**: "model & learn" (paper §III-A).
+//!
+//! > "Each application embodies the decision logic for a single purpose. …
+//! > They function as an interface to the users to gather information from
+//! > the data stores."
+//!
+//! The [`Application`] trait consumes data summaries and emits
+//! [`AppDirective`]s — requests to install triggers/rules, maintenance
+//! schedules, mitigations, or plain reports. Three applications from the
+//! paper's motivation are implemented:
+//!
+//! * [`PredictiveMaintenanceApp`] — §II-A (a): trend analysis on machine
+//!   sensor summaries, predicting when a channel will cross its limit,
+//! * [`DdosDetectionApp`] — §II-B (c): hierarchical-heavy-hitter analysis
+//!   of flow summaries to spot volumetric attacks,
+//! * [`TrafficMatrixApp`] — §II-B (b): prefix-level traffic matrices "for
+//!   planning network upgrades".
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use megastream_analytics::inference::LinearTrend;
+use megastream_datastore::summary::{StoredSummary, Summary};
+use megastream_datastore::trigger::TriggerCondition;
+use megastream_flow::addr::Prefix;
+use megastream_flow::key::{Feature, FlowKey};
+use megastream_flow::score::Popularity;
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+/// A request an application makes of the rest of the architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppDirective {
+    /// A human-readable finding ("forward the data for monitoring or
+    /// reporting purposes").
+    Report(String),
+    /// Schedule maintenance for a machine before `eta`.
+    ScheduleMaintenance {
+        /// The machine predicted to fail.
+        machine: usize,
+        /// The channel whose trend predicts the failure.
+        channel: String,
+        /// Predicted limit-crossing time.
+        eta: Timestamp,
+    },
+    /// Ask the controller to mitigate traffic matching `key`.
+    MitigateFlow {
+        /// The traffic to mitigate.
+        key: FlowKey,
+        /// Why.
+        reason: String,
+    },
+    /// Ask the data store to install a trigger (the application's fast
+    /// path for "simple conditions that need real-time reactions").
+    RequestTrigger {
+        /// The condition to watch.
+        condition: TriggerCondition,
+        /// Debounce period.
+        cooldown: TimeDelta,
+    },
+}
+
+/// An application consuming data summaries.
+pub trait Application {
+    /// The application's name (used when installing triggers/rules).
+    fn name(&self) -> &str;
+
+    /// Feeds one summary; returns any directives.
+    fn on_summary(&mut self, summary: &StoredSummary, now: Timestamp) -> Vec<AppDirective>;
+}
+
+/// Parses a sensor stream name of the form `machine-<m>/<channel>`.
+fn parse_sensor_stream(stream: &str) -> Option<(usize, &str)> {
+    let (machine_part, channel) = stream.split_once('/')?;
+    let m = machine_part.strip_prefix("machine-")?.parse().ok()?;
+    Some((m, channel))
+}
+
+/// Predictive maintenance (paper §II-A application (a)): fits a linear
+/// trend to each machine channel's per-epoch means and predicts when the
+/// channel crosses its limit. When the predicted crossing falls within the
+/// planning horizon, it schedules maintenance and installs a guard trigger.
+#[derive(Debug, Clone)]
+pub struct PredictiveMaintenanceApp {
+    /// Channel name → hard limit.
+    limits: HashMap<String, f64>,
+    /// Planning horizon: failures predicted after `now + horizon` are
+    /// ignored (the trend may still change).
+    horizon: TimeDelta,
+    /// Per (machine, channel) history of epoch means.
+    history: HashMap<(usize, String), Vec<(Timestamp, f64)>>,
+    /// Machines already scheduled (avoid duplicate work orders).
+    scheduled: HashSet<(usize, String)>,
+    window: usize,
+    /// Minimum history points before a trend is trusted (short fits on
+    /// noisy channels produce spurious slopes).
+    min_points: usize,
+}
+
+impl PredictiveMaintenanceApp {
+    /// Creates the application with default limits (temperature 85 °C,
+    /// vibration 4 mm/s, current 20 A) and the given horizon.
+    pub fn new(horizon: TimeDelta) -> Self {
+        let mut limits = HashMap::new();
+        limits.insert("temperature".to_owned(), 85.0);
+        limits.insert("vibration".to_owned(), 4.0);
+        limits.insert("current".to_owned(), 20.0);
+        PredictiveMaintenanceApp {
+            limits,
+            horizon,
+            history: HashMap::new(),
+            scheduled: HashSet::new(),
+            window: 60,
+            min_points: 30,
+        }
+    }
+
+    /// Overrides the minimum number of history points required before a
+    /// trend is trusted (default 30).
+    pub fn set_min_points(&mut self, min_points: usize) {
+        self.min_points = min_points.max(2);
+    }
+
+    /// Overrides the limit of one channel.
+    pub fn set_limit(&mut self, channel: impl Into<String>, limit: f64) {
+        self.limits.insert(channel.into(), limit);
+    }
+
+    /// Machines currently scheduled for maintenance.
+    pub fn scheduled(&self) -> impl Iterator<Item = &(usize, String)> {
+        self.scheduled.iter()
+    }
+}
+
+impl Application for PredictiveMaintenanceApp {
+    fn name(&self) -> &str {
+        "predictive-maintenance"
+    }
+
+    fn on_summary(&mut self, summary: &StoredSummary, now: Timestamp) -> Vec<AppDirective> {
+        let Summary::Bins(bins) = &summary.summary else {
+            return Vec::new();
+        };
+        // Which machine/channel does this summary describe? The lineage
+        // names the contributing streams.
+        let mut keys: Vec<(usize, String)> = summary
+            .lineage
+            .sources
+            .iter()
+            .filter_map(|s| parse_sensor_stream(s))
+            .map(|(m, c)| (m, c.to_owned()))
+            .collect();
+        keys.dedup();
+        let Some((machine, channel)) = keys.first().cloned() else {
+            return Vec::new();
+        };
+        if keys.len() > 1 {
+            // Ambiguous summary (multiple machines merged) — trends would
+            // mix machines; skip.
+            return Vec::new();
+        }
+        let Some(&limit) = self.limits.get(&channel) else {
+            return Vec::new();
+        };
+        let history = self
+            .history
+            .entry((machine, channel.clone()))
+            .or_default();
+        for (ts, stats) in bins.iter() {
+            if let Some(mean) = stats.mean() {
+                history.push((ts, mean));
+            }
+        }
+        let window = self.window;
+        if history.len() > window {
+            let start = history.len() - window;
+            history.drain(..start);
+        }
+        if history.len() < self.min_points {
+            return Vec::new();
+        }
+        let Some(trend) = LinearTrend::fit(history) else {
+            return Vec::new();
+        };
+        // Guard against noise-induced slopes: the drift must be both
+        // practically meaningful (a fraction of the limit per second) and
+        // statistically significant (t-statistic of the fitted slope).
+        let min_slope = limit * 1e-4;
+        if trend.slope < min_slope {
+            return Vec::new();
+        }
+        match trend.slope_stderr(history) {
+            Some(stderr) if trend.slope > 6.0 * stderr => {}
+            _ => return Vec::new(),
+        }
+        let mut out = Vec::new();
+        if let Some(eta) = trend.time_to_threshold(limit) {
+            if eta >= now && eta <= now + self.horizon
+                && self.scheduled.insert((machine, channel.clone()))
+            {
+                out.push(AppDirective::Report(format!(
+                    "machine-{machine} {channel} trending to limit {limit} at {eta} \
+                     (slope {:+.4}/s)",
+                    trend.slope
+                )));
+                out.push(AppDirective::ScheduleMaintenance {
+                    machine,
+                    channel: channel.clone(),
+                    eta,
+                });
+                out.push(AppDirective::RequestTrigger {
+                    condition: TriggerCondition::ScalarAbove {
+                        stream: format!("machine-{machine}/{channel}").as_str().into(),
+                        threshold: limit,
+                    },
+                    cooldown: TimeDelta::from_secs(30),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// DDoS investigation (paper §II-B application (c)): inspects flow
+/// summaries for destinations receiving traffic above a threshold from a
+/// broadly generalized source population, and asks for mitigation.
+#[derive(Debug, Clone)]
+pub struct DdosDetectionApp {
+    /// Minimum popularity score within one summary to call it an attack.
+    threshold: Popularity,
+    /// Victims already reported.
+    reported: HashSet<FlowKey>,
+}
+
+impl DdosDetectionApp {
+    /// Creates the detector with a per-summary score threshold.
+    pub fn new(threshold: Popularity) -> Self {
+        DdosDetectionApp {
+            threshold,
+            reported: HashSet::new(),
+        }
+    }
+
+    /// Victim keys reported so far.
+    pub fn victims(&self) -> impl Iterator<Item = &FlowKey> {
+        self.reported.iter()
+    }
+}
+
+impl Application for DdosDetectionApp {
+    fn name(&self) -> &str {
+        "ddos-detection"
+    }
+
+    fn on_summary(&mut self, summary: &StoredSummary, _now: Timestamp) -> Vec<AppDirective> {
+        let Summary::Flowtree(tree) = &summary.summary else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for item in tree.hhh(self.threshold) {
+            let dst = item.key.field(Feature::DstIp);
+            let src = item.key.field(Feature::SrcIp);
+            // Attack signature: heavy mass whose source side is fully
+            // generalized (spoofed/spread sources) while the destination
+            // side keeps structure.
+            if src.len() <= 8 && dst.len() >= 8 && dst.len() > src.len() {
+                // Drill down to the concrete victim host: extend the
+                // destination prefix while a single /32 still carries the
+                // mass (the paper's interactive-investigation workflow,
+                // automated).
+                let Some(victim_prefix) =
+                    refine_victim(tree, item.key.dst_prefix(), self.threshold)
+                else {
+                    continue;
+                };
+                let victim = FlowKey::root().with_dst_prefix(victim_prefix);
+                if self.reported.insert(victim) {
+                    out.push(AppDirective::Report(format!(
+                        "suspected DDoS on {victim_prefix} (score {})",
+                        item.discounted
+                    )));
+                    out.push(AppDirective::MitigateFlow {
+                        key: victim,
+                        reason: format!("HHH score {} above {}", item.discounted, self.threshold),
+                    });
+                    out.push(AppDirective::RequestTrigger {
+                        condition: TriggerCondition::FlowScoreAbove {
+                            key: victim,
+                            threshold: self.threshold,
+                            window_len: TimeDelta::from_secs(10),
+                        },
+                        cooldown: TimeDelta::from_secs(60),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Refines a suspect destination prefix down to a single host: at each
+/// step, extend the mask by 8 bits to the candidate carrying the most
+/// score; succeed only if a /32 still exceeds `threshold` (a volumetric
+/// attack has one victim; diffuse popularity does not refine).
+fn refine_victim(
+    tree: &megastream_flowtree::Flowtree,
+    start: Prefix,
+    threshold: Popularity,
+) -> Option<Prefix> {
+    let mut cur = start;
+    while cur.len() < 32 {
+        let next_len = cur.len() + 8;
+        // Candidate refinements observed in the tree.
+        let mut candidates: HashSet<Prefix> = HashSet::new();
+        for node in tree.nodes() {
+            let dst = node.key.field(Feature::DstIp);
+            if dst.len() >= next_len {
+                let p = node.key.dst_prefix().generalized(next_len);
+                if cur.contains(p) {
+                    candidates.insert(p);
+                }
+            }
+        }
+        let best = candidates
+            .into_iter()
+            .map(|p| (tree.query(&FlowKey::root().with_dst_prefix(p)), p))
+            .max_by_key(|(score, _)| *score)?;
+        if best.0 < threshold {
+            return None;
+        }
+        cur = best.1;
+    }
+    Some(cur)
+}
+
+/// Prefix-level traffic matrices (paper §II-B application (b)): aggregates
+/// flow-summary mass into `(src /p, dst /p)` cells, usable "for planning
+/// network upgrades".
+#[derive(Debug, Clone)]
+pub struct TrafficMatrixApp {
+    prefix_len: u8,
+    matrix: HashMap<(Prefix, Prefix), u64>,
+}
+
+impl TrafficMatrixApp {
+    /// Creates the application aggregating at `/prefix_len` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len` is 0 or exceeds 32.
+    pub fn new(prefix_len: u8) -> Self {
+        assert!((1..=32).contains(&prefix_len), "prefix length out of range");
+        TrafficMatrixApp {
+            prefix_len,
+            matrix: HashMap::new(),
+        }
+    }
+
+    /// The accumulated matrix.
+    pub fn matrix(&self) -> &HashMap<(Prefix, Prefix), u64> {
+        &self.matrix
+    }
+
+    /// Total mass attributed to matrix cells.
+    pub fn total(&self) -> u64 {
+        self.matrix.values().sum()
+    }
+
+    /// The `k` heaviest cells, descending.
+    pub fn top_cells(&self, k: usize) -> Vec<((Prefix, Prefix), u64)> {
+        let mut cells: Vec<((Prefix, Prefix), u64)> =
+            self.matrix.iter().map(|(k, v)| (*k, *v)).collect();
+        cells.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        cells.truncate(k);
+        cells
+    }
+}
+
+impl Application for TrafficMatrixApp {
+    fn name(&self) -> &str {
+        "traffic-matrix"
+    }
+
+    fn on_summary(&mut self, summary: &StoredSummary, _now: Timestamp) -> Vec<AppDirective> {
+        let Summary::Flowtree(tree) = &summary.summary else {
+            return Vec::new();
+        };
+        // Each node's own score counts once; only nodes specific enough on
+        // both sides can be attributed to a cell (mass compressed above
+        // that granularity is dropped — an explicit approximation).
+        let mut attributed = 0u64;
+        for node in tree.nodes() {
+            if node.own_score.is_zero() {
+                continue;
+            }
+            let src = node.key.field(Feature::SrcIp);
+            let dst = node.key.field(Feature::DstIp);
+            if src.len() >= self.prefix_len && dst.len() >= self.prefix_len {
+                let cell = (
+                    node.key.src_prefix().generalized(self.prefix_len),
+                    node.key.dst_prefix().generalized(self.prefix_len),
+                );
+                *self.matrix.entry(cell).or_default() += node.own_score.value();
+                attributed += node.own_score.value();
+            }
+        }
+        vec![AppDirective::Report(format!(
+            "traffic-matrix: attributed {attributed} of {} from {} ({} cells total)",
+            tree.total(),
+            summary.source,
+            self.matrix.len()
+        ))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_datastore::summary::Lineage;
+    use megastream_flow::record::FlowRecord;
+    use megastream_flow::time::TimeWindow;
+    use megastream_flowtree::{Flowtree, FlowtreeConfig};
+    use megastream_primitives::aggregator::ComputingPrimitive;
+    use megastream_primitives::timebin::TimeBinStats;
+
+    fn bins_summary(
+        machine: usize,
+        channel: &str,
+        values: &[(u64, f64)],
+    ) -> StoredSummary {
+        let mut agg = TimeBinStats::new(TimeDelta::from_secs(60), 1);
+        for (sec, v) in values {
+            agg.ingest(v, Timestamp::from_secs(*sec));
+        }
+        let window = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_hours(2));
+        StoredSummary::new(
+            "line-0/agg0",
+            window,
+            Summary::Bins(agg.snapshot(window)),
+            Lineage::from_source(format!("machine-{machine}/{channel}")),
+        )
+    }
+
+    #[test]
+    fn maintenance_predicts_rising_trend() {
+        let mut app = PredictiveMaintenanceApp::new(TimeDelta::from_hours(24));
+        app.set_min_points(10);
+        // Temperature rising 1°/min from 60: crosses 85 at minute 25.
+        let values: Vec<(u64, f64)> = (0..10).map(|i| (i * 60, 60.0 + i as f64)).collect();
+        let directives =
+            app.on_summary(&bins_summary(3, "temperature", &values), Timestamp::ZERO);
+        assert!(
+            directives
+                .iter()
+                .any(|d| matches!(d, AppDirective::ScheduleMaintenance { machine: 3, .. })),
+            "no maintenance scheduled: {directives:?}"
+        );
+        let eta = directives
+            .iter()
+            .find_map(|d| match d {
+                AppDirective::ScheduleMaintenance { eta, .. } => Some(*eta),
+                _ => None,
+            })
+            .unwrap();
+        assert!((eta.as_secs_f64() - 25.0 * 60.0).abs() < 120.0, "eta {eta}");
+        // A trigger guard is requested too.
+        assert!(directives
+            .iter()
+            .any(|d| matches!(d, AppDirective::RequestTrigger { .. })));
+        // Feeding the same trend again does not duplicate the schedule.
+        let again = app.on_summary(&bins_summary(3, "temperature", &values), Timestamp::ZERO);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn maintenance_ignores_healthy_and_far_future() {
+        let mut app = PredictiveMaintenanceApp::new(TimeDelta::from_mins(10));
+        app.set_min_points(10);
+        // Flat trend.
+        let flat: Vec<(u64, f64)> = (0..10).map(|i| (i * 60, 60.0)).collect();
+        assert!(app
+            .on_summary(&bins_summary(0, "temperature", &flat), Timestamp::ZERO)
+            .is_empty());
+        // Rising but crossing far beyond the 10-minute horizon.
+        let slow: Vec<(u64, f64)> = (0..10).map(|i| (i * 60, 60.0 + i as f64 * 0.01)).collect();
+        assert!(app
+            .on_summary(&bins_summary(1, "temperature", &slow), Timestamp::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn maintenance_ignores_non_bins_and_unknown_streams() {
+        let mut app = PredictiveMaintenanceApp::new(TimeDelta::from_hours(1));
+        let tree = Flowtree::new(FlowtreeConfig::default());
+        let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(60));
+        let s = StoredSummary::new(
+            "x",
+            w,
+            Summary::Flowtree(tree),
+            Lineage::from_source("machine-0/temperature"),
+        );
+        assert!(app.on_summary(&s, Timestamp::ZERO).is_empty());
+        // Bins but unparsable stream name.
+        let mut bins = bins_summary(0, "temperature", &[(0, 99.0)]);
+        bins.lineage = Lineage::from_source("weird-stream");
+        assert!(app.on_summary(&bins, Timestamp::ZERO).is_empty());
+    }
+
+    fn flow_summary(records: &[FlowRecord]) -> StoredSummary {
+        let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(8192));
+        for r in records {
+            tree.observe(r);
+        }
+        let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(60));
+        StoredSummary::new(
+            "region-0/agg0",
+            w,
+            Summary::Flowtree(tree),
+            Lineage::from_source("router-0"),
+        )
+    }
+
+    #[test]
+    fn ddos_detects_spread_sources_on_one_victim() {
+        let mut app = DdosDetectionApp::new(Popularity::new(500));
+        // 200 random sources × 5 packets on one victim.
+        let records: Vec<FlowRecord> = (0..200u32)
+            .map(|i| {
+                FlowRecord::builder()
+                    .proto(17)
+                    .src(
+                        format!("{}.{}.{}.{}", 1 + i % 200, i % 251, i % 241, i % 254)
+                            .parse()
+                            .unwrap(),
+                        9999,
+                    )
+                    .dst("100.64.0.1".parse().unwrap(), 53)
+                    .packets(5)
+                    .build()
+            })
+            .collect();
+        let directives = app.on_summary(&flow_summary(&records), Timestamp::ZERO);
+        assert!(
+            directives
+                .iter()
+                .any(|d| matches!(d, AppDirective::MitigateFlow { .. })),
+            "no mitigation: {directives:?}"
+        );
+        assert_eq!(app.victims().count(), 1);
+        // Re-reporting the same victim is suppressed.
+        assert!(app
+            .on_summary(&flow_summary(&records), Timestamp::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn ddos_ignores_ordinary_elephants() {
+        let mut app = DdosDetectionApp::new(Popularity::new(500));
+        // One heavy flow from a single source: src stays specific, so the
+        // HHH item carrying the mass has src len 32 at the leaf — no
+        // spread-source signature.
+        let records = vec![FlowRecord::builder()
+            .proto(6)
+            .src("10.0.0.1".parse().unwrap(), 80)
+            .dst("100.64.0.1".parse().unwrap(), 443)
+            .packets(10_000)
+            .build()];
+        let directives = app.on_summary(&flow_summary(&records), Timestamp::ZERO);
+        assert!(
+            !directives
+                .iter()
+                .any(|d| matches!(d, AppDirective::MitigateFlow { .. })),
+            "false positive: {directives:?}"
+        );
+    }
+
+    #[test]
+    fn traffic_matrix_accumulates_cells() {
+        let mut app = TrafficMatrixApp::new(8);
+        let records: Vec<FlowRecord> = vec![
+            FlowRecord::builder()
+                .proto(6)
+                .src("10.1.2.3".parse().unwrap(), 80)
+                .dst("20.1.1.1".parse().unwrap(), 443)
+                .packets(100)
+                .build(),
+            FlowRecord::builder()
+                .proto(6)
+                .src("10.9.9.9".parse().unwrap(), 80)
+                .dst("20.2.2.2".parse().unwrap(), 443)
+                .packets(50)
+                .build(),
+            FlowRecord::builder()
+                .proto(6)
+                .src("30.0.0.1".parse().unwrap(), 80)
+                .dst("20.1.1.1".parse().unwrap(), 443)
+                .packets(7)
+                .build(),
+        ];
+        let directives = app.on_summary(&flow_summary(&records), Timestamp::ZERO);
+        assert_eq!(directives.len(), 1);
+        let ten_twenty = (
+            "10.0.0.0/8".parse().unwrap(),
+            "20.0.0.0/8".parse().unwrap(),
+        );
+        assert_eq!(app.matrix()[&ten_twenty], 150);
+        assert_eq!(app.total(), 157);
+        let top = app.top_cells(1);
+        assert_eq!(top[0].0, ten_twenty);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn traffic_matrix_rejects_bad_prefix() {
+        let _ = TrafficMatrixApp::new(0);
+    }
+}

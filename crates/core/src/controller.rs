@@ -1,0 +1,395 @@
+//! The **Controller**: "resolve conflicts & decide" (paper §III-A).
+//!
+//! > "For operating at production speed, machines may not be able to wait
+//! > for input from applications. Yet, some validation may be necessary to
+//! > avoid failures, e.g., raising a robot arm beyond its highest point. …
+//! > The logic for the controller is installed and updated by individual
+//! > applications but are checked for conflicts by the controller prior to
+//! > installation."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_datastore::trigger::{TriggerEvent, TriggerId};
+use megastream_flow::key::FlowKey;
+use megastream_flow::time::Timestamp;
+
+/// Identifier of an installed control rule.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RuleId(usize);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule{}", self.0)
+    }
+}
+
+/// An action the controller can take on the physical process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlAction {
+    /// Emergency-stop the machine.
+    Stop,
+    /// Reduce the machine's operating speed to `factor ∈ (0, 1)` of
+    /// nominal.
+    SlowDown {
+        /// Target speed as a fraction of nominal.
+        factor: f64,
+    },
+    /// Install a rate limit on traffic matching `key` (network use case).
+    RateLimit {
+        /// Traffic to limit.
+        key: FlowKey,
+    },
+    /// Raise an operator alert without touching the process.
+    Alert {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl ControlAction {
+    /// Whether two actions contradict each other (cannot both be applied
+    /// in response to the same trigger).
+    pub fn conflicts_with(&self, other: &ControlAction) -> bool {
+        matches!(
+            (self, other),
+            (ControlAction::Stop, ControlAction::SlowDown { .. })
+                | (ControlAction::SlowDown { .. }, ControlAction::Stop)
+        ) || (matches!(self, ControlAction::SlowDown { .. })
+            && matches!(other, ControlAction::SlowDown { .. })
+            && self != other)
+    }
+}
+
+/// A control rule: when `trigger` fires, perform `action`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The rule's id.
+    pub id: RuleId,
+    /// The installing application.
+    pub app: String,
+    /// Which trigger activates the rule.
+    pub trigger: TriggerId,
+    /// What to do.
+    pub action: ControlAction,
+    /// Higher priority wins when several rules match one firing.
+    pub priority: u8,
+}
+
+/// Static limits the controller enforces on every actuation — the paper's
+/// "some validation may be necessary to avoid failures".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyEnvelope {
+    /// Whether emergency stops are permitted at all.
+    pub allow_stop: bool,
+    /// Slow-down factors are clamped to at least this value.
+    pub min_speed_factor: f64,
+}
+
+impl Default for SafetyEnvelope {
+    fn default() -> Self {
+        SafetyEnvelope {
+            allow_stop: true,
+            min_speed_factor: 0.1,
+        }
+    }
+}
+
+/// One executed actuation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actuation {
+    /// When it happened.
+    pub at: Timestamp,
+    /// Which rule caused it.
+    pub rule: RuleId,
+    /// The installing application.
+    pub app: String,
+    /// The action taken (after safety clamping).
+    pub action: ControlAction,
+    /// The trigger event that caused it.
+    pub cause: TriggerEvent,
+}
+
+/// Error installing a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstallError {
+    /// The new rule conflicts with an existing rule on the same trigger at
+    /// the same priority.
+    Conflict {
+        /// The already-installed conflicting rule.
+        existing: RuleId,
+    },
+    /// The action violates the safety envelope outright.
+    UnsafeAction(String),
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Conflict { existing } => {
+                write!(f, "rule conflicts with already-installed {existing}")
+            }
+            InstallError::UnsafeAction(why) => write!(f, "action violates safety envelope: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// The local control logic attached to one machine / network element.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Controller {
+    name: String,
+    envelope: SafetyEnvelope,
+    rules: Vec<Rule>,
+    next_id: usize,
+    log: Vec<Actuation>,
+}
+
+impl Controller {
+    /// Creates a controller named `name` with the given safety envelope.
+    pub fn new(name: impl Into<String>, envelope: SafetyEnvelope) -> Self {
+        Controller {
+            name: name.into(),
+            envelope,
+            rules: Vec::new(),
+            next_id: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The controller's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs a rule after checking it for conflicts ("checked for
+    /// conflicts by the controller prior to installation").
+    ///
+    /// # Errors
+    ///
+    /// * [`InstallError::Conflict`] if an existing rule on the same trigger
+    ///   at the same priority prescribes a contradictory action,
+    /// * [`InstallError::UnsafeAction`] if the action can never satisfy the
+    ///   safety envelope (e.g. `Stop` when stops are disallowed).
+    pub fn install_rule(
+        &mut self,
+        app: impl Into<String>,
+        trigger: TriggerId,
+        action: ControlAction,
+        priority: u8,
+    ) -> Result<RuleId, InstallError> {
+        if matches!(action, ControlAction::Stop) && !self.envelope.allow_stop {
+            return Err(InstallError::UnsafeAction(
+                "emergency stop disabled by envelope".into(),
+            ));
+        }
+        for existing in &self.rules {
+            if existing.trigger == trigger
+                && existing.priority == priority
+                && existing.action.conflicts_with(&action)
+            {
+                return Err(InstallError::Conflict {
+                    existing: existing.id,
+                });
+            }
+        }
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        self.rules.push(Rule {
+            id,
+            app: app.into(),
+            trigger,
+            action,
+            priority,
+        });
+        Ok(id)
+    }
+
+    /// Removes a rule. Returns whether it existed.
+    pub fn remove_rule(&mut self, id: RuleId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != id);
+        before != self.rules.len()
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Handles a trigger firing: selects the highest-priority matching rule
+    /// (ties broken by installation order — "conflicts between rules are
+    /// resolved locally at the controller"), clamps the action to the
+    /// safety envelope, logs and returns the actuation.
+    pub fn on_trigger(&mut self, event: &TriggerEvent) -> Option<Actuation> {
+        let rule = self
+            .rules
+            .iter()
+            .filter(|r| r.trigger == event.trigger)
+            .max_by(|a, b| a.priority.cmp(&b.priority).then(b.id.cmp(&a.id)))?
+            .clone();
+        let action = self.clamp(rule.action.clone());
+        let actuation = Actuation {
+            at: event.at,
+            rule: rule.id,
+            app: rule.app.clone(),
+            action,
+            cause: event.clone(),
+        };
+        self.log.push(actuation.clone());
+        Some(actuation)
+    }
+
+    /// Applies the safety envelope to an action.
+    fn clamp(&self, action: ControlAction) -> ControlAction {
+        match action {
+            ControlAction::SlowDown { factor } => ControlAction::SlowDown {
+                factor: factor.max(self.envelope.min_speed_factor).min(1.0),
+            },
+            other => other,
+        }
+    }
+
+    /// The actuation log, oldest first.
+    pub fn log(&self) -> &[Actuation] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_datastore::trigger::{TriggerCondition, TriggerEngine};
+    use megastream_flow::time::TimeDelta;
+
+    fn event(trigger: TriggerId) -> TriggerEvent {
+        TriggerEvent {
+            trigger,
+            installed_by: "app".into(),
+            at: Timestamp::from_secs(1),
+            observed: 99.0,
+        }
+    }
+
+    /// Builds a real TriggerId by installing into an engine.
+    fn trigger_id(engine: &mut TriggerEngine) -> TriggerId {
+        engine.install(
+            "app",
+            TriggerCondition::ScalarAbove {
+                stream: "m/temp".into(),
+                threshold: 80.0,
+            },
+            TimeDelta::ZERO,
+        )
+    }
+
+    #[test]
+    fn install_and_actuate() {
+        let mut engine = TriggerEngine::new();
+        let t = trigger_id(&mut engine);
+        let mut c = Controller::new("machine-0", SafetyEnvelope::default());
+        let r = c
+            .install_rule("maintenance", t, ControlAction::SlowDown { factor: 0.5 }, 1)
+            .unwrap();
+        let act = c.on_trigger(&event(t)).unwrap();
+        assert_eq!(act.rule, r);
+        assert_eq!(act.action, ControlAction::SlowDown { factor: 0.5 });
+        assert_eq!(c.log().len(), 1);
+    }
+
+    #[test]
+    fn priority_resolves_between_rules() {
+        let mut engine = TriggerEngine::new();
+        let t = trigger_id(&mut engine);
+        let mut c = Controller::new("m", SafetyEnvelope::default());
+        c.install_rule("a", t, ControlAction::Alert { message: "hm".into() }, 1)
+            .unwrap();
+        let stop = c.install_rule("b", t, ControlAction::Stop, 9).unwrap();
+        let act = c.on_trigger(&event(t)).unwrap();
+        assert_eq!(act.rule, stop);
+        assert_eq!(act.action, ControlAction::Stop);
+    }
+
+    #[test]
+    fn conflicting_rule_rejected_at_install() {
+        let mut engine = TriggerEngine::new();
+        let t = trigger_id(&mut engine);
+        let mut c = Controller::new("m", SafetyEnvelope::default());
+        let first = c
+            .install_rule("a", t, ControlAction::Stop, 5)
+            .unwrap();
+        let err = c
+            .install_rule("b", t, ControlAction::SlowDown { factor: 0.5 }, 5)
+            .unwrap_err();
+        assert_eq!(err, InstallError::Conflict { existing: first });
+        // Different priority is not a conflict (resolution is well-defined).
+        assert!(c
+            .install_rule("b", t, ControlAction::SlowDown { factor: 0.5 }, 4)
+            .is_ok());
+        // Non-contradictory actions coexist at the same priority.
+        assert!(c
+            .install_rule("c", t, ControlAction::Alert { message: "x".into() }, 5)
+            .is_ok());
+    }
+
+    #[test]
+    fn envelope_clamps_and_rejects() {
+        let mut engine = TriggerEngine::new();
+        let t = trigger_id(&mut engine);
+        let mut c = Controller::new(
+            "m",
+            SafetyEnvelope {
+                allow_stop: false,
+                min_speed_factor: 0.4,
+            },
+        );
+        assert!(matches!(
+            c.install_rule("a", t, ControlAction::Stop, 1),
+            Err(InstallError::UnsafeAction(_))
+        ));
+        c.install_rule("a", t, ControlAction::SlowDown { factor: 0.01 }, 1)
+            .unwrap();
+        let act = c.on_trigger(&event(t)).unwrap();
+        assert_eq!(act.action, ControlAction::SlowDown { factor: 0.4 });
+    }
+
+    #[test]
+    fn unmatched_trigger_does_nothing() {
+        let mut engine = TriggerEngine::new();
+        let t1 = trigger_id(&mut engine);
+        let t2 = trigger_id(&mut engine);
+        let mut c = Controller::new("m", SafetyEnvelope::default());
+        c.install_rule("a", t1, ControlAction::Stop, 1).unwrap();
+        assert!(c.on_trigger(&event(t2)).is_none());
+        assert!(c.log().is_empty());
+    }
+
+    #[test]
+    fn remove_rule() {
+        let mut engine = TriggerEngine::new();
+        let t = trigger_id(&mut engine);
+        let mut c = Controller::new("m", SafetyEnvelope::default());
+        let r = c.install_rule("a", t, ControlAction::Stop, 1).unwrap();
+        assert!(c.remove_rule(r));
+        assert!(!c.remove_rule(r));
+        assert!(c.on_trigger(&event(t)).is_none());
+    }
+
+    #[test]
+    fn conflict_semantics() {
+        let stop = ControlAction::Stop;
+        let slow = ControlAction::SlowDown { factor: 0.5 };
+        let slow2 = ControlAction::SlowDown { factor: 0.7 };
+        let alert = ControlAction::Alert { message: "m".into() };
+        assert!(stop.conflicts_with(&slow));
+        assert!(slow.conflicts_with(&stop));
+        assert!(slow.conflicts_with(&slow2));
+        assert!(!slow.conflicts_with(&slow.clone()));
+        assert!(!stop.conflicts_with(&alert));
+    }
+}

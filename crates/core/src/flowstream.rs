@@ -1,0 +1,395 @@
+//! **Flowstream** — the complete system of paper Fig. 5.
+//!
+//! > "The router sends its raw flow data to a data store ①. The data store
+//! > uses Flowtree as its aggregator to compute summaries ② and potentially
+//! > exports these to other data stores ③. The data store can either
+//! > further aggregate them or use them ④ to answer user queries via the
+//! > FlowQL API ⑤."
+//!
+//! [`Flowstream`] wires routers (flow sources) to per-region data stores
+//! running Flowtree aggregators over an [`IspTopology`], exports each
+//! epoch's summaries up to a network-wide store *and* into a [`FlowDb`],
+//! and answers FlowQL queries.
+
+use megastream_datastore::store::DataStore;
+use megastream_datastore::summary::Summary;
+use megastream_datastore::trigger::TriggerEvent;
+use megastream_datastore::{AggregatorSpec, StorageStrategy};
+use megastream_flow::mask::GeneralizationSchema;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::ScoreKind;
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_flowdb::{FlowDb, QueryResult};
+use megastream_flowtree::FlowtreeConfig;
+use megastream_netsim::hierarchy::IspTopology;
+use megastream_netsim::topology::Network;
+
+use crate::hierarchy::absorb_summary;
+
+/// Configuration of a [`Flowstream`] deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowstreamConfig {
+    /// Epoch length of the region data stores.
+    pub epoch_len: TimeDelta,
+    /// Node budget of each region Flowtree.
+    pub tree_capacity: usize,
+    /// Popularity measure.
+    pub score_kind: ScoreKind,
+    /// The generalization schema of all trees — pick it for the task at
+    /// hand (property P5): the balanced default alternates source and
+    /// destination;
+    /// [`GeneralizationSchema::dst_preserving`] keeps victims/services
+    /// specific under compression,
+    /// [`GeneralizationSchema::src_preserving`] keeps customers specific.
+    pub schema: GeneralizationSchema,
+    /// Storage strategy of region stores.
+    pub storage: StorageStrategy,
+}
+
+impl Default for FlowstreamConfig {
+    fn default() -> Self {
+        FlowstreamConfig {
+            epoch_len: TimeDelta::from_secs(60),
+            tree_capacity: 4096,
+            score_kind: ScoreKind::Packets,
+            schema: GeneralizationSchema::network_default(),
+            storage: StorageStrategy::RoundRobinHierarchical {
+                budget_bytes: 4 << 20,
+                fanout: 2,
+            },
+        }
+    }
+}
+
+/// Errors a FlowQL round-trip can produce.
+#[derive(Debug)]
+pub enum FlowstreamError {
+    /// The query failed to parse.
+    Parse(megastream_flowdb::ParseError),
+    /// The query failed to execute.
+    Query(megastream_flowdb::QueryError),
+}
+
+impl std::fmt::Display for FlowstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowstreamError::Parse(e) => write!(f, "flowql parse error: {e}"),
+            FlowstreamError::Query(e) => write!(f, "flowql execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowstreamError {}
+
+/// The Fig. 5 system: routers → region data stores (Flowtree) → network
+/// store + FlowDB → FlowQL.
+#[derive(Debug)]
+pub struct Flowstream {
+    topology: IspTopology,
+    config: FlowstreamConfig,
+    regions: Vec<DataStore>,
+    noc: DataStore,
+    flowdb: FlowDb,
+    /// Raw bytes received per (region, router) in the current epoch —
+    /// transferred in one batch at rotation for link accounting.
+    raw_pending: Vec<Vec<u64>>,
+    epoch_end: Timestamp,
+    now: Timestamp,
+    rr: usize,
+    trigger_log: Vec<TriggerEvent>,
+}
+
+impl Flowstream {
+    /// Builds a Flowstream over `regions` regions of `routers_per_region`
+    /// routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(regions: usize, routers_per_region: usize, config: FlowstreamConfig) -> Self {
+        let topology = IspTopology::build(regions, routers_per_region);
+        let tree_config = FlowtreeConfig::default()
+            .with_capacity(config.tree_capacity)
+            .with_score_kind(config.score_kind)
+            .with_schema(config.schema.clone());
+        let mut region_stores = Vec::with_capacity(regions);
+        for g in 0..regions {
+            let mut store =
+                DataStore::new(format!("region-{g}"), config.storage, config.epoch_len);
+            store.install_aggregator(AggregatorSpec::Flowtree(tree_config.clone()));
+            region_stores.push(store);
+        }
+        // The network-wide store aggregates over a 4× longer horizon.
+        let mut noc = DataStore::new(
+            "noc",
+            config.storage,
+            TimeDelta::from_micros(config.epoch_len.as_micros() * 4),
+        );
+        noc.install_aggregator(AggregatorSpec::Flowtree(tree_config));
+        let epoch_end = Timestamp::ZERO + config.epoch_len;
+        Flowstream {
+            raw_pending: vec![vec![0; routers_per_region]; regions],
+            topology,
+            config,
+            regions: region_stores,
+            noc,
+            flowdb: FlowDb::new(),
+            epoch_end,
+            now: Timestamp::ZERO,
+            rr: 0,
+            trigger_log: Vec::new(),
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of routers per region.
+    pub fn routers_per_region(&self) -> usize {
+        self.topology.routers[0].len()
+    }
+
+    /// Ingests one flow record observed at `router` in `region` (①).
+    /// Records must arrive in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region`/`router` are out of range.
+    pub fn ingest(&mut self, region: usize, router: usize, rec: &FlowRecord) {
+        assert!(region < self.regions.len(), "region {region} out of range");
+        assert!(
+            router < self.raw_pending[region].len(),
+            "router {router} out of range"
+        );
+        while rec.ts >= self.epoch_end {
+            let at = self.epoch_end;
+            self.rotate(at);
+        }
+        self.now = self.now.max(rec.ts);
+        self.raw_pending[region][router] += std::mem::size_of::<FlowRecord>() as u64;
+        let stream = format!("router-{region}-{router}");
+        let events =
+            self.regions[region].ingest_flow(&stream.as_str().into(), rec, rec.ts);
+        self.trigger_log.extend(events);
+    }
+
+    /// Ingests a record, assigning it to a router round-robin — convenient
+    /// when replaying a single generated trace across the deployment.
+    pub fn ingest_round_robin(&mut self, rec: &FlowRecord) {
+        let total_routers = self.regions.len() * self.raw_pending[0].len();
+        let slot = self.rr % total_routers;
+        self.rr += 1;
+        let region = slot / self.raw_pending[0].len();
+        let router = slot % self.raw_pending[0].len();
+        self.ingest(region, router, rec);
+    }
+
+    /// Closes the current epoch at `at`: flushes raw-transfer accounting,
+    /// rotates region stores (②), exports summaries to the NOC store (③)
+    /// and indexes Flowtrees into FlowDB (④).
+    fn rotate(&mut self, at: Timestamp) {
+        // ① account the raw router → region-store transfers of this epoch.
+        for (g, routers) in self.raw_pending.iter_mut().enumerate() {
+            for (r, pending) in routers.iter_mut().enumerate() {
+                if *pending > 0 {
+                    let from = self.topology.routers[g][r];
+                    let to = self.topology.regions[g];
+                    self.topology
+                        .network
+                        .transfer(from, to, *pending, at)
+                        .expect("router is connected to its region");
+                    *pending = 0;
+                }
+            }
+        }
+        // ② + ③ + ④.
+        for (g, store) in self.regions.iter_mut().enumerate() {
+            let exported = store.rotate_epoch(at);
+            for summary in exported {
+                let bytes = summary.wire_size() as u64;
+                self.topology
+                    .network
+                    .transfer(self.topology.regions[g], self.topology.noc, bytes, at)
+                    .expect("region is connected to the noc");
+                if let Summary::Flowtree(tree) = &summary.summary {
+                    self.flowdb
+                        .insert(format!("region-{g}"), summary.window, tree.clone());
+                }
+                if !absorb_summary(&mut self.noc, &summary) {
+                    self.noc.import_summary(summary, at);
+                }
+            }
+        }
+        if self.noc.epoch_due(at) {
+            let exported = self.noc.rotate_epoch(at);
+            for summary in exported {
+                if let Summary::Flowtree(tree) = &summary.summary {
+                    self.flowdb.insert("noc", summary.window, tree.clone());
+                }
+            }
+        }
+        self.epoch_end = at + self.config.epoch_len;
+    }
+
+    /// Flushes the current (partial) epoch so all ingested data is
+    /// queryable.
+    pub fn finish(&mut self) {
+        let at = self.epoch_end.max(self.now);
+        self.rotate(at);
+    }
+
+    /// Runs a FlowQL query against the indexed summaries (⑤).
+    ///
+    /// Note that `noc`-level summaries cover the same traffic as the
+    /// per-region ones; restrict by `location` to avoid double counting
+    /// when both are indexed, or query only region locations (the default
+    /// examples do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowstreamError`] on parse or execution failures.
+    pub fn query(&self, flowql: &str) -> Result<QueryResult, FlowstreamError> {
+        let query = megastream_flowdb::parse(flowql).map_err(FlowstreamError::Parse)?;
+        self.flowdb.execute(&query).map_err(FlowstreamError::Query)
+    }
+
+    /// The FlowDB index.
+    pub fn flowdb(&self) -> &FlowDb {
+        &self.flowdb
+    }
+
+    /// The simulated network with its transfer accounting.
+    pub fn network(&self) -> &Network {
+        &self.topology.network
+    }
+
+    /// Read access to a region's data store.
+    pub fn region_store(&self, region: usize) -> &DataStore {
+        &self.regions[region]
+    }
+
+    /// Mutable access to a region's data store (e.g. to install triggers).
+    pub fn region_store_mut(&mut self, region: usize) -> &mut DataStore {
+        &mut self.regions[region]
+    }
+
+    /// The network-wide (NOC) store.
+    pub fn noc_store(&self) -> &DataStore {
+        &self.noc
+    }
+
+    /// Trigger firings collected during ingest.
+    pub fn trigger_log(&self) -> &[TriggerEvent] {
+        &self.trigger_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
+
+    fn small_trace(secs: u64) -> Vec<FlowRecord> {
+        FlowTraceGenerator::new(FlowTraceConfig {
+            flows_per_sec: 50.0,
+            duration: TimeDelta::from_secs(secs),
+            internal_hosts: 100,
+            external_hosts: 100,
+            ..Default::default()
+        })
+        .collect()
+    }
+
+    #[test]
+    fn end_to_end_ingest_and_query() {
+        let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+        let trace = small_trace(150);
+        let total_packets: u64 = trace.iter().map(|r| r.packets).sum();
+        for rec in &trace {
+            fs.ingest_round_robin(rec);
+        }
+        fs.finish();
+        // Epochs of 60 s over 150 s → 3 windows per region.
+        assert!(fs.flowdb().len() >= 4, "{} summaries", fs.flowdb().len());
+        // Region-scoped total equals the ingested packet mass.
+        let mut region_total = 0;
+        for g in 0..2 {
+            let r = fs
+                .query(&format!(
+                    "SELECT QUERY FROM ALL WHERE location = \"region-{g}\""
+                ))
+                .unwrap();
+            region_total += r.rows[0].score;
+        }
+        assert_eq!(region_total, total_packets);
+        // The network moved raw bytes and summary bytes.
+        assert!(fs.network().total_bytes() > 0);
+    }
+
+    #[test]
+    fn noc_store_absorbs_all_regions() {
+        use megastream_flow::key::FlowKey;
+        let mut fs = Flowstream::new(2, 2, FlowstreamConfig::default());
+        let trace = small_trace(60);
+        let total: u64 = trace.iter().map(|r| r.packets).sum();
+        for rec in &trace {
+            fs.ingest_round_robin(rec);
+        }
+        fs.finish();
+        // NOC live tree + its stored summaries account for every packet.
+        let noc_total = fs.noc_store().live_flow_score(&FlowKey::root()).value()
+            + fs
+                .noc_store()
+                .summaries()
+                .iter()
+                .filter_map(|s| match &s.summary {
+                    Summary::Flowtree(t) => Some(t.total().value()),
+                    _ => None,
+                })
+                .sum::<u64>();
+        assert_eq!(noc_total, total);
+    }
+
+    #[test]
+    fn queries_by_time_window() {
+        let mut fs = Flowstream::new(1, 2, FlowstreamConfig::default());
+        for rec in small_trace(120) {
+            fs.ingest_round_robin(&rec);
+        }
+        fs.finish();
+        let first = fs
+            .query("SELECT QUERY FROM [0, 60) WHERE location = \"region-0\"")
+            .unwrap();
+        let second = fs
+            .query("SELECT QUERY FROM [60, 120) WHERE location = \"region-0\"")
+            .unwrap();
+        let all = fs
+            .query("SELECT QUERY FROM ALL WHERE location = \"region-0\"")
+            .unwrap();
+        assert_eq!(first.rows[0].score + second.rows[0].score, all.rows[0].score);
+        assert!(first.rows[0].score > 0);
+    }
+
+    #[test]
+    fn bad_queries_are_reported() {
+        let fs = Flowstream::new(1, 1, FlowstreamConfig::default());
+        assert!(matches!(
+            fs.query("SELEC nonsense"),
+            Err(FlowstreamError::Parse(_))
+        ));
+        assert!(matches!(
+            fs.query("SELECT QUERY FROM ALL"),
+            Err(FlowstreamError::Query(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ingest_checks_bounds() {
+        let mut fs = Flowstream::new(1, 1, FlowstreamConfig::default());
+        let rec = FlowRecord::builder().build();
+        fs.ingest(5, 0, &rec);
+    }
+}

@@ -1,0 +1,398 @@
+//! A hierarchy of data stores over a simulated network (paper Fig. 2b).
+//!
+//! "In the case of distributed mega-datasets, each mega-dataset is stored
+//! in its own data store. Further data stores exist to merge and aggregate
+//! data from multiple mega-datasets." The [`StoreHierarchy`] binds data
+//! stores to nodes of a [`Network`], rotates their epochs, and pushes each
+//! epoch's summaries to the parent store — accounting every byte that
+//! crosses a link, which is what experiment E3 measures.
+
+use serde::{Deserialize, Serialize};
+
+use megastream_datastore::aggregator::AggregatorInstance;
+use megastream_datastore::store::{DataStore, StreamId};
+use megastream_datastore::summary::{StoredSummary, Summary};
+use megastream_datastore::trigger::TriggerEvent;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::Timestamp;
+use megastream_netsim::topology::{Network, NodeId};
+use megastream_primitives::aggregator::Combinable;
+
+/// Identifier of a store within a hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct HierarchyId(usize);
+
+#[derive(Debug)]
+struct Entry {
+    store: DataStore,
+    net: NodeId,
+    parent: Option<usize>,
+    depth: usize,
+}
+
+/// Statistics of one [`StoreHierarchy::pump`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExportStats {
+    /// Epoch rotations performed.
+    pub rotations: u64,
+    /// Summaries exported to parent stores.
+    pub exported_summaries: u64,
+    /// Bytes those exports put on the network.
+    pub exported_bytes: u64,
+    /// Summaries absorbed into a parent's live aggregator (vs stored).
+    pub absorbed: u64,
+}
+
+impl std::ops::AddAssign for ExportStats {
+    fn add_assign(&mut self, rhs: ExportStats) {
+        self.rotations += rhs.rotations;
+        self.exported_summaries += rhs.exported_summaries;
+        self.exported_bytes += rhs.exported_bytes;
+        self.absorbed += rhs.absorbed;
+    }
+}
+
+/// A tree of data stores bound to network nodes.
+#[derive(Debug)]
+pub struct StoreHierarchy {
+    entries: Vec<Entry>,
+    network: Network,
+}
+
+impl StoreHierarchy {
+    /// Creates a hierarchy over `network`.
+    pub fn new(network: Network) -> Self {
+        StoreHierarchy {
+            entries: Vec::new(),
+            network,
+        }
+    }
+
+    /// Adds a root store (no parent — typically the cloud/datacenter).
+    pub fn add_root(&mut self, store: DataStore, net: NodeId) -> HierarchyId {
+        self.entries.push(Entry {
+            store,
+            net,
+            parent: None,
+            depth: 0,
+        });
+        HierarchyId(self.entries.len() - 1)
+    }
+
+    /// Adds a store below `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is unknown.
+    pub fn add_child(
+        &mut self,
+        store: DataStore,
+        net: NodeId,
+        parent: HierarchyId,
+    ) -> HierarchyId {
+        let depth = self.entries[parent.0].depth + 1;
+        self.entries.push(Entry {
+            store,
+            net,
+            parent: Some(parent.0),
+            depth,
+        });
+        HierarchyId(self.entries.len() - 1)
+    }
+
+    /// Number of stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the hierarchy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read access to a store.
+    pub fn store(&self, id: HierarchyId) -> &DataStore {
+        &self.entries[id.0].store
+    }
+
+    /// Mutable access to a store.
+    pub fn store_mut(&mut self, id: HierarchyId) -> &mut DataStore {
+        &mut self.entries[id.0].store
+    }
+
+    /// The network node a store is bound to.
+    pub fn net_node(&self, id: HierarchyId) -> NodeId {
+        self.entries[id.0].net
+    }
+
+    /// The parent of a store, if any.
+    pub fn parent(&self, id: HierarchyId) -> Option<HierarchyId> {
+        self.entries[id.0].parent.map(HierarchyId)
+    }
+
+    /// The underlying network (with its byte accounting).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// All store ids, top-down.
+    pub fn ids(&self) -> Vec<HierarchyId> {
+        (0..self.entries.len()).map(HierarchyId).collect()
+    }
+
+    /// Ingests a flow record at a store (trigger firings returned).
+    pub fn ingest_flow(
+        &mut self,
+        id: HierarchyId,
+        stream: &StreamId,
+        rec: &FlowRecord,
+        now: Timestamp,
+    ) -> Vec<TriggerEvent> {
+        self.entries[id.0].store.ingest_flow(stream, rec, now)
+    }
+
+    /// Ingests a scalar reading at a store (trigger firings returned).
+    pub fn ingest_scalar(
+        &mut self,
+        id: HierarchyId,
+        stream: &StreamId,
+        value: f64,
+        now: Timestamp,
+    ) -> Vec<TriggerEvent> {
+        self.entries[id.0].store.ingest_scalar(stream, value, now)
+    }
+
+    /// Rotates every store whose epoch is due (deepest stores first) and
+    /// exports the produced summaries to the parent over the network. A
+    /// summary a parent can merge into one of its live aggregators is
+    /// *absorbed* (so the parent's own epoch summarizes its children);
+    /// anything else is imported into the parent's summary store.
+    pub fn pump(&mut self, now: Timestamp) -> ExportStats {
+        let mut stats = ExportStats::default();
+        // Deepest first, so child exports are absorbed before parents
+        // rotate (when epochs align).
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].depth));
+        for i in order {
+            if !self.entries[i].store.epoch_due(now) {
+                continue;
+            }
+            let exported = self.entries[i].store.rotate_epoch(now);
+            stats.rotations += 1;
+            let Some(parent) = self.entries[i].parent else {
+                continue;
+            };
+            let (from, to) = (self.entries[i].net, self.entries[parent].net);
+            for summary in exported {
+                let bytes = summary.wire_size() as u64;
+                self.network
+                    .transfer(from, to, bytes, now)
+                    .expect("hierarchy stores must be connected");
+                stats.exported_summaries += 1;
+                stats.exported_bytes += bytes;
+                if absorb(&mut self.entries[parent].store, &summary) {
+                    stats.absorbed += 1;
+                } else {
+                    self.entries[parent].store.import_summary(summary, now);
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Merges a summary into a compatible live aggregator of `store`, if any:
+/// Flowtrees merge with Flowtrees of the same configuration, Space-Saving
+/// sketches and exact tables with their counterparts. Returns whether the
+/// summary was absorbed (callers typically import it otherwise).
+pub fn absorb_summary(store: &mut DataStore, summary: &StoredSummary) -> bool {
+    absorb(store, summary)
+}
+
+fn absorb(store: &mut DataStore, summary: &StoredSummary) -> bool {
+    for id in store.aggregator_ids() {
+        let Some(inst) = store.aggregator_mut(id) else {
+            continue;
+        };
+        match (inst, &summary.summary) {
+            (AggregatorInstance::Flowtree(mine), Summary::Flowtree(theirs))
+                if mine.config().compatible_with(theirs.config()) =>
+            {
+                mine.merge(theirs);
+                return true;
+            }
+            (AggregatorInstance::TopFlows { sketch, .. }, Summary::TopFlows(theirs)) => {
+                sketch.combine(theirs);
+                return true;
+            }
+            (AggregatorInstance::TimeBins(mine), Summary::Bins(theirs)) => {
+                mine.absorb(theirs);
+                return true;
+            }
+            (AggregatorInstance::Exact(mine), Summary::Exact(theirs))
+                if mine.features() == theirs.features()
+                    && mine.score_kind() == theirs.score_kind() =>
+            {
+                mine.combine(theirs);
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_datastore::{AggregatorSpec, StorageStrategy};
+    use megastream_flow::key::FlowKey;
+    use megastream_flow::time::TimeDelta;
+    use megastream_flowtree::FlowtreeConfig;
+    use megastream_netsim::topology::{LinkSpec, NodeKind};
+
+    fn store(name: &str, epoch_secs: u64) -> DataStore {
+        let mut s = DataStore::new(
+            name,
+            StorageStrategy::RoundRobin {
+                budget_bytes: 10 << 20,
+            },
+            TimeDelta::from_secs(epoch_secs),
+        );
+        s.install_aggregator(AggregatorSpec::Flowtree(
+            FlowtreeConfig::default().with_capacity(4096),
+        ));
+        s
+    }
+
+    fn rec(src: &str, packets: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .proto(6)
+            .src(src.parse().unwrap(), 5000)
+            .dst("1.1.1.1".parse().unwrap(), 443)
+            .packets(packets)
+            .build()
+    }
+
+    /// Two leaves under one parent.
+    fn two_level() -> (StoreHierarchy, HierarchyId, HierarchyId, HierarchyId) {
+        let mut net = Network::new();
+        let parent_n = net.add_node("parent", NodeKind::DataStore);
+        let a_n = net.add_node("a", NodeKind::DataStore);
+        let b_n = net.add_node("b", NodeKind::DataStore);
+        net.connect(a_n, parent_n, LinkSpec::lan_1g());
+        net.connect(b_n, parent_n, LinkSpec::lan_1g());
+        let mut h = StoreHierarchy::new(net);
+        let root = h.add_root(store("parent", 120), parent_n);
+        let a = h.add_child(store("a", 60), a_n, root);
+        let b = h.add_child(store("b", 60), b_n, root);
+        (h, root, a, b)
+    }
+
+    #[test]
+    fn pump_exports_and_absorbs() {
+        let (mut h, root, a, b) = two_level();
+        h.ingest_flow(a, &"ra".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(10));
+        h.ingest_flow(b, &"rb".into(), &rec("10.1.0.1", 7), Timestamp::from_secs(10));
+        let stats = h.pump(Timestamp::from_secs(60));
+        assert_eq!(stats.rotations, 2);
+        assert_eq!(stats.exported_summaries, 2);
+        assert_eq!(stats.absorbed, 2);
+        assert!(stats.exported_bytes > 0);
+        // Parent's live flowtree merged both children.
+        assert_eq!(
+            h.store(root).live_flow_score(&FlowKey::root()).value(),
+            12
+        );
+        // Network accounted the transfers.
+        assert_eq!(h.network().total_bytes(), stats.exported_bytes);
+        assert_eq!(h.network().transfer_count(), 2);
+    }
+
+    #[test]
+    fn parent_epoch_produces_combined_summary() {
+        let (mut h, root, a, b) = two_level();
+        for t in [10u64, 70] {
+            h.ingest_flow(a, &"ra".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(t));
+            h.ingest_flow(b, &"rb".into(), &rec("10.1.0.1", 7), Timestamp::from_secs(t));
+            h.pump(Timestamp::from_secs(t + 50));
+        }
+        // The t=120 pump closed the parent epoch right after absorbing the
+        // children's second exports (children rotate first within a pump).
+        let total: u64 = h
+            .store(root)
+            .summaries()
+            .iter()
+            .filter_map(|s| match &s.summary {
+                Summary::Flowtree(t) => Some(t.total().value()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 24, "parent summary should combine both epochs");
+    }
+
+    #[test]
+    fn rate_reduction_across_levels() {
+        let (mut h, _root, a, b) = two_level();
+        for i in 0..2_000u32 {
+            let t = Timestamp::from_micros(i as u64 * 25_000);
+            h.ingest_flow(a, &"ra".into(), &rec(&format!("10.0.{}.1", i % 50), 1), t);
+            h.ingest_flow(b, &"rb".into(), &rec(&format!("10.1.{}.1", i % 50), 1), t);
+        }
+        let stats = h.pump(Timestamp::from_secs(60));
+        let raw: u64 = [a, b]
+            .iter()
+            .map(|id| h.store(*id).stats().raw_bytes)
+            .sum();
+        assert!(
+            stats.exported_bytes < raw / 2,
+            "summaries ({}) not smaller than raw stream ({raw})",
+            stats.exported_bytes
+        );
+    }
+
+    #[test]
+    fn incompatible_summary_is_imported_not_absorbed() {
+        let mut net = Network::new();
+        let p = net.add_node("p", NodeKind::DataStore);
+        let c = net.add_node("c", NodeKind::DataStore);
+        net.connect(p, c, LinkSpec::lan_1g());
+        let mut h = StoreHierarchy::new(net);
+        // Parent has no aggregator at all.
+        let parent_store = DataStore::new(
+            "p",
+            StorageStrategy::RoundRobin {
+                budget_bytes: 1 << 20,
+            },
+            TimeDelta::from_secs(3600),
+        );
+        let root = h.add_root(parent_store, p);
+        let child = h.add_child(store("c", 60), c, root);
+        h.ingest_flow(child, &"r".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(1));
+        let stats = h.pump(Timestamp::from_secs(60));
+        assert_eq!(stats.absorbed, 0);
+        assert_eq!(h.store(root).summaries().len(), 1);
+    }
+
+    #[test]
+    fn trigger_events_surface_at_ingest() {
+        use megastream_datastore::trigger::TriggerCondition;
+        let (mut h, _root, a, _b) = two_level();
+        h.store_mut(a).install_trigger(
+            "app",
+            TriggerCondition::ScalarAbove {
+                stream: "m/temp".into(),
+                threshold: 50.0,
+            },
+            TimeDelta::ZERO,
+        );
+        let events = h.ingest_scalar(a, &"m/temp".into(), 60.0, Timestamp::ZERO);
+        assert_eq!(events.len(), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! Triggers: the data store's fast path to the controller.
+//!
+//! "Applications … install triggers in the data store, to influence future
+//! behavior. As the name suggests, triggers are triggered by events and
+//! then signal a controller" (§III-A). Triggers are evaluated on the data
+//! path — against raw readings and flow records as they arrive — so the
+//! controller can react within machine-level time budgets without waiting
+//! for analytics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::key::FlowKey;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::Popularity;
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+use crate::store::StreamId;
+
+/// Identifier of an installed trigger.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TriggerId(pub(crate) usize);
+
+impl fmt::Display for TriggerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trig{}", self.0)
+    }
+}
+
+/// The condition a trigger matches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TriggerCondition {
+    /// A scalar reading on `stream` exceeds `threshold`.
+    ScalarAbove {
+        /// The watched stream.
+        stream: StreamId,
+        /// Firing threshold.
+        threshold: f64,
+    },
+    /// A scalar reading on `stream` falls below `threshold`.
+    ScalarBelow {
+        /// The watched stream.
+        stream: StreamId,
+        /// Firing threshold.
+        threshold: f64,
+    },
+    /// Accumulated score of flows matching `key` exceeds `threshold`
+    /// within a sliding window of `window_len` (e.g. a DDoS rate trigger).
+    FlowScoreAbove {
+        /// Flows matching this (generalized) key are counted.
+        key: FlowKey,
+        /// Score threshold within the window.
+        threshold: Popularity,
+        /// Sliding-window length.
+        window_len: TimeDelta,
+    },
+}
+
+/// An installed trigger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trigger {
+    /// Identifier within the owning data store.
+    pub id: TriggerId,
+    /// Name of the application that installed it.
+    pub installed_by: String,
+    /// The matching condition.
+    pub condition: TriggerCondition,
+    /// Minimum time between firings (debounce), so a persistently abnormal
+    /// signal does not flood the controller.
+    pub cooldown: TimeDelta,
+}
+
+/// A firing produced when a trigger matches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerEvent {
+    /// Which trigger fired.
+    pub trigger: TriggerId,
+    /// The application that installed it.
+    pub installed_by: String,
+    /// When it fired.
+    pub at: Timestamp,
+    /// The observed value/score that crossed the threshold.
+    pub observed: f64,
+}
+
+/// Per-trigger runtime state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TriggerState {
+    last_fired: Option<Timestamp>,
+    /// For flow-score triggers: (timestamp, score) events in the window.
+    window: Vec<(Timestamp, u64)>,
+}
+
+/// The trigger registry and matcher of one data store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TriggerEngine {
+    triggers: Vec<(Trigger, TriggerState)>,
+    next_id: usize,
+    fired: u64,
+}
+
+impl TriggerEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        TriggerEngine::default()
+    }
+
+    /// Installs a trigger, returning its id.
+    pub fn install(
+        &mut self,
+        installed_by: impl Into<String>,
+        condition: TriggerCondition,
+        cooldown: TimeDelta,
+    ) -> TriggerId {
+        let id = TriggerId(self.next_id);
+        self.next_id += 1;
+        self.triggers.push((
+            Trigger {
+                id,
+                installed_by: installed_by.into(),
+                condition,
+                cooldown,
+            },
+            TriggerState::default(),
+        ));
+        id
+    }
+
+    /// Removes a trigger. Returns whether it existed.
+    pub fn remove(&mut self, id: TriggerId) -> bool {
+        let before = self.triggers.len();
+        self.triggers.retain(|(t, _)| t.id != id);
+        before != self.triggers.len()
+    }
+
+    /// Number of installed triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// Whether no triggers are installed.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Total number of firings so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Installed triggers.
+    pub fn iter(&self) -> impl Iterator<Item = &Trigger> {
+        self.triggers.iter().map(|(t, _)| t)
+    }
+
+    /// Evaluates a scalar reading, returning any firings.
+    pub fn on_scalar(&mut self, stream: &StreamId, value: f64, at: Timestamp) -> Vec<TriggerEvent> {
+        let mut out = Vec::new();
+        for (trigger, state) in &mut self.triggers {
+            let hit = match &trigger.condition {
+                TriggerCondition::ScalarAbove {
+                    stream: s,
+                    threshold,
+                } => s == stream && value > *threshold,
+                TriggerCondition::ScalarBelow {
+                    stream: s,
+                    threshold,
+                } => s == stream && value < *threshold,
+                TriggerCondition::FlowScoreAbove { .. } => false,
+            };
+            if hit && cooldown_ok(state, trigger.cooldown, at) {
+                state.last_fired = Some(at);
+                self.fired += 1;
+                out.push(TriggerEvent {
+                    trigger: trigger.id,
+                    installed_by: trigger.installed_by.clone(),
+                    at,
+                    observed: value,
+                });
+            }
+        }
+        out
+    }
+
+    /// Evaluates a flow record, returning any firings.
+    pub fn on_flow(&mut self, rec: &FlowRecord, at: Timestamp) -> Vec<TriggerEvent> {
+        let mut out = Vec::new();
+        let rec_key = FlowKey::from_record(rec);
+        for (trigger, state) in &mut self.triggers {
+            if let TriggerCondition::FlowScoreAbove {
+                key,
+                threshold,
+                window_len,
+            } = &trigger.condition
+            {
+                if !key.contains(&rec_key) {
+                    continue;
+                }
+                state.window.push((at, rec.packets));
+                // Slide the window.
+                state
+                    .window
+                    .retain(|(ts, _)| *ts + *window_len > at);
+                let score: u64 = state.window.iter().map(|(_, s)| s).sum();
+                if score > threshold.value() && cooldown_ok(state, trigger.cooldown, at) {
+                    state.last_fired = Some(at);
+                    self.fired += 1;
+                    out.push(TriggerEvent {
+                        trigger: trigger.id,
+                        installed_by: trigger.installed_by.clone(),
+                        at,
+                        observed: score as f64,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn cooldown_ok(state: &TriggerState, cooldown: TimeDelta, at: Timestamp) -> bool {
+    match state.last_fired {
+        None => true,
+        Some(last) => at.saturating_since(last) >= cooldown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(name: &str) -> StreamId {
+        StreamId::new(name)
+    }
+
+    #[test]
+    fn scalar_above_fires_once_per_cooldown() {
+        let mut eng = TriggerEngine::new();
+        let id = eng.install(
+            "maintenance-app",
+            TriggerCondition::ScalarAbove {
+                stream: stream("m0/temperature"),
+                threshold: 80.0,
+            },
+            TimeDelta::from_secs(10),
+        );
+        // Below threshold → nothing.
+        assert!(eng
+            .on_scalar(&stream("m0/temperature"), 75.0, Timestamp::ZERO)
+            .is_empty());
+        // Above → fires.
+        let events = eng.on_scalar(&stream("m0/temperature"), 85.0, Timestamp::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trigger, id);
+        assert_eq!(events[0].observed, 85.0);
+        // Within cooldown → suppressed.
+        assert!(eng
+            .on_scalar(&stream("m0/temperature"), 90.0, Timestamp::from_secs(5))
+            .is_empty());
+        // After cooldown → fires again.
+        assert_eq!(
+            eng.on_scalar(&stream("m0/temperature"), 90.0, Timestamp::from_secs(12))
+                .len(),
+            1
+        );
+        assert_eq!(eng.fired(), 2);
+    }
+
+    #[test]
+    fn scalar_triggers_are_stream_scoped() {
+        let mut eng = TriggerEngine::new();
+        eng.install(
+            "app",
+            TriggerCondition::ScalarAbove {
+                stream: stream("m0/temperature"),
+                threshold: 80.0,
+            },
+            TimeDelta::ZERO,
+        );
+        assert!(eng
+            .on_scalar(&stream("m1/temperature"), 99.0, Timestamp::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn scalar_below() {
+        let mut eng = TriggerEngine::new();
+        eng.install(
+            "app",
+            TriggerCondition::ScalarBelow {
+                stream: stream("m0/current"),
+                threshold: 5.0,
+            },
+            TimeDelta::ZERO,
+        );
+        assert_eq!(
+            eng.on_scalar(&stream("m0/current"), 2.0, Timestamp::ZERO).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flow_score_trigger_slides_window() {
+        let mut eng = TriggerEngine::new();
+        let victim = FlowKey::root().with_dst_prefix("9.9.9.9/32".parse().unwrap());
+        eng.install(
+            "ddos-app",
+            TriggerCondition::FlowScoreAbove {
+                key: victim,
+                threshold: Popularity::new(100),
+                window_len: TimeDelta::from_secs(10),
+            },
+            TimeDelta::from_secs(30),
+        );
+        let attack = |ts: u64| {
+            FlowRecord::builder()
+                .ts(Timestamp::from_secs(ts))
+                .proto(17)
+                .src("1.2.3.4".parse().unwrap(), 5000)
+                .dst("9.9.9.9".parse().unwrap(), 53)
+                .packets(30)
+                .build()
+        };
+        // 3 records × 30 packets = 90 ≤ 100 → no firing yet.
+        for ts in 0..3 {
+            assert!(eng.on_flow(&attack(ts), Timestamp::from_secs(ts)).is_empty());
+        }
+        // Fourth crosses 100.
+        let events = eng.on_flow(&attack(3), Timestamp::from_secs(3));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].observed, 120.0);
+        // Unrelated traffic never matches.
+        let other = FlowRecord::builder()
+            .proto(6)
+            .src("1.2.3.4".parse().unwrap(), 5000)
+            .dst("8.8.8.8".parse().unwrap(), 443)
+            .packets(1000)
+            .build();
+        assert!(eng.on_flow(&other, Timestamp::from_secs(4)).is_empty());
+    }
+
+    #[test]
+    fn flow_window_expires_old_traffic() {
+        let mut eng = TriggerEngine::new();
+        let victim = FlowKey::root().with_dst_prefix("9.9.9.9/32".parse().unwrap());
+        eng.install(
+            "ddos-app",
+            TriggerCondition::FlowScoreAbove {
+                key: victim,
+                threshold: Popularity::new(50),
+                window_len: TimeDelta::from_secs(5),
+            },
+            TimeDelta::ZERO,
+        );
+        let attack = |_ts: u64, pkts: u64| {
+            FlowRecord::builder()
+                .proto(17)
+                .src("1.2.3.4".parse().unwrap(), 5000)
+                .dst("9.9.9.9".parse().unwrap(), 53)
+                .packets(pkts)
+                .build()
+        };
+        // 40 packets at t=0, 40 more at t=10: window slid, never exceeds 50.
+        assert!(eng.on_flow(&attack(0, 40), Timestamp::ZERO).is_empty());
+        assert!(eng
+            .on_flow(&attack(10, 40), Timestamp::from_secs(10))
+            .is_empty());
+    }
+
+    #[test]
+    fn install_remove() {
+        let mut eng = TriggerEngine::new();
+        let id = eng.install(
+            "app",
+            TriggerCondition::ScalarAbove {
+                stream: stream("s"),
+                threshold: 1.0,
+            },
+            TimeDelta::ZERO,
+        );
+        assert_eq!(eng.len(), 1);
+        assert!(eng.remove(id));
+        assert!(!eng.remove(id));
+        assert!(eng.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Raw flow records — the input unit of network-monitoring aggregators.
+//!
+//! A [`FlowRecord`] models one exported flow measurement (e.g. a NetFlow/IPFIX
+//! record): the 5-tuple plus packet and byte counts and the observation time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Ipv4Addr;
+use crate::time::Timestamp;
+
+/// One raw flow observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Observation timestamp (start of the flow's accounting interval).
+    pub ts: Timestamp,
+    /// IP protocol number (6 = TCP, 17 = UDP, ...).
+    pub proto: u8,
+    /// Source address.
+    pub src_ip: Ipv4Addr,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Packets accounted to this record.
+    pub packets: u64,
+    /// Bytes accounted to this record.
+    pub bytes: u64,
+}
+
+impl FlowRecord {
+    /// Starts building a record; unset fields default to zero.
+    pub fn builder() -> FlowRecordBuilder {
+        FlowRecordBuilder::default()
+    }
+
+    /// Average packet size in bytes, or 0 for an empty record.
+    pub fn mean_packet_size(&self) -> u64 {
+        if self.packets == 0 {
+            0
+        } else {
+            self.bytes / self.packets
+        }
+    }
+}
+
+/// Builder for [`FlowRecord`].
+///
+/// ```
+/// use megastream_flow::record::FlowRecord;
+/// use megastream_flow::time::Timestamp;
+///
+/// let rec = FlowRecord::builder()
+///     .ts(Timestamp::from_secs(10))
+///     .proto(6)
+///     .src("10.0.0.1".parse()?, 443)
+///     .dst("10.0.0.2".parse()?, 51000)
+///     .packets(3)
+///     .bytes(1800)
+///     .build();
+/// assert_eq!(rec.mean_packet_size(), 600);
+/// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowRecordBuilder {
+    ts: Timestamp,
+    proto: u8,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    packets: u64,
+    bytes: u64,
+}
+
+impl FlowRecordBuilder {
+    /// Sets the observation timestamp.
+    pub fn ts(mut self, ts: Timestamp) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Sets the IP protocol number.
+    pub fn proto(mut self, proto: u8) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Sets source address and port.
+    pub fn src(mut self, ip: Ipv4Addr, port: u16) -> Self {
+        self.src_ip = ip;
+        self.src_port = port;
+        self
+    }
+
+    /// Sets destination address and port.
+    pub fn dst(mut self, ip: Ipv4Addr, port: u16) -> Self {
+        self.dst_ip = ip;
+        self.dst_port = port;
+        self
+    }
+
+    /// Sets the packet count.
+    pub fn packets(mut self, packets: u64) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Sets the byte count.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Finishes the record.
+    pub fn build(self) -> FlowRecord {
+        FlowRecord {
+            ts: self.ts,
+            proto: self.proto,
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            packets: self.packets,
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let rec = FlowRecord::builder()
+            .ts(Timestamp::from_secs(3))
+            .proto(17)
+            .src("1.2.3.4".parse().unwrap(), 1000)
+            .dst("5.6.7.8".parse().unwrap(), 53)
+            .packets(2)
+            .bytes(256)
+            .build();
+        assert_eq!(rec.ts, Timestamp::from_secs(3));
+        assert_eq!(rec.proto, 17);
+        assert_eq!(rec.src_port, 1000);
+        assert_eq!(rec.dst_port, 53);
+        assert_eq!(rec.mean_packet_size(), 128);
+    }
+
+    #[test]
+    fn mean_packet_size_handles_zero_packets() {
+        let rec = FlowRecord::builder().bytes(100).build();
+        assert_eq!(rec.mean_packet_size(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rec = FlowRecord::builder()
+            .proto(6)
+            .src("9.9.9.9".parse().unwrap(), 80)
+            .dst("8.8.4.4".parse().unwrap(), 4242)
+            .packets(10)
+            .bytes(1000)
+            .build();
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: FlowRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+}

@@ -1,0 +1,209 @@
+//! Popularity scores.
+//!
+//! Flowtree nodes are annotated with a *popularity score*, "which can be
+//! either its packet count, flow count, byte count, or combinations thereof"
+//! (§VI). [`ScoreKind`] selects the measure at aggregator-construction time;
+//! [`Popularity`] is the additive score value.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::FlowRecord;
+
+/// Which measure a popularity score counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ScoreKind {
+    /// Count packets.
+    #[default]
+    Packets,
+    /// Count bytes.
+    Bytes,
+    /// Count flow records.
+    Flows,
+    /// A weighted combination: `w_packets·packets + w_bytes·bytes + w_flows`.
+    Weighted {
+        /// Weight applied to the packet count.
+        w_packets: u64,
+        /// Weight applied to the byte count.
+        w_bytes: u64,
+        /// Weight added per flow record.
+        w_flows: u64,
+    },
+}
+
+impl ScoreKind {
+    /// Scores one flow record under this measure.
+    pub fn score(self, record: &FlowRecord) -> Popularity {
+        let v = match self {
+            ScoreKind::Packets => record.packets,
+            ScoreKind::Bytes => record.bytes,
+            ScoreKind::Flows => 1,
+            ScoreKind::Weighted {
+                w_packets,
+                w_bytes,
+                w_flows,
+            } => w_packets
+                .saturating_mul(record.packets)
+                .saturating_add(w_bytes.saturating_mul(record.bytes))
+                .saturating_add(w_flows),
+        };
+        Popularity(v)
+    }
+}
+
+impl fmt::Display for ScoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreKind::Packets => f.write_str("packets"),
+            ScoreKind::Bytes => f.write_str("bytes"),
+            ScoreKind::Flows => f.write_str("flows"),
+            ScoreKind::Weighted { .. } => f.write_str("weighted"),
+        }
+    }
+}
+
+/// An additive popularity score.
+///
+/// Arithmetic saturates: merging many summaries must never wrap around.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Popularity(u64);
+
+impl Popularity {
+    /// The zero score.
+    pub const ZERO: Popularity = Popularity(0);
+
+    /// Creates a score from a raw count.
+    pub const fn new(value: u64) -> Self {
+        Popularity(value)
+    }
+
+    /// The raw count.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the score is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction (used by the Flowtree `Diff` operator, where
+    /// scores absent from one side clamp at zero).
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Popularity) -> Popularity {
+        Popularity(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the score by a rational factor, rounding to nearest.
+    ///
+    /// Used to compensate for packet sampling (e.g. scale 1:10K-sampled
+    /// counts back up) and to downscale during hierarchical re-aggregation.
+    #[must_use]
+    pub fn scaled(self, num: u64, den: u64) -> Popularity {
+        assert!(den != 0, "scale denominator must be non-zero");
+        let v = (self.0 as u128 * num as u128 + den as u128 / 2) / den as u128;
+        Popularity(v.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for Popularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Popularity {
+    fn from(v: u64) -> Self {
+        Popularity(v)
+    }
+}
+
+impl Add for Popularity {
+    type Output = Popularity;
+    fn add(self, rhs: Popularity) -> Popularity {
+        Popularity(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Popularity {
+    fn add_assign(&mut self, rhs: Popularity) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Popularity {
+    type Output = Popularity;
+    /// Saturating: never wraps below zero.
+    fn sub(self, rhs: Popularity) -> Popularity {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Popularity {
+    fn sub_assign(&mut self, rhs: Popularity) {
+        *self = self.saturating_sub(rhs);
+    }
+}
+
+impl Sum for Popularity {
+    fn sum<I: Iterator<Item = Popularity>>(iter: I) -> Popularity {
+        iter.fold(Popularity::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> FlowRecord {
+        FlowRecord::builder().packets(10).bytes(4000).build()
+    }
+
+    #[test]
+    fn score_kinds() {
+        assert_eq!(ScoreKind::Packets.score(&rec()).value(), 10);
+        assert_eq!(ScoreKind::Bytes.score(&rec()).value(), 4000);
+        assert_eq!(ScoreKind::Flows.score(&rec()).value(), 1);
+        let w = ScoreKind::Weighted {
+            w_packets: 2,
+            w_bytes: 1,
+            w_flows: 5,
+        };
+        assert_eq!(w.score(&rec()).value(), 2 * 10 + 4000 + 5);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let max = Popularity::new(u64::MAX);
+        assert_eq!(max + Popularity::new(1), max);
+        assert_eq!(Popularity::new(3) - Popularity::new(5), Popularity::ZERO);
+        let mut p = Popularity::new(1);
+        p -= Popularity::new(2);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn scaling_rounds_to_nearest() {
+        assert_eq!(Popularity::new(10).scaled(1, 3).value(), 3);
+        assert_eq!(Popularity::new(11).scaled(1, 3).value(), 4);
+        assert_eq!(Popularity::new(5).scaled(10_000, 1).value(), 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn scaling_rejects_zero_denominator() {
+        let _ = Popularity::new(1).scaled(1, 0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Popularity = (1..=4u64).map(Popularity::new).sum();
+        assert_eq!(total.value(), 10);
+    }
+}

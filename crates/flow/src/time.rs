@@ -1,0 +1,284 @@
+//! Simulation-friendly time types.
+//!
+//! All experiments in this workspace run on *simulated* time so that results
+//! are deterministic. [`Timestamp`] is a microsecond count since the start of
+//! a simulation; [`TimeDelta`] is a duration; [`TimeWindow`] is a half-open
+//! interval `[start, end)` used to tag data summaries with the period they
+//! cover.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The simulation origin.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference to an earlier timestamp.
+    pub fn saturating_since(self, earlier: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TimeDelta(u64);
+
+impl TimeDelta {
+    /// The zero duration.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a delta from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        TimeDelta(micros)
+    }
+
+    /// Creates a delta from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        TimeDelta(millis * 1_000)
+    }
+
+    /// Creates a delta from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        TimeDelta(secs * 1_000_000)
+    }
+
+    /// Creates a delta from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        TimeDelta(mins * 60_000_000)
+    }
+
+    /// Creates a delta from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        TimeDelta(hours * 3_600_000_000)
+    }
+
+    /// Microseconds in this delta.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this delta (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the delta by an integer factor.
+    pub const fn mul(self, factor: u64) -> TimeDelta {
+        TimeDelta(self.0 * factor)
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        debug_assert!(self.0 >= rhs.0, "timestamp subtraction underflow");
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+/// A half-open interval of simulated time `[start, end)`.
+///
+/// Data summaries carry a `TimeWindow` stating the period they cover;
+/// windows can be merged when summaries are combined across time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeWindow {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeWindow {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(end >= start, "time window end before start");
+        TimeWindow { start, end }
+    }
+
+    /// The window `[start, start + len)`.
+    pub fn starting_at(start: Timestamp, len: TimeDelta) -> Self {
+        TimeWindow {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Window length.
+    pub fn len(self) -> TimeDelta {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether the two windows share any instant.
+    pub fn overlaps(self, other: TimeWindow) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether the two windows are adjacent or overlapping (their union is a
+    /// single interval).
+    pub fn joinable(self, other: TimeWindow) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The smallest window covering both.
+    #[must_use]
+    pub fn hull(self, other: TimeWindow) -> TimeWindow {
+        TimeWindow {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3}s, {:.3}s)",
+            self.start.as_secs_f64(),
+            self.end.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(1);
+        let d = TimeDelta::from_millis(500);
+        assert_eq!((t + d).as_micros(), 1_500_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(TimeDelta::from_mins(2), TimeDelta::from_secs(120));
+        assert_eq!(TimeDelta::from_hours(1), TimeDelta::from_mins(60));
+        assert_eq!(d.mul(4), TimeDelta::from_secs(2));
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = Timestamp::from_secs(1);
+        let late = Timestamp::from_secs(5);
+        assert_eq!(late.saturating_since(early), TimeDelta::from_secs(4));
+        assert_eq!(early.saturating_since(late), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn window_contains_and_overlaps() {
+        let w = TimeWindow::starting_at(Timestamp::from_secs(1), TimeDelta::from_secs(2));
+        assert!(w.contains(Timestamp::from_secs(1)));
+        assert!(w.contains(Timestamp::from_micros(2_999_999)));
+        assert!(!w.contains(Timestamp::from_secs(3)));
+
+        let w2 = TimeWindow::starting_at(Timestamp::from_secs(3), TimeDelta::from_secs(1));
+        assert!(!w.overlaps(w2));
+        assert!(w.joinable(w2)); // adjacent
+        assert_eq!(w.hull(w2).len(), TimeDelta::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn window_rejects_reversed_bounds() {
+        let _ = TimeWindow::new(Timestamp::from_secs(2), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_secs(2).to_string(), "t+2.000000s");
+        assert_eq!(TimeDelta::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,154 @@
+//! The FlowDB summary store and index.
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::TimeWindow;
+use megastream_flowtree::Flowtree;
+
+use crate::ast::Query;
+use crate::exec::{execute, QueryError, QueryResult};
+
+/// One indexed flow summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbEntry {
+    /// Where the summary was produced (a data-store name).
+    pub location: String,
+    /// The time period it covers.
+    pub window: TimeWindow,
+    /// The summary itself.
+    pub tree: Flowtree,
+}
+
+/// FlowDB: "takes flow summaries as input, stores, and indexes them while
+/// using them to answer FlowQL queries" (§VI).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowDb {
+    entries: Vec<DbEntry>,
+}
+
+impl FlowDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        FlowDb::default()
+    }
+
+    /// Inserts one flow summary.
+    pub fn insert(&mut self, location: impl Into<String>, window: TimeWindow, tree: Flowtree) {
+        self.entries.push(DbEntry {
+            location: location.into(),
+            window,
+            tree,
+        });
+    }
+
+    /// Number of indexed summaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of all indexed summaries.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.tree.wire_size()).sum()
+    }
+
+    /// Distinct locations with stored summaries, sorted.
+    pub fn locations(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.entries.iter().map(|e| e.location.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All windows stored for `location`, sorted by start.
+    pub fn windows_of(&self, location: &str) -> Vec<TimeWindow> {
+        let mut out: Vec<TimeWindow> = self
+            .entries
+            .iter()
+            .filter(|e| e.location == location)
+            .map(|e| e.window)
+            .collect();
+        out.sort_by_key(|w| w.start);
+        out
+    }
+
+    /// Entries matching a query's time selection and location restrictions.
+    pub(crate) fn select<'a>(&'a self, query: &'a Query) -> impl Iterator<Item = &'a DbEntry> {
+        let locations = query.locations();
+        self.entries.iter().filter(move |e| {
+            query.time.matches(e.window)
+                && (locations.is_empty() || locations.contains(&e.location.as_str()))
+        })
+    }
+
+    /// Executes a parsed FlowQL query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] if no summary matches the selection or the
+    /// matching summaries have incompatible configurations.
+    pub fn execute(&self, query: &Query) -> Result<QueryResult, QueryError> {
+        execute(self, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_flow::record::FlowRecord;
+    use megastream_flow::time::{TimeDelta, Timestamp};
+    use megastream_flowtree::FlowtreeConfig;
+
+    fn tree(packets: u64) -> Flowtree {
+        let mut t = Flowtree::new(FlowtreeConfig::default());
+        t.observe(
+            &FlowRecord::builder()
+                .proto(6)
+                .src("10.0.0.1".parse().unwrap(), 80)
+                .dst("1.1.1.1".parse().unwrap(), 443)
+                .packets(packets)
+                .build(),
+        );
+        t
+    }
+
+    fn w(s: u64) -> TimeWindow {
+        TimeWindow::starting_at(Timestamp::from_secs(s), TimeDelta::from_secs(60))
+    }
+
+    #[test]
+    fn insert_and_index() {
+        let mut db = FlowDb::new();
+        db.insert("a", w(0), tree(1));
+        db.insert("b", w(0), tree(2));
+        db.insert("a", w(60), tree(3));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.locations(), vec!["a", "b"]);
+        assert_eq!(db.windows_of("a").len(), 2);
+        assert_eq!(db.windows_of("a")[1].start, Timestamp::from_secs(60));
+        assert!(db.total_bytes() > 0);
+    }
+
+    #[test]
+    fn select_filters_by_time_and_location() {
+        use crate::ast::{Restriction, SelectOp, TimeSelection};
+        let mut db = FlowDb::new();
+        db.insert("a", w(0), tree(1));
+        db.insert("b", w(0), tree(2));
+        db.insert("a", w(60), tree(3));
+        let q = Query {
+            op: SelectOp::Query,
+            time: TimeSelection::Windows(vec![w(0)]),
+            restrictions: vec![Restriction::Location("a".into())],
+            group_by_location: false,
+        };
+        let selected: Vec<_> = db.select(&q).collect();
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].location, "a");
+        assert_eq!(selected[0].window, w(0));
+    }
+}

@@ -1,0 +1,385 @@
+//! FlowQL query execution.
+//!
+//! Execution follows the §VI composition: select the summaries matching the
+//! `FROM`/`location` clauses, `Merge` them ("A12 = compress(A1 ∪ A2)"),
+//! then run the selected Flowtree operator restricted to the WHERE key.
+//! With `GROUP BY location`, the merge-and-operate step runs once per
+//! location instead of across all of them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::key::FlowKey;
+use megastream_flow::score::Popularity;
+use megastream_flowtree::Flowtree;
+
+use crate::ast::{Query, SelectOp};
+use crate::db::FlowDb;
+
+/// A query-execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// No stored summary matched the FROM/location selection.
+    NoMatchingSummaries,
+    /// Matching summaries have incompatible Flowtree configurations.
+    IncompatibleSummaries,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoMatchingSummaries => {
+                write!(f, "no stored summary matches the FROM/location selection")
+            }
+            QueryError::IncompatibleSummaries => {
+                write!(f, "matching summaries have incompatible configurations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// The flow the row describes (`None` for scalar results).
+    pub key: Option<FlowKey>,
+    /// The popularity score.
+    pub score: u64,
+    /// Extra annotation (e.g. the discounted HHH score).
+    pub note: Option<String>,
+    /// The location this row belongs to (`None` unless `GROUP BY location`).
+    pub location: Option<String>,
+}
+
+/// The result of a FlowQL query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The operator that produced the result.
+    pub op: String,
+    /// How many stored summaries were merged to answer it.
+    pub summaries_used: usize,
+    /// Result rows, most significant first (grouped queries order by
+    /// location first).
+    pub rows: Vec<ResultRow>,
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "-- {} over {} summaries, {} row(s)",
+            self.op,
+            self.summaries_used,
+            self.rows.len()
+        )?;
+        let mut current_location: Option<&str> = None;
+        for row in &self.rows {
+            if let Some(loc) = &row.location {
+                if current_location != Some(loc.as_str()) {
+                    writeln!(f, "[{loc}]")?;
+                    current_location = Some(loc);
+                }
+            }
+            match (&row.key, &row.note) {
+                (Some(k), Some(n)) => writeln!(f, "{:>12}  {k}  ({n})", row.score)?,
+                (Some(k), None) => writeln!(f, "{:>12}  {k}", row.score)?,
+                (None, Some(n)) => writeln!(f, "{:>12}  ({n})", row.score)?,
+                (None, None) => writeln!(f, "{:>12}", row.score)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one Table II operator on a merged tree.
+fn run_op(merged: &Flowtree, op: &SelectOp, where_key: &FlowKey) -> Vec<ResultRow> {
+    let row = |key: Option<FlowKey>, score: u64, note: Option<String>| ResultRow {
+        key,
+        score,
+        note,
+        location: None,
+    };
+    match op {
+        SelectOp::Query => vec![row(
+            Some(*where_key),
+            merged.query(where_key).value(),
+            None,
+        )],
+        SelectOp::Drilldown => merged
+            .drilldown(where_key)
+            .into_iter()
+            .map(|e| {
+                row(
+                    Some(e.key),
+                    e.score.value(),
+                    e.is_leaf.then(|| "leaf".to_owned()),
+                )
+            })
+            .collect(),
+        SelectOp::TopK(k) => merged
+            .top_k_where(*k, |key| where_key.contains(key))
+            .into_iter()
+            .map(|(key, score)| row(Some(key), score.value(), None))
+            .collect(),
+        SelectOp::Above(x) => merged
+            .above_x(Popularity::new(*x))
+            .into_iter()
+            .filter(|(key, _)| where_key.contains(key))
+            .map(|(key, score)| row(Some(key), score.value(), None))
+            .collect(),
+        SelectOp::Hhh(x) => merged
+            .hhh(Popularity::new(*x))
+            .into_iter()
+            .filter(|item| where_key.contains(&item.key))
+            .map(|item| {
+                row(
+                    Some(item.key),
+                    item.score.value(),
+                    Some(format!("discounted {}", item.discounted)),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Merges the trees of a group of entries.
+fn merge_group(trees: &[&Flowtree]) -> Result<Flowtree, QueryError> {
+    let (first, rest) = trees.split_first().ok_or(QueryError::NoMatchingSummaries)?;
+    let mut merged = (*first).clone();
+    for tree in rest {
+        if !merged.config().compatible_with(tree.config()) {
+            return Err(QueryError::IncompatibleSummaries);
+        }
+        merged.merge(tree);
+    }
+    Ok(merged)
+}
+
+/// Executes `query` against `db`. See [`FlowDb::execute`].
+pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryError> {
+    let where_key = query.where_key();
+    if query.group_by_location {
+        // One merge-and-operate pass per location, location-ordered.
+        let mut groups: BTreeMap<&str, Vec<&Flowtree>> = BTreeMap::new();
+        for entry in db.select(query) {
+            groups
+                .entry(entry.location.as_str())
+                .or_default()
+                .push(&entry.tree);
+        }
+        if groups.is_empty() {
+            return Err(QueryError::NoMatchingSummaries);
+        }
+        let mut rows = Vec::new();
+        let mut used = 0;
+        for (location, trees) in &groups {
+            used += trees.len();
+            let merged = merge_group(trees)?;
+            for mut row in run_op(&merged, &query.op, &where_key) {
+                row.location = Some((*location).to_owned());
+                rows.push(row);
+            }
+        }
+        return Ok(QueryResult {
+            op: format!("{} GROUP BY location", query.op),
+            summaries_used: used,
+            rows,
+        });
+    }
+    let trees: Vec<&Flowtree> = db.select(query).map(|e| &e.tree).collect();
+    let used = trees.len();
+    let merged = merge_group(&trees)?;
+    Ok(QueryResult {
+        op: query.op.to_string(),
+        summaries_used: used,
+        rows: run_op(&merged, &query.op, &where_key),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use megastream_flow::record::FlowRecord;
+    use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+    use megastream_flowtree::FlowtreeConfig;
+
+    fn rec(src: &str, dst: &str, dport: u16, packets: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .proto(6)
+            .src(src.parse().unwrap(), 50_000)
+            .dst(dst.parse().unwrap(), dport)
+            .packets(packets)
+            .build()
+    }
+
+    fn w(s: u64) -> TimeWindow {
+        TimeWindow::starting_at(Timestamp::from_secs(s), TimeDelta::from_secs(60))
+    }
+
+    /// Two sites, two epochs each.
+    fn db() -> FlowDb {
+        let mut db = FlowDb::new();
+        for (site, base) in [("region-0", "10.0"), ("region-1", "10.1")] {
+            for epoch in 0..2u64 {
+                let mut t = Flowtree::new(FlowtreeConfig::default());
+                for i in 0..5u32 {
+                    t.observe(&rec(
+                        &format!("{base}.0.{i}"),
+                        "1.1.1.1",
+                        443,
+                        10 * (epoch + 1),
+                    ));
+                }
+                // An elephant at region-1, epoch 1.
+                if site == "region-1" && epoch == 1 {
+                    t.observe(&rec("10.1.0.99", "2.2.2.2", 53, 1_000));
+                }
+                db.insert(site, w(epoch * 60), t);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn query_across_sites_and_time() {
+        let db = db();
+        // All traffic: 2 sites × (5×10 + 5×20) + 1000 elephant = 1300.
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.summaries_used, 4);
+        assert_eq!(r.rows[0].score, 1300);
+    }
+
+    #[test]
+    fn query_restricted_by_location_and_prefix() {
+        let db = db();
+        let q = parse(
+            "SELECT QUERY FROM ALL WHERE location = \"region-0\" AND src_ip = 10.0.0.0/16",
+        )
+        .unwrap();
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.summaries_used, 2);
+        assert_eq!(r.rows[0].score, 150);
+    }
+
+    #[test]
+    fn query_restricted_by_time() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM [0, 60)").unwrap();
+        let r = db.execute(&q).unwrap();
+        // Epoch 0 only: 2 sites × 50.
+        assert_eq!(r.rows[0].score, 100);
+    }
+
+    #[test]
+    fn topk_finds_elephant() {
+        let db = db();
+        let q = parse("SELECT TOPK 1 FROM ALL WHERE dst_port = 53").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].score, 1000);
+    }
+
+    #[test]
+    fn above_filters_by_where() {
+        let db = db();
+        let q = parse("SELECT ABOVE 500 FROM ALL WHERE src_ip = 10.1.0.0/16").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert!(!r.rows.is_empty());
+        assert!(r.rows.iter().all(|row| row.score > 500));
+    }
+
+    #[test]
+    fn hhh_reports_with_notes() {
+        let db = db();
+        let q = parse("SELECT HHH 900 FROM ALL").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert!(!r.rows.is_empty());
+        assert!(r.rows.iter().all(|row| row.note.is_some()));
+    }
+
+    #[test]
+    fn drilldown_descends() {
+        let db = db();
+        let q = parse("SELECT DRILLDOWN FROM ALL WHERE src_ip = 10.0.0.0/24").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn group_by_location_runs_per_site() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL GROUP BY location").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.summaries_used, 4);
+        assert_eq!(r.rows.len(), 2);
+        let by_loc: std::collections::BTreeMap<&str, u64> = r
+            .rows
+            .iter()
+            .map(|row| (row.location.as_deref().unwrap(), row.score))
+            .collect();
+        assert_eq!(by_loc["region-0"], 150);
+        assert_eq!(by_loc["region-1"], 1150);
+        // Display prints location headers.
+        let text = r.to_string();
+        assert!(text.contains("[region-0]"));
+        assert!(text.contains("GROUP BY location"));
+    }
+
+    #[test]
+    fn group_by_composes_with_where() {
+        let db = db();
+        let q = parse("SELECT TOPK 1 FROM [60, 120) WHERE dst_port = 443 GROUP BY location")
+            .unwrap();
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.rows.iter().all(|row| row.location.is_some()));
+        // Epoch 1 per-site top flows carry 20 packets each.
+        assert!(r.rows.iter().all(|row| row.score >= 20));
+    }
+
+    #[test]
+    fn group_by_parse_errors() {
+        assert!(parse("SELECT QUERY FROM ALL GROUP BY proto").is_err());
+        assert!(parse("SELECT QUERY FROM ALL GROUP location").is_err());
+    }
+
+    #[test]
+    fn no_matching_summaries_error() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM [900, 999)").unwrap();
+        assert_eq!(db.execute(&q), Err(QueryError::NoMatchingSummaries));
+        let q2 = parse("SELECT QUERY FROM ALL WHERE location = \"mars\"").unwrap();
+        assert_eq!(db.execute(&q2), Err(QueryError::NoMatchingSummaries));
+        let q3 = parse("SELECT QUERY FROM [900, 999) GROUP BY location").unwrap();
+        assert_eq!(db.execute(&q3), Err(QueryError::NoMatchingSummaries));
+    }
+
+    #[test]
+    fn incompatible_summaries_error() {
+        use megastream_flow::score::ScoreKind;
+        let mut db = FlowDb::new();
+        db.insert("a", w(0), Flowtree::new(FlowtreeConfig::default()));
+        db.insert(
+            "a",
+            w(60),
+            Flowtree::new(FlowtreeConfig::default().with_score_kind(ScoreKind::Bytes)),
+        );
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        assert_eq!(db.execute(&q), Err(QueryError::IncompatibleSummaries));
+    }
+
+    #[test]
+    fn result_display_renders_rows() {
+        let db = db();
+        let q = parse("SELECT TOPK 3 FROM ALL").unwrap();
+        let text = db.execute(&q).unwrap().to_string();
+        assert!(text.contains("TOPK 3"));
+        assert!(text.lines().count() >= 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! The FlowQL lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A bare word: keyword or identifier (`SELECT`, `src_ip`, ...).
+    Word(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// An IPv4 address or prefix literal (`10.0.0.0/8`, `1.2.3.4`).
+    Address(String),
+    /// A double-quoted string literal (quotes stripped).
+    Str(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Address(a) => write!(f, "{a}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Equals => write!(f, "="),
+        }
+    }
+}
+
+/// A lexing error: the offending character and its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The unexpected character.
+    pub ch: char,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at offset {}", self.ch, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a FlowQL string.
+///
+/// Numeric-looking tokens containing `.` or `/` are lexed as
+/// [`Token::Address`]; pure digit runs as [`Token::Number`].
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character that cannot start a token or an
+/// unterminated string literal.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Equals);
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { ch: '"', offset: i });
+                }
+                out.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_address = false;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_digit() {
+                        i += 1;
+                    } else if c == '.' || c == '/' {
+                        is_address = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if is_address {
+                    out.push(Token::Address(text.to_owned()));
+                } else {
+                    let n = text.parse().map_err(|_| LexError {
+                        ch: c,
+                        offset: start,
+                    })?;
+                    out.push(Token::Number(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Word(input[start..i].to_owned()));
+            }
+            other => return Err(LexError { ch: other, offset: i }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_full_query() {
+        let tokens = lex("SELECT TOPK 5 FROM [0, 60) WHERE src_ip = 10.0.0.0/8").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("TOPK".into()),
+                Token::Number(5),
+                Token::Word("FROM".into()),
+                Token::LBracket,
+                Token::Number(0),
+                Token::Comma,
+                Token::Number(60),
+                Token::RParen,
+                Token::Word("WHERE".into()),
+                Token::Word("src_ip".into()),
+                Token::Equals,
+                Token::Address("10.0.0.0/8".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_hyphenated_words() {
+        let tokens = lex("location = \"region-0\"").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Word("location".into()),
+                Token::Equals,
+                Token::Str("region-0".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn address_without_mask() {
+        let tokens = lex("dst_ip = 1.2.3.4").unwrap();
+        assert_eq!(tokens[2], Token::Address("1.2.3.4".into()));
+    }
+
+    #[test]
+    fn rejects_garbage_and_unterminated_string() {
+        assert!(lex("SELECT @").is_err());
+        let err = lex("\"unterminated").unwrap_err();
+        assert_eq!(err.ch, '"');
+        assert!(err.to_string().contains("offset 0"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(lex("").unwrap(), vec![]);
+        assert_eq!(lex("   \n\t ").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Flowtree configuration.
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::key::FeatureSet;
+use megastream_flow::mask::GeneralizationSchema;
+use megastream_flow::score::ScoreKind;
+
+/// Configuration of a [`Flowtree`](crate::Flowtree).
+///
+/// "Parameters at each data store include feature sets as well as time and
+/// location granularity" (§VI) — the feature set and generalization schema
+/// live here; time/location tagging is applied by the data store when it
+/// snapshots summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowtreeConfig {
+    /// The generalization schema inducing the flow hierarchy (property P5:
+    /// aggregation follows the subnet structure of the data domain).
+    pub schema: GeneralizationSchema,
+    /// Features the tree distinguishes; all others are wildcarded on ingest.
+    pub features: FeatureSet,
+    /// The popularity measure nodes accumulate.
+    pub score_kind: ScoreKind,
+    /// Maximum number of nodes before compression kicks in.
+    pub capacity: usize,
+    /// After exceeding `capacity`, compress down to
+    /// `capacity × compact_ratio` nodes (hysteresis so compression is
+    /// amortized rather than per-insert).
+    pub compact_ratio: f64,
+}
+
+impl FlowtreeConfig {
+    /// Sets the node capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "flowtree capacity must be at least 1");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the feature projection.
+    #[must_use]
+    pub fn with_features(mut self, features: FeatureSet) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Sets the popularity measure.
+    #[must_use]
+    pub fn with_score_kind(mut self, score_kind: ScoreKind) -> Self {
+        self.score_kind = score_kind;
+        self
+    }
+
+    /// Sets the generalization schema.
+    #[must_use]
+    pub fn with_schema(mut self, schema: GeneralizationSchema) -> Self {
+        self.schema = schema;
+        self
+    }
+
+    /// Sets the compression hysteresis ratio (clamped into `(0, 1]`).
+    #[must_use]
+    pub fn with_compact_ratio(mut self, ratio: f64) -> Self {
+        self.compact_ratio = if ratio.is_finite() {
+            ratio.clamp(0.1, 1.0)
+        } else {
+            0.75
+        };
+        self
+    }
+
+    /// The node count compression targets.
+    pub(crate) fn compact_target(&self) -> usize {
+        ((self.capacity as f64) * self.compact_ratio).floor().max(1.0) as usize
+    }
+
+    /// Whether two configurations produce combinable trees (same hierarchy,
+    /// same feature projection, same measure).
+    pub fn compatible_with(&self, other: &FlowtreeConfig) -> bool {
+        self.schema == other.schema
+            && self.features == other.features
+            && self.score_kind == other.score_kind
+    }
+}
+
+impl Default for FlowtreeConfig {
+    fn default() -> Self {
+        FlowtreeConfig {
+            schema: GeneralizationSchema::network_default(),
+            features: FeatureSet::FIVE_TUPLE,
+            score_kind: ScoreKind::Packets,
+            capacity: 4096,
+            compact_ratio: 0.75,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = FlowtreeConfig::default()
+            .with_capacity(100)
+            .with_score_kind(ScoreKind::Bytes)
+            .with_features(FeatureSet::SRC_DST_IP)
+            .with_compact_ratio(0.5);
+        assert_eq!(cfg.capacity, 100);
+        assert_eq!(cfg.score_kind, ScoreKind::Bytes);
+        assert_eq!(cfg.compact_target(), 50);
+    }
+
+    #[test]
+    fn compact_ratio_clamped() {
+        assert_eq!(
+            FlowtreeConfig::default().with_compact_ratio(5.0).compact_ratio,
+            1.0
+        );
+        assert_eq!(
+            FlowtreeConfig::default().with_compact_ratio(0.0).compact_ratio,
+            0.1
+        );
+        assert_eq!(
+            FlowtreeConfig::default()
+                .with_compact_ratio(f64::NAN)
+                .compact_ratio,
+            0.75
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = FlowtreeConfig::default().with_capacity(0);
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = FlowtreeConfig::default();
+        let b = FlowtreeConfig::default().with_capacity(17);
+        assert!(a.compatible_with(&b)); // capacity does not matter
+        let c = FlowtreeConfig::default().with_score_kind(ScoreKind::Bytes);
+        assert!(!a.compatible_with(&c));
+    }
+}

@@ -1,0 +1,426 @@
+//! Query operators: Query, Drilldown, Top-k, Above-x, HHH (Table II).
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::key::{Feature, FlowKey};
+use megastream_flow::score::Popularity;
+
+use crate::tree::Flowtree;
+
+/// One row of a [`Flowtree::drilldown`] result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrilldownEntry {
+    /// The child's generalized flow key.
+    pub key: FlowKey,
+    /// The child's popularity (subtree) score.
+    pub score: Popularity,
+    /// Whether the child is a leaf (no further drilldown possible).
+    pub is_leaf: bool,
+}
+
+/// One hierarchical heavy hitter reported by [`Flowtree::hhh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeHhhItem {
+    /// The (generalized) flow key.
+    pub key: FlowKey,
+    /// Total (subtree) score under this key.
+    pub score: Popularity,
+    /// Score after discounting descendants already reported.
+    pub discounted: Popularity,
+}
+
+/// Whether two keys can share traffic: on every feature, one side's mask
+/// must contain the other's. (Per feature, masked values are prefixes, so
+/// two fields are either disjoint or nested.)
+fn overlaps(a: &FlowKey, b: &FlowKey) -> bool {
+    Feature::ALL.into_iter().all(|f| {
+        let (fa, fb) = (a.field(f), b.field(f));
+        fa.contains(fb) || fb.contains(fa)
+    })
+}
+
+impl Flowtree {
+    /// **Query** (Table II): the popularity score of a single (possibly
+    /// generalized) flow.
+    ///
+    /// Returns the total score of all materialized nodes contained in
+    /// `key`. Because compression only ever folds a node's mass into an
+    /// *ancestor*, mass attributed below `key` can only have moved to nodes
+    /// that either are still inside `key` or strictly contain it — so the
+    /// estimate **never overestimates** the true score and is exact while
+    /// the relevant subtree has not been compressed away.
+    pub fn query(&self, key: &FlowKey) -> Popularity {
+        let mut total = Popularity::ZERO;
+        let mut stack = vec![self.root_id()];
+        while let Some(id) = stack.pop() {
+            let node_key = self.node_ref(id).0;
+            if key.contains(&node_key) {
+                total += self.subtree_score_of(id);
+            } else if overlaps(key, &node_key) {
+                for c in self.children_of(id) {
+                    stack.push(c);
+                }
+            }
+        }
+        total
+    }
+
+    /// **Drilldown** (Table II): the flows one level below `key` with their
+    /// popularity scores, highest first.
+    ///
+    /// If `key` is materialized, these are its children. Otherwise (`key`
+    /// was compressed away, or is a lattice point no observation chain
+    /// passes through, e.g. a bare `src=/24` query under a priority schema)
+    /// the *maximal materialized nodes strictly contained in `key`* are
+    /// returned, which is what a drilldown can still distinguish.
+    pub fn drilldown(&self, key: &FlowKey) -> Vec<DrilldownEntry> {
+        let ids = match self.id_of(key) {
+            Some(id) => self.children_of(id),
+            None => {
+                // DFS from the root collecting maximal contained nodes.
+                let mut found = Vec::new();
+                let mut stack = vec![self.root_id()];
+                while let Some(id) = stack.pop() {
+                    let node_key = self.node_ref(id).0;
+                    if key.contains(&node_key) && *key != node_key {
+                        found.push(id);
+                    } else if overlaps(key, &node_key) {
+                        stack.extend(self.children_of(id));
+                    }
+                }
+                found
+            }
+        };
+        let mut out: Vec<DrilldownEntry> = ids
+            .into_iter()
+            .map(|c| DrilldownEntry {
+                key: self.node_ref(c).0,
+                score: self.subtree_score_of(c),
+                is_leaf: self.node_ref_children_empty(c),
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
+        out
+    }
+
+    /// **Top-k** (Table II): the `k` flows with the highest popularity
+    /// score, excluding the root (whose score is trivially the total).
+    pub fn top_k(&self, k: usize) -> Vec<(FlowKey, Popularity)> {
+        self.top_k_where(k, |_| true)
+    }
+
+    /// Top-k restricted to keys matching `pred` — e.g. only exact 5-tuples,
+    /// or only /24 source prefixes.
+    pub fn top_k_where(
+        &self,
+        k: usize,
+        pred: impl Fn(&FlowKey) -> bool,
+    ) -> Vec<(FlowKey, Popularity)> {
+        let scores = self.subtree_scores();
+        let mut entries: Vec<(FlowKey, Popularity)> = self
+            .live_ids()
+            .filter(|&id| id != self.root_id())
+            .map(|id| (self.node_ref(id).0, scores[id]))
+            .filter(|(key, _)| pred(key))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// **Above-x** (Table II): all flows with a popularity score above `x`,
+    /// highest first (root excluded).
+    pub fn above_x(&self, x: Popularity) -> Vec<(FlowKey, Popularity)> {
+        let scores = self.subtree_scores();
+        let mut entries: Vec<(FlowKey, Popularity)> = self
+            .live_ids()
+            .filter(|&id| id != self.root_id())
+            .map(|id| (self.node_ref(id).0, scores[id]))
+            .filter(|(_, s)| *s > x)
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries
+    }
+
+    /// **HHH** (Table II): "all flows across the Flowtree that have a
+    /// substantial popularity score" — discounted hierarchical heavy
+    /// hitters. A node is reported iff its subtree score, after subtracting
+    /// the discounted scores of already-reported descendants, is at least
+    /// `threshold`. Results are deepest-first.
+    pub fn hhh(&self, threshold: Popularity) -> Vec<TreeHhhItem> {
+        if threshold.is_zero() {
+            return Vec::new();
+        }
+        let scores = self.subtree_scores();
+        let mut ids: Vec<usize> = self.live_ids().collect();
+        ids.sort_by(|&a, &b| {
+            let (ka, kb) = (self.node_ref(a).0, self.node_ref(b).0);
+            let schema = &self.config().schema;
+            schema
+                .depth(&kb)
+                .cmp(&schema.depth(&ka))
+                .then_with(|| ka.cmp(&kb))
+        });
+        let mut reported: Vec<TreeHhhItem> = Vec::new();
+        for id in ids {
+            let key = self.node_ref(id).0;
+            let total = scores[id];
+            let discounted = reported
+                .iter()
+                .filter(|item| key.contains(&item.key) && key != item.key)
+                .map(|item| item.discounted)
+                .fold(total, |acc, d| acc - d);
+            if discounted >= threshold {
+                reported.push(TreeHhhItem {
+                    key,
+                    score: total,
+                    discounted,
+                });
+            }
+        }
+        reported
+    }
+
+    pub(crate) fn children_of(&self, id: usize) -> Vec<usize> {
+        self.node(id).children.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FlowtreeConfig;
+    use megastream_flow::record::FlowRecord;
+
+    fn rec(src: &str, dst: &str, packets: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .proto(6)
+            .src(src.parse().unwrap(), 4242)
+            .dst(dst.parse().unwrap(), 80)
+            .packets(packets)
+            .build()
+    }
+
+    fn populated(cap: usize) -> Flowtree {
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(cap));
+        // 10.0.0.0/24: 10 hosts × 10 packets; 10.1.0.0/24: 1 host × 500.
+        for i in 0..10u32 {
+            t.observe(&rec(&format!("10.0.0.{i}"), "1.1.1.1", 10));
+        }
+        t.observe(&rec("10.1.0.9", "1.1.1.1", 500));
+        t
+    }
+
+    #[test]
+    fn query_exact_and_prefix() {
+        let t = populated(4096);
+        let leaf = FlowKey::from_record(&rec("10.0.0.3", "1.1.1.1", 0));
+        assert_eq!(t.query(&leaf).value(), 10);
+        let p24 = FlowKey::root().with_src_prefix("10.0.0.0/24".parse().unwrap());
+        assert_eq!(t.query(&p24).value(), 100);
+        let p8 = FlowKey::root().with_src_prefix("10.0.0.0/8".parse().unwrap());
+        assert_eq!(t.query(&p8).value(), 600);
+        assert_eq!(t.query(&FlowKey::root()).value(), 600);
+    }
+
+    #[test]
+    fn query_off_ladder_prefix() {
+        // /20 is not on the default ladder but containment still works.
+        let t = populated(4096);
+        let p20 = FlowKey::root().with_src_prefix("10.0.0.0/20".parse().unwrap());
+        assert_eq!(t.query(&p20).value(), 100);
+    }
+
+    #[test]
+    fn query_missing_returns_zero() {
+        let t = populated(4096);
+        let other = FlowKey::root().with_src_prefix("172.16.0.0/12".parse().unwrap());
+        assert_eq!(t.query(&other), Popularity::ZERO);
+    }
+
+    #[test]
+    fn query_never_overestimates_after_compression() {
+        let mut t = populated(4096);
+        let p24 = FlowKey::root().with_src_prefix("10.0.0.0/24".parse().unwrap());
+        let exact = t.query(&p24);
+        t.compress_to(8);
+        assert!(t.query(&p24) <= exact);
+        // Root query is always exact.
+        assert_eq!(t.query(&FlowKey::root()).value(), 600);
+    }
+
+    #[test]
+    fn drilldown_lists_children_sorted() {
+        let t = populated(4096);
+        // The materialized /24 node on the observation chain: ports and
+        // proto generalized first (priority schema), destination still exact.
+        let chain24 = t
+            .config()
+            .schema
+            .self_and_ancestors(&FlowKey::from_record(&rec("10.0.0.3", "1.1.1.1", 0)))
+            .find(|k| k.src_prefix().len() == 24)
+            .unwrap();
+        let rows = t.drilldown(&chain24);
+        assert_eq!(rows.len(), 10);
+        assert!(rows.windows(2).all(|w| w[0].score >= w[1].score));
+        // Children of a /24 on the default ladder are /32 hosts.
+        assert!(rows.iter().all(|r| r.key.src_prefix().len() == 32));
+        assert!(rows.iter().all(|r| r.score.value() == 10));
+    }
+
+    #[test]
+    fn drilldown_virtual_key_returns_maximal_contained() {
+        let t = populated(4096);
+        // `src=/24, everything else wildcard` is a lattice point no
+        // observation chain passes through → virtual drilldown.
+        let p24 = FlowKey::root().with_src_prefix("10.0.0.0/24".parse().unwrap());
+        let rows = t.drilldown(&p24);
+        assert_eq!(rows.len(), 1, "one maximal node covers all mice: {rows:?}");
+        assert_eq!(rows[0].score.value(), 100);
+    }
+
+    #[test]
+    fn drilldown_missing_key_is_empty() {
+        let t = populated(4096);
+        let nowhere = FlowKey::root().with_src_prefix("9.9.0.0/16".parse().unwrap());
+        assert!(t.drilldown(&nowhere).is_empty());
+    }
+
+    #[test]
+    fn top_k_finds_the_elephant() {
+        let t = populated(4096);
+        let top = t.top_k_where(3, |k| k.specificity() == 104);
+        assert_eq!(top[0].1.value(), 500);
+        assert_eq!(
+            top[0].0,
+            FlowKey::from_record(&rec("10.1.0.9", "1.1.1.1", 0))
+        );
+    }
+
+    #[test]
+    fn top_k_without_filter_ranks_generalizations() {
+        let t = populated(4096);
+        let top = t.top_k(1);
+        // The highest-scoring non-root node carries all 600.
+        assert_eq!(top[0].1.value(), 600);
+    }
+
+    #[test]
+    fn above_x_threshold() {
+        let t = populated(4096);
+        let hh = t.above_x(Popularity::new(99));
+        assert!(!hh.is_empty());
+        assert!(hh.iter().all(|(_, s)| s.value() > 99));
+        // The elephant leaf qualifies; mouse leaves do not.
+        assert!(hh
+            .iter()
+            .any(|(k, _)| *k == FlowKey::from_record(&rec("10.1.0.9", "1.1.1.1", 0))));
+        assert!(!hh
+            .iter()
+            .any(|(k, _)| *k == FlowKey::from_record(&rec("10.0.0.3", "1.1.1.1", 0))));
+    }
+
+    #[test]
+    fn hhh_discounts() {
+        let t = populated(4096);
+        let hhh = t.hhh(Popularity::new(100));
+        // The elephant's exact flow is reported.
+        let elephant = FlowKey::from_record(&rec("10.1.0.9", "1.1.1.1", 0));
+        assert!(hhh.iter().any(|h| h.key == elephant));
+        // The mice are only heavy together: a node covering all of them is
+        // reported with discounted score 100.
+        let mouse = FlowKey::from_record(&rec("10.0.0.3", "1.1.1.1", 0));
+        let covering = hhh
+            .iter()
+            .find(|h| h.key.contains(&mouse) && h.key != elephant)
+            .expect("no node covering the mice reported");
+        assert_eq!(covering.discounted.value(), 100);
+        // Zero threshold reports nothing.
+        assert!(t.hhh(Popularity::ZERO).is_empty());
+    }
+
+    #[test]
+    fn hhh_agrees_with_exact_on_uncompressed_tree() {
+        use megastream_flow::key::FeatureSet;
+        use megastream_flow::mask::GeneralizationSchema;
+        use megastream_flow::score::ScoreKind;
+        use megastream_primitives::exact::ExactFlowTable;
+
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(100_000));
+        let mut exact = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        for i in 0..40u32 {
+            let r = rec(
+                &format!("10.{}.{}.5", i % 4, i % 10),
+                &format!("1.1.1.{}", i % 3),
+                (i as u64 % 9) + 1,
+            );
+            t.observe(&r);
+            exact.observe(&r);
+        }
+        let threshold = Popularity::new(20);
+        let mine: std::collections::BTreeSet<FlowKey> =
+            t.hhh(threshold).into_iter().map(|h| h.key).collect();
+        let truth: std::collections::BTreeSet<FlowKey> = exact
+            .hhh(&GeneralizationSchema::default(), threshold)
+            .into_iter()
+            .map(|h| h.key)
+            .collect();
+        assert_eq!(mine, truth);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// The headline approximation guarantee: for ANY observation
+        /// sequence, ANY compression level, and ANY prefix query, the
+        /// Flowtree estimate never exceeds the true score — and the root
+        /// query is always exact.
+        #[test]
+        fn prop_query_never_overestimates(
+            flows in proptest::collection::vec((0u8..6, 0u8..6, 0u8..4, 1u64..50), 1..120),
+            target in 2usize..64,
+            q_octet in 0u8..6,
+            q_len in proptest::sample::select(vec![8u8, 16, 24, 32]),
+        ) {
+            use megastream_flow::key::FeatureSet;
+            use megastream_flow::score::ScoreKind;
+            use megastream_primitives::exact::ExactFlowTable;
+
+            let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(4096));
+            let mut exact = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+            let mut total = 0u64;
+            for (a, b, d, pkts) in flows {
+                let r = rec(&format!("10.{a}.{b}.1"), &format!("1.1.1.{d}"), pkts);
+                tree.observe(&r);
+                exact.observe(&r);
+                total += pkts;
+            }
+            tree.compress_to(target);
+            tree.check_invariants();
+            let q = FlowKey::root().with_src_prefix(
+                format!("10.{q_octet}.0.0/{q_len}").parse().unwrap(),
+            );
+            let est = tree.query(&q);
+            let truth = exact.query(&q);
+            proptest::prop_assert!(
+                est <= truth,
+                "overestimate: {est} > {truth} at {q} (target {target})"
+            );
+            // The root stays exact under any compression.
+            proptest::prop_assert_eq!(tree.query(&FlowKey::root()).value(), total);
+        }
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = FlowKey::root().with_src_prefix("10.0.0.0/8".parse().unwrap());
+        let b = FlowKey::root()
+            .with_src_prefix("10.1.0.0/16".parse().unwrap())
+            .with_dst_prefix("2.0.0.0/8".parse().unwrap());
+        // a contains b's src side and b's dst is more specific than a's
+        // wildcard → overlapping.
+        assert!(overlaps(&a, &b));
+        let c = FlowKey::root().with_src_prefix("11.0.0.0/8".parse().unwrap());
+        assert!(!overlaps(&a, &c));
+    }
+}

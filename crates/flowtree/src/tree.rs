@@ -1,0 +1,770 @@
+//! The Flowtree node store: a bounded arena of generalized-flow nodes.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::key::FlowKey;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::Popularity;
+
+use crate::builder::FlowtreeConfig;
+
+/// One materialized node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub(crate) key: FlowKey,
+    /// Score attributed directly to this node: traffic observed at exactly
+    /// this key plus mass folded up from compressed descendants.
+    pub(crate) own: Popularity,
+    pub(crate) parent: Option<usize>,
+    pub(crate) children: Vec<usize>,
+}
+
+/// A read-only view of one Flowtree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeView {
+    /// The node's generalized flow key.
+    pub key: FlowKey,
+    /// Score attributed directly to this node (including folded mass).
+    pub own_score: Popularity,
+    /// Total score of the node's subtree — the node's *popularity score* in
+    /// the paper's terms ("the sum of its own popularity score plus the
+    /// popularity scores of the children").
+    pub subtree_score: Popularity,
+    /// Whether the node currently has no children.
+    pub is_leaf: bool,
+}
+
+/// The Flowtree summary structure. See the [crate docs](crate) for an
+/// overview and the per-method docs for the Table II operators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "FlowtreeRepr", into = "FlowtreeRepr")]
+pub struct Flowtree {
+    config: FlowtreeConfig,
+    /// Capacity at construction time; the granularity dial scales
+    /// `config.capacity` relative to this base.
+    base_capacity: usize,
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    index: HashMap<FlowKey, usize>,
+    root: usize,
+    len: usize,
+    total: Popularity,
+    records: u64,
+}
+
+impl Flowtree {
+    /// Creates an empty Flowtree.
+    pub fn new(config: FlowtreeConfig) -> Self {
+        let root_node = Node {
+            key: FlowKey::root(),
+            own: Popularity::ZERO,
+            parent: None,
+            children: Vec::new(),
+        };
+        let mut index = HashMap::new();
+        index.insert(FlowKey::root(), 0);
+        Flowtree {
+            base_capacity: config.capacity,
+            config,
+            nodes: vec![Some(root_node)],
+            free: Vec::new(),
+            index,
+            root: 0,
+            len: 1,
+            total: Popularity::ZERO,
+            records: 0,
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &FlowtreeConfig {
+        &self.config
+    }
+
+    /// The capacity the tree was constructed with (the granularity dial in
+    /// [`ComputingPrimitive`](megastream_primitives::aggregator::ComputingPrimitive)
+    /// scales the live capacity relative to this base).
+    pub fn base_capacity(&self) -> usize {
+        self.base_capacity
+    }
+
+    /// Changes the node capacity, compressing immediately if the tree now
+    /// exceeds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity >= 1, "flowtree capacity must be at least 1");
+        self.config.capacity = capacity;
+        if self.len > capacity {
+            self.compress_to(self.config.compact_target());
+        }
+    }
+
+    /// Number of materialized nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no data (only the empty root).
+    pub fn is_empty(&self) -> bool {
+        self.len == 1 && self.total.is_zero()
+    }
+
+    /// Total score ingested. Invariant: equals the sum of all own scores,
+    /// regardless of how often the tree was compressed or merged.
+    pub fn total(&self) -> Popularity {
+        self.total
+    }
+
+    /// Number of flow records observed (across merges).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Approximate size of the tree on the wire, in bytes (used by the
+    /// transfer-optimization experiments to account export volume).
+    pub fn wire_size(&self) -> usize {
+        self.len * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<u64>())
+    }
+
+    /// Ingests one raw flow record ("uses existing network traces as input
+    /// and works on the fly").
+    pub fn observe(&mut self, record: &FlowRecord) {
+        let key = FlowKey::from_record_projected(record, self.config.features);
+        let score = self.config.score_kind.score(record);
+        self.records += 1;
+        self.add_mass(&key, score);
+    }
+
+    /// Adds `score` at `key` (normalized and projected first). Compresses if
+    /// the node budget is exceeded.
+    pub fn add_mass(&mut self, key: &FlowKey, score: Popularity) {
+        let key = self
+            .config
+            .schema
+            .normalize(&key.project(self.config.features));
+        let id = self.ensure_node(&key);
+        let node = self.node_mut(id);
+        node.own += score;
+        self.total += score;
+        self.maybe_compress();
+    }
+
+    /// Inserts `key` with `score` *without* materializing missing ancestors
+    /// (the node attaches under its deepest already-materialized ancestor).
+    /// Used to reconstruct a tree from its flat serialized form exactly.
+    pub(crate) fn insert_exact(&mut self, key: &FlowKey, score: Popularity) {
+        let key = self
+            .config
+            .schema
+            .normalize(&key.project(self.config.features));
+        let id = if let Some(&id) = self.index.get(&key) {
+            id
+        } else {
+            let anchor = self
+                .config
+                .schema
+                .ancestors(&key)
+                .find_map(|anc| self.index.get(&anc).copied())
+                .unwrap_or(self.root);
+            self.attach_new(key, anchor)
+        };
+        self.node_mut(id).own += score;
+        self.total += score;
+    }
+
+    pub(crate) fn maybe_compress(&mut self) {
+        if self.len > self.config.capacity {
+            self.compress_to(self.config.compact_target());
+        }
+    }
+
+    /// **Compress** (Table II): folds the least-popular leaves into their
+    /// parents until at most `target` nodes remain. Score mass is preserved
+    /// exactly; detail below the surviving nodes is lost.
+    pub fn compress_to(&mut self, target: usize) {
+        let target = target.max(1);
+        if self.len <= target {
+            return;
+        }
+        // Min-heap of (own score, id) over current leaves.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = self
+            .live_ids()
+            .filter(|&id| id != self.root && self.node(id).children.is_empty())
+            .map(|id| std::cmp::Reverse((self.node(id).own.value(), id)))
+            .collect();
+        while self.len > target {
+            let Some(std::cmp::Reverse((score, id))) = heap.pop() else {
+                break; // only the root remains
+            };
+            // Skip stale entries (node already evicted, or gained children,
+            // or its score snapshot is outdated).
+            match &self.nodes[id] {
+                Some(n) if n.children.is_empty() && n.own.value() == score => {}
+                _ => continue,
+            }
+            let parent = self.node(id).parent.expect("non-root leaf has a parent");
+            let own = self.node(id).own;
+            self.node_mut(parent).own += own;
+            self.detach_and_free(id);
+            if parent != self.root && self.node(parent).children.is_empty() {
+                heap.push(std::cmp::Reverse((self.node(parent).own.value(), parent)));
+            }
+        }
+    }
+
+    /// Read-only views of all nodes, in unspecified order, with subtree
+    /// scores computed.
+    pub fn nodes(&self) -> Vec<NodeView> {
+        let subtree = self.subtree_scores();
+        self.live_ids()
+            .map(|id| {
+                let n = self.node(id);
+                NodeView {
+                    key: n.key,
+                    own_score: n.own,
+                    subtree_score: subtree[id],
+                    is_leaf: n.children.is_empty(),
+                }
+            })
+            .collect()
+    }
+
+    /// The view of a single key's node, if materialized.
+    pub fn get(&self, key: &FlowKey) -> Option<NodeView> {
+        let norm = self
+            .config
+            .schema
+            .normalize(&key.project(self.config.features));
+        let id = *self.index.get(&norm)?;
+        let n = self.node(id);
+        Some(NodeView {
+            key: n.key,
+            own_score: n.own,
+            subtree_score: self.subtree_score_of(id),
+            is_leaf: n.children.is_empty(),
+        })
+    }
+
+    /// Resets the tree to empty, keeping the configuration (including the
+    /// original base capacity, so the granularity dial stays meaningful
+    /// across epoch rotations).
+    pub fn clear(&mut self) {
+        let base = self.base_capacity;
+        *self = Flowtree::new(self.config.clone());
+        self.base_capacity = base;
+    }
+
+    // ------------------------------------------------------------------
+    // internal plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn root_id(&self) -> usize {
+        self.root
+    }
+
+    pub(crate) fn node(&self, id: usize) -> &Node {
+        self.nodes[id].as_ref().expect("dangling node id")
+    }
+
+    pub(crate) fn node_mut(&mut self, id: usize) -> &mut Node {
+        self.nodes[id].as_mut().expect("dangling node id")
+    }
+
+    pub(crate) fn live_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, n)| n.as_ref().map(|_| id))
+    }
+
+    pub(crate) fn records_mut(&mut self) -> &mut u64 {
+        &mut self.records
+    }
+
+    /// `(key, own score)` of a live node.
+    pub(crate) fn node_ref(&self, id: usize) -> (FlowKey, Popularity) {
+        let n = self.node(id);
+        (n.key, n.own)
+    }
+
+    /// Whether the node currently has no children.
+    pub(crate) fn node_ref_children_empty(&self, id: usize) -> bool {
+        self.node(id).children.is_empty()
+    }
+
+    /// Arena id of `key`'s node (after normalization/projection), if any.
+    pub(crate) fn id_of(&self, key: &FlowKey) -> Option<usize> {
+        let norm = self
+            .config
+            .schema
+            .normalize(&key.project(self.config.features));
+        self.index.get(&norm).copied()
+    }
+
+    /// Returns the id of `key`'s node, materializing it (and any missing
+    /// ancestors) if needed. `key` must already be normalized and projected.
+    fn ensure_node(&mut self, key: &FlowKey) -> usize {
+        if let Some(&id) = self.index.get(key) {
+            return id;
+        }
+        // Walk up until we hit a materialized ancestor.
+        let mut missing = vec![*key];
+        let mut anchor = self.root;
+        for anc in self.config.schema.ancestors(key) {
+            if let Some(&id) = self.index.get(&anc) {
+                anchor = id;
+                break;
+            }
+            missing.push(anc);
+        }
+        // Materialize top-down so each new node hangs off the previous one.
+        let mut parent = anchor;
+        for k in missing.into_iter().rev() {
+            parent = self.attach_new(k, parent);
+        }
+        parent
+    }
+
+    /// Creates a node for `key` under `parent`, re-parenting any of
+    /// `parent`'s children that belong below the new node (keeps the
+    /// invariant that each node's parent is its deepest materialized proper
+    /// ancestor).
+    fn attach_new(&mut self, key: FlowKey, parent: usize) -> usize {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id] = Some(Node {
+                    key,
+                    own: Popularity::ZERO,
+                    parent: Some(parent),
+                    children: Vec::new(),
+                });
+                id
+            }
+            None => {
+                self.nodes.push(Some(Node {
+                    key,
+                    own: Popularity::ZERO,
+                    parent: Some(parent),
+                    children: Vec::new(),
+                }));
+                self.nodes.len() - 1
+            }
+        };
+        // Steal children of `parent` that are more specific than `key`.
+        let stolen: Vec<usize> = self
+            .node(parent)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| key.contains(&self.node(c).key))
+            .collect();
+        for c in &stolen {
+            self.node_mut(*c).parent = Some(id);
+        }
+        let parent_node = self.node_mut(parent);
+        parent_node.children.retain(|c| !stolen.contains(c));
+        parent_node.children.push(id);
+        self.node_mut(id).children = stolen;
+        self.index.insert(key, id);
+        self.len += 1;
+        id
+    }
+
+    /// Removes a (leaf or internal) node from its parent and frees the slot.
+    /// Children must have been handled by the caller.
+    pub(crate) fn detach_and_free(&mut self, id: usize) {
+        debug_assert!(id != self.root, "cannot remove the root");
+        debug_assert!(
+            self.node(id).children.is_empty(),
+            "cannot free a node with children"
+        );
+        let parent = self.node(id).parent.expect("non-root node has a parent");
+        self.node_mut(parent).children.retain(|&c| c != id);
+        let key = self.node(id).key;
+        match self.index.entry(key) {
+            Entry::Occupied(e) if *e.get() == id => {
+                e.remove();
+            }
+            _ => {}
+        }
+        self.nodes[id] = None;
+        self.free.push(id);
+        self.len -= 1;
+    }
+
+    /// Subtracts `amount` from a node's own score (saturating) and from the
+    /// tree total, returning how much was actually removed.
+    pub(crate) fn remove_own(&mut self, id: usize, amount: Popularity) -> Popularity {
+        let node = self.node_mut(id);
+        let removed = if amount > node.own { node.own } else { amount };
+        node.own -= removed;
+        self.total -= removed;
+        removed
+    }
+
+    /// Post-order subtree scores for all live slots (dense by arena id).
+    pub(crate) fn subtree_scores(&self) -> Vec<Popularity> {
+        let mut scores = vec![Popularity::ZERO; self.nodes.len()];
+        // Iterative post-order from the root.
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                let n = self.node(id);
+                let mut s = n.own;
+                for &c in &n.children {
+                    s += scores[c];
+                }
+                scores[id] = s;
+            } else {
+                stack.push((id, true));
+                for &c in &self.node(id).children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        scores
+    }
+
+    pub(crate) fn subtree_score_of(&self, id: usize) -> Popularity {
+        let mut total = Popularity::ZERO;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let n = self.node(cur);
+            total += n.own;
+            stack.extend(n.children.iter().copied());
+        }
+        total
+    }
+
+    /// Verifies every structural invariant; used by tests and property
+    /// checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        let mut seen = 0usize;
+        let mut own_sum = Popularity::ZERO;
+        for id in self.live_ids() {
+            seen += 1;
+            let n = self.node(id);
+            own_sum += n.own;
+            assert_eq!(
+                self.index.get(&n.key),
+                Some(&id),
+                "index out of sync for {}",
+                n.key
+            );
+            if id == self.root {
+                assert!(n.parent.is_none(), "root has a parent");
+                assert!(n.key.is_root(), "root key is not the wildcard key");
+            } else {
+                let p = n.parent.expect("non-root node without parent");
+                let pn = self.node(p);
+                assert!(
+                    pn.key.contains(&n.key) && pn.key != n.key,
+                    "parent {} does not strictly contain child {}",
+                    pn.key,
+                    n.key
+                );
+                assert!(
+                    pn.children.contains(&id),
+                    "parent {} missing child link to {}",
+                    pn.key,
+                    n.key
+                );
+            }
+            for &c in &n.children {
+                assert_eq!(
+                    self.node(c).parent,
+                    Some(id),
+                    "child {} has wrong parent",
+                    self.node(c).key
+                );
+            }
+            assert!(
+                self.config.schema.is_normalized(&n.key),
+                "node key {} is not on the schema ladder",
+                n.key
+            );
+        }
+        assert_eq!(seen, self.len, "len out of sync with live nodes");
+        assert_eq!(self.index.len(), self.len, "index size mismatch");
+        assert_eq!(
+            own_sum, self.total,
+            "score mass not conserved: sum {own_sum} != total {}",
+            self.total
+        );
+    }
+}
+
+impl PartialEq for Flowtree {
+    /// Two Flowtrees are equal when they summarize the same mass at the same
+    /// keys under the same configuration (arena layout is irrelevant).
+    fn eq(&self, other: &Self) -> bool {
+        if self.config != other.config
+            || self.len != other.len
+            || self.total != other.total
+            || self.records != other.records
+        {
+            return false;
+        }
+        self.live_ids().all(|id| {
+            let n = self.node(id);
+            other
+                .index
+                .get(&n.key)
+                .is_some_and(|&oid| other.node(oid).own == n.own)
+        })
+    }
+}
+
+/// Flat serialization format: `(key, own score)` pairs.
+#[derive(Serialize, Deserialize)]
+struct FlowtreeRepr {
+    config: FlowtreeConfig,
+    records: u64,
+    entries: Vec<(FlowKey, Popularity)>,
+}
+
+impl From<Flowtree> for FlowtreeRepr {
+    fn from(tree: Flowtree) -> Self {
+        let entries = tree
+            .live_ids()
+            .map(|id| {
+                let n = tree.node(id);
+                (n.key, n.own)
+            })
+            .collect();
+        FlowtreeRepr {
+            config: tree.config.clone(),
+            records: tree.records,
+            entries,
+        }
+    }
+}
+
+impl From<FlowtreeRepr> for Flowtree {
+    fn from(repr: FlowtreeRepr) -> Self {
+        let mut tree = Flowtree::new(repr.config);
+        for (key, own) in repr.entries {
+            tree.insert_exact(&key, own);
+        }
+        tree.records = repr.records;
+        tree.maybe_compress();
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_flow::key::FeatureSet;
+    use megastream_flow::score::ScoreKind;
+    use proptest::prelude::*;
+
+    fn rec(src: &str, dst: &str, packets: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .proto(6)
+            .src(src.parse().unwrap(), 4242)
+            .dst(dst.parse().unwrap(), 80)
+            .packets(packets)
+            .build()
+    }
+
+    fn small_tree() -> Flowtree {
+        Flowtree::new(FlowtreeConfig::default().with_capacity(1024))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = small_tree();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total(), Popularity::ZERO);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn observe_builds_chain() {
+        let mut t = small_tree();
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 7));
+        // Exact node + every generalization up to the root.
+        assert_eq!(t.len(), t.config().schema.max_depth() + 1);
+        assert_eq!(t.total().value(), 7);
+        t.check_invariants();
+        let exact = FlowKey::from_record(&rec("10.0.0.1", "1.1.1.1", 0));
+        let view = t.get(&exact).unwrap();
+        assert_eq!(view.own_score.value(), 7);
+        assert!(view.is_leaf);
+    }
+
+    #[test]
+    fn repeated_observations_accumulate() {
+        let mut t = small_tree();
+        for _ in 0..5 {
+            t.observe(&rec("10.0.0.1", "1.1.1.1", 2));
+        }
+        assert_eq!(t.total().value(), 10);
+        assert_eq!(t.records(), 5);
+        let exact = FlowKey::from_record(&rec("10.0.0.1", "1.1.1.1", 0));
+        assert_eq!(t.get(&exact).unwrap().own_score.value(), 10);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn compression_preserves_mass() {
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(64));
+        for i in 0..200u32 {
+            t.observe(&rec(
+                &format!("10.{}.{}.{}", i % 3, (i / 3) % 250, i % 250),
+                "1.1.1.1",
+                1 + (i as u64 % 7),
+            ));
+        }
+        assert!(t.len() <= 64);
+        let expect: u64 = (0..200u32).map(|i| 1 + (i as u64 % 7)).sum();
+        assert_eq!(t.total().value(), expect);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn compress_to_explicit_target() {
+        let mut t = small_tree();
+        for i in 0..100u32 {
+            t.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 1));
+        }
+        let before = t.total();
+        t.compress_to(10);
+        assert!(t.len() <= 10);
+        assert_eq!(t.total(), before);
+        t.check_invariants();
+        // Root query still exact after compression.
+        assert_eq!(t.subtree_score_of(t.root_id()), before);
+    }
+
+    #[test]
+    fn compression_keeps_heavy_leaves() {
+        let mut t = small_tree();
+        // One elephant and many mice.
+        t.observe(&rec("10.9.9.9", "1.1.1.1", 1_000_000));
+        for i in 0..100u32 {
+            t.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 1));
+        }
+        t.compress_to(15);
+        let elephant = FlowKey::from_record(&rec("10.9.9.9", "1.1.1.1", 0));
+        let view = t.get(&elephant).expect("elephant evicted");
+        assert!(view.own_score.value() >= 1_000_000);
+    }
+
+    #[test]
+    fn reparenting_keeps_deepest_ancestor_invariant() {
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(8));
+        // Fill, compress away intermediates, then insert a key between the
+        // root region and a surviving deep node.
+        for i in 0..50u32 {
+            t.observe(&rec(&format!("10.1.{}.7", i % 30), "1.1.1.1", 1));
+        }
+        t.observe(&rec("10.1.2.3", "1.1.1.1", 100));
+        t.check_invariants();
+        for i in 0..50u32 {
+            t.observe(&rec(&format!("10.1.2.{}", i), "1.1.1.1", 2));
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = small_tree();
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 7));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.records(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_summary() {
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(64));
+        for i in 0..100u32 {
+            t.observe(&rec(&format!("10.{}.0.1", i % 20), "1.1.1.1", i as u64));
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Flowtree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        back.check_invariants();
+    }
+
+    #[test]
+    fn feature_projection_collapses_keys() {
+        let mut t = Flowtree::new(
+            FlowtreeConfig::default()
+                .with_features(FeatureSet::SRC_DST_IP)
+                .with_score_kind(ScoreKind::Flows),
+        );
+        let mut r1 = rec("10.0.0.1", "1.1.1.1", 5);
+        r1.src_port = 1111;
+        let mut r2 = rec("10.0.0.1", "1.1.1.1", 5);
+        r2.src_port = 2222;
+        t.observe(&r1);
+        t.observe(&r2);
+        let key = FlowKey::from_record(&r1).project(FeatureSet::SRC_DST_IP);
+        assert_eq!(t.get(&key).unwrap().own_score.value(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn wire_size_tracks_len() {
+        let mut t = small_tree();
+        let empty = t.wire_size();
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 7));
+        assert!(t.wire_size() > empty);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mass conservation and structural invariants hold under arbitrary
+        /// observation sequences and capacities.
+        #[test]
+        fn prop_invariants_hold(
+            caps in 4usize..64,
+            flows in proptest::collection::vec((0u8..8, 0u8..8, 1u64..100), 1..200),
+        ) {
+            let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(caps));
+            let mut expected = 0u64;
+            for (a, b, pkts) in flows {
+                t.observe(&rec(
+                    &format!("10.{a}.{b}.1"),
+                    &format!("192.168.{b}.{a}"),
+                    pkts,
+                ));
+                expected += pkts;
+            }
+            t.check_invariants();
+            prop_assert!(t.len() <= caps.max(2));
+            prop_assert_eq!(t.total().value(), expected);
+            prop_assert_eq!(t.subtree_score_of(t.root_id()).value(), expected);
+        }
+
+        /// Serde round-trips preserve equality for arbitrary trees.
+        #[test]
+        fn prop_serde_roundtrip(
+            flows in proptest::collection::vec((0u8..6, 0u8..6, 1u64..50), 1..80),
+        ) {
+            let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(128));
+            for (a, b, pkts) in flows {
+                t.observe(&rec(&format!("10.{a}.{b}.1"), "1.1.1.1", pkts));
+            }
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Flowtree = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+}

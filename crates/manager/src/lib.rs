@@ -1,0 +1,35 @@
+//! The **Manager**: the architecture's control plane (paper §III-B,
+//! Fig. 3b).
+//!
+//! > "The Manager assigns and adapts resources according to the varying
+//! > application needs. For each application, it records the application
+//! > requirements in terms of the required data source and aggregation
+//! > format (e.g., sample or histogram) and the required precision … The
+//! > manager then uses this information to decide (a) what data should be
+//! > kept from which sensors, (b) what computing primitive should be
+//! > installed, (c) how the computing primitives should be configured and
+//! > (d) what analytics is deployed … In summary, the manager controls all
+//! > components of the architecture."
+//!
+//! * [`requirements`] — application requirement records,
+//! * [`placement`] — deriving aggregator installs/configurations from
+//!   requirements and applying them to data stores,
+//! * [`resources`] — storage/bandwidth budget tracking and adaptation,
+//! * [`replication_ctl`] — the adaptive-replication control loop of §VII
+//!   (record accesses → predict → start replication),
+//! * [`manager`] — the façade tying the pieces together.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod manager;
+pub mod placement;
+pub mod replication_ctl;
+pub mod requirements;
+pub mod resources;
+
+pub use manager::Manager;
+pub use placement::PlacementPlan;
+pub use replication_ctl::{ReplicationController, ReplicationOrder};
+pub use requirements::{AggregationFormat, AppRequirement, RequirementRegistry};
+pub use resources::ResourceTracker;

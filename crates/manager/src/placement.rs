@@ -1,0 +1,206 @@
+//! Deriving aggregator installations from requirements (manager decisions
+//! (b) "what computing primitive should be installed" and (c) "how the
+//! computing primitives should be configured").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_datastore::{AggregatorSpec, DataStore};
+use megastream_flow::key::FeatureSet;
+use megastream_flow::score::ScoreKind;
+use megastream_flow::time::TimeDelta;
+use megastream_flowtree::FlowtreeConfig;
+
+use crate::requirements::{AggregationFormat, RequirementRegistry};
+
+/// Reference capacities that a precision of 1.0 maps to.
+const FULL_FLOWTREE_NODES: usize = 1 << 16;
+const FULL_TOPFLOWS_KEYS: usize = 1 << 14;
+const FINEST_BIN_WIDTH_MICROS: u64 = 1_000_000; // 1 s bins at precision 1.0
+
+/// The aggregators one store should run: one spec per required format, at
+/// the *highest* precision any application asked for (a coarser consumer
+/// can always be served from a finer summary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Store name → aggregator specs to install.
+    pub installs: HashMap<String, Vec<AggregatorSpec>>,
+}
+
+impl PlacementPlan {
+    /// Derives the plan from the registry.
+    pub fn derive(registry: &RequirementRegistry) -> Self {
+        let mut installs: HashMap<String, Vec<AggregatorSpec>> = HashMap::new();
+        for store in registry.stores() {
+            // Highest precision per format wins.
+            let mut best: HashMap<AggregationFormat, f64> = HashMap::new();
+            for r in registry.for_store(store) {
+                let e = best.entry(r.format).or_insert(0.0);
+                *e = e.max(r.precision.clamp(f64::MIN_POSITIVE, 1.0));
+            }
+            let mut specs: Vec<(AggregationFormat, AggregatorSpec)> = best
+                .into_iter()
+                .map(|(format, precision)| (format, spec_for(format, precision)))
+                .collect();
+            // Deterministic order for reproducible installs.
+            specs.sort_by_key(|(format, _)| format_rank(*format));
+            installs.insert(
+                store.to_owned(),
+                specs.into_iter().map(|(_, s)| s).collect(),
+            );
+        }
+        PlacementPlan { installs }
+    }
+
+    /// Applies the plan to a store: removes all current aggregators and
+    /// installs the planned ones. Returns how many aggregators were
+    /// installed.
+    pub fn apply_to(&self, store: &mut DataStore) -> usize {
+        let Some(specs) = self.installs.get(store.name()) else {
+            return 0;
+        };
+        for id in store.aggregator_ids() {
+            store.remove_aggregator(id);
+        }
+        for spec in specs {
+            store.install_aggregator(spec.clone());
+        }
+        specs.len()
+    }
+
+    /// Total aggregators across all stores.
+    pub fn total_installs(&self) -> usize {
+        self.installs.values().map(Vec::len).sum()
+    }
+}
+
+fn format_rank(format: AggregationFormat) -> u8 {
+    match format {
+        AggregationFormat::Flowtree => 0,
+        AggregationFormat::TopFlows => 1,
+        AggregationFormat::Exact => 2,
+        AggregationFormat::Sample => 3,
+        AggregationFormat::Histogram => 4,
+    }
+}
+
+/// Maps a format/precision requirement onto a concrete aggregator spec.
+fn spec_for(format: AggregationFormat, precision: f64) -> AggregatorSpec {
+    match format {
+        AggregationFormat::Sample => AggregatorSpec::SampledSeries {
+            seed: 0xC0FFEE,
+            rate: precision,
+        },
+        AggregationFormat::Histogram => {
+            // precision 1.0 → 1 s bins; 0.5 → 2 s; 0.25 → 4 s, …
+            let width = (FINEST_BIN_WIDTH_MICROS as f64 / precision).round() as u64;
+            AggregatorSpec::TimeBins {
+                width: TimeDelta::from_micros(width.max(1)),
+                seed: 0xC0FFEE,
+            }
+        }
+        AggregationFormat::Flowtree => {
+            let capacity = ((FULL_FLOWTREE_NODES as f64) * precision).round().max(16.0) as usize;
+            AggregatorSpec::Flowtree(FlowtreeConfig::default().with_capacity(capacity))
+        }
+        AggregationFormat::TopFlows => {
+            let capacity = ((FULL_TOPFLOWS_KEYS as f64) * precision).round().max(8.0) as usize;
+            AggregatorSpec::TopFlows {
+                capacity,
+                features: FeatureSet::FIVE_TUPLE,
+                score_kind: ScoreKind::Packets,
+            }
+        }
+        AggregationFormat::Exact => AggregatorSpec::ExactFlows {
+            features: FeatureSet::FIVE_TUPLE,
+            score_kind: ScoreKind::Packets,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirements::AppRequirement;
+    use megastream_datastore::StorageStrategy;
+
+    fn req(app: &str, store: &str, format: AggregationFormat, precision: f64) -> AppRequirement {
+        AppRequirement {
+            app: app.into(),
+            store: store.into(),
+            streams: vec![],
+            format,
+            precision,
+            timeliness: TimeDelta::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn one_spec_per_format_highest_precision() {
+        let mut reg = RequirementRegistry::new();
+        reg.register(req("a", "s", AggregationFormat::Flowtree, 0.1));
+        reg.register(req("b", "s", AggregationFormat::Flowtree, 0.5));
+        reg.register(req("c", "s", AggregationFormat::Sample, 0.2));
+        let plan = PlacementPlan::derive(&reg);
+        let specs = &plan.installs["s"];
+        assert_eq!(specs.len(), 2);
+        match &specs[0] {
+            AggregatorSpec::Flowtree(cfg) => {
+                assert_eq!(cfg.capacity, (FULL_FLOWTREE_NODES as f64 * 0.5) as usize);
+            }
+            other => panic!("expected flowtree first, got {other:?}"),
+        }
+        match &specs[1] {
+            AggregatorSpec::SampledSeries { rate, .. } => assert_eq!(*rate, 0.2),
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_precision_sets_bin_width() {
+        let mut reg = RequirementRegistry::new();
+        reg.register(req("a", "s", AggregationFormat::Histogram, 0.25));
+        let plan = PlacementPlan::derive(&reg);
+        match &plan.installs["s"][0] {
+            AggregatorSpec::TimeBins { width, .. } => {
+                assert_eq!(*width, TimeDelta::from_secs(4));
+            }
+            other => panic!("expected time bins, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_to_replaces_existing_aggregators() {
+        let mut store = DataStore::new(
+            "s",
+            StorageStrategy::RoundRobin {
+                budget_bytes: 1 << 20,
+            },
+            TimeDelta::from_secs(60),
+        );
+        store.install_aggregator(AggregatorSpec::ExactFlows {
+            features: FeatureSet::FIVE_TUPLE,
+            score_kind: ScoreKind::Packets,
+        });
+        let mut reg = RequirementRegistry::new();
+        reg.register(req("a", "s", AggregationFormat::Flowtree, 1.0));
+        let plan = PlacementPlan::derive(&reg);
+        assert_eq!(plan.apply_to(&mut store), 1);
+        assert_eq!(store.aggregator_count(), 1);
+        assert_eq!(plan.total_installs(), 1);
+    }
+
+    #[test]
+    fn apply_to_unplanned_store_is_noop() {
+        let mut store = DataStore::new(
+            "unplanned",
+            StorageStrategy::RoundRobin {
+                budget_bytes: 1 << 20,
+            },
+            TimeDelta::from_secs(60),
+        );
+        let plan = PlacementPlan::derive(&RequirementRegistry::new());
+        assert_eq!(plan.apply_to(&mut store), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The adaptive-replication control loop (paper §VII, Fig. 6).
+//!
+//! The manager records partition accesses (①), predicts future accesses
+//! (②), and when the prediction exceeds the threshold initiates
+//! replication (③), which executes between the two data stores over the
+//! simulated network (④).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::Timestamp;
+use megastream_netsim::topology::{Network, NodeId, TransferError};
+use megastream_replication::policy::ReplicationPolicy;
+use megastream_replication::tracker::AccessTracker;
+
+/// A partition registered with the controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionInfo {
+    /// Node hosting the authoritative copy.
+    pub owner: NodeId,
+    /// Bytes a replication transfer moves.
+    pub size_bytes: u64,
+    /// Nodes holding replicas.
+    pub replicas: Vec<NodeId>,
+}
+
+/// A replication the controller decided to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationOrder {
+    /// Which partition.
+    pub partition: usize,
+    /// From the owner…
+    pub from: NodeId,
+    /// …to the accessing store.
+    pub to: NodeId,
+    /// Transfer volume.
+    pub bytes: u64,
+}
+
+/// The manager's replication controller.
+#[derive(Debug, Clone)]
+pub struct ReplicationController {
+    policy: ReplicationPolicy,
+    tracker: AccessTracker,
+    partitions: Vec<PartitionInfo>,
+    /// (accessor node, partition) pairs served locally.
+    local_hits: u64,
+    remote_hits: u64,
+    shipped_bytes: u64,
+    replication_bytes: u64,
+    orders: Vec<ReplicationOrder>,
+    /// Per-accessor tracking: a replica helps only the node that has it.
+    replica_index: HashMap<(usize, NodeId), bool>,
+}
+
+impl ReplicationController {
+    /// Creates a controller running `policy`.
+    pub fn new(policy: ReplicationPolicy) -> Self {
+        ReplicationController {
+            policy,
+            tracker: AccessTracker::new(0),
+            partitions: Vec::new(),
+            local_hits: 0,
+            remote_hits: 0,
+            shipped_bytes: 0,
+            replication_bytes: 0,
+            orders: Vec::new(),
+            replica_index: HashMap::new(),
+        }
+    }
+
+    /// Registers a partition; returns its id.
+    pub fn register_partition(&mut self, owner: NodeId, size_bytes: u64) -> usize {
+        self.partitions.push(PartitionInfo {
+            owner,
+            size_bytes,
+            replicas: Vec::new(),
+        });
+        self.tracker = {
+            let mut t = AccessTracker::new(self.partitions.len());
+            t.seed_history(self.tracker.history().iter().copied());
+            // Preserve nothing else: registration happens before replay.
+            t
+        };
+        self.partitions.len() - 1
+    }
+
+    /// Seeds the volume history used by the distribution-aware policy.
+    pub fn seed_history(&mut self, volumes: impl IntoIterator<Item = u64>) {
+        self.tracker.seed_history(volumes);
+    }
+
+    /// Records that `accessor` queried `partition`, shipping
+    /// `result_bytes` if remote. Executes the query transfer on `network`
+    /// and, if the policy says so, the replication transfer (Fig. 6 ③④).
+    ///
+    /// Returns the replication order if one was issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransferError`] if the network cannot route the
+    /// transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` was never registered.
+    pub fn on_access(
+        &mut self,
+        partition: usize,
+        accessor: NodeId,
+        result_bytes: u64,
+        network: &mut Network,
+        now: Timestamp,
+    ) -> Result<Option<ReplicationOrder>, TransferError> {
+        let info = self.partitions[partition].clone();
+        let has_replica = *self
+            .replica_index
+            .get(&(partition, accessor))
+            .unwrap_or(&false)
+            || info.owner == accessor;
+        if has_replica {
+            self.local_hits += 1;
+            return Ok(None);
+        }
+        self.remote_hits += 1;
+        self.shipped_bytes += result_bytes;
+        network.transfer(info.owner, accessor, result_bytes, now)?;
+        let state = self.tracker.record_access(partition, result_bytes, now);
+        if self.policy.should_replicate(
+            partition,
+            state,
+            info.size_bytes,
+            self.tracker.history(),
+        ) {
+            self.tracker.mark_replicated(partition);
+            network.transfer(info.owner, accessor, info.size_bytes, now)?;
+            self.replication_bytes += info.size_bytes;
+            self.replica_index.insert((partition, accessor), true);
+            self.partitions[partition].replicas.push(accessor);
+            let order = ReplicationOrder {
+                partition,
+                from: info.owner,
+                to: accessor,
+                bytes: info.size_bytes,
+            };
+            self.orders.push(order);
+            return Ok(Some(order));
+        }
+        Ok(None)
+    }
+
+    /// Replication orders issued so far.
+    pub fn orders(&self) -> &[ReplicationOrder] {
+        &self.orders
+    }
+
+    /// Accesses answered from a local replica.
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits
+    }
+
+    /// Accesses that shipped results remotely.
+    pub fn remote_hits(&self) -> u64 {
+        self.remote_hits
+    }
+
+    /// Bytes shipped for remote query results.
+    pub fn shipped_bytes(&self) -> u64 {
+        self.shipped_bytes
+    }
+
+    /// Bytes spent on replication transfers.
+    pub fn replication_bytes(&self) -> u64 {
+        self.replication_bytes
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ReplicationPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_netsim::topology::{LinkSpec, NodeKind};
+
+    fn setup() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let owner = net.add_node("owner", NodeKind::DataStore);
+        let remote = net.add_node("remote", NodeKind::DataStore);
+        net.connect(owner, remote, LinkSpec::wan_100m());
+        (net, owner, remote)
+    }
+
+    #[test]
+    fn break_even_loop_replicates_after_threshold() {
+        let (mut net, owner, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::BreakEven { factor: 1.0 });
+        let p = ctl.register_partition(owner, 1_000);
+        let mut order_at = None;
+        for i in 0..10u64 {
+            let order = ctl
+                .on_access(p, remote, 300, &mut net, Timestamp::from_secs(i))
+                .unwrap();
+            if order.is_some() && order_at.is_none() {
+                order_at = Some(i);
+            }
+        }
+        // 300+300+300 = 900 < 1000; fourth access crosses 1200 ≥ 1000.
+        assert_eq!(order_at, Some(3));
+        assert_eq!(ctl.remote_hits(), 4);
+        assert_eq!(ctl.local_hits(), 6);
+        assert_eq!(ctl.shipped_bytes(), 1_200);
+        assert_eq!(ctl.replication_bytes(), 1_000);
+        assert_eq!(ctl.orders().len(), 1);
+        // Network accounted both query results and the replica transfer.
+        assert_eq!(net.total_bytes(), 1_200 + 1_000);
+    }
+
+    #[test]
+    fn owner_access_is_always_local() {
+        let (mut net, owner, _) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let p = ctl.register_partition(owner, 1_000);
+        let order = ctl
+            .on_access(p, owner, 500, &mut net, Timestamp::ZERO)
+            .unwrap();
+        assert!(order.is_none());
+        assert_eq!(ctl.local_hits(), 1);
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn never_policy_keeps_shipping() {
+        let (mut net, owner, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Never);
+        let p = ctl.register_partition(owner, 10);
+        for i in 0..5u64 {
+            assert!(ctl
+                .on_access(p, remote, 100, &mut net, Timestamp::from_secs(i))
+                .unwrap()
+                .is_none());
+        }
+        assert_eq!(ctl.shipped_bytes(), 500);
+        assert_eq!(ctl.replication_bytes(), 0);
+    }
+
+    #[test]
+    fn replication_failure_propagates() {
+        let mut net = Network::new();
+        let owner = net.add_node("owner", NodeKind::DataStore);
+        let island = net.add_node("island", NodeKind::DataStore);
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let p = ctl.register_partition(owner, 10);
+        let err = ctl.on_access(p, island, 100, &mut net, Timestamp::ZERO);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Application requirements: what each application needs from the data
+//! plane ("the required data source and aggregation format (e.g., sample
+//! or histogram) and the required precision (e.g., sample rate or bin
+//! size)").
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::TimeDelta;
+
+/// The aggregation format an application consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregationFormat {
+    /// A sampled time series (the paper's "sample").
+    Sample,
+    /// Time-bin statistics (the paper's "histogram").
+    Histogram,
+    /// A Flowtree summary.
+    Flowtree,
+    /// Space-Saving top flows.
+    TopFlows,
+    /// An exact flow table.
+    Exact,
+}
+
+/// One application's requirement record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequirement {
+    /// The requiring application.
+    pub app: String,
+    /// The data store the data must be available at.
+    pub store: String,
+    /// Stream(s) of interest; empty = every stream at the store.
+    pub streams: Vec<String>,
+    /// Aggregation format.
+    pub format: AggregationFormat,
+    /// Required precision in `(0, 1]` (sample rate / inverse bin-size
+    /// scale / relative node budget).
+    pub precision: f64,
+    /// How quickly results must be available (drives epoch lengths).
+    pub timeliness: TimeDelta,
+}
+
+/// The manager's registry of requirements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RequirementRegistry {
+    requirements: Vec<AppRequirement>,
+}
+
+impl RequirementRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        RequirementRegistry::default()
+    }
+
+    /// Registers a requirement, replacing any previous record of the same
+    /// `(app, store, format)` triple.
+    pub fn register(&mut self, req: AppRequirement) {
+        self.requirements.retain(|r| {
+            !(r.app == req.app && r.store == req.store && r.format == req.format)
+        });
+        self.requirements.push(req);
+    }
+
+    /// Drops all requirements of `app` (the application disconnected).
+    pub fn unregister_app(&mut self, app: &str) -> usize {
+        let before = self.requirements.len();
+        self.requirements.retain(|r| r.app != app);
+        before - self.requirements.len()
+    }
+
+    /// All requirements targeting `store`.
+    pub fn for_store<'a>(&'a self, store: &'a str) -> impl Iterator<Item = &'a AppRequirement> {
+        self.requirements.iter().filter(move |r| r.store == store)
+    }
+
+    /// All registered requirements.
+    pub fn iter(&self) -> impl Iterator<Item = &AppRequirement> {
+        self.requirements.iter()
+    }
+
+    /// Number of registered requirements.
+    pub fn len(&self) -> usize {
+        self.requirements.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requirements.is_empty()
+    }
+
+    /// Distinct stores named by any requirement, sorted.
+    pub fn stores(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.requirements.iter().map(|r| r.store.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The tightest timeliness requirement at `store`, if any (drives the
+    /// store's epoch length: results must be at most one epoch old).
+    pub fn tightest_timeliness(&self, store: &str) -> Option<TimeDelta> {
+        self.for_store(store).map(|r| r.timeliness).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(app: &str, store: &str, format: AggregationFormat, precision: f64) -> AppRequirement {
+        AppRequirement {
+            app: app.into(),
+            store: store.into(),
+            streams: vec![],
+            format,
+            precision,
+            timeliness: TimeDelta::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn register_replaces_same_triple() {
+        let mut reg = RequirementRegistry::new();
+        reg.register(req("a", "s", AggregationFormat::Sample, 0.1));
+        reg.register(req("a", "s", AggregationFormat::Sample, 0.5));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.iter().next().unwrap().precision, 0.5);
+        reg.register(req("a", "s", AggregationFormat::Flowtree, 0.5));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn unregister_app() {
+        let mut reg = RequirementRegistry::new();
+        reg.register(req("a", "s1", AggregationFormat::Sample, 0.1));
+        reg.register(req("a", "s2", AggregationFormat::Exact, 1.0));
+        reg.register(req("b", "s1", AggregationFormat::Sample, 0.2));
+        assert_eq!(reg.unregister_app("a"), 2);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.iter().next().unwrap().app, "b");
+    }
+
+    #[test]
+    fn store_queries() {
+        let mut reg = RequirementRegistry::new();
+        reg.register(req("a", "s1", AggregationFormat::Sample, 0.1));
+        reg.register(req("b", "s1", AggregationFormat::Histogram, 0.2));
+        reg.register(req("c", "s2", AggregationFormat::Flowtree, 1.0));
+        assert_eq!(reg.for_store("s1").count(), 2);
+        assert_eq!(reg.stores(), vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn tightest_timeliness() {
+        let mut reg = RequirementRegistry::new();
+        let mut fast = req("a", "s", AggregationFormat::Sample, 0.1);
+        fast.timeliness = TimeDelta::from_secs(1);
+        let slow = req("b", "s", AggregationFormat::Histogram, 0.2);
+        reg.register(fast);
+        reg.register(slow);
+        assert_eq!(reg.tightest_timeliness("s"), Some(TimeDelta::from_secs(1)));
+        assert_eq!(reg.tightest_timeliness("other"), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Resource tracking (the manager "tracks the availability of network
+//! bandwidth and computing nodes across the architecture" and the storage
+//! within the data stores).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_datastore::DataStore;
+
+/// Per-store resource budgets and the latest observed usage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTracker {
+    storage_budget: HashMap<String, usize>,
+    storage_used: HashMap<String, usize>,
+    /// Observed ingest rates (items/s), fed back into adaptation.
+    ingest_rate: HashMap<String, f64>,
+}
+
+impl ResourceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ResourceTracker::default()
+    }
+
+    /// Sets a store's storage budget in bytes.
+    pub fn set_storage_budget(&mut self, store: impl Into<String>, bytes: usize) {
+        self.storage_budget.insert(store.into(), bytes);
+    }
+
+    /// The storage budget of `store` (`usize::MAX` if never set).
+    pub fn storage_budget(&self, store: &str) -> usize {
+        self.storage_budget.get(store).copied().unwrap_or(usize::MAX)
+    }
+
+    /// Records an observation of a store's state.
+    pub fn observe_store(&mut self, store: &DataStore, ingest_rate: f64) {
+        self.storage_used
+            .insert(store.name().to_owned(), store.footprint_bytes());
+        self.ingest_rate.insert(store.name().to_owned(), ingest_rate);
+    }
+
+    /// Last observed storage use of `store`.
+    pub fn storage_used(&self, store: &str) -> usize {
+        self.storage_used.get(store).copied().unwrap_or(0)
+    }
+
+    /// Last observed ingest rate of `store`.
+    pub fn ingest_rate(&self, store: &str) -> f64 {
+        self.ingest_rate.get(store).copied().unwrap_or(0.0)
+    }
+
+    /// Utilization of a store's storage budget in `[0, ∞)`.
+    pub fn utilization(&self, store: &str) -> f64 {
+        let budget = self.storage_budget(store);
+        if budget == usize::MAX {
+            return 0.0;
+        }
+        self.storage_used(store) as f64 / budget.max(1) as f64
+    }
+
+    /// Whether any tracked store is over its budget.
+    pub fn overloaded_stores(&self) -> Vec<&str> {
+        self.storage_used
+            .iter()
+            .filter(|(name, used)| **used > self.storage_budget(name))
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Drives one adaptation round on `store` (decision (c): how the
+    /// computing primitives should be configured): the store's live
+    /// aggregators share the configured budget.
+    pub fn adapt(&self, store: &mut DataStore) {
+        let budget = self.storage_budget(store.name());
+        if budget == usize::MAX {
+            return;
+        }
+        // Live aggregators get the budget not consumed by stored summaries.
+        let stored = store.summaries().total_bytes();
+        let live_budget = budget.saturating_sub(stored).max(1);
+        let rate = self.ingest_rate(store.name());
+        store.adapt_aggregators(live_budget, rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_datastore::{AggregatorSpec, StorageStrategy};
+    use megastream_flow::record::FlowRecord;
+    use megastream_flow::time::{TimeDelta, Timestamp};
+    use megastream_flowtree::FlowtreeConfig;
+
+    fn store(name: &str) -> DataStore {
+        DataStore::new(
+            name,
+            StorageStrategy::RoundRobin {
+                budget_bytes: 1 << 20,
+            },
+            TimeDelta::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn budget_and_utilization() {
+        let mut t = ResourceTracker::new();
+        t.set_storage_budget("s", 1000);
+        assert_eq!(t.storage_budget("s"), 1000);
+        assert_eq!(t.storage_budget("unknown"), usize::MAX);
+        let mut s = store("s");
+        s.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
+        for i in 0..50u32 {
+            s.ingest_flow(
+                &"r".into(),
+                &FlowRecord::builder()
+                    .proto(6)
+                    .src(format!("10.0.0.{i}").parse().unwrap(), 1)
+                    .dst("1.1.1.1".parse().unwrap(), 2)
+                    .packets(1)
+                    .build(),
+                Timestamp::ZERO,
+            );
+        }
+        t.observe_store(&s, 50.0);
+        assert!(t.storage_used("s") > 0);
+        assert!(t.utilization("s") > 0.0);
+        assert_eq!(t.ingest_rate("s"), 50.0);
+    }
+
+    #[test]
+    fn overloaded_detection() {
+        let mut t = ResourceTracker::new();
+        t.set_storage_budget("s", 10);
+        let mut s = store("s");
+        s.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
+        s.ingest_flow(
+            &"r".into(),
+            &FlowRecord::builder()
+                .proto(6)
+                .src("10.0.0.1".parse().unwrap(), 1)
+                .dst("1.1.1.1".parse().unwrap(), 2)
+                .packets(1)
+                .build(),
+            Timestamp::ZERO,
+        );
+        t.observe_store(&s, 1.0);
+        assert_eq!(t.overloaded_stores(), vec!["s"]);
+    }
+
+    #[test]
+    fn adapt_pushes_store_toward_budget() {
+        let mut t = ResourceTracker::new();
+        let mut s = store("s");
+        s.install_aggregator(AggregatorSpec::Flowtree(
+            FlowtreeConfig::default().with_capacity(1 << 16),
+        ));
+        for i in 0..2000u32 {
+            s.ingest_flow(
+                &"r".into(),
+                &FlowRecord::builder()
+                    .proto(6)
+                    .src(format!("10.{}.{}.{}", i % 4, (i / 4) % 200, i % 200)
+                        .parse()
+                        .unwrap(), 1)
+                    .dst("1.1.1.1".parse().unwrap(), 2)
+                    .packets(1)
+                    .build(),
+                Timestamp::ZERO,
+            );
+        }
+        let used = s.footprint_bytes();
+        t.set_storage_budget("s", used / 20);
+        t.observe_store(&s, 2000.0);
+        t.adapt(&mut s);
+        assert!(
+            s.footprint_bytes() < used,
+            "adaptation did not shrink footprint"
+        );
+    }
+
+    #[test]
+    fn adapt_without_budget_is_noop() {
+        let t = ResourceTracker::new();
+        let mut s = store("s");
+        s.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
+        t.adapt(&mut s); // must not panic or change anything
+        assert_eq!(s.aggregator_count(), 1);
+    }
+}

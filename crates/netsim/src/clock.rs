@@ -1,0 +1,74 @@
+//! Simulated time source.
+
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+/// A monotone simulated clock.
+///
+/// ```
+/// use megastream_netsim::clock::SimClock;
+/// use megastream_flow::time::TimeDelta;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(TimeDelta::from_secs(5));
+/// assert_eq!(clock.now().as_secs_f64(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimClock {
+    now: Timestamp,
+}
+
+impl SimClock {
+    /// A clock at the simulation origin.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&mut self, delta: TimeDelta) {
+        self.now += delta;
+    }
+
+    /// Advances the clock to `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — simulated time never moves backwards.
+    pub fn advance_to(&mut self, at: Timestamp) {
+        assert!(at >= self.now, "clock cannot move backwards ({at} < {})", self.now);
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), Timestamp::ZERO);
+        c.advance(TimeDelta::from_millis(1500));
+        c.advance_to(Timestamp::from_secs(2));
+        assert_eq!(c.now(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn advance_to_same_instant_is_ok() {
+        let mut c = SimClock::new();
+        c.advance_to(Timestamp::ZERO);
+        assert_eq!(c.now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn rejects_time_travel() {
+        let mut c = SimClock::new();
+        c.advance(TimeDelta::from_secs(10));
+        c.advance_to(Timestamp::from_secs(5));
+    }
+}

@@ -1,0 +1,189 @@
+//! Topology builders for the two Fig. 1 settings.
+
+use megastream_flow::time::TimeDelta;
+
+use crate::topology::{LinkSpec, Network, NodeId, NodeKind};
+
+/// The smart-factory hierarchy of Fig. 1a: machines on production lines,
+/// line controllers, a factory edge node, and the corporate cloud behind a
+/// WAN link.
+#[derive(Debug, Clone)]
+pub struct FactoryTopology {
+    /// The underlying network.
+    pub network: Network,
+    /// Machines, grouped by line: `machines[line][m]`.
+    pub machines: Vec<Vec<NodeId>>,
+    /// One data-store node per production line.
+    pub lines: Vec<NodeId>,
+    /// The factory-level edge data store.
+    pub factory: NodeId,
+    /// The corporate cloud.
+    pub cloud: NodeId,
+}
+
+impl FactoryTopology {
+    /// Builds a factory with `lines` production lines of `machines_per_line`
+    /// machines each.
+    ///
+    /// Link classes: machine→line 1 GbE, line→factory 10 GbE,
+    /// factory→cloud a 100 Mbit/s WAN uplink with 20 ms latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `machines_per_line` is zero.
+    pub fn build(lines: usize, machines_per_line: usize) -> Self {
+        assert!(lines > 0, "at least one production line required");
+        assert!(machines_per_line > 0, "at least one machine per line required");
+        let mut network = Network::new();
+        let cloud = network.add_node("cloud", NodeKind::Cloud);
+        let factory = network.add_node("factory-edge", NodeKind::DataStore);
+        network.connect(factory, cloud, LinkSpec::wan_100m());
+        let mut line_ids = Vec::with_capacity(lines);
+        let mut machines = Vec::with_capacity(lines);
+        for l in 0..lines {
+            let line = network.add_node(format!("line-{l}"), NodeKind::DataStore);
+            network.connect(line, factory, LinkSpec::lan_10g());
+            let mut row = Vec::with_capacity(machines_per_line);
+            for m in 0..machines_per_line {
+                let machine = network.add_node(format!("machine-{l}-{m}"), NodeKind::Sensor);
+                network.connect(machine, line, LinkSpec::lan_1g());
+                row.push(machine);
+            }
+            line_ids.push(line);
+            machines.push(row);
+        }
+        FactoryTopology {
+            network,
+            machines,
+            lines: line_ids,
+            factory,
+            cloud,
+        }
+    }
+
+    /// All machines, flattened.
+    pub fn all_machines(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.machines.iter().flatten().copied()
+    }
+}
+
+/// The network-monitoring hierarchy of Fig. 1b: routers inside regions,
+/// regional collectors, a network-wide data store, and the cloud.
+#[derive(Debug, Clone)]
+pub struct IspTopology {
+    /// The underlying network.
+    pub network: Network,
+    /// Routers, grouped by region: `routers[region][r]`.
+    pub routers: Vec<Vec<NodeId>>,
+    /// One collector data store per region.
+    pub regions: Vec<NodeId>,
+    /// The network-wide data store (e.g. at the NOC).
+    pub noc: NodeId,
+    /// The analysis cloud.
+    pub cloud: NodeId,
+}
+
+impl IspTopology {
+    /// Builds an ISP with `regions` regions of `routers_per_region` routers.
+    ///
+    /// Link classes: router→region 10 GbE (in-POP), region→NOC WAN with
+    /// 10 ms latency and 1 Gbit/s, NOC→cloud a 100 Mbit/s uplink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` or `routers_per_region` is zero.
+    pub fn build(regions: usize, routers_per_region: usize) -> Self {
+        assert!(regions > 0, "at least one region required");
+        assert!(routers_per_region > 0, "at least one router per region required");
+        let mut network = Network::new();
+        let cloud = network.add_node("cloud", NodeKind::Cloud);
+        let noc = network.add_node("noc", NodeKind::DataStore);
+        network.connect(noc, cloud, LinkSpec::wan_100m());
+        let inter_region = LinkSpec {
+            bandwidth_bps: 125_000_000,
+            latency: TimeDelta::from_millis(10),
+        };
+        let mut region_ids = Vec::with_capacity(regions);
+        let mut routers = Vec::with_capacity(regions);
+        for g in 0..regions {
+            let region = network.add_node(format!("region-{g}"), NodeKind::DataStore);
+            network.connect(region, noc, inter_region);
+            let mut row = Vec::with_capacity(routers_per_region);
+            for r in 0..routers_per_region {
+                let router = network.add_node(format!("router-{g}-{r}"), NodeKind::Router);
+                network.connect(router, region, LinkSpec::lan_10g());
+                row.push(router);
+            }
+            region_ids.push(region);
+            routers.push(row);
+        }
+        IspTopology {
+            network,
+            routers,
+            regions: region_ids,
+            noc,
+            cloud,
+        }
+    }
+
+    /// All routers, flattened.
+    pub fn all_routers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.routers.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_flow::time::Timestamp;
+
+    #[test]
+    fn factory_shape() {
+        let f = FactoryTopology::build(3, 4);
+        assert_eq!(f.lines.len(), 3);
+        assert_eq!(f.all_machines().count(), 12);
+        // 12 machines + 3 lines + factory + cloud.
+        assert_eq!(f.network.node_count(), 17);
+    }
+
+    #[test]
+    fn factory_paths_follow_hierarchy() {
+        let mut f = FactoryTopology::build(2, 2);
+        let machine = f.machines[1][0];
+        let r = f
+            .network
+            .transfer(machine, f.cloud, 1_000, Timestamp::ZERO)
+            .unwrap();
+        assert_eq!(r.path, vec![machine, f.lines[1], f.factory, f.cloud]);
+        // WAN latency dominates.
+        assert!(r.latency() >= TimeDelta::from_millis(20));
+    }
+
+    #[test]
+    fn isp_shape_and_paths() {
+        let mut t = IspTopology::build(2, 8);
+        assert_eq!(t.all_routers().count(), 16);
+        let router = t.routers[0][7];
+        let r = t
+            .network
+            .transfer(router, t.noc, 500, Timestamp::ZERO)
+            .unwrap();
+        assert_eq!(r.path, vec![router, t.regions[0], t.noc]);
+    }
+
+    #[test]
+    fn cross_region_goes_through_noc() {
+        let t = IspTopology::build(2, 1);
+        let path = t
+            .network
+            .route(t.routers[0][0], t.routers[1][0])
+            .unwrap();
+        assert!(path.contains(&t.noc));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_factory() {
+        let _ = FactoryTopology::build(0, 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! Nodes, links, routing and transfer accounting.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+/// Identifier of a network node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index (stable for the lifetime of the network).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What role a node plays in the hierarchy (Fig. 1 / Fig. 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A sensor or machine producing raw data streams.
+    Sensor,
+    /// A node hosting a data store (any hierarchy level).
+    DataStore,
+    /// A compute cluster running analytics/applications.
+    Compute,
+    /// The cloud / corporate datacenter.
+    Cloud,
+    /// A plain router/switch.
+    Router,
+}
+
+/// Bandwidth and latency of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Capacity in bytes per (simulated) second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency.
+    pub latency: TimeDelta,
+}
+
+impl LinkSpec {
+    /// A gigabit-Ethernet-class LAN link (125 MB/s, 0.5 ms).
+    pub fn lan_1g() -> Self {
+        LinkSpec {
+            bandwidth_bps: 125_000_000,
+            latency: TimeDelta::from_micros(500),
+        }
+    }
+
+    /// A 10-gigabit backbone link (1.25 GB/s, 0.2 ms).
+    pub fn lan_10g() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1_250_000_000,
+            latency: TimeDelta::from_micros(200),
+        }
+    }
+
+    /// A constrained WAN uplink (12.5 MB/s ≈ 100 Mbit/s, 20 ms) — the kind
+    /// of link the paper argues raw mega-dataset streams overwhelm.
+    pub fn wan_100m() -> Self {
+        LinkSpec {
+            bandwidth_bps: 12_500_000,
+            latency: TimeDelta::from_millis(20),
+        }
+    }
+
+    /// Serialization/transfer time for `bytes` on this link, excluding
+    /// propagation latency.
+    pub fn transmit_time(&self, bytes: u64) -> TimeDelta {
+        // micros = bytes / (bytes/s) * 1e6, rounded up.
+        let micros = (bytes as u128 * 1_000_000 + self.bandwidth_bps as u128 - 1)
+            / self.bandwidth_bps.max(1) as u128;
+        TimeDelta::from_micros(micros.min(u64::MAX as u128) as u64)
+    }
+}
+
+/// Receipt describing one completed transfer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferReceipt {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// When the transfer was initiated.
+    pub sent_at: Timestamp,
+    /// When the last byte arrived at `to`.
+    pub delivered_at: Timestamp,
+    /// The nodes traversed, including endpoints.
+    pub path: Vec<NodeId>,
+}
+
+impl TransferReceipt {
+    /// End-to-end transfer latency.
+    pub fn latency(&self) -> TimeDelta {
+        self.delivered_at - self.sent_at
+    }
+}
+
+/// Error returned by [`Network::transfer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferError {
+    /// No path exists between the endpoints.
+    NoRoute(NodeId, NodeId),
+    /// An endpoint id is not part of this network.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
+            TransferError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeInfo {
+    name: String,
+    kind: NodeKind,
+}
+
+/// A static network with byte accounting.
+///
+/// Transfers are modelled store-and-forward: each hop adds its propagation
+/// latency plus the payload's transmit time at the hop's bandwidth. Every
+/// byte crossing a link is accounted to that link, so experiments can report
+/// exact per-link and total transfer volumes.
+///
+/// ```
+/// use megastream_netsim::topology::{LinkSpec, Network, NodeKind};
+/// use megastream_flow::time::Timestamp;
+///
+/// let mut net = Network::new();
+/// let a = net.add_node("edge", NodeKind::DataStore);
+/// let b = net.add_node("cloud", NodeKind::Cloud);
+/// net.connect(a, b, LinkSpec::wan_100m());
+/// let receipt = net.transfer(a, b, 1_000_000, Timestamp::ZERO)?;
+/// assert!(receipt.latency().as_secs_f64() > 0.08); // 1 MB over 12.5 MB/s + 20 ms
+/// assert_eq!(net.total_bytes(), 1_000_000);
+/// # Ok::<(), megastream_netsim::topology::TransferError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<NodeInfo>,
+    links: HashMap<(usize, usize), LinkSpec>,
+    adjacency: Vec<Vec<usize>>,
+    link_bytes: HashMap<(usize, usize), u64>,
+    total_bytes: u64,
+    transfers: u64,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        self.nodes.push(NodeInfo {
+            name: name.into(),
+            kind,
+        });
+        self.adjacency.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects two nodes bidirectionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown or `a == b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        assert!(a.0 < self.nodes.len(), "unknown node {a}");
+        assert!(b.0 < self.nodes.len(), "unknown node {b}");
+        assert_ne!(a, b, "self-links are not allowed");
+        self.links.insert((a.0, b.0), spec);
+        self.links.insert((b.0, a.0), spec);
+        if !self.adjacency[a.0].contains(&b.0) {
+            self.adjacency[a.0].push(b.0);
+        }
+        if !self.adjacency[b.0].contains(&a.0) {
+            self.adjacency[b.0].push(a.0);
+        }
+    }
+
+    /// Node name.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Node kind.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// The link between two adjacent nodes, if any.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkSpec> {
+        self.links.get(&(a.0, b.0)).copied()
+    }
+
+    /// Minimum-latency path (Dijkstra over per-hop latency), if one exists.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from.0 >= self.nodes.len() || to.0 >= self.nodes.len() {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.0] = 0;
+        heap.push(std::cmp::Reverse((0u64, from.0)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == to.0 {
+                break;
+            }
+            for &v in &self.adjacency[u] {
+                let spec = self.links[&(u, v)];
+                let nd = d + spec.latency.as_micros().max(1);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[to.0] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![to.0];
+        let mut cur = to.0;
+        while cur != from.0 {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path.into_iter().map(NodeId).collect())
+    }
+
+    /// Sends `bytes` from `from` to `to` at simulated time `now`,
+    /// accounting every byte to each link on the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::UnknownNode`] for out-of-range ids and
+    /// [`TransferError::NoRoute`] if the nodes are not connected.
+    pub fn transfer(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        now: Timestamp,
+    ) -> Result<TransferReceipt, TransferError> {
+        if from.0 >= self.nodes.len() {
+            return Err(TransferError::UnknownNode(from));
+        }
+        if to.0 >= self.nodes.len() {
+            return Err(TransferError::UnknownNode(to));
+        }
+        let path = self
+            .route(from, to)
+            .ok_or(TransferError::NoRoute(from, to))?;
+        let mut at = now;
+        for hop in path.windows(2) {
+            let (u, v) = (hop[0].0, hop[1].0);
+            let spec = self.links[&(u, v)];
+            at += spec.latency + spec.transmit_time(bytes);
+            *self.link_bytes.entry((u, v)).or_default() += bytes;
+            self.total_bytes += bytes;
+        }
+        self.transfers += 1;
+        Ok(TransferReceipt {
+            from,
+            to,
+            bytes,
+            sent_at: now,
+            delivered_at: at,
+            path,
+        })
+    }
+
+    /// Total bytes that crossed any link (a payload traversing `h` hops
+    /// counts `h` times — it did use `h` links).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Bytes that crossed the directed link `a → b`.
+    pub fn bytes_on(&self, a: NodeId, b: NodeId) -> u64 {
+        self.link_bytes.get(&(a.0, b.0)).copied().unwrap_or(0)
+    }
+
+    /// Number of completed transfers.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Resets all byte accounting (topology is kept).
+    pub fn reset_accounting(&mut self) {
+        self.link_bytes.clear();
+        self.total_bytes = 0;
+        self.transfers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_node("a", NodeKind::Sensor);
+        let b = net.add_node("b", NodeKind::DataStore);
+        let c = net.add_node("c", NodeKind::Cloud);
+        net.connect(a, b, LinkSpec::lan_1g());
+        net.connect(b, c, LinkSpec::wan_100m());
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn transmit_time_math() {
+        let wan = LinkSpec::wan_100m();
+        // 12.5 MB at 12.5 MB/s = 1 s.
+        assert_eq!(wan.transmit_time(12_500_000), TimeDelta::from_secs(1));
+        assert_eq!(wan.transmit_time(0), TimeDelta::ZERO);
+        // Rounds up.
+        assert_eq!(LinkSpec::lan_1g().transmit_time(1).as_micros(), 1);
+    }
+
+    #[test]
+    fn route_prefers_low_latency() {
+        let mut net = Network::new();
+        let a = net.add_node("a", NodeKind::Router);
+        let b = net.add_node("b", NodeKind::Router);
+        let c = net.add_node("c", NodeKind::Router);
+        // Direct slow path vs two fast hops (total latency lower).
+        net.connect(
+            a,
+            b,
+            LinkSpec {
+                bandwidth_bps: 1_000_000,
+                latency: TimeDelta::from_millis(100),
+            },
+        );
+        net.connect(
+            a,
+            c,
+            LinkSpec {
+                bandwidth_bps: 1_000_000,
+                latency: TimeDelta::from_millis(10),
+            },
+        );
+        net.connect(
+            c,
+            b,
+            LinkSpec {
+                bandwidth_bps: 1_000_000,
+                latency: TimeDelta::from_millis(10),
+            },
+        );
+        let path = net.route(a, b).unwrap();
+        assert_eq!(path, vec![a, c, b]);
+    }
+
+    #[test]
+    fn route_to_self_and_unreachable() {
+        let (net, a, _, _) = chain();
+        assert_eq!(net.route(a, a), Some(vec![a]));
+        let mut net2 = net.clone();
+        let lonely = net2.add_node("x", NodeKind::Router);
+        assert_eq!(net2.route(a, lonely), None);
+    }
+
+    #[test]
+    fn transfer_accumulates_hop_costs() {
+        let (mut net, a, b, c) = chain();
+        let r = net.transfer(a, c, 1_000_000, Timestamp::ZERO).unwrap();
+        assert_eq!(r.path, vec![a, b, c]);
+        // LAN: 0.5 ms + 8 ms transmit; WAN: 20 ms + 80 ms transmit.
+        let expected = TimeDelta::from_micros(500)
+            + LinkSpec::lan_1g().transmit_time(1_000_000)
+            + TimeDelta::from_millis(20)
+            + LinkSpec::wan_100m().transmit_time(1_000_000);
+        assert_eq!(r.latency(), expected);
+    }
+
+    #[test]
+    fn byte_accounting_per_link() {
+        let (mut net, a, b, c) = chain();
+        net.transfer(a, c, 100, Timestamp::ZERO).unwrap();
+        net.transfer(b, c, 50, Timestamp::ZERO).unwrap();
+        assert_eq!(net.bytes_on(a, b), 100);
+        assert_eq!(net.bytes_on(b, c), 150);
+        assert_eq!(net.bytes_on(c, b), 0); // directed accounting
+        assert_eq!(net.total_bytes(), 250);
+        assert_eq!(net.transfer_count(), 2);
+        net.reset_accounting();
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn transfer_errors() {
+        let (mut net, a, _, _) = chain();
+        let bogus = NodeId(99);
+        assert_eq!(
+            net.transfer(a, bogus, 1, Timestamp::ZERO),
+            Err(TransferError::UnknownNode(bogus))
+        );
+        let lonely = net.add_node("x", NodeKind::Router);
+        assert_eq!(
+            net.transfer(a, lonely, 1, Timestamp::ZERO),
+            Err(TransferError::NoRoute(a, lonely))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut net = Network::new();
+        let a = net.add_node("a", NodeKind::Router);
+        net.connect(a, a, LinkSpec::lan_1g());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let (net, a, _, c) = chain();
+        assert_eq!(net.name(a), "a");
+        assert_eq!(net.kind(c), NodeKind::Cloud);
+        assert_eq!(net.node_count(), 3);
+        assert!(net.link(a, c).is_none());
+        assert!(net.link(a, NodeId(1)).is_some());
+    }
+}

@@ -1,0 +1,284 @@
+//! The computing-primitive contract (paper §V).
+//!
+//! A *computing primitive* turns a raw data stream into a **data summary**.
+//! The paper demands five properties; this module encodes them as traits:
+//!
+//! | Property | Where it appears |
+//! |---|---|
+//! | P1 arbitrary queries | each summary type exposes its own query methods |
+//! | P2 combinable summaries | [`Combinable::combine`] |
+//! | P3 adjustable granularity | [`ComputingPrimitive::set_granularity`] |
+//! | P4 self-adaptation | [`ComputingPrimitive::adapt`] |
+//! | P5 domain knowledge | [`PrimitiveDescription::domain_aware`] |
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeWindow, Timestamp};
+
+/// An abstract aggregation-granularity dial in `(0, 1]`.
+///
+/// `1.0` means full detail; smaller values mean coarser aggregation. Each
+/// primitive interprets the dial in its own terms — a sampling primitive
+/// reads it as the sampling probability, a time-bin primitive as the inverse
+/// bin-width scale, a Flowtree as the fraction of its maximum node budget.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Granularity(f64);
+
+impl Granularity {
+    /// Full detail.
+    pub const FULL: Granularity = Granularity(1.0);
+
+    /// Creates a granularity, clamping into `(0, 1]`.
+    ///
+    /// Non-finite inputs clamp to full detail.
+    pub fn new(value: f64) -> Self {
+        if !value.is_finite() {
+            return Granularity::FULL;
+        }
+        Granularity(value.clamp(f64::MIN_POSITIVE, 1.0))
+    }
+
+    /// The dial value in `(0, 1]`.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Coarsens by `factor >= 1` (divides the dial).
+    #[must_use]
+    pub fn coarsened(self, factor: f64) -> Granularity {
+        Granularity::new(self.0 / factor.max(1.0))
+    }
+
+    /// Refines by `factor >= 1` (multiplies the dial, saturating at full).
+    #[must_use]
+    pub fn refined(self, factor: f64) -> Granularity {
+        Granularity::new(self.0 * factor.max(1.0))
+    }
+}
+
+impl Default for Granularity {
+    fn default() -> Self {
+        Granularity::FULL
+    }
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// Property P2: data summaries combine across time and location.
+///
+/// `combine` must be commutative and associative up to the summary's stated
+/// approximation guarantees, so that a hierarchy of data stores can merge
+/// summaries in any order.
+pub trait Combinable {
+    /// Folds `other` into `self`.
+    fn combine(&mut self, other: &Self);
+
+    /// Combines two summaries into a new one.
+    #[must_use]
+    fn combined(mut self, other: &Self) -> Self
+    where
+        Self: Sized,
+    {
+        self.combine(other);
+        self
+    }
+}
+
+/// Feedback a primitive receives from its environment (property P4).
+///
+/// The data store reports the observed ingest rate and the footprint budget
+/// the manager allotted; applications optionally report the finest
+/// granularity their queries actually used, so the primitive can stop paying
+/// for detail nobody asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationFeedback {
+    /// Observed ingest rate, items per simulated second.
+    pub ingest_rate: f64,
+    /// Storage budget for this primitive, in bytes.
+    pub footprint_budget: usize,
+    /// Finest granularity recent queries required, if known.
+    pub query_granularity: Option<Granularity>,
+}
+
+impl AdaptationFeedback {
+    /// Feedback carrying only a footprint budget.
+    pub fn budget(footprint_budget: usize) -> Self {
+        AdaptationFeedback {
+            ingest_rate: 0.0,
+            footprint_budget,
+            query_granularity: None,
+        }
+    }
+}
+
+/// Static description of a primitive, used by the manager for placement
+/// decisions and by lineage records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimitiveDescription {
+    /// Human-readable primitive name (e.g. `"flowtree"`).
+    pub name: &'static str,
+    /// Property P5: whether aggregation levels follow the data domain
+    /// (true for Flowtree's subnet hierarchy, false for random sampling).
+    pub domain_aware: bool,
+    /// Whether summaries support queries at granularities other than the one
+    /// they were built with (paper: "adjust the granularity on demand").
+    pub on_demand_granularity: bool,
+}
+
+/// A computing primitive (paper §V): ingests a stream, maintains a
+/// combinable summary, and adapts its own granularity.
+pub trait ComputingPrimitive {
+    /// Stream item consumed by this primitive.
+    type Item;
+    /// The data summary produced (property P1: the summary exposes query
+    /// methods; property P2: it is [`Combinable`]).
+    type Summary: Combinable;
+
+    /// Describes the primitive.
+    fn describe(&self) -> PrimitiveDescription;
+
+    /// Ingests one stream item observed at `ts`.
+    fn ingest(&mut self, item: &Self::Item, ts: Timestamp);
+
+    /// Snapshots the current summary, tagged with the window it covers.
+    fn snapshot(&self, window: TimeWindow) -> Self::Summary;
+
+    /// Clears accumulated state (used when rotating epochs).
+    fn reset(&mut self);
+
+    /// Property P3: sets the aggregation granularity.
+    fn set_granularity(&mut self, granularity: Granularity);
+
+    /// The current granularity.
+    fn granularity(&self) -> Granularity;
+
+    /// Property P4: self-adapts to observed data and queries.
+    ///
+    /// The default implementation delegates to a proportional rule: if the
+    /// current footprint exceeds the budget, coarsen proportionally; if
+    /// queries want more detail and the budget has slack, refine.
+    fn adapt(&mut self, feedback: &AdaptationFeedback) {
+        let footprint = self.footprint_bytes().max(1);
+        let budget = feedback.footprint_budget.max(1);
+        let ratio = footprint as f64 / budget as f64;
+        if ratio > 1.0 {
+            self.set_granularity(self.granularity().coarsened(ratio));
+        } else if let Some(wanted) = feedback.query_granularity {
+            if wanted > self.granularity() && ratio < 0.5 {
+                // Refine toward what queries ask for, bounded by the slack.
+                let headroom = (0.9 / ratio.max(1e-9)).max(1.0);
+                let target = self.granularity().refined(headroom);
+                self.set_granularity(if wanted < target { wanted } else { target });
+            }
+        }
+    }
+
+    /// Approximate current storage footprint in bytes.
+    fn footprint_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_clamps() {
+        assert_eq!(Granularity::new(2.0).value(), 1.0);
+        assert!(Granularity::new(0.0).value() > 0.0);
+        assert_eq!(Granularity::new(0.25).value(), 0.25);
+        assert_eq!(Granularity::new(f64::NAN), Granularity::FULL);
+        assert_eq!(Granularity::new(f64::INFINITY), Granularity::FULL);
+    }
+
+    #[test]
+    fn coarsen_refine_are_inverse_within_clamp() {
+        let g = Granularity::new(0.5);
+        assert!((g.coarsened(2.0).value() - 0.25).abs() < 1e-12);
+        assert!((g.coarsened(2.0).refined(2.0).value() - 0.5).abs() < 1e-12);
+        // Factors below 1 are treated as 1 (no-ops).
+        assert_eq!(g.coarsened(0.5), g);
+        assert_eq!(g.refined(0.5), g);
+    }
+
+    /// A minimal primitive for exercising the default `adapt` rule.
+    struct Counter {
+        n: usize,
+        g: Granularity,
+    }
+
+    #[derive(Clone)]
+    struct CountSummary(usize);
+
+    impl Combinable for CountSummary {
+        fn combine(&mut self, other: &Self) {
+            self.0 += other.0;
+        }
+    }
+
+    impl ComputingPrimitive for Counter {
+        type Item = u64;
+        type Summary = CountSummary;
+
+        fn describe(&self) -> PrimitiveDescription {
+            PrimitiveDescription {
+                name: "counter",
+                domain_aware: false,
+                on_demand_granularity: false,
+            }
+        }
+        fn ingest(&mut self, _item: &u64, _ts: Timestamp) {
+            self.n += 1;
+        }
+        fn snapshot(&self, _window: TimeWindow) -> CountSummary {
+            CountSummary(self.n)
+        }
+        fn reset(&mut self) {
+            self.n = 0;
+        }
+        fn set_granularity(&mut self, granularity: Granularity) {
+            self.g = granularity;
+        }
+        fn granularity(&self) -> Granularity {
+            self.g
+        }
+        fn footprint_bytes(&self) -> usize {
+            self.n * 8
+        }
+    }
+
+    #[test]
+    fn default_adapt_coarsens_over_budget() {
+        let mut c = Counter {
+            n: 1000,
+            g: Granularity::FULL,
+        };
+        c.adapt(&AdaptationFeedback::budget(4000)); // footprint 8000 > 4000
+        assert!(c.granularity().value() < 1.0);
+    }
+
+    #[test]
+    fn default_adapt_refines_toward_query_demand() {
+        let mut c = Counter {
+            n: 10,
+            g: Granularity::new(0.1),
+        };
+        c.adapt(&AdaptationFeedback {
+            ingest_rate: 1.0,
+            footprint_budget: 100_000,
+            query_granularity: Some(Granularity::new(0.8)),
+        });
+        assert!(c.granularity().value() > 0.1);
+        assert!(c.granularity().value() <= 0.8 + 1e-12);
+    }
+
+    #[test]
+    fn combined_returns_merged_summary() {
+        let s = CountSummary(3).combined(&CountSummary(4));
+        assert_eq!(s.0, 7);
+    }
+}

@@ -1,0 +1,285 @@
+//! Count-Min sketch frequency estimation (Cormode & Muthukrishnan 2005).
+//!
+//! A second classic streaming baseline (paper §V: "more complicated
+//! streaming algorithms"). Used in experiment E7 as a comparator for
+//! Flowtree point queries.
+
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeWindow, Timestamp};
+
+use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
+
+/// A Count-Min sketch with `depth` rows of `width` counters.
+///
+/// Uses Kirsch–Mitzenmacher double hashing: row `i` hashes a key to
+/// `h1 + i·h2 mod width`.
+///
+/// ```
+/// use megastream_primitives::cms::CountMinSketch;
+/// let mut cms = CountMinSketch::new(1024, 4, 99);
+/// cms.offer(&"k", 10);
+/// cms.offer(&"k", 5);
+/// assert!(cms.estimate(&"k") >= 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    rows: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0, "sketch width must be non-zero");
+        assert!(depth > 0, "sketch depth must be non-zero");
+        CountMinSketch {
+            width,
+            depth,
+            seed,
+            rows: vec![vec![0; width]; depth],
+            total: 0,
+        }
+    }
+
+    /// Creates a sketch sized for additive error `epsilon·total` with
+    /// failure probability `delta` (width = ⌈e/ε⌉, depth = ⌈ln 1/δ⌉).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` or `delta` is outside `(0, 1)`.
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon outside (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta outside (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth, seed)
+    }
+
+    fn hashes<K: Hash + ?Sized>(&self, key: &K) -> (u64, u64) {
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h1);
+        key.hash(&mut h1);
+        let a = h1.finish();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        (self.seed ^ 0x9E37_79B9_7F4A_7C15).hash(&mut h2);
+        key.hash(&mut h2);
+        // Force h2 odd so row offsets cycle through the whole width.
+        (a, h2.finish() | 1)
+    }
+
+    /// Adds `weight` occurrences of `key`.
+    pub fn offer<K: Hash + ?Sized>(&mut self, key: &K, weight: u64) {
+        let (h1, h2) = self.hashes(key);
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            let idx = (h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.width as u64) as usize;
+            row[idx] = row[idx].saturating_add(weight);
+        }
+        self.total = self.total.saturating_add(weight);
+    }
+
+    /// Point query: an estimate that never underestimates the true count.
+    pub fn estimate<K: Hash + ?Sized>(&self, key: &K) -> u64 {
+        let (h1, h2) = self.hashes(key);
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let idx =
+                    (h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.width as u64) as usize;
+                row[idx]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total stream weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Combinable for CountMinSketch {
+    /// Adds counters cell-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches have different dimensions or seeds (they
+    /// would not share hash functions and cannot be combined meaningfully).
+    fn combine(&mut self, other: &Self) {
+        assert!(
+            self.width == other.width && self.depth == other.depth && self.seed == other.seed,
+            "cannot combine count-min sketches with different shapes or seeds"
+        );
+        for (mine, theirs) in self.rows.iter_mut().zip(other.rows.iter()) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                *a = a.saturating_add(*b);
+            }
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+}
+
+/// Stream items are `(key-hash-input, weight)` pairs; to keep the primitive
+/// object-safe over arbitrary keys we fix the item to a pre-hashed `u64`.
+impl ComputingPrimitive for CountMinSketch {
+    type Item = (u64, u64);
+    type Summary = CountMinSketch;
+
+    fn describe(&self) -> PrimitiveDescription {
+        PrimitiveDescription {
+            name: "count-min-sketch",
+            domain_aware: false,
+            on_demand_granularity: false,
+        }
+    }
+
+    fn ingest(&mut self, item: &(u64, u64), _ts: Timestamp) {
+        self.offer(&item.0, item.1);
+    }
+
+    fn snapshot(&self, _window: TimeWindow) -> CountMinSketch {
+        self.clone()
+    }
+
+    fn reset(&mut self) {
+        for row in &mut self.rows {
+            row.fill(0);
+        }
+        self.total = 0;
+    }
+
+    fn set_granularity(&mut self, granularity: Granularity) {
+        // Width scales with the dial; counters cannot be re-hashed, so the
+        // sketch restarts at the new width (acceptable at epoch boundaries,
+        // which is when the manager retunes primitives).
+        let new_width = ((self.width as f64) * granularity.value()).round().max(1.0) as usize;
+        if new_width != self.width {
+            *self = CountMinSketch::new(new_width, self.depth, self.seed);
+        }
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::FULL
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.width * self.depth * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(64, 4, 7);
+        for i in 0..100u32 {
+            cms.offer(&i, (i % 5 + 1) as u64);
+        }
+        for i in 0..100u32 {
+            assert!(cms.estimate(&i) >= (i % 5 + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn exactness_with_ample_width() {
+        let mut cms = CountMinSketch::new(4096, 4, 7);
+        for i in 0..10u32 {
+            cms.offer(&i, 100 + i as u64);
+        }
+        for i in 0..10u32 {
+            assert_eq!(cms.estimate(&i), 100 + i as u64);
+        }
+        assert_eq!(cms.estimate(&999u32), 0);
+    }
+
+    #[test]
+    fn with_error_dimensions() {
+        let cms = CountMinSketch::with_error(0.01, 0.01, 1);
+        assert!(cms.width() >= 272); // e/0.01 ≈ 271.8
+        assert!(cms.depth() >= 5); // ln(100) ≈ 4.6
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = CountMinSketch::new(128, 4, 3);
+        let mut b = CountMinSketch::new(128, 4, 3);
+        a.offer(&"x", 5);
+        b.offer(&"x", 7);
+        b.offer(&"y", 2);
+        a.combine(&b);
+        assert!(a.estimate(&"x") >= 12);
+        assert!(a.estimate(&"y") >= 2);
+        assert_eq!(a.total(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = CountMinSketch::new(128, 4, 3);
+        let b = CountMinSketch::new(64, 4, 3);
+        a.combine(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_rejects_mismatched_seeds() {
+        let mut a = CountMinSketch::new(128, 4, 3);
+        let b = CountMinSketch::new(128, 4, 4);
+        a.combine(&b);
+    }
+
+    #[test]
+    fn error_bound_holds_statistically() {
+        // width 272 → additive error ≤ total/100 with high probability.
+        let mut cms = CountMinSketch::with_error(0.01, 0.001, 42);
+        let n_keys = 1_000u32;
+        for i in 0..n_keys {
+            cms.offer(&i, 1);
+        }
+        let bound = (cms.total() as f64 * 0.01).ceil() as u64;
+        let violations = (0..n_keys)
+            .filter(|i| cms.estimate(i) > 1 + bound)
+            .count();
+        assert!(violations < 10, "{violations} estimates beyond bound");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimate_at_least_truth(
+            keys in proptest::collection::vec(0u16..50, 1..200)
+        ) {
+            let mut cms = CountMinSketch::new(32, 3, 5);
+            let mut truth = std::collections::HashMap::new();
+            for k in &keys {
+                cms.offer(k, 1);
+                *truth.entry(*k).or_insert(0u64) += 1;
+            }
+            for (k, t) in truth {
+                prop_assert!(cms.estimate(&k) >= t);
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact flow aggregation — the memory-unconstrained ground truth.
+//!
+//! [`ExactFlowTable`] keeps one counter per distinct (projected) flow key.
+//! It answers every query exactly, which makes it the accuracy baseline for
+//! Flowtree and the sketches in experiments E7/E10, and it provides *exact
+//! hierarchical heavy hitters* ([`ExactFlowTable::hhh`]) for recall/precision
+//! measurements.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::key::{FeatureSet, FlowKey};
+use megastream_flow::mask::GeneralizationSchema;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::{Popularity, ScoreKind};
+use megastream_flow::time::{TimeWindow, Timestamp};
+
+use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
+
+/// One hierarchical heavy hitter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HhhItem {
+    /// The (generalized) flow key.
+    pub key: FlowKey,
+    /// Total score of traffic under this key.
+    pub score: Popularity,
+    /// Score after discounting descendants already reported as HHHs.
+    pub discounted: Popularity,
+}
+
+/// An exact per-key flow table.
+///
+/// ```
+/// use megastream_flow::key::FeatureSet;
+/// use megastream_flow::record::FlowRecord;
+/// use megastream_flow::score::ScoreKind;
+/// use megastream_primitives::exact::ExactFlowTable;
+///
+/// let mut table = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+/// let rec = FlowRecord::builder()
+///     .proto(6)
+///     .src("10.0.0.1".parse()?, 80)
+///     .dst("10.0.0.2".parse()?, 5555)
+///     .packets(7)
+///     .build();
+/// table.observe(&rec);
+/// table.observe(&rec);
+/// assert_eq!(table.total().value(), 14);
+/// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExactFlowTable {
+    features: FeatureSet,
+    score_kind: ScoreKind,
+    /// Serialized as a sequence of pairs: flow keys are structured and are
+    /// not valid JSON map keys.
+    #[serde(with = "counts_as_pairs")]
+    counts: HashMap<FlowKey, Popularity>,
+    total: Popularity,
+}
+
+/// Serializes the count map as `[(key, score), …]` so the table survives
+/// formats with string-only map keys (JSON).
+mod counts_as_pairs {
+    use std::collections::HashMap;
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use megastream_flow::key::FlowKey;
+    use megastream_flow::score::Popularity;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<FlowKey, Popularity>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(&FlowKey, &Popularity)> = map.iter().collect();
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<FlowKey, Popularity>, D::Error> {
+        let pairs: Vec<(FlowKey, Popularity)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl ExactFlowTable {
+    /// Creates an empty table counting `score_kind` per key projected onto
+    /// `features`.
+    pub fn new(features: FeatureSet, score_kind: ScoreKind) -> Self {
+        ExactFlowTable {
+            features,
+            score_kind,
+            counts: HashMap::new(),
+            total: Popularity::ZERO,
+        }
+    }
+
+    /// Observes one raw flow record.
+    pub fn observe(&mut self, record: &FlowRecord) {
+        let key = FlowKey::from_record_projected(record, self.features);
+        let score = self.score_kind.score(record);
+        *self.counts.entry(key).or_default() += score;
+        self.total += score;
+    }
+
+    /// Adds `score` directly to `key` (used when replaying summaries).
+    pub fn add(&mut self, key: FlowKey, score: Popularity) {
+        *self.counts.entry(key).or_default() += score;
+        self.total += score;
+    }
+
+    /// Exact score of traffic matching `key` (all stored keys it contains).
+    pub fn query(&self, key: &FlowKey) -> Popularity {
+        self.counts
+            .iter()
+            .filter(|(k, _)| key.contains(k))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total score across the table.
+    pub fn total(&self) -> Popularity {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The feature projection this table uses.
+    pub fn features(&self) -> FeatureSet {
+        self.features
+    }
+
+    /// The score measure this table counts.
+    pub fn score_kind(&self) -> ScoreKind {
+        self.score_kind
+    }
+
+    /// Iterates over `(key, score)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, Popularity)> {
+        self.counts.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// The exact `k` highest-scoring keys, descending (ties broken by key).
+    pub fn top_k(&self, k: usize) -> Vec<(FlowKey, Popularity)> {
+        let mut entries: Vec<(FlowKey, Popularity)> =
+            self.counts.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Exact hierarchical heavy hitters with respect to `schema`.
+    ///
+    /// A node of the generalization hierarchy is reported iff its total
+    /// score, *after discounting* the scores of descendants that were
+    /// themselves reported, is at least `threshold` — the standard
+    /// discounted-HHH definition. Results are ordered deepest-first, ties
+    /// by key.
+    pub fn hhh(&self, schema: &GeneralizationSchema, threshold: Popularity) -> Vec<HhhItem> {
+        // Aggregate every stored key's score into all of its ancestors.
+        let mut totals: HashMap<FlowKey, Popularity> = HashMap::new();
+        for (key, score) in &self.counts {
+            for anc in schema.self_and_ancestors(key) {
+                *totals.entry(anc).or_default() += *score;
+            }
+        }
+        // Visit nodes deepest-first; discount reported descendants.
+        let mut nodes: Vec<(FlowKey, Popularity)> = totals.into_iter().collect();
+        nodes.sort_by(|a, b| {
+            schema
+                .depth(&b.0)
+                .cmp(&schema.depth(&a.0))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut reported: Vec<HhhItem> = Vec::new();
+        for (key, total) in nodes {
+            let discounted: Popularity = reported
+                .iter()
+                .filter(|item| key.contains(&item.key) && key != item.key)
+                .map(|item| item.discounted)
+                .fold(total, |acc, d| acc - d);
+            if discounted >= threshold && !threshold.is_zero() {
+                reported.push(HhhItem {
+                    key,
+                    score: total,
+                    discounted,
+                });
+            }
+        }
+        reported
+    }
+}
+
+impl Combinable for ExactFlowTable {
+    fn combine(&mut self, other: &Self) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_default() += *v;
+        }
+        self.total += other.total;
+    }
+}
+
+impl ComputingPrimitive for ExactFlowTable {
+    type Item = FlowRecord;
+    type Summary = ExactFlowTable;
+
+    fn describe(&self) -> PrimitiveDescription {
+        PrimitiveDescription {
+            name: "exact-flow-table",
+            domain_aware: true,
+            on_demand_granularity: true,
+        }
+    }
+
+    fn ingest(&mut self, item: &FlowRecord, _ts: Timestamp) {
+        self.observe(item);
+    }
+
+    fn snapshot(&self, _window: TimeWindow) -> ExactFlowTable {
+        self.clone()
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.total = Popularity::ZERO;
+    }
+
+    fn set_granularity(&mut self, _granularity: Granularity) {
+        // Exact tables are the ground truth: they never drop detail.
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::FULL
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.counts.len() * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<Popularity>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_flow::key::Feature;
+
+    fn rec(src: &str, dst: &str, packets: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .proto(6)
+            .src(src.parse().unwrap(), 1000)
+            .dst(dst.parse().unwrap(), 80)
+            .packets(packets)
+            .build()
+    }
+
+    #[test]
+    fn observe_and_query_exact() {
+        let mut t = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 5));
+        t.observe(&rec("10.0.0.2", "1.1.1.1", 3));
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total().value(), 10);
+
+        let exact = FlowKey::from_record(&rec("10.0.0.1", "1.1.1.1", 0));
+        assert_eq!(t.query(&exact).value(), 7);
+
+        // Query by prefix aggregates contained keys.
+        let prefix_key = FlowKey::root().with_src_prefix("10.0.0.0/24".parse().unwrap());
+        assert_eq!(t.query(&prefix_key).value(), 10);
+        assert_eq!(t.query(&FlowKey::root()).value(), 10);
+    }
+
+    #[test]
+    fn projection_merges_keys() {
+        let mut t = ExactFlowTable::new(FeatureSet::SRC_DST_IP, ScoreKind::Flows);
+        // Same IP pair on different ports → one key.
+        let mut r1 = rec("10.0.0.1", "1.1.1.1", 5);
+        r1.src_port = 1111;
+        let mut r2 = rec("10.0.0.1", "1.1.1.1", 5);
+        r2.src_port = 2222;
+        t.observe(&r1);
+        t.observe(&r2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total().value(), 2);
+    }
+
+    #[test]
+    fn top_k_is_exact_and_sorted() {
+        let mut t = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 5));
+        t.observe(&rec("10.0.0.2", "1.1.1.1", 9));
+        t.observe(&rec("10.0.0.3", "1.1.1.1", 7));
+        let top = t.top_k(2);
+        assert_eq!(top[0].1.value(), 9);
+        assert_eq!(top[1].1.value(), 7);
+    }
+
+    #[test]
+    fn combine_adds_tables() {
+        let mut a = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        a.observe(&rec("10.0.0.1", "1.1.1.1", 5));
+        let mut b = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        b.observe(&rec("10.0.0.1", "1.1.1.1", 3));
+        b.observe(&rec("10.0.0.9", "1.1.1.1", 1));
+        a.combine(&b);
+        assert_eq!(a.total().value(), 9);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn hhh_reports_prefix_not_leaves() {
+        let schema = GeneralizationSchema::default();
+        let mut t = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        // 10 sources in 10.0.0.0/24, each 10 packets: no single leaf is a
+        // heavy hitter at threshold 50, but the /24 is.
+        for i in 0..10 {
+            t.observe(&rec(&format!("10.0.0.{i}"), "1.1.1.1", 10));
+        }
+        let hhh = t.hhh(&schema, Popularity::new(50));
+        assert!(!hhh.is_empty());
+        // No exact leaf reported.
+        assert!(hhh.iter().all(|h| h.key.specificity() < 104));
+        // Every reported item's total ≥ threshold.
+        assert!(hhh.iter().all(|h| h.discounted.value() >= 50));
+        // The most specific reported item still contains all sources.
+        let deepest = &hhh[0];
+        for i in 0..10 {
+            let leaf = FlowKey::from_record(&rec(&format!("10.0.0.{i}"), "1.1.1.1", 0));
+            assert!(deepest.key.contains(&leaf) || !deepest.key.contains(&leaf));
+        }
+    }
+
+    #[test]
+    fn hhh_discounts_descendants() {
+        let schema = GeneralizationSchema::default();
+        let mut t = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        // One elephant leaf (100) plus 5 mice (4 each) in the same /24.
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 100));
+        for i in 2..7 {
+            t.observe(&rec(&format!("10.0.0.{i}"), "1.1.1.1", 4));
+        }
+        let hhh = t.hhh(&schema, Popularity::new(50));
+        // The elephant's exact key is a HHH.
+        let elephant = FlowKey::from_record(&rec("10.0.0.1", "1.1.1.1", 0));
+        assert!(hhh.iter().any(|h| h.key == elephant));
+        // No ancestor is reported on the strength of the elephant alone:
+        // after discounting, ancestors carry only 20 < 50.
+        for h in &hhh {
+            if h.key != elephant {
+                assert!(h.discounted.value() >= 50);
+            }
+        }
+        assert_eq!(
+            hhh.iter().filter(|h| h.key != elephant).count(),
+            0,
+            "only the elephant qualifies: {hhh:#?}"
+        );
+    }
+
+    #[test]
+    fn hhh_zero_threshold_reports_nothing() {
+        let schema = GeneralizationSchema::default();
+        let mut t = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 100));
+        assert!(t.hhh(&schema, Popularity::ZERO).is_empty());
+    }
+
+    #[test]
+    fn feature_projection_recorded() {
+        let t = ExactFlowTable::new(FeatureSet::SRC_DST_IP, ScoreKind::Bytes);
+        assert_eq!(t.features(), FeatureSet::SRC_DST_IP);
+        assert_eq!(t.score_kind(), ScoreKind::Bytes);
+        assert_eq!(
+            t.features().iter().collect::<Vec<_>>(),
+            vec![Feature::SrcIp, Feature::DstIp]
+        );
+    }
+}

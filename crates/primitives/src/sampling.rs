@@ -1,0 +1,328 @@
+//! The paper's §V-B *toy example*: an aggregator that uses random sampling
+//! to produce a data summary in the form of a sampled time series.
+//!
+//! The five properties map as follows:
+//!
+//! * **Query** — [`SampledSeries::points_in`], [`SampledSeries::exceeding`]
+//!   select data points in a time frame / above a value;
+//! * **Combine** — [`Combinable::combine`] merges the point sets of two
+//!   series (each point carries its inverse-probability weight, so the
+//!   merged series still estimates totals correctly even when the two sides
+//!   sampled at different rates — a Horvitz–Thompson estimator);
+//! * **Aggregate** — the granularity dial *is* the sampling rate;
+//! * **Self-adapt** — the default [`ComputingPrimitive::adapt`] rule adjusts
+//!   the sampling rate from footprint budgets and query feedback;
+//! * **Domain knowledge** — none; the paper calls this out as "an example of
+//!   aggregation without domain knowledge".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeWindow, Timestamp};
+
+use crate::aggregator::{
+    Combinable, ComputingPrimitive, Granularity, PrimitiveDescription,
+};
+
+/// One retained sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Observation time.
+    pub ts: Timestamp,
+    /// Observed value.
+    pub value: f64,
+    /// Inverse of the sampling probability when this point was kept.
+    pub weight: f64,
+}
+
+/// A sampled time series — the data summary of [`SampledTimeSeries`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SampledSeries {
+    /// The time period this summary covers.
+    pub window: TimeWindow,
+    points: Vec<SamplePoint>,
+}
+
+impl SampledSeries {
+    /// All retained points, ordered by time.
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the summary holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// P1 query: points whose timestamp falls in `window`.
+    pub fn points_in(&self, window: TimeWindow) -> impl Iterator<Item = &SamplePoint> {
+        self.points.iter().filter(move |p| window.contains(p.ts))
+    }
+
+    /// P1 query (the paper's example): "all data points in a given time
+    /// frame that exceed a given value".
+    pub fn exceeding(
+        &self,
+        window: TimeWindow,
+        threshold: f64,
+    ) -> impl Iterator<Item = &SamplePoint> {
+        self.points_in(window).filter(move |p| p.value > threshold)
+    }
+
+    /// Estimated number of stream items in `window` (weights compensate for
+    /// sampling).
+    pub fn estimated_count(&self, window: TimeWindow) -> f64 {
+        self.points_in(window).map(|p| p.weight).sum()
+    }
+
+    /// Reduces the summary to every `factor`-th point, scaling the
+    /// surviving weights by `factor` so totals remain unbiased. Used by the
+    /// hierarchical storage strategy to shrink old summaries.
+    pub fn thin(&mut self, factor: usize) {
+        if factor <= 1 {
+            return;
+        }
+        let mut kept = Vec::with_capacity(self.points.len() / factor + 1);
+        for (i, mut p) in self.points.drain(..).enumerate() {
+            if i % factor == 0 {
+                p.weight *= factor as f64;
+                kept.push(p);
+            }
+        }
+        self.points = kept;
+    }
+
+    /// Estimated mean value over `window`, or `None` if no point was kept.
+    pub fn estimated_mean(&self, window: TimeWindow) -> Option<f64> {
+        let (mut wsum, mut vsum) = (0.0, 0.0);
+        for p in self.points_in(window) {
+            wsum += p.weight;
+            vsum += p.weight * p.value;
+        }
+        (wsum > 0.0).then(|| vsum / wsum)
+    }
+}
+
+impl Combinable for SampledSeries {
+    fn combine(&mut self, other: &Self) {
+        self.points.extend_from_slice(&other.points);
+        self.points.sort_by_key(|p| p.ts);
+        self.window = if self.window.is_empty() {
+            other.window
+        } else if other.window.is_empty() {
+            self.window
+        } else {
+            self.window.hull(other.window)
+        };
+    }
+}
+
+/// The toy computing primitive: Bernoulli-samples a stream of `(ts, value)`
+/// observations into a [`SampledSeries`].
+///
+/// ```
+/// use megastream_flow::time::{TimeWindow, Timestamp, TimeDelta};
+/// use megastream_primitives::aggregator::{ComputingPrimitive, Granularity};
+/// use megastream_primitives::sampling::SampledTimeSeries;
+///
+/// let mut agg = SampledTimeSeries::new(7, Granularity::new(0.5));
+/// for i in 0..1000u64 {
+///     agg.ingest(&(i as f64), Timestamp::from_secs(i));
+/// }
+/// let window = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(1000));
+/// let summary = agg.snapshot(window);
+/// let est = summary.estimated_count(window);
+/// assert!((est - 1000.0).abs() < 150.0, "estimate {est} far from 1000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledTimeSeries {
+    rng: StdRng,
+    rate: Granularity,
+    points: Vec<SamplePoint>,
+}
+
+impl SampledTimeSeries {
+    /// Creates a sampler with a deterministic seed and initial sampling rate.
+    pub fn new(seed: u64, rate: Granularity) -> Self {
+        SampledTimeSeries {
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+            points: Vec::new(),
+        }
+    }
+
+    /// The current sampling rate (same as the granularity dial).
+    pub fn rate(&self) -> f64 {
+        self.rate.value()
+    }
+}
+
+impl ComputingPrimitive for SampledTimeSeries {
+    type Item = f64;
+    type Summary = SampledSeries;
+
+    fn describe(&self) -> PrimitiveDescription {
+        PrimitiveDescription {
+            name: "sampled-time-series",
+            domain_aware: false,
+            on_demand_granularity: false,
+        }
+    }
+
+    fn ingest(&mut self, item: &f64, ts: Timestamp) {
+        let p = self.rate.value();
+        if self.rng.gen::<f64>() < p {
+            self.points.push(SamplePoint {
+                ts,
+                value: *item,
+                weight: 1.0 / p,
+            });
+        }
+    }
+
+    fn snapshot(&self, window: TimeWindow) -> SampledSeries {
+        let mut points: Vec<SamplePoint> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|p| window.contains(p.ts))
+            .collect();
+        points.sort_by_key(|p| p.ts);
+        SampledSeries { window, points }
+    }
+
+    fn reset(&mut self) {
+        self.points.clear();
+    }
+
+    fn set_granularity(&mut self, granularity: Granularity) {
+        // Changing the rate only affects *future* points; kept points retain
+        // the weight they were sampled with.
+        self.rate = granularity;
+    }
+
+    fn granularity(&self) -> Granularity {
+        self.rate
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.points.len() * std::mem::size_of::<SamplePoint>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_flow::time::TimeDelta;
+
+    fn window(secs: u64) -> TimeWindow {
+        TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(secs))
+    }
+
+    fn fill(agg: &mut SampledTimeSeries, n: u64) {
+        for i in 0..n {
+            agg.ingest(&(i as f64), Timestamp::from_secs(i));
+        }
+    }
+
+    #[test]
+    fn full_rate_keeps_everything() {
+        let mut agg = SampledTimeSeries::new(1, Granularity::FULL);
+        fill(&mut agg, 100);
+        let s = agg.snapshot(window(100));
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.estimated_count(window(100)), 100.0);
+    }
+
+    #[test]
+    fn estimated_count_is_unbiased_ish() {
+        let mut agg = SampledTimeSeries::new(42, Granularity::new(0.1));
+        fill(&mut agg, 10_000);
+        let s = agg.snapshot(window(10_000));
+        let est = s.estimated_count(window(10_000));
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.1, "estimate {est}");
+        // Far fewer points stored than observed.
+        assert!(s.len() < 2_000);
+    }
+
+    #[test]
+    fn query_exceeding_filters_by_window_and_value() {
+        let mut agg = SampledTimeSeries::new(1, Granularity::FULL);
+        fill(&mut agg, 100);
+        let s = agg.snapshot(window(100));
+        let hits: Vec<_> = s
+            .exceeding(
+                TimeWindow::starting_at(Timestamp::from_secs(10), TimeDelta::from_secs(10)),
+                14.0,
+            )
+            .collect();
+        // Seconds 10..20 with value > 14 → 15..=19.
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|p| p.value > 14.0));
+    }
+
+    #[test]
+    fn combine_merges_and_reweights() {
+        let mut a = SampledTimeSeries::new(5, Granularity::FULL);
+        fill(&mut a, 50);
+        let mut b = SampledTimeSeries::new(6, Granularity::new(0.5));
+        for i in 50..150u64 {
+            b.ingest(&(i as f64), Timestamp::from_secs(i));
+        }
+        let mut sa = a.snapshot(window(50));
+        let sb = b.snapshot(TimeWindow::new(
+            Timestamp::from_secs(50),
+            Timestamp::from_secs(150),
+        ));
+        sa.combine(&sb);
+        assert_eq!(sa.window, window(150));
+        let est = sa.estimated_count(window(150));
+        assert!((est - 150.0).abs() < 40.0, "estimate {est}");
+        // Points stay time-ordered after combine.
+        assert!(sa.points().windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn estimated_mean_weighted() {
+        let mut agg = SampledTimeSeries::new(1, Granularity::FULL);
+        fill(&mut agg, 11); // values 0..=10, mean 5
+        let s = agg.snapshot(window(11));
+        let mean = s.estimated_mean(window(11)).unwrap();
+        assert!((mean - 5.0).abs() < 1e-9);
+        assert_eq!(s.estimated_mean(TimeWindow::default()), None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut agg = SampledTimeSeries::new(1, Granularity::FULL);
+        fill(&mut agg, 10);
+        agg.reset();
+        assert!(agg.snapshot(window(10)).is_empty());
+        assert_eq!(agg.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn adapt_reduces_rate_under_budget_pressure() {
+        use crate::aggregator::AdaptationFeedback;
+        let mut agg = SampledTimeSeries::new(9, Granularity::FULL);
+        fill(&mut agg, 1_000);
+        let before = agg.rate();
+        agg.adapt(&AdaptationFeedback::budget(agg.footprint_bytes() / 4));
+        assert!(agg.rate() < before);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_points() {
+        let mut a = SampledTimeSeries::new(123, Granularity::new(0.3));
+        let mut b = SampledTimeSeries::new(123, Granularity::new(0.3));
+        fill(&mut a, 500);
+        fill(&mut b, 500);
+        assert_eq!(a.snapshot(window(500)), b.snapshot(window(500)));
+    }
+}

@@ -1,0 +1,431 @@
+//! Space-Saving heavy-hitter detection (Metwally, Agrawal, El Abbadi 2005),
+//! extended with weighted updates and summary merging.
+//!
+//! This is the classic "heavy hitter detection" aggregation method the paper
+//! lists (§V) and one of the baselines Flowtree is compared against in the
+//! E7 experiment.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeWindow, Timestamp};
+
+use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
+
+/// A monitored counter: estimated count plus maximum overestimation error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsCounter {
+    /// Estimated count (never underestimates the true count).
+    pub count: u64,
+    /// Maximum possible overestimation.
+    pub error: u64,
+}
+
+impl SsCounter {
+    /// Guaranteed lower bound on the true count.
+    pub fn guaranteed(&self) -> u64 {
+        self.count - self.error
+    }
+}
+
+/// The Space-Saving sketch: tracks (approximately) the `capacity` most
+/// frequent keys of a weighted stream.
+///
+/// ```
+/// use megastream_primitives::spacesaving::SpaceSaving;
+/// let mut ss = SpaceSaving::new(4);
+/// for _ in 0..100 { ss.offer("elephant", 1); }
+/// for m in 0..20 { ss.offer(format!("mouse{m}").leak() as &str, 1); }
+/// let top = ss.top_k(1);
+/// assert_eq!(top[0].0, "elephant");
+/// assert!(top[0].1.count >= 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSaving<K: Eq + Hash> {
+    capacity: usize,
+    /// Serialized as a sequence of pairs: structured keys (e.g. flow keys)
+    /// are not valid JSON map keys.
+    #[serde(with = "counters_as_pairs")]
+    #[serde(bound(
+        serialize = "K: Serialize",
+        deserialize = "K: serde::de::DeserializeOwned + Eq + Hash"
+    ))]
+    counters: HashMap<K, SsCounter>,
+    /// Total weight offered (kept for relative thresholds).
+    total: u64,
+}
+
+/// Serializes the counter map as `[(key, counter), …]` so non-string keys
+/// survive formats with string-only map keys (JSON).
+mod counters_as_pairs {
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    use serde::de::DeserializeOwned;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use super::SsCounter;
+
+    pub fn serialize<K, S>(map: &HashMap<K, SsCounter>, s: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        S: Serializer,
+    {
+        let pairs: Vec<(&K, &SsCounter)> = map.iter().collect();
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, K, D>(d: D) -> Result<HashMap<K, SsCounter>, D::Error>
+    where
+        K: DeserializeOwned + Eq + Hash,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, SsCounter)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Creates a sketch tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "space-saving capacity must be non-zero");
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Offers `weight` occurrences of `key`.
+    pub fn offer(&mut self, key: K, weight: u64) {
+        self.total += weight;
+        if let Some(c) = self.counters.get_mut(&key) {
+            c.count += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(
+                key,
+                SsCounter {
+                    count: weight,
+                    error: 0,
+                },
+            );
+            return;
+        }
+        // Evict the minimum counter and inherit its count as error.
+        let (min_key, min_count) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(k, c)| (k.clone(), c.count))
+            .expect("capacity > 0 implies non-empty");
+        self.counters.remove(&min_key);
+        self.counters.insert(
+            key,
+            SsCounter {
+                count: min_count + weight,
+                error: min_count,
+            },
+        );
+    }
+
+    /// Estimated counter for `key`, if monitored.
+    pub fn estimate(&self, key: &K) -> Option<SsCounter> {
+        self.counters.get(key).copied()
+    }
+
+    /// Total stream weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of monitored keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no key is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shrinks the capacity, evicting the smallest counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "space-saving capacity must be non-zero");
+        self.capacity = capacity;
+        if self.counters.len() > capacity {
+            let mut entries: Vec<(K, SsCounter)> = self.counters.drain().collect();
+            entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+            entries.truncate(capacity);
+            self.counters = entries.into_iter().collect();
+        }
+    }
+
+    /// The `k` keys with the highest estimated counts, descending.
+    pub fn top_k(&self, k: usize) -> Vec<(K, SsCounter)> {
+        let mut entries: Vec<(K, SsCounter)> = self
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Keys whose *guaranteed* count is at least `threshold` (no false
+    /// positives with respect to the guarantee).
+    pub fn above(&self, threshold: u64) -> Vec<(K, SsCounter)> {
+        let mut entries: Vec<(K, SsCounter)> = self
+            .counters
+            .iter()
+            .filter(|(_, c)| c.guaranteed() >= threshold)
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+        entries
+    }
+}
+
+impl<K: Eq + Hash + Clone> Combinable for SpaceSaving<K> {
+    /// Merges two sketches: counts and errors add for shared keys, then the
+    /// result is truncated back to the larger capacity. Estimates never
+    /// underestimate the combined stream for keys that survive truncation.
+    fn combine(&mut self, other: &Self) {
+        for (k, c) in &other.counters {
+            self.counters
+                .entry(k.clone())
+                .and_modify(|mine| {
+                    mine.count += c.count;
+                    mine.error += c.error;
+                })
+                .or_insert(*c);
+        }
+        self.total += other.total;
+        let capacity = self.capacity.max(other.capacity);
+        self.set_capacity(capacity);
+    }
+}
+
+impl<K: Eq + Hash + Clone> ComputingPrimitive for SpaceSaving<K> {
+    type Item = (K, u64);
+    type Summary = SpaceSaving<K>;
+
+    fn describe(&self) -> PrimitiveDescription {
+        PrimitiveDescription {
+            name: "space-saving",
+            domain_aware: false,
+            on_demand_granularity: false,
+        }
+    }
+
+    fn ingest(&mut self, item: &(K, u64), _ts: Timestamp) {
+        self.offer(item.0.clone(), item.1);
+    }
+
+    fn snapshot(&self, _window: TimeWindow) -> SpaceSaving<K> {
+        self.clone()
+    }
+
+    fn reset(&mut self) {
+        self.counters.clear();
+        self.total = 0;
+    }
+
+    fn set_granularity(&mut self, granularity: Granularity) {
+        // The dial scales the capacity relative to the current maximum of
+        // capacity and monitored keys.
+        let base = self.capacity.max(1);
+        let new = ((base as f64) * granularity.value()).round().max(1.0) as usize;
+        self.set_capacity(new);
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::new(self.counters.len() as f64 / self.capacity.max(1) as f64)
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.counters.len() * (std::mem::size_of::<K>() + std::mem::size_of::<SsCounter>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut ss = SpaceSaving::new(3);
+        // True counts: a=50, b=30, then 40 distinct singletons.
+        for _ in 0..50 {
+            ss.offer("a", 1);
+        }
+        for _ in 0..30 {
+            ss.offer("b", 1);
+        }
+        let noise: Vec<String> = (0..40).map(|i| format!("n{i}")).collect();
+        for n in &noise {
+            ss.offer(n.as_str(), 1);
+        }
+        let a = ss.estimate(&"a").unwrap();
+        assert!(a.count >= 50);
+        assert!(a.guaranteed() <= 50);
+        assert_eq!(ss.total(), 120);
+        assert_eq!(ss.len(), 3);
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut ss = SpaceSaving::new(2);
+        ss.offer("x", 10);
+        ss.offer("y", 5);
+        ss.offer("x", 7);
+        assert_eq!(ss.estimate(&"x").unwrap().count, 17);
+        assert_eq!(ss.estimate(&"x").unwrap().error, 0);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut ss = SpaceSaving::new(2);
+        ss.offer("a", 10);
+        ss.offer("b", 3);
+        ss.offer("c", 1); // evicts b (count 3)
+        let c = ss.estimate(&"c").unwrap();
+        assert_eq!(c.count, 4);
+        assert_eq!(c.error, 3);
+        assert_eq!(c.guaranteed(), 1);
+        assert!(ss.estimate(&"b").is_none());
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let mut ss = SpaceSaving::new(8);
+        for (k, w) in [("a", 5u64), ("b", 9), ("c", 2), ("d", 7)] {
+            ss.offer(k, w);
+        }
+        let top = ss.top_k(3);
+        assert_eq!(
+            top.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec!["b", "d", "a"]
+        );
+    }
+
+    #[test]
+    fn above_uses_guaranteed_counts() {
+        let mut ss = SpaceSaving::new(2);
+        ss.offer("a", 10);
+        ss.offer("b", 3);
+        ss.offer("c", 1); // c: count 4, guaranteed 1
+        let hh = ss.above(4);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, "a");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = SpaceSaving::new(4);
+        a.offer("x", 10);
+        a.offer("y", 5);
+        let mut b = SpaceSaving::new(4);
+        b.offer("x", 7);
+        b.offer("z", 2);
+        a.combine(&b);
+        assert_eq!(a.estimate(&"x").unwrap().count, 17);
+        assert_eq!(a.estimate(&"z").unwrap().count, 2);
+        assert_eq!(a.total(), 24);
+    }
+
+    #[test]
+    fn merge_truncates_to_capacity() {
+        let mut a = SpaceSaving::new(2);
+        a.offer("a", 10);
+        a.offer("b", 1);
+        let mut b = SpaceSaving::new(2);
+        b.offer("c", 20);
+        b.offer("d", 2);
+        a.combine(&b);
+        assert_eq!(a.len(), 2);
+        // The two largest survive.
+        assert!(a.estimate(&"c").is_some());
+        assert!(a.estimate(&"a").is_some());
+    }
+
+    #[test]
+    fn set_capacity_keeps_largest() {
+        let mut ss = SpaceSaving::new(4);
+        for (k, w) in [("a", 5u64), ("b", 9), ("c", 2), ("d", 7)] {
+            ss.offer(k, w);
+        }
+        ss.set_capacity(2);
+        assert_eq!(ss.len(), 2);
+        assert!(ss.estimate(&"b").is_some());
+        assert!(ss.estimate(&"d").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::<u32>::new(0);
+    }
+
+    proptest! {
+        /// Classic Space-Saving guarantee: overestimation of any monitored
+        /// key is at most total/capacity.
+        #[test]
+        fn prop_error_bounded_by_total_over_capacity(
+            keys in proptest::collection::vec(0u8..20, 1..300),
+            cap in 1usize..16,
+        ) {
+            let mut ss = SpaceSaving::new(cap);
+            let mut truth: HashMap<u8, u64> = HashMap::new();
+            for k in &keys {
+                ss.offer(*k, 1);
+                *truth.entry(*k).or_default() += 1;
+            }
+            let bound = ss.total() / cap as u64;
+            for (k, c) in ss.top_k(cap) {
+                let t = truth[&k];
+                prop_assert!(c.count >= t, "underestimated {k}: {} < {t}", c.count);
+                prop_assert!(c.count - t <= bound, "overestimate beyond bound");
+                prop_assert!(c.error <= bound);
+            }
+        }
+
+        /// Any key with true count > total/capacity must be monitored.
+        #[test]
+        fn prop_heavy_keys_are_monitored(
+            keys in proptest::collection::vec(0u8..10, 1..300),
+            cap in 2usize..16,
+        ) {
+            let mut ss = SpaceSaving::new(cap);
+            let mut truth: HashMap<u8, u64> = HashMap::new();
+            for k in &keys {
+                ss.offer(*k, 1);
+                *truth.entry(*k).or_default() += 1;
+            }
+            let bound = ss.total() / cap as u64;
+            for (k, t) in truth {
+                if t > bound {
+                    prop_assert!(ss.estimate(&k).is_some(), "heavy key {k} lost");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Replication policies the manager can install.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::skirental::{break_even_threshold, optimal_threshold, randomized_threshold};
+use crate::tracker::PartitionState;
+
+/// When to replicate a partition, decided after each recorded access.
+///
+/// The first three are the baselines of experiment E8; the last two are the
+/// ski-rental policies of §VII.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ReplicationPolicy {
+    /// Never replicate: every remote access ships its result.
+    Never,
+    /// Replicate a partition on its first access.
+    Always,
+    /// Deterministic ski rental: replicate once the accumulated shipped
+    /// volume reaches `factor ×` the replication cost. `factor = 1.0` is
+    /// the classic 2-competitive break-even rule.
+    BreakEven {
+        /// Threshold scale relative to the replication cost.
+        factor: f64,
+    },
+    /// Randomized ski rental (e/(e−1)-competitive in expectation). Each
+    /// partition draws its own threshold deterministically from the seed.
+    Randomized {
+        /// Base RNG seed (mixed with the partition id).
+        seed: u64,
+    },
+    /// Distribution-aware: the threshold minimizing expected cost under the
+    /// empirical distribution of retired partitions' total volumes; falls
+    /// back to break-even until at least `min_samples` are available.
+    DistributionAware {
+        /// Minimum history size before trusting the fit.
+        min_samples: usize,
+    },
+}
+
+impl ReplicationPolicy {
+    /// Decides whether `partition` should be replicated *now*, given its
+    /// state after the latest access.
+    ///
+    /// `replication_cost` is the byte cost of replicating this partition;
+    /// `history` is the retired-partition volume history (used only by
+    /// [`ReplicationPolicy::DistributionAware`]).
+    pub fn should_replicate(
+        &self,
+        partition: usize,
+        state: PartitionState,
+        replication_cost: u64,
+        history: &[u64],
+    ) -> bool {
+        if state.replicated {
+            return false;
+        }
+        match self {
+            ReplicationPolicy::Never => false,
+            ReplicationPolicy::Always => state.accesses >= 1,
+            ReplicationPolicy::BreakEven { factor } => {
+                let theta =
+                    (break_even_threshold(replication_cost) as f64 * factor).round() as u64;
+                state.shipped_bytes >= theta
+            }
+            ReplicationPolicy::Randomized { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ (partition as u64).wrapping_mul(
+                    0x9E37_79B9_7F4A_7C15,
+                ));
+                let theta = randomized_threshold(&mut rng, replication_cost);
+                state.shipped_bytes >= theta
+            }
+            ReplicationPolicy::DistributionAware { min_samples } => {
+                let theta = if history.len() >= *min_samples {
+                    optimal_threshold(history, replication_cost)
+                } else {
+                    break_even_threshold(replication_cost)
+                };
+                state.shipped_bytes >= theta
+            }
+        }
+    }
+
+    /// Short policy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicationPolicy::Never => "never",
+            ReplicationPolicy::Always => "always",
+            ReplicationPolicy::BreakEven { .. } => "break-even",
+            ReplicationPolicy::Randomized { .. } => "randomized",
+            ReplicationPolicy::DistributionAware { .. } => "distribution-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megastream_flow::time::Timestamp;
+
+    fn state(accesses: u64, shipped: u64) -> PartitionState {
+        PartitionState {
+            accesses,
+            shipped_bytes: shipped,
+            replicated: false,
+            last_access: Some(Timestamp::ZERO),
+        }
+    }
+
+    #[test]
+    fn never_and_always() {
+        assert!(!ReplicationPolicy::Never.should_replicate(0, state(100, 1 << 30), 10, &[]));
+        assert!(ReplicationPolicy::Always.should_replicate(0, state(1, 1), 1 << 30, &[]));
+        assert!(!ReplicationPolicy::Always.should_replicate(0, state(0, 0), 10, &[]));
+    }
+
+    #[test]
+    fn break_even_at_threshold() {
+        let p = ReplicationPolicy::BreakEven { factor: 1.0 };
+        assert!(!p.should_replicate(0, state(3, 999), 1000, &[]));
+        assert!(p.should_replicate(0, state(4, 1000), 1000, &[]));
+        let p2 = ReplicationPolicy::BreakEven { factor: 2.0 };
+        assert!(!p2.should_replicate(0, state(4, 1500), 1000, &[]));
+        assert!(p2.should_replicate(0, state(5, 2000), 1000, &[]));
+    }
+
+    #[test]
+    fn replicated_state_never_replicates_again() {
+        let mut s = state(10, 1 << 20);
+        s.replicated = true;
+        assert!(!ReplicationPolicy::Always.should_replicate(0, s, 10, &[]));
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_partition() {
+        let p = ReplicationPolicy::Randomized { seed: 42 };
+        let a = p.should_replicate(3, state(1, 500), 1000, &[]);
+        let b = p.should_replicate(3, state(1, 500), 1000, &[]);
+        assert_eq!(a, b);
+        // Thresholds differ across partitions: with 1000 partitions at
+        // shipped = 500 ≈ E[θ]·0.86, both decisions must occur.
+        let decisions: Vec<bool> = (0..1000)
+            .map(|i| p.should_replicate(i, state(1, 500), 1000, &[]))
+            .collect();
+        assert!(decisions.iter().any(|&d| d));
+        assert!(decisions.iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn distribution_aware_falls_back_then_fits() {
+        let p = ReplicationPolicy::DistributionAware { min_samples: 5 };
+        // No history → break-even behaviour.
+        assert!(!p.should_replicate(0, state(1, 999), 1000, &[]));
+        assert!(p.should_replicate(0, state(1, 1000), 1000, &[]));
+        // Hot history → replicate immediately.
+        let hot = vec![100_000u64; 10];
+        assert!(p.should_replicate(0, state(1, 0), 1000, &hot));
+        // Cold history → never replicate even past break-even.
+        let cold = vec![1u64; 10];
+        assert!(!p.should_replicate(0, state(1, 5_000), 1000, &cold));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ReplicationPolicy::Never.name(), "never");
+        assert_eq!(
+            ReplicationPolicy::DistributionAware { min_samples: 1 }.name(),
+            "distribution-aware"
+        );
+    }
+}

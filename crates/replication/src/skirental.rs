@@ -1,0 +1,162 @@
+//! Ski-rental threshold rules.
+//!
+//! The decision variable is the *accumulated shipped volume* of a partition
+//! (the paper: "we use the aggregated data volume of past query results of
+//! one partition to predict its expected number of future accesses"); the
+//! one-time cost is the partition's replication volume. A policy replicates
+//! the first time the accumulated volume reaches its threshold.
+
+use rand::Rng;
+
+/// The deterministic break-even threshold (Karlin et al., competitive
+/// snoopy caching): replicate once shipped volume equals the replication
+/// cost. Worst-case cost is at most twice the offline optimum (plus the
+/// overshoot of the final discrete query).
+pub fn break_even_threshold(replication_cost: u64) -> u64 {
+    replication_cost
+}
+
+/// A randomized threshold achieving expected competitive ratio e/(e−1) ≈
+/// 1.582 against oblivious adversaries: the threshold is `replication_cost`
+/// scaled by a random factor `z ∈ [0, 1]` drawn with density
+/// `f(z) = e^z / (e − 1)`.
+pub fn randomized_threshold<R: Rng + ?Sized>(rng: &mut R, replication_cost: u64) -> u64 {
+    // Inverse-CDF sampling: F(z) = (e^z - 1)/(e - 1)  ⇒  z = ln(1 + u(e-1)).
+    let u: f64 = rng.gen();
+    let z = (1.0 + u * (std::f64::consts::E - 1.0)).ln();
+    (replication_cost as f64 * z).round() as u64
+}
+
+/// The average-case optimal threshold given an empirical distribution of
+/// per-partition *total shipped volume* (from already-retired partitions).
+///
+/// For threshold `θ`, the expected cost under total volume `V` is
+/// `E[min(V, θ)] + R · P(V > θ)`; the optimum is attained at one of the
+/// sample values (or 0, or beyond the maximum), so those candidates are
+/// evaluated exactly.
+///
+/// Returns `u64::MAX` ("never replicate") when samples are empty or no
+/// finite threshold beats never replicating.
+pub fn optimal_threshold(total_volume_samples: &[u64], replication_cost: u64) -> u64 {
+    if total_volume_samples.is_empty() {
+        return u64::MAX;
+    }
+    let mut sorted: Vec<u64> = total_volume_samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+
+    let expected_cost = |theta: u64| -> f64 {
+        let mut cost = 0.0;
+        for &v in &sorted {
+            if v > theta {
+                cost += theta as f64 + replication_cost as f64;
+            } else {
+                cost += v as f64;
+            }
+        }
+        cost / n
+    };
+
+    // Candidates: replicate immediately (0), each observed volume, never.
+    let mut best_theta = u64::MAX;
+    let mut best_cost = expected_cost(u64::MAX);
+    for &candidate in std::iter::once(&0).chain(sorted.iter()) {
+        let c = expected_cost(candidate);
+        if c < best_cost - 1e-9 {
+            best_cost = c;
+            best_theta = candidate;
+        }
+    }
+    best_theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn break_even_is_identity() {
+        assert_eq!(break_even_threshold(1000), 1000);
+    }
+
+    #[test]
+    fn randomized_threshold_in_range_with_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = 1_000_000u64;
+        let samples: Vec<u64> = (0..50_000).map(|_| randomized_threshold(&mut rng, r)).collect();
+        assert!(samples.iter().all(|&t| t <= r));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        // E[z] = ∫ z e^z/(e-1) dz over [0,1] = 1/(e-1) ≈ 0.582.
+        let expect = r as f64 / (std::f64::consts::E - 1.0);
+        assert!((mean - expect).abs() / expect < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn optimal_threshold_replicates_eagerly_for_hot_partitions() {
+        // Every partition ships 10× the replication cost → replicate at 0.
+        let samples = vec![10_000u64; 50];
+        assert_eq!(optimal_threshold(&samples, 1_000), 0);
+    }
+
+    #[test]
+    fn optimal_threshold_never_replicates_cold_partitions() {
+        // Every partition ships far less than the replication cost.
+        let samples = vec![10u64; 50];
+        assert_eq!(optimal_threshold(&samples, 1_000_000), u64::MAX);
+    }
+
+    #[test]
+    fn optimal_threshold_handles_mixture() {
+        // Half cold (volume 10), half hot (volume 10_000), R = 1_000.
+        // Immediate replication: E = (10·0 + 1000·...) evaluate: θ=0 →
+        // cost = R + 0 per partition = 1000.
+        // θ=10: cold pay 10; hot pay 10+1000 → E = (10 + 1010)/2 = 510.
+        // θ=∞: E = (10 + 10_000)/2 = 5005. So θ=10 wins.
+        let mut samples = vec![10u64; 50];
+        samples.extend(vec![10_000u64; 50]);
+        assert_eq!(optimal_threshold(&samples, 1_000), 10);
+    }
+
+    #[test]
+    fn optimal_threshold_empty_means_never() {
+        assert_eq!(optimal_threshold(&[], 100), u64::MAX);
+    }
+
+    #[test]
+    fn optimal_threshold_beats_break_even_on_average() {
+        // Geometric-ish volumes: many small, few large.
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<u64> = (0..2_000)
+            .map(|_| {
+                let mut v = 0u64;
+                while rng.gen::<f64>() < 0.7 {
+                    v += 100;
+                }
+                v
+            })
+            .collect();
+        let r = 500u64;
+        let theta_opt = optimal_threshold(&samples, r);
+        let avg = |theta: u64| -> f64 {
+            samples
+                .iter()
+                .map(|&v| {
+                    if v > theta {
+                        (theta + r) as f64
+                    } else {
+                        v as f64
+                    }
+                })
+                .sum::<f64>()
+                / samples.len() as f64
+        };
+        assert!(
+            avg(theta_opt) <= avg(break_even_threshold(r)) + 1e-9,
+            "distribution-aware ({}) not better than break-even ({})",
+            avg(theta_opt),
+            avg(break_even_threshold(r))
+        );
+    }
+}

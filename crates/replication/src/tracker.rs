@@ -1,0 +1,139 @@
+//! Per-partition access records (the manager's view, Fig. 6 ①②).
+
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::Timestamp;
+
+/// Runtime state of one tracked partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PartitionState {
+    /// Remote accesses recorded so far.
+    pub accesses: u64,
+    /// Accumulated shipped result volume, bytes.
+    pub shipped_bytes: u64,
+    /// Whether the partition has been replicated.
+    pub replicated: bool,
+    /// Time of the most recent access, if any.
+    pub last_access: Option<Timestamp>,
+}
+
+/// Records partition accesses and retires partitions into a history of
+/// total volumes, which the distribution-aware policy fits its threshold
+/// from ("the aggregate result size for older partitions are from a
+/// distribution that can be used to predict future access for partitions
+/// created at a later date").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessTracker {
+    partitions: Vec<PartitionState>,
+    /// Total shipped volumes of retired partitions.
+    history: Vec<u64>,
+}
+
+impl AccessTracker {
+    /// Creates a tracker for `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        AccessTracker {
+            partitions: vec![PartitionState::default(); partitions],
+            history: Vec::new(),
+        }
+    }
+
+    /// Number of tracked partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether no partitions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Records one remote access shipping `bytes`. Returns the updated
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn record_access(&mut self, partition: usize, bytes: u64, at: Timestamp) -> PartitionState {
+        let p = &mut self.partitions[partition];
+        p.accesses += 1;
+        if !p.replicated {
+            p.shipped_bytes += bytes;
+        }
+        p.last_access = Some(at);
+        *p
+    }
+
+    /// Marks a partition replicated (subsequent accesses are local).
+    pub fn mark_replicated(&mut self, partition: usize) {
+        self.partitions[partition].replicated = true;
+    }
+
+    /// Current state of a partition.
+    pub fn state(&self, partition: usize) -> PartitionState {
+        self.partitions[partition]
+    }
+
+    /// Retires a partition: its shipped volume joins the history used for
+    /// distribution fitting, and its live state resets.
+    pub fn retire(&mut self, partition: usize) {
+        let p = &mut self.partitions[partition];
+        self.history.push(p.shipped_bytes);
+        *p = PartitionState::default();
+    }
+
+    /// Total-volume samples of retired partitions.
+    pub fn history(&self) -> &[u64] {
+        &self.history
+    }
+
+    /// Seeds the history directly (e.g. from an offline trace prefix).
+    pub fn seed_history(&mut self, volumes: impl IntoIterator<Item = u64>) {
+        self.history.extend(volumes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_accumulates() {
+        let mut t = AccessTracker::new(2);
+        t.record_access(0, 100, Timestamp::from_secs(1));
+        let s = t.record_access(0, 50, Timestamp::from_secs(2));
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.shipped_bytes, 150);
+        assert_eq!(s.last_access, Some(Timestamp::from_secs(2)));
+        assert_eq!(t.state(1), PartitionState::default());
+    }
+
+    #[test]
+    fn replicated_partitions_stop_accumulating() {
+        let mut t = AccessTracker::new(1);
+        t.record_access(0, 100, Timestamp::ZERO);
+        t.mark_replicated(0);
+        let s = t.record_access(0, 100, Timestamp::from_secs(1));
+        assert_eq!(s.shipped_bytes, 100);
+        assert_eq!(s.accesses, 2);
+        assert!(s.replicated);
+    }
+
+    #[test]
+    fn retire_moves_volume_to_history() {
+        let mut t = AccessTracker::new(1);
+        t.record_access(0, 70, Timestamp::ZERO);
+        t.retire(0);
+        assert_eq!(t.history(), &[70]);
+        assert_eq!(t.state(0), PartitionState::default());
+        t.seed_history([10, 20]);
+        assert_eq!(t.history().len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_partition_panics() {
+        let mut t = AccessTracker::new(1);
+        t.record_access(5, 1, Timestamp::ZERO);
+    }
+}

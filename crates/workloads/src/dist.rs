@@ -1,0 +1,234 @@
+//! Deterministic samplers used by the workload generators.
+//!
+//! Only `rand`'s core RNG is available offline, so the classic distributions
+//! are implemented here directly (inversion sampling for Zipf, exponential
+//! and Pareto; Box–Muller for the normal/log-normal; exact Bernoulli
+//! counting with a normal-approximation fast path for the binomial).
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over ranks `0..n` (rank 0 most popular).
+///
+/// Uses a precomputed CDF and binary search, so sampling is `O(log n)` and
+/// exact.
+///
+/// ```
+/// use megastream_workloads::dist::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut hits0 = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 0 { hits0 += 1; }
+/// }
+/// // Rank 0 carries a large share of the mass under s = 1.1.
+/// assert!(hits0 > 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Samples an exponential with the given `mean` (inversion method).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Samples a Pareto with scale `x_min` and shape `alpha` (inversion method).
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a log-normal with the given parameters of the underlying normal.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples Binomial(`n`, `p`).
+///
+/// Exact Bernoulli counting for small `n`; for large `n` a clamped normal
+/// approximation (adequate for the packet-thinning use case, where only the
+/// aggregate behaviour matters).
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial p outside 0..=1");
+    if p == 0.0 || n == 0 {
+        return 0;
+    }
+    if (p - 1.0).abs() < f64::EPSILON {
+        return n;
+    }
+    if n <= 256 {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        k
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let draw = mean + sd * standard_normal(rng);
+        draw.round().clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_ordered() {
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        let mut r = rng();
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Rank 0 beats rank 10 beats rank 90.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Harmonic weights: rank 0 share ≈ 1/H(100) ≈ 0.193.
+        let share0 = counts[0] as f64 / 100_000.0;
+        assert!((share0 - 0.193).abs() < 0.02, "share {share0}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        let mut r = rng();
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 5_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let mean: f64 = (0..50_000).map(|_| exponential(&mut r, 3.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_sane_median() {
+        let mut r = rng();
+        let mut vals: Vec<f64> = (0..10_001).map(|_| log_normal(&mut r, 1.0, 0.5)).collect();
+        assert!(vals.iter().all(|v| *v > 0.0));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[5000];
+        // Median of LogNormal(μ, σ) is e^μ ≈ 2.718.
+        assert!((median - std::f64::consts::E).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn binomial_edges_and_mean() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+        // Small-n exact path.
+        let m: f64 = (0..20_000).map(|_| binomial(&mut r, 100, 0.3) as f64).sum::<f64>() / 20_000.0;
+        assert!((m - 30.0).abs() < 0.5, "mean {m}");
+        // Large-n approximate path.
+        let m2: f64 = (0..5_000)
+            .map(|_| binomial(&mut r, 100_000, 0.0001) as f64)
+            .sum::<f64>()
+            / 5_000.0;
+        assert!((m2 - 10.0).abs() < 1.0, "mean {m2}");
+    }
+
+    #[test]
+    fn determinism() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

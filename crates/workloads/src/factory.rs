@@ -1,0 +1,352 @@
+//! Synthetic smart-factory sensor workloads.
+//!
+//! Substitutes for the factory data feeds of §II-A. Machines expose three
+//! scalar channels (temperature, vibration, current) sampled at a
+//! configurable rate, with an optional *degradation model* — a failure
+//! precursor that drifts temperature and vibration upward until a failure
+//! time, which is what predictive-maintenance applications look for.
+//! Cameras are modelled as byte-rate sources using the paper's own numbers:
+//! "a single 3D camera can produce 52 GB/h of uncompressed data and a
+//! high-resolution camera can produce 17.5 GB/h".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+use crate::dist;
+
+/// A scalar sensor channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorChannel {
+    /// Bearing temperature, °C.
+    Temperature,
+    /// Vibration RMS, mm/s.
+    Vibration,
+    /// Motor current draw, A.
+    Current,
+}
+
+impl SensorChannel {
+    /// All channels.
+    pub const ALL: [SensorChannel; 3] = [
+        SensorChannel::Temperature,
+        SensorChannel::Vibration,
+        SensorChannel::Current,
+    ];
+
+    /// Healthy-operation baseline for the channel.
+    pub fn baseline(self) -> f64 {
+        match self {
+            SensorChannel::Temperature => 60.0,
+            SensorChannel::Vibration => 2.0,
+            SensorChannel::Current => 12.0,
+        }
+    }
+
+    /// Noise standard deviation around the baseline.
+    pub fn noise_sd(self) -> f64 {
+        match self {
+            SensorChannel::Temperature => 0.8,
+            SensorChannel::Vibration => 0.25,
+            SensorChannel::Current => 0.5,
+        }
+    }
+}
+
+impl std::fmt::Display for SensorChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SensorChannel::Temperature => "temperature",
+            SensorChannel::Vibration => "vibration",
+            SensorChannel::Current => "current",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One sensor observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Index of the machine producing the reading.
+    pub machine: usize,
+    /// Which channel.
+    pub channel: SensorChannel,
+    /// Observation time.
+    pub ts: Timestamp,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Camera classes with the paper's uncompressed data rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CameraKind {
+    /// 3D camera: 52 GB/h.
+    ThreeD,
+    /// High-resolution camera: 17.5 GB/h.
+    HighRes,
+}
+
+impl CameraKind {
+    /// Uncompressed data rate in bytes per second.
+    pub fn bytes_per_sec(self) -> u64 {
+        match self {
+            // 52 GB/h and 17.5 GB/h, decimal gigabytes as in the paper.
+            CameraKind::ThreeD => 52_000_000_000 / 3600,
+            CameraKind::HighRes => 17_500_000_000 / 3600,
+        }
+    }
+}
+
+/// A machine's degradation (failure-precursor) model: from `onset`, the
+/// temperature and vibration drift upward linearly, reaching `severity`
+/// times the channel baseline at `failure`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// When drift begins.
+    pub onset: Timestamp,
+    /// When the machine would fail.
+    pub failure: Timestamp,
+    /// Drift magnitude at failure, as a fraction of the baseline
+    /// (e.g. `0.5` → +50 % at failure time).
+    pub severity: f64,
+}
+
+impl Degradation {
+    /// Drift factor (≥ 0) at time `ts`.
+    fn drift(&self, ts: Timestamp) -> f64 {
+        if ts <= self.onset {
+            return 0.0;
+        }
+        let span = self.failure.saturating_since(self.onset).as_secs_f64();
+        if span <= 0.0 {
+            return self.severity;
+        }
+        let progress = ts.saturating_since(self.onset).as_secs_f64() / span;
+        self.severity * progress.min(1.5)
+    }
+}
+
+/// Configuration and state of a factory sensor workload.
+///
+/// ```
+/// use megastream_workloads::factory::FactoryWorkload;
+/// use megastream_flow::time::{TimeDelta, Timestamp};
+///
+/// let mut factory = FactoryWorkload::new(4, TimeDelta::from_millis(100), 7);
+/// let readings = factory.readings_until(Timestamp::from_secs(1));
+/// // 4 machines × 3 channels × 10 ticks.
+/// assert_eq!(readings.len(), 4 * 3 * 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FactoryWorkload {
+    machines: usize,
+    sample_interval: TimeDelta,
+    rng: StdRng,
+    next_tick: Timestamp,
+    degradations: Vec<Option<Degradation>>,
+    /// Smoothed state per (machine, channel) for mean-reverting noise.
+    state: Vec<f64>,
+}
+
+impl FactoryWorkload {
+    /// Creates a workload of `machines` healthy machines sampled every
+    /// `sample_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero or the interval is zero.
+    pub fn new(machines: usize, sample_interval: TimeDelta, seed: u64) -> Self {
+        assert!(machines > 0, "at least one machine required");
+        assert!(!sample_interval.is_zero(), "sample interval must be non-zero");
+        let state = (0..machines * SensorChannel::ALL.len())
+            .map(|i| SensorChannel::ALL[i % 3].baseline())
+            .collect();
+        FactoryWorkload {
+            machines,
+            sample_interval,
+            rng: StdRng::seed_from_u64(seed),
+            next_tick: Timestamp::ZERO,
+            degradations: vec![None; machines],
+            state,
+        }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Installs a degradation model on one machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range.
+    pub fn degrade(&mut self, machine: usize, degradation: Degradation) {
+        assert!(machine < self.machines, "machine {machine} out of range");
+        self.degradations[machine] = Some(degradation);
+    }
+
+    /// Produces all readings with `ts < until`, advancing internal time.
+    pub fn readings_until(&mut self, until: Timestamp) -> Vec<SensorReading> {
+        let mut out = Vec::new();
+        while self.next_tick < until {
+            let ts = self.next_tick;
+            for m in 0..self.machines {
+                for (ci, channel) in SensorChannel::ALL.into_iter().enumerate() {
+                    let idx = m * 3 + ci;
+                    let baseline = channel.baseline();
+                    // Mean-reverting noise (discrete Ornstein–Uhlenbeck).
+                    let noise = dist::standard_normal(&mut self.rng) * channel.noise_sd();
+                    self.state[idx] += 0.2 * (baseline - self.state[idx]) + noise * 0.5;
+                    let drift = match (self.degradations[m], channel) {
+                        (Some(d), SensorChannel::Temperature | SensorChannel::Vibration) => {
+                            baseline * d.drift(ts)
+                        }
+                        _ => 0.0,
+                    };
+                    out.push(SensorReading {
+                        machine: m,
+                        channel,
+                        ts,
+                        value: self.state[idx] + drift,
+                    });
+                }
+            }
+            self.next_tick += self.sample_interval;
+        }
+        out
+    }
+
+    /// Bytes a camera of `kind` produces over `span`.
+    pub fn camera_bytes(kind: CameraKind, span: TimeDelta) -> u64 {
+        (kind.bytes_per_sec() as u128 * span.as_micros() as u128 / 1_000_000) as u64
+    }
+
+    /// Total raw sensor byte rate of the whole factory (readings encoded at
+    /// `bytes_per_reading`), per second.
+    pub fn sensor_bytes_per_sec(&self, bytes_per_reading: u64) -> u64 {
+        let per_tick = self.machines as u64 * SensorChannel::ALL.len() as u64 * bytes_per_reading;
+        (per_tick as u128 * 1_000_000 / self.sample_interval.as_micros() as u128) as u64
+    }
+
+    /// Jittered sample of per-second readings for one machine channel —
+    /// convenience for feeding scalar primitives.
+    pub fn channel_series(
+        &mut self,
+        machine: usize,
+        channel: SensorChannel,
+        until: Timestamp,
+    ) -> Vec<(Timestamp, f64)> {
+        self.readings_until(until)
+            .into_iter()
+            .filter(|r| r.machine == machine && r.channel == channel)
+            .map(|r| (r.ts, r.value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_machine_stays_near_baseline() {
+        let mut f = FactoryWorkload::new(1, TimeDelta::from_millis(100), 1);
+        let readings = f.readings_until(Timestamp::from_secs(60));
+        let temps: Vec<f64> = readings
+            .iter()
+            .filter(|r| r.channel == SensorChannel::Temperature)
+            .map(|r| r.value)
+            .collect();
+        let mean = temps.iter().sum::<f64>() / temps.len() as f64;
+        assert!((mean - 60.0).abs() < 2.0, "mean temperature {mean}");
+        assert!(temps.iter().all(|t| (40.0..90.0).contains(t)));
+    }
+
+    #[test]
+    fn degradation_raises_temperature_and_vibration() {
+        let mut f = FactoryWorkload::new(2, TimeDelta::from_millis(500), 2);
+        f.degrade(
+            1,
+            Degradation {
+                onset: Timestamp::from_secs(10),
+                failure: Timestamp::from_secs(60),
+                severity: 0.5,
+            },
+        );
+        let readings = f.readings_until(Timestamp::from_secs(60));
+        let late = |m: usize, ch: SensorChannel| -> f64 {
+            let vals: Vec<f64> = readings
+                .iter()
+                .filter(|r| {
+                    r.machine == m && r.channel == ch && r.ts >= Timestamp::from_secs(55)
+                })
+                .map(|r| r.value)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        // Degraded machine runs hot and shaky; healthy one does not.
+        assert!(late(1, SensorChannel::Temperature) > 80.0);
+        assert!(late(0, SensorChannel::Temperature) < 65.0);
+        assert!(late(1, SensorChannel::Vibration) > late(0, SensorChannel::Vibration) + 0.5);
+        // Current unaffected by this failure mode.
+        assert!((late(1, SensorChannel::Current) - 12.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn camera_rates_match_the_paper() {
+        // 52 GB/h → one hour of 3D camera output.
+        let hour = TimeDelta::from_hours(1);
+        let b3d = FactoryWorkload::camera_bytes(CameraKind::ThreeD, hour);
+        assert!((b3d as i64 - 52_000_000_000i64).abs() < 4000);
+        let bhr = FactoryWorkload::camera_bytes(CameraKind::HighRes, hour);
+        assert!((bhr as i64 - 17_500_000_000i64).abs() < 4000);
+        // Scales linearly with the window.
+        assert_eq!(
+            FactoryWorkload::camera_bytes(CameraKind::ThreeD, TimeDelta::from_secs(1)),
+            CameraKind::ThreeD.bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn byte_rate_accounting() {
+        let f = FactoryWorkload::new(10, TimeDelta::from_millis(100), 1);
+        // 10 machines × 3 channels × 10 Hz × 16 B = 4800 B/s.
+        assert_eq!(f.sensor_bytes_per_sec(16), 4800);
+    }
+
+    #[test]
+    fn readings_are_deterministic_and_time_ordered() {
+        let run = || {
+            let mut f = FactoryWorkload::new(3, TimeDelta::from_millis(200), 9);
+            f.readings_until(Timestamp::from_secs(5))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn channel_series_filters() {
+        let mut f = FactoryWorkload::new(2, TimeDelta::from_millis(500), 3);
+        let series = f.channel_series(0, SensorChannel::Vibration, Timestamp::from_secs(2));
+        assert_eq!(series.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degrade_rejects_bad_machine() {
+        let mut f = FactoryWorkload::new(1, TimeDelta::from_millis(100), 1);
+        f.degrade(
+            5,
+            Degradation {
+                onset: Timestamp::ZERO,
+                failure: Timestamp::from_secs(1),
+                severity: 0.1,
+            },
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates its vision against data we cannot have: live router
+//! flow exports, factory sensor feeds, and an SAP-internal "enterprise-level
+//! query trace" (§VII). This crate provides deterministic synthetic
+//! equivalents that exercise the same code paths (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`netflow`] — sampled flow records with Zipf-skewed, hierarchically
+//!   clustered addresses, diurnal rate modulation, and injectable
+//!   DDoS/port-scan events,
+//! * [`factory`] — machine sensor channels (temperature/vibration/current)
+//!   with degradation models, plus camera byte-rate sources using the
+//!   paper's own 52 GB/h (3D) and 17.5 GB/h (HD) figures,
+//! * [`querytrace`] — per-partition access traces with configurable
+//!   future-access distributions for the adaptive-replication experiments,
+//! * [`dist`] — the small deterministic samplers (Zipf, exponential,
+//!   Pareto, log-normal, binomial) the generators are built from.
+//!
+//! All generators are seeded and produce identical output for identical
+//! parameters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod factory;
+pub mod netflow;
+pub mod querytrace;
+
+pub use dist::Zipf;
+pub use factory::{CameraKind, FactoryWorkload, SensorChannel, SensorReading};
+pub use netflow::{FlowTraceConfig, FlowTraceGenerator};
+pub use querytrace::{AccessDistribution, PartitionAccess, QueryTraceConfig};

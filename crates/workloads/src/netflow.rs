@@ -1,0 +1,490 @@
+//! Synthetic sampled-NetFlow traces.
+//!
+//! Substitutes for the live router exports of §II-B: "they typically rely on
+//! either flow-level or packet-level captures from routers … packets are
+//! sampled, e.g., 1 of every 10K packets". The generator produces flow
+//! records whose keys are Zipf-skewed and hierarchically clustered (so
+//! prefix-level aggregation is meaningful), with diurnal rate modulation and
+//! injectable attack events, and supports packet sampling at a configurable
+//! rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::addr::Ipv4Addr;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+
+use crate::dist::{self, Zipf};
+
+/// A traffic anomaly injected into the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficEvent {
+    /// A volumetric DDoS: many random sources flood one destination.
+    Ddos {
+        /// When the attack is active.
+        window: TimeWindow,
+        /// The victim address.
+        target: Ipv4Addr,
+        /// The victim port.
+        target_port: u16,
+        /// Attack flows per second, added on top of the baseline.
+        flows_per_sec: f64,
+    },
+    /// A port scan: one source probes many ports of one destination.
+    PortScan {
+        /// When the scan is active.
+        window: TimeWindow,
+        /// The scanning host.
+        source: Ipv4Addr,
+        /// The scanned host.
+        target: Ipv4Addr,
+        /// Probe flows per second.
+        flows_per_sec: f64,
+    },
+}
+
+/// Configuration of a [`FlowTraceGenerator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowTraceConfig {
+    /// RNG seed; identical configs produce identical traces.
+    pub seed: u64,
+    /// Baseline flow records per simulated second.
+    pub flows_per_sec: f64,
+    /// Trace duration.
+    pub duration: TimeDelta,
+    /// Number of internal (source) hosts.
+    pub internal_hosts: usize,
+    /// Number of external (destination) hosts.
+    pub external_hosts: usize,
+    /// Zipf exponent for host popularity.
+    pub host_skew: f64,
+    /// Zipf exponent for destination-port popularity.
+    pub port_skew: f64,
+    /// Amplitude of the diurnal rate modulation in `0..=1` (0 = flat,
+    /// 1 = rate swings between 0× and 2× baseline over 24 h).
+    pub diurnal_amplitude: f64,
+    /// Injected anomalies.
+    pub events: Vec<TrafficEvent>,
+}
+
+impl Default for FlowTraceConfig {
+    fn default() -> Self {
+        FlowTraceConfig {
+            seed: 1,
+            flows_per_sec: 100.0,
+            duration: TimeDelta::from_mins(10),
+            internal_hosts: 2_000,
+            external_hosts: 5_000,
+            host_skew: 1.1,
+            port_skew: 1.2,
+            diurnal_amplitude: 0.0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Well-known destination ports, most popular first.
+const POPULAR_PORTS: [u16; 12] = [
+    443, 80, 53, 22, 25, 123, 3389, 8080, 993, 5060, 1194, 8443,
+];
+
+/// Deterministic generator of sampled-NetFlow-like traces.
+///
+/// ```
+/// use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
+///
+/// let config = FlowTraceConfig::default();
+/// let trace: Vec<_> = FlowTraceGenerator::new(config).collect();
+/// assert!(!trace.is_empty());
+/// // Timestamps are non-decreasing.
+/// assert!(trace.windows(2).all(|w| w[0].ts <= w[1].ts));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTraceGenerator {
+    config: FlowTraceConfig,
+    rng: StdRng,
+    now: Timestamp,
+    end: Timestamp,
+    internal_pool: Vec<Ipv4Addr>,
+    external_pool: Vec<Ipv4Addr>,
+    host_zipf_internal: Zipf,
+    host_zipf_external: Zipf,
+    port_zipf: Zipf,
+    /// Pending event flows scheduled before the next baseline flow.
+    event_backlog: Vec<FlowRecord>,
+}
+
+impl FlowTraceGenerator {
+    /// Creates a generator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host pools are empty or the rate is not positive.
+    pub fn new(config: FlowTraceConfig) -> Self {
+        assert!(config.internal_hosts > 0, "internal host pool is empty");
+        assert!(config.external_hosts > 0, "external host pool is empty");
+        assert!(
+            config.flows_per_sec > 0.0,
+            "flow rate must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let internal_pool = hierarchical_pool(&mut rng, config.internal_hosts, 10);
+        let external_pool = hierarchical_pool(&mut rng, config.external_hosts, 23);
+        let host_zipf_internal = Zipf::new(config.internal_hosts, config.host_skew);
+        let host_zipf_external = Zipf::new(config.external_hosts, config.host_skew);
+        let port_zipf = Zipf::new(POPULAR_PORTS.len() + 100, config.port_skew);
+        let end = Timestamp::ZERO + config.duration;
+        FlowTraceGenerator {
+            config,
+            rng,
+            now: Timestamp::ZERO,
+            end,
+            internal_pool,
+            external_pool,
+            host_zipf_internal,
+            host_zipf_external,
+            port_zipf,
+            event_backlog: Vec::new(),
+        }
+    }
+
+    /// The configuration this generator runs with.
+    pub fn config(&self) -> &FlowTraceConfig {
+        &self.config
+    }
+
+    /// Instantaneous rate multiplier from the diurnal model at `ts`.
+    fn diurnal_factor(&self, ts: Timestamp) -> f64 {
+        if self.config.diurnal_amplitude == 0.0 {
+            return 1.0;
+        }
+        // Peak at 20:00, trough at 08:00 of each simulated day.
+        let day = 86_400.0;
+        let phase = (ts.as_secs_f64() % day) / day * std::f64::consts::TAU;
+        1.0 + self.config.diurnal_amplitude * (phase - 1.5 * std::f64::consts::PI).sin()
+    }
+
+    fn next_baseline(&mut self) -> FlowRecord {
+        let rate = self.config.flows_per_sec * self.diurnal_factor(self.now);
+        let gap = dist::exponential(&mut self.rng, 1.0 / rate.max(1e-9));
+        self.now += TimeDelta::from_micros((gap * 1e6) as u64);
+        let src = self.internal_pool[self.host_zipf_internal.sample(&mut self.rng)];
+        let dst = self.external_pool[self.host_zipf_external.sample(&mut self.rng)];
+        let port_rank = self.port_zipf.sample(&mut self.rng);
+        let dst_port = if port_rank < POPULAR_PORTS.len() {
+            POPULAR_PORTS[port_rank]
+        } else {
+            self.rng.gen_range(1024..=65535)
+        };
+        let proto = match self.rng.gen_range(0..100) {
+            0..=79 => 6,
+            80..=94 => 17,
+            _ => 1,
+        };
+        let packets = dist::pareto(&mut self.rng, 1.0, 1.3).min(1e7) as u64;
+        let mean_size = self.rng.gen_range(60..1400);
+        FlowRecord::builder()
+            .ts(self.now)
+            .proto(proto)
+            .src(src, self.rng.gen_range(32768..=65535))
+            .dst(dst, dst_port)
+            .packets(packets.max(1))
+            .bytes(packets.max(1) * mean_size)
+            .build()
+    }
+
+    /// Generates the attack flows an event contributes around `ts` (one
+    /// inter-arrival's worth).
+    fn event_flows(&mut self, upto: Timestamp) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        let events = self.config.events.clone();
+        for ev in &events {
+            match ev {
+                TrafficEvent::Ddos {
+                    window,
+                    target,
+                    target_port,
+                    flows_per_sec,
+                } if window.contains(upto) => {
+                    // Expected number of attack flows in the last gap.
+                    let gap = upto.saturating_since(window.start).as_secs_f64();
+                    let _ = gap;
+                    let expect = flows_per_sec / self.config.flows_per_sec;
+                    let n = expect.floor() as u64
+                        + u64::from(self.rng.gen::<f64>() < expect.fract());
+                    for _ in 0..n {
+                        let spoofed = Ipv4Addr::from_octets([
+                            self.rng.gen_range(1..224),
+                            self.rng.gen(),
+                            self.rng.gen(),
+                            self.rng.gen(),
+                        ]);
+                        out.push(
+                            FlowRecord::builder()
+                                .ts(upto)
+                                .proto(17)
+                                .src(spoofed, self.rng.gen_range(1024..=65535))
+                                .dst(*target, *target_port)
+                                .packets(self.rng.gen_range(1..20))
+                                .bytes(self.rng.gen_range(60..1200))
+                                .build(),
+                        );
+                    }
+                }
+                TrafficEvent::PortScan {
+                    window,
+                    source,
+                    target,
+                    flows_per_sec,
+                } if window.contains(upto) => {
+                    let expect = flows_per_sec / self.config.flows_per_sec;
+                    let n = expect.floor() as u64
+                        + u64::from(self.rng.gen::<f64>() < expect.fract());
+                    for _ in 0..n {
+                        out.push(
+                            FlowRecord::builder()
+                                .ts(upto)
+                                .proto(6)
+                                .src(*source, self.rng.gen_range(32768..=65535))
+                                .dst(*target, self.rng.gen_range(1..=10_000))
+                                .packets(1)
+                                .bytes(60)
+                                .build(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl Iterator for FlowTraceGenerator {
+    type Item = FlowRecord;
+
+    fn next(&mut self) -> Option<FlowRecord> {
+        if let Some(rec) = self.event_backlog.pop() {
+            return Some(rec);
+        }
+        let rec = self.next_baseline();
+        if rec.ts >= self.end {
+            return None;
+        }
+        self.event_backlog = self.event_flows(rec.ts);
+        Some(rec)
+    }
+}
+
+/// Builds an address pool with prefix locality: hosts cluster into /24s,
+/// /24s into /16s, /16s into a handful of /8s — so prefix-level aggregation
+/// (Flowtree's domain knowledge) has structure to exploit.
+fn hierarchical_pool<R: Rng + ?Sized>(rng: &mut R, n: usize, base_octet: u8) -> Vec<Ipv4Addr> {
+    let n_8 = 4usize;
+    let n_16 = 8usize;
+    let n_24 = 32usize;
+    let zipf8 = Zipf::new(n_8, 1.2);
+    let zipf16 = Zipf::new(n_16, 1.2);
+    let zipf24 = Zipf::new(n_24, 1.2);
+    let mut pool = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = base_octet.wrapping_add(zipf8.sample(rng) as u8 * 13);
+        let b = (zipf16.sample(rng) * 5 % 256) as u8;
+        let c = (zipf24.sample(rng) * 3 % 256) as u8;
+        let d: u8 = rng.gen();
+        pool.push(Ipv4Addr::from_octets([a.max(1), b, c, d]));
+    }
+    pool
+}
+
+/// Thins a trace by per-packet sampling at `1/rate` (e.g. `rate = 10_000`
+/// for the paper's 1:10K): each packet of each record survives
+/// independently; records with no surviving packet are dropped. Byte counts
+/// scale with the surviving packet fraction.
+///
+/// Estimates over the thinned trace should be scaled back up by `rate`
+/// (see [`Popularity::scaled`](megastream_flow::score::Popularity::scaled)).
+///
+/// # Panics
+///
+/// Panics if `rate` is zero.
+pub fn sample_packets(
+    records: impl IntoIterator<Item = FlowRecord>,
+    rate: u64,
+    seed: u64,
+) -> Vec<FlowRecord> {
+    assert!(rate > 0, "sampling rate must be non-zero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = 1.0 / rate as f64;
+    records
+        .into_iter()
+        .filter_map(|rec| {
+            let kept = dist::binomial(&mut rng, rec.packets, p);
+            if kept == 0 {
+                return None;
+            }
+            let mut out = rec;
+            out.bytes = (rec.bytes as u128 * kept as u128 / rec.packets.max(1) as u128) as u64;
+            out.packets = kept;
+            Some(out)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig::default()).collect();
+        let b: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig::default()).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn rate_roughly_matches_config() {
+        let config = FlowTraceConfig {
+            flows_per_sec: 200.0,
+            duration: TimeDelta::from_secs(60),
+            ..Default::default()
+        };
+        let n = FlowTraceGenerator::new(config).count();
+        let expected = 200.0 * 60.0;
+        assert!(
+            (n as f64 - expected).abs() / expected < 0.15,
+            "{n} records vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn traffic_is_skewed() {
+        use std::collections::HashMap;
+        let trace: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig::default()).collect();
+        let mut per_src: HashMap<_, usize> = HashMap::new();
+        for r in &trace {
+            *per_src.entry(r.src_ip).or_default() += 1;
+        }
+        let mut counts: Vec<usize> = per_src.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // The top source sends far more than the median source.
+        let median = counts[counts.len() / 2];
+        assert!(counts[0] > median * 5, "top {} median {median}", counts[0]);
+    }
+
+    #[test]
+    fn diurnal_modulation_changes_rate() {
+        let config = FlowTraceConfig {
+            flows_per_sec: 50.0,
+            duration: TimeDelta::from_hours(24),
+            diurnal_amplitude: 0.9,
+            internal_hosts: 50,
+            external_hosts: 50,
+            ..Default::default()
+        };
+        let trace: Vec<_> = FlowTraceGenerator::new(config).collect();
+        // Count flows in the trough hour (08:00) vs peak hour (20:00).
+        let hour = |h: u64| {
+            TimeWindow::starting_at(Timestamp::from_secs(h * 3600), TimeDelta::from_hours(1))
+        };
+        let trough = trace.iter().filter(|r| hour(8).contains(r.ts)).count();
+        let peak = trace.iter().filter(|r| hour(20).contains(r.ts)).count();
+        assert!(peak > trough * 3, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn ddos_event_floods_target() {
+        let target: Ipv4Addr = "100.64.0.1".parse().unwrap();
+        let window = TimeWindow::starting_at(Timestamp::from_secs(60), TimeDelta::from_secs(60));
+        let config = FlowTraceConfig {
+            duration: TimeDelta::from_secs(180),
+            events: vec![TrafficEvent::Ddos {
+                window,
+                target,
+                target_port: 53,
+                flows_per_sec: 500.0,
+            }],
+            ..Default::default()
+        };
+        let trace: Vec<_> = FlowTraceGenerator::new(config).collect();
+        let to_target_during = trace
+            .iter()
+            .filter(|r| r.dst_ip == target && window.contains(r.ts))
+            .count();
+        let to_target_outside = trace
+            .iter()
+            .filter(|r| r.dst_ip == target && !window.contains(r.ts))
+            .count();
+        assert!(
+            to_target_during > 10_000,
+            "only {to_target_during} attack flows"
+        );
+        assert!(to_target_during > to_target_outside * 100);
+    }
+
+    #[test]
+    fn portscan_event_touches_many_ports() {
+        use std::collections::HashSet;
+        let source: Ipv4Addr = "6.6.6.6".parse().unwrap();
+        let target: Ipv4Addr = "10.0.0.99".parse().unwrap();
+        let window = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(120));
+        let config = FlowTraceConfig {
+            duration: TimeDelta::from_secs(120),
+            events: vec![TrafficEvent::PortScan {
+                window,
+                source,
+                target,
+                flows_per_sec: 100.0,
+            }],
+            ..Default::default()
+        };
+        let trace: Vec<_> = FlowTraceGenerator::new(config).collect();
+        let ports: HashSet<u16> = trace
+            .iter()
+            .filter(|r| r.src_ip == source && r.dst_ip == target)
+            .map(|r| r.dst_port)
+            .collect();
+        assert!(ports.len() > 1_000, "only {} distinct ports", ports.len());
+    }
+
+    #[test]
+    fn packet_sampling_thins_and_preserves_mass_in_expectation() {
+        let config = FlowTraceConfig {
+            flows_per_sec: 500.0,
+            duration: TimeDelta::from_secs(120),
+            ..Default::default()
+        };
+        let trace: Vec<_> = FlowTraceGenerator::new(config).collect();
+        let total_packets: u64 = trace.iter().map(|r| r.packets).sum();
+        let sampled = sample_packets(trace.clone(), 100, 7);
+        assert!(sampled.len() < trace.len());
+        let sampled_packets: u64 = sampled.iter().map(|r| r.packets).sum();
+        let scaled = sampled_packets * 100;
+        let rel_err = (scaled as f64 - total_packets as f64).abs() / total_packets as f64;
+        assert!(rel_err < 0.25, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn address_pool_has_prefix_locality() {
+        use std::collections::HashSet;
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = hierarchical_pool(&mut rng, 1_000, 10);
+        let slash8: HashSet<u8> = pool.iter().map(|a| a.octets()[0]).collect();
+        let slash24: HashSet<[u8; 3]> = pool
+            .iter()
+            .map(|a| [a.octets()[0], a.octets()[1], a.octets()[2]])
+            .collect();
+        // Many hosts share few /8s; /24 diversity is bounded too.
+        assert!(slash8.len() <= 4, "{} /8s", slash8.len());
+        assert!(slash24.len() < 500, "{} /24s", slash24.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn sampling_rejects_zero_rate() {
+        let _ = sample_packets(Vec::new(), 0, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic partition-access traces for adaptive replication (§VII).
+//!
+//! The paper evaluates its ski-rental replication policies "on an
+//! enterprise-level query trace" that is not public. What the policies
+//! actually depend on is the *distribution of per-partition future
+//! accesses* ("the aggregate result size for older partitions are from a
+//! distribution that can be used to predict future access for partitions
+//! created at a later date"). This generator draws each partition's access
+//! count from a configurable [`AccessDistribution`], spreads the accesses
+//! over time with exponential gaps, and attaches log-normal result volumes
+//! — sweeping the distribution family reproduces the regimes the paper's
+//! cited ski-rental literature distinguishes (worst-case/adversarial vs
+//! known-distribution average case).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+use crate::dist;
+
+/// Distribution of the number of times a partition will be accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessDistribution {
+    /// Every partition is accessed exactly `n` times.
+    Fixed(u64),
+    /// Geometric with continuation probability `p` (mean `p/(1-p)`), i.e.
+    /// after each access another follows with probability `p`. Memoryless —
+    /// the regime where the deterministic break-even rule is optimal.
+    Geometric(f64),
+    /// Discretized exponential with the given mean (light tail).
+    Exponential(f64),
+    /// Discretized Pareto with scale 1 and the given shape (heavy tail:
+    /// most partitions cold, a few extremely hot).
+    Pareto(f64),
+    /// Uniform over `0..=max`.
+    Uniform(u64),
+}
+
+impl AccessDistribution {
+    /// Draws one access count.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        match self {
+            AccessDistribution::Fixed(n) => n,
+            AccessDistribution::Geometric(p) => {
+                assert!((0.0..1.0).contains(&p), "geometric p outside [0,1)");
+                let mut n = 0;
+                while rng.gen::<f64>() < p {
+                    n += 1;
+                }
+                n
+            }
+            AccessDistribution::Exponential(mean) => {
+                dist::exponential(rng, mean).round() as u64
+            }
+            AccessDistribution::Pareto(shape) => {
+                (dist::pareto(rng, 1.0, shape) - 1.0).round().min(1e7) as u64
+            }
+            AccessDistribution::Uniform(max) => rng.gen_range(0..=max),
+        }
+    }
+
+    /// The distribution's mean (expected accesses per partition).
+    pub fn mean(self) -> f64 {
+        match self {
+            AccessDistribution::Fixed(n) => n as f64,
+            AccessDistribution::Geometric(p) => p / (1.0 - p),
+            AccessDistribution::Exponential(mean) => mean,
+            AccessDistribution::Pareto(shape) => {
+                if shape > 1.0 {
+                    shape / (shape - 1.0) - 1.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            AccessDistribution::Uniform(max) => max as f64 / 2.0,
+        }
+    }
+}
+
+/// One recorded remote access to a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionAccess {
+    /// The accessed partition.
+    pub partition: usize,
+    /// When the access happened.
+    pub ts: Timestamp,
+    /// Bytes shipped to answer the query if not replicated.
+    pub result_bytes: u64,
+}
+
+/// Configuration of a query-trace generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryTraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Per-partition access-count distribution.
+    pub accesses: AccessDistribution,
+    /// Mean gap between consecutive accesses to the same partition.
+    pub mean_gap: TimeDelta,
+    /// Median result size per access, bytes (log-normal, σ = 0.7).
+    pub median_result_bytes: u64,
+}
+
+impl Default for QueryTraceConfig {
+    fn default() -> Self {
+        QueryTraceConfig {
+            seed: 1,
+            partitions: 100,
+            accesses: AccessDistribution::Geometric(0.8),
+            mean_gap: TimeDelta::from_secs(60),
+            median_result_bytes: 1_000_000,
+        }
+    }
+}
+
+impl QueryTraceConfig {
+    /// Generates the access trace, sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn generate(&self) -> Vec<PartitionAccess> {
+        assert!(self.partitions > 0, "at least one partition required");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mu = (self.median_result_bytes.max(1) as f64).ln();
+        let mut out = Vec::new();
+        for partition in 0..self.partitions {
+            let n = self.accesses.sample(&mut rng);
+            // Partitions are "created" staggered over time.
+            let mut ts = Timestamp::from_micros(
+                (partition as u64) * self.mean_gap.as_micros() / self.partitions.max(1) as u64,
+            );
+            for _ in 0..n {
+                let gap = dist::exponential(&mut rng, self.mean_gap.as_secs_f64());
+                ts += TimeDelta::from_micros((gap * 1e6) as u64);
+                let result_bytes = dist::log_normal(&mut rng, mu, 0.7).min(1e12) as u64;
+                out.push(PartitionAccess {
+                    partition,
+                    ts,
+                    result_bytes: result_bytes.max(1),
+                });
+            }
+        }
+        out.sort_by_key(|a| (a.ts, a.partition));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = AccessDistribution::Geometric(0.8);
+        let mean: f64 =
+            (0..50_000).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / 50_000.0;
+        assert!((mean - d.mean()).abs() < 0.2, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(AccessDistribution::Fixed(7).sample(&mut rng), 7);
+        for _ in 0..100 {
+            assert!(AccessDistribution::Uniform(10).sample(&mut rng) <= 10);
+        }
+        assert_eq!(AccessDistribution::Fixed(7).mean(), 7.0);
+        assert_eq!(AccessDistribution::Uniform(10).mean(), 5.0);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = AccessDistribution::Pareto(1.2);
+        let counts: Vec<u64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        let zeros = counts.iter().filter(|&&c| c == 0).count();
+        let max = counts.iter().max().copied().unwrap();
+        // Most partitions cold, some extremely hot.
+        assert!(zeros > 3_000, "{zeros} cold partitions");
+        assert!(max > 100, "max {max}");
+    }
+
+    #[test]
+    fn trace_sorted_and_deterministic() {
+        let config = QueryTraceConfig::default();
+        let a = config.generate();
+        let b = config.generate();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(a.iter().all(|acc| acc.partition < config.partitions));
+        assert!(a.iter().all(|acc| acc.result_bytes >= 1));
+    }
+
+    #[test]
+    fn trace_volume_tracks_distribution_mean() {
+        let config = QueryTraceConfig {
+            partitions: 2_000,
+            accesses: AccessDistribution::Exponential(5.0),
+            ..Default::default()
+        };
+        let trace = config.generate();
+        let per_partition = trace.len() as f64 / config.partitions as f64;
+        assert!((per_partition - 5.0).abs() < 0.5, "mean {per_partition}");
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn rejects_zero_partitions() {
+        let config = QueryTraceConfig {
+            partitions: 0,
+            ..Default::default()
+        };
+        let _ = config.generate();
+    }
+}

@@ -1,0 +1,79 @@
+//! Adaptive replication (paper §VII, Fig. 6): replay a synthetic
+//! enterprise query trace under five replication policies and compare
+//! transfer volumes against the offline optimum.
+//!
+//! ```text
+//! cargo run --example adaptive_replication
+//! ```
+
+use megastream_flow::time::TimeDelta;
+use megastream_replication::policy::ReplicationPolicy;
+use megastream_replication::simulator::{replay_with_history, training_volumes, Access};
+use megastream_workloads::querytrace::{AccessDistribution, QueryTraceConfig};
+
+fn trace(seed: u64, partitions: usize, accesses: AccessDistribution) -> Vec<Access> {
+    QueryTraceConfig {
+        seed,
+        partitions,
+        accesses,
+        mean_gap: TimeDelta::from_secs(30),
+        median_result_bytes: 900_000,
+    }
+    .generate()
+    .into_iter()
+    .map(|a| Access {
+        partition: a.partition,
+        ts: a.ts,
+        result_bytes: a.result_bytes,
+    })
+    .collect()
+}
+
+fn main() {
+    // Partition sizes: 64 partitions of 4 MB each.
+    let partitions = 64usize;
+    let replication_cost = vec![4_000_000u64; partitions];
+
+    for (label, accesses) in [
+        ("geometric(p=0.8)  — memoryless", AccessDistribution::Geometric(0.8)),
+        ("exponential(μ=6)  — light tail", AccessDistribution::Exponential(6.0)),
+        ("pareto(α=1.1)     — heavy tail", AccessDistribution::Pareto(1.1)),
+        ("fixed(12)         — fully predictable", AccessDistribution::Fixed(12)),
+    ] {
+        // The paper's setup: older (retired) partitions provide the volume
+        // distribution that predicts access to newer ones. Train on one
+        // trace, evaluate on a fresh one from the same distribution.
+        let training = trace(1, partitions, accesses);
+        let history = training_volumes(&training, partitions);
+        let eval = trace(7, partitions, accesses);
+
+        println!("== access distribution: {label} ({} accesses) ==", eval.len());
+        println!(
+            "{:<20} {:>14} {:>14} {:>14} {:>10} {:>8}",
+            "policy", "shipped B", "replication B", "total B", "replicas", "ratio"
+        );
+        for policy in [
+            ReplicationPolicy::Never,
+            ReplicationPolicy::Always,
+            ReplicationPolicy::BreakEven { factor: 1.0 },
+            ReplicationPolicy::Randomized { seed: 3 },
+            ReplicationPolicy::DistributionAware { min_samples: 16 },
+        ] {
+            let report = replay_with_history(&eval, &replication_cost, &policy, &history);
+            println!(
+                "{:<20} {:>14} {:>14} {:>14} {:>10} {:>8.3}",
+                report.policy,
+                report.shipped_bytes,
+                report.replication_bytes,
+                report.total_bytes(),
+                report.replicated_partitions,
+                report.competitive_ratio()
+            );
+        }
+        println!();
+    }
+
+    println!("ratio = total transfer volume / offline optimum (clairvoyant per-partition choice).");
+    println!("break-even is guaranteed ≤ 2 + one-query overshoot; distribution-aware");
+    println!("learns the trace's volume distribution online and undercuts it on average.");
+}

@@ -1,0 +1,94 @@
+//! An interactive FlowQL shell over a generated two-region trace
+//! (paper Fig. 5 ⑤: "answer user queries via the FlowQL API").
+//!
+//! ```text
+//! cargo run --example flowql_repl
+//! flowql> SELECT TOPK 5 FROM ALL WHERE location = "region-0"
+//! flowql> SELECT QUERY FROM [0, 120) WHERE src_ip = 10.0.0.0/8
+//! flowql> \help
+//! ```
+//!
+//! Reads queries from stdin; when stdin is closed (e.g. piped `echo`), a
+//! small demo session runs instead.
+
+use std::io::{self, BufRead, Write};
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream_flow::time::TimeDelta;
+use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
+
+const HELP: &str = "\
+FlowQL grammar:
+  SELECT <op> FROM <periods> [WHERE <cond> [AND <cond>]...] [GROUP BY location]
+  op      := QUERY | TOPK <k> | ABOVE <x> | HHH <x> | DRILLDOWN
+  periods := ALL | [<start_s>, <end_s>) , ...
+  cond    := location = \"<name>\"
+           | src_ip = <a.b.c.d[/len]> | dst_ip = <a.b.c.d[/len]>
+           | proto = <n> | src_port = <n> | dst_port = <n>
+meta commands: \\help  \\locations  \\windows <location>  \\quit";
+
+fn main() {
+    // Build a deployment worth querying: 2 regions × 4 routers, 4 minutes.
+    eprintln!("generating trace and building flowstream (2 regions x 4 routers)...");
+    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+    for rec in FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 2026,
+        flows_per_sec: 250.0,
+        duration: TimeDelta::from_mins(4),
+        ..Default::default()
+    }) {
+        fs.ingest_round_robin(&rec);
+    }
+    fs.finish();
+    eprintln!(
+        "{} summaries indexed from locations {:?}\n{HELP}\n",
+        fs.flowdb().len(),
+        fs.flowdb().locations()
+    );
+
+    let stdin = io::stdin();
+    let mut saw_input = false;
+    print!("flowql> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        saw_input = true;
+        let line = line.trim();
+        match line {
+            "" => {}
+            "\\quit" | "\\q" | "exit" => break,
+            "\\help" | "\\h" => println!("{HELP}"),
+            "\\locations" => println!("{:?}", fs.flowdb().locations()),
+            _ if line.starts_with("\\windows") => {
+                let loc = line.trim_start_matches("\\windows").trim();
+                for w in fs.flowdb().windows_of(loc) {
+                    println!("{w}");
+                }
+            }
+            query => match fs.query(query) {
+                Ok(result) => print!("{result}"),
+                Err(e) => println!("error: {e}"),
+            },
+        }
+        print!("flowql> ");
+        io::stdout().flush().ok();
+    }
+    println!();
+
+    if !saw_input {
+        // Non-interactive fallback: run a demo session.
+        println!("(no stdin — running demo session)\n");
+        for q in [
+            "SELECT TOPK 5 FROM ALL WHERE location = \"region-0\"",
+            "SELECT QUERY FROM [0, 120) WHERE src_ip = 10.0.0.0/8 AND location = \"region-0\"",
+            "SELECT HHH 5000 FROM ALL WHERE location = \"region-1\"",
+            "SELECT TOPK 2 FROM ALL GROUP BY location",
+        ] {
+            println!("flowql> {q}");
+            match fs.query(q) {
+                Ok(result) => print!("{result}\n"),
+                Err(e) => println!("error: {e}\n"),
+            }
+        }
+    }
+}

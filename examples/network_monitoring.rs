@@ -1,0 +1,118 @@
+//! Network monitoring with Flowstream (paper Fig. 5 + §II-B).
+//!
+//! Two regions of routers feed per-region data stores running Flowtree
+//! aggregators. A DDoS is injected mid-trace; the operator investigates
+//! interactively with FlowQL, and a DDoS-detection application plus a
+//! flow-score trigger close the fast control loop.
+//!
+//! ```text
+//! cargo run --example network_monitoring
+//! ```
+
+use megastream::application::{AppDirective, Application, DdosDetectionApp};
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream_flow::mask::GeneralizationSchema;
+use megastream_datastore::summary::Summary;
+use megastream_flow::addr::Ipv4Addr;
+use megastream_flow::score::Popularity;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator, TrafficEvent};
+
+fn main() {
+    let victim: Ipv4Addr = "100.64.0.1".parse().unwrap();
+    let attack_window =
+        TimeWindow::starting_at(Timestamp::from_secs(120), TimeDelta::from_secs(60));
+
+    // --- data plane: 2 regions × 4 routers, 5 minutes of traffic with an
+    // injected DDoS in minute 3.
+    let trace = FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 42,
+        flows_per_sec: 300.0,
+        duration: TimeDelta::from_mins(5),
+        events: vec![TrafficEvent::Ddos {
+            window: attack_window,
+            target: victim,
+            target_port: 53,
+            flows_per_sec: 2_000.0,
+        }],
+        ..Default::default()
+    });
+
+    // Domain knowledge (property P5): for attack investigation, configure
+    // the trees to keep *destinations* specific under compression — spoofed
+    // sources carry no information, the victim address is the answer.
+    let mut fs = Flowstream::new(
+        2,
+        4,
+        FlowstreamConfig {
+            schema: GeneralizationSchema::dst_preserving(),
+            ..Default::default()
+        },
+    );
+    let mut n = 0u64;
+    for rec in trace {
+        fs.ingest_round_robin(&rec);
+        n += 1;
+    }
+    fs.finish();
+    println!(
+        "ingested {n} flow records into {} region stores ({} summaries indexed, {} bytes moved)\n",
+        fs.regions(),
+        fs.flowdb().len(),
+        fs.network().total_bytes()
+    );
+
+    // --- the operator's FlowQL session.
+    let session = [
+        // What are the heavy flows overall?
+        "SELECT TOPK 5 FROM ALL WHERE location = \"region-0\"",
+        // Anything unusual in minute 3?
+        "SELECT HHH 20000 FROM [120, 180) WHERE location = \"region-0\"",
+        // Drill into the victim.
+        "SELECT QUERY FROM [120, 180) WHERE location = \"region-0\" AND dst_ip = 100.64.0.1",
+        // Compare against the minute before the attack.
+        "SELECT QUERY FROM [60, 120) WHERE location = \"region-0\" AND dst_ip = 100.64.0.1",
+        // Is the other region seeing it too?
+        "SELECT QUERY FROM [120, 180) WHERE location = \"region-1\" AND dst_ip = 100.64.0.1",
+    ];
+    for q in session {
+        println!("flowql> {q}");
+        match fs.query(q) {
+            Ok(result) => print!("{result}"),
+            Err(e) => println!("error: {e}"),
+        }
+        println!();
+    }
+
+    // --- the application view: DDoS detection over the indexed summaries.
+    let mut app = DdosDetectionApp::new(Popularity::new(10_000));
+    let mut directives = Vec::new();
+    for g in 0..fs.regions() {
+        let store = fs.region_store(g);
+        for summary in store.summaries().iter() {
+            if matches!(summary.summary, Summary::Flowtree(_)) {
+                directives.extend(app.on_summary(summary, summary.window.end));
+            }
+        }
+    }
+    println!("--- ddos-detection application ---");
+    for d in &directives {
+        match d {
+            AppDirective::Report(msg) => println!("report:   {msg}"),
+            AppDirective::MitigateFlow { key, reason } => {
+                println!("mitigate: {key}  ({reason})")
+            }
+            AppDirective::RequestTrigger { condition, .. } => {
+                println!("trigger:  install {condition:?}")
+            }
+            other => println!("other:    {other:?}"),
+        }
+    }
+    assert!(
+        directives
+            .iter()
+            .any(|d| matches!(d, AppDirective::MitigateFlow { .. })),
+        "the injected attack must be detected"
+    );
+    println!("\nvictims identified: {}", app.victims().count());
+}

@@ -1,0 +1,102 @@
+//! Quickstart: build a Flowtree from a synthetic trace and run all eight
+//! Table II operators.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use megastream_flow::key::FlowKey;
+use megastream_flow::score::Popularity;
+use megastream_flow::time::TimeDelta;
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
+
+fn main() {
+    // 1. Generate a small synthetic sampled-NetFlow trace.
+    let trace: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 7,
+        flows_per_sec: 200.0,
+        duration: TimeDelta::from_secs(60),
+        internal_hosts: 500,
+        external_hosts: 500,
+        ..Default::default()
+    })
+    .collect();
+    println!("trace: {} flow records", trace.len());
+
+    // 2. Summarize it with a budget of 512 tree nodes.
+    let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(512));
+    for rec in &trace {
+        tree.observe(rec);
+    }
+    println!(
+        "flowtree: {} nodes summarizing {} packets from {} records\n",
+        tree.len(),
+        tree.total(),
+        tree.records()
+    );
+
+    // 3. Query — popularity score of one generalized flow.
+    let ten_slash_eight = FlowKey::root().with_src_prefix("10.0.0.0/8".parse().unwrap());
+    println!(
+        "QUERY    src=10.0.0.0/8            -> {} packets",
+        tree.query(&ten_slash_eight)
+    );
+
+    // 4. Top-k — the most popular flows.
+    println!("TOP-K    (k = 3)");
+    for (key, score) in tree.top_k(3) {
+        println!("         {score:>10}  {key}");
+    }
+
+    // 5. Above-x — everything above a threshold.
+    let x = Popularity::new(tree.total().value() / 10);
+    println!("ABOVE-X  (x = {x}) -> {} flows", tree.above_x(x).len());
+
+    // 6. HHH — hierarchical heavy hitters.
+    println!("HHH      (threshold = {x})");
+    for item in tree.hhh(x).into_iter().take(5) {
+        println!(
+            "         {:>10}  {} (discounted {})",
+            item.score, item.key, item.discounted
+        );
+    }
+
+    // 7. Drilldown — one level below the busiest /8.
+    println!("DRILLDOWN under src=10.0.0.0/8");
+    for row in tree.drilldown(&ten_slash_eight).into_iter().take(4) {
+        println!("         {:>10}  {}", row.score, row.key);
+    }
+
+    // 8. Merge + Compress — the paper's A12 = compress(A1 ∪ A2).
+    let mut other = Flowtree::new(FlowtreeConfig::default().with_capacity(512));
+    for rec in FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 99,
+        flows_per_sec: 200.0,
+        duration: TimeDelta::from_secs(60),
+        ..Default::default()
+    }) {
+        other.observe(&rec);
+    }
+    let mut merged = tree.clone();
+    merged.merge(&other);
+    merged.compress_to(256);
+    println!(
+        "\nMERGE    two 512-node trees -> {} packets total",
+        merged.total()
+    );
+    println!(
+        "COMPRESS merged tree to {} nodes (root query still exact: {})",
+        merged.len(),
+        merged.query(&FlowKey::root())
+    );
+
+    // 9. Diff — subtract one epoch from another.
+    let mut diffed = merged.clone();
+    diffed.diff(&other);
+    println!(
+        "DIFF     merged - second epoch -> {} packets (first epoch had {})",
+        diffed.total(),
+        tree.total()
+    );
+}

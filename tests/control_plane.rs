@@ -1,0 +1,145 @@
+//! E5 — Fig. 3b: the manager's control plane holds resource budgets under
+//! data-rate shifts by retuning computing primitives online.
+
+use megastream_datastore::{DataStore, StorageStrategy};
+use megastream_flow::key::FlowKey;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_manager::requirements::{AggregationFormat, AppRequirement};
+use megastream_manager::Manager;
+use megastream_replication::policy::ReplicationPolicy;
+use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
+
+fn requirement(store: &str, format: AggregationFormat, precision: f64) -> AppRequirement {
+    AppRequirement {
+        app: "test-app".into(),
+        store: store.into(),
+        streams: vec![],
+        format,
+        precision,
+        timeliness: TimeDelta::from_secs(60),
+    }
+}
+
+/// The full Fig. 3b cycle: requirements → placement → data → resource
+/// observation → parameter change.
+#[test]
+fn manager_holds_budget_through_rate_surge() {
+    let mut mgr = Manager::new(ReplicationPolicy::Never);
+    mgr.register_requirement(requirement("edge", AggregationFormat::Flowtree, 1.0));
+    let mut store = DataStore::new(
+        "edge",
+        StorageStrategy::RoundRobin { budget_bytes: 64 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    assert_eq!(mgr.plan_and_install(&mut [&mut store]), 1);
+
+    let budget = 200_000usize;
+    mgr.resources_mut().set_storage_budget("edge", budget);
+
+    // Phase 1: baseline rate, manager ticks every epoch.
+    let mut over_budget_epochs_after_adaptation = 0;
+    let mut epochs = 0;
+    for (phase, rate) in [(0u64, 100.0f64), (1, 1_000.0), (2, 100.0)] {
+        let trace = FlowTraceGenerator::new(FlowTraceConfig {
+            seed: 10 + phase,
+            flows_per_sec: rate,
+            duration: TimeDelta::from_secs(300),
+            ..Default::default()
+        });
+        for rec in trace {
+            let ts = Timestamp::from_micros(
+                phase * 300_000_000 + rec.ts.as_micros(),
+            );
+            let mut shifted = rec;
+            shifted.ts = ts;
+            store.ingest_flow(&"r0".into(), &shifted, ts);
+            if store.epoch_due(ts) {
+                store.rotate_epoch(ts);
+                mgr.tick(&mut [&mut store], &[rate]);
+                epochs += 1;
+                // After the manager acted, the live footprint must be
+                // within ~2× of budget even mid-surge (the controller is
+                // allowed one epoch of slack to converge).
+                if store.live_footprint() > budget * 2 {
+                    over_budget_epochs_after_adaptation += 1;
+                }
+            }
+        }
+    }
+    assert!(epochs >= 12, "expected ≥12 epochs, got {epochs}");
+    assert!(
+        over_budget_epochs_after_adaptation <= 2,
+        "{over_budget_epochs_after_adaptation} epochs left the budget violated"
+    );
+    // The data kept flowing: the store still answers queries.
+    assert!(store.stats().flows > 0);
+    assert!(store.flow_score(
+        &FlowKey::root(),
+        megastream_flow::time::TimeWindow::starting_at(
+            Timestamp::ZERO,
+            TimeDelta::from_secs(900)
+        )
+    ).value() > 0);
+}
+
+/// Decision (b)/(c): a new application requirement triggers new installs
+/// at the right store with the right parameters; unregistering removes the
+/// need.
+#[test]
+fn requirement_changes_reconfigure_stores() {
+    let mut mgr = Manager::new(ReplicationPolicy::Never);
+    let mut edge = DataStore::new(
+        "edge",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    let mut core = DataStore::new(
+        "core",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    mgr.register_requirement(requirement("edge", AggregationFormat::Flowtree, 0.5));
+    mgr.register_requirement(requirement("core", AggregationFormat::TopFlows, 0.25));
+    mgr.plan_and_install(&mut [&mut edge, &mut core]);
+    assert_eq!(edge.aggregator_count(), 1);
+    assert_eq!(core.aggregator_count(), 1);
+
+    // A second app raises the precision requirement at the edge; replan.
+    let mut req = requirement("edge", AggregationFormat::Flowtree, 1.0);
+    req.app = "second-app".into();
+    mgr.register_requirement(req);
+    mgr.plan_and_install(&mut [&mut edge, &mut core]);
+    assert_eq!(edge.aggregator_count(), 1, "same format: one aggregator");
+
+    // All apps leave: the plan empties.
+    mgr.unregister_app("test-app");
+    mgr.unregister_app("second-app");
+    mgr.plan_and_install(&mut [&mut edge, &mut core]);
+    assert_eq!(edge.aggregator_count(), 0);
+    assert_eq!(core.aggregator_count(), 0);
+}
+
+/// The manager tracks utilization and flags overloaded stores.
+#[test]
+fn overload_visibility() {
+    let mut mgr = Manager::new(ReplicationPolicy::Never);
+    mgr.register_requirement(requirement("s", AggregationFormat::Flowtree, 1.0));
+    let mut store = DataStore::new(
+        "s",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    mgr.plan_and_install(&mut [&mut store]);
+    for rec in FlowTraceGenerator::new(FlowTraceConfig {
+        flows_per_sec: 500.0,
+        duration: TimeDelta::from_secs(30),
+        ..Default::default()
+    }) {
+        store.ingest_flow(&"r".into(), &rec, rec.ts);
+    }
+    mgr.resources_mut().set_storage_budget("s", 1_000);
+    mgr.resources_mut().observe_store(&store, 500.0);
+    assert!(mgr.resources().utilization("s") > 1.0);
+    assert_eq!(mgr.resources().overloaded_stores(), vec!["s"]);
+}

@@ -1,0 +1,135 @@
+//! E4 — Fig. 2a: the feedback loop through all four building blocks, and
+//! the timeliness budgets of Fig. 1a (machine < 1 s, line < 1 min).
+
+use megastream::application::{AppDirective, Application, PredictiveMaintenanceApp};
+use megastream::controller::{ControlAction, Controller, SafetyEnvelope};
+use megastream_datastore::trigger::TriggerCondition;
+use megastream_datastore::{AggregatorSpec, DataStore, StorageStrategy};
+use megastream_flow::time::{TimeDelta, Timestamp};
+
+/// The fast loop: sensor → data store (trigger) → controller → actuation.
+/// Everything happens within the same simulated instant — well inside the
+/// machine-level "< 1 s" budget.
+#[test]
+fn fast_loop_actuates_within_machine_budget() {
+    let mut store = DataStore::new(
+        "machine-0",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(10),
+    );
+    let trigger = store.install_trigger(
+        "safety",
+        TriggerCondition::ScalarAbove {
+            stream: "machine-0/temperature".into(),
+            threshold: 85.0,
+        },
+        TimeDelta::ZERO,
+    );
+    let mut controller = Controller::new("machine-0", SafetyEnvelope::default());
+    controller
+        .install_rule("safety", trigger, ControlAction::SlowDown { factor: 0.5 }, 9)
+        .unwrap();
+
+    let sensed_at = Timestamp::from_micros(123_456);
+    let events = store.ingest_scalar(&"machine-0/temperature".into(), 92.0, sensed_at);
+    assert_eq!(events.len(), 1);
+    let actuation = controller.on_trigger(&events[0]).expect("no actuation");
+    // Decision latency: zero simulated time (same instant as the reading).
+    let latency = actuation.at.saturating_since(sensed_at);
+    assert!(latency < TimeDelta::from_secs(1), "latency {latency}");
+    assert_eq!(actuation.action, ControlAction::SlowDown { factor: 0.5 });
+}
+
+/// The adaptive loop: data store → summary → application → new trigger →
+/// controller rule. One epoch of delay — inside the line-level "< 1 min"
+/// budget when epochs are ≤ 1 min.
+#[test]
+fn adaptive_loop_updates_the_fast_path() {
+    let mut store = DataStore::new(
+        "machine-3",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(30),
+    );
+    let agg = store.install_aggregator(AggregatorSpec::TimeBins {
+        width: TimeDelta::from_secs(30),
+        seed: 3,
+    });
+    store.subscribe(agg, "machine-3/temperature".into());
+
+    // Rising temperature stream: 60 °C + 0.05 °/s.
+    let mut now = Timestamp::ZERO;
+    let mut app = PredictiveMaintenanceApp::new(TimeDelta::from_hours(4));
+    app.set_min_points(10);
+    let mut installed_trigger = None;
+    for epoch in 0..20u64 {
+        for s in 0..30u64 {
+            let t = epoch * 30 + s;
+            now = Timestamp::from_secs(t);
+            store.ingest_scalar(
+                &"machine-3/temperature".into(),
+                60.0 + 0.05 * t as f64,
+                now,
+            );
+        }
+        let exported = store.rotate_epoch(Timestamp::from_secs((epoch + 1) * 30));
+        for summary in exported {
+            for directive in app.on_summary(&summary, now) {
+                if let AppDirective::RequestTrigger { condition, cooldown } = directive {
+                    // The application reconfigures the fast path.
+                    installed_trigger =
+                        Some(store.install_trigger(app.name(), condition, cooldown));
+                }
+            }
+        }
+        if installed_trigger.is_some() {
+            break;
+        }
+    }
+    let trigger = installed_trigger.expect("application never installed its guard trigger");
+
+    // The newly installed trigger now protects the machine in real time.
+    let mut controller = Controller::new("machine-3", SafetyEnvelope::default());
+    controller
+        .install_rule("predictive-maintenance", trigger, ControlAction::Stop, 10)
+        .unwrap();
+    let events = store.ingest_scalar(&"machine-3/temperature".into(), 90.0, now);
+    assert_eq!(events.len(), 1, "guard trigger must fire at 90 °C");
+    let actuation = controller.on_trigger(&events[0]).unwrap();
+    assert_eq!(actuation.action, ControlAction::Stop);
+}
+
+/// Conflict resolution sits inside the loop: two applications install
+/// rules on the same trigger; the controller resolves deterministically.
+#[test]
+fn loop_with_conflicting_applications() {
+    let mut store = DataStore::new(
+        "m",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(10),
+    );
+    let trigger = store.install_trigger(
+        "apps",
+        TriggerCondition::ScalarAbove {
+            stream: "m/vibration".into(),
+            threshold: 4.0,
+        },
+        TimeDelta::ZERO,
+    );
+    let mut controller = Controller::new("m", SafetyEnvelope::default());
+    controller
+        .install_rule("optimizer", trigger, ControlAction::Alert { message: "check".into() }, 1)
+        .unwrap();
+    controller
+        .install_rule("maintenance", trigger, ControlAction::SlowDown { factor: 0.6 }, 5)
+        .unwrap();
+    // A same-priority contradictory rule is rejected at install time.
+    assert!(controller
+        .install_rule("rogue", trigger, ControlAction::Stop, 5)
+        .is_err());
+
+    let events = store.ingest_scalar(&"m/vibration".into(), 5.5, Timestamp::ZERO);
+    let actuation = controller.on_trigger(&events[0]).unwrap();
+    // The higher-priority application wins.
+    assert_eq!(actuation.app, "maintenance");
+    assert_eq!(actuation.action, ControlAction::SlowDown { factor: 0.6 });
+}

@@ -1,0 +1,188 @@
+//! E7 — Fig. 5 end-to-end: Flowstream accuracy against the exact baseline.
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream_flow::key::{FeatureSet, FlowKey};
+use megastream_flow::score::ScoreKind;
+use megastream_flow::time::TimeDelta;
+use megastream_primitives::exact::ExactFlowTable;
+use megastream_workloads::netflow::{sample_packets, FlowTraceConfig, FlowTraceGenerator};
+
+fn trace(seed: u64, secs: u64) -> Vec<megastream_flow::record::FlowRecord> {
+    FlowTraceGenerator::new(FlowTraceConfig {
+        seed,
+        flows_per_sec: 200.0,
+        duration: TimeDelta::from_secs(secs),
+        ..Default::default()
+    })
+    .collect()
+}
+
+#[test]
+fn region_totals_are_exact() {
+    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+    let trace = trace(3, 120);
+    let total: u64 = trace.iter().map(|r| r.packets).sum();
+    for r in &trace {
+        fs.ingest_round_robin(r);
+    }
+    fs.finish();
+    let mut sum = 0;
+    for g in 0..2 {
+        sum += fs
+            .query(&format!("SELECT QUERY FROM ALL WHERE location = \"region-{g}\""))
+            .unwrap()
+            .rows[0]
+            .score;
+    }
+    // Root-level mass is conserved through trees, merges and exports.
+    assert_eq!(sum, total);
+}
+
+#[test]
+fn prefix_queries_close_to_exact_under_compression() {
+    let trace = trace(5, 120);
+    let mut exact = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+    for r in &trace {
+        exact.observe(r);
+    }
+    let mut fs = Flowstream::new(1, 2, FlowstreamConfig {
+        tree_capacity: 2048, // tight enough that compression is active
+        ..Default::default()
+    });
+    for r in &trace {
+        fs.ingest_round_robin(r);
+    }
+    fs.finish();
+
+    // /8-level queries: Flowtree never overestimates, and on skewed
+    // traffic the heavy prefixes stay accurate.
+    let mut checked = 0;
+    for octet in 1..=255u8 {
+        let prefix: megastream_flow::addr::Prefix =
+            format!("{octet}.0.0.0/8").parse().unwrap();
+        let truth = exact
+            .query(&FlowKey::root().with_src_prefix(prefix))
+            .value();
+        if truth == 0 {
+            continue;
+        }
+        let est = fs
+            .query(&format!(
+                "SELECT QUERY FROM ALL WHERE src_ip = {octet}.0.0.0/8 AND location = \"region-0\""
+            ))
+            .unwrap()
+            .rows[0]
+            .score;
+        assert!(est <= truth, "overestimate at /{octet}: {est} > {truth}");
+        // Truly heavy prefixes (>5 % of all traffic) must survive
+        // compression with good recall; the long tail may legitimately be
+        // folded into coarser generalizations.
+        if truth > exact.total().value() / 20 {
+            let recall = est as f64 / truth as f64;
+            assert!(recall > 0.5, "heavy prefix {octet}/8 lost: {est}/{truth}");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "trace should cover several /8s");
+}
+
+#[test]
+fn top_k_recall_against_exact() {
+    let trace = trace(9, 60);
+    let mut exact = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+    for r in &trace {
+        exact.observe(r);
+    }
+    let mut fs = Flowstream::new(1, 1, FlowstreamConfig {
+        tree_capacity: 2048,
+        ..Default::default()
+    });
+    for r in &trace {
+        fs.ingest(0, 0, r);
+    }
+    fs.finish();
+    let result = fs
+        .query("SELECT TOPK 10 FROM ALL WHERE location = \"region-0\"")
+        .unwrap();
+    // Every reported top generalized flow's score must be dominated by the
+    // true total, and the true top exact flow must be covered by some
+    // reported flow.
+    let (true_top_key, true_top_score) = exact.top_k(1)[0];
+    let covered = result.rows.iter().any(|row| {
+        row.key
+            .map(|k| k.contains(&true_top_key) && row.score >= true_top_score.value())
+            .unwrap_or(false)
+    });
+    assert!(covered, "true top flow not covered: {result}");
+}
+
+#[test]
+fn e10_sampling_preserves_heavy_hitter_shape() {
+    // The paper: "the input data is often heavily sampled prior to
+    // ingestion … it allows us to distinguish heavy hitters from
+    // non-popular flows".
+    let full = trace(11, 300);
+    let sampled = sample_packets(full.clone(), 100, 5);
+
+    let mut exact_full = ExactFlowTable::new(FeatureSet::SRC_DST_IP, ScoreKind::Packets);
+    for r in &full {
+        exact_full.observe(r);
+    }
+    let mut fs = Flowstream::new(1, 1, FlowstreamConfig::default());
+    for r in &sampled {
+        fs.ingest(0, 0, r);
+    }
+    fs.finish();
+
+    // The true heaviest /8 source should still be the heaviest under
+    // 1:100 sampling (scores scale by ~1/100).
+    let mut best: (u8, u64) = (0, 0);
+    for octet in 1..=255u8 {
+        let p: megastream_flow::addr::Prefix = format!("{octet}.0.0.0/8").parse().unwrap();
+        let t = exact_full.query(&FlowKey::root().with_src_prefix(p)).value();
+        if t > best.1 {
+            best = (octet, t);
+        }
+    }
+    let est_best = fs
+        .query(&format!(
+            "SELECT QUERY FROM ALL WHERE src_ip = {}.0.0.0/8",
+            best.0
+        ))
+        .unwrap()
+        .rows[0]
+        .score;
+    // Scaled-up estimate within 2× of truth (heavy sampling, heavy flow).
+    let scaled = est_best * 100;
+    let ratio = scaled as f64 / best.1 as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "sampled estimate off: {scaled} vs {} (ratio {ratio})",
+        best.1
+    );
+}
+
+#[test]
+fn cross_time_merge_equals_sum_of_epochs() {
+    let mut fs = Flowstream::new(1, 1, FlowstreamConfig::default());
+    for r in trace(13, 180) {
+        fs.ingest(0, 0, &r);
+    }
+    fs.finish();
+    let all = fs
+        .query("SELECT QUERY FROM ALL WHERE location = \"region-0\"")
+        .unwrap()
+        .rows[0]
+        .score;
+    let mut pieces = 0;
+    for (a, b) in [(0u64, 60u64), (60, 120), (120, 180)] {
+        pieces += fs
+            .query(&format!(
+                "SELECT QUERY FROM [{a}, {b}) WHERE location = \"region-0\""
+            ))
+            .unwrap()
+            .rows[0]
+            .score;
+    }
+    assert_eq!(all, pieces);
+}

@@ -1,0 +1,141 @@
+//! §III-C — schema-level lineage: summaries stay attributable to their
+//! sources and transformations as they move through the hierarchy.
+
+use megastream::hierarchy::StoreHierarchy;
+use megastream_datastore::{AggregatorSpec, DataStore, StorageStrategy};
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_flowtree::FlowtreeConfig;
+use megastream_netsim::topology::{LinkSpec, Network, NodeKind};
+
+fn rec(src: &str, packets: u64) -> FlowRecord {
+    FlowRecord::builder()
+        .proto(6)
+        .src(src.parse().unwrap(), 40_000)
+        .dst("1.1.1.1".parse().unwrap(), 443)
+        .packets(packets)
+        .build()
+}
+
+fn flow_store(name: &str, epoch_secs: u64) -> DataStore {
+    let mut s = DataStore::new(
+        name,
+        StorageStrategy::RoundRobin { budget_bytes: 4 << 20 },
+        TimeDelta::from_secs(epoch_secs),
+    );
+    s.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
+    s
+}
+
+/// A summary produced at a leaf records its streams and the snapshot
+/// transform with location and time.
+#[test]
+fn leaf_summaries_carry_sources_and_snapshot() {
+    let mut store = flow_store("router-store", 60);
+    store.ingest_flow(&"router-7".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(1));
+    store.ingest_flow(&"router-9".into(), &rec("10.0.0.2", 5), Timestamp::from_secs(2));
+    let exported = store.rotate_epoch(Timestamp::from_secs(60));
+    let lineage = &exported[0].lineage;
+    assert_eq!(lineage.sources, vec!["router-7", "router-9"]);
+    assert_eq!(lineage.transforms.len(), 1);
+    assert_eq!(lineage.transforms[0].op, "snapshot");
+    assert_eq!(lineage.transforms[0].location, "router-store");
+    assert_eq!(lineage.transforms[0].at, Timestamp::from_secs(60));
+}
+
+/// Hierarchical re-aggregation (S3) appends merge + aggregate transforms
+/// and unions the sources, so "how did this summary come to be" stays
+/// answerable — the paper's schema-level lineage.
+#[test]
+fn s3_aggregation_extends_the_chain() {
+    use megastream_datastore::storage::{StorageStrategy, SummaryStore};
+    let mut small = flow_store("edge", 60);
+    small.ingest_flow(&"sensor-a".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(1));
+    let one = small.rotate_epoch(Timestamp::from_secs(60));
+    let size = one[0].wire_size();
+
+    let mut s3 = SummaryStore::new(
+        StorageStrategy::RoundRobinHierarchical {
+            budget_bytes: size * 2,
+            fanout: 2,
+        },
+        "edge",
+    );
+    // Insert four epochs from two alternating sensors → forced aggregation.
+    for epoch in 0..4u64 {
+        let mut store = flow_store("edge", 60);
+        let sensor = format!("sensor-{}", if epoch % 2 == 0 { "a" } else { "b" });
+        store.ingest_flow(
+            &sensor.as_str().into(),
+            &rec(&format!("10.0.0.{epoch}"), 5),
+            Timestamp::from_secs(epoch * 60 + 1),
+        );
+        let mut exported = store.rotate_epoch(Timestamp::from_secs((epoch + 1) * 60));
+        s3.insert(exported.remove(0), Timestamp::from_secs((epoch + 1) * 60));
+    }
+    let aggregated = s3
+        .iter()
+        .find(|s| s.level >= 1)
+        .expect("no aggregation happened");
+    let ops: Vec<&str> = aggregated
+        .lineage
+        .transforms
+        .iter()
+        .map(|t| t.op.as_str())
+        .collect();
+    assert!(ops.contains(&"snapshot"));
+    assert!(ops.contains(&"merge"));
+    assert!(ops.contains(&"hierarchical-aggregate"));
+    // Sources were unioned across the merged epochs.
+    assert!(aggregated.lineage.sources.len() >= 2);
+}
+
+/// Through a full hierarchy hop, imported summaries record the import
+/// location — so a faulty-sensor investigation can walk from the cloud
+/// back to the stream ("data lineage can, e.g., be used to identify
+/// faulty sensors").
+#[test]
+fn faulty_sensor_traceable_from_the_top() {
+    let mut net = Network::new();
+    let top = net.add_node("cloud", NodeKind::Cloud);
+    let leaf = net.add_node("edge", NodeKind::DataStore);
+    net.connect(leaf, top, LinkSpec::wan_100m());
+    let mut h = StoreHierarchy::new(net);
+    // The parent has no aggregators → child summaries are imported intact.
+    let root = h.add_root(
+        DataStore::new(
+            "cloud",
+            StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+            TimeDelta::from_secs(600),
+        ),
+        top,
+    );
+    let child = h.add_child(flow_store("edge", 60), leaf, root);
+    // The "faulty" sensor emits an absurd packet count.
+    h.ingest_flow(child, &"sensor-broken".into(), &rec("10.0.0.1", 1 << 40), Timestamp::from_secs(5));
+    h.pump(Timestamp::from_secs(60));
+
+    // At the top, find the suspicious summary and walk its lineage back.
+    let suspicious = h
+        .store(root)
+        .summaries()
+        .iter()
+        .find(|s| {
+            s.summary
+                .flow_score(&megastream_flow::key::FlowKey::root())
+                .is_some_and(|p| p.value() > 1 << 30)
+        })
+        .expect("suspicious summary not found at the cloud");
+    assert_eq!(suspicious.lineage.sources, vec!["sensor-broken"]);
+    let locations: Vec<&str> = suspicious
+        .lineage
+        .transforms
+        .iter()
+        .map(|t| t.location.as_str())
+        .collect();
+    assert_eq!(locations, vec!["edge", "cloud"]);
+    assert_eq!(
+        suspicious.lineage.transforms.last().unwrap().op,
+        "import"
+    );
+}

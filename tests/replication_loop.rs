@@ -1,0 +1,170 @@
+//! E8 — Fig. 6: the adaptive-replication loop over the simulated network,
+//! end to end through the manager.
+
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_manager::Manager;
+use megastream_netsim::topology::{LinkSpec, Network, NodeKind};
+use megastream_replication::policy::ReplicationPolicy;
+use megastream_replication::simulator::{replay_with_history, training_volumes, Access};
+use megastream_workloads::querytrace::{AccessDistribution, QueryTraceConfig};
+
+fn two_store_net() -> (Network, megastream_netsim::NodeId, megastream_netsim::NodeId) {
+    let mut net = Network::new();
+    let owner = net.add_node("owner", NodeKind::DataStore);
+    let remote = net.add_node("remote", NodeKind::DataStore);
+    net.connect(owner, remote, LinkSpec::wan_100m());
+    (net, owner, remote)
+}
+
+/// The manager records accesses, predicts, and starts replication; the
+/// network accounts query and replication transfers (Fig. 6 ①–④).
+#[test]
+fn manager_driven_loop_reduces_latency_after_replication() {
+    let (mut net, owner, remote) = two_store_net();
+    let mut mgr = Manager::new(ReplicationPolicy::BreakEven { factor: 1.0 });
+    let partition = mgr
+        .replication_mut()
+        .register_partition(owner, 2_000_000);
+    let mut first_remote_latency = None;
+    let mut replicated_at_access = None;
+    for i in 0..20u64 {
+        let before = net.total_bytes();
+        let order = mgr
+            .replication_mut()
+            .on_access(
+                partition,
+                remote,
+                600_000,
+                &mut net,
+                Timestamp::from_secs(i * 10),
+            )
+            .unwrap();
+        let moved = net.total_bytes() - before;
+        if i == 0 {
+            first_remote_latency = Some(moved);
+            assert_eq!(moved, 600_000, "first access ships the result");
+        }
+        if order.is_some() {
+            replicated_at_access = Some(i);
+        }
+        if replicated_at_access.is_some() && i > replicated_at_access.unwrap() {
+            assert_eq!(moved, 0, "post-replication accesses are local");
+        }
+    }
+    // Break-even: accumulate 600 KB per access, replicate once ≥ 2 MB,
+    // i.e. on the 4th access (index 3).
+    assert_eq!(replicated_at_access, Some(3));
+    assert!(first_remote_latency.is_some());
+    let ctl = mgr.replication();
+    assert_eq!(ctl.remote_hits(), 4);
+    assert_eq!(ctl.local_hits(), 16);
+    assert_eq!(ctl.shipped_bytes(), 2_400_000);
+    assert_eq!(ctl.replication_bytes(), 2_000_000);
+}
+
+/// Competitive guarantees across distributions: break-even never exceeds
+/// 2×OPT (plus one query of overshoot); the distribution-aware policy is
+/// at least as good on average when trained on the right distribution.
+#[test]
+fn policy_quality_ordering_by_distribution() {
+    let partitions = 128usize;
+    let costs = vec![3_000_000u64; partitions];
+    for (dist, seed) in [
+        (AccessDistribution::Geometric(0.75), 21u64),
+        (AccessDistribution::Exponential(4.0), 22),
+        (AccessDistribution::Pareto(1.3), 23),
+    ] {
+        let make = |seed| -> Vec<Access> {
+            QueryTraceConfig {
+                seed,
+                partitions,
+                accesses: dist,
+                mean_gap: TimeDelta::from_secs(10),
+                median_result_bytes: 700_000,
+            }
+            .generate()
+            .into_iter()
+            .map(|a| Access {
+                partition: a.partition,
+                ts: a.ts,
+                result_bytes: a.result_bytes,
+            })
+            .collect()
+        };
+        let train = make(seed);
+        let eval = make(seed + 1000);
+        let history = training_volumes(&train, partitions);
+
+        let break_even = replay_with_history(
+            &eval,
+            &costs,
+            &ReplicationPolicy::BreakEven { factor: 1.0 },
+            &history,
+        );
+        let aware = replay_with_history(
+            &eval,
+            &costs,
+            &ReplicationPolicy::DistributionAware { min_samples: 32 },
+            &history,
+        );
+        let max_result = eval.iter().map(|a| a.result_bytes).max().unwrap_or(0);
+        assert!(
+            break_even.total_bytes() <= 2 * break_even.offline_optimal_bytes + partitions as u64 * max_result,
+            "break-even beyond bound for {dist:?}"
+        );
+        assert!(
+            aware.total_bytes() as f64 <= break_even.total_bytes() as f64 * 1.05,
+            "distribution-aware worse than break-even for {dist:?}: {} vs {}",
+            aware.total_bytes(),
+            break_even.total_bytes()
+        );
+    }
+}
+
+/// Never/Always bracket the ski-rental policies in their favourable
+/// regimes: cold traces favour Never, hot traces favour Always, and
+/// break-even stays within its bound in both.
+#[test]
+fn extremes_and_break_even_regimes() {
+    let partitions = 64usize;
+    let costs = vec![5_000_000u64; partitions];
+    let make = |dist: AccessDistribution| -> Vec<Access> {
+        QueryTraceConfig {
+            seed: 5,
+            partitions,
+            accesses: dist,
+            mean_gap: TimeDelta::from_secs(10),
+            median_result_bytes: 500_000,
+        }
+        .generate()
+        .into_iter()
+        .map(|a| Access {
+            partition: a.partition,
+            ts: a.ts,
+            result_bytes: a.result_bytes,
+        })
+        .collect()
+    };
+    // Cold: ~1 access per partition.
+    let cold = make(AccessDistribution::Geometric(0.4));
+    // Hot: ~40 accesses per partition.
+    let hot = make(AccessDistribution::Fixed(40));
+
+    let never_cold = replay_with_history(&cold, &costs, &ReplicationPolicy::Never, &[]);
+    let always_cold = replay_with_history(&cold, &costs, &ReplicationPolicy::Always, &[]);
+    assert!(never_cold.total_bytes() < always_cold.total_bytes());
+
+    let never_hot = replay_with_history(&hot, &costs, &ReplicationPolicy::Never, &[]);
+    let always_hot = replay_with_history(&hot, &costs, &ReplicationPolicy::Always, &[]);
+    assert!(always_hot.total_bytes() < never_hot.total_bytes());
+
+    for trace in [&cold, &hot] {
+        let be = replay_with_history(
+            trace,
+            &costs,
+            &ReplicationPolicy::BreakEven { factor: 1.0 },
+            &[],
+        );
+        assert!(be.competitive_ratio() <= 2.5, "ratio {}", be.competitive_ratio());
+    }
+}

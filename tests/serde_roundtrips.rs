@@ -1,0 +1,180 @@
+//! Serialization round-trips for everything that crosses the wire between
+//! data stores — summaries of every kind, FlowQL queries, and replication
+//! reports. If these break, hierarchy export and replication silently
+//! corrupt data, so they get their own integration tests.
+
+use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
+use megastream_datastore::{AggregatorSpec, StorageStrategy};
+use megastream_flow::key::FeatureSet;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::ScoreKind;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_flowtree::FlowtreeConfig;
+
+fn rec(i: u32) -> FlowRecord {
+    FlowRecord::builder()
+        .ts(Timestamp::from_secs(i as u64))
+        .proto(6)
+        .src(format!("10.0.{}.{}", i / 250, i % 250).parse().unwrap(), 40_000)
+        .dst("1.1.1.1".parse().unwrap(), 443)
+        .packets(1 + i as u64 % 9)
+        .bytes(100 * (1 + i as u64 % 9))
+        .build()
+}
+
+fn window() -> TimeWindow {
+    TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(60))
+}
+
+/// Builds one summary of each kind via real aggregator instances.
+fn all_summaries() -> Vec<Summary> {
+    let specs = vec![
+        AggregatorSpec::Flowtree(FlowtreeConfig::default().with_capacity(128)),
+        AggregatorSpec::SampledSeries { seed: 1, rate: 0.5 },
+        AggregatorSpec::TimeBins {
+            width: TimeDelta::from_secs(1),
+            seed: 1,
+        },
+        AggregatorSpec::TopFlows {
+            capacity: 16,
+            features: FeatureSet::FIVE_TUPLE,
+            score_kind: ScoreKind::Packets,
+        },
+        AggregatorSpec::ExactFlows {
+            features: FeatureSet::SRC_DST_IP,
+            score_kind: ScoreKind::Bytes,
+        },
+        AggregatorSpec::RawRing {
+            capacity: 32,
+            score_kind: ScoreKind::Packets,
+        },
+    ];
+    specs
+        .into_iter()
+        .map(|spec| {
+            let mut inst = spec.build();
+            for i in 0..100u32 {
+                inst.ingest_flow(&rec(i), Timestamp::from_secs(i as u64));
+                inst.ingest_scalar(60.0 + i as f64 / 10.0, Timestamp::from_secs(i as u64));
+            }
+            inst.snapshot(window())
+        })
+        .collect()
+}
+
+#[test]
+fn every_summary_kind_roundtrips_through_json() {
+    for summary in all_summaries() {
+        let kind = summary.kind();
+        let stored = StoredSummary::new(
+            "region-0/agg0",
+            window(),
+            summary,
+            Lineage::from_source("router-0"),
+        );
+        let json = serde_json::to_string(&stored)
+            .unwrap_or_else(|e| panic!("{kind} failed to serialize: {e}"));
+        let back: StoredSummary = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("{kind} failed to deserialize: {e}"));
+        assert_eq!(back.summary.kind(), kind);
+        assert_eq!(back.window, stored.window);
+        assert_eq!(back.lineage, stored.lineage);
+        match (&stored.summary, &back.summary) {
+            // Integer-valued summaries must round-trip bit-exactly.
+            (Summary::Flowtree(_), _)
+            | (Summary::TopFlows(_), _)
+            | (Summary::Exact(_), _)
+            | (Summary::Raw { .. }, _) => {
+                assert_eq!(stored, back, "{kind} round-trip changed the summary");
+            }
+            // Float-bearing summaries: JSON float printing may differ in
+            // the last ULP, so compare the statistics they answer with.
+            (Summary::Bins(a), Summary::Bins(b)) => {
+                assert_eq!(a.len(), b.len());
+                let (sa, sb) = (a.aggregate(window()), b.aggregate(window()));
+                assert_eq!(sa.count(), sb.count());
+                assert!((sa.sum() - sb.sum()).abs() / sa.sum().abs().max(1.0) < 1e-9);
+            }
+            (Summary::Series(a), Summary::Series(b)) => {
+                assert_eq!(a.len(), b.len());
+                let (ca, cb) = (a.estimated_count(window()), b.estimated_count(window()));
+                assert!((ca - cb).abs() < 1e-6, "{ca} vs {cb}");
+            }
+            (a, b) => panic!("kind mismatch: {} vs {}", a.kind(), b.kind()),
+        }
+    }
+}
+
+#[test]
+fn roundtripped_flowtree_answers_identically() {
+    use megastream_flow::key::FlowKey;
+    let mut store = megastream_datastore::DataStore::new(
+        "s",
+        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        TimeDelta::from_secs(60),
+    );
+    store.install_aggregator(AggregatorSpec::Flowtree(
+        FlowtreeConfig::default().with_capacity(64),
+    ));
+    for i in 0..500u32 {
+        store.ingest_flow(&"r".into(), &rec(i), Timestamp::from_secs(i as u64 / 10));
+    }
+    let exported = store.rotate_epoch(Timestamp::from_secs(60));
+    let json = serde_json::to_string(&exported[0]).unwrap();
+    let back: StoredSummary = serde_json::from_str(&json).unwrap();
+    let q = FlowKey::root().with_src_prefix("10.0.0.0/8".parse().unwrap());
+    assert_eq!(
+        exported[0].summary.flow_score(&q),
+        back.summary.flow_score(&q)
+    );
+}
+
+#[test]
+fn flowql_query_roundtrips() {
+    let q = megastream_flowdb::parse(
+        "SELECT TOPK 7 FROM [0, 60), [120, 180) \
+         WHERE src_ip = 10.0.0.0/8 AND dst_port = 53 AND location = \"region-0\" \
+         GROUP BY location",
+    )
+    .unwrap();
+    let json = serde_json::to_string(&q).unwrap();
+    let back: megastream_flowdb::Query = serde_json::from_str(&json).unwrap();
+    assert_eq!(q, back);
+    assert!(back.group_by_location);
+}
+
+#[test]
+fn replay_report_roundtrips() {
+    use megastream_replication::policy::ReplicationPolicy;
+    use megastream_replication::simulator::{replay, Access};
+    let trace: Vec<Access> = (0..10)
+        .map(|i| Access {
+            partition: 0,
+            ts: Timestamp::from_secs(i),
+            result_bytes: 1_000,
+        })
+        .collect();
+    let report = replay(&trace, &[5_000], &ReplicationPolicy::BreakEven { factor: 1.0 });
+    let json = serde_json::to_string(&report).unwrap();
+    let back: megastream_replication::ReplayReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    assert_eq!(report.competitive_ratio(), back.competitive_ratio());
+}
+
+#[test]
+fn query_results_roundtrip() {
+    use megastream_flowdb::FlowDb;
+    use megastream_flowtree::Flowtree;
+    let mut db = FlowDb::new();
+    let mut tree = Flowtree::new(FlowtreeConfig::default());
+    for i in 0..50u32 {
+        tree.observe(&rec(i));
+    }
+    db.insert("region-0", window(), tree);
+    let result = db
+        .execute(&megastream_flowdb::parse("SELECT TOPK 3 FROM ALL").unwrap())
+        .unwrap();
+    let json = serde_json::to_string(&result).unwrap();
+    let back: megastream_flowdb::QueryResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(result, back);
+}

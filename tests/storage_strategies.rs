@@ -1,0 +1,156 @@
+//! E6 — Fig. 4: the three storage strategies' qualitative contracts.
+//!
+//! * S1 guarantees retention for the TTL but uses unbounded space,
+//! * S2 honours the budget exactly but silently loses old data,
+//! * S3 honours the budget *and* answers queries about old windows — at
+//!   reduced detail.
+
+use megastream_datastore::storage::{StorageStrategy, SummaryStore};
+use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
+use megastream_flow::key::FlowKey;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+
+/// One epoch's summary: `flows` distinct flows of 10 packets each.
+fn epoch_summary(epoch: u64, flows: u32) -> StoredSummary {
+    let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(8192));
+    for i in 0..flows {
+        tree.observe(
+            &FlowRecord::builder()
+                .proto(6)
+                .src(
+                    format!("10.{}.{}.{}", i % 4, (i / 4) % 250, i % 250)
+                        .parse()
+                        .unwrap(),
+                    40_000,
+                )
+                .dst("1.1.1.1".parse().unwrap(), 443)
+                .packets(10)
+                .build(),
+        );
+    }
+    StoredSummary::new(
+        "router-0/agg0",
+        TimeWindow::starting_at(Timestamp::from_secs(epoch * 60), TimeDelta::from_secs(60)),
+        Summary::Flowtree(tree),
+        Lineage::from_source("router-0"),
+    )
+}
+
+fn old_window_score(store: &SummaryStore) -> u64 {
+    // Query the very first epoch's window.
+    let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(60));
+    store
+        .summaries_in(w)
+        .filter_map(|s| s.summary.flow_score(&FlowKey::root()))
+        .map(|p| p.value())
+        .sum()
+}
+
+const EPOCHS: u64 = 24;
+const FLOWS_PER_EPOCH: u32 = 400;
+
+#[test]
+fn s2_loses_history_s3_keeps_it_coarser() {
+    let budget = epoch_summary(0, FLOWS_PER_EPOCH).wire_size() * 4;
+    let mut s2 = SummaryStore::new(
+        StorageStrategy::RoundRobin { budget_bytes: budget },
+        "edge",
+    );
+    let mut s3 = SummaryStore::new(
+        StorageStrategy::RoundRobinHierarchical {
+            budget_bytes: budget,
+            fanout: 2,
+        },
+        "edge",
+    );
+    for epoch in 0..EPOCHS {
+        let now = Timestamp::from_secs((epoch + 1) * 60);
+        s2.insert(epoch_summary(epoch, FLOWS_PER_EPOCH), now);
+        s3.insert(epoch_summary(epoch, FLOWS_PER_EPOCH), now);
+    }
+    // Both honour the budget (S3 may overshoot by one summary transiently).
+    assert!(s2.total_bytes() <= budget);
+    assert!(s3.total_bytes() <= budget + budget / 2);
+
+    // S2: the first epoch is gone — the query silently returns nothing.
+    assert_eq!(old_window_score(&s2), 0, "S2 should have evicted epoch 0");
+    // S3: the first epoch is still answerable (aggregated, not expired).
+    let s3_old = old_window_score(&s3);
+    assert!(s3_old > 0, "S3 lost the old window entirely");
+    // Root-level mass over the old window is preserved exactly by
+    // hierarchical aggregation (merges never lose mass) — although the
+    // window is now coarser, so the score covers a *larger* hull window.
+    assert!(s3_old >= (FLOWS_PER_EPOCH as u64) * 10);
+    assert!(s3.aggregations() > 0);
+    assert_eq!(s3.evicted(), 0, "S3 should aggregate, not evict");
+}
+
+#[test]
+fn s1_guarantees_ttl_but_grows() {
+    let mut s1 = SummaryStore::new(
+        StorageStrategy::FixedExpiration {
+            ttl: TimeDelta::from_secs(10 * 60),
+        },
+        "edge",
+    );
+    let mut peak = 0;
+    for epoch in 0..EPOCHS {
+        let now = Timestamp::from_secs((epoch + 1) * 60);
+        s1.insert(epoch_summary(epoch, FLOWS_PER_EPOCH), now);
+        peak = peak.max(s1.total_bytes());
+    }
+    // Everything younger than the TTL is guaranteed present: exactly the
+    // last 10 epochs (+1 in flight).
+    assert!(s1.len() >= 10 && s1.len() <= 11, "{} summaries", s1.len());
+    // Storage grew to hold 10 full-detail epochs — about 2.5× the S2/S3
+    // budget of 4 epochs.
+    assert!(peak > epoch_summary(0, FLOWS_PER_EPOCH).wire_size() * 9);
+}
+
+#[test]
+fn s3_detail_degrades_with_age() {
+    let budget = epoch_summary(0, FLOWS_PER_EPOCH).wire_size() * 4;
+    let mut s3 = SummaryStore::new(
+        StorageStrategy::RoundRobinHierarchical {
+            budget_bytes: budget,
+            fanout: 2,
+        },
+        "edge",
+    );
+    for epoch in 0..EPOCHS {
+        let now = Timestamp::from_secs((epoch + 1) * 60);
+        s3.insert(epoch_summary(epoch, FLOWS_PER_EPOCH), now);
+    }
+    // Older summaries sit at higher aggregation levels (coarser detail,
+    // wider windows); the newest are still level 0.
+    let levels: Vec<(u32, TimeWindow)> = s3.iter().map(|s| (s.level, s.window)).collect();
+    let max_level = levels.iter().map(|(l, _)| *l).max().unwrap();
+    assert!(max_level >= 2, "levels: {levels:?}");
+    assert!(levels.iter().any(|(l, _)| *l == 0));
+    // The highest-level summary covers the widest time span.
+    let widest = levels.iter().max_by_key(|(_, w)| w.len().as_micros()).unwrap();
+    assert_eq!(
+        widest.0, max_level,
+        "oldest data should be at the coarsest level"
+    );
+    // And per-flow detail is reduced: a /32 query on the oldest window is
+    // an underestimate (mass folded to prefixes), while the root query
+    // keeps the mass.
+    let oldest = s3.iter().find(|s| s.level == max_level).unwrap();
+    if let Summary::Flowtree(t) = &oldest.summary {
+        let leaf = FlowKey::five_tuple(
+            6,
+            "10.0.0.0".parse().unwrap(),
+            40_000,
+            "1.1.1.1".parse().unwrap(),
+            443,
+        );
+        let leaf_score = t.query(&leaf).value();
+        assert!(leaf_score <= 10 * (EPOCHS / 2), "leaf detail retained: {leaf_score}");
+        assert!(t.total().value() >= FLOWS_PER_EPOCH as u64 * 10);
+    } else {
+        panic!("expected a flowtree summary");
+    }
+}
