@@ -4,8 +4,6 @@
 //! examples: anomaly detection on sensor channels and failure-time
 //! extrapolation for predictive maintenance.
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::Timestamp;
 
 /// Exponentially-weighted moving average anomaly detector.
@@ -21,7 +19,7 @@ use megastream_flow::time::Timestamp;
 /// assert!(!det.is_anomaly(10.5));
 /// assert!(det.is_anomaly(30.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EwmaDetector {
     alpha: f64,
     k: f64,
@@ -88,7 +86,7 @@ impl EwmaDetector {
 /// Least-squares linear trend over a window of `(t, value)` points, with
 /// time-to-threshold extrapolation — the predictive-maintenance primitive:
 /// *"given the vibration trend, when will this machine cross its limit?"*
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearTrend {
     /// Slope in value units per second.
     pub slope: f64,
@@ -172,7 +170,7 @@ impl LinearTrend {
 
 /// A plain threshold classifier with hysteresis: enters the alarmed state
 /// above `high`, leaves it below `low`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdClassifier {
     high: f64,
     low: f64,
@@ -275,7 +273,11 @@ mod tests {
             .collect();
         let t2 = LinearTrend::fit(&noisy).unwrap();
         let se2 = t2.slope_stderr(&noisy).unwrap();
-        assert!(t2.slope.abs() / se2 < 2.0, "t-stat {}", t2.slope.abs() / se2);
+        assert!(
+            t2.slope.abs() / se2 < 2.0,
+            "t-stat {}",
+            t2.slope.abs() / se2
+        );
         // Too few points.
         assert!(t1.slope_stderr(&clean[..2]).is_none());
     }
@@ -285,9 +287,7 @@ mod tests {
         assert!(LinearTrend::fit(&[]).is_none());
         assert!(LinearTrend::fit(&[(Timestamp::ZERO, 1.0)]).is_none());
         // Same timestamp twice → degenerate spread.
-        assert!(
-            LinearTrend::fit(&[(Timestamp::ZERO, 1.0), (Timestamp::ZERO, 2.0)]).is_none()
-        );
+        assert!(LinearTrend::fit(&[(Timestamp::ZERO, 1.0), (Timestamp::ZERO, 2.0)]).is_none());
         // Falling trend never reaches a higher threshold.
         let falling = LinearTrend::fit(&[
             (Timestamp::from_secs(0), 10.0),

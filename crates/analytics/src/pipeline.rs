@@ -33,10 +33,7 @@ impl<I: 'static> Pipeline<I, I> {
 impl<I: 'static, O: 'static> Pipeline<I, O> {
     /// Appends a per-item transformation.
     #[must_use]
-    pub fn map<U: 'static>(
-        mut self,
-        mut f: impl FnMut(O) -> U + Send + 'static,
-    ) -> Pipeline<I, U> {
+    pub fn map<U: 'static>(mut self, mut f: impl FnMut(O) -> U + Send + 'static) -> Pipeline<I, U> {
         Pipeline {
             f: Box::new(move |v| (self.f)(v).into_iter().map(&mut f).collect()),
             stages: self.stages + 1,
@@ -130,25 +127,19 @@ where
         }
         chunks
     };
-    let mapped: Vec<Vec<(K, V)>> = crossbeam::thread::scope(|s| {
+    let mapped: Vec<Vec<(K, V)>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 let map = &map;
-                s.spawn(move |_| {
-                    chunk
-                        .into_iter()
-                        .flat_map(map)
-                        .collect::<Vec<(K, V)>>()
-                })
+                s.spawn(move || chunk.into_iter().flat_map(map).collect::<Vec<(K, V)>>())
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("map worker panicked"))
             .collect()
-    })
-    .expect("map-reduce scope panicked");
+    });
 
     let mut out: HashMap<K, V> = HashMap::new();
     for (k, v) in mapped.into_iter().flatten() {

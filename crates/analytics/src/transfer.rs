@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Scatters `items` across `workers` threads, applies `work` to each item,
 /// and gathers the results in input order.
@@ -28,14 +28,14 @@ where
     let n = items.len();
     let indexed: Vec<(usize, I)> = items.into_iter().enumerate().collect();
     let chunk_size = n.div_ceil(workers).max(1);
-    let mut results: Vec<(usize, O)> = crossbeam::thread::scope(|s| {
+    let mut results: Vec<(usize, O)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         let mut rest = indexed;
         while !rest.is_empty() {
             let tail = rest.split_off(rest.len().min(chunk_size));
             let chunk = std::mem::replace(&mut rest, tail);
             let work = &work;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 chunk
                     .into_iter()
                     .map(|(i, item)| (i, work(item)))
@@ -46,8 +46,7 @@ where
             .into_iter()
             .flat_map(|h| h.join().expect("scatter worker panicked"))
             .collect()
-    })
-    .expect("scatter-gather scope panicked");
+    });
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, o)| o).collect()
 }
@@ -81,7 +80,7 @@ impl<T: Clone> PubSub<T> {
 
     /// Subscribes to `topic`, returning the receiving end.
     pub fn subscribe(&mut self, topic: impl Into<String>) -> Receiver<T> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.topics.entry(topic.into()).or_default().push(tx);
         rx
     }

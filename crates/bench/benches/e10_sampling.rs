@@ -27,13 +27,12 @@ fn heavy_trace() -> Vec<FlowRecord> {
 fn true_prefixes(exact: &ExactFlowTable) -> Vec<(u8, u64)> {
     let mut v: Vec<(u8, u64)> = (1..=255u8)
         .map(|octet| {
-            let key = FlowKey::root()
-                .with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
+            let key = FlowKey::root().with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
             (octet, exact.query(&key).value())
         })
         .filter(|(_, s)| *s > 0)
         .collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v.sort_by_key(|e| std::cmp::Reverse(e.1));
     v
 }
 
@@ -69,17 +68,15 @@ fn report() {
         }
         // Scale estimates back up by the sampling rate.
         let est = |octet: u8| -> u64 {
-            let key = FlowKey::root()
-                .with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
+            let key = FlowKey::root().with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
             tree.query(&key).scaled(rate, 1).value()
         };
         let top1_err =
             (est(truth[0].0) as f64 - truth[0].1 as f64).abs() / truth[0].1 as f64 * 100.0;
         // Does the heavy-prefix *ranking* survive sampling?
         let top_n = truth.len().min(3);
-        let mut est_rank: Vec<(u8, u64)> =
-            truth.iter().map(|(o, _)| (*o, est(*o))).collect();
-        est_rank.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut est_rank: Vec<(u8, u64)> = truth.iter().map(|(o, _)| (*o, est(*o))).collect();
+        est_rank.sort_by_key(|e| std::cmp::Reverse(e.1));
         let top_true: std::collections::BTreeSet<u8> =
             truth.iter().take(top_n).map(|(o, _)| *o).collect();
         let top_est: std::collections::BTreeSet<u8> =

@@ -1,0 +1,99 @@
+//! E11 — telemetry overhead: the null-handle fast path must make an
+//! uninstrumented pipeline indistinguishable from one that predates the
+//! telemetry layer, and an enabled registry must stay cheap enough to
+//! leave on in production (atomics on the hot path, no locks).
+//!
+//! Shape expectations (recorded in EXPERIMENTS.md): disabled-vs-enabled
+//! ingest throughput within a few percent; raw handle operations in the
+//! low-nanosecond range; a registry lookup (name hash + shard lock) is the
+//! expensive path and belongs outside hot loops.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream_bench::{flow_trace, rule};
+use megastream_telemetry::{Telemetry, LATENCY_MICROS_BOUNDS};
+
+fn ingest_overhead_report() {
+    rule("E11 — ingest throughput: telemetry disabled vs enabled (60k flows)");
+    let trace = flow_trace(2026, 500.0, 120, 1.1);
+    println!("{:>10} {:>12} {:>12}", "mode", "elapsed ms", "metrics");
+    for enabled in [false, true] {
+        let tel = if enabled {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
+        let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_telemetry(&tel);
+        let start = std::time::Instant::now();
+        for r in &trace {
+            fs.ingest_round_robin(r);
+        }
+        fs.finish();
+        println!(
+            "{:>10} {:>12.1} {:>12}",
+            if enabled { "enabled" } else { "disabled" },
+            start.elapsed().as_secs_f64() * 1e3,
+            tel.snapshot().len(),
+        );
+    }
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    ingest_overhead_report();
+
+    let mut group = c.benchmark_group("e11_telemetry");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // Raw handle cost, null vs live: this is the guard on the fast path —
+    // a no-op counter must be a branch on a None, nothing more.
+    let disabled = Telemetry::disabled();
+    let enabled = Telemetry::new();
+    for (name, tel) in [("disabled", &disabled), ("enabled", &enabled)] {
+        let counter = tel.counter("bench.counter");
+        group.bench_function(BenchmarkId::new("counter_inc_x1000", name), |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    black_box(&counter).inc();
+                }
+            });
+        });
+        let hist = tel.histogram("bench.hist", LATENCY_MICROS_BOUNDS);
+        group.bench_function(BenchmarkId::new("histogram_record_x1000", name), |b| {
+            b.iter(|| {
+                for i in 0..1000u64 {
+                    black_box(&hist).record(i * 17 % 5_000);
+                }
+            });
+        });
+    }
+
+    // Registry lookup (the slow path components must keep out of hot loops).
+    group.bench_function("registry_counter_lookup", |b| {
+        b.iter(|| enabled.counter(black_box("bench.lookup")).inc());
+    });
+
+    // End-to-end ingest with and without a live registry.
+    let trace = flow_trace(7, 500.0, 30, 1.1);
+    for (name, make_tel) in [
+        ("disabled", Telemetry::disabled as fn() -> Telemetry),
+        ("enabled", Telemetry::new as fn() -> Telemetry),
+    ] {
+        group.bench_function(BenchmarkId::new("flowstream_ingest_15k", name), |b| {
+            b.iter(|| {
+                let mut fs =
+                    Flowstream::new(2, 4, FlowstreamConfig::default()).with_telemetry(&make_tel());
+                for r in &trace {
+                    fs.ingest_round_robin(r);
+                }
+                fs.stats().flows
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -30,7 +30,9 @@ fn report() {
     // C2: device counts — streams per store.
     let mut store = DataStore::new(
         "line",
-        StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 8 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     store.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
@@ -50,7 +52,9 @@ fn report() {
     // C3: combined data rates — raw vs exported bytes.
     let mut store = DataStore::new(
         "router",
-        StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 8 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     store.install_aggregator(AggregatorSpec::Flowtree(
@@ -71,7 +75,9 @@ fn report() {
     // C4: rapid local decisions — trigger latency in simulated time.
     let mut mstore = DataStore::new(
         "machine",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     mstore.install_trigger(
@@ -125,7 +131,9 @@ fn bench_ingest_paths(c: &mut Criterion) {
         b.iter(|| {
             let mut store = DataStore::new(
                 "router",
-                StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+                StorageStrategy::RoundRobin {
+                    budget_bytes: 8 << 20,
+                },
                 TimeDelta::from_secs(60),
             );
             store.install_aggregator(AggregatorSpec::Flowtree(
@@ -141,7 +149,9 @@ fn bench_ingest_paths(c: &mut Criterion) {
     // The C4 mechanism: trigger evaluation cost on the data path.
     let mut store = DataStore::new(
         "machine",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     for i in 0..16 {

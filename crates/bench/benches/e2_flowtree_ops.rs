@@ -24,8 +24,17 @@ fn report() {
     rule("E2 / Table II — Flowtree operator costs");
     println!(
         "{:<10} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "records", "skew", "nodes", "merge µs", "compr µs", "diff µs", "query µs",
-        "drill µs", "topk µs", "above µs", "hhh µs"
+        "records",
+        "skew",
+        "nodes",
+        "merge µs",
+        "compr µs",
+        "diff µs",
+        "query µs",
+        "drill µs",
+        "topk µs",
+        "above µs",
+        "hhh µs"
     );
     for &records in &[1_000usize, 10_000, 100_000] {
         for &skew in &SKEWS {

@@ -42,7 +42,9 @@ fn factory_report() {
     for l in 0..LINES {
         let mut line_store = DataStore::new(
             format!("line-{l}"),
-            StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+            StorageStrategy::RoundRobin {
+                budget_bytes: 8 << 20,
+            },
             TimeDelta::from_mins(1),
         );
         // The line store re-aggregates its machines' bins at a coarser
@@ -53,11 +55,13 @@ fn factory_report() {
         });
         let line = h.add_child(line_store, line_nets[l], factory);
         line_ids.push(line);
-        for m in 0..MACHINES_PER_LINE {
+        for (m, &machine_net) in machine_nets[l].iter().enumerate() {
             let machine = l * MACHINES_PER_LINE + m;
             let mut store = DataStore::new(
                 format!("machine-{machine}"),
-                StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+                StorageStrategy::RoundRobin {
+                    budget_bytes: 1 << 20,
+                },
                 TimeDelta::from_secs(10),
             );
             for channel in SensorChannel::ALL {
@@ -67,7 +71,7 @@ fn factory_report() {
                 });
                 store.subscribe(agg, format!("machine-{machine}/{channel}").as_str().into());
             }
-            machine_ids.push(h.add_child(store, machine_nets[l][m], line));
+            machine_ids.push(h.add_child(store, machine_net, line));
         }
     }
 
@@ -80,13 +84,21 @@ fn factory_report() {
         let until = Timestamp::from_secs(step * 10);
         for r in workload.readings_until(until) {
             let stream = format!("machine-{}/{}", r.machine, r.channel);
-            h.ingest_scalar(machine_ids[r.machine], &stream.as_str().into(), r.value, r.ts);
+            h.ingest_scalar(
+                machine_ids[r.machine],
+                &stream.as_str().into(),
+                r.value,
+                r.ts,
+            );
         }
         stats_total += h.pump(until);
     }
     let _ = horizon;
 
-    let raw_machine: u64 = machine_ids.iter().map(|id| h.store(*id).stats().raw_bytes).sum();
+    let raw_machine: u64 = machine_ids
+        .iter()
+        .map(|id| h.store(*id).stats().raw_bytes)
+        .sum();
     let machine_exports: u64 = machine_ids
         .iter()
         .map(|id| h.store(*id).stats().exported_bytes)

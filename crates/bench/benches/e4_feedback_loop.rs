@@ -19,7 +19,9 @@ fn fast_loop_report() {
     rule("E4 / Fig. 2a — fast loop (sensor -> trigger -> controller)");
     let mut store = DataStore::new(
         "machine-0",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     let trigger = store.install_trigger(
@@ -32,7 +34,12 @@ fn fast_loop_report() {
     );
     let mut controller = Controller::new("machine-0", SafetyEnvelope::default());
     controller
-        .install_rule("safety", trigger, ControlAction::SlowDown { factor: 0.5 }, 9)
+        .install_rule(
+            "safety",
+            trigger,
+            ControlAction::SlowDown { factor: 0.5 },
+            9,
+        )
         .unwrap();
 
     let wall = Instant::now();
@@ -52,7 +59,9 @@ fn adaptive_loop_report() {
     rule("E4 / Fig. 2a — adaptive loop (summary -> application -> trigger)");
     let mut store = DataStore::new(
         "machine-1",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(30),
     );
     let agg = store.install_aggregator(AggregatorSpec::TimeBins {
@@ -76,7 +85,11 @@ fn adaptive_loop_report() {
         let at = Timestamp::from_secs((epoch + 1) * 30);
         for summary in store.rotate_epoch(at) {
             for d in app.on_summary(&summary, at) {
-                if let AppDirective::RequestTrigger { condition, cooldown } = d {
+                if let AppDirective::RequestTrigger {
+                    condition,
+                    cooldown,
+                } = d
+                {
                     store.install_trigger(app.name(), condition, cooldown);
                     guard_installed_at = Some(at);
                     break 'outer;
@@ -106,7 +119,9 @@ fn bench_loops(c: &mut Criterion) {
     // Fast-loop hot path.
     let mut store = DataStore::new(
         "m",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     let trigger = store.install_trigger(
@@ -119,7 +134,12 @@ fn bench_loops(c: &mut Criterion) {
     );
     let mut controller = Controller::new("m", SafetyEnvelope::default());
     controller
-        .install_rule("safety", trigger, ControlAction::SlowDown { factor: 0.5 }, 9)
+        .install_rule(
+            "safety",
+            trigger,
+            ControlAction::SlowDown { factor: 0.5 },
+            9,
+        )
         .unwrap();
     group.bench_function("fast_loop_fire_and_actuate", |b| {
         b.iter(|| {
@@ -134,7 +154,9 @@ fn bench_loops(c: &mut Criterion) {
         busy.install_rule(
             format!("app-{p}"),
             trigger,
-            ControlAction::Alert { message: format!("alert {p}") },
+            ControlAction::Alert {
+                message: format!("alert {p}"),
+            },
             p,
         )
         .unwrap();

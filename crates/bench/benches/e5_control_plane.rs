@@ -29,7 +29,9 @@ fn run_surge(report: bool) -> (usize, usize) {
     // give the summary store half so the live side keeps the rest.
     let mut store = DataStore::new(
         "edge",
-        StorageStrategy::RoundRobin { budget_bytes: BUDGET / 2 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: BUDGET / 2,
+        },
         TimeDelta::from_secs(60),
     );
     mgr.plan_and_install(&mut [&mut store]);
@@ -115,7 +117,9 @@ fn bench_control_plane(c: &mut Criterion) {
     });
     let mut store = DataStore::new(
         "edge",
-        StorageStrategy::RoundRobin { budget_bytes: 64 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 64 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     mgr.plan_and_install(&mut [&mut store]);

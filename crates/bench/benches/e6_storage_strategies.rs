@@ -78,7 +78,9 @@ fn report() {
             ),
             (
                 format!("S2 round-robin ({factor} epochs)"),
-                StorageStrategy::RoundRobin { budget_bytes: budget },
+                StorageStrategy::RoundRobin {
+                    budget_bytes: budget,
+                },
             ),
             (
                 format!("S3 hierarchical ({factor} epochs)"),
@@ -120,11 +122,24 @@ fn bench_storage(c: &mut Criterion) {
     let one = epoch_summary(0).wire_size();
     let summaries: Vec<StoredSummary> = (0..EPOCHS).map(epoch_summary).collect();
     for (name, strategy) in [
-        ("s1_insert", StorageStrategy::FixedExpiration { ttl: TimeDelta::from_mins(4) }),
-        ("s2_insert", StorageStrategy::RoundRobin { budget_bytes: one * 4 }),
+        (
+            "s1_insert",
+            StorageStrategy::FixedExpiration {
+                ttl: TimeDelta::from_mins(4),
+            },
+        ),
+        (
+            "s2_insert",
+            StorageStrategy::RoundRobin {
+                budget_bytes: one * 4,
+            },
+        ),
         (
             "s3_insert",
-            StorageStrategy::RoundRobinHierarchical { budget_bytes: one * 4, fanout: 2 },
+            StorageStrategy::RoundRobinHierarchical {
+                budget_bytes: one * 4,
+                fanout: 2,
+            },
         ),
     ] {
         group.bench_function(name, |b| {

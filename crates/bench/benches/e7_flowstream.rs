@@ -43,8 +43,7 @@ fn top_k_mre(estimate: impl Fn(&FlowKey) -> u64, exact: &ExactFlowTable, k: usiz
 fn prefix_mre(tree: &Flowtree, exact: &ExactFlowTable) -> f64 {
     let (mut err, mut n) = (0.0, 0);
     for octet in 1..=255u8 {
-        let key = FlowKey::root()
-            .with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
+        let key = FlowKey::root().with_src_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
         let truth = exact.query(&key).value();
         if truth == 0 {
             continue;
@@ -55,7 +54,11 @@ fn prefix_mre(tree: &Flowtree, exact: &ExactFlowTable) -> f64 {
     err / n.max(1) as f64
 }
 
-fn hhh_precision_recall(tree: &Flowtree, exact: &ExactFlowTable, threshold: Popularity) -> (f64, f64) {
+fn hhh_precision_recall(
+    tree: &Flowtree,
+    exact: &ExactFlowTable,
+    threshold: Popularity,
+) -> (f64, f64) {
     let mine: BTreeSet<FlowKey> = tree.hhh(threshold).into_iter().map(|h| h.key).collect();
     let truth: BTreeSet<FlowKey> = exact
         .hhh(&GeneralizationSchema::network_default(), threshold)
@@ -78,11 +81,24 @@ fn accuracy_report() {
     }
     let exact_bytes = exact.footprint_bytes();
     let threshold = Popularity::new(exact.total().value() / 200); // 0.5 %
-    println!("exact table: {} keys, {} bytes, total {} packets", exact.len(), exact_bytes, exact.total());
+    println!(
+        "exact table: {} keys, {} bytes, total {} packets",
+        exact.len(),
+        exact_bytes,
+        exact.total()
+    );
     println!(
         "{:>9} | {:>9} {:>8} {:>8} {:>7} {:>7} | {:>9} {:>8} | {:>9} {:>8}",
-        "capacity", "ft bytes", "top20mre", "pfx mre", "hhh P", "hhh R",
-        "ss bytes", "top20mre", "cms bytes", "top20mre"
+        "capacity",
+        "ft bytes",
+        "top20mre",
+        "pfx mre",
+        "hhh P",
+        "hhh R",
+        "ss bytes",
+        "top20mre",
+        "cms bytes",
+        "top20mre"
     );
     for capacity in [256usize, 512, 1024, 2048, 4096, 8192, 16384] {
         let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(capacity));
@@ -99,11 +115,7 @@ fn accuracy_report() {
         let ft_mre = top_k_mre(|k| tree.query(k).value(), &exact, 20);
         let pfx = prefix_mre(&tree, &exact);
         let (p, rcl) = hhh_precision_recall(&tree, &exact, threshold);
-        let ss_mre = top_k_mre(
-            |k| ss.estimate(k).map(|c| c.count).unwrap_or(0),
-            &exact,
-            20,
-        );
+        let ss_mre = top_k_mre(|k| ss.estimate(k).map(|c| c.count).unwrap_or(0), &exact, 20);
         let cms_mre = top_k_mre(|k| cms.estimate(k), &exact, 20);
         println!(
             "{:>9} | {:>9} {:>8.3} {:>8.3} {:>7.2} {:>7.2} | {:>9} {:>8.3} | {:>9} {:>8.3}",
@@ -129,10 +141,7 @@ fn ablation_report() {
     for r in &trace {
         exact.observe(r);
     }
-    println!(
-        "{:<16} {:>12} {:>12}",
-        "schema", "src/8 mre", "dst/8 mre"
-    );
+    println!("{:<16} {:>12} {:>12}", "schema", "src/8 mre", "dst/8 mre");
     for (name, schema) in [
         ("alternating", GeneralizationSchema::network_default()),
         ("dst-preserving", GeneralizationSchema::dst_preserving()),
@@ -150,8 +159,7 @@ fn ablation_report() {
         // dst-side error.
         let (mut err, mut n) = (0.0, 0);
         for octet in 1..=255u8 {
-            let key = FlowKey::root()
-                .with_dst_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
+            let key = FlowKey::root().with_dst_prefix(format!("{octet}.0.0.0/8").parse().unwrap());
             let truth = exact.query(&key).value();
             if truth == 0 {
                 continue;
@@ -180,8 +188,7 @@ fn bench_flowstream(c: &mut Criterion) {
             &capacity,
             |b, &cap| {
                 b.iter(|| {
-                    let mut tree =
-                        Flowtree::new(FlowtreeConfig::default().with_capacity(cap));
+                    let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(cap));
                     for r in trace.iter().take(20_000) {
                         tree.observe(r);
                     }
@@ -198,7 +205,10 @@ fn bench_flowstream(c: &mut Criterion) {
     }
     fs.finish();
     group.bench_function("flowql_topk_across_sites", |b| {
-        b.iter(|| fs.query("SELECT TOPK 10 FROM ALL WHERE src_ip = 10.0.0.0/8").unwrap());
+        b.iter(|| {
+            fs.query("SELECT TOPK 10 FROM ALL WHERE src_ip = 10.0.0.0/8")
+                .unwrap()
+        });
     });
     group.finish();
 }

@@ -50,13 +50,11 @@ fn mean_latency_ms(report: &megastream_replication::simulator::ReplayReport) -> 
     if total == 0 {
         return 0.0;
     }
-    let mean_result = if report.remote_accesses > 0 {
-        report.shipped_bytes / report.remote_accesses
-    } else {
-        0
-    };
-    let remote_ms =
-        (wan.latency + wan.transmit_time(mean_result)).as_secs_f64() * 1e3;
+    let mean_result = report
+        .shipped_bytes
+        .checked_div(report.remote_accesses)
+        .unwrap_or(0);
+    let remote_ms = (wan.latency + wan.transmit_time(mean_result)).as_secs_f64() * 1e3;
     remote_ms * report.remote_accesses as f64 / total as f64
 }
 
@@ -72,7 +70,10 @@ fn report() {
         let train = make_trace(1, dist);
         let history = training_volumes(&train, PARTITIONS);
         let eval = make_trace(9, dist);
-        println!("\n-- {label} ({} accesses, partition = 4 MB) --", eval.len());
+        println!(
+            "\n-- {label} ({} accesses, partition = 4 MB) --",
+            eval.len()
+        );
         println!(
             "{:<20} {:>12} {:>12} {:>9} {:>8} {:>11}",
             "policy", "shipped B", "replica B", "replicas", "ratio", "latency ms"
@@ -139,7 +140,10 @@ fn bench_replication(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     let eval = make_trace(9, AccessDistribution::Geometric(0.8));
     let costs = vec![PARTITION_BYTES; PARTITIONS];
-    let history = training_volumes(&make_trace(1, AccessDistribution::Geometric(0.8)), PARTITIONS);
+    let history = training_volumes(
+        &make_trace(1, AccessDistribution::Geometric(0.8)),
+        PARTITIONS,
+    );
     for policy in policies() {
         group.bench_function(format!("replay_{}", policy.name()), |b| {
             b.iter(|| replay_with_history(&eval, &costs, &policy, &history));

@@ -18,8 +18,6 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
 use megastream_analytics::inference::LinearTrend;
 use megastream_datastore::summary::{StoredSummary, Summary};
 use megastream_datastore::trigger::TriggerCondition;
@@ -29,7 +27,7 @@ use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, Timestamp};
 
 /// A request an application makes of the rest of the architecture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AppDirective {
     /// A human-readable finding ("forward the data for monitoring or
     /// reporting purposes").
@@ -162,10 +160,7 @@ impl Application for PredictiveMaintenanceApp {
         let Some(&limit) = self.limits.get(&channel) else {
             return Vec::new();
         };
-        let history = self
-            .history
-            .entry((machine, channel.clone()))
-            .or_default();
+        let history = self.history.entry((machine, channel.clone())).or_default();
         for (ts, stats) in bins.iter() {
             if let Some(mean) = stats.mean() {
                 history.push((ts, mean));
@@ -195,7 +190,8 @@ impl Application for PredictiveMaintenanceApp {
         }
         let mut out = Vec::new();
         if let Some(eta) = trend.time_to_threshold(limit) {
-            if eta >= now && eta <= now + self.horizon
+            if eta >= now
+                && eta <= now + self.horizon
                 && self.scheduled.insert((machine, channel.clone()))
             {
                 out.push(AppDirective::Report(format!(
@@ -423,11 +419,7 @@ mod tests {
     use megastream_primitives::aggregator::ComputingPrimitive;
     use megastream_primitives::timebin::TimeBinStats;
 
-    fn bins_summary(
-        machine: usize,
-        channel: &str,
-        values: &[(u64, f64)],
-    ) -> StoredSummary {
+    fn bins_summary(machine: usize, channel: &str, values: &[(u64, f64)]) -> StoredSummary {
         let mut agg = TimeBinStats::new(TimeDelta::from_secs(60), 1);
         for (sec, v) in values {
             agg.ingest(v, Timestamp::from_secs(*sec));
@@ -447,8 +439,7 @@ mod tests {
         app.set_min_points(10);
         // Temperature rising 1°/min from 60: crosses 85 at minute 25.
         let values: Vec<(u64, f64)> = (0..10).map(|i| (i * 60, 60.0 + i as f64)).collect();
-        let directives =
-            app.on_summary(&bins_summary(3, "temperature", &values), Timestamp::ZERO);
+        let directives = app.on_summary(&bins_summary(3, "temperature", &values), Timestamp::ZERO);
         assert!(
             directives
                 .iter()
@@ -599,10 +590,7 @@ mod tests {
         ];
         let directives = app.on_summary(&flow_summary(&records), Timestamp::ZERO);
         assert_eq!(directives.len(), 1);
-        let ten_twenty = (
-            "10.0.0.0/8".parse().unwrap(),
-            "20.0.0.0/8".parse().unwrap(),
-        );
+        let ten_twenty = ("10.0.0.0/8".parse().unwrap(), "20.0.0.0/8".parse().unwrap());
         assert_eq!(app.matrix()[&ten_twenty], 150);
         assert_eq!(app.total(), 157);
         let top = app.top_cells(1);

@@ -9,17 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_datastore::trigger::{TriggerEvent, TriggerId};
 use megastream_flow::key::FlowKey;
 use megastream_flow::time::Timestamp;
 
 /// Identifier of an installed control rule.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RuleId(usize);
 
 impl fmt::Display for RuleId {
@@ -29,7 +24,7 @@ impl fmt::Display for RuleId {
 }
 
 /// An action the controller can take on the physical process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlAction {
     /// Emergency-stop the machine.
     Stop,
@@ -66,7 +61,7 @@ impl ControlAction {
 }
 
 /// A control rule: when `trigger` fires, perform `action`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
     /// The rule's id.
     pub id: RuleId,
@@ -82,7 +77,7 @@ pub struct Rule {
 
 /// Static limits the controller enforces on every actuation — the paper's
 /// "some validation may be necessary to avoid failures".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SafetyEnvelope {
     /// Whether emergency stops are permitted at all.
     pub allow_stop: bool,
@@ -100,7 +95,7 @@ impl Default for SafetyEnvelope {
 }
 
 /// One executed actuation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Actuation {
     /// When it happened.
     pub at: Timestamp,
@@ -141,7 +136,7 @@ impl fmt::Display for InstallError {
 impl std::error::Error for InstallError {}
 
 /// The local control logic attached to one machine / network element.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Controller {
     name: String,
     envelope: SafetyEnvelope,
@@ -307,8 +302,15 @@ mod tests {
         let mut engine = TriggerEngine::new();
         let t = trigger_id(&mut engine);
         let mut c = Controller::new("m", SafetyEnvelope::default());
-        c.install_rule("a", t, ControlAction::Alert { message: "hm".into() }, 1)
-            .unwrap();
+        c.install_rule(
+            "a",
+            t,
+            ControlAction::Alert {
+                message: "hm".into(),
+            },
+            1,
+        )
+        .unwrap();
         let stop = c.install_rule("b", t, ControlAction::Stop, 9).unwrap();
         let act = c.on_trigger(&event(t)).unwrap();
         assert_eq!(act.rule, stop);
@@ -320,9 +322,7 @@ mod tests {
         let mut engine = TriggerEngine::new();
         let t = trigger_id(&mut engine);
         let mut c = Controller::new("m", SafetyEnvelope::default());
-        let first = c
-            .install_rule("a", t, ControlAction::Stop, 5)
-            .unwrap();
+        let first = c.install_rule("a", t, ControlAction::Stop, 5).unwrap();
         let err = c
             .install_rule("b", t, ControlAction::SlowDown { factor: 0.5 }, 5)
             .unwrap_err();
@@ -333,7 +333,14 @@ mod tests {
             .is_ok());
         // Non-contradictory actions coexist at the same priority.
         assert!(c
-            .install_rule("c", t, ControlAction::Alert { message: "x".into() }, 5)
+            .install_rule(
+                "c",
+                t,
+                ControlAction::Alert {
+                    message: "x".into()
+                },
+                5
+            )
             .is_ok());
     }
 
@@ -385,7 +392,9 @@ mod tests {
         let stop = ControlAction::Stop;
         let slow = ControlAction::SlowDown { factor: 0.5 };
         let slow2 = ControlAction::SlowDown { factor: 0.7 };
-        let alert = ControlAction::Alert { message: "m".into() };
+        let alert = ControlAction::Alert {
+            message: "m".into(),
+        };
         assert!(stop.conflicts_with(&slow));
         assert!(slow.conflicts_with(&stop));
         assert!(slow.conflicts_with(&slow2));

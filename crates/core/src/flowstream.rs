@@ -23,6 +23,7 @@ use megastream_flowdb::{FlowDb, QueryResult};
 use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
 use megastream_netsim::topology::Network;
+use megastream_telemetry::{labeled, Counter, Histogram, ScopedTimer, Snapshot, Telemetry};
 
 use crate::hierarchy::absorb_summary;
 
@@ -81,10 +82,45 @@ impl std::fmt::Display for FlowstreamError {
 
 impl std::error::Error for FlowstreamError {}
 
+/// Aggregated operating statistics of a [`Flowstream`] deployment, summed
+/// over its region stores, the NOC store, and the FlowDB index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowstreamStats {
+    /// Flow records ingested across all regions.
+    pub flows: u64,
+    /// Raw bytes received from routers (full-forwarding cost).
+    pub raw_bytes: u64,
+    /// Epoch rotations across region stores.
+    pub region_epochs: u64,
+    /// Epoch rotations of the NOC store.
+    pub noc_epochs: u64,
+    /// Summary bytes exported by region stores.
+    pub exported_bytes: u64,
+    /// Summaries indexed in FlowDB.
+    pub flowdb_summaries: usize,
+    /// Trigger firings observed during ingest.
+    pub trigger_events: usize,
+    /// Bytes moved over the simulated network (raw + summary transfers).
+    pub network_bytes: u64,
+}
+
+/// Cached telemetry handles for the Flowstream fabric itself (per-router
+/// ingest counters and FlowQL end-to-end latency).
+#[derive(Debug, Clone, Default)]
+struct StreamMetrics {
+    /// `router_records[region][router]` — empty when telemetry is disabled.
+    router_records: Vec<Vec<Counter>>,
+    query_micros: Histogram,
+    queries: Counter,
+    query_errors: Counter,
+}
+
 /// The Fig. 5 system: routers → region data stores (Flowtree) → network
 /// store + FlowDB → FlowQL.
 #[derive(Debug)]
 pub struct Flowstream {
+    tel: Telemetry,
+    metrics: StreamMetrics,
     topology: IspTopology,
     config: FlowstreamConfig,
     regions: Vec<DataStore>,
@@ -114,8 +150,7 @@ impl Flowstream {
             .with_schema(config.schema.clone());
         let mut region_stores = Vec::with_capacity(regions);
         for g in 0..regions {
-            let mut store =
-                DataStore::new(format!("region-{g}"), config.storage, config.epoch_len);
+            let mut store = DataStore::new(format!("region-{g}"), config.storage, config.epoch_len);
             store.install_aggregator(AggregatorSpec::Flowtree(tree_config.clone()));
             region_stores.push(store);
         }
@@ -128,6 +163,8 @@ impl Flowstream {
         noc.install_aggregator(AggregatorSpec::Flowtree(tree_config));
         let epoch_end = Timestamp::ZERO + config.epoch_len;
         Flowstream {
+            tel: Telemetry::disabled(),
+            metrics: StreamMetrics::default(),
             raw_pending: vec![vec![0; routers_per_region]; regions],
             topology,
             config,
@@ -139,6 +176,51 @@ impl Flowstream {
             rr: 0,
             trigger_log: Vec::new(),
         }
+    }
+
+    /// Connects the whole deployment to a telemetry registry: every region
+    /// store, the NOC store, FlowDB, per-router ingest counters, and the
+    /// FlowQL end-to-end latency histogram. Passing
+    /// [`Telemetry::disabled`] detaches everything again.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        for store in &mut self.regions {
+            store.set_telemetry(tel);
+        }
+        self.noc.set_telemetry(tel);
+        self.flowdb.set_telemetry(tel);
+        self.metrics = if tel.is_enabled() {
+            StreamMetrics {
+                router_records: (0..self.regions.len())
+                    .map(|g| {
+                        (0..self.raw_pending[g].len())
+                            .map(|r| {
+                                tel.counter(&labeled(
+                                    "flowstream.ingest.records_total",
+                                    "router",
+                                    &format!("{g}-{r}"),
+                                ))
+                            })
+                            .collect()
+                    })
+                    .collect(),
+                query_micros: tel.histogram(
+                    "flowstream.query.micros",
+                    megastream_telemetry::LATENCY_MICROS_BOUNDS,
+                ),
+                queries: tel.counter("flowstream.query.total"),
+                query_errors: tel.counter("flowstream.query.errors_total"),
+            }
+        } else {
+            StreamMetrics::default()
+        };
+    }
+
+    /// Builder-style [`Flowstream::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.set_telemetry(tel);
+        self
     }
 
     /// Number of regions.
@@ -168,10 +250,17 @@ impl Flowstream {
             self.rotate(at);
         }
         self.now = self.now.max(rec.ts);
+        if let Some(counter) = self
+            .metrics
+            .router_records
+            .get(region)
+            .and_then(|v| v.get(router))
+        {
+            counter.inc();
+        }
         self.raw_pending[region][router] += std::mem::size_of::<FlowRecord>() as u64;
         let stream = format!("router-{region}-{router}");
-        let events =
-            self.regions[region].ingest_flow(&stream.as_str().into(), rec, rec.ts);
+        let events = self.regions[region].ingest_flow(&stream.as_str().into(), rec, rec.ts);
         self.trigger_log.extend(events);
     }
 
@@ -251,8 +340,51 @@ impl Flowstream {
     ///
     /// Returns [`FlowstreamError`] on parse or execution failures.
     pub fn query(&self, flowql: &str) -> Result<QueryResult, FlowstreamError> {
-        let query = megastream_flowdb::parse(flowql).map_err(FlowstreamError::Parse)?;
-        self.flowdb.execute(&query).map_err(FlowstreamError::Query)
+        let timer = ScopedTimer::start(&self.metrics.query_micros);
+        self.metrics.queries.inc();
+        let parse_timer = self.tel.timer("flowdb.parse.micros");
+        let parsed = megastream_flowdb::parse(flowql).map_err(FlowstreamError::Parse);
+        parse_timer.stop();
+        let result =
+            parsed.and_then(|query| self.flowdb.execute(&query).map_err(FlowstreamError::Query));
+        if result.is_err() {
+            self.metrics.query_errors.inc();
+        }
+        timer.stop();
+        result
+    }
+
+    /// Aggregated operating statistics across the deployment.
+    pub fn stats(&self) -> FlowstreamStats {
+        let mut stats = FlowstreamStats::default();
+        for store in &self.regions {
+            let s = store.stats();
+            stats.flows += s.flows;
+            stats.raw_bytes += s.raw_bytes;
+            stats.region_epochs += s.epochs;
+            stats.exported_bytes += s.exported_bytes;
+        }
+        stats.noc_epochs = self.noc.stats().epochs;
+        stats.flowdb_summaries = self.flowdb.len();
+        stats.trigger_events = self.trigger_log.len();
+        stats.network_bytes = self.topology.network.total_bytes();
+        stats
+    }
+
+    /// The telemetry handle this deployment records into (disabled unless
+    /// [`Flowstream::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Snapshot of all telemetry metrics (empty when disabled).
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.tel.snapshot()
+    }
+
+    /// Human-readable telemetry report (empty when disabled).
+    pub fn telemetry_report(&self) -> String {
+        self.tel.render_text()
     }
 
     /// The FlowDB index.
@@ -340,8 +472,7 @@ mod tests {
         fs.finish();
         // NOC live tree + its stored summaries account for every packet.
         let noc_total = fs.noc_store().live_flow_score(&FlowKey::root()).value()
-            + fs
-                .noc_store()
+            + fs.noc_store()
                 .summaries()
                 .iter()
                 .filter_map(|s| match &s.summary {
@@ -368,7 +499,10 @@ mod tests {
         let all = fs
             .query("SELECT QUERY FROM ALL WHERE location = \"region-0\"")
             .unwrap();
-        assert_eq!(first.rows[0].score + second.rows[0].score, all.rows[0].score);
+        assert_eq!(
+            first.rows[0].score + second.rows[0].score,
+            all.rows[0].score
+        );
         assert!(first.rows[0].score > 0);
     }
 

@@ -7,8 +7,6 @@
 //! epoch's summaries to the parent store — accounting every byte that
 //! crosses a link, which is what experiment E3 measures.
 
-use serde::{Deserialize, Serialize};
-
 use megastream_datastore::aggregator::AggregatorInstance;
 use megastream_datastore::store::{DataStore, StreamId};
 use megastream_datastore::summary::{StoredSummary, Summary};
@@ -17,10 +15,10 @@ use megastream_flow::record::FlowRecord;
 use megastream_flow::time::Timestamp;
 use megastream_netsim::topology::{Network, NodeId};
 use megastream_primitives::aggregator::Combinable;
+use megastream_telemetry::{labeled, Telemetry};
 
 /// Identifier of a store within a hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HierarchyId(usize);
 
 #[derive(Debug)]
@@ -32,7 +30,7 @@ struct Entry {
 }
 
 /// Statistics of one [`StoreHierarchy::pump`] pass.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExportStats {
     /// Epoch rotations performed.
     pub rotations: u64,
@@ -58,6 +56,7 @@ impl std::ops::AddAssign for ExportStats {
 pub struct StoreHierarchy {
     entries: Vec<Entry>,
     network: Network,
+    tel: Telemetry,
 }
 
 impl StoreHierarchy {
@@ -66,11 +65,23 @@ impl StoreHierarchy {
         StoreHierarchy {
             entries: Vec::new(),
             network,
+            tel: Telemetry::disabled(),
+        }
+    }
+
+    /// Connects the hierarchy (and every store in it, present or future) to
+    /// a telemetry registry. [`StoreHierarchy::pump`] records per-level
+    /// export volume and latency under `hierarchy.*{level=<depth>}` names.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        for entry in &mut self.entries {
+            entry.store.set_telemetry(tel);
         }
     }
 
     /// Adds a root store (no parent — typically the cloud/datacenter).
-    pub fn add_root(&mut self, store: DataStore, net: NodeId) -> HierarchyId {
+    pub fn add_root(&mut self, mut store: DataStore, net: NodeId) -> HierarchyId {
+        store.set_telemetry(&self.tel);
         self.entries.push(Entry {
             store,
             net,
@@ -87,10 +98,11 @@ impl StoreHierarchy {
     /// Panics if `parent` is unknown.
     pub fn add_child(
         &mut self,
-        store: DataStore,
+        mut store: DataStore,
         net: NodeId,
         parent: HierarchyId,
     ) -> HierarchyId {
+        store.set_telemetry(&self.tel);
         let depth = self.entries[parent.0].depth + 1;
         self.entries.push(Entry {
             store,
@@ -174,6 +186,7 @@ impl StoreHierarchy {
     /// *absorbed* (so the parent's own epoch summarizes its children);
     /// anything else is imported into the parent's summary store.
     pub fn pump(&mut self, now: Timestamp) -> ExportStats {
+        let pump_span = self.tel.span("hierarchy.pump");
         let mut stats = ExportStats::default();
         // Deepest first, so child exports are absorbed before parents
         // rotate (when epochs align).
@@ -183,12 +196,22 @@ impl StoreHierarchy {
             if !self.entries[i].store.epoch_due(now) {
                 continue;
             }
+            let depth = self.entries[i].depth;
+            let level_span = if self.tel.is_enabled() {
+                Some(
+                    self.tel
+                        .span(&labeled("hierarchy.export", "level", &depth.to_string())),
+                )
+            } else {
+                None
+            };
             let exported = self.entries[i].store.rotate_epoch(now);
             stats.rotations += 1;
             let Some(parent) = self.entries[i].parent else {
                 continue;
             };
             let (from, to) = (self.entries[i].net, self.entries[parent].net);
+            let mut level_bytes = 0u64;
             for summary in exported {
                 let bytes = summary.wire_size() as u64;
                 self.network
@@ -196,13 +219,25 @@ impl StoreHierarchy {
                     .expect("hierarchy stores must be connected");
                 stats.exported_summaries += 1;
                 stats.exported_bytes += bytes;
+                level_bytes += bytes;
                 if absorb(&mut self.entries[parent].store, &summary) {
                     stats.absorbed += 1;
                 } else {
                     self.entries[parent].store.import_summary(summary, now);
                 }
             }
+            if let Some(span) = level_span {
+                self.tel
+                    .counter(&labeled(
+                        "hierarchy.export.bytes_total",
+                        "level",
+                        &depth.to_string(),
+                    ))
+                    .add(level_bytes);
+                span.finish();
+            }
         }
+        pump_span.finish();
         stats
     }
 }
@@ -298,18 +333,25 @@ mod tests {
     #[test]
     fn pump_exports_and_absorbs() {
         let (mut h, root, a, b) = two_level();
-        h.ingest_flow(a, &"ra".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(10));
-        h.ingest_flow(b, &"rb".into(), &rec("10.1.0.1", 7), Timestamp::from_secs(10));
+        h.ingest_flow(
+            a,
+            &"ra".into(),
+            &rec("10.0.0.1", 5),
+            Timestamp::from_secs(10),
+        );
+        h.ingest_flow(
+            b,
+            &"rb".into(),
+            &rec("10.1.0.1", 7),
+            Timestamp::from_secs(10),
+        );
         let stats = h.pump(Timestamp::from_secs(60));
         assert_eq!(stats.rotations, 2);
         assert_eq!(stats.exported_summaries, 2);
         assert_eq!(stats.absorbed, 2);
         assert!(stats.exported_bytes > 0);
         // Parent's live flowtree merged both children.
-        assert_eq!(
-            h.store(root).live_flow_score(&FlowKey::root()).value(),
-            12
-        );
+        assert_eq!(h.store(root).live_flow_score(&FlowKey::root()).value(), 12);
         // Network accounted the transfers.
         assert_eq!(h.network().total_bytes(), stats.exported_bytes);
         assert_eq!(h.network().transfer_count(), 2);
@@ -319,8 +361,18 @@ mod tests {
     fn parent_epoch_produces_combined_summary() {
         let (mut h, root, a, b) = two_level();
         for t in [10u64, 70] {
-            h.ingest_flow(a, &"ra".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(t));
-            h.ingest_flow(b, &"rb".into(), &rec("10.1.0.1", 7), Timestamp::from_secs(t));
+            h.ingest_flow(
+                a,
+                &"ra".into(),
+                &rec("10.0.0.1", 5),
+                Timestamp::from_secs(t),
+            );
+            h.ingest_flow(
+                b,
+                &"rb".into(),
+                &rec("10.1.0.1", 7),
+                Timestamp::from_secs(t),
+            );
             h.pump(Timestamp::from_secs(t + 50));
         }
         // The t=120 pump closed the parent epoch right after absorbing the
@@ -346,10 +398,7 @@ mod tests {
             h.ingest_flow(b, &"rb".into(), &rec(&format!("10.1.{}.1", i % 50), 1), t);
         }
         let stats = h.pump(Timestamp::from_secs(60));
-        let raw: u64 = [a, b]
-            .iter()
-            .map(|id| h.store(*id).stats().raw_bytes)
-            .sum();
+        let raw: u64 = [a, b].iter().map(|id| h.store(*id).stats().raw_bytes).sum();
         assert!(
             stats.exported_bytes < raw / 2,
             "summaries ({}) not smaller than raw stream ({raw})",
@@ -374,7 +423,12 @@ mod tests {
         );
         let root = h.add_root(parent_store, p);
         let child = h.add_child(store("c", 60), c, root);
-        h.ingest_flow(child, &"r".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(1));
+        h.ingest_flow(
+            child,
+            &"r".into(),
+            &rec("10.0.0.1", 5),
+            Timestamp::from_secs(1),
+        );
         let stats = h.pump(Timestamp::from_secs(60));
         assert_eq!(stats.absorbed, 0);
         assert_eq!(h.store(root).summaries().len(), 1);

@@ -7,16 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::{FeatureSet, FlowKey};
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::ScoreKind;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 use megastream_flowtree::{Flowtree, FlowtreeConfig};
-use megastream_primitives::aggregator::{
-    AdaptationFeedback, ComputingPrimitive, Granularity,
-};
+use megastream_primitives::aggregator::{AdaptationFeedback, ComputingPrimitive, Granularity};
 use megastream_primitives::exact::ExactFlowTable;
 use megastream_primitives::sampling::SampledTimeSeries;
 use megastream_primitives::spacesaving::SpaceSaving;
@@ -25,10 +21,7 @@ use megastream_primitives::timebin::TimeBinStats;
 use crate::summary::Summary;
 
 /// Identifier of an installed aggregator within one data store.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AggregatorId(pub(crate) usize);
 
 impl fmt::Display for AggregatorId {
@@ -39,7 +32,7 @@ impl fmt::Display for AggregatorId {
 
 /// Blueprint for installing an aggregator (what the manager configures,
 /// Fig. 3b "add/remove", "change parameter").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AggregatorSpec {
     /// A Flowtree over flow records.
     Flowtree(FlowtreeConfig),
@@ -145,6 +138,10 @@ impl AggregatorSpec {
 }
 
 /// A live aggregator instance inside a data store.
+// Flowtree dwarfs the other variants; instances live in a store's small
+// aggregator table, so per-variant boxing would cost more indirection on
+// every observe() than the padding costs in memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum AggregatorInstance {
     /// A Flowtree.
@@ -218,7 +215,9 @@ impl AggregatorInstance {
                 Summary::TopFlows(sketch.snapshot(window))
             }
             AggregatorInstance::Exact(t) => Summary::Exact(t.snapshot(window)),
-            AggregatorInstance::RawRing { buf, score_kind, .. } => Summary::Raw {
+            AggregatorInstance::RawRing {
+                buf, score_kind, ..
+            } => Summary::Raw {
                 records: buf.iter().copied().collect(),
                 score_kind: *score_kind,
             },
@@ -275,9 +274,7 @@ impl AggregatorInstance {
             AggregatorInstance::Flowtree(t) => ComputingPrimitive::granularity(t),
             AggregatorInstance::SampledSeries(s) => s.granularity(),
             AggregatorInstance::TimeBins(b) => b.granularity(),
-            AggregatorInstance::TopFlows { sketch, .. } => {
-                ComputingPrimitive::granularity(sketch)
-            }
+            AggregatorInstance::TopFlows { sketch, .. } => ComputingPrimitive::granularity(sketch),
             AggregatorInstance::Exact(t) => ComputingPrimitive::granularity(t),
             AggregatorInstance::RawRing { .. } => Granularity::FULL,
         }
@@ -438,7 +435,10 @@ mod tests {
             }
             other => panic!("expected raw summary, got {}", other.kind()),
         }
-        assert_eq!(ring.footprint_bytes(), 3 * std::mem::size_of::<FlowRecord>());
+        assert_eq!(
+            ring.footprint_bytes(),
+            3 * std::mem::size_of::<FlowRecord>()
+        );
     }
 
     #[test]

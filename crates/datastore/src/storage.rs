@@ -5,14 +5,12 @@
 //! > round-robin mechanism, and (3) storage using a round-robin mechanism
 //! > and hierarchical aggregation."
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 
 use crate::summary::StoredSummary;
 
 /// Which storage strategy a [`SummaryStore`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageStrategy {
     /// **S1**: summaries expire `ttl` after the end of their window.
     /// Storage use is unbounded but retention is guaranteed for `ttl`.
@@ -39,7 +37,7 @@ pub enum StorageStrategy {
 }
 
 /// A budget-managed collection of [`StoredSummary`] values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SummaryStore {
     strategy: StorageStrategy,
     location: String,
@@ -78,8 +76,7 @@ impl SummaryStore {
         match self.strategy {
             StorageStrategy::FixedExpiration { ttl } => {
                 let before = self.summaries.len();
-                self.summaries
-                    .retain(|s| s.window.end + ttl > now);
+                self.summaries.retain(|s| s.window.end + ttl > now);
                 self.evicted += (before - self.summaries.len()) as u64;
             }
             StorageStrategy::RoundRobin { budget_bytes } => {
@@ -175,7 +172,10 @@ impl SummaryStore {
 
     /// The oldest window still covered by any summary, if non-empty.
     pub fn oldest_window(&self) -> Option<TimeWindow> {
-        self.summaries.iter().map(|s| s.window).min_by_key(|w| w.start)
+        self.summaries
+            .iter()
+            .map(|s| s.window)
+            .min_by_key(|w| w.start)
     }
 
     /// How many summaries were evicted outright (data irrecoverably lost —
@@ -211,10 +211,7 @@ mod tests {
         }
         StoredSummary::new(
             "router-0",
-            TimeWindow::starting_at(
-                Timestamp::from_secs(epoch * 60),
-                TimeDelta::from_secs(60),
-            ),
+            TimeWindow::starting_at(Timestamp::from_secs(epoch * 60), TimeDelta::from_secs(60)),
             Summary::Flowtree(t),
             Lineage::from_source("router-0"),
         )
@@ -229,7 +226,10 @@ mod tests {
             "edge",
         );
         for epoch in 0..5 {
-            store.insert(tree_summary(10, epoch), Timestamp::from_secs(epoch * 60 + 60));
+            store.insert(
+                tree_summary(10, epoch),
+                Timestamp::from_secs(epoch * 60 + 60),
+            );
         }
         // At t=360 s only summaries with window.end + ttl > 360 survive,
         // i.e. end > 240 s — epoch 4 alone (epoch 3 ends exactly at 240).

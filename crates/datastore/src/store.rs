@@ -3,13 +3,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::FlowKey;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 use megastream_primitives::aggregator::AdaptationFeedback;
+use megastream_telemetry::{
+    labeled, Counter, Gauge, Histogram, ScopedTimer, Telemetry, LATENCY_MICROS_BOUNDS,
+};
 
 use crate::aggregator::{AggregatorId, AggregatorInstance, AggregatorSpec};
 use crate::storage::{StorageStrategy, SummaryStore};
@@ -17,8 +18,7 @@ use crate::summary::{Lineage, StoredSummary};
 use crate::trigger::{TriggerCondition, TriggerEngine, TriggerEvent, TriggerId};
 
 /// Identifier of a data stream (a sensor channel, a router export, ...).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(String);
 
 impl StreamId {
@@ -46,7 +46,7 @@ impl From<&str> for StreamId {
 }
 
 /// Ingest/processing statistics of one data store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Flow records ingested.
     pub flows: u64,
@@ -58,6 +58,42 @@ pub struct StoreStats {
     pub exported_bytes: u64,
     /// Epoch rotations performed.
     pub epochs: u64,
+}
+
+/// Cached telemetry handles for one store's hot paths. All handles are
+/// no-ops until [`DataStore::set_telemetry`] installs a live registry.
+#[derive(Debug, Clone, Default)]
+struct StoreMetrics {
+    flows: Counter,
+    scalars: Counter,
+    raw_bytes: Counter,
+    exported_bytes: Counter,
+    epochs: Counter,
+    imports: Counter,
+    rotate_micros: Histogram,
+    footprint: Gauge,
+}
+
+impl StoreMetrics {
+    fn for_store(tel: &Telemetry, store: &str) -> Self {
+        StoreMetrics {
+            flows: tel.counter(&labeled("datastore.ingest.flows_total", "store", store)),
+            scalars: tel.counter(&labeled("datastore.ingest.scalars_total", "store", store)),
+            raw_bytes: tel.counter(&labeled("datastore.ingest.raw_bytes_total", "store", store)),
+            exported_bytes: tel.counter(&labeled(
+                "datastore.export.summary_bytes_total",
+                "store",
+                store,
+            )),
+            epochs: tel.counter(&labeled("datastore.epoch.rotations_total", "store", store)),
+            imports: tel.counter(&labeled("datastore.import.summaries_total", "store", store)),
+            rotate_micros: tel.histogram(
+                &labeled("datastore.epoch.rotate.micros", "store", store),
+                LATENCY_MICROS_BOUNDS,
+            ),
+            footprint: tel.gauge(&labeled("datastore.footprint_bytes", "store", store)),
+        }
+    }
 }
 
 /// One data store in the hierarchy.
@@ -102,6 +138,7 @@ pub struct DataStore {
     summaries: SummaryStore,
     triggers: TriggerEngine,
     stats: StoreStats,
+    metrics: StoreMetrics,
 }
 
 impl DataStore {
@@ -125,7 +162,22 @@ impl DataStore {
             epoch_sources: Vec::new(),
             triggers: TriggerEngine::new(),
             stats: StoreStats::default(),
+            metrics: StoreMetrics::default(),
         }
+    }
+
+    /// Connects this store to a telemetry registry; its ingest, rotation,
+    /// import, and footprint metrics are recorded under names labeled with
+    /// the store's name. Passing [`Telemetry::disabled`] detaches again.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.metrics = StoreMetrics::for_store(tel, &self.name);
+    }
+
+    /// Builder-style [`DataStore::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.set_telemetry(tel);
+        self
     }
 
     /// The store's name (its location in lineage records).
@@ -237,6 +289,10 @@ impl DataStore {
     ) -> Vec<TriggerEvent> {
         self.stats.flows += 1;
         self.stats.raw_bytes += std::mem::size_of::<FlowRecord>() as u64;
+        self.metrics.flows.inc();
+        self.metrics
+            .raw_bytes
+            .add(std::mem::size_of::<FlowRecord>() as u64);
         self.note_source(stream);
         let ids: Vec<AggregatorId> = self
             .aggregators
@@ -263,6 +319,8 @@ impl DataStore {
     ) -> Vec<TriggerEvent> {
         self.stats.scalars += 1;
         self.stats.raw_bytes += 16;
+        self.metrics.scalars.inc();
+        self.metrics.raw_bytes.add(16);
         self.note_source(stream);
         let ids: Vec<AggregatorId> = self
             .aggregators
@@ -290,6 +348,7 @@ impl DataStore {
     /// summary store and returns copies of the snapshots for export to
     /// parent stores (Fig. 5 ③). Aggregator state is reset.
     pub fn rotate_epoch(&mut self, now: Timestamp) -> Vec<StoredSummary> {
+        let timer = ScopedTimer::start(&self.metrics.rotate_micros);
         let window = TimeWindow::new(self.epoch_start, now.max(self.epoch_start));
         let mut exported = Vec::new();
         for (id, _, inst) in &mut self.aggregators {
@@ -313,12 +372,8 @@ impl DataStore {
             lineage.record("snapshot", &self.name, now);
             let summary = inst.snapshot(window);
             inst.reset();
-            let stored = StoredSummary::new(
-                format!("{}/{}", self.name, id),
-                window,
-                summary,
-                lineage,
-            );
+            let stored =
+                StoredSummary::new(format!("{}/{}", self.name, id), window, summary, lineage);
             self.stats.exported_bytes += stored.wire_size() as u64;
             exported.push(stored.clone());
             self.summaries.insert(stored, now);
@@ -326,6 +381,12 @@ impl DataStore {
         self.epoch_sources.clear();
         self.epoch_start = now;
         self.stats.epochs += 1;
+        self.metrics.epochs.inc();
+        self.metrics
+            .exported_bytes
+            .add(exported.iter().map(|s| s.wire_size() as u64).sum());
+        self.metrics.footprint.set(self.footprint_bytes() as i64);
+        timer.stop();
         exported
     }
 
@@ -333,7 +394,9 @@ impl DataStore {
     /// replica; Fig. 5 ③/④).
     pub fn import_summary(&mut self, mut summary: StoredSummary, now: Timestamp) {
         summary.lineage.record("import", &self.name, now);
+        self.metrics.imports.inc();
         self.summaries.insert(summary, now);
+        self.metrics.footprint.set(self.footprint_bytes() as i64);
     }
 
     // ------------------------------------------------------------------

@@ -7,8 +7,6 @@
 //! comes at a high cost"): which sources fed it and which transformations it
 //! went through, but not per-item provenance.
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::FlowKey;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::{Popularity, ScoreKind};
@@ -21,7 +19,7 @@ use megastream_primitives::spacesaving::SpaceSaving;
 use megastream_primitives::timebin::BinnedSeries;
 
 /// One record of a transformation applied to a summary.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformRecord {
     /// Operation name (`"snapshot"`, `"merge"`, `"hierarchical-aggregate"`,
     /// `"replicate"`, ...).
@@ -33,7 +31,7 @@ pub struct TransformRecord {
 }
 
 /// Schema-level lineage: sources and transformation chain.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Lineage {
     /// Stream/sensor identifiers that contributed data.
     pub sources: Vec<String>,
@@ -71,7 +69,10 @@ impl Lineage {
 }
 
 /// A type-erased data summary produced by some aggregator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// Flowtree dwarfs the other variants; summaries are moved, not stored in
+// dense arrays, so the padding is cheaper than boxing every query path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Summary {
     /// A Flowtree (network-monitoring primitive, §VI).
     Flowtree(Flowtree),
@@ -115,9 +116,7 @@ impl Summary {
             Summary::Bins(b) => b.len() * 320 + 32,
             Summary::TopFlows(ss) => ss.len() * (std::mem::size_of::<FlowKey>() + 16) + 32,
             Summary::Exact(t) => t.len() * (std::mem::size_of::<FlowKey>() + 8) + 32,
-            Summary::Raw { records, .. } => {
-                records.len() * std::mem::size_of::<FlowRecord>() + 32
-            }
+            Summary::Raw { records, .. } => records.len() * std::mem::size_of::<FlowRecord>() + 32,
         }
     }
 
@@ -135,10 +134,7 @@ impl Summary {
             (Summary::Bins(a), Summary::Bins(b)) => a.combine(b),
             (Summary::TopFlows(a), Summary::TopFlows(b)) => a.combine(b),
             (Summary::Exact(a), Summary::Exact(b)) => a.combine(b),
-            (
-                Summary::Raw { records: a, .. },
-                Summary::Raw { records: b, .. },
-            ) => {
+            (Summary::Raw { records: a, .. }, Summary::Raw { records: b, .. }) => {
                 a.extend_from_slice(b);
                 a.sort_by_key(|r| r.ts);
             }
@@ -161,9 +157,8 @@ impl Summary {
             }
             Summary::Series(s) => s.thin(factor),
             Summary::Bins(b) => {
-                let width = TimeDelta::from_micros(
-                    b.width().as_micros().saturating_mul(factor as u64),
-                );
+                let width =
+                    TimeDelta::from_micros(b.width().as_micros().saturating_mul(factor as u64));
                 *b = b.coarsened_to(width);
             }
             Summary::TopFlows(ss) => {
@@ -192,7 +187,10 @@ impl Summary {
             Summary::Flowtree(t) => Some(t.query(key)),
             Summary::Exact(t) => Some(t.query(key)),
             Summary::TopFlows(ss) => ss.estimate(key).map(|c| Popularity::new(c.count)),
-            Summary::Raw { records, score_kind } => Some(
+            Summary::Raw {
+                records,
+                score_kind,
+            } => Some(
                 records
                     .iter()
                     .filter(|r| key.contains(&FlowKey::from_record(r)))
@@ -205,7 +203,7 @@ impl Summary {
 }
 
 /// A summary plus the metadata the data store tracks for it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredSummary {
     /// Name of the producing data store or stream.
     pub source: String,
@@ -370,14 +368,5 @@ mod tests {
             ScoreKind::Packets,
         ));
         assert_eq!(e.kind(), "exact");
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(10));
-        let s = StoredSummary::new("r0", w, tree_summary(5), Lineage::from_source("r0"));
-        let json = serde_json::to_string(&s).unwrap();
-        let back: StoredSummary = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
     }
 }

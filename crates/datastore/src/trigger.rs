@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::FlowKey;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::Popularity;
@@ -19,10 +17,7 @@ use megastream_flow::time::{TimeDelta, Timestamp};
 use crate::store::StreamId;
 
 /// Identifier of an installed trigger.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TriggerId(pub(crate) usize);
 
 impl fmt::Display for TriggerId {
@@ -32,7 +27,7 @@ impl fmt::Display for TriggerId {
 }
 
 /// The condition a trigger matches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TriggerCondition {
     /// A scalar reading on `stream` exceeds `threshold`.
     ScalarAbove {
@@ -61,7 +56,7 @@ pub enum TriggerCondition {
 }
 
 /// An installed trigger.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trigger {
     /// Identifier within the owning data store.
     pub id: TriggerId,
@@ -75,7 +70,7 @@ pub struct Trigger {
 }
 
 /// A firing produced when a trigger matches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TriggerEvent {
     /// Which trigger fired.
     pub trigger: TriggerId,
@@ -88,7 +83,7 @@ pub struct TriggerEvent {
 }
 
 /// Per-trigger runtime state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct TriggerState {
     last_fired: Option<Timestamp>,
     /// For flow-score triggers: (timestamp, score) events in the window.
@@ -96,7 +91,7 @@ struct TriggerState {
 }
 
 /// The trigger registry and matcher of one data store.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TriggerEngine {
     triggers: Vec<(Trigger, TriggerState)>,
     next_id: usize,
@@ -202,9 +197,7 @@ impl TriggerEngine {
                 }
                 state.window.push((at, rec.packets));
                 // Slide the window.
-                state
-                    .window
-                    .retain(|(ts, _)| *ts + *window_len > at);
+                state.window.retain(|(ts, _)| *ts + *window_len > at);
                 let score: u64 = state.window.iter().map(|(_, s)| s).sum();
                 if score > threshold.value() && cooldown_ok(state, trigger.cooldown, at) {
                     state.last_fired = Some(at);
@@ -298,7 +291,8 @@ mod tests {
             TimeDelta::ZERO,
         );
         assert_eq!(
-            eng.on_scalar(&stream("m0/current"), 2.0, Timestamp::ZERO).len(),
+            eng.on_scalar(&stream("m0/current"), 2.0, Timestamp::ZERO)
+                .len(),
             1
         );
     }
@@ -327,7 +321,9 @@ mod tests {
         };
         // 3 records × 30 packets = 90 ≤ 100 → no firing yet.
         for ts in 0..3 {
-            assert!(eng.on_flow(&attack(ts), Timestamp::from_secs(ts)).is_empty());
+            assert!(eng
+                .on_flow(&attack(ts), Timestamp::from_secs(ts))
+                .is_empty());
         }
         // Fourth crosses 100.
         let events = eng.on_flow(&attack(3), Timestamp::from_secs(3));

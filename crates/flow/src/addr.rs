@@ -7,8 +7,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// An IPv4 address stored as a host-order `u32`.
 ///
 /// ```
@@ -17,10 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.octets(), [10, 0, 0, 1]);
 /// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ipv4Addr(u32);
 
 impl Ipv4Addr {
@@ -140,9 +135,7 @@ impl FromStr for Ipv4Addr {
 /// assert!(!p.contains_addr("10.2.0.1".parse()?));
 /// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prefix {
     addr: Ipv4Addr,
     len: u8,
@@ -179,6 +172,7 @@ impl Prefix {
     }
 
     /// The mask length.
+    #[allow(clippy::len_without_is_empty)] // prefix length in bits, not a container
     pub fn len(self) -> u8 {
         self.len
     }

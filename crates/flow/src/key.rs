@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{Ipv4Addr, Prefix};
 use crate::record::FlowRecord;
 
 /// One of the five flow features.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Feature {
     /// IP protocol number (8 bits).
     Proto,
@@ -82,7 +80,7 @@ impl fmt::Display for Feature {
 /// assert!(!pair.contains(Feature::DstPort));
 /// assert_eq!(pair.iter().count(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FeatureSet(u8);
 
 impl FeatureSet {
@@ -150,9 +148,7 @@ impl FromIterator<Feature> for FeatureSet {
 /// A masked feature value: `len` significant high bits out of `width`.
 ///
 /// Invariant: bits below the mask are zero and `len <= width <= 32`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MaskedField {
     value: u32,
     width: u8,
@@ -196,6 +192,7 @@ impl MaskedField {
     }
 
     /// The mask length (0 = wildcard, `width` = exact).
+    #[allow(clippy::len_without_is_empty)] // mask length in bits, not a container
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -249,7 +246,12 @@ fn mask_to(value: u32, width: u8, len: u8) -> u32 {
             (1u32 << total) - 1
         }
     } else {
-        (((1u32 << keep) - 1) << (total - keep)) & if total == 32 { u32::MAX } else { (1u32 << total) - 1 }
+        (((1u32 << keep) - 1) << (total - keep))
+            & if total == 32 {
+                u32::MAX
+            } else {
+                (1u32 << total) - 1
+            }
     };
     value & mask
 }
@@ -267,7 +269,7 @@ fn mask_to(value: u32, width: u8, len: u8) -> u32 {
 /// assert_eq!(wide.to_string(), "proto=6 src=10.0.0.0/8:* dst=8.8.8.8/32:53");
 /// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowKey {
     fields: [MaskedField; 5],
 }
@@ -545,14 +547,6 @@ mod tests {
             FlowKey::root().to_string(),
             "proto=* src=0.0.0.0/0:* dst=0.0.0.0/0:*"
         );
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let k = key();
-        let json = serde_json::to_string(&k).unwrap();
-        let back: FlowKey = serde_json::from_str(&json).unwrap();
-        assert_eq!(k, back);
     }
 
     fn arb_key() -> impl Strategy<Value = FlowKey> {

@@ -8,12 +8,10 @@
 //! generalizations of observed flows forms a **tree** — the substrate of the
 //! Flowtree primitive.
 
-use serde::{Deserialize, Serialize};
-
 use crate::key::{Feature, FlowKey};
 
 /// Which feature the next generalization step widens.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepOrder {
     /// Fully generalize features one after another, in list order.
     Priority(Vec<Feature>),
@@ -49,7 +47,7 @@ impl StepOrder {
 /// assert_eq!(schema.depth(&key), schema.depth(&parent) + 1);
 /// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GeneralizationSchema {
     /// Ascending admissible mask lengths per feature; each ladder starts at 0.
     ladders: [Vec<u8>; 5],
@@ -66,10 +64,7 @@ impl GeneralizationSchema {
     ///
     /// Returns [`SchemaError`] if a ladder contains a mask length longer than
     /// the feature's width, or if the step order names no features.
-    pub fn new(
-        mut ladders: [Vec<u8>; 5],
-        order: StepOrder,
-    ) -> Result<Self, SchemaError> {
+    pub fn new(mut ladders: [Vec<u8>; 5], order: StepOrder) -> Result<Self, SchemaError> {
         for f in Feature::ALL {
             let ladder = &mut ladders[f.index()];
             if ladder.iter().any(|&l| l > f.width()) {
@@ -100,11 +95,7 @@ impl GeneralizationSchema {
         GeneralizationSchema::new(
             ladders,
             StepOrder::Stages(vec![
-                StepOrder::Priority(vec![
-                    Feature::SrcPort,
-                    Feature::DstPort,
-                    Feature::Proto,
-                ]),
+                StepOrder::Priority(vec![Feature::SrcPort, Feature::DstPort, Feature::Proto]),
                 StepOrder::RoundRobin(vec![Feature::SrcIp, Feature::DstIp]),
             ]),
         )
@@ -204,11 +195,9 @@ impl GeneralizationSchema {
 
     /// Whether `key` sits exactly on ladder rungs for every feature.
     pub fn is_normalized(&self, key: &FlowKey) -> bool {
-        Feature::ALL.into_iter().all(|f| {
-            self.ladder(f)
-                .binary_search(&key.field(f).len())
-                .is_ok()
-        })
+        Feature::ALL
+            .into_iter()
+            .all(|f| self.ladder(f).binary_search(&key.field(f).len()).is_ok())
     }
 
     /// Number of generalization steps separating `key` from the root.
@@ -476,10 +465,7 @@ mod tests {
         let anc = s.common_ancestor(&a, &b);
         assert!(anc.contains(&a) && anc.contains(&b));
         assert_eq!(s.common_ancestor(&a, &a), a);
-        assert_eq!(
-            s.common_ancestor(&a, &FlowKey::root()),
-            FlowKey::root()
-        );
+        assert_eq!(s.common_ancestor(&a, &FlowKey::root()), FlowKey::root());
     }
 
     #[test]
@@ -497,11 +483,22 @@ mod tests {
     }
 
     fn arb_exact_key() -> impl Strategy<Value = FlowKey> {
-        (any::<u8>(), any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>()).prop_map(
-            |(p, si, sp, di, dp)| {
-                FlowKey::five_tuple(p, crate::addr::Ipv4Addr::new(si), sp, crate::addr::Ipv4Addr::new(di), dp)
-            },
+        (
+            any::<u8>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u16>(),
         )
+            .prop_map(|(p, si, sp, di, dp)| {
+                FlowKey::five_tuple(
+                    p,
+                    crate::addr::Ipv4Addr::new(si),
+                    sp,
+                    crate::addr::Ipv4Addr::new(di),
+                    dp,
+                )
+            })
     }
 
     proptest! {

@@ -3,13 +3,11 @@
 //! A [`FlowRecord`] models one exported flow measurement (e.g. a NetFlow/IPFIX
 //! record): the 5-tuple plus packet and byte counts and the observation time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::Ipv4Addr;
 use crate::time::Timestamp;
 
 /// One raw flow observation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowRecord {
     /// Observation timestamp (start of the flow's accounting interval).
     pub ts: Timestamp,
@@ -37,11 +35,7 @@ impl FlowRecord {
 
     /// Average packet size in bytes, or 0 for an empty record.
     pub fn mean_packet_size(&self) -> u64 {
-        if self.packets == 0 {
-            0
-        } else {
-            self.bytes / self.packets
-        }
+        self.bytes.checked_div(self.packets).unwrap_or(0)
     }
 }
 
@@ -153,19 +147,5 @@ mod tests {
     fn mean_packet_size_handles_zero_packets() {
         let rec = FlowRecord::builder().bytes(100).build();
         assert_eq!(rec.mean_packet_size(), 0);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let rec = FlowRecord::builder()
-            .proto(6)
-            .src("9.9.9.9".parse().unwrap(), 80)
-            .dst("8.8.4.4".parse().unwrap(), 4242)
-            .packets(10)
-            .bytes(1000)
-            .build();
-        let json = serde_json::to_string(&rec).unwrap();
-        let back: FlowRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(rec, back);
     }
 }

@@ -9,12 +9,10 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::FlowRecord;
 
 /// Which measure a popularity score counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScoreKind {
     /// Count packets.
     #[default]
@@ -68,10 +66,7 @@ impl fmt::Display for ScoreKind {
 /// An additive popularity score.
 ///
 /// Arithmetic saturates: merging many summaries must never wrap around.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Popularity(u64);
 
 impl Popularity {

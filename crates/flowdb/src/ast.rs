@@ -1,14 +1,12 @@
 //! The FlowQL abstract syntax tree.
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::addr::Prefix;
 use megastream_flow::key::{Feature, FlowKey, MaskedField};
 use megastream_flow::time::TimeWindow;
 
 /// The operator chosen in the `SELECT` clause — one Flowtree operator per
 /// query (Table II).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SelectOp {
     /// `SELECT QUERY` — popularity score of the WHERE key.
     Query,
@@ -20,6 +18,20 @@ pub enum SelectOp {
     Hhh(u64),
     /// `SELECT DRILLDOWN` — children of the WHERE key.
     Drilldown,
+}
+
+impl SelectOp {
+    /// Stable lower-case label of the operator kind, used as the `op=` tag
+    /// on telemetry metric names.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SelectOp::Query => "query",
+            SelectOp::TopK(_) => "topk",
+            SelectOp::Above(_) => "above",
+            SelectOp::Hhh(_) => "hhh",
+            SelectOp::Drilldown => "drilldown",
+        }
+    }
 }
 
 impl std::fmt::Display for SelectOp {
@@ -35,7 +47,7 @@ impl std::fmt::Display for SelectOp {
 }
 
 /// The `FROM` clause: which time periods to combine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TimeSelection {
     /// `FROM ALL` — every stored period.
     All,
@@ -54,7 +66,7 @@ impl TimeSelection {
 }
 
 /// One `WHERE` restriction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Restriction {
     /// `location = "region-0"` — restrict to summaries from one location.
     Location(String),
@@ -76,7 +88,7 @@ pub enum Restriction {
 }
 
 /// A parsed FlowQL query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// The Flowtree operator to run.
     pub op: SelectOp,

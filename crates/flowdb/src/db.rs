@@ -1,15 +1,14 @@
 //! The FlowDB summary store and index.
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::TimeWindow;
 use megastream_flowtree::Flowtree;
+use megastream_telemetry::{labeled, ScopedTimer, Telemetry, LATENCY_MICROS_BOUNDS};
 
 use crate::ast::Query;
 use crate::exec::{execute, QueryError, QueryResult};
 
 /// One indexed flow summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DbEntry {
     /// Where the summary was produced (a data-store name).
     pub location: String,
@@ -21,15 +20,34 @@ pub struct DbEntry {
 
 /// FlowDB: "takes flow summaries as input, stores, and indexes them while
 /// using them to answer FlowQL queries" (§VI).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowDb {
     entries: Vec<DbEntry>,
+    tel: Telemetry,
+}
+
+impl PartialEq for FlowDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl FlowDb {
     /// Creates an empty database.
     pub fn new() -> Self {
         FlowDb::default()
+    }
+
+    /// Connects the database to a telemetry registry: insert counts and
+    /// per-operator execution timings are recorded. Passing
+    /// [`Telemetry::disabled`] detaches again.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+    }
+
+    /// The telemetry handle execution stages record into.
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Inserts one flow summary.
@@ -39,6 +57,10 @@ impl FlowDb {
             window,
             tree,
         });
+        self.tel.counter("flowdb.summaries_total").inc();
+        self.tel
+            .gauge("flowdb.index_bytes")
+            .set(self.total_bytes() as i64);
     }
 
     /// Number of indexed summaries.
@@ -92,7 +114,23 @@ impl FlowDb {
     /// Returns [`QueryError`] if no summary matches the selection or the
     /// matching summaries have incompatible configurations.
     pub fn execute(&self, query: &Query) -> Result<QueryResult, QueryError> {
-        execute(self, query)
+        if !self.tel.is_enabled() {
+            return execute(self, query);
+        }
+        let kind = query.op.kind();
+        let timer = ScopedTimer::start(&self.tel.histogram(
+            &labeled("flowdb.exec.micros", "op", kind),
+            LATENCY_MICROS_BOUNDS,
+        ));
+        self.tel
+            .counter(&labeled("flowdb.exec.total", "op", kind))
+            .inc();
+        let result = execute(self, query);
+        if result.is_err() {
+            self.tel.counter("flowdb.exec.errors_total").inc();
+        }
+        timer.stop();
+        result
     }
 }
 

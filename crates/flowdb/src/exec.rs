@@ -9,8 +9,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flowtree::Flowtree;
@@ -43,7 +41,7 @@ impl fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// One result row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResultRow {
     /// The flow the row describes (`None` for scalar results).
     pub key: Option<FlowKey>,
@@ -56,7 +54,7 @@ pub struct ResultRow {
 }
 
 /// The result of a FlowQL query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResult {
     /// The operator that produced the result.
     pub op: String,
@@ -104,11 +102,7 @@ fn run_op(merged: &Flowtree, op: &SelectOp, where_key: &FlowKey) -> Vec<ResultRo
         location: None,
     };
     match op {
-        SelectOp::Query => vec![row(
-            Some(*where_key),
-            merged.query(where_key).value(),
-            None,
-        )],
+        SelectOp::Query => vec![row(Some(*where_key), merged.query(where_key).value(), None)],
         SelectOp::Drilldown => merged
             .drilldown(where_key)
             .into_iter()
@@ -160,10 +154,16 @@ fn merge_group(trees: &[&Flowtree]) -> Result<Flowtree, QueryError> {
 }
 
 /// Executes `query` against `db`. See [`FlowDb::execute`].
+///
+/// The plan stage (summary selection/grouping) and the run stage
+/// (merge + operator) are timed separately into `flowdb.plan.micros` and
+/// `flowdb.run.micros` when the database has live telemetry.
 pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryError> {
+    let tel = db.telemetry();
     let where_key = query.where_key();
     if query.group_by_location {
         // One merge-and-operate pass per location, location-ordered.
+        let plan = tel.timer("flowdb.plan.micros");
         let mut groups: BTreeMap<&str, Vec<&Flowtree>> = BTreeMap::new();
         for entry in db.select(query) {
             groups
@@ -171,9 +171,11 @@ pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryEr
                 .or_default()
                 .push(&entry.tree);
         }
+        plan.stop();
         if groups.is_empty() {
             return Err(QueryError::NoMatchingSummaries);
         }
+        let run = tel.timer("flowdb.run.micros");
         let mut rows = Vec::new();
         let mut used = 0;
         for (location, trees) in &groups {
@@ -184,19 +186,25 @@ pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryEr
                 rows.push(row);
             }
         }
+        run.stop();
         return Ok(QueryResult {
             op: format!("{} GROUP BY location", query.op),
             summaries_used: used,
             rows,
         });
     }
+    let plan = tel.timer("flowdb.plan.micros");
     let trees: Vec<&Flowtree> = db.select(query).map(|e| &e.tree).collect();
+    plan.stop();
     let used = trees.len();
+    let run = tel.timer("flowdb.run.micros");
     let merged = merge_group(&trees)?;
+    let rows = run_op(&merged, &query.op, &where_key);
+    run.stop();
     Ok(QueryResult {
         op: query.op.to_string(),
         summaries_used: used,
-        rows: run_op(&merged, &query.op, &where_key),
+        rows,
     })
 }
 
@@ -258,10 +266,9 @@ mod tests {
     #[test]
     fn query_restricted_by_location_and_prefix() {
         let db = db();
-        let q = parse(
-            "SELECT QUERY FROM ALL WHERE location = \"region-0\" AND src_ip = 10.0.0.0/16",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT QUERY FROM ALL WHERE location = \"region-0\" AND src_ip = 10.0.0.0/16")
+                .unwrap();
         let r = db.execute(&q).unwrap();
         assert_eq!(r.summaries_used, 2);
         assert_eq!(r.rows[0].score, 150);
@@ -334,8 +341,8 @@ mod tests {
     #[test]
     fn group_by_composes_with_where() {
         let db = db();
-        let q = parse("SELECT TOPK 1 FROM [60, 120) WHERE dst_port = 443 GROUP BY location")
-            .unwrap();
+        let q =
+            parse("SELECT TOPK 1 FROM [60, 120) WHERE dst_port = 443 GROUP BY location").unwrap();
         let r = db.execute(&q).unwrap();
         assert_eq!(r.rows.len(), 2);
         assert!(r.rows.iter().all(|row| row.location.is_some()));

@@ -55,7 +55,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} at offset {}", self.ch, self.offset)
+        write!(
+            f,
+            "unexpected character {:?} at offset {}",
+            self.ch, self.offset
+        )
     }
 }
 
@@ -151,7 +155,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 out.push(Token::Word(input[start..i].to_owned()));
             }
-            other => return Err(LexError { ch: other, offset: i }),
+            other => {
+                return Err(LexError {
+                    ch: other,
+                    offset: i,
+                })
+            }
         }
     }
     Ok(out)

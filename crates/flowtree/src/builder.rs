@@ -1,7 +1,5 @@
 //! Flowtree configuration.
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::FeatureSet;
 use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::score::ScoreKind;
@@ -12,7 +10,7 @@ use megastream_flow::score::ScoreKind;
 /// location granularity" (§VI) — the feature set and generalization schema
 /// live here; time/location tagging is applied by the data store when it
 /// snapshots summaries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowtreeConfig {
     /// The generalization schema inducing the flow hierarchy (property P5:
     /// aggregation follows the subnet structure of the data domain).
@@ -72,7 +70,9 @@ impl FlowtreeConfig {
 
     /// The node count compression targets.
     pub(crate) fn compact_target(&self) -> usize {
-        ((self.capacity as f64) * self.compact_ratio).floor().max(1.0) as usize
+        ((self.capacity as f64) * self.compact_ratio)
+            .floor()
+            .max(1.0) as usize
     }
 
     /// Whether two configurations produce combinable trees (same hierarchy,
@@ -115,11 +115,15 @@ mod tests {
     #[test]
     fn compact_ratio_clamped() {
         assert_eq!(
-            FlowtreeConfig::default().with_compact_ratio(5.0).compact_ratio,
+            FlowtreeConfig::default()
+                .with_compact_ratio(5.0)
+                .compact_ratio,
             1.0
         );
         assert_eq!(
-            FlowtreeConfig::default().with_compact_ratio(0.0).compact_ratio,
+            FlowtreeConfig::default()
+                .with_compact_ratio(0.0)
+                .compact_ratio,
             0.1
         );
         assert_eq!(

@@ -229,9 +229,7 @@ mod tests {
     #[should_panic(expected = "incompatible")]
     fn merge_rejects_incompatible() {
         let mut a = tree(8);
-        let b = Flowtree::new(
-            FlowtreeConfig::default().with_score_kind(ScoreKind::Bytes),
-        );
+        let b = Flowtree::new(FlowtreeConfig::default().with_score_kind(ScoreKind::Bytes));
         a.merge(&b);
     }
 

@@ -1,14 +1,12 @@
 //! Query operators: Query, Drilldown, Top-k, Above-x, HHH (Table II).
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::{Feature, FlowKey};
 use megastream_flow::score::Popularity;
 
 use crate::tree::Flowtree;
 
 /// One row of a [`Flowtree::drilldown`] result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DrilldownEntry {
     /// The child's generalized flow key.
     pub key: FlowKey,
@@ -19,7 +17,7 @@ pub struct DrilldownEntry {
 }
 
 /// One hierarchical heavy hitter reported by [`Flowtree::hhh`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeHhhItem {
     /// The (generalized) flow key.
     pub key: FlowKey,

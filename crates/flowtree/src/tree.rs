@@ -3,8 +3,6 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::FlowKey;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::Popularity;
@@ -39,8 +37,7 @@ pub struct NodeView {
 
 /// The Flowtree summary structure. See the [crate docs](crate) for an
 /// overview and the per-method docs for the Table II operators.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "FlowtreeRepr", into = "FlowtreeRepr")]
+#[derive(Debug, Clone)]
 pub struct Flowtree {
     config: FlowtreeConfig,
     /// Capacity at construction time; the granularity dial scales
@@ -525,43 +522,6 @@ impl PartialEq for Flowtree {
     }
 }
 
-/// Flat serialization format: `(key, own score)` pairs.
-#[derive(Serialize, Deserialize)]
-struct FlowtreeRepr {
-    config: FlowtreeConfig,
-    records: u64,
-    entries: Vec<(FlowKey, Popularity)>,
-}
-
-impl From<Flowtree> for FlowtreeRepr {
-    fn from(tree: Flowtree) -> Self {
-        let entries = tree
-            .live_ids()
-            .map(|id| {
-                let n = tree.node(id);
-                (n.key, n.own)
-            })
-            .collect();
-        FlowtreeRepr {
-            config: tree.config.clone(),
-            records: tree.records,
-            entries,
-        }
-    }
-}
-
-impl From<FlowtreeRepr> for Flowtree {
-    fn from(repr: FlowtreeRepr) -> Self {
-        let mut tree = Flowtree::new(repr.config);
-        for (key, own) in repr.entries {
-            tree.insert_exact(&key, own);
-        }
-        tree.records = repr.records;
-        tree.maybe_compress();
-        tree
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,18 +650,6 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_summary() {
-        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(64));
-        for i in 0..100u32 {
-            t.observe(&rec(&format!("10.{}.0.1", i % 20), "1.1.1.1", i as u64));
-        }
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Flowtree = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
-        back.check_invariants();
-    }
-
-    #[test]
     fn feature_projection_collapses_keys() {
         let mut t = Flowtree::new(
             FlowtreeConfig::default()
@@ -751,20 +699,6 @@ mod tests {
             prop_assert!(t.len() <= caps.max(2));
             prop_assert_eq!(t.total().value(), expected);
             prop_assert_eq!(t.subtree_score_of(t.root_id()).value(), expected);
-        }
-
-        /// Serde round-trips preserve equality for arbitrary trees.
-        #[test]
-        fn prop_serde_roundtrip(
-            flows in proptest::collection::vec((0u8..6, 0u8..6, 1u64..50), 1..80),
-        ) {
-            let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(128));
-            for (a, b, pkts) in flows {
-                t.observe(&rec(&format!("10.{a}.{b}.1"), "1.1.1.1", pkts));
-            }
-            let json = serde_json::to_string(&t).unwrap();
-            let back: Flowtree = serde_json::from_str(&json).unwrap();
-            prop_assert_eq!(t, back);
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use megastream_datastore::DataStore;
 use megastream_replication::policy::ReplicationPolicy;
+use megastream_telemetry::Telemetry;
 
 use crate::placement::PlacementPlan;
 use crate::replication_ctl::ReplicationController;
@@ -15,6 +16,7 @@ pub struct Manager {
     requirements: RequirementRegistry,
     resources: ResourceTracker,
     replication: ReplicationController,
+    tel: Telemetry,
 }
 
 impl Manager {
@@ -24,7 +26,17 @@ impl Manager {
             requirements: RequirementRegistry::new(),
             resources: ResourceTracker::new(),
             replication: ReplicationController::new(replication_policy),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Connects the control plane to a telemetry registry: placement
+    /// decisions are counted under `manager.placement.*`, control ticks
+    /// under `manager.ticks_total`, and the replication controller records
+    /// its `replication.*` families.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        self.replication.set_telemetry(tel);
     }
 
     /// Registers an application requirement ("app. reqs" in Fig. 3b).
@@ -53,7 +65,9 @@ impl Manager {
     /// aggregators installed in total.
     pub fn plan_and_install(&self, stores: &mut [&mut DataStore]) -> usize {
         let plan = self.plan();
-        stores
+        self.tel.counter("manager.placement.plans_total").inc();
+        let mut cleared = 0u64;
+        let installed: usize = stores
             .iter_mut()
             .map(|s| {
                 if plan.installs.contains_key(s.name()) {
@@ -62,10 +76,18 @@ impl Manager {
                     for id in s.aggregator_ids() {
                         s.remove_aggregator(id);
                     }
+                    cleared += 1;
                     0
                 }
             })
-            .sum()
+            .sum();
+        self.tel
+            .counter("manager.placement.installs_total")
+            .add(installed as u64);
+        self.tel
+            .counter("manager.placement.stores_cleared_total")
+            .add(cleared);
+        installed
     }
 
     /// Resource tracking (mutable, for setting budgets).
@@ -93,6 +115,7 @@ impl Manager {
     /// aggregators adapt within budget ("resource status" → "change
     /// parameter" in Fig. 3b).
     pub fn tick(&mut self, stores: &mut [&mut DataStore], ingest_rates: &[f64]) {
+        self.tel.counter("manager.ticks_total").inc();
         for (store, rate) in stores.iter_mut().zip(ingest_rates.iter()) {
             self.resources.observe_store(store, *rate);
             self.resources.adapt(store);
@@ -156,7 +179,8 @@ mod tests {
             );
         }
         let used = s.footprint_bytes();
-        mgr.resources_mut().set_storage_budget("region-0", used / 10);
+        mgr.resources_mut()
+            .set_storage_budget("region-0", used / 10);
         mgr.tick(&mut [&mut s], &[2_000.0]);
         assert!(s.footprint_bytes() < used);
     }

@@ -4,8 +4,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_datastore::{AggregatorSpec, DataStore};
 use megastream_flow::key::FeatureSet;
 use megastream_flow::score::ScoreKind;
@@ -22,7 +20,7 @@ const FINEST_BIN_WIDTH_MICROS: u64 = 1_000_000; // 1 s bins at precision 1.0
 /// The aggregators one store should run: one spec per required format, at
 /// the *highest* precision any application asked for (a coarser consumer
 /// can always be served from a finer summary).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementPlan {
     /// Store name → aggregator specs to install.
     pub installs: HashMap<String, Vec<AggregatorSpec>>,

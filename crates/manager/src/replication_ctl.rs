@@ -7,15 +7,14 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::Timestamp;
 use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_replication::policy::ReplicationPolicy;
 use megastream_replication::tracker::AccessTracker;
+use megastream_telemetry::Telemetry;
 
 /// A partition registered with the controller.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionInfo {
     /// Node hosting the authoritative copy.
     pub owner: NodeId,
@@ -26,7 +25,7 @@ pub struct PartitionInfo {
 }
 
 /// A replication the controller decided to start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplicationOrder {
     /// Which partition.
     pub partition: usize,
@@ -52,6 +51,7 @@ pub struct ReplicationController {
     orders: Vec<ReplicationOrder>,
     /// Per-accessor tracking: a replica helps only the node that has it.
     replica_index: HashMap<(usize, NodeId), bool>,
+    tel: Telemetry,
 }
 
 impl ReplicationController {
@@ -67,7 +67,16 @@ impl ReplicationController {
             replication_bytes: 0,
             orders: Vec::new(),
             replica_index: HashMap::new(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Connects the controller (and its access tracker) to a telemetry
+    /// registry: hit/miss counters, shipped and replication volumes, and
+    /// replica churn are recorded under `replication.*`.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        self.tracker.set_telemetry(tel);
     }
 
     /// Registers a partition; returns its id.
@@ -80,6 +89,7 @@ impl ReplicationController {
         self.tracker = {
             let mut t = AccessTracker::new(self.partitions.len());
             t.seed_history(self.tracker.history().iter().copied());
+            t.set_telemetry(&self.tel);
             // Preserve nothing else: registration happens before replay.
             t
         };
@@ -121,21 +131,27 @@ impl ReplicationController {
             || info.owner == accessor;
         if has_replica {
             self.local_hits += 1;
+            self.tel.counter("replication.local_hits_total").inc();
             return Ok(None);
         }
         self.remote_hits += 1;
         self.shipped_bytes += result_bytes;
+        self.tel.counter("replication.remote_hits_total").inc();
+        self.tel
+            .counter("replication.shipped_bytes_total")
+            .add(result_bytes);
         network.transfer(info.owner, accessor, result_bytes, now)?;
         let state = self.tracker.record_access(partition, result_bytes, now);
-        if self.policy.should_replicate(
-            partition,
-            state,
-            info.size_bytes,
-            self.tracker.history(),
-        ) {
+        if self
+            .policy
+            .should_replicate(partition, state, info.size_bytes, self.tracker.history())
+        {
             self.tracker.mark_replicated(partition);
             network.transfer(info.owner, accessor, info.size_bytes, now)?;
             self.replication_bytes += info.size_bytes;
+            self.tel
+                .counter("replication.replication_bytes_total")
+                .add(info.size_bytes);
             self.replica_index.insert((partition, accessor), true);
             self.partitions[partition].replicas.push(accessor);
             let order = ReplicationOrder {

@@ -3,12 +3,10 @@
 //! or histogram) and the required precision (e.g., sample rate or bin
 //! size)").
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::TimeDelta;
 
 /// The aggregation format an application consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregationFormat {
     /// A sampled time series (the paper's "sample").
     Sample,
@@ -23,7 +21,7 @@ pub enum AggregationFormat {
 }
 
 /// One application's requirement record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppRequirement {
     /// The requiring application.
     pub app: String,
@@ -41,7 +39,7 @@ pub struct AppRequirement {
 }
 
 /// The manager's registry of requirements.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequirementRegistry {
     requirements: Vec<AppRequirement>,
 }
@@ -55,9 +53,8 @@ impl RequirementRegistry {
     /// Registers a requirement, replacing any previous record of the same
     /// `(app, store, format)` triple.
     pub fn register(&mut self, req: AppRequirement) {
-        self.requirements.retain(|r| {
-            !(r.app == req.app && r.store == req.store && r.format == req.format)
-        });
+        self.requirements
+            .retain(|r| !(r.app == req.app && r.store == req.store && r.format == req.format));
         self.requirements.push(req);
     }
 

@@ -4,12 +4,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_datastore::DataStore;
 
 /// Per-store resource budgets and the latest observed usage.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResourceTracker {
     storage_budget: HashMap<String, usize>,
     storage_used: HashMap<String, usize>,
@@ -30,14 +28,18 @@ impl ResourceTracker {
 
     /// The storage budget of `store` (`usize::MAX` if never set).
     pub fn storage_budget(&self, store: &str) -> usize {
-        self.storage_budget.get(store).copied().unwrap_or(usize::MAX)
+        self.storage_budget
+            .get(store)
+            .copied()
+            .unwrap_or(usize::MAX)
     }
 
     /// Records an observation of a store's state.
     pub fn observe_store(&mut self, store: &DataStore, ingest_rate: f64) {
         self.storage_used
             .insert(store.name().to_owned(), store.footprint_bytes());
-        self.ingest_rate.insert(store.name().to_owned(), ingest_rate);
+        self.ingest_rate
+            .insert(store.name().to_owned(), ingest_rate);
     }
 
     /// Last observed storage use of `store`.
@@ -160,9 +162,12 @@ mod tests {
                 &"r".into(),
                 &FlowRecord::builder()
                     .proto(6)
-                    .src(format!("10.{}.{}.{}", i % 4, (i / 4) % 200, i % 200)
-                        .parse()
-                        .unwrap(), 1)
+                    .src(
+                        format!("10.{}.{}.{}", i % 4, (i / 4) % 200, i % 200)
+                            .parse()
+                            .unwrap(),
+                        1,
+                    )
                     .dst("1.1.1.1".parse().unwrap(), 2)
                     .packets(1)
                     .build(),

@@ -39,7 +39,11 @@ impl SimClock {
     ///
     /// Panics if `at` is in the past — simulated time never moves backwards.
     pub fn advance_to(&mut self, at: Timestamp) {
-        assert!(at >= self.now, "clock cannot move backwards ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "clock cannot move backwards ({at} < {})",
+            self.now
+        );
         self.now = at;
     }
 }

@@ -33,7 +33,10 @@ impl FactoryTopology {
     /// Panics if `lines` or `machines_per_line` is zero.
     pub fn build(lines: usize, machines_per_line: usize) -> Self {
         assert!(lines > 0, "at least one production line required");
-        assert!(machines_per_line > 0, "at least one machine per line required");
+        assert!(
+            machines_per_line > 0,
+            "at least one machine per line required"
+        );
         let mut network = Network::new();
         let cloud = network.add_node("cloud", NodeKind::Cloud);
         let factory = network.add_node("factory-edge", NodeKind::DataStore);
@@ -94,7 +97,10 @@ impl IspTopology {
     /// Panics if `regions` or `routers_per_region` is zero.
     pub fn build(regions: usize, routers_per_region: usize) -> Self {
         assert!(regions > 0, "at least one region required");
-        assert!(routers_per_region > 0, "at least one router per region required");
+        assert!(
+            routers_per_region > 0,
+            "at least one router per region required"
+        );
         let mut network = Network::new();
         let cloud = network.add_node("cloud", NodeKind::Cloud);
         let noc = network.add_node("noc", NodeKind::DataStore);
@@ -174,10 +180,7 @@ mod tests {
     #[test]
     fn cross_region_goes_through_noc() {
         let t = IspTopology::build(2, 1);
-        let path = t
-            .network
-            .route(t.routers[0][0], t.routers[1][0])
-            .unwrap();
+        let path = t.network.route(t.routers[0][0], t.routers[1][0]).unwrap();
         assert!(path.contains(&t.noc));
     }
 

@@ -3,15 +3,10 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::{TimeDelta, Timestamp};
 
 /// Identifier of a network node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -28,7 +23,7 @@ impl fmt::Display for NodeId {
 }
 
 /// What role a node plays in the hierarchy (Fig. 1 / Fig. 2b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A sensor or machine producing raw data streams.
     Sensor,
@@ -43,7 +38,7 @@ pub enum NodeKind {
 }
 
 /// Bandwidth and latency of a link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSpec {
     /// Capacity in bytes per (simulated) second.
     pub bandwidth_bps: u64,
@@ -88,7 +83,7 @@ impl LinkSpec {
 }
 
 /// Receipt describing one completed transfer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferReceipt {
     /// Sender.
     pub from: NodeId,
@@ -131,7 +126,7 @@ impl fmt::Display for TransferError {
 
 impl std::error::Error for TransferError {}
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct NodeInfo {
     name: String,
     kind: NodeKind,
@@ -157,7 +152,7 @@ struct NodeInfo {
 /// assert_eq!(net.total_bytes(), 1_000_000);
 /// # Ok::<(), megastream_netsim::topology::TransferError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Network {
     nodes: Vec<NodeInfo>,
     links: HashMap<(usize, usize), LinkSpec>,

@@ -9,8 +9,6 @@
 //! queries recently demanded. Experiment E5 exercises it under a 10× data
 //! rate surge.
 
-use serde::{Deserialize, Serialize};
-
 use crate::aggregator::Granularity;
 
 /// Proportional–integral controller over the granularity dial.
@@ -28,7 +26,7 @@ use crate::aggregator::Granularity;
 /// let g1 = ctl.update(4000, 1000, None);
 /// assert!(g1.value() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GranularityController {
     current: Granularity,
     /// Proportional gain on the log-error.

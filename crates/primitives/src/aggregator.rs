@@ -11,8 +11,6 @@
 //! | P4 self-adaptation | [`ComputingPrimitive::adapt`] |
 //! | P5 domain knowledge | [`PrimitiveDescription::domain_aware`] |
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::{TimeWindow, Timestamp};
 
 /// An abstract aggregation-granularity dial in `(0, 1]`.
@@ -21,8 +19,7 @@ use megastream_flow::time::{TimeWindow, Timestamp};
 /// primitive interprets the dial in its own terms — a sampling primitive
 /// reads it as the sampling probability, a time-bin primitive as the inverse
 /// bin-width scale, a Flowtree as the fraction of its maximum node budget.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Granularity(f64);
 
 impl Granularity {
@@ -95,7 +92,7 @@ pub trait Combinable {
 /// the manager allotted; applications optionally report the finest
 /// granularity their queries actually used, so the primitive can stop paying
 /// for detail nobody asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptationFeedback {
     /// Observed ingest rate, items per simulated second.
     pub ingest_rate: f64,
@@ -118,7 +115,7 @@ impl AdaptationFeedback {
 
 /// Static description of a primitive, used by the manager for placement
 /// decisions and by lineage records.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrimitiveDescription {
     /// Human-readable primitive name (e.g. `"flowtree"`).
     pub name: &'static str,

@@ -6,8 +6,6 @@
 
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::{TimeWindow, Timestamp};
 
 use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
@@ -24,7 +22,7 @@ use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDe
 /// cms.offer(&"k", 5);
 /// assert!(cms.estimate(&"k") >= 15);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountMinSketch {
     width: usize,
     depth: usize,
@@ -94,8 +92,7 @@ impl CountMinSketch {
             .iter()
             .enumerate()
             .map(|(i, row)| {
-                let idx =
-                    (h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.width as u64) as usize;
+                let idx = (h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.width as u64) as usize;
                 row[idx]
             })
             .min()
@@ -260,9 +257,7 @@ mod tests {
             cms.offer(&i, 1);
         }
         let bound = (cms.total() as f64 * 0.01).ceil() as u64;
-        let violations = (0..n_keys)
-            .filter(|i| cms.estimate(i) > 1 + bound)
-            .count();
+        let violations = (0..n_keys).filter(|i| cms.estimate(i) > 1 + bound).count();
         assert!(violations < 10, "{violations} estimates beyond bound");
     }
 

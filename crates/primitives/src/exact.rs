@@ -8,8 +8,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::key::{FeatureSet, FlowKey};
 use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::record::FlowRecord;
@@ -19,7 +17,7 @@ use megastream_flow::time::{TimeWindow, Timestamp};
 use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
 
 /// One hierarchical heavy hitter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HhhItem {
     /// The (generalized) flow key.
     pub key: FlowKey,
@@ -49,41 +47,12 @@ pub struct HhhItem {
 /// assert_eq!(table.total().value(), 14);
 /// # Ok::<(), megastream_flow::addr::ParseAddrError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExactFlowTable {
     features: FeatureSet,
     score_kind: ScoreKind,
-    /// Serialized as a sequence of pairs: flow keys are structured and are
-    /// not valid JSON map keys.
-    #[serde(with = "counts_as_pairs")]
     counts: HashMap<FlowKey, Popularity>,
     total: Popularity,
-}
-
-/// Serializes the count map as `[(key, score), …]` so the table survives
-/// formats with string-only map keys (JSON).
-mod counts_as_pairs {
-    use std::collections::HashMap;
-
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    use megastream_flow::key::FlowKey;
-    use megastream_flow::score::Popularity;
-
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<FlowKey, Popularity>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        let pairs: Vec<(&FlowKey, &Popularity)> = map.iter().collect();
-        pairs.serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<FlowKey, Popularity>, D::Error> {
-        let pairs: Vec<(FlowKey, Popularity)> = Vec::deserialize(d)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl ExactFlowTable {

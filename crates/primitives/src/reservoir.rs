@@ -5,7 +5,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::aggregator::Combinable;
 
@@ -20,17 +19,12 @@ use crate::aggregator::Combinable;
 /// assert_eq!(r.len(), 8);
 /// assert_eq!(r.seen(), 1000);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Reservoir<T> {
     capacity: usize,
     seen: u64,
     items: Vec<T>,
-    #[serde(skip, default = "default_rng")]
     rng: StdRng,
-}
-
-fn default_rng() -> StdRng {
-    StdRng::seed_from_u64(0)
 }
 
 impl<T: PartialEq> PartialEq for Reservoir<T> {

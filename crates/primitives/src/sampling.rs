@@ -17,16 +17,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use megastream_flow::time::{TimeWindow, Timestamp};
 
-use crate::aggregator::{
-    Combinable, ComputingPrimitive, Granularity, PrimitiveDescription,
-};
+use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
 
 /// One retained sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplePoint {
     /// Observation time.
     pub ts: Timestamp,
@@ -37,7 +34,7 @@ pub struct SamplePoint {
 }
 
 /// A sampled time series — the data summary of [`SampledTimeSeries`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SampledSeries {
     /// The time period this summary covers.
     pub window: TimeWindow,

@@ -8,14 +8,12 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::{TimeWindow, Timestamp};
 
 use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
 
 /// A monitored counter: estimated count plus maximum overestimation error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SsCounter {
     /// Estimated count (never underestimates the true count).
     pub count: u64,
@@ -42,49 +40,12 @@ impl SsCounter {
 /// assert_eq!(top[0].0, "elephant");
 /// assert!(top[0].1.count >= 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpaceSaving<K: Eq + Hash> {
     capacity: usize,
-    /// Serialized as a sequence of pairs: structured keys (e.g. flow keys)
-    /// are not valid JSON map keys.
-    #[serde(with = "counters_as_pairs")]
-    #[serde(bound(
-        serialize = "K: Serialize",
-        deserialize = "K: serde::de::DeserializeOwned + Eq + Hash"
-    ))]
     counters: HashMap<K, SsCounter>,
     /// Total weight offered (kept for relative thresholds).
     total: u64,
-}
-
-/// Serializes the counter map as `[(key, counter), …]` so non-string keys
-/// survive formats with string-only map keys (JSON).
-mod counters_as_pairs {
-    use std::collections::HashMap;
-    use std::hash::Hash;
-
-    use serde::de::DeserializeOwned;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    use super::SsCounter;
-
-    pub fn serialize<K, S>(map: &HashMap<K, SsCounter>, s: S) -> Result<S::Ok, S::Error>
-    where
-        K: Serialize,
-        S: Serializer,
-    {
-        let pairs: Vec<(&K, &SsCounter)> = map.iter().collect();
-        pairs.serialize(s)
-    }
-
-    pub fn deserialize<'de, K, D>(d: D) -> Result<HashMap<K, SsCounter>, D::Error>
-    where
-        K: DeserializeOwned + Eq + Hash,
-        D: Deserializer<'de>,
-    {
-        let pairs: Vec<(K, SsCounter)> = Vec::deserialize(d)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl<K: Eq + Hash + Clone> SpaceSaving<K> {
@@ -171,7 +132,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         self.capacity = capacity;
         if self.counters.len() > capacity {
             let mut entries: Vec<(K, SsCounter)> = self.counters.drain().collect();
-            entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+            entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
             entries.truncate(capacity);
             self.counters = entries.into_iter().collect();
         }
@@ -179,12 +140,9 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
 
     /// The `k` keys with the highest estimated counts, descending.
     pub fn top_k(&self, k: usize) -> Vec<(K, SsCounter)> {
-        let mut entries: Vec<(K, SsCounter)> = self
-            .counters
-            .iter()
-            .map(|(k, c)| (k.clone(), *c))
-            .collect();
-        entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+        let mut entries: Vec<(K, SsCounter)> =
+            self.counters.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
         entries.truncate(k);
         entries
     }
@@ -198,7 +156,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
             .filter(|(_, c)| c.guaranteed() >= threshold)
             .map(|(k, c)| (k.clone(), *c))
             .collect();
-        entries.sort_by(|a, b| b.1.count.cmp(&a.1.count));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
         entries
     }
 }

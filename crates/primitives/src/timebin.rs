@@ -13,8 +13,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 
 use crate::aggregator::{Combinable, ComputingPrimitive, Granularity, PrimitiveDescription};
@@ -24,7 +22,7 @@ use crate::reservoir::Reservoir;
 const QUANTILE_SAMPLE: usize = 32;
 
 /// Aggregate statistics of one time bin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinStats {
     count: u64,
     sum: f64,
@@ -111,7 +109,7 @@ impl Combinable for BinStats {
 }
 
 /// The data summary of [`TimeBinStats`]: a run of time bins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BinnedSeries {
     /// The time period this summary covers.
     pub window: TimeWindow,
@@ -172,7 +170,7 @@ impl BinnedSeries {
         let cur = self.width.as_micros();
         let new = width.as_micros();
         assert!(
-            new >= cur && new % cur == 0,
+            new >= cur && new.is_multiple_of(cur),
             "target width {width} is not a multiple of current {}",
             self.width
         );
@@ -279,15 +277,19 @@ impl TimeBinStats {
         let series_owned;
         let series = if series.width() == width {
             series
-        } else if width.as_micros() % series.width().as_micros() == 0 {
+        } else if width.as_micros().is_multiple_of(series.width().as_micros()) {
             series_owned = series.coarsened_to(width);
             &series_owned
-        } else if series.width().as_micros() % width.as_micros() == 0 {
+        } else if series.width().as_micros().is_multiple_of(width.as_micros()) {
             // The incoming series is coarser: coarsen ourselves to match.
             let factor = series.width().as_micros() / width.as_micros();
             let g = self.granularity.value() / factor as f64;
             self.set_granularity(Granularity::new(g));
-            assert_eq!(self.effective_width(), series.width(), "width alignment failed");
+            assert_eq!(
+                self.effective_width(),
+                series.width(),
+                "width alignment failed"
+            );
             series
         } else {
             panic!(

@@ -2,7 +2,6 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::skirental::{break_even_threshold, optimal_threshold, randomized_threshold};
 use crate::tracker::PartitionState;
@@ -11,7 +10,7 @@ use crate::tracker::PartitionState;
 ///
 /// The first three are the baselines of experiment E8; the last two are the
 /// ski-rental policies of §VII.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum ReplicationPolicy {
     /// Never replicate: every remote access ships its result.
     Never,
@@ -60,14 +59,13 @@ impl ReplicationPolicy {
             ReplicationPolicy::Never => false,
             ReplicationPolicy::Always => state.accesses >= 1,
             ReplicationPolicy::BreakEven { factor } => {
-                let theta =
-                    (break_even_threshold(replication_cost) as f64 * factor).round() as u64;
+                let theta = (break_even_threshold(replication_cost) as f64 * factor).round() as u64;
                 state.shipped_bytes >= theta
             }
             ReplicationPolicy::Randomized { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ (partition as u64).wrapping_mul(
-                    0x9E37_79B9_7F4A_7C15,
-                ));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (partition as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let theta = randomized_threshold(&mut rng, replication_cost);
                 state.shipped_bytes >= theta
             }

@@ -1,14 +1,12 @@
 //! Offline policy replay and scoring (experiment E8, Fig. 6).
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::Timestamp;
 
 use crate::policy::ReplicationPolicy;
 use crate::tracker::AccessTracker;
 
 /// One remote access in a replayable trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// The accessed partition.
     pub partition: usize,
@@ -19,7 +17,7 @@ pub struct Access {
 }
 
 /// Outcome of replaying a trace under one policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayReport {
     /// Policy name.
     pub policy: String,
@@ -199,7 +197,11 @@ mod tests {
     #[test]
     fn break_even_on_cold_partition_never_pays_replication() {
         let trace = trace_for(0, &[10, 10]);
-        let r = replay(&trace, &[10_000], &ReplicationPolicy::BreakEven { factor: 1.0 });
+        let r = replay(
+            &trace,
+            &[10_000],
+            &ReplicationPolicy::BreakEven { factor: 1.0 },
+        );
         assert_eq!(r.replication_bytes, 0);
         assert_eq!(r.total_bytes(), 20);
         assert_eq!(r.offline_optimal_bytes, 20);
@@ -210,7 +212,11 @@ mod tests {
     fn break_even_on_hot_partition_bounded_by_two_opt() {
         let trace = trace_for(0, &(0..100).map(|_| 50u64).collect::<Vec<_>>());
         let cost = 500u64;
-        let r = replay(&trace, &[cost], &ReplicationPolicy::BreakEven { factor: 1.0 });
+        let r = replay(
+            &trace,
+            &[cost],
+            &ReplicationPolicy::BreakEven { factor: 1.0 },
+        );
         // Ships until 500 accumulated, replicates, rest local.
         assert_eq!(r.shipped_bytes, 500);
         assert_eq!(r.replication_bytes, 500);

@@ -85,7 +85,9 @@ mod tests {
     fn randomized_threshold_in_range_with_correct_mean() {
         let mut rng = StdRng::seed_from_u64(1);
         let r = 1_000_000u64;
-        let samples: Vec<u64> = (0..50_000).map(|_| randomized_threshold(&mut rng, r)).collect();
+        let samples: Vec<u64> = (0..50_000)
+            .map(|_| randomized_threshold(&mut rng, r))
+            .collect();
         assert!(samples.iter().all(|&t| t <= r));
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         // E[z] = ∫ z e^z/(e-1) dz over [0,1] = 1/(e-1) ≈ 0.582.

@@ -1,11 +1,10 @@
 //! Per-partition access records (the manager's view, Fig. 6 ①②).
 
-use serde::{Deserialize, Serialize};
-
 use megastream_flow::time::Timestamp;
+use megastream_telemetry::Telemetry;
 
 /// Runtime state of one tracked partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PartitionState {
     /// Remote accesses recorded so far.
     pub accesses: u64,
@@ -22,11 +21,18 @@ pub struct PartitionState {
 /// from ("the aggregate result size for older partitions are from a
 /// distribution that can be used to predict future access for partitions
 /// created at a later date").
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AccessTracker {
     partitions: Vec<PartitionState>,
     /// Total shipped volumes of retired partitions.
     history: Vec<u64>,
+    tel: Telemetry,
+}
+
+impl PartialEq for AccessTracker {
+    fn eq(&self, other: &Self) -> bool {
+        self.partitions == other.partitions && self.history == other.history
+    }
 }
 
 impl AccessTracker {
@@ -35,7 +41,14 @@ impl AccessTracker {
         AccessTracker {
             partitions: vec![PartitionState::default(); partitions],
             history: Vec::new(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Connects the tracker to a telemetry registry: remote accesses,
+    /// replica churn, and retirements are counted under `replication.*`.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
     }
 
     /// Number of tracked partitions.
@@ -61,11 +74,16 @@ impl AccessTracker {
             p.shipped_bytes += bytes;
         }
         p.last_access = Some(at);
+        self.tel.counter("replication.accesses_total").inc();
         *p
     }
 
     /// Marks a partition replicated (subsequent accesses are local).
     pub fn mark_replicated(&mut self, partition: usize) {
+        if !self.partitions[partition].replicated {
+            self.tel.counter("replication.replicas_created_total").inc();
+            self.tel.gauge("replication.replicated_partitions").add(1);
+        }
         self.partitions[partition].replicated = true;
     }
 
@@ -78,6 +96,12 @@ impl AccessTracker {
     /// distribution fitting, and its live state resets.
     pub fn retire(&mut self, partition: usize) {
         let p = &mut self.partitions[partition];
+        if p.replicated {
+            self.tel.gauge("replication.replicated_partitions").sub(1);
+        }
+        self.tel
+            .counter("replication.partitions_retired_total")
+            .inc();
         self.history.push(p.shipped_bytes);
         *p = PartitionState::default();
     }

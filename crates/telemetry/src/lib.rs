@@ -1,0 +1,208 @@
+//! # megastream-telemetry
+//!
+//! A zero-dependency metrics and span-tracing layer for the megastream
+//! pipeline, reproducing the observability surface the paper's Manager
+//! relies on ("the manager *monitors* system health and each site's
+//! resource footprint", Fig. 3b) without pulling any external crate into
+//! the fully offline build.
+//!
+//! ## Model
+//!
+//! * A [`Registry`] holds named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s behind 16 name-hashed shards; handles record through
+//!   lock-free atomics.
+//! * [`Telemetry`] is the handle threaded through the pipeline: a cheap
+//!   `Option<Arc<Registry>>` clone. [`Telemetry::disabled`] yields no-op
+//!   handles whose recording methods are a single branch — the instrumented
+//!   code pays nothing when observability is off.
+//! * [`Span`] and [`ScopedTimer`] time labeled stages into latency
+//!   histograms; disabled handles never read the clock.
+//! * [`Snapshot::render_text`] and [`Snapshot::render_json`] export the
+//!   registry; the in-repo [`json`] module parses the JSON back for tests
+//!   and tooling.
+//!
+//! ```
+//! use megastream_telemetry::{Telemetry, LATENCY_MICROS_BOUNDS};
+//!
+//! let tel = Telemetry::new();
+//! tel.counter("ingest.records_total").add(128);
+//! tel.gauge("store.footprint_bytes").set(4096);
+//! let hist = tel.histogram("query.micros", LATENCY_MICROS_BOUNDS);
+//! hist.record(250);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counter("ingest.records_total"), Some(128));
+//! assert!(snap.render_json().contains("\"query.micros\""));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod registry;
+mod span;
+
+use std::sync::Arc;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, LATENCY_MICROS_BOUNDS, SIZE_BYTES_BOUNDS,
+};
+pub use registry::{Registry, Snapshot};
+pub use span::{ScopedTimer, Span};
+
+/// The pipeline-facing telemetry handle: either a live shared [`Registry`]
+/// or a null handle whose every operation is a no-op.
+///
+/// Cloning is cheap (an `Option<Arc>` clone); components store their own
+/// copy. `Default` is the *disabled* handle so that instrumented structs
+/// stay zero-cost unless explicitly given a live registry.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry(Option<Arc<Registry>>);
+
+impl Telemetry {
+    /// Creates an enabled handle backed by a fresh registry.
+    pub fn new() -> Self {
+        Telemetry(Some(Arc::new(Registry::new())))
+    }
+
+    /// The null handle: all metric handles it yields are no-ops.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// Creates a handle sharing an existing registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Telemetry(Some(registry))
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The underlying registry, if enabled.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.0.as_ref()
+    }
+
+    /// Counter handle for `name` (no-op when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            Some(reg) => reg.counter(name),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Gauge handle for `name` (no-op when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.0 {
+            Some(reg) => reg.gauge(name),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Histogram handle for `name` with inclusive upper `bounds` (no-op when
+    /// disabled; bounds are fixed by the first registration).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        match &self.0 {
+            Some(reg) => reg.histogram(name, bounds),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Starts a [`Span`] labeled `name`, recording into `<name>.micros`.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self, name)
+    }
+
+    /// Starts a [`ScopedTimer`] recording into the latency histogram `name`.
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        ScopedTimer::start(&self.histogram(name, LATENCY_MICROS_BOUNDS))
+    }
+
+    /// Point-in-time copy of all metrics (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.0 {
+            Some(reg) => reg.snapshot(),
+            None => Snapshot::default(),
+        }
+    }
+
+    /// Convenience: [`Snapshot::render_text`] of the current state.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    /// Convenience: [`Snapshot::render_json`] of the current state.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+/// Formats a labeled metric name, e.g. `labeled("flowdb.exec", "op", "topk")`
+/// → `flowdb.exec{op=topk}`.
+pub fn labeled(base: &str, key: &str, value: &str) -> String {
+    format!("{base}{{{key}={value}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        let c = tel.counter("x");
+        let g = tel.gauge("y");
+        let h = tel.histogram("z", LATENCY_MICROS_BOUNDS);
+        c.inc();
+        g.set(5);
+        h.record(10);
+        assert!(!c.is_enabled());
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        let snap = tel.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+        assert_eq!(tel.render_text(), "");
+    }
+
+    #[test]
+    fn spans_record_micros_histograms() {
+        let tel = Telemetry::new();
+        {
+            let span = tel.span("stage");
+            let child = span.child("inner");
+            drop(child);
+            let micros = span.finish();
+            let _ = micros;
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("stage.micros").unwrap().count, 1);
+        assert_eq!(snap.histogram("stage.inner.micros").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_never_registers() {
+        let tel = Telemetry::disabled();
+        let span = tel.span("stage");
+        assert_eq!(span.name(), "");
+        let child = span.child("inner");
+        drop(child);
+        assert_eq!(span.finish(), 0);
+    }
+
+    #[test]
+    fn labeled_formats_prometheus_style() {
+        assert_eq!(labeled("a.b", "op", "topk"), "a.b{op=topk}");
+    }
+
+    #[test]
+    fn shared_registry_is_shared() {
+        let tel = Telemetry::new();
+        let tel2 = Telemetry::with_registry(Arc::clone(tel.registry().unwrap()));
+        tel.counter("shared").inc();
+        tel2.counter("shared").add(2);
+        assert_eq!(tel.snapshot().counter("shared"), Some(3));
+    }
+}

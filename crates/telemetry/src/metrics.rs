@@ -1,0 +1,276 @@
+//! Metric handle types: [`Counter`], [`Gauge`], and [`Histogram`].
+//!
+//! Handles are cheap clones of `Option<Arc<...>>`. A handle obtained from a
+//! disabled [`crate::Telemetry`] carries `None` and every recording method is
+//! a no-op that compiles down to a single branch — no atomics are touched,
+//! no clock is read, nothing allocates.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use megastream_telemetry::Telemetry;
+/// let tel = Telemetry::new();
+/// let c = tel.counter("ingest.records_total");
+/// c.inc();
+/// c.add(9);
+/// assert_eq!(c.get(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached no-op counter; recording into it does nothing.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge tracking an instantaneous signed quantity (footprints, queue
+/// depths, replica counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A detached no-op gauge; recording into it does nothing.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `delta`.
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state: fixed upper bounds plus one overflow bucket.
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    /// Inclusive upper bounds, strictly increasing. `buckets.len()` is
+    /// `bounds.len() + 1`; the final bucket counts samples above the last
+    /// bound.
+    pub(crate) bounds: Vec<u64>,
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        HistCore {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (typically microseconds or
+/// bytes). Samples land in the first bucket whose inclusive upper bound is
+/// `>=` the sample; larger samples land in a final overflow bucket.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistCore>>);
+
+impl Histogram {
+    /// A detached no-op histogram; recording into it does nothing.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Number of recorded samples (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded samples (0 for a no-op handle).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Point-in-time copy of this histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::default(),
+            Some(core) => HistogramSnapshot::from_core(core),
+        }
+    }
+}
+
+/// An owned, point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample seen (0 if empty).
+    pub min: u64,
+    /// Largest sample seen (0 if empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn from_core(core: &HistCore) -> Self {
+        let counts = core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = core.count.load(Ordering::Relaxed);
+        let raw_min = core.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            bounds: core.bounds.clone(),
+            counts,
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if raw_min == u64::MAX { 0 } else { raw_min },
+            max: core.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mean sample value, or 0.0 if no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) from bucket upper bounds. Returns
+    /// the inclusive upper bound of the bucket containing the q-th sample
+    /// (`max` for the overflow bucket), or 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// Default latency bucket bounds in microseconds: a 1-2-5 ladder from 1 µs
+/// to 10 s.
+pub const LATENCY_MICROS_BOUNDS: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// Default size bucket bounds in bytes: powers of four from 64 B to 1 GiB.
+pub const SIZE_BYTES_BOUNDS: &[u64] = &[
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+];

@@ -1,0 +1,131 @@
+//! Timing scopes: [`Span`] for labeled pipeline stages and [`ScopedTimer`]
+//! for recording into a specific histogram.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::Telemetry;
+
+/// A labeled timing scope. On drop (or explicit [`Span::finish`]) it records
+/// the elapsed microseconds into the histogram `<name>.micros` of the
+/// [`Telemetry`] that created it. Child spans extend the label with a dot:
+/// `flowdb.exec` → `flowdb.exec.parse`.
+///
+/// When the owning telemetry is disabled the span holds no start time — the
+/// clock is never read and drop is free.
+#[derive(Debug)]
+pub struct Span {
+    tel: Telemetry,
+    name: String,
+    start: Option<Instant>,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn new(tel: &Telemetry, name: &str) -> Self {
+        let enabled = tel.is_enabled();
+        Span {
+            tel: tel.clone(),
+            name: if enabled {
+                name.to_owned()
+            } else {
+                String::new()
+            },
+            start: if enabled { Some(Instant::now()) } else { None },
+            finished: false,
+        }
+    }
+
+    /// Starts a nested span labeled `<self>.<stage>`.
+    pub fn child(&self, stage: &str) -> Span {
+        if self.start.is_some() {
+            Span::new(&self.tel, &format!("{}.{}", self.name, stage))
+        } else {
+            Span::new(&Telemetry::disabled(), stage)
+        }
+    }
+
+    /// The span's label (empty when disabled).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ends the span now and returns the recorded duration in microseconds
+    /// (0 when disabled).
+    pub fn finish(mut self) -> u64 {
+        self.finished = true;
+        self.record()
+    }
+
+    fn record(&self) -> u64 {
+        match self.start {
+            None => 0,
+            Some(start) => {
+                let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                self.tel
+                    .histogram(
+                        &format!("{}.micros", self.name),
+                        crate::LATENCY_MICROS_BOUNDS,
+                    )
+                    .record(micros);
+                micros
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.record();
+        }
+    }
+}
+
+/// Times a scope and records the elapsed microseconds into one histogram on
+/// drop. Unlike [`Span`] it performs no name formatting or registry lookup
+/// at stop time, so it is the right tool inside hot loops where the
+/// histogram handle is already registered.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl ScopedTimer {
+    /// Starts timing into `hist`. If the histogram is a no-op handle the
+    /// clock is never read.
+    pub fn start(hist: &Histogram) -> Self {
+        ScopedTimer {
+            start: if hist.is_enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            hist: hist.clone(),
+        }
+    }
+
+    /// Stops now and returns the recorded duration in microseconds (0 when
+    /// disabled).
+    pub fn stop(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        match self.start.take() {
+            None => 0,
+            Some(start) => {
+                let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                self.hist.record(micros);
+                micros
+            }
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}

@@ -84,7 +84,10 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
 
 /// Samples a Pareto with scale `x_min` and shape `alpha` (inversion method).
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
-    assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    assert!(
+        x_min > 0.0 && alpha > 0.0,
+        "pareto parameters must be positive"
+    );
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     x_min / u.powf(1.0 / alpha)
 }
@@ -198,7 +201,10 @@ mod tests {
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = vals[5000];
         // Median of LogNormal(μ, σ) is e^μ ≈ 2.718.
-        assert!((median - std::f64::consts::E).abs() < 0.15, "median {median}");
+        assert!(
+            (median - std::f64::consts::E).abs() < 0.15,
+            "median {median}"
+        );
     }
 
     #[test]
@@ -208,7 +214,10 @@ mod tests {
         assert_eq!(binomial(&mut r, 10, 0.0), 0);
         assert_eq!(binomial(&mut r, 10, 1.0), 10);
         // Small-n exact path.
-        let m: f64 = (0..20_000).map(|_| binomial(&mut r, 100, 0.3) as f64).sum::<f64>() / 20_000.0;
+        let m: f64 = (0..20_000)
+            .map(|_| binomial(&mut r, 100, 0.3) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!((m - 30.0).abs() < 0.5, "mean {m}");
         // Large-n approximate path.
         let m2: f64 = (0..5_000)

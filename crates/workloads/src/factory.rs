@@ -11,14 +11,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use megastream_flow::time::{TimeDelta, Timestamp};
 
 use crate::dist;
 
 /// A scalar sensor channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SensorChannel {
     /// Bearing temperature, °C.
     Temperature,
@@ -67,7 +66,7 @@ impl std::fmt::Display for SensorChannel {
 }
 
 /// One sensor observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorReading {
     /// Index of the machine producing the reading.
     pub machine: usize,
@@ -80,7 +79,7 @@ pub struct SensorReading {
 }
 
 /// Camera classes with the paper's uncompressed data rates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CameraKind {
     /// 3D camera: 52 GB/h.
     ThreeD,
@@ -102,7 +101,7 @@ impl CameraKind {
 /// A machine's degradation (failure-precursor) model: from `onset`, the
 /// temperature and vibration drift upward linearly, reaching `severity`
 /// times the channel baseline at `failure`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Degradation {
     /// When drift begins.
     pub onset: Timestamp,
@@ -159,7 +158,10 @@ impl FactoryWorkload {
     /// Panics if `machines` is zero or the interval is zero.
     pub fn new(machines: usize, sample_interval: TimeDelta, seed: u64) -> Self {
         assert!(machines > 0, "at least one machine required");
-        assert!(!sample_interval.is_zero(), "sample interval must be non-zero");
+        assert!(
+            !sample_interval.is_zero(),
+            "sample interval must be non-zero"
+        );
         let state = (0..machines * SensorChannel::ALL.len())
             .map(|i| SensorChannel::ALL[i % 3].baseline())
             .collect();
@@ -280,9 +282,7 @@ mod tests {
         let late = |m: usize, ch: SensorChannel| -> f64 {
             let vals: Vec<f64> = readings
                 .iter()
-                .filter(|r| {
-                    r.machine == m && r.channel == ch && r.ts >= Timestamp::from_secs(55)
-                })
+                .filter(|r| r.machine == m && r.channel == ch && r.ts >= Timestamp::from_secs(55))
                 .map(|r| r.value)
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64

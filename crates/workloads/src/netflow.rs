@@ -10,7 +10,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use megastream_flow::addr::Ipv4Addr;
 use megastream_flow::record::FlowRecord;
@@ -19,7 +18,7 @@ use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 use crate::dist::{self, Zipf};
 
 /// A traffic anomaly injected into the trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TrafficEvent {
     /// A volumetric DDoS: many random sources flood one destination.
     Ddos {
@@ -46,7 +45,7 @@ pub enum TrafficEvent {
 }
 
 /// Configuration of a [`FlowTraceGenerator`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowTraceConfig {
     /// RNG seed; identical configs produce identical traces.
     pub seed: u64,
@@ -86,9 +85,7 @@ impl Default for FlowTraceConfig {
 }
 
 /// Well-known destination ports, most popular first.
-const POPULAR_PORTS: [u16; 12] = [
-    443, 80, 53, 22, 25, 123, 3389, 8080, 993, 5060, 1194, 8443,
-];
+const POPULAR_PORTS: [u16; 12] = [443, 80, 53, 22, 25, 123, 3389, 8080, 993, 5060, 1194, 8443];
 
 /// Deterministic generator of sampled-NetFlow-like traces.
 ///
@@ -125,10 +122,7 @@ impl FlowTraceGenerator {
     pub fn new(config: FlowTraceConfig) -> Self {
         assert!(config.internal_hosts > 0, "internal host pool is empty");
         assert!(config.external_hosts > 0, "external host pool is empty");
-        assert!(
-            config.flows_per_sec > 0.0,
-            "flow rate must be positive"
-        );
+        assert!(config.flows_per_sec > 0.0, "flow rate must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let internal_pool = hierarchical_pool(&mut rng, config.internal_hosts, 10);
         let external_pool = hierarchical_pool(&mut rng, config.external_hosts, 23);
@@ -184,7 +178,7 @@ impl FlowTraceGenerator {
             _ => 1,
         };
         let packets = dist::pareto(&mut self.rng, 1.0, 1.3).min(1e7) as u64;
-        let mean_size = self.rng.gen_range(60..1400);
+        let mean_size = self.rng.gen_range(60u64..1400);
         FlowRecord::builder()
             .ts(self.now)
             .proto(proto)
@@ -212,8 +206,8 @@ impl FlowTraceGenerator {
                     let gap = upto.saturating_since(window.start).as_secs_f64();
                     let _ = gap;
                     let expect = flows_per_sec / self.config.flows_per_sec;
-                    let n = expect.floor() as u64
-                        + u64::from(self.rng.gen::<f64>() < expect.fract());
+                    let n =
+                        expect.floor() as u64 + u64::from(self.rng.gen::<f64>() < expect.fract());
                     for _ in 0..n {
                         let spoofed = Ipv4Addr::from_octets([
                             self.rng.gen_range(1..224),
@@ -240,8 +234,8 @@ impl FlowTraceGenerator {
                     flows_per_sec,
                 } if window.contains(upto) => {
                     let expect = flows_per_sec / self.config.flows_per_sec;
-                    let n = expect.floor() as u64
-                        + u64::from(self.rng.gen::<f64>() < expect.fract());
+                    let n =
+                        expect.floor() as u64 + u64::from(self.rng.gen::<f64>() < expect.fract());
                     for _ in 0..n {
                         out.push(
                             FlowRecord::builder()

@@ -14,14 +14,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use megastream_flow::time::{TimeDelta, Timestamp};
 
 use crate::dist;
 
 /// Distribution of the number of times a partition will be accessed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessDistribution {
     /// Every partition is accessed exactly `n` times.
     Fixed(u64),
@@ -51,9 +50,7 @@ impl AccessDistribution {
                 }
                 n
             }
-            AccessDistribution::Exponential(mean) => {
-                dist::exponential(rng, mean).round() as u64
-            }
+            AccessDistribution::Exponential(mean) => dist::exponential(rng, mean).round() as u64,
             AccessDistribution::Pareto(shape) => {
                 (dist::pareto(rng, 1.0, shape) - 1.0).round().min(1e7) as u64
             }
@@ -80,7 +77,7 @@ impl AccessDistribution {
 }
 
 /// One recorded remote access to a partition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionAccess {
     /// The accessed partition.
     pub partition: usize,
@@ -91,7 +88,7 @@ pub struct PartitionAccess {
 }
 
 /// Configuration of a query-trace generation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryTraceConfig {
     /// RNG seed.
     pub seed: u64,
@@ -160,8 +157,7 @@ mod tests {
     fn geometric_mean_matches() {
         let mut rng = StdRng::seed_from_u64(5);
         let d = AccessDistribution::Geometric(0.8);
-        let mean: f64 =
-            (0..50_000).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / 50_000.0;
         assert!((mean - d.mean()).abs() < 0.2, "mean {mean} vs {}", d.mean());
     }
 

@@ -35,10 +35,22 @@ fn main() {
     let replication_cost = vec![4_000_000u64; partitions];
 
     for (label, accesses) in [
-        ("geometric(p=0.8)  — memoryless", AccessDistribution::Geometric(0.8)),
-        ("exponential(μ=6)  — light tail", AccessDistribution::Exponential(6.0)),
-        ("pareto(α=1.1)     — heavy tail", AccessDistribution::Pareto(1.1)),
-        ("fixed(12)         — fully predictable", AccessDistribution::Fixed(12)),
+        (
+            "geometric(p=0.8)  — memoryless",
+            AccessDistribution::Geometric(0.8),
+        ),
+        (
+            "exponential(μ=6)  — light tail",
+            AccessDistribution::Exponential(6.0),
+        ),
+        (
+            "pareto(α=1.1)     — heavy tail",
+            AccessDistribution::Pareto(1.1),
+        ),
+        (
+            "fixed(12)         — fully predictable",
+            AccessDistribution::Fixed(12),
+        ),
     ] {
         // The paper's setup: older (retired) partitions provide the volume
         // distribution that predicts access to newer ones. Train on one
@@ -47,7 +59,10 @@ fn main() {
         let history = training_volumes(&training, partitions);
         let eval = trace(7, partitions, accesses);
 
-        println!("== access distribution: {label} ({} accesses) ==", eval.len());
+        println!(
+            "== access distribution: {label} ({} accesses) ==",
+            eval.len()
+        );
         println!(
             "{:<20} {:>14} {:>14} {:>14} {:>10} {:>8}",
             "policy", "shipped B", "replication B", "total B", "replicas", "ratio"

@@ -86,7 +86,7 @@ fn main() {
         ] {
             println!("flowql> {q}");
             match fs.query(q) {
-                Ok(result) => print!("{result}\n"),
+                Ok(result) => println!("{result}"),
                 Err(e) => println!("error: {e}\n"),
             }
         }

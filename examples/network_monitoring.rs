@@ -7,18 +7,26 @@
 //!
 //! ```text
 //! cargo run --example network_monitoring
+//! cargo run --example network_monitoring -- --stats   # + telemetry report
 //! ```
 
 use megastream::application::{AppDirective, Application, DdosDetectionApp};
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
-use megastream_flow::mask::GeneralizationSchema;
 use megastream_datastore::summary::Summary;
 use megastream_flow::addr::Ipv4Addr;
+use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_telemetry::Telemetry;
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator, TrafficEvent};
 
 fn main() {
+    let stats = std::env::args().any(|a| a == "--stats");
+    let tel = if stats {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
     let victim: Ipv4Addr = "100.64.0.1".parse().unwrap();
     let attack_window =
         TimeWindow::starting_at(Timestamp::from_secs(120), TimeDelta::from_secs(60));
@@ -48,7 +56,8 @@ fn main() {
             schema: GeneralizationSchema::dst_preserving(),
             ..Default::default()
         },
-    );
+    )
+    .with_telemetry(&tel);
     let mut n = 0u64;
     for rec in trace {
         fs.ingest_round_robin(&rec);
@@ -115,4 +124,18 @@ fn main() {
         "the injected attack must be detected"
     );
     println!("\nvictims identified: {}", app.victims().count());
+
+    // --- operations view: what did that run cost, per component?
+    if stats {
+        let s = fs.stats();
+        println!("\n--- operating stats ---");
+        println!("flows ingested:    {}", s.flows);
+        println!("raw bytes:         {}", s.raw_bytes);
+        println!("region epochs:     {}", s.region_epochs);
+        println!("exported bytes:    {}", s.exported_bytes);
+        println!("flowdb summaries:  {}", s.flowdb_summaries);
+        println!("network bytes:     {}", s.network_bytes);
+        println!("\n--- telemetry ---");
+        print!("{}", fs.telemetry_report());
+    }
 }

@@ -3,15 +3,19 @@
 //!
 //! ```text
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- --stats   # + telemetry walkthrough
 //! ```
 
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::TimeDelta;
 use megastream_flowtree::{Flowtree, FlowtreeConfig};
+use megastream_telemetry::Telemetry;
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 fn main() {
+    let stats = std::env::args().any(|a| a == "--stats");
     // 1. Generate a small synthetic sampled-NetFlow trace.
     let trace: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig {
         seed: 7,
@@ -99,4 +103,38 @@ fn main() {
         diffed.total(),
         tree.total()
     );
+
+    // 10. --stats: the same pipeline as a Flowstream deployment, with the
+    // telemetry registry attached. Every layer records into one registry:
+    // per-router ingest counters, data-store rotation latency, FlowDB
+    // execution timings, and the end-to-end FlowQL latency histogram.
+    if stats {
+        let tel = Telemetry::new();
+        let mut fs = Flowstream::new(
+            2,
+            2,
+            FlowstreamConfig {
+                epoch_len: TimeDelta::from_secs(30),
+                ..Default::default()
+            },
+        )
+        .with_telemetry(&tel);
+        for rec in FlowTraceGenerator::new(FlowTraceConfig {
+            seed: 7,
+            flows_per_sec: 200.0,
+            duration: TimeDelta::from_mins(3),
+            internal_hosts: 500,
+            external_hosts: 500,
+            ..Default::default()
+        }) {
+            fs.ingest_round_robin(&rec);
+        }
+        fs.finish();
+        fs.query("SELECT TOPK 3 FROM ALL WHERE location = \"region-0\"")
+            .expect("quickstart query");
+        fs.query("SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8")
+            .expect("quickstart query");
+        println!("\n--- telemetry ({} metrics) ---", tel.snapshot().len());
+        print!("{}", fs.telemetry_report());
+    }
 }

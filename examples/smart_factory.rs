@@ -51,7 +51,7 @@ fn main() {
             TimeDelta::from_mins(1),
         );
         let line_id = hierarchy.add_child(line_store, line_nets[l], factory_id);
-        for m in 0..MACHINES_PER_LINE {
+        for (m, &machine_net) in machine_nets[l].iter().enumerate() {
             let machine = l * MACHINES_PER_LINE + m;
             let mut store = DataStore::new(
                 format!("machine-{machine}"),
@@ -80,7 +80,7 @@ fn main() {
                 },
                 TimeDelta::from_secs(30),
             );
-            machine_ids.push(hierarchy.add_child(store, machine_nets[l][m], line_id));
+            machine_ids.push(hierarchy.add_child(store, machine_net, line_id));
         }
     }
 
@@ -115,7 +115,8 @@ fn main() {
     }
 
     // --- workload: machine 2 degrades from t=60 s toward failure at 900 s.
-    let mut workload = FactoryWorkload::new(LINES * MACHINES_PER_LINE, TimeDelta::from_millis(500), 11);
+    let mut workload =
+        FactoryWorkload::new(LINES * MACHINES_PER_LINE, TimeDelta::from_millis(500), 11);
     workload.degrade(
         2,
         Degradation {
@@ -175,13 +176,20 @@ fn main() {
                 for directive in app.on_summary(&summary, until) {
                     match directive {
                         AppDirective::Report(msg) => println!("[{until}] app: {msg}"),
-                        AppDirective::ScheduleMaintenance { machine, channel, eta } => {
+                        AppDirective::ScheduleMaintenance {
+                            machine,
+                            channel,
+                            eta,
+                        } => {
                             maintenance.push(format!("machine-{machine}/{channel} before {eta}"));
                             println!(
                                 "[{until}] app: maintenance scheduled for machine-{machine} ({channel}) before {eta}"
                             );
                         }
-                        AppDirective::RequestTrigger { condition, cooldown } => {
+                        AppDirective::RequestTrigger {
+                            condition,
+                            cooldown,
+                        } => {
                             hierarchy.store_mut(mid).install_trigger(
                                 app.name(),
                                 condition,

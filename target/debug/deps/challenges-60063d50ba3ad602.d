@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/challenges-60063d50ba3ad602.d: tests/challenges.rs
+
+/root/repo/target/debug/deps/challenges-60063d50ba3ad602: tests/challenges.rs
+
+tests/challenges.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/challenges-7b69215d6cdb99c6.d: tests/challenges.rs
+
+/root/repo/target/debug/deps/challenges-7b69215d6cdb99c6: tests/challenges.rs
+
+tests/challenges.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/challenges-eef3ec72d296f247.d: tests/challenges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchallenges-eef3ec72d296f247.rmeta: tests/challenges.rs Cargo.toml
+
+tests/challenges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

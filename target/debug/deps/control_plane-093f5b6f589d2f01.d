@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/control_plane-093f5b6f589d2f01.d: tests/control_plane.rs
+
+/root/repo/target/debug/deps/control_plane-093f5b6f589d2f01: tests/control_plane.rs
+
+tests/control_plane.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/control_plane-1a9659716c82b88c.d: tests/control_plane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrol_plane-1a9659716c82b88c.rmeta: tests/control_plane.rs Cargo.toml
+
+tests/control_plane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/control_plane-7ab1977716f01d8b.d: tests/control_plane.rs
+
+/root/repo/target/debug/deps/control_plane-7ab1977716f01d8b: tests/control_plane.rs
+
+tests/control_plane.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-136f6ea8de9a009c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-136f6ea8de9a009c.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d7897de766ffa15d.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d7897de766ffa15d.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_sampling-8a33322e671fb3d7.d: crates/bench/benches/e10_sampling.rs
+
+/root/repo/target/debug/deps/libe10_sampling-8a33322e671fb3d7.rmeta: crates/bench/benches/e10_sampling.rs
+
+crates/bench/benches/e10_sampling.rs:

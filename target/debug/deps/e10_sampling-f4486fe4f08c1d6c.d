@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_sampling-f4486fe4f08c1d6c.d: crates/bench/benches/e10_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_sampling-f4486fe4f08c1d6c.rmeta: crates/bench/benches/e10_sampling.rs Cargo.toml
+
+crates/bench/benches/e10_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_telemetry_overhead-08b4b3e6b3e3960f.d: crates/bench/benches/e11_telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_telemetry_overhead-08b4b3e6b3e3960f.rmeta: crates/bench/benches/e11_telemetry_overhead.rs Cargo.toml
+
+crates/bench/benches/e11_telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

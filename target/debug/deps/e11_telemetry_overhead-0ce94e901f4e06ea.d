@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_telemetry_overhead-0ce94e901f4e06ea.d: crates/bench/benches/e11_telemetry_overhead.rs
+
+/root/repo/target/debug/deps/libe11_telemetry_overhead-0ce94e901f4e06ea.rmeta: crates/bench/benches/e11_telemetry_overhead.rs
+
+crates/bench/benches/e11_telemetry_overhead.rs:

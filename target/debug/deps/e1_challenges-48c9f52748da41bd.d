@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_challenges-48c9f52748da41bd.d: crates/bench/benches/e1_challenges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_challenges-48c9f52748da41bd.rmeta: crates/bench/benches/e1_challenges.rs Cargo.toml
+
+crates/bench/benches/e1_challenges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

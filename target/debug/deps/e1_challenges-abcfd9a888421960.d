@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_challenges-abcfd9a888421960.d: crates/bench/benches/e1_challenges.rs
+
+/root/repo/target/debug/deps/libe1_challenges-abcfd9a888421960.rmeta: crates/bench/benches/e1_challenges.rs
+
+crates/bench/benches/e1_challenges.rs:

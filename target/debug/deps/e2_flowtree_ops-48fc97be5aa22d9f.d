@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_flowtree_ops-48fc97be5aa22d9f.d: crates/bench/benches/e2_flowtree_ops.rs
+
+/root/repo/target/debug/deps/libe2_flowtree_ops-48fc97be5aa22d9f.rmeta: crates/bench/benches/e2_flowtree_ops.rs
+
+crates/bench/benches/e2_flowtree_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_flowtree_ops-72a97401164db36f.d: crates/bench/benches/e2_flowtree_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_flowtree_ops-72a97401164db36f.rmeta: crates/bench/benches/e2_flowtree_ops.rs Cargo.toml
+
+crates/bench/benches/e2_flowtree_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_hierarchy-73a22a61407476e4.d: crates/bench/benches/e3_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_hierarchy-73a22a61407476e4.rmeta: crates/bench/benches/e3_hierarchy.rs Cargo.toml
+
+crates/bench/benches/e3_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

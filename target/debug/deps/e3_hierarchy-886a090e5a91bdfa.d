@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_hierarchy-886a090e5a91bdfa.d: crates/bench/benches/e3_hierarchy.rs
+
+/root/repo/target/debug/deps/libe3_hierarchy-886a090e5a91bdfa.rmeta: crates/bench/benches/e3_hierarchy.rs
+
+crates/bench/benches/e3_hierarchy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_feedback_loop-4b67257607cf945b.d: crates/bench/benches/e4_feedback_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_feedback_loop-4b67257607cf945b.rmeta: crates/bench/benches/e4_feedback_loop.rs Cargo.toml
+
+crates/bench/benches/e4_feedback_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

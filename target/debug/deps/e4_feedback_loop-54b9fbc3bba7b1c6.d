@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_feedback_loop-54b9fbc3bba7b1c6.d: crates/bench/benches/e4_feedback_loop.rs
+
+/root/repo/target/debug/deps/libe4_feedback_loop-54b9fbc3bba7b1c6.rmeta: crates/bench/benches/e4_feedback_loop.rs
+
+crates/bench/benches/e4_feedback_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_control_plane-1f3e4b58517cdcf0.d: crates/bench/benches/e5_control_plane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_control_plane-1f3e4b58517cdcf0.rmeta: crates/bench/benches/e5_control_plane.rs Cargo.toml
+
+crates/bench/benches/e5_control_plane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

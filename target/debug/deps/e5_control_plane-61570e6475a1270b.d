@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_control_plane-61570e6475a1270b.d: crates/bench/benches/e5_control_plane.rs
+
+/root/repo/target/debug/deps/libe5_control_plane-61570e6475a1270b.rmeta: crates/bench/benches/e5_control_plane.rs
+
+crates/bench/benches/e5_control_plane.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_storage_strategies-02e0f60b8be12bf8.d: crates/bench/benches/e6_storage_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_storage_strategies-02e0f60b8be12bf8.rmeta: crates/bench/benches/e6_storage_strategies.rs Cargo.toml
+
+crates/bench/benches/e6_storage_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

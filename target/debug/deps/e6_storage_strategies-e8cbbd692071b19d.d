@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_storage_strategies-e8cbbd692071b19d.d: crates/bench/benches/e6_storage_strategies.rs
+
+/root/repo/target/debug/deps/libe6_storage_strategies-e8cbbd692071b19d.rmeta: crates/bench/benches/e6_storage_strategies.rs
+
+crates/bench/benches/e6_storage_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_flowstream-7a995e603b29d66c.d: crates/bench/benches/e7_flowstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_flowstream-7a995e603b29d66c.rmeta: crates/bench/benches/e7_flowstream.rs Cargo.toml
+
+crates/bench/benches/e7_flowstream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_flowstream-a77f7b6de574c4c8.d: crates/bench/benches/e7_flowstream.rs
+
+/root/repo/target/debug/deps/libe7_flowstream-a77f7b6de574c4c8.rmeta: crates/bench/benches/e7_flowstream.rs
+
+crates/bench/benches/e7_flowstream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_replication-532325a8fc8d440c.d: crates/bench/benches/e8_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_replication-532325a8fc8d440c.rmeta: crates/bench/benches/e8_replication.rs Cargo.toml
+
+crates/bench/benches/e8_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

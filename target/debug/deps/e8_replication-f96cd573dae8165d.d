@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_replication-f96cd573dae8165d.d: crates/bench/benches/e8_replication.rs
+
+/root/repo/target/debug/deps/libe8_replication-f96cd573dae8165d.rmeta: crates/bench/benches/e8_replication.rs
+
+crates/bench/benches/e8_replication.rs:

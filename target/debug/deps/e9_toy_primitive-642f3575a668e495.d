@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_toy_primitive-642f3575a668e495.d: crates/bench/benches/e9_toy_primitive.rs
+
+/root/repo/target/debug/deps/libe9_toy_primitive-642f3575a668e495.rmeta: crates/bench/benches/e9_toy_primitive.rs
+
+crates/bench/benches/e9_toy_primitive.rs:

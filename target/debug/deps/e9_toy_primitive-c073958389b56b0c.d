@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_toy_primitive-c073958389b56b0c.d: crates/bench/benches/e9_toy_primitive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_toy_primitive-c073958389b56b0c.rmeta: crates/bench/benches/e9_toy_primitive.rs Cargo.toml
+
+crates/bench/benches/e9_toy_primitive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

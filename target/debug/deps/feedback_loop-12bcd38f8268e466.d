@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/feedback_loop-12bcd38f8268e466.d: tests/feedback_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeedback_loop-12bcd38f8268e466.rmeta: tests/feedback_loop.rs Cargo.toml
+
+tests/feedback_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

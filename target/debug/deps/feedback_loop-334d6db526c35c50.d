@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feedback_loop-334d6db526c35c50.d: tests/feedback_loop.rs
+
+/root/repo/target/debug/deps/feedback_loop-334d6db526c35c50: tests/feedback_loop.rs
+
+tests/feedback_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feedback_loop-bfca957e54e705cd.d: tests/feedback_loop.rs
+
+/root/repo/target/debug/deps/feedback_loop-bfca957e54e705cd: tests/feedback_loop.rs
+
+tests/feedback_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowstream_e2e-631f605a8b722152.d: tests/flowstream_e2e.rs
+
+/root/repo/target/debug/deps/flowstream_e2e-631f605a8b722152: tests/flowstream_e2e.rs
+
+tests/flowstream_e2e.rs:

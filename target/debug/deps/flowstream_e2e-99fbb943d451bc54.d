@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowstream_e2e-99fbb943d451bc54.d: tests/flowstream_e2e.rs
+
+/root/repo/target/debug/deps/flowstream_e2e-99fbb943d451bc54: tests/flowstream_e2e.rs
+
+tests/flowstream_e2e.rs:

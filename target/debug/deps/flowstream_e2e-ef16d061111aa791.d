@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flowstream_e2e-ef16d061111aa791.d: tests/flowstream_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflowstream_e2e-ef16d061111aa791.rmeta: tests/flowstream_e2e.rs Cargo.toml
+
+tests/flowstream_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lineage-70ddf91d380dbf7e.d: tests/lineage.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblineage-70ddf91d380dbf7e.rmeta: tests/lineage.rs Cargo.toml
+
+tests/lineage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

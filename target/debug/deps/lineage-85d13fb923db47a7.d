@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lineage-85d13fb923db47a7.d: tests/lineage.rs
+
+/root/repo/target/debug/deps/lineage-85d13fb923db47a7: tests/lineage.rs
+
+tests/lineage.rs:

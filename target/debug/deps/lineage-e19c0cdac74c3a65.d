@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lineage-e19c0cdac74c3a65.d: tests/lineage.rs
+
+/root/repo/target/debug/deps/lineage-e19c0cdac74c3a65: tests/lineage.rs
+
+tests/lineage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream-02b0d54406cc4af0.d: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libmegastream-02b0d54406cc4af0.rmeta: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/application.rs:
+crates/core/src/controller.rs:
+crates/core/src/flowstream.rs:
+crates/core/src/hierarchy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/megastream-63fd50205335add5.d: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libmegastream-63fd50205335add5.rlib: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libmegastream-63fd50205335add5.rmeta: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/application.rs:
+crates/core/src/controller.rs:
+crates/core/src/flowstream.rs:
+crates/core/src/hierarchy.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/megastream-6caedb6afdd77091.d: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream-6caedb6afdd77091.rmeta: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/application.rs:
+crates/core/src/controller.rs:
+crates/core/src/flowstream.rs:
+crates/core/src/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream-80a1f0fd96a1b490.d: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libmegastream-80a1f0fd96a1b490.rmeta: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/application.rs:
+crates/core/src/controller.rs:
+crates/core/src/flowstream.rs:
+crates/core/src/hierarchy.rs:

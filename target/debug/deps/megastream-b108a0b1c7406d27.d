@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream-b108a0b1c7406d27.d: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+/root/repo/target/debug/deps/megastream-b108a0b1c7406d27: crates/core/src/lib.rs crates/core/src/application.rs crates/core/src/controller.rs crates/core/src/flowstream.rs crates/core/src/hierarchy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/application.rs:
+crates/core/src/controller.rs:
+crates/core/src/flowstream.rs:
+crates/core/src/hierarchy.rs:

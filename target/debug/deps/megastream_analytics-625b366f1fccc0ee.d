@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/megastream_analytics-625b366f1fccc0ee.d: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/debug/deps/libmegastream_analytics-625b366f1fccc0ee.rmeta: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/inference.rs:
+crates/analytics/src/pipeline.rs:
+crates/analytics/src/transfer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/megastream_analytics-896732d105a4b129.d: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/debug/deps/megastream_analytics-896732d105a4b129: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/inference.rs:
+crates/analytics/src/pipeline.rs:
+crates/analytics/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/megastream_analytics-9c0c932c3652a037.d: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/debug/deps/libmegastream_analytics-9c0c932c3652a037.rlib: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/debug/deps/libmegastream_analytics-9c0c932c3652a037.rmeta: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/inference.rs:
+crates/analytics/src/pipeline.rs:
+crates/analytics/src/transfer.rs:

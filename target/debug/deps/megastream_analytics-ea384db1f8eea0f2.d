@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/megastream_analytics-ea384db1f8eea0f2.d: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/debug/deps/libmegastream_analytics-ea384db1f8eea0f2.rmeta: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/inference.rs:
+crates/analytics/src/pipeline.rs:
+crates/analytics/src/transfer.rs:

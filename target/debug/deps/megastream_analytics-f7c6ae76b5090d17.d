@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/megastream_analytics-f7c6ae76b5090d17.d: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_analytics-f7c6ae76b5090d17.rmeta: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs Cargo.toml
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/inference.rs:
+crates/analytics/src/pipeline.rs:
+crates/analytics/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

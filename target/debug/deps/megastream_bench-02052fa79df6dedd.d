@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_bench-02052fa79df6dedd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/megastream_bench-02052fa79df6dedd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

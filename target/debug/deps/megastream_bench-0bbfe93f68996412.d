@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_bench-0bbfe93f68996412.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_bench-0bbfe93f68996412.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

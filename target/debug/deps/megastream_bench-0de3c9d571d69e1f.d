@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_bench-0de3c9d571d69e1f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-0de3c9d571d69e1f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/megastream_bench-450f80d48c1a5938.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-450f80d48c1a5938.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-450f80d48c1a5938.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

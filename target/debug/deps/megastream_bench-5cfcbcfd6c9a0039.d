@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/megastream_bench-5cfcbcfd6c9a0039.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-5cfcbcfd6c9a0039.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-5cfcbcfd6c9a0039.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

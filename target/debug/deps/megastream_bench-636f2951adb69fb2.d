@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/megastream_bench-636f2951adb69fb2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-636f2951adb69fb2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-636f2951adb69fb2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

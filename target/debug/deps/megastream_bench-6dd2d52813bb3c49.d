@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_bench-6dd2d52813bb3c49.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/megastream_bench-6dd2d52813bb3c49: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

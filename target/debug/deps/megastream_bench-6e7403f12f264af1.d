@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_bench-6e7403f12f264af1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_bench-6e7403f12f264af1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_bench-bc16b606cc5abd7d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/megastream_bench-bc16b606cc5abd7d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

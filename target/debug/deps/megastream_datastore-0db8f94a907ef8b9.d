@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/megastream_datastore-0db8f94a907ef8b9.d: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/debug/deps/libmegastream_datastore-0db8f94a907ef8b9.rmeta: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+crates/datastore/src/lib.rs:
+crates/datastore/src/aggregator.rs:
+crates/datastore/src/storage.rs:
+crates/datastore/src/store.rs:
+crates/datastore/src/summary.rs:
+crates/datastore/src/trigger.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/megastream_datastore-8a9d0ec11fb6ae29.d: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_datastore-8a9d0ec11fb6ae29.rmeta: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs Cargo.toml
+
+crates/datastore/src/lib.rs:
+crates/datastore/src/aggregator.rs:
+crates/datastore/src/storage.rs:
+crates/datastore/src/store.rs:
+crates/datastore/src/summary.rs:
+crates/datastore/src/trigger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/megastream_datastore-f29af2b96cbf4210.d: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/debug/deps/libmegastream_datastore-f29af2b96cbf4210.rlib: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/debug/deps/libmegastream_datastore-f29af2b96cbf4210.rmeta: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+crates/datastore/src/lib.rs:
+crates/datastore/src/aggregator.rs:
+crates/datastore/src/storage.rs:
+crates/datastore/src/store.rs:
+crates/datastore/src/summary.rs:
+crates/datastore/src/trigger.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/megastream_flow-411a1684e53f60f4.d: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+/root/repo/target/debug/deps/libmegastream_flow-411a1684e53f60f4.rlib: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+/root/repo/target/debug/deps/libmegastream_flow-411a1684e53f60f4.rmeta: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/addr.rs:
+crates/flow/src/key.rs:
+crates/flow/src/mask.rs:
+crates/flow/src/record.rs:
+crates/flow/src/score.rs:
+crates/flow/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/megastream_flow-432da2e1092f9ff6.d: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_flow-432da2e1092f9ff6.rmeta: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/addr.rs:
+crates/flow/src/key.rs:
+crates/flow/src/mask.rs:
+crates/flow/src/record.rs:
+crates/flow/src/score.rs:
+crates/flow/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/megastream_flow-cf01c246bfb638f9.d: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_flow-cf01c246bfb638f9.rmeta: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/addr.rs:
+crates/flow/src/key.rs:
+crates/flow/src/mask.rs:
+crates/flow/src/record.rs:
+crates/flow/src/score.rs:
+crates/flow/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/megastream_flow-efcc530862e914b7.d: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+/root/repo/target/debug/deps/megastream_flow-efcc530862e914b7: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/addr.rs:
+crates/flow/src/key.rs:
+crates/flow/src/mask.rs:
+crates/flow/src/record.rs:
+crates/flow/src/score.rs:
+crates/flow/src/time.rs:

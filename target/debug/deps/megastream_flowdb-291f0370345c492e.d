@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/megastream_flowdb-291f0370345c492e.d: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+/root/repo/target/debug/deps/libmegastream_flowdb-291f0370345c492e.rlib: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+/root/repo/target/debug/deps/libmegastream_flowdb-291f0370345c492e.rmeta: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+crates/flowdb/src/lib.rs:
+crates/flowdb/src/ast.rs:
+crates/flowdb/src/db.rs:
+crates/flowdb/src/exec.rs:
+crates/flowdb/src/lexer.rs:
+crates/flowdb/src/parser.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/megastream_flowdb-89cc4c3f283db8aa.d: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_flowdb-89cc4c3f283db8aa.rmeta: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs Cargo.toml
+
+crates/flowdb/src/lib.rs:
+crates/flowdb/src/ast.rs:
+crates/flowdb/src/db.rs:
+crates/flowdb/src/exec.rs:
+crates/flowdb/src/lexer.rs:
+crates/flowdb/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_flowtree-492d72d584c7278b.d: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/debug/deps/libmegastream_flowtree-492d72d584c7278b.rmeta: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+crates/flowtree/src/lib.rs:
+crates/flowtree/src/builder.rs:
+crates/flowtree/src/ops.rs:
+crates/flowtree/src/query.rs:
+crates/flowtree/src/tree.rs:

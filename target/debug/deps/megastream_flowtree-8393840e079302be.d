@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/megastream_flowtree-8393840e079302be.d: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_flowtree-8393840e079302be.rmeta: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs Cargo.toml
+
+crates/flowtree/src/lib.rs:
+crates/flowtree/src/builder.rs:
+crates/flowtree/src/ops.rs:
+crates/flowtree/src/query.rs:
+crates/flowtree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/megastream_flowtree-8c0915f2a3cde4ef.d: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/debug/deps/libmegastream_flowtree-8c0915f2a3cde4ef.rlib: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/debug/deps/libmegastream_flowtree-8c0915f2a3cde4ef.rmeta: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+crates/flowtree/src/lib.rs:
+crates/flowtree/src/builder.rs:
+crates/flowtree/src/ops.rs:
+crates/flowtree/src/query.rs:
+crates/flowtree/src/tree.rs:

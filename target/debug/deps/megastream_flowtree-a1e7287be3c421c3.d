@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_flowtree-a1e7287be3c421c3.d: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/debug/deps/libmegastream_flowtree-a1e7287be3c421c3.rmeta: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+crates/flowtree/src/lib.rs:
+crates/flowtree/src/builder.rs:
+crates/flowtree/src/ops.rs:
+crates/flowtree/src/query.rs:
+crates/flowtree/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_flowtree-d9691e7d6bf8a9ec.d: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/debug/deps/megastream_flowtree-d9691e7d6bf8a9ec: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+crates/flowtree/src/lib.rs:
+crates/flowtree/src/builder.rs:
+crates/flowtree/src/ops.rs:
+crates/flowtree/src/query.rs:
+crates/flowtree/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/megastream_manager-39542483288e5c14.d: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/debug/deps/megastream_manager-39542483288e5c14: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+crates/manager/src/lib.rs:
+crates/manager/src/manager.rs:
+crates/manager/src/placement.rs:
+crates/manager/src/replication_ctl.rs:
+crates/manager/src/requirements.rs:
+crates/manager/src/resources.rs:

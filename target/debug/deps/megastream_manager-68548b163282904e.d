@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/megastream_manager-68548b163282904e.d: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/debug/deps/libmegastream_manager-68548b163282904e.rlib: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/debug/deps/libmegastream_manager-68548b163282904e.rmeta: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+crates/manager/src/lib.rs:
+crates/manager/src/manager.rs:
+crates/manager/src/placement.rs:
+crates/manager/src/replication_ctl.rs:
+crates/manager/src/requirements.rs:
+crates/manager/src/resources.rs:

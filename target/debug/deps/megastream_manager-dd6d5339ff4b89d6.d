@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/megastream_manager-dd6d5339ff4b89d6.d: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/debug/deps/libmegastream_manager-dd6d5339ff4b89d6.rlib: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/debug/deps/libmegastream_manager-dd6d5339ff4b89d6.rmeta: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+crates/manager/src/lib.rs:
+crates/manager/src/manager.rs:
+crates/manager/src/placement.rs:
+crates/manager/src/replication_ctl.rs:
+crates/manager/src/requirements.rs:
+crates/manager/src/resources.rs:

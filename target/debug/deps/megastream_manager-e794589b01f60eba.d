@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/megastream_manager-e794589b01f60eba.d: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/debug/deps/megastream_manager-e794589b01f60eba: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+crates/manager/src/lib.rs:
+crates/manager/src/manager.rs:
+crates/manager/src/placement.rs:
+crates/manager/src/replication_ctl.rs:
+crates/manager/src/requirements.rs:
+crates/manager/src/resources.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/megastream_netsim-0640dd4293979641.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_netsim-0640dd4293979641.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/hierarchy.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_netsim-4fb0b9641c22ab40.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/megastream_netsim-4fb0b9641c22ab40: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/hierarchy.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_netsim-5806d785fe387bcc.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmegastream_netsim-5806d785fe387bcc.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/hierarchy.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/megastream_netsim-f7c26cf1461b6aa9.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmegastream_netsim-f7c26cf1461b6aa9.rlib: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmegastream_netsim-f7c26cf1461b6aa9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/hierarchy.rs:
+crates/netsim/src/topology.rs:

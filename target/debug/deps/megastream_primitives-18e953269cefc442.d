@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/megastream_primitives-18e953269cefc442.d: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_primitives-18e953269cefc442.rmeta: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs Cargo.toml
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/adaptive.rs:
+crates/primitives/src/aggregator.rs:
+crates/primitives/src/cms.rs:
+crates/primitives/src/exact.rs:
+crates/primitives/src/reservoir.rs:
+crates/primitives/src/sampling.rs:
+crates/primitives/src/spacesaving.rs:
+crates/primitives/src/timebin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/megastream_primitives-5191d8bc5fe5e6fe.d: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+/root/repo/target/debug/deps/megastream_primitives-5191d8bc5fe5e6fe: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/adaptive.rs:
+crates/primitives/src/aggregator.rs:
+crates/primitives/src/cms.rs:
+crates/primitives/src/exact.rs:
+crates/primitives/src/reservoir.rs:
+crates/primitives/src/sampling.rs:
+crates/primitives/src/spacesaving.rs:
+crates/primitives/src/timebin.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/megastream_primitives-d22e74c64a8c52d8.d: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+/root/repo/target/debug/deps/libmegastream_primitives-d22e74c64a8c52d8.rmeta: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/adaptive.rs:
+crates/primitives/src/aggregator.rs:
+crates/primitives/src/cms.rs:
+crates/primitives/src/exact.rs:
+crates/primitives/src/reservoir.rs:
+crates/primitives/src/sampling.rs:
+crates/primitives/src/spacesaving.rs:
+crates/primitives/src/timebin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_replication-00ff2c4a1a3f1082.d: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/debug/deps/megastream_replication-00ff2c4a1a3f1082: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/policy.rs:
+crates/replication/src/simulator.rs:
+crates/replication/src/skirental.rs:
+crates/replication/src/tracker.rs:

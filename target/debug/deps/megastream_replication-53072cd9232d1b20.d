@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/megastream_replication-53072cd9232d1b20.d: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/debug/deps/libmegastream_replication-53072cd9232d1b20.rlib: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/debug/deps/libmegastream_replication-53072cd9232d1b20.rmeta: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/policy.rs:
+crates/replication/src/simulator.rs:
+crates/replication/src/skirental.rs:
+crates/replication/src/tracker.rs:

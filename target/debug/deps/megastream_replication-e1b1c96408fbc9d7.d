@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_replication-e1b1c96408fbc9d7.d: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/debug/deps/libmegastream_replication-e1b1c96408fbc9d7.rmeta: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/policy.rs:
+crates/replication/src/simulator.rs:
+crates/replication/src/skirental.rs:
+crates/replication/src/tracker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_suite-0b4435c4f42a444a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_suite-0b4435c4f42a444a.rmeta: src/lib.rs
+
+src/lib.rs:

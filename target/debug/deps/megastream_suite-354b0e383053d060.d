@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/megastream_suite-354b0e383053d060.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_suite-354b0e383053d060.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_suite-354b0e383053d060.rmeta: src/lib.rs
+
+src/lib.rs:

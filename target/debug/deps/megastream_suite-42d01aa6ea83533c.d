@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_suite-42d01aa6ea83533c.d: src/lib.rs
+
+/root/repo/target/debug/deps/megastream_suite-42d01aa6ea83533c: src/lib.rs
+
+src/lib.rs:

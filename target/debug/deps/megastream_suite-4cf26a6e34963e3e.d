@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/megastream_suite-4cf26a6e34963e3e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_suite-4cf26a6e34963e3e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmegastream_suite-4cf26a6e34963e3e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_suite-b0d8d8a0f23d4f4c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmegastream_suite-b0d8d8a0f23d4f4c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/megastream_suite-c3cf9290d6f26060.d: src/lib.rs
+
+/root/repo/target/debug/deps/megastream_suite-c3cf9290d6f26060: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_telemetry-01b73e3c6dac11ed.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmegastream_telemetry-01b73e3c6dac11ed.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_telemetry-31980c3b02e9c23c.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmegastream_telemetry-31980c3b02e9c23c.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:

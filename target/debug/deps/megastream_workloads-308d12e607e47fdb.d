@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_workloads-308d12e607e47fdb.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/debug/deps/libmegastream_workloads-308d12e607e47fdb.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/factory.rs:
+crates/workloads/src/netflow.rs:
+crates/workloads/src/querytrace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/megastream_workloads-30d9e6883f9ff3ab.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/debug/deps/libmegastream_workloads-30d9e6883f9ff3ab.rlib: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/debug/deps/libmegastream_workloads-30d9e6883f9ff3ab.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/factory.rs:
+crates/workloads/src/netflow.rs:
+crates/workloads/src/querytrace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_workloads-34cd082b99c8f2e9.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/debug/deps/libmegastream_workloads-34cd082b99c8f2e9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/factory.rs:
+crates/workloads/src/netflow.rs:
+crates/workloads/src/querytrace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/megastream_workloads-d74b0b4cdd17a0d8.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/debug/deps/megastream_workloads-d74b0b4cdd17a0d8: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/factory.rs:
+crates/workloads/src/netflow.rs:
+crates/workloads/src/querytrace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1cee4659af87280f.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1cee4659af87280f.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

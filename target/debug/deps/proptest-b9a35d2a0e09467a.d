@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b9a35d2a0e09467a.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b9a35d2a0e09467a.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-293764eb7c7ec375.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-293764eb7c7ec375.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_loop-4170ace054a37aac.d: tests/replication_loop.rs
+
+/root/repo/target/debug/deps/replication_loop-4170ace054a37aac: tests/replication_loop.rs
+
+tests/replication_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication_loop-b5c42044fb4e476c.d: tests/replication_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication_loop-b5c42044fb4e476c.rmeta: tests/replication_loop.rs Cargo.toml
+
+tests/replication_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_loop-efc842c6ca30f8dd.d: tests/replication_loop.rs
+
+/root/repo/target/debug/deps/replication_loop-efc842c6ca30f8dd: tests/replication_loop.rs
+
+tests/replication_loop.rs:

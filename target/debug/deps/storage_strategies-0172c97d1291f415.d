@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_strategies-0172c97d1291f415.d: tests/storage_strategies.rs
+
+/root/repo/target/debug/deps/storage_strategies-0172c97d1291f415: tests/storage_strategies.rs
+
+tests/storage_strategies.rs:

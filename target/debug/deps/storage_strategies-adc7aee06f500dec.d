@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_strategies-adc7aee06f500dec.d: tests/storage_strategies.rs
+
+/root/repo/target/debug/deps/storage_strategies-adc7aee06f500dec: tests/storage_strategies.rs
+
+tests/storage_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_strategies-cd09849288dbe021.d: tests/storage_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_strategies-cd09849288dbe021.rmeta: tests/storage_strategies.rs Cargo.toml
+
+tests/storage_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-a8e8df5affbc56da.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-a8e8df5affbc56da: tests/telemetry.rs
+
+tests/telemetry.rs:

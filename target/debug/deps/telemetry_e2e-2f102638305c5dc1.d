@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_e2e-2f102638305c5dc1.d: tests/telemetry_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_e2e-2f102638305c5dc1.rmeta: tests/telemetry_e2e.rs Cargo.toml
+
+tests/telemetry_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

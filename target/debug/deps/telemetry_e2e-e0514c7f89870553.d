@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_e2e-e0514c7f89870553.d: tests/telemetry_e2e.rs
+
+/root/repo/target/debug/deps/telemetry_e2e-e0514c7f89870553: tests/telemetry_e2e.rs
+
+tests/telemetry_e2e.rs:

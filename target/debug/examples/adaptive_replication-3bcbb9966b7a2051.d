@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_replication-3bcbb9966b7a2051.d: examples/adaptive_replication.rs
+
+/root/repo/target/debug/examples/adaptive_replication-3bcbb9966b7a2051: examples/adaptive_replication.rs
+
+examples/adaptive_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_replication-75f607d31094af04.d: examples/adaptive_replication.rs
+
+/root/repo/target/debug/examples/adaptive_replication-75f607d31094af04: examples/adaptive_replication.rs
+
+examples/adaptive_replication.rs:

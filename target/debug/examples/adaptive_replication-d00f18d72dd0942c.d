@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_replication-d00f18d72dd0942c.d: examples/adaptive_replication.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_replication-d00f18d72dd0942c.rmeta: examples/adaptive_replication.rs Cargo.toml
+
+examples/adaptive_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flowql_repl-30f1022830b74566.d: examples/flowql_repl.rs
+
+/root/repo/target/debug/examples/flowql_repl-30f1022830b74566: examples/flowql_repl.rs
+
+examples/flowql_repl.rs:

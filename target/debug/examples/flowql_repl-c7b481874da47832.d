@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flowql_repl-c7b481874da47832.d: examples/flowql_repl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflowql_repl-c7b481874da47832.rmeta: examples/flowql_repl.rs Cargo.toml
+
+examples/flowql_repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flowql_repl-e18e174b640e77a5.d: examples/flowql_repl.rs
+
+/root/repo/target/debug/examples/flowql_repl-e18e174b640e77a5: examples/flowql_repl.rs
+
+examples/flowql_repl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_monitoring-51d096d1adff7cd0.d: examples/network_monitoring.rs
+
+/root/repo/target/debug/examples/network_monitoring-51d096d1adff7cd0: examples/network_monitoring.rs
+
+examples/network_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_monitoring-7baebdf802ba3dc0.d: examples/network_monitoring.rs
+
+/root/repo/target/debug/examples/network_monitoring-7baebdf802ba3dc0: examples/network_monitoring.rs
+
+examples/network_monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_monitoring-a98e2a14e339e41f.d: examples/network_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_monitoring-a98e2a14e339e41f.rmeta: examples/network_monitoring.rs Cargo.toml
+
+examples/network_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

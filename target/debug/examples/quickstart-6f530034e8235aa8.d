@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6f530034e8235aa8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6f530034e8235aa8: examples/quickstart.rs
+
+examples/quickstart.rs:

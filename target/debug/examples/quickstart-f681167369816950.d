@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f681167369816950.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f681167369816950: examples/quickstart.rs
+
+examples/quickstart.rs:

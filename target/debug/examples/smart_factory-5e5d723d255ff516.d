@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_factory-5e5d723d255ff516.d: examples/smart_factory.rs
+
+/root/repo/target/debug/examples/smart_factory-5e5d723d255ff516: examples/smart_factory.rs
+
+examples/smart_factory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_factory-aec8eabbdbae83f6.d: examples/smart_factory.rs
+
+/root/repo/target/debug/examples/smart_factory-aec8eabbdbae83f6: examples/smart_factory.rs
+
+examples/smart_factory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_factory-fbc46beb75730e55.d: examples/smart_factory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_factory-fbc46beb75730e55.rmeta: examples/smart_factory.rs Cargo.toml
+
+examples/smart_factory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_telemetry_overhead-67e4197f84fa9c54.d: crates/bench/benches/e11_telemetry_overhead.rs
+
+/root/repo/target/release/deps/e11_telemetry_overhead-67e4197f84fa9c54: crates/bench/benches/e11_telemetry_overhead.rs
+
+crates/bench/benches/e11_telemetry_overhead.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/megastream_analytics-6f4ec0c975815edd.d: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/release/deps/libmegastream_analytics-6f4ec0c975815edd.rlib: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+/root/repo/target/release/deps/libmegastream_analytics-6f4ec0c975815edd.rmeta: crates/analytics/src/lib.rs crates/analytics/src/inference.rs crates/analytics/src/pipeline.rs crates/analytics/src/transfer.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/inference.rs:
+crates/analytics/src/pipeline.rs:
+crates/analytics/src/transfer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/megastream_bench-049c060c2767c903.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_bench-049c060c2767c903.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_bench-049c060c2767c903.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/megastream_bench-3f888b718971c2e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_bench-3f888b718971c2e9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_bench-3f888b718971c2e9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/megastream_datastore-94676bbc7cc8a9c0.d: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/release/deps/libmegastream_datastore-94676bbc7cc8a9c0.rlib: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/release/deps/libmegastream_datastore-94676bbc7cc8a9c0.rmeta: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+crates/datastore/src/lib.rs:
+crates/datastore/src/aggregator.rs:
+crates/datastore/src/storage.rs:
+crates/datastore/src/store.rs:
+crates/datastore/src/summary.rs:
+crates/datastore/src/trigger.rs:

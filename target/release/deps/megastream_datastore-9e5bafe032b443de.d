@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/megastream_datastore-9e5bafe032b443de.d: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/release/deps/libmegastream_datastore-9e5bafe032b443de.rlib: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+/root/repo/target/release/deps/libmegastream_datastore-9e5bafe032b443de.rmeta: crates/datastore/src/lib.rs crates/datastore/src/aggregator.rs crates/datastore/src/storage.rs crates/datastore/src/store.rs crates/datastore/src/summary.rs crates/datastore/src/trigger.rs
+
+crates/datastore/src/lib.rs:
+crates/datastore/src/aggregator.rs:
+crates/datastore/src/storage.rs:
+crates/datastore/src/store.rs:
+crates/datastore/src/summary.rs:
+crates/datastore/src/trigger.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/megastream_flow-ca99c2708fa55f1f.d: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+/root/repo/target/release/deps/libmegastream_flow-ca99c2708fa55f1f.rlib: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+/root/repo/target/release/deps/libmegastream_flow-ca99c2708fa55f1f.rmeta: crates/flow/src/lib.rs crates/flow/src/addr.rs crates/flow/src/key.rs crates/flow/src/mask.rs crates/flow/src/record.rs crates/flow/src/score.rs crates/flow/src/time.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/addr.rs:
+crates/flow/src/key.rs:
+crates/flow/src/mask.rs:
+crates/flow/src/record.rs:
+crates/flow/src/score.rs:
+crates/flow/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/megastream_flowdb-039e764bdc8b3bb4.d: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+/root/repo/target/release/deps/libmegastream_flowdb-039e764bdc8b3bb4.rlib: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+/root/repo/target/release/deps/libmegastream_flowdb-039e764bdc8b3bb4.rmeta: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+crates/flowdb/src/lib.rs:
+crates/flowdb/src/ast.rs:
+crates/flowdb/src/db.rs:
+crates/flowdb/src/exec.rs:
+crates/flowdb/src/lexer.rs:
+crates/flowdb/src/parser.rs:

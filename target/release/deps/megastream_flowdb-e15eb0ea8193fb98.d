@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/megastream_flowdb-e15eb0ea8193fb98.d: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+/root/repo/target/release/deps/libmegastream_flowdb-e15eb0ea8193fb98.rlib: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+/root/repo/target/release/deps/libmegastream_flowdb-e15eb0ea8193fb98.rmeta: crates/flowdb/src/lib.rs crates/flowdb/src/ast.rs crates/flowdb/src/db.rs crates/flowdb/src/exec.rs crates/flowdb/src/lexer.rs crates/flowdb/src/parser.rs
+
+crates/flowdb/src/lib.rs:
+crates/flowdb/src/ast.rs:
+crates/flowdb/src/db.rs:
+crates/flowdb/src/exec.rs:
+crates/flowdb/src/lexer.rs:
+crates/flowdb/src/parser.rs:

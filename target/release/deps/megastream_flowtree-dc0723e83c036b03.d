@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/megastream_flowtree-dc0723e83c036b03.d: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/release/deps/libmegastream_flowtree-dc0723e83c036b03.rlib: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+/root/repo/target/release/deps/libmegastream_flowtree-dc0723e83c036b03.rmeta: crates/flowtree/src/lib.rs crates/flowtree/src/builder.rs crates/flowtree/src/ops.rs crates/flowtree/src/query.rs crates/flowtree/src/tree.rs
+
+crates/flowtree/src/lib.rs:
+crates/flowtree/src/builder.rs:
+crates/flowtree/src/ops.rs:
+crates/flowtree/src/query.rs:
+crates/flowtree/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/megastream_manager-f6d2044c39a55aa7.d: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/release/deps/libmegastream_manager-f6d2044c39a55aa7.rlib: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+/root/repo/target/release/deps/libmegastream_manager-f6d2044c39a55aa7.rmeta: crates/manager/src/lib.rs crates/manager/src/manager.rs crates/manager/src/placement.rs crates/manager/src/replication_ctl.rs crates/manager/src/requirements.rs crates/manager/src/resources.rs
+
+crates/manager/src/lib.rs:
+crates/manager/src/manager.rs:
+crates/manager/src/placement.rs:
+crates/manager/src/replication_ctl.rs:
+crates/manager/src/requirements.rs:
+crates/manager/src/resources.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/megastream_netsim-6b20de438ab245a2.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libmegastream_netsim-6b20de438ab245a2.rlib: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libmegastream_netsim-6b20de438ab245a2.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/event.rs crates/netsim/src/hierarchy.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/hierarchy.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/megastream_primitives-a56f8d6b1e3d31d9.d: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+/root/repo/target/release/deps/libmegastream_primitives-a56f8d6b1e3d31d9.rlib: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+/root/repo/target/release/deps/libmegastream_primitives-a56f8d6b1e3d31d9.rmeta: crates/primitives/src/lib.rs crates/primitives/src/adaptive.rs crates/primitives/src/aggregator.rs crates/primitives/src/cms.rs crates/primitives/src/exact.rs crates/primitives/src/reservoir.rs crates/primitives/src/sampling.rs crates/primitives/src/spacesaving.rs crates/primitives/src/timebin.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/adaptive.rs:
+crates/primitives/src/aggregator.rs:
+crates/primitives/src/cms.rs:
+crates/primitives/src/exact.rs:
+crates/primitives/src/reservoir.rs:
+crates/primitives/src/sampling.rs:
+crates/primitives/src/spacesaving.rs:
+crates/primitives/src/timebin.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/megastream_replication-027b0452aa9d1da5.d: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/release/deps/libmegastream_replication-027b0452aa9d1da5.rlib: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/release/deps/libmegastream_replication-027b0452aa9d1da5.rmeta: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/policy.rs:
+crates/replication/src/simulator.rs:
+crates/replication/src/skirental.rs:
+crates/replication/src/tracker.rs:

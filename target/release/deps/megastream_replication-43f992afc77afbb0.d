@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/megastream_replication-43f992afc77afbb0.d: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/release/deps/libmegastream_replication-43f992afc77afbb0.rlib: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+/root/repo/target/release/deps/libmegastream_replication-43f992afc77afbb0.rmeta: crates/replication/src/lib.rs crates/replication/src/policy.rs crates/replication/src/simulator.rs crates/replication/src/skirental.rs crates/replication/src/tracker.rs
+
+crates/replication/src/lib.rs:
+crates/replication/src/policy.rs:
+crates/replication/src/simulator.rs:
+crates/replication/src/skirental.rs:
+crates/replication/src/tracker.rs:

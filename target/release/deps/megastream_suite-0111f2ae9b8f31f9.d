@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/megastream_suite-0111f2ae9b8f31f9.d: src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_suite-0111f2ae9b8f31f9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_suite-0111f2ae9b8f31f9.rmeta: src/lib.rs
+
+src/lib.rs:

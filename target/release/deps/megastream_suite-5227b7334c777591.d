@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/megastream_suite-5227b7334c777591.d: src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_suite-5227b7334c777591.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmegastream_suite-5227b7334c777591.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/megastream_workloads-4f374601829810da.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/release/deps/libmegastream_workloads-4f374601829810da.rlib: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+/root/repo/target/release/deps/libmegastream_workloads-4f374601829810da.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/factory.rs crates/workloads/src/netflow.rs crates/workloads/src/querytrace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/factory.rs:
+crates/workloads/src/netflow.rs:
+crates/workloads/src/querytrace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2ed0f0d2fbb1f97a.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2ed0f0d2fbb1f97a.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2ed0f0d2fbb1f97a.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_replication-bfd89a3da64068eb.d: examples/adaptive_replication.rs
+
+/root/repo/target/release/examples/adaptive_replication-bfd89a3da64068eb: examples/adaptive_replication.rs
+
+examples/adaptive_replication.rs:

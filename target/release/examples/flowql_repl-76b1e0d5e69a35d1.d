@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flowql_repl-76b1e0d5e69a35d1.d: examples/flowql_repl.rs
+
+/root/repo/target/release/examples/flowql_repl-76b1e0d5e69a35d1: examples/flowql_repl.rs
+
+examples/flowql_repl.rs:

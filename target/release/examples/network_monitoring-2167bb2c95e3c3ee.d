@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/network_monitoring-2167bb2c95e3c3ee.d: examples/network_monitoring.rs
+
+/root/repo/target/release/examples/network_monitoring-2167bb2c95e3c3ee: examples/network_monitoring.rs
+
+examples/network_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-de16937cbf280936.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-de16937cbf280936: examples/quickstart.rs
+
+examples/quickstart.rs:

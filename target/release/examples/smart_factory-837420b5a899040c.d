@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_factory-837420b5a899040c.d: examples/smart_factory.rs
+
+/root/repo/target/release/examples/smart_factory-837420b5a899040c: examples/smart_factory.rs
+
+examples/smart_factory.rs:

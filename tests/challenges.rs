@@ -55,7 +55,9 @@ fn c1_raw_camera_feed_overwhelms_wan() {
 fn c2_many_streams_one_store() {
     let mut store = DataStore::new(
         "line-0",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     store.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
@@ -76,7 +78,9 @@ fn c2_many_streams_one_store() {
 fn c3_aggregation_reduces_rate() {
     let mut store = DataStore::new(
         "router-store",
-        StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 8 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     store.install_aggregator(AggregatorSpec::Flowtree(
@@ -105,7 +109,9 @@ fn c3_aggregation_reduces_rate() {
 fn c4_local_decision_is_synchronous() {
     let mut store = DataStore::new(
         "machine-0",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     store.install_trigger(
@@ -129,7 +135,9 @@ fn c4_local_decision_is_synchronous() {
 fn c5_heterogeneous_streams_one_store() {
     let mut store = DataStore::new(
         "edge",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     store.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
@@ -137,13 +145,21 @@ fn c5_heterogeneous_streams_one_store() {
         width: TimeDelta::from_secs(1),
         seed: 1,
     });
-    store.ingest_flow(&"flows".into(), &rec("10.0.0.1", "1.1.1.1", 9), Timestamp::ZERO);
+    store.ingest_flow(
+        &"flows".into(),
+        &rec("10.0.0.1", "1.1.1.1", 9),
+        Timestamp::ZERO,
+    );
     store.ingest_scalar(&"temp".into(), 61.5, Timestamp::ZERO);
     let exported = store.rotate_epoch(Timestamp::from_secs(60));
     let kinds: Vec<&str> = exported.iter().map(|s| s.summary.kind()).collect();
     assert!(kinds.contains(&"flowtree"));
     assert!(kinds.contains(&"bins"));
-    match exported.iter().find(|s| s.summary.kind() == "bins").map(|s| &s.summary) {
+    match exported
+        .iter()
+        .find(|s| s.summary.kind() == "bins")
+        .map(|s| &s.summary)
+    {
         Some(Summary::Bins(b)) => assert_eq!(b.aggregate(s_window()).count(), 1),
         _ => panic!("bins summary missing"),
     }
@@ -188,7 +204,9 @@ fn c7_hierarchy_pushes_summaries_up() {
     let mk = |name: &str, epoch: u64| {
         let mut s = DataStore::new(
             name,
-            StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+            StorageStrategy::RoundRobin {
+                budget_bytes: 1 << 20,
+            },
             TimeDelta::from_secs(epoch),
         );
         s.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
@@ -197,7 +215,12 @@ fn c7_hierarchy_pushes_summaries_up() {
     let root = h.add_root(mk("factory", 120), top);
     let line = h.add_child(mk("line", 60), mid, root);
     let machine = h.add_child(mk("machine", 30), leaf, line);
-    h.ingest_flow(machine, &"s".into(), &rec("10.0.0.1", "1.1.1.1", 7), Timestamp::from_secs(1));
+    h.ingest_flow(
+        machine,
+        &"s".into(),
+        &rec("10.0.0.1", "1.1.1.1", 7),
+        Timestamp::from_secs(1),
+    );
     h.pump(Timestamp::from_secs(30));
     h.pump(Timestamp::from_secs(60));
     h.pump(Timestamp::from_secs(120));
@@ -269,7 +292,9 @@ fn c9_a_priori_unknown_queries() {
         "SELECT ABOVE 100 FROM [60, 120) WHERE proto = 6 AND location = \"region-0\"",
         "SELECT DRILLDOWN FROM ALL WHERE src_ip = 10.0.0.0/8 AND location = \"region-0\"",
     ] {
-        let result = fs.query(q).unwrap_or_else(|e| panic!("query {q:?} failed: {e}"));
+        let result = fs
+            .query(q)
+            .unwrap_or_else(|e| panic!("query {q:?} failed: {e}"));
         assert!(!result.op.is_empty());
     }
 }

@@ -3,7 +3,6 @@
 
 use megastream_datastore::{DataStore, StorageStrategy};
 use megastream_flow::key::FlowKey;
-use megastream_flow::record::FlowRecord;
 use megastream_flow::time::{TimeDelta, Timestamp};
 use megastream_manager::requirements::{AggregationFormat, AppRequirement};
 use megastream_manager::Manager;
@@ -29,7 +28,9 @@ fn manager_holds_budget_through_rate_surge() {
     mgr.register_requirement(requirement("edge", AggregationFormat::Flowtree, 1.0));
     let mut store = DataStore::new(
         "edge",
-        StorageStrategy::RoundRobin { budget_bytes: 64 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 64 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     assert_eq!(mgr.plan_and_install(&mut [&mut store]), 1);
@@ -48,9 +49,7 @@ fn manager_holds_budget_through_rate_surge() {
             ..Default::default()
         });
         for rec in trace {
-            let ts = Timestamp::from_micros(
-                phase * 300_000_000 + rec.ts.as_micros(),
-            );
+            let ts = Timestamp::from_micros(phase * 300_000_000 + rec.ts.as_micros());
             let mut shifted = rec;
             shifted.ts = ts;
             store.ingest_flow(&"r0".into(), &shifted, ts);
@@ -74,13 +73,18 @@ fn manager_holds_budget_through_rate_surge() {
     );
     // The data kept flowing: the store still answers queries.
     assert!(store.stats().flows > 0);
-    assert!(store.flow_score(
-        &FlowKey::root(),
-        megastream_flow::time::TimeWindow::starting_at(
-            Timestamp::ZERO,
-            TimeDelta::from_secs(900)
-        )
-    ).value() > 0);
+    assert!(
+        store
+            .flow_score(
+                &FlowKey::root(),
+                megastream_flow::time::TimeWindow::starting_at(
+                    Timestamp::ZERO,
+                    TimeDelta::from_secs(900)
+                )
+            )
+            .value()
+            > 0
+    );
 }
 
 /// Decision (b)/(c): a new application requirement triggers new installs
@@ -91,12 +95,16 @@ fn requirement_changes_reconfigure_stores() {
     let mut mgr = Manager::new(ReplicationPolicy::Never);
     let mut edge = DataStore::new(
         "edge",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     let mut core = DataStore::new(
         "core",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     mgr.register_requirement(requirement("edge", AggregationFormat::Flowtree, 0.5));
@@ -127,7 +135,9 @@ fn overload_visibility() {
     mgr.register_requirement(requirement("s", AggregationFormat::Flowtree, 1.0));
     let mut store = DataStore::new(
         "s",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(60),
     );
     mgr.plan_and_install(&mut [&mut store]);

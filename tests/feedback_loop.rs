@@ -14,7 +14,9 @@ use megastream_flow::time::{TimeDelta, Timestamp};
 fn fast_loop_actuates_within_machine_budget() {
     let mut store = DataStore::new(
         "machine-0",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     let trigger = store.install_trigger(
@@ -27,7 +29,12 @@ fn fast_loop_actuates_within_machine_budget() {
     );
     let mut controller = Controller::new("machine-0", SafetyEnvelope::default());
     controller
-        .install_rule("safety", trigger, ControlAction::SlowDown { factor: 0.5 }, 9)
+        .install_rule(
+            "safety",
+            trigger,
+            ControlAction::SlowDown { factor: 0.5 },
+            9,
+        )
         .unwrap();
 
     let sensed_at = Timestamp::from_micros(123_456);
@@ -47,7 +54,9 @@ fn fast_loop_actuates_within_machine_budget() {
 fn adaptive_loop_updates_the_fast_path() {
     let mut store = DataStore::new(
         "machine-3",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(30),
     );
     let agg = store.install_aggregator(AggregatorSpec::TimeBins {
@@ -65,16 +74,16 @@ fn adaptive_loop_updates_the_fast_path() {
         for s in 0..30u64 {
             let t = epoch * 30 + s;
             now = Timestamp::from_secs(t);
-            store.ingest_scalar(
-                &"machine-3/temperature".into(),
-                60.0 + 0.05 * t as f64,
-                now,
-            );
+            store.ingest_scalar(&"machine-3/temperature".into(), 60.0 + 0.05 * t as f64, now);
         }
         let exported = store.rotate_epoch(Timestamp::from_secs((epoch + 1) * 30));
         for summary in exported {
             for directive in app.on_summary(&summary, now) {
-                if let AppDirective::RequestTrigger { condition, cooldown } = directive {
+                if let AppDirective::RequestTrigger {
+                    condition,
+                    cooldown,
+                } = directive
+                {
                     // The application reconfigures the fast path.
                     installed_trigger =
                         Some(store.install_trigger(app.name(), condition, cooldown));
@@ -104,7 +113,9 @@ fn adaptive_loop_updates_the_fast_path() {
 fn loop_with_conflicting_applications() {
     let mut store = DataStore::new(
         "m",
-        StorageStrategy::RoundRobin { budget_bytes: 1 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 1 << 20,
+        },
         TimeDelta::from_secs(10),
     );
     let trigger = store.install_trigger(
@@ -117,10 +128,22 @@ fn loop_with_conflicting_applications() {
     );
     let mut controller = Controller::new("m", SafetyEnvelope::default());
     controller
-        .install_rule("optimizer", trigger, ControlAction::Alert { message: "check".into() }, 1)
+        .install_rule(
+            "optimizer",
+            trigger,
+            ControlAction::Alert {
+                message: "check".into(),
+            },
+            1,
+        )
         .unwrap();
     controller
-        .install_rule("maintenance", trigger, ControlAction::SlowDown { factor: 0.6 }, 5)
+        .install_rule(
+            "maintenance",
+            trigger,
+            ControlAction::SlowDown { factor: 0.6 },
+            5,
+        )
         .unwrap();
     // A same-priority contradictory rule is rejected at install time.
     assert!(controller

@@ -29,7 +29,9 @@ fn region_totals_are_exact() {
     let mut sum = 0;
     for g in 0..2 {
         sum += fs
-            .query(&format!("SELECT QUERY FROM ALL WHERE location = \"region-{g}\""))
+            .query(&format!(
+                "SELECT QUERY FROM ALL WHERE location = \"region-{g}\""
+            ))
             .unwrap()
             .rows[0]
             .score;
@@ -45,10 +47,14 @@ fn prefix_queries_close_to_exact_under_compression() {
     for r in &trace {
         exact.observe(r);
     }
-    let mut fs = Flowstream::new(1, 2, FlowstreamConfig {
-        tree_capacity: 2048, // tight enough that compression is active
-        ..Default::default()
-    });
+    let mut fs = Flowstream::new(
+        1,
+        2,
+        FlowstreamConfig {
+            tree_capacity: 2048, // tight enough that compression is active
+            ..Default::default()
+        },
+    );
     for r in &trace {
         fs.ingest_round_robin(r);
     }
@@ -58,8 +64,7 @@ fn prefix_queries_close_to_exact_under_compression() {
     // traffic the heavy prefixes stay accurate.
     let mut checked = 0;
     for octet in 1..=255u8 {
-        let prefix: megastream_flow::addr::Prefix =
-            format!("{octet}.0.0.0/8").parse().unwrap();
+        let prefix: megastream_flow::addr::Prefix = format!("{octet}.0.0.0/8").parse().unwrap();
         let truth = exact
             .query(&FlowKey::root().with_src_prefix(prefix))
             .value();
@@ -93,10 +98,14 @@ fn top_k_recall_against_exact() {
     for r in &trace {
         exact.observe(r);
     }
-    let mut fs = Flowstream::new(1, 1, FlowstreamConfig {
-        tree_capacity: 2048,
-        ..Default::default()
-    });
+    let mut fs = Flowstream::new(
+        1,
+        1,
+        FlowstreamConfig {
+            tree_capacity: 2048,
+            ..Default::default()
+        },
+    );
     for r in &trace {
         fs.ingest(0, 0, r);
     }
@@ -139,7 +148,9 @@ fn e10_sampling_preserves_heavy_hitter_shape() {
     let mut best: (u8, u64) = (0, 0);
     for octet in 1..=255u8 {
         let p: megastream_flow::addr::Prefix = format!("{octet}.0.0.0/8").parse().unwrap();
-        let t = exact_full.query(&FlowKey::root().with_src_prefix(p)).value();
+        let t = exact_full
+            .query(&FlowKey::root().with_src_prefix(p))
+            .value();
         if t > best.1 {
             best = (octet, t);
         }

@@ -20,7 +20,9 @@ fn rec(src: &str, packets: u64) -> FlowRecord {
 fn flow_store(name: &str, epoch_secs: u64) -> DataStore {
     let mut s = DataStore::new(
         name,
-        StorageStrategy::RoundRobin { budget_bytes: 4 << 20 },
+        StorageStrategy::RoundRobin {
+            budget_bytes: 4 << 20,
+        },
         TimeDelta::from_secs(epoch_secs),
     );
     s.install_aggregator(AggregatorSpec::Flowtree(FlowtreeConfig::default()));
@@ -32,8 +34,16 @@ fn flow_store(name: &str, epoch_secs: u64) -> DataStore {
 #[test]
 fn leaf_summaries_carry_sources_and_snapshot() {
     let mut store = flow_store("router-store", 60);
-    store.ingest_flow(&"router-7".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(1));
-    store.ingest_flow(&"router-9".into(), &rec("10.0.0.2", 5), Timestamp::from_secs(2));
+    store.ingest_flow(
+        &"router-7".into(),
+        &rec("10.0.0.1", 5),
+        Timestamp::from_secs(1),
+    );
+    store.ingest_flow(
+        &"router-9".into(),
+        &rec("10.0.0.2", 5),
+        Timestamp::from_secs(2),
+    );
     let exported = store.rotate_epoch(Timestamp::from_secs(60));
     let lineage = &exported[0].lineage;
     assert_eq!(lineage.sources, vec!["router-7", "router-9"]);
@@ -50,7 +60,11 @@ fn leaf_summaries_carry_sources_and_snapshot() {
 fn s3_aggregation_extends_the_chain() {
     use megastream_datastore::storage::{StorageStrategy, SummaryStore};
     let mut small = flow_store("edge", 60);
-    small.ingest_flow(&"sensor-a".into(), &rec("10.0.0.1", 5), Timestamp::from_secs(1));
+    small.ingest_flow(
+        &"sensor-a".into(),
+        &rec("10.0.0.1", 5),
+        Timestamp::from_secs(1),
+    );
     let one = small.rotate_epoch(Timestamp::from_secs(60));
     let size = one[0].wire_size();
 
@@ -105,14 +119,21 @@ fn faulty_sensor_traceable_from_the_top() {
     let root = h.add_root(
         DataStore::new(
             "cloud",
-            StorageStrategy::RoundRobin { budget_bytes: 8 << 20 },
+            StorageStrategy::RoundRobin {
+                budget_bytes: 8 << 20,
+            },
             TimeDelta::from_secs(600),
         ),
         top,
     );
     let child = h.add_child(flow_store("edge", 60), leaf, root);
     // The "faulty" sensor emits an absurd packet count.
-    h.ingest_flow(child, &"sensor-broken".into(), &rec("10.0.0.1", 1 << 40), Timestamp::from_secs(5));
+    h.ingest_flow(
+        child,
+        &"sensor-broken".into(),
+        &rec("10.0.0.1", 1 << 40),
+        Timestamp::from_secs(5),
+    );
     h.pump(Timestamp::from_secs(60));
 
     // At the top, find the suspicious summary and walk its lineage back.
@@ -134,8 +155,5 @@ fn faulty_sensor_traceable_from_the_top() {
         .map(|t| t.location.as_str())
         .collect();
     assert_eq!(locations, vec!["edge", "cloud"]);
-    assert_eq!(
-        suspicious.lineage.transforms.last().unwrap().op,
-        "import"
-    );
+    assert_eq!(suspicious.lineage.transforms.last().unwrap().op, "import");
 }

@@ -55,7 +55,9 @@ const FLOWS_PER_EPOCH: u32 = 400;
 fn s2_loses_history_s3_keeps_it_coarser() {
     let budget = epoch_summary(0, FLOWS_PER_EPOCH).wire_size() * 4;
     let mut s2 = SummaryStore::new(
-        StorageStrategy::RoundRobin { budget_bytes: budget },
+        StorageStrategy::RoundRobin {
+            budget_bytes: budget,
+        },
         "edge",
     );
     let mut s3 = SummaryStore::new(
@@ -130,7 +132,10 @@ fn s3_detail_degrades_with_age() {
     assert!(max_level >= 2, "levels: {levels:?}");
     assert!(levels.iter().any(|(l, _)| *l == 0));
     // The highest-level summary covers the widest time span.
-    let widest = levels.iter().max_by_key(|(_, w)| w.len().as_micros()).unwrap();
+    let widest = levels
+        .iter()
+        .max_by_key(|(_, w)| w.len().as_micros())
+        .unwrap();
     assert_eq!(
         widest.0, max_level,
         "oldest data should be at the coarsest level"
@@ -148,7 +153,10 @@ fn s3_detail_degrades_with_age() {
             443,
         );
         let leaf_score = t.query(&leaf).value();
-        assert!(leaf_score <= 10 * (EPOCHS / 2), "leaf detail retained: {leaf_score}");
+        assert!(
+            leaf_score <= 10 * (EPOCHS / 2),
+            "leaf detail retained: {leaf_score}"
+        );
         assert!(t.total().value() >= FLOWS_PER_EPOCH as u64 * 10);
     } else {
         panic!("expected a flowtree summary");

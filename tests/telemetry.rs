@@ -1,0 +1,180 @@
+//! Unit-level behaviour of the `megastream-telemetry` crate: metric
+//! semantics, histogram bucket boundaries, thread-safety of the lock-free
+//! handles, and the JSON exporter round-trip (parsed back with the crate's
+//! own dependency-free JSON parser).
+
+use std::sync::Arc;
+use std::thread;
+
+use megastream_telemetry::json::Json;
+use megastream_telemetry::{labeled, Registry, Telemetry, LATENCY_MICROS_BOUNDS};
+
+#[test]
+fn counter_semantics() {
+    let tel = Telemetry::new();
+    let c = tel.counter("c");
+    assert_eq!(c.get(), 0);
+    c.inc();
+    c.add(41);
+    assert_eq!(c.get(), 42);
+    // Same name → same underlying counter.
+    assert_eq!(tel.counter("c").get(), 42);
+    assert_eq!(tel.snapshot().counter("c"), Some(42));
+}
+
+#[test]
+fn gauge_semantics() {
+    let tel = Telemetry::new();
+    let g = tel.gauge("g");
+    g.set(10);
+    g.add(5);
+    g.sub(20);
+    assert_eq!(g.get(), -5);
+    assert_eq!(tel.snapshot().gauge("g"), Some(-5));
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+    let tel = Telemetry::new();
+    let h = tel.histogram("h", &[10, 20, 50]);
+    // Exactly on a bound lands in that bound's bucket; past the last bound
+    // lands in the overflow bucket.
+    for v in [1, 10, 11, 20, 21, 50, 51, 1_000_000] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.bounds, vec![10, 20, 50]);
+    assert_eq!(s.counts, vec![2, 2, 2, 2]); // ≤10, ≤20, ≤50, overflow
+    assert_eq!(s.count, 8);
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, 1_000_000);
+    assert_eq!(s.sum, 1 + 10 + 11 + 20 + 21 + 50 + 51 + 1_000_000);
+    // Quantiles resolve to bucket upper bounds (max for overflow).
+    assert_eq!(s.quantile(0.25), 10);
+    assert_eq!(s.quantile(0.5), 20);
+    assert_eq!(s.quantile(1.0), 1_000_000);
+}
+
+#[test]
+fn histogram_bounds_fixed_by_first_registration() {
+    let tel = Telemetry::new();
+    tel.histogram("h", &[1, 2, 3]).record(2);
+    // Re-registering with different bounds returns the existing histogram.
+    let again = tel.histogram("h", LATENCY_MICROS_BOUNDS);
+    assert_eq!(again.snapshot().bounds, vec![1, 2, 3]);
+    assert_eq!(again.count(), 1);
+}
+
+#[test]
+fn concurrent_increments_lose_no_updates() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let tel = Telemetry::new();
+    let counter = tel.counter("hot");
+    let gauge = tel.gauge("depth");
+    let hist = tel.histogram("lat", &[8, 64, 512]);
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let hist = hist.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    hist.record((t as u64) * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(gauge.get(), (THREADS as u64 * PER_THREAD) as i64);
+    let s = hist.snapshot();
+    assert_eq!(s.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(s.counts.iter().sum::<u64>(), s.count);
+    assert_eq!(s.min, 0);
+    assert_eq!(s.max, THREADS as u64 * PER_THREAD - 1);
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric() {
+    let registry = Arc::new(Registry::new());
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let reg = Arc::clone(&registry);
+            s.spawn(move || {
+                for i in 0..100 {
+                    reg.counter(&format!("contended.{}", i % 10)).inc();
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.len(), 10);
+    for i in 0..10 {
+        assert_eq!(snap.counter(&format!("contended.{i}")), Some(40));
+    }
+}
+
+#[test]
+fn json_export_round_trips() {
+    let tel = Telemetry::new();
+    tel.counter(&labeled("ingest.flows_total", "store", "region-0"))
+        .add(1234);
+    tel.gauge("footprint_bytes").set(-7);
+    let h = tel.histogram("rotate.micros", &[10, 100]);
+    h.record(5);
+    h.record(50);
+    h.record(5_000);
+
+    let parsed = Json::parse(&tel.render_json()).expect("exporter emits valid JSON");
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("ingest.flows_total{store=region-0}"))
+            .and_then(Json::as_u64),
+        Some(1234)
+    );
+    assert_eq!(
+        parsed
+            .get("gauges")
+            .and_then(|g| g.get("footprint_bytes"))
+            .and_then(Json::as_i64),
+        Some(-7)
+    );
+    let hist = parsed
+        .get("histograms")
+        .and_then(|h| h.get("rotate.micros"))
+        .expect("histogram present");
+    assert_eq!(hist.get("count").and_then(Json::as_u64), Some(3));
+    assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(5_055));
+    assert_eq!(hist.get("min").and_then(Json::as_u64), Some(5));
+    assert_eq!(hist.get("max").and_then(Json::as_u64), Some(5_000));
+    let counts: Vec<u64> = hist
+        .get("counts")
+        .and_then(Json::as_arr)
+        .expect("counts array")
+        .iter()
+        .filter_map(Json::as_u64)
+        .collect();
+    assert_eq!(counts, vec![1, 1, 1]);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing_and_renders_empty() {
+    let tel = Telemetry::disabled();
+    let c = tel.counter("never");
+    c.inc();
+    c.add(100);
+    assert_eq!(c.get(), 0);
+    assert!(!c.is_enabled());
+    tel.gauge("never").set(9);
+    tel.histogram("never", &[1]).record(1);
+    assert!(tel.snapshot().is_empty());
+    assert_eq!(tel.render_text(), "");
+    let parsed = Json::parse(&tel.render_json()).expect("valid JSON even when disabled");
+    assert!(parsed
+        .get("counters")
+        .and_then(Json::as_obj)
+        .is_some_and(|o| o.is_empty()));
+}
