@@ -1,0 +1,115 @@
+//! E12 — tracing overhead: disabled vs sampled vs always-on.
+//!
+//! The disabled handle must keep every span site at one branch — a traced
+//! query path with `Tracer::disabled()` must be indistinguishable from the
+//! pre-tracing baseline (the E11 discipline). Head-based sampling must
+//! scale cost with the sampled fraction, and even always-on tracing must
+//! stay cheap enough for incident response (a handful of allocations per
+//! sampled trace).
+//!
+//! Shape expectations (recorded in EXPERIMENTS.md): disabled root/span
+//! operations in the low-nanosecond range and flat in trace depth;
+//! always-on per-span cost dominated by the clock reads and the ring-push
+//! lock; query-path overhead visible only on sampled queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream_bench::{flow_trace, rule};
+use megastream_telemetry::Tracer;
+
+fn query_overhead_report() {
+    rule("E12 — FlowQL query latency: tracing disabled vs sampled vs always-on");
+    let trace = flow_trace(2026, 500.0, 120, 1.1);
+    let query = "SELECT TOPK 5 FROM ALL WHERE location = \"region-0\"";
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "mode", "queries", "elapsed ms", "spans"
+    );
+    for (name, tracer) in [
+        ("disabled", Tracer::disabled()),
+        ("every-16", Tracer::sampled_every(16)),
+        ("always", Tracer::new()),
+    ] {
+        let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_tracer(&tracer);
+        for r in &trace {
+            fs.ingest_round_robin(r);
+        }
+        fs.finish();
+        let start = std::time::Instant::now();
+        let n = 64;
+        for _ in 0..n {
+            fs.query(query).expect("bench query");
+        }
+        println!(
+            "{:>10} {:>12} {:>12.1} {:>12}",
+            name,
+            n,
+            start.elapsed().as_secs_f64() * 1e3,
+            tracer.snapshot().spans.len(),
+        );
+    }
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    query_overhead_report();
+
+    let mut group = c.benchmark_group("e12_tracing");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // Raw span-site cost: the disabled handle is the guard on the fast
+    // path — a root on a None tracer must be a branch, never a clock read.
+    let disabled = Tracer::disabled();
+    let sampled = Tracer::sampled_every(64);
+    let always = Tracer::new();
+    for (name, tracer) in [
+        ("disabled", &disabled),
+        ("every-64", &sampled),
+        ("always", &always),
+    ] {
+        group.bench_function(BenchmarkId::new("root_span_x1000", name), |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    black_box(black_box(tracer).root("bench").finish());
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("nested_span_tree_x100", name), |b| {
+            b.iter(|| {
+                for _ in 0..100 {
+                    let mut root = black_box(tracer).root("bench");
+                    root.add_bytes(1024);
+                    let child = root.child("stage");
+                    black_box(child.finish());
+                    black_box(root.finish());
+                }
+            });
+        });
+        tracer.clear();
+    }
+
+    // End-to-end query path: the acceptance criterion — disabled-mode
+    // overhead must be indistinguishable from the untraced baseline.
+    let trace = flow_trace(7, 500.0, 30, 1.1);
+    let query = "SELECT TOPK 5 FROM ALL WHERE location = \"region-0\"";
+    for (name, tracer) in [
+        ("disabled", Tracer::disabled()),
+        ("every-16", Tracer::sampled_every(16)),
+        ("always", Tracer::new()),
+    ] {
+        let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_tracer(&tracer);
+        for r in &trace {
+            fs.ingest_round_robin(r);
+        }
+        fs.finish();
+        group.bench_function(BenchmarkId::new("flowstream_query", name), |b| {
+            b.iter(|| black_box(fs.query(black_box(query)).expect("bench query").rows.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

@@ -23,7 +23,9 @@ use megastream_flowdb::{FlowDb, QueryResult};
 use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
 use megastream_netsim::topology::Network;
-use megastream_telemetry::{labeled, Counter, Histogram, ScopedTimer, Snapshot, Telemetry};
+use megastream_telemetry::{
+    labeled, Counter, Histogram, ScopedTimer, Snapshot, Telemetry, TraceSnapshot, Tracer,
+};
 
 use crate::hierarchy::absorb_summary;
 
@@ -82,6 +84,20 @@ impl std::fmt::Display for FlowstreamError {
 
 impl std::error::Error for FlowstreamError {}
 
+/// The rendered span tree of an `EXPLAIN ANALYZE` run — see
+/// [`Flowstream::explain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// Human-readable span tree of the query's execution stages.
+    pub tree: String,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tree)
+    }
+}
+
 /// Aggregated operating statistics of a [`Flowstream`] deployment, summed
 /// over its region stores, the NOC store, and the FlowDB index.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -120,6 +136,7 @@ struct StreamMetrics {
 #[derive(Debug)]
 pub struct Flowstream {
     tel: Telemetry,
+    tracer: Tracer,
     metrics: StreamMetrics,
     topology: IspTopology,
     config: FlowstreamConfig,
@@ -164,6 +181,7 @@ impl Flowstream {
         let epoch_end = Timestamp::ZERO + config.epoch_len;
         Flowstream {
             tel: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
             metrics: StreamMetrics::default(),
             raw_pending: vec![vec![0; routers_per_region]; regions],
             topology,
@@ -221,6 +239,45 @@ impl Flowstream {
     pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
         self.set_telemetry(tel);
         self
+    }
+
+    /// Connects the deployment to a causal tracer: every FlowQL query
+    /// records a `flowstream.query` span tree (subject to the tracer's
+    /// sampling policy). Passing [`Tracer::disabled`] detaches again at
+    /// one-branch cost per span site.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// Builder-style [`Flowstream::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// The tracer queries record into (disabled unless
+    /// [`Flowstream::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot of all recorded trace spans (empty when tracing is off).
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
+    }
+
+    /// Human-readable span-tree report of all recorded traces (empty when
+    /// tracing is off).
+    pub fn trace_report(&self) -> String {
+        self.tracer.render_tree()
+    }
+
+    /// All recorded traces as Chrome `trace_event` JSON, loadable in
+    /// `chrome://tracing` or Perfetto (empty event list when tracing is
+    /// off).
+    pub fn trace_chrome_json(&self) -> String {
+        self.tracer.render_chrome_json()
     }
 
     /// Number of regions.
@@ -340,18 +397,54 @@ impl Flowstream {
     ///
     /// Returns [`FlowstreamError`] on parse or execution failures.
     pub fn query(&self, flowql: &str) -> Result<QueryResult, FlowstreamError> {
+        self.query_with(flowql, &self.tracer)
+    }
+
+    /// [`Flowstream::query`] recording its causal lineage into `tracer`:
+    /// a `flowstream.query` root span with a `parse` child and the FlowDB
+    /// execution stages (plan, per-location fan-out, merge, operator run)
+    /// underneath.
+    fn query_with(&self, flowql: &str, tracer: &Tracer) -> Result<QueryResult, FlowstreamError> {
         let timer = ScopedTimer::start(&self.metrics.query_micros);
         self.metrics.queries.inc();
+        let mut root = tracer.root("flowstream.query");
+        root.annotate("flowql", flowql);
         let parse_timer = self.tel.timer("flowdb.parse.micros");
+        let parse_span = root.child("parse");
         let parsed = megastream_flowdb::parse(flowql).map_err(FlowstreamError::Parse);
+        drop(parse_span);
         parse_timer.stop();
-        let result =
-            parsed.and_then(|query| self.flowdb.execute(&query).map_err(FlowstreamError::Query));
-        if result.is_err() {
+        let result = parsed.and_then(|query| {
+            self.flowdb
+                .execute_traced(&query, &root)
+                .map_err(FlowstreamError::Query)
+        });
+        if let Err(e) = &result {
             self.metrics.query_errors.inc();
+            root.annotate("error", &e.to_string());
         }
         timer.stop();
         result
+    }
+
+    /// Runs a FlowQL query under a throwaway always-on tracer and returns
+    /// both the result and its rendered span tree — `EXPLAIN ANALYZE` for
+    /// FlowQL. Works regardless of whether the deployment itself has a
+    /// tracer attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowstreamError`] on parse or execution failures; the
+    /// explanation still carries the spans recorded up to the failure.
+    pub fn explain(&self, flowql: &str) -> (Result<QueryResult, FlowstreamError>, Explanation) {
+        let tracer = Tracer::new();
+        let result = self.query_with(flowql, &tracer);
+        (
+            result,
+            Explanation {
+                tree: tracer.render_tree(),
+            },
+        )
     }
 
     /// Aggregated operating statistics across the deployment.

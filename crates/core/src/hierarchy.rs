@@ -15,7 +15,7 @@ use megastream_flow::record::FlowRecord;
 use megastream_flow::time::Timestamp;
 use megastream_netsim::topology::{Network, NodeId};
 use megastream_primitives::aggregator::Combinable;
-use megastream_telemetry::{labeled, Telemetry};
+use megastream_telemetry::{labeled, Telemetry, TraceSpan, Tracer};
 
 /// Identifier of a store within a hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,6 +57,7 @@ pub struct StoreHierarchy {
     entries: Vec<Entry>,
     network: Network,
     tel: Telemetry,
+    tracer: Tracer,
 }
 
 impl StoreHierarchy {
@@ -66,6 +67,7 @@ impl StoreHierarchy {
             entries: Vec::new(),
             network,
             tel: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -77,6 +79,21 @@ impl StoreHierarchy {
         for entry in &mut self.entries {
             entry.store.set_telemetry(tel);
         }
+    }
+
+    /// Connects the hierarchy to a causal tracer: every
+    /// [`StoreHierarchy::pump`] records a `hierarchy.pump` root span with
+    /// one `export` child per rotated store and, stamped with the export's
+    /// context, an `absorb` span covering the parent-side re-aggregation —
+    /// so a summary's lineage across levels is one connected tree. Passing
+    /// [`Tracer::disabled`] detaches again.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// The tracer pump passes record into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Adds a root store (no parent — typically the cloud/datacenter).
@@ -187,6 +204,7 @@ impl StoreHierarchy {
     /// anything else is imported into the parent's summary store.
     pub fn pump(&mut self, now: Timestamp) -> ExportStats {
         let pump_span = self.tel.span("hierarchy.pump");
+        let trace_root = self.tracer.root("hierarchy.pump");
         let mut stats = ExportStats::default();
         // Deepest first, so child exports are absorbed before parents
         // rotate (when epochs align).
@@ -205,13 +223,29 @@ impl StoreHierarchy {
             } else {
                 None
             };
+            let mut export_span = trace_root.child("export");
+            if export_span.is_recording() {
+                export_span.annotate("store", self.entries[i].store.name());
+                export_span.annotate("level", &depth.to_string());
+            }
             let exported = self.entries[i].store.rotate_epoch(now);
             stats.rotations += 1;
             let Some(parent) = self.entries[i].parent else {
                 continue;
             };
+            // The export's context stamps the parent-side re-aggregation,
+            // linking the two levels into one lineage tree.
+            let mut absorb_span = match export_span.context() {
+                Some(ctx) => {
+                    let mut s = self.tracer.span_in(ctx, "absorb");
+                    s.annotate("store", self.entries[parent].store.name());
+                    s
+                }
+                None => TraceSpan::disabled(),
+            };
             let (from, to) = (self.entries[i].net, self.entries[parent].net);
             let mut level_bytes = 0u64;
+            let (mut absorbed, mut imported) = (0u64, 0u64);
             for summary in exported {
                 let bytes = summary.wire_size() as u64;
                 self.network
@@ -220,11 +254,21 @@ impl StoreHierarchy {
                 stats.exported_summaries += 1;
                 stats.exported_bytes += bytes;
                 level_bytes += bytes;
+                export_span.add_bytes(bytes);
+                export_span.add_records(1);
                 if absorb(&mut self.entries[parent].store, &summary) {
                     stats.absorbed += 1;
+                    absorbed += 1;
                 } else {
                     self.entries[parent].store.import_summary(summary, now);
+                    imported += 1;
                 }
+                absorb_span.add_bytes(bytes);
+                absorb_span.add_records(1);
+            }
+            if absorb_span.is_recording() {
+                absorb_span.annotate("absorbed", &absorbed.to_string());
+                absorb_span.annotate("imported", &imported.to_string());
             }
             if let Some(span) = level_span {
                 self.tel

@@ -59,7 +59,7 @@ pub mod hierarchy;
 
 pub use application::{AppDirective, Application};
 pub use controller::{ControlAction, Controller, Rule, RuleId, SafetyEnvelope};
-pub use flowstream::{Flowstream, FlowstreamConfig};
+pub use flowstream::{Explanation, Flowstream, FlowstreamConfig};
 pub use hierarchy::{ExportStats, HierarchyId, StoreHierarchy};
 
 // Re-export the member crates under short names for downstream users.

@@ -2,10 +2,10 @@
 
 use megastream_flow::time::TimeWindow;
 use megastream_flowtree::Flowtree;
-use megastream_telemetry::{labeled, ScopedTimer, Telemetry, LATENCY_MICROS_BOUNDS};
+use megastream_telemetry::{labeled, ScopedTimer, Telemetry, TraceSpan, LATENCY_MICROS_BOUNDS};
 
 use crate::ast::Query;
-use crate::exec::{execute, QueryError, QueryResult};
+use crate::exec::{execute_traced, QueryError, QueryResult};
 
 /// One indexed flow summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,8 +114,24 @@ impl FlowDb {
     /// Returns [`QueryError`] if no summary matches the selection or the
     /// matching summaries have incompatible configurations.
     pub fn execute(&self, query: &Query) -> Result<QueryResult, QueryError> {
+        self.execute_traced(query, &TraceSpan::disabled())
+    }
+
+    /// [`FlowDb::execute`] with causal tracing: execution stages (plan,
+    /// per-location fan-out, merge, per-operator run) are recorded as
+    /// children of `parent`, forming the `EXPLAIN ANALYZE` lineage tree.
+    /// A null `parent` (see [`TraceSpan::disabled`]) records nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlowDb::execute`].
+    pub fn execute_traced(
+        &self,
+        query: &Query,
+        parent: &TraceSpan,
+    ) -> Result<QueryResult, QueryError> {
         if !self.tel.is_enabled() {
-            return execute(self, query);
+            return execute_traced(self, query, parent);
         }
         let kind = query.op.kind();
         let timer = ScopedTimer::start(&self.tel.histogram(
@@ -125,7 +141,7 @@ impl FlowDb {
         self.tel
             .counter(&labeled("flowdb.exec.total", "op", kind))
             .inc();
-        let result = execute(self, query);
+        let result = execute_traced(self, query, parent);
         if result.is_err() {
             self.tel.counter("flowdb.exec.errors_total").inc();
         }

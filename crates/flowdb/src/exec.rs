@@ -12,6 +12,7 @@ use std::fmt;
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flowtree::Flowtree;
+use megastream_telemetry::TraceSpan;
 
 use crate::ast::{Query, SelectOp};
 use crate::db::FlowDb;
@@ -153,17 +154,30 @@ fn merge_group(trees: &[&Flowtree]) -> Result<Flowtree, QueryError> {
     Ok(merged)
 }
 
-/// Executes `query` against `db`. See [`FlowDb::execute`].
+/// Executes `query` against `db` with causal tracing. See
+/// [`FlowDb::execute`].
 ///
 /// The plan stage (summary selection/grouping) and the run stage
 /// (merge + operator) are timed separately into `flowdb.plan.micros` and
 /// `flowdb.run.micros` when the database has live telemetry.
-pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryError> {
+///
+/// When `parent` is a recording span, the
+/// execution emits a lineage tree under it — a `plan` span (summary
+/// selection), one `fanout` span per contacted location annotated with the
+/// summaries and bytes it contributed, a `merge` span, and a `run` span
+/// carrying the operator and row count. With a null `parent` every span
+/// site is a single branch and the original flat path runs.
+pub(crate) fn execute_traced(
+    db: &FlowDb,
+    query: &Query,
+    parent: &TraceSpan,
+) -> Result<QueryResult, QueryError> {
     let tel = db.telemetry();
     let where_key = query.where_key();
     if query.group_by_location {
         // One merge-and-operate pass per location, location-ordered.
         let plan = tel.timer("flowdb.plan.micros");
+        let mut plan_span = parent.child("plan");
         let mut groups: BTreeMap<&str, Vec<&Flowtree>> = BTreeMap::new();
         for entry in db.select(query) {
             groups
@@ -171,6 +185,8 @@ pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryEr
                 .or_default()
                 .push(&entry.tree);
         }
+        plan_span.add_records(groups.values().map(|g| g.len() as u64).sum());
+        plan_span.finish();
         plan.stop();
         if groups.is_empty() {
             return Err(QueryError::NoMatchingSummaries);
@@ -179,9 +195,20 @@ pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryEr
         let mut rows = Vec::new();
         let mut used = 0;
         for (location, trees) in &groups {
+            let mut group_span = parent.child("fanout");
+            group_span.annotate("location", location);
+            group_span.add_records(trees.len() as u64);
             used += trees.len();
+            let merge_span = group_span.child("merge");
             let merged = merge_group(trees)?;
-            for mut row in run_op(&merged, &query.op, &where_key) {
+            merge_span.finish();
+            let mut op_span = group_span.child("run");
+            op_span.annotate("op", query.op.kind());
+            let group_rows = run_op(&merged, &query.op, &where_key);
+            op_span.add_records(group_rows.len() as u64);
+            op_span.finish();
+            group_span.finish();
+            for mut row in group_rows {
                 row.location = Some((*location).to_owned());
                 rows.push(row);
             }
@@ -194,12 +221,43 @@ pub(crate) fn execute(db: &FlowDb, query: &Query) -> Result<QueryResult, QueryEr
         });
     }
     let plan = tel.timer("flowdb.plan.micros");
-    let trees: Vec<&Flowtree> = db.select(query).map(|e| &e.tree).collect();
+    let trees: Vec<&Flowtree> = if parent.is_recording() {
+        // Traced path: attribute the scan to each contacted location — the
+        // per-store fan-out a distributed deployment would make explicit.
+        let mut plan_span = parent.child("plan");
+        let mut by_location: BTreeMap<&str, (Vec<&Flowtree>, u64)> = BTreeMap::new();
+        for entry in db.select(query) {
+            let slot = by_location.entry(entry.location.as_str()).or_default();
+            slot.1 += entry.tree.wire_size() as u64;
+            slot.0.push(&entry.tree);
+        }
+        plan_span.add_records(by_location.values().map(|(g, _)| g.len() as u64).sum());
+        plan_span.finish();
+        let mut all = Vec::new();
+        for (location, (trees, bytes)) in by_location {
+            let mut fanout_span = parent.child("fanout");
+            fanout_span.annotate("location", location);
+            fanout_span.add_records(trees.len() as u64);
+            fanout_span.add_bytes(bytes);
+            all.extend(trees);
+            fanout_span.finish();
+        }
+        all
+    } else {
+        db.select(query).map(|e| &e.tree).collect()
+    };
     plan.stop();
     let used = trees.len();
     let run = tel.timer("flowdb.run.micros");
+    let mut merge_span = parent.child("merge");
+    merge_span.add_records(used as u64);
     let merged = merge_group(&trees)?;
+    merge_span.finish();
+    let mut run_span = parent.child("run");
+    run_span.annotate("op", query.op.kind());
     let rows = run_op(&merged, &query.op, &where_key);
+    run_span.add_records(rows.len() as u64);
+    run_span.finish();
     run.stop();
     Ok(QueryResult {
         op: query.op.to_string(),

@@ -11,7 +11,7 @@ use megastream_flow::time::Timestamp;
 use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_replication::policy::ReplicationPolicy;
 use megastream_replication::tracker::AccessTracker;
-use megastream_telemetry::Telemetry;
+use megastream_telemetry::{Telemetry, Tracer};
 
 /// A partition registered with the controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +52,7 @@ pub struct ReplicationController {
     /// Per-accessor tracking: a replica helps only the node that has it.
     replica_index: HashMap<(usize, NodeId), bool>,
     tel: Telemetry,
+    tracer: Tracer,
 }
 
 impl ReplicationController {
@@ -68,6 +69,7 @@ impl ReplicationController {
             orders: Vec::new(),
             replica_index: HashMap::new(),
             tel: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -77,6 +79,15 @@ impl ReplicationController {
     pub fn set_telemetry(&mut self, tel: &Telemetry) {
         self.tel = tel.clone();
         self.tracker.set_telemetry(tel);
+    }
+
+    /// Connects the controller to a causal tracer: every remote access
+    /// records a `replication.access` span tree — a `ship` child for the
+    /// result transfer and, when the policy fires, a `replicate` child
+    /// stamping the placement decision (partition, source, destination,
+    /// volume). Passing [`Tracer::disabled`] detaches again.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Registers a partition; returns its id.
@@ -140,12 +151,27 @@ impl ReplicationController {
         self.tel
             .counter("replication.shipped_bytes_total")
             .add(result_bytes);
-        network.transfer(info.owner, accessor, result_bytes, now)?;
+        let mut access_span = self.tracer.root("replication.access");
+        if access_span.is_recording() {
+            access_span.annotate("partition", &partition.to_string());
+            access_span.annotate("accessor", &accessor.to_string());
+        }
+        {
+            let mut ship = access_span.child("ship");
+            ship.add_bytes(result_bytes);
+            network.transfer(info.owner, accessor, result_bytes, now)?;
+        }
         let state = self.tracker.record_access(partition, result_bytes, now);
         if self
             .policy
             .should_replicate(partition, state, info.size_bytes, self.tracker.history())
         {
+            let mut replicate = access_span.child("replicate");
+            if replicate.is_recording() {
+                replicate.annotate("from", &info.owner.to_string());
+                replicate.annotate("to", &accessor.to_string());
+            }
+            replicate.add_bytes(info.size_bytes);
             self.tracker.mark_replicated(partition);
             network.transfer(info.owner, accessor, info.size_bytes, now)?;
             self.replication_bytes += info.size_bytes;

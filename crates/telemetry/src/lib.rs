@@ -20,6 +20,11 @@
 //! * [`Snapshot::render_text`] and [`Snapshot::render_json`] export the
 //!   registry; the in-repo [`json`] module parses the JSON back for tests
 //!   and tooling.
+//! * The [`trace`] module adds *causal* tracing on top of the aggregate
+//!   metrics: a [`Tracer`] hands out parent-linked [`TraceSpan`]s with
+//!   head-based sampling and a lock-sharded ring-buffer store, exportable
+//!   as a text span tree or Chrome `trace_event` JSON. Like [`Telemetry`],
+//!   the default handle is disabled and costs one branch per span site.
 //!
 //! ```
 //! use megastream_telemetry::{Telemetry, LATENCY_MICROS_BOUNDS};
@@ -40,6 +45,7 @@ pub mod json;
 mod metrics;
 mod registry;
 mod span;
+pub mod trace;
 
 use std::sync::Arc;
 
@@ -48,6 +54,10 @@ pub use metrics::{
 };
 pub use registry::{Registry, Snapshot};
 pub use span::{ScopedTimer, Span};
+pub use trace::{
+    SamplePolicy, SpanContext, SpanId, SpanRecord, TraceId, TraceSnapshot, TraceSpan, TraceStore,
+    Tracer,
+};
 
 /// The pipeline-facing telemetry handle: either a live shared [`Registry`]
 /// or a null handle whose every operation is a no-op.

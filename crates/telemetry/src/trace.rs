@@ -1,0 +1,861 @@
+//! Causal tracing: connected span trees across the hierarchy.
+//!
+//! The metrics layer answers "how much, how often"; this module answers
+//! *which* levels, stores, and operators one particular query or export
+//! pass touched, and where its time went. The model follows the usual
+//! distributed-tracing shape:
+//!
+//! * A **trace** is one causal episode (a FlowQL query, one
+//!   `hierarchy.pump` pass, one replication decision), identified by a
+//!   [`TraceId`].
+//! * A **span** is one timed stage inside it, identified by a [`SpanId`]
+//!   and linked to its parent span. Spans carry string attributes plus
+//!   dedicated byte/record payload annotations, so a span tree doubles as
+//!   a lineage tree ("this merge consumed 3 summaries, 12 kB").
+//! * A [`SpanContext`] is the copyable `(trace, span)` pair that crosses
+//!   component boundaries: a child store stamps its export span's context
+//!   onto the transfer, and the parent's re-aggregation opens its span
+//!   *under* that context — the two ends of the link share one tree.
+//!
+//! The discipline matches the metrics layer: [`Tracer`] is an
+//! `Option<Arc<TraceStore>>`; the default (disabled) handle makes every
+//! span operation a single branch — no clock reads, no allocation. With a
+//! live store, **head-based sampling** decides once per trace root
+//! (always / never / every-Nth) and unsampled traces cost the same single
+//! branch downstream. Finished spans land in a lock-sharded ring buffer
+//! ([`TraceStore`]) whose oldest spans are overwritten under pressure.
+//!
+//! ```
+//! use megastream_telemetry::trace::Tracer;
+//!
+//! let tracer = Tracer::new();
+//! {
+//!     let mut root = tracer.root("query");
+//!     let mut fanout = root.child("fanout");
+//!     fanout.annotate("location", "region-0");
+//!     fanout.add_bytes(1024);
+//!     fanout.finish();
+//!     root.child("merge").finish();
+//! }
+//! let snap = tracer.snapshot();
+//! assert_eq!(snap.spans.len(), 3);
+//! assert!(snap.render_tree().contains("merge"));
+//! assert!(snap.render_chrome_json().starts_with("{\"traceEvents\":["));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json;
+
+const SHARD_COUNT: usize = 16;
+
+/// Default total span capacity of a [`TraceStore`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 16_384;
+
+/// Identifier of one causal episode. Allocated monotonically per store,
+/// never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifier of one span. Allocation order is creation order, so sorting
+/// a trace's spans by id yields a stable parent-before-child ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// The copyable context that propagates a trace across component
+/// boundaries: "whatever you do with this payload, file it under me."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The trace this context belongs to.
+    pub trace: TraceId,
+    /// The span that new work should link to as its parent.
+    pub span: SpanId,
+}
+
+/// Head-based sampling policy: decided once when a trace root is opened,
+/// inherited by every descendant span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplePolicy {
+    /// Record every trace.
+    #[default]
+    Always,
+    /// Record no traces (the store stays reachable for explicit contexts).
+    Never,
+    /// Record one of every `n` trace roots (n = 0 behaves like `Never`).
+    EveryNth(u64),
+}
+
+/// One finished span as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id (creation-ordered).
+    pub id: SpanId,
+    /// The parent span, `None` for trace roots.
+    pub parent: Option<SpanId>,
+    /// The stage label, e.g. `flowstream.query` or `fanout`.
+    pub name: String,
+    /// Start time in microseconds since the store was created.
+    pub start_micros: u64,
+    /// Elapsed microseconds.
+    pub duration_micros: u64,
+    /// Payload bytes attributed to this span (0 if not annotated).
+    pub bytes: u64,
+    /// Payload records/summaries attributed to this span (0 if none).
+    pub records: u64,
+    /// Free-form `(key, value)` attributes, in annotation order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    spans: VecDeque<SpanRecord>,
+}
+
+/// The lock-sharded ring buffer finished spans land in.
+///
+/// Spans are sharded by span id; each shard holds at most
+/// `capacity / SHARD_COUNT` records and overwrites its oldest span when
+/// full (the `dropped` counter keeps the loss observable). All clocks are
+/// relative to the store's creation instant, so spans from different
+/// threads order consistently.
+#[derive(Debug)]
+pub struct TraceStore {
+    epoch: Instant,
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    policy: SamplePolicy,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    roots_seen: AtomicU64,
+    roots_sampled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates a store with the given sampling policy and total span
+    /// capacity (rounded up to a multiple of the shard count).
+    pub fn with_policy_and_capacity(policy: SamplePolicy, capacity: usize) -> Self {
+        TraceStore {
+            epoch: Instant::now(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
+            policy,
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            roots_seen: AtomicU64::new(0),
+            roots_sampled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an always-sampling store with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn new() -> Self {
+        TraceStore::with_policy_and_capacity(SamplePolicy::Always, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// The sampling policy in force.
+    pub fn policy(&self) -> SamplePolicy {
+        self.policy
+    }
+
+    /// Trace roots opened (sampled or not).
+    pub fn roots_seen(&self) -> u64 {
+        self.roots_seen.load(Ordering::Relaxed)
+    }
+
+    /// Trace roots the head-based decision kept.
+    pub fn roots_sampled(&self) -> u64 {
+        self.roots_sampled.load(Ordering::Relaxed)
+    }
+
+    /// Spans overwritten by ring-buffer pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn sample_decision(&self) -> bool {
+        let seen = self.roots_seen.fetch_add(1, Ordering::Relaxed);
+        let keep = match self.policy {
+            SamplePolicy::Always => true,
+            SamplePolicy::Never => false,
+            SamplePolicy::EveryNth(0) => false,
+            SamplePolicy::EveryNth(n) => seen.is_multiple_of(n),
+        };
+        if keep {
+            self.roots_sampled.fetch_add(1, Ordering::Relaxed);
+        }
+        keep
+    }
+
+    fn alloc_trace(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn alloc_span(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn micros_since_epoch(&self, at: Instant) -> u64 {
+        at.duration_since(self.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let shard = (record.id.0 as usize) % SHARD_COUNT;
+        let mut shard = self.shards[shard].lock().expect("trace store poisoned");
+        if shard.spans.len() >= self.per_shard_capacity {
+            shard.spans.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.spans.push_back(record);
+    }
+
+    /// Copies out every stored span, sorted by span id (creation order).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut spans = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("trace store poisoned");
+            spans.extend(shard.spans.iter().cloned());
+        }
+        spans.sort_by_key(|s| s.id);
+        TraceSnapshot {
+            spans,
+            roots_seen: self.roots_seen(),
+            roots_sampled: self.roots_sampled(),
+            dropped: self.dropped(),
+        }
+    }
+
+    /// Discards every stored span (sampling counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("trace store poisoned").spans.clear();
+        }
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
+}
+
+/// The pipeline-facing tracing handle: either a live shared [`TraceStore`]
+/// or a null handle whose every operation is a no-op. `Default` is the
+/// *disabled* handle, mirroring [`crate::Telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Arc<TraceStore>>);
+
+impl Tracer {
+    /// Creates an enabled, always-sampling handle with a fresh store.
+    pub fn new() -> Self {
+        Tracer(Some(Arc::new(TraceStore::new())))
+    }
+
+    /// Creates an enabled handle sampling one of every `n` trace roots.
+    pub fn sampled_every(n: u64) -> Self {
+        Tracer(Some(Arc::new(TraceStore::with_policy_and_capacity(
+            SamplePolicy::EveryNth(n),
+            DEFAULT_TRACE_CAPACITY,
+        ))))
+    }
+
+    /// The null handle: roots and spans are no-ops.
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// Creates a handle sharing an existing store.
+    pub fn with_store(store: Arc<TraceStore>) -> Self {
+        Tracer(Some(store))
+    }
+
+    /// Whether this handle records into a live store.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The underlying store, if enabled.
+    pub fn store(&self) -> Option<&Arc<TraceStore>> {
+        self.0.as_ref()
+    }
+
+    /// Opens a new trace root. The head-based sampling decision is made
+    /// here: an unsampled (or disabled) root returns a null span, and all
+    /// of its descendants stay null for one branch each.
+    pub fn root(&self, name: &str) -> TraceSpan {
+        match &self.0 {
+            None => TraceSpan::null(),
+            Some(store) => {
+                if !store.sample_decision() {
+                    return TraceSpan::null();
+                }
+                let trace = store.alloc_trace();
+                TraceSpan::live(Arc::clone(store), trace, None, name)
+            }
+        }
+    }
+
+    /// Opens a span *inside an existing trace*, linked under `ctx`. This is
+    /// the cross-component half of propagation: the caller received the
+    /// context stamped onto a payload (an exported summary, a replication
+    /// order) and files its own work under it. No sampling decision is
+    /// made — holding a context means the trace was sampled.
+    pub fn span_in(&self, ctx: SpanContext, name: &str) -> TraceSpan {
+        match &self.0 {
+            None => TraceSpan::null(),
+            Some(store) => TraceSpan::live(Arc::clone(store), ctx.trace, Some(ctx.span), name),
+        }
+    }
+
+    /// Point-in-time copy of all finished spans (empty when disabled).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        match &self.0 {
+            None => TraceSnapshot::default(),
+            Some(store) => store.snapshot(),
+        }
+    }
+
+    /// Discards all stored spans (no-op when disabled).
+    pub fn clear(&self) {
+        if let Some(store) = &self.0 {
+            store.clear();
+        }
+    }
+
+    /// Convenience: [`TraceSnapshot::render_tree`] of the current state.
+    pub fn render_tree(&self) -> String {
+        self.snapshot().render_tree()
+    }
+
+    /// Convenience: [`TraceSnapshot::render_chrome_json`] of the current
+    /// state.
+    pub fn render_chrome_json(&self) -> String {
+        self.snapshot().render_chrome_json()
+    }
+}
+
+/// An active span. Finished (explicitly or on drop) it files a
+/// [`SpanRecord`] into the owning store. A null span — from a disabled
+/// tracer or an unsampled trace — holds no store and never reads the
+/// clock; every method on it is a single branch.
+#[derive(Debug)]
+pub struct TraceSpan {
+    store: Option<Arc<TraceStore>>,
+    trace: TraceId,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    start: Option<Instant>,
+    bytes: u64,
+    records: u64,
+    attrs: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl TraceSpan {
+    /// A detached span that records nothing — the explicit-argument
+    /// counterpart of [`Tracer::disabled`], for APIs that thread a parent
+    /// span through call chains unconditionally.
+    pub fn disabled() -> Self {
+        TraceSpan::null()
+    }
+
+    fn null() -> Self {
+        TraceSpan {
+            store: None,
+            trace: TraceId(0),
+            id: SpanId(0),
+            parent: None,
+            name: String::new(),
+            start: None,
+            bytes: 0,
+            records: 0,
+            attrs: Vec::new(),
+            finished: true,
+        }
+    }
+
+    fn live(store: Arc<TraceStore>, trace: TraceId, parent: Option<SpanId>, name: &str) -> Self {
+        let id = store.alloc_span();
+        TraceSpan {
+            store: Some(store),
+            trace,
+            id,
+            parent,
+            name: name.to_owned(),
+            start: Some(Instant::now()),
+            bytes: 0,
+            records: 0,
+            attrs: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Whether this span records anywhere (false for null spans).
+    pub fn is_recording(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The context to stamp onto payloads so downstream work links here.
+    /// `None` for null spans — callers propagate the `Option` as-is.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.store.as_ref().map(|_| SpanContext {
+            trace: self.trace,
+            span: self.id,
+        })
+    }
+
+    /// Opens a child span. Children of null spans are null.
+    pub fn child(&self, name: &str) -> TraceSpan {
+        match &self.store {
+            None => TraceSpan::null(),
+            Some(store) => TraceSpan::live(Arc::clone(store), self.trace, Some(self.id), name),
+        }
+    }
+
+    /// Attaches a string attribute (no-op on null spans).
+    pub fn annotate(&mut self, key: &str, value: &str) {
+        if self.store.is_some() {
+            self.attrs.push((key.to_owned(), value.to_owned()));
+        }
+    }
+
+    /// Adds payload bytes to this span's annotation.
+    pub fn add_bytes(&mut self, n: u64) {
+        if self.store.is_some() {
+            self.bytes += n;
+        }
+    }
+
+    /// Adds payload records/summaries to this span's annotation.
+    pub fn add_records(&mut self, n: u64) {
+        if self.store.is_some() {
+            self.records += n;
+        }
+    }
+
+    /// Ends the span now, returning the elapsed microseconds (0 for null
+    /// spans).
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        if self.finished {
+            return 0;
+        }
+        self.finished = true;
+        let (Some(store), Some(start)) = (self.store.take(), self.start) else {
+            return 0;
+        };
+        let duration = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        store.push(SpanRecord {
+            trace: self.trace,
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_micros: store.micros_since_epoch(start),
+            duration_micros: duration,
+            bytes: self.bytes,
+            records: self.records,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+        duration
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// A point-in-time copy of a [`TraceStore`], creation-ordered.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// Every finished span still in the ring, sorted by span id.
+    pub spans: Vec<SpanRecord>,
+    /// Trace roots opened against the store.
+    pub roots_seen: u64,
+    /// Roots the head-based sampler kept.
+    pub roots_sampled: u64,
+    /// Spans lost to ring-buffer pressure.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Whether no spans were captured.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Distinct trace ids, ascending.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut out: Vec<TraceId> = self.spans.iter().map(|s| s.trace).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All spans of one trace, creation-ordered.
+    pub fn trace(&self, id: TraceId) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.trace == id).collect()
+    }
+
+    /// Spans with the given name, across all traces.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Looks a span up by id.
+    pub fn span(&self, id: SpanId) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Renders every captured trace as an indented span tree:
+    ///
+    /// ```text
+    /// trace 1 (3 spans)
+    /// flowstream.query                            412 µs  flowql="SELECT …"
+    /// ├─ parse                                      8 µs
+    /// └─ fanout                                    90 µs  location=region-0  [3 rec, 12034 B]
+    /// ```
+    ///
+    /// Spans whose parent fell out of the ring are promoted to roots so
+    /// the render never loses spans silently.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for trace in self.trace_ids() {
+            let spans = self.trace(trace);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("trace {} ({} spans)\n", trace.0, spans.len()),
+            );
+            let present: std::collections::HashSet<SpanId> = spans.iter().map(|s| s.id).collect();
+            let roots: Vec<&SpanRecord> = spans
+                .iter()
+                .filter(|s| s.parent.is_none_or(|p| !present.contains(&p)))
+                .copied()
+                .collect();
+            for root in roots {
+                self.render_subtree(&mut out, &spans, root, "", true, true);
+            }
+        }
+        out
+    }
+
+    fn render_subtree(
+        &self,
+        out: &mut String,
+        spans: &[&SpanRecord],
+        node: &SpanRecord,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+    ) {
+        let connector = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}└─ ")
+        } else {
+            format!("{prefix}├─ ")
+        };
+        let label = format!("{connector}{}", node.name);
+        let mut line = format!("{label:<44}{:>8} µs", node.duration_micros);
+        for (k, v) in &node.attrs {
+            line.push_str(&format!("  {k}={v}"));
+        }
+        if node.records > 0 || node.bytes > 0 {
+            line.push_str(&format!("  [{} rec, {} B]", node.records, node.bytes));
+        }
+        line.push('\n');
+        out.push_str(&line);
+        let children: Vec<&&SpanRecord> =
+            spans.iter().filter(|s| s.parent == Some(node.id)).collect();
+        let child_prefix = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        let n = children.len();
+        for (i, child) in children.into_iter().enumerate() {
+            self.render_subtree(out, spans, child, &child_prefix, i + 1 == n, false);
+        }
+    }
+
+    /// Renders the snapshot in Chrome `trace_event` JSON (the format
+    /// `chrome://tracing` / Perfetto load): one complete (`"ph":"X"`)
+    /// event per span, one timeline row (`tid`) per trace. Span links and
+    /// payload annotations ride in `args`.
+    pub fn render_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_string(&mut out, &s.name);
+            out.push_str(",\"cat\":\"megastream\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&s.trace.0.to_string());
+            out.push_str(&format!(
+                ",\"ts\":{},\"dur\":{},\"args\":{{\"span\":{},\"parent\":{}",
+                s.start_micros,
+                s.duration_micros,
+                s.id.0,
+                s.parent.map_or(0, |p| p.0),
+            ));
+            if s.bytes > 0 {
+                out.push_str(&format!(",\"bytes\":{}", s.bytes));
+            }
+            if s.records > 0 {
+                out.push_str(&format!(",\"records\":{}", s.records));
+            }
+            for (k, v) in &s.attrs {
+                out.push(',');
+                json::write_string(&mut out, k);
+                out.push(':');
+                json::write_string(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn disabled_tracer_costs_nothing_and_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut root = tracer.root("r");
+        assert!(!root.is_recording());
+        assert!(root.context().is_none());
+        root.annotate("k", "v");
+        root.add_bytes(10);
+        let child = root.child("c");
+        assert!(!child.is_recording());
+        drop(child);
+        assert_eq!(root.finish(), 0);
+        assert!(tracer.snapshot().is_empty());
+        assert_eq!(tracer.render_tree(), "");
+    }
+
+    #[test]
+    fn spans_link_parent_to_child() {
+        let tracer = Tracer::new();
+        let root = tracer.root("root");
+        let root_ctx = root.context().unwrap();
+        let mut child = root.child("child");
+        child.annotate("k", "v");
+        child.add_bytes(64);
+        child.add_records(2);
+        let grandchild = child.child("grandchild");
+        grandchild.finish();
+        child.finish();
+        root.finish();
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        let root_rec = &snap.spans_named("root")[0];
+        let child_rec = &snap.spans_named("child")[0];
+        let grand_rec = &snap.spans_named("grandchild")[0];
+        assert_eq!(root_rec.parent, None);
+        assert_eq!(root_rec.id, root_ctx.span);
+        assert_eq!(child_rec.parent, Some(root_rec.id));
+        assert_eq!(grand_rec.parent, Some(child_rec.id));
+        assert_eq!(child_rec.attr("k"), Some("v"));
+        assert_eq!(child_rec.bytes, 64);
+        assert_eq!(child_rec.records, 2);
+        // One trace, parent ids precede child ids.
+        assert_eq!(snap.trace_ids().len(), 1);
+        assert!(root_rec.id < child_rec.id && child_rec.id < grand_rec.id);
+    }
+
+    #[test]
+    fn span_in_links_across_components() {
+        let tracer = Tracer::new();
+        let export = tracer.root("export");
+        let ctx = export.context().unwrap();
+        // "The other side": a different handle sharing the same store.
+        let other = Tracer::with_store(std::sync::Arc::clone(tracer.store().unwrap()));
+        other.span_in(ctx, "absorb").finish();
+        export.finish();
+        let snap = tracer.snapshot();
+        let absorb = &snap.spans_named("absorb")[0];
+        assert_eq!(absorb.trace, ctx.trace);
+        assert_eq!(absorb.parent, Some(ctx.span));
+    }
+
+    #[test]
+    fn head_sampling_keeps_every_nth_trace() {
+        let tracer = Tracer::sampled_every(4);
+        let mut recorded = 0;
+        for _ in 0..16 {
+            let root = tracer.root("r");
+            if root.is_recording() {
+                recorded += 1;
+                // Children of sampled roots record; of unsampled, don't.
+                assert!(root.child("c").is_recording());
+            } else {
+                assert!(!root.child("c").is_recording());
+            }
+        }
+        assert_eq!(recorded, 4);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.roots_seen, 16);
+        assert_eq!(snap.roots_sampled, 4);
+        assert_eq!(snap.spans.len(), 8);
+        assert_eq!(snap.trace_ids().len(), 4);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let store = Arc::new(TraceStore::with_policy_and_capacity(
+            SamplePolicy::Always,
+            SHARD_COUNT, // one span per shard
+        ));
+        let tracer = Tracer::with_store(store);
+        for _ in 0..3 * SHARD_COUNT as u64 {
+            tracer.root("r").finish();
+        }
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans.len(), SHARD_COUNT);
+        assert_eq!(snap.dropped, 2 * SHARD_COUNT as u64);
+        // The survivors are the newest spans.
+        assert!(snap.spans.iter().all(|s| s.id.0 > SHARD_COUNT as u64));
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let tracer = Tracer::new();
+        tracer.root("r").finish();
+        assert!(!tracer.snapshot().is_empty());
+        tracer.clear();
+        assert!(tracer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn tree_render_shows_structure_and_annotations() {
+        let tracer = Tracer::new();
+        let mut root = tracer.root("query");
+        root.annotate("flowql", "SELECT QUERY FROM ALL");
+        let mut a = root.child("fanout");
+        a.annotate("location", "region-0");
+        a.add_bytes(123);
+        a.add_records(3);
+        a.finish();
+        root.child("merge").finish();
+        root.finish();
+        let text = tracer.render_tree();
+        assert!(text.contains("trace 1 (3 spans)"));
+        assert!(text.contains("query"));
+        assert!(text.contains("├─ fanout") || text.contains("└─ fanout"));
+        assert!(text.contains("location=region-0"));
+        assert!(text.contains("[3 rec, 123 B]"));
+        assert!(text.contains("flowql=SELECT QUERY FROM ALL"));
+    }
+
+    #[test]
+    fn orphaned_spans_render_as_roots() {
+        // A parent that fell out of the ring must not hide its children.
+        let store = Arc::new(TraceStore::with_policy_and_capacity(
+            SamplePolicy::Always,
+            SHARD_COUNT,
+        ));
+        let tracer = Tracer::with_store(Arc::clone(&store));
+        let root = tracer.root("will-be-dropped");
+        let ctx = root.context().unwrap();
+        root.finish();
+        for _ in 0..SHARD_COUNT as u64 {
+            tracer.root("filler").finish();
+        }
+        tracer.span_in(ctx, "orphan").finish();
+        let text = tracer.render_tree();
+        assert!(text.contains("orphan"), "orphan missing from:\n{text}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_complete() {
+        let tracer = Tracer::new();
+        let mut root = tracer.root("query");
+        root.annotate("flowql", "SELECT \"x\"");
+        let mut child = root.child("merge");
+        child.add_bytes(42);
+        child.finish();
+        root.finish();
+        let json_text = tracer.render_chrome_json();
+        let parsed = Json::parse(&json_text).expect("chrome export must be valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            assert_eq!(ev.get("cat").and_then(Json::as_str), Some("megastream"));
+            assert!(ev.get("ts").and_then(Json::as_u64).is_some());
+            assert!(ev.get("dur").and_then(Json::as_u64).is_some());
+        }
+        let merge = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("merge"))
+            .unwrap();
+        let root_ev = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("query"))
+            .unwrap();
+        assert_eq!(
+            merge
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_u64),
+            root_ev
+                .get("args")
+                .and_then(|a| a.get("span"))
+                .and_then(Json::as_u64),
+        );
+        assert_eq!(
+            merge
+                .get("args")
+                .and_then(|a| a.get("bytes"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn drop_finishes_unfinished_spans() {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.root("r");
+            let _child = root.child("c");
+            // both dropped here
+        }
+        assert_eq!(tracer.snapshot().spans.len(), 2);
+    }
+}

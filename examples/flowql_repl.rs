@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! cargo run --example flowql_repl
+//! cargo run --example flowql_repl -- --trace   # span tree after each query
 //! flowql> SELECT TOPK 5 FROM ALL WHERE location = "region-0"
 //! flowql> SELECT QUERY FROM [0, 120) WHERE src_ip = 10.0.0.0/8
+//! flowql> :explain SELECT TOPK 5 FROM ALL WHERE location = "region-0"
 //! flowql> \help
 //! ```
 //!
@@ -15,6 +17,7 @@ use std::io::{self, BufRead, Write};
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
 use megastream_flow::time::TimeDelta;
+use megastream_telemetry::Tracer;
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 const HELP: &str = "\
@@ -25,12 +28,20 @@ FlowQL grammar:
   cond    := location = \"<name>\"
            | src_ip = <a.b.c.d[/len]> | dst_ip = <a.b.c.d[/len]>
            | proto = <n> | src_port = <n> | dst_port = <n>
-meta commands: \\help  \\locations  \\windows <location>  \\quit";
+meta commands: \\help  \\locations  \\windows <location>
+               :explain <query>  (EXPLAIN ANALYZE — result + span tree)
+               \\quit";
 
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace");
     // Build a deployment worth querying: 2 regions × 4 routers, 4 minutes.
     eprintln!("generating trace and building flowstream (2 regions x 4 routers)...");
-    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+    let tracer = if trace {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_tracer(&tracer);
     for rec in FlowTraceGenerator::new(FlowTraceConfig {
         seed: 2026,
         flows_per_sec: 250.0,
@@ -65,10 +76,28 @@ fn main() {
                     println!("{w}");
                 }
             }
-            query => match fs.query(query) {
-                Ok(result) => print!("{result}"),
-                Err(e) => println!("error: {e}"),
-            },
+            _ if line.starts_with(":explain") || line.starts_with("\\explain") => {
+                let q = line
+                    .trim_start_matches(":explain")
+                    .trim_start_matches("\\explain")
+                    .trim();
+                let (result, explanation) = fs.explain(q);
+                match result {
+                    Ok(result) => print!("{result}"),
+                    Err(e) => println!("error: {e}"),
+                }
+                print!("{explanation}");
+            }
+            query => {
+                match fs.query(query) {
+                    Ok(result) => print!("{result}"),
+                    Err(e) => println!("error: {e}"),
+                }
+                if trace {
+                    print!("{}", fs.trace_report());
+                    fs.tracer().clear();
+                }
+            }
         }
         print!("flowql> ");
         io::stdout().flush().ok();
@@ -89,6 +118,17 @@ fn main() {
                 Ok(result) => println!("{result}"),
                 Err(e) => println!("error: {e}\n"),
             }
+            if trace {
+                print!("{}", fs.trace_report());
+                fs.tracer().clear();
+            }
         }
+        let explain_q = "SELECT TOPK 3 FROM ALL WHERE location = \"region-0\"";
+        println!("flowql> :explain {explain_q}");
+        let (result, explanation) = fs.explain(explain_q);
+        if let Ok(result) = result {
+            println!("{result}");
+        }
+        print!("{explanation}");
     }
 }

@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --example network_monitoring
 //! cargo run --example network_monitoring -- --stats   # + telemetry report
+//! cargo run --example network_monitoring -- --trace   # + causal span trees
 //! ```
 
 use megastream::application::{AppDirective, Application, DdosDetectionApp};
@@ -17,15 +18,21 @@ use megastream_flow::addr::Ipv4Addr;
 use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
-use megastream_telemetry::Telemetry;
+use megastream_telemetry::{Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator, TrafficEvent};
 
 fn main() {
     let stats = std::env::args().any(|a| a == "--stats");
+    let want_trace = std::env::args().any(|a| a == "--trace");
     let tel = if stats {
         Telemetry::new()
     } else {
         Telemetry::disabled()
+    };
+    let tracer = if want_trace {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
     };
     let victim: Ipv4Addr = "100.64.0.1".parse().unwrap();
     let attack_window =
@@ -57,7 +64,8 @@ fn main() {
             ..Default::default()
         },
     )
-    .with_telemetry(&tel);
+    .with_telemetry(&tel)
+    .with_tracer(&tracer);
     let mut n = 0u64;
     for rec in trace {
         fs.ingest_round_robin(&rec);
@@ -137,5 +145,15 @@ fn main() {
         println!("network bytes:     {}", s.network_bytes);
         println!("\n--- telemetry ---");
         print!("{}", fs.telemetry_report());
+    }
+
+    // --- causality view: the span tree of every query in the session.
+    if want_trace {
+        println!(
+            "\n--- trace ({} spans across {} queries) ---",
+            fs.trace_snapshot().spans.len(),
+            fs.trace_snapshot().trace_ids().len()
+        );
+        print!("{}", fs.trace_report());
     }
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --example quickstart
 //! cargo run --example quickstart -- --stats   # + telemetry walkthrough
+//! cargo run --example quickstart -- --trace   # + causal span trees
 //! ```
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
@@ -11,11 +12,12 @@ use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::TimeDelta;
 use megastream_flowtree::{Flowtree, FlowtreeConfig};
-use megastream_telemetry::Telemetry;
+use megastream_telemetry::{Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 fn main() {
     let stats = std::env::args().any(|a| a == "--stats");
+    let want_trace = std::env::args().any(|a| a == "--trace");
     // 1. Generate a small synthetic sampled-NetFlow trace.
     let trace: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig {
         seed: 7,
@@ -104,12 +106,14 @@ fn main() {
         tree.total()
     );
 
-    // 10. --stats: the same pipeline as a Flowstream deployment, with the
-    // telemetry registry attached. Every layer records into one registry:
-    // per-router ingest counters, data-store rotation latency, FlowDB
-    // execution timings, and the end-to-end FlowQL latency histogram.
-    if stats {
+    // 10. --stats / --trace: the same pipeline as a Flowstream deployment
+    // with the observability layers attached. --stats records aggregate
+    // metrics into one registry (per-router ingest counters, data-store
+    // rotation latency, FlowDB execution timings, the end-to-end FlowQL
+    // latency histogram); --trace records each query's causal span tree.
+    if stats || want_trace {
         let tel = Telemetry::new();
+        let tracer = Tracer::new();
         let mut fs = Flowstream::new(
             2,
             2,
@@ -117,8 +121,13 @@ fn main() {
                 epoch_len: TimeDelta::from_secs(30),
                 ..Default::default()
             },
-        )
-        .with_telemetry(&tel);
+        );
+        if stats {
+            fs.set_telemetry(&tel);
+        }
+        if want_trace {
+            fs.set_tracer(&tracer);
+        }
         for rec in FlowTraceGenerator::new(FlowTraceConfig {
             seed: 7,
             flows_per_sec: 200.0,
@@ -134,7 +143,16 @@ fn main() {
             .expect("quickstart query");
         fs.query("SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8")
             .expect("quickstart query");
-        println!("\n--- telemetry ({} metrics) ---", tel.snapshot().len());
-        print!("{}", fs.telemetry_report());
+        if stats {
+            println!("\n--- telemetry ({} metrics) ---", tel.snapshot().len());
+            print!("{}", fs.telemetry_report());
+        }
+        if want_trace {
+            println!(
+                "\n--- trace ({} spans) ---",
+                fs.trace_snapshot().spans.len()
+            );
+            print!("{}", fs.trace_report());
+        }
     }
 }

@@ -19,4 +19,13 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> observability e2e suites"
+cargo test --test telemetry_e2e --test tracing_e2e -q
+
+echo "==> no #[ignore]d tests"
+if grep -rn '#\[ignore' --include='*.rs' tests crates examples; then
+    echo "error: #[ignore]d tests are not allowed" >&2
+    exit 1
+fi
+
 echo "All checks passed."

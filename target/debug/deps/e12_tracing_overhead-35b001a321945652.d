@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_tracing_overhead-35b001a321945652.d: crates/bench/benches/e12_tracing_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_tracing_overhead-35b001a321945652.rmeta: crates/bench/benches/e12_tracing_overhead.rs Cargo.toml
+
+crates/bench/benches/e12_tracing_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

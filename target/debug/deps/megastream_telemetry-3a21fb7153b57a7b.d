@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/megastream_telemetry-3a21fb7153b57a7b.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/megastream_telemetry-3a21fb7153b57a7b.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/debug/deps/megastream_telemetry-3a21fb7153b57a7b: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/megastream_telemetry-3a21fb7153b57a7b: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:

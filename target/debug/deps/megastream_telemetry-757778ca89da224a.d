@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/megastream_telemetry-757778ca89da224a.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/megastream_telemetry-757778ca89da224a.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/debug/deps/libmegastream_telemetry-757778ca89da224a.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/libmegastream_telemetry-757778ca89da224a.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/debug/deps/libmegastream_telemetry-757778ca89da224a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/libmegastream_telemetry-757778ca89da224a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:

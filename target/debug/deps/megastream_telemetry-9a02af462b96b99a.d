@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/megastream_telemetry-9a02af462b96b99a.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/megastream_telemetry-9a02af462b96b99a.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmegastream_telemetry-9a02af462b96b99a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/libmegastream_telemetry-9a02af462b96b99a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs Cargo.toml
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracing_e2e-27ba11d76db78bd6.d: tests/tracing_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracing_e2e-27ba11d76db78bd6.rmeta: tests/tracing_e2e.rs Cargo.toml
+
+tests/tracing_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing_e2e-b937a27001482f9e.d: tests/tracing_e2e.rs
+
+/root/repo/target/debug/deps/tracing_e2e-b937a27001482f9e: tests/tracing_e2e.rs
+
+tests/tracing_e2e.rs:

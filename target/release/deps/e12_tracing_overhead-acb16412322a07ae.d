@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_tracing_overhead-acb16412322a07ae.d: crates/bench/benches/e12_tracing_overhead.rs
+
+/root/repo/target/release/deps/e12_tracing_overhead-acb16412322a07ae: crates/bench/benches/e12_tracing_overhead.rs
+
+crates/bench/benches/e12_tracing_overhead.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/megastream_telemetry-384938ecf64b5b0b.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/megastream_telemetry-384938ecf64b5b0b.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/release/deps/libmegastream_telemetry-384938ecf64b5b0b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libmegastream_telemetry-384938ecf64b5b0b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
-/root/repo/target/release/deps/libmegastream_telemetry-384938ecf64b5b0b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libmegastream_telemetry-384938ecf64b5b0b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs crates/telemetry/src/trace.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/registry.rs:
 crates/telemetry/src/span.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,340 @@
+//! End-to-end causal tracing: a traced FlowQL query must yield one
+//! connected span tree covering fan-out and merge, a traced `pump` must
+//! link child exports to parent absorption across hierarchy levels, the
+//! Chrome export must be valid JSON, and concurrent emitters must never
+//! lose or cross-link spans.
+
+use std::collections::HashMap;
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream::hierarchy::StoreHierarchy;
+use megastream_datastore::store::DataStore;
+use megastream_datastore::{AggregatorSpec, StorageStrategy};
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_flowtree::FlowtreeConfig;
+use megastream_manager::manager::Manager;
+use megastream_netsim::topology::{LinkSpec, Network, NodeKind};
+use megastream_replication::policy::ReplicationPolicy;
+use megastream_telemetry::json::Json;
+use megastream_telemetry::{SpanId, SpanRecord, TraceSnapshot, Tracer};
+use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
+
+fn traced_deployment() -> (Flowstream, Tracer) {
+    let tracer = Tracer::new();
+    let mut fs = Flowstream::new(
+        2,
+        2,
+        FlowstreamConfig {
+            epoch_len: TimeDelta::from_secs(30),
+            ..Default::default()
+        },
+    )
+    .with_tracer(&tracer);
+    for rec in FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 11,
+        flows_per_sec: 100.0,
+        duration: TimeDelta::from_mins(2),
+        ..Default::default()
+    }) {
+        fs.ingest_round_robin(&rec);
+    }
+    fs.finish();
+    (fs, tracer)
+}
+
+/// Every span of `trace` must reach the root by walking parent links.
+fn assert_connected(spans: &[&SpanRecord]) {
+    let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, *s)).collect();
+    let roots: Vec<_> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    let root_id = roots[0].id;
+    for span in spans {
+        let mut cursor = *span;
+        let mut hops = 0;
+        while let Some(parent) = cursor.parent {
+            cursor = by_id
+                .get(&parent)
+                .unwrap_or_else(|| panic!("span {:?} has dangling parent {parent:?}", span.id));
+            hops += 1;
+            assert!(hops <= spans.len(), "parent cycle at {:?}", span.id);
+        }
+        assert_eq!(cursor.id, root_id, "span {:?} not under the root", span.id);
+    }
+}
+
+#[test]
+fn query_trace_has_one_fanout_span_per_contacted_location_plus_merge() {
+    let (fs, tracer) = traced_deployment();
+    // No location restriction: the query contacts every indexed location
+    // (both region stores and the NOC store).
+    fs.query("SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8")
+        .expect("traced query");
+    let snap = tracer.snapshot();
+    let traces = snap.trace_ids();
+    assert_eq!(traces.len(), 1, "one query → one trace");
+    let spans = snap.trace(traces[0]);
+    assert_connected(&spans);
+
+    let root = spans.iter().find(|s| s.parent.is_none()).unwrap();
+    assert_eq!(root.name, "flowstream.query");
+    assert!(root.attr("flowql").unwrap().contains("SELECT QUERY"));
+
+    // One fan-out span per contacted location, each a child of the root
+    // and annotated with the summaries + bytes it contributed.
+    let mut fanout_locations: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.name == "fanout")
+        .map(|s| {
+            assert_eq!(s.parent, Some(root.id));
+            assert!(s.records > 0, "fanout without payload records");
+            assert!(s.bytes > 0, "fanout without payload bytes");
+            s.attr("location").expect("fanout location attr")
+        })
+        .collect();
+    fanout_locations.sort_unstable();
+    let expected: Vec<&str> = fs.flowdb().locations();
+    assert_eq!(
+        fanout_locations, expected,
+        "fanout must cover every location"
+    );
+
+    // Exactly one merge span, also under the root, consuming what the
+    // fan-outs produced.
+    let merges: Vec<_> = spans.iter().filter(|s| s.name == "merge").collect();
+    assert_eq!(merges.len(), 1);
+    assert_eq!(merges[0].parent, Some(root.id));
+    let fanned: u64 = spans
+        .iter()
+        .filter(|s| s.name == "fanout")
+        .map(|s| s.records)
+        .sum();
+    assert_eq!(
+        merges[0].records, fanned,
+        "merge consumes all fanned-out summaries"
+    );
+    assert!(spans.iter().any(|s| s.name == "parse"));
+    assert!(spans.iter().any(|s| s.name == "run"));
+}
+
+#[test]
+fn explain_analyze_works_without_an_attached_tracer() {
+    let mut fs = Flowstream::new(1, 2, FlowstreamConfig::default());
+    for rec in FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 5,
+        flows_per_sec: 100.0,
+        duration: TimeDelta::from_mins(1),
+        ..Default::default()
+    }) {
+        fs.ingest_round_robin(&rec);
+    }
+    fs.finish();
+    assert!(!fs.tracer().is_enabled());
+    let (result, explanation) = fs.explain("SELECT TOPK 3 FROM ALL WHERE location = \"region-0\"");
+    result.expect("explained query succeeds");
+    for stage in ["flowstream.query", "parse", "fanout", "merge", "run"] {
+        assert!(
+            explanation.tree.contains(stage),
+            "stage {stage} missing from explanation:\n{}",
+            explanation.tree
+        );
+    }
+    assert!(explanation.tree.contains("location=region-0"));
+    // The throwaway tracer left nothing behind on the deployment.
+    assert!(fs.trace_snapshot().is_empty());
+}
+
+fn hierarchy_store(name: &str, epoch_secs: u64) -> DataStore {
+    let mut s = DataStore::new(
+        name,
+        StorageStrategy::RoundRobin {
+            budget_bytes: 10 << 20,
+        },
+        TimeDelta::from_secs(epoch_secs),
+    );
+    s.install_aggregator(AggregatorSpec::Flowtree(
+        FlowtreeConfig::default().with_capacity(4096),
+    ));
+    s
+}
+
+#[test]
+fn pump_links_child_exports_to_parent_absorb_across_three_levels() {
+    // leaf (60 s epochs) → mid (60 s) → root (120 s).
+    let mut net = Network::new();
+    let root_n = net.add_node("root", NodeKind::DataStore);
+    let mid_n = net.add_node("mid", NodeKind::DataStore);
+    let leaf_n = net.add_node("leaf", NodeKind::DataStore);
+    net.connect(leaf_n, mid_n, LinkSpec::lan_1g());
+    net.connect(mid_n, root_n, LinkSpec::wan_100m());
+    let tracer = Tracer::new();
+    let mut h = StoreHierarchy::new(net);
+    h.set_tracer(&tracer);
+    let root = h.add_root(hierarchy_store("root", 120), root_n);
+    let mid = h.add_child(hierarchy_store("mid", 60), mid_n, root);
+    let leaf = h.add_child(hierarchy_store("leaf", 60), leaf_n, mid);
+    let rec = FlowRecord::builder()
+        .proto(6)
+        .src("10.0.0.1".parse().unwrap(), 5000)
+        .dst("1.1.1.1".parse().unwrap(), 443)
+        .packets(9)
+        .build();
+    h.ingest_flow(leaf, &"r".into(), &rec, Timestamp::from_secs(10));
+    let stats = h.pump(Timestamp::from_secs(60));
+    assert!(stats.exported_summaries > 0);
+
+    let snap = tracer.snapshot();
+    let traces = snap.trace_ids();
+    assert_eq!(traces.len(), 1, "one pump → one trace");
+    let spans = snap.trace(traces[0]);
+    assert_connected(&spans);
+    let pump_root = spans.iter().find(|s| s.parent.is_none()).unwrap();
+    assert_eq!(pump_root.name, "hierarchy.pump");
+
+    // Exports happened at both lower levels (leaf and mid rotate at 60 s);
+    // each absorb span is stamped with — i.e. parented under — its export.
+    let exports: Vec<_> = spans.iter().filter(|s| s.name == "export").collect();
+    let absorbs: Vec<_> = spans.iter().filter(|s| s.name == "absorb").collect();
+    assert_eq!(absorbs.len(), 2, "leaf→mid and mid→root links");
+    let linked: HashMap<&str, &str> = absorbs
+        .iter()
+        .map(|a| {
+            let export = exports
+                .iter()
+                .find(|e| Some(e.id) == a.parent)
+                .expect("absorb span must be parented under an export span");
+            assert_eq!(export.parent, Some(pump_root.id));
+            assert_eq!(a.records, export.records, "absorb covers the whole export");
+            (export.attr("store").unwrap(), a.attr("store").unwrap())
+        })
+        .collect();
+    assert_eq!(linked.get("leaf"), Some(&"mid"));
+    assert_eq!(linked.get("mid"), Some(&"root"));
+    // Depth annotations survive: leaf is level 2, mid is level 1.
+    let by_store: HashMap<&str, &SpanRecord> = exports
+        .iter()
+        .map(|e| (e.attr("store").unwrap(), **e))
+        .collect();
+    assert_eq!(by_store["leaf"].attr("level"), Some("2"));
+    assert_eq!(by_store["mid"].attr("level"), Some("1"));
+}
+
+#[test]
+fn replication_decisions_are_stamped() {
+    let mut net = Network::new();
+    let owner = net.add_node("owner", NodeKind::DataStore);
+    let remote = net.add_node("remote", NodeKind::DataStore);
+    net.connect(owner, remote, LinkSpec::wan_100m());
+    let tracer = Tracer::new();
+    let mut mgr = Manager::new(ReplicationPolicy::BreakEven { factor: 1.0 });
+    mgr.set_tracer(&tracer);
+    let p = mgr.replication_mut().register_partition(owner, 1_000);
+    for i in 0..5u64 {
+        mgr.replication_mut()
+            .on_access(p, remote, 300, &mut net, Timestamp::from_secs(i))
+            .unwrap();
+    }
+    let snap = tracer.snapshot();
+    // Remote accesses 1–4 trace; accesses after replication are local hits
+    // and trace nothing.
+    let accesses = snap.spans_named("replication.access");
+    assert_eq!(accesses.len(), 4);
+    assert_eq!(snap.spans_named("ship").len(), 4);
+    let replicates = snap.spans_named("replicate");
+    assert_eq!(replicates.len(), 1, "the policy fired exactly once");
+    let rep = replicates[0];
+    assert_eq!(rep.bytes, 1_000);
+    assert_eq!(rep.attr("from"), Some(owner.to_string().as_str()));
+    assert_eq!(rep.attr("to"), Some(remote.to_string().as_str()));
+    // The replicate span sits inside the access that triggered it.
+    let parent = snap.span(rep.parent.unwrap()).unwrap();
+    assert_eq!(parent.name, "replication.access");
+    assert_eq!(parent.attr("partition"), Some("0"));
+}
+
+#[test]
+fn chrome_export_of_a_real_query_is_valid_and_complete() {
+    let (fs, tracer) = traced_deployment();
+    fs.query("SELECT TOPK 3 FROM ALL WHERE location = \"region-0\"")
+        .expect("traced query");
+    let snap = tracer.snapshot();
+    let json_text = fs.trace_chrome_json();
+    let parsed = Json::parse(&json_text).expect("chrome export must parse");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), snap.spans.len(), "one event per span");
+    // All events of the single trace share one timeline row (tid).
+    let tids: Vec<_> = events
+        .iter()
+        .map(|e| e.get("tid").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(tids.iter().all(|t| *t == tids[0]));
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+}
+
+#[test]
+fn eight_threads_share_one_store_without_loss_or_cross_links() {
+    const THREADS: u64 = 8;
+    const ROOTS_PER_THREAD: u64 = 50;
+    let tracer = Tracer::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tracer = tracer.clone();
+            scope.spawn(move || {
+                for i in 0..ROOTS_PER_THREAD {
+                    let mut root = tracer.root("work");
+                    root.annotate("thread", &t.to_string());
+                    root.annotate("i", &i.to_string());
+                    let child = root.child("inner");
+                    let grandchild = child.child("leaf");
+                    grandchild.finish();
+                    child.finish();
+                    root.finish();
+                }
+            });
+        }
+    });
+    let snap = tracer.snapshot();
+    assert_eq!(snap.dropped, 0, "store under capacity — nothing dropped");
+    assert_eq!(snap.spans.len() as u64, THREADS * ROOTS_PER_THREAD * 3);
+    let traces = snap.trace_ids();
+    assert_eq!(traces.len() as u64, THREADS * ROOTS_PER_THREAD);
+    for trace in traces {
+        let spans = snap.trace(trace);
+        assert_eq!(spans.len(), 3, "no lost or leaked spans in {trace:?}");
+        assert_connected(&spans);
+        // Stable parent ordering: creation-ordered ids, parent before
+        // child within the trace.
+        for span in &spans {
+            if let Some(parent) = span.parent {
+                assert!(parent < span.id, "parent must precede child");
+                let parent = snap.span(parent).unwrap();
+                assert_eq!(parent.trace, span.trace, "cross-linked trace");
+            }
+        }
+    }
+}
+
+#[test]
+fn untraced_deployment_records_no_spans() {
+    let mut fs = Flowstream::new(1, 1, FlowstreamConfig::default());
+    for rec in FlowTraceGenerator::new(FlowTraceConfig {
+        seed: 3,
+        flows_per_sec: 50.0,
+        duration: TimeDelta::from_mins(1),
+        ..Default::default()
+    }) {
+        fs.ingest_round_robin(&rec);
+    }
+    fs.finish();
+    fs.query("SELECT TOPK 1 FROM ALL WHERE location = \"region-0\"")
+        .expect("query");
+    let snap: TraceSnapshot = fs.trace_snapshot();
+    assert!(snap.is_empty());
+    assert_eq!(fs.trace_report(), "");
+}
