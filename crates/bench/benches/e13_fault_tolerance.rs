@@ -1,0 +1,146 @@
+//! E13 — fault tolerance: query completeness and recovery cost as a
+//! function of outage length, plus the overhead fault bookkeeping adds to
+//! the fault-free ingest path.
+//!
+//! A 3-region Flowstream deployment loses region 1's uplink for a
+//! configurable window. The report prints, per outage length, the
+//! mid-outage completeness, the retry/spill/flush/drop counters, and
+//! whether the region's authoritative totals converged back to the
+//! no-fault run after recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use megastream::flowstream::{DegradationPolicy, Flowstream, FlowstreamConfig};
+use megastream_bench::{flow_trace, rule};
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_netsim::FaultPlan;
+
+const REGIONS: usize = 3;
+const ROUTERS: usize = 2;
+const RUN_SECS: u64 = 300;
+const QUERY: &str = "SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8";
+
+fn deployment() -> Flowstream {
+    Flowstream::new(
+        REGIONS,
+        ROUTERS,
+        FlowstreamConfig {
+            epoch_len: TimeDelta::from_secs(30),
+            ..Default::default()
+        },
+    )
+}
+
+/// Replays `trace`, probing a Partial query once at `probe`; returns
+/// (completeness fraction at probe, region-1 total after finish, stats).
+fn run(
+    trace: &[FlowRecord],
+    outage_secs: u64,
+    probe: Timestamp,
+) -> (f64, u64, megastream::flowstream::FlowstreamStats) {
+    let mut fs = deployment();
+    if outage_secs > 0 {
+        let mut plan = FaultPlan::seeded(13);
+        plan.link_down(
+            fs.region_node(1),
+            fs.noc_node(),
+            Timestamp::from_secs(60),
+            Timestamp::from_secs(60 + outage_secs),
+        );
+        fs.network_mut().install_faults(plan);
+    }
+    let mut fraction = 1.0;
+    let mut probed = false;
+    for rec in trace {
+        if !probed && rec.ts >= probe {
+            probed = true;
+            fraction = fs
+                .query_with_policy(QUERY, DegradationPolicy::Partial)
+                .map(|r| r.completeness.fraction())
+                .unwrap_or(0.0);
+        }
+        fs.ingest_round_robin(rec);
+    }
+    fs.finish();
+    let region_total = fs
+        .query("SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8 AND location = region-1")
+        .map(|r| r.rows.iter().map(|x| x.score).sum())
+        .unwrap_or(0);
+    (fraction, region_total, fs.stats())
+}
+
+fn fault_report() {
+    rule("E13 — completeness and recovery vs outage length (region-1 uplink)");
+    let trace = flow_trace(13, 60.0, RUN_SECS, 1.1);
+    let probe = Timestamp::from_secs(120);
+    let (_, baseline_total, _) = run(&trace, 0, probe);
+    println!(
+        "{:>10} {:>12} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "outage_s", "completeness", "retries", "spilled", "flushed", "dropped", "converged"
+    );
+    for outage_secs in [0u64, 30, 60, 120, 180] {
+        let (fraction, total, stats) = run(&trace, outage_secs, probe);
+        println!(
+            "{:>10} {:>12.2} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            outage_secs,
+            fraction,
+            stats.export_retries,
+            stats.spilled_summaries,
+            stats.flushed_summaries,
+            stats.dropped_summaries,
+            // Outages ending before the run's last rotation drain fully.
+            if total == baseline_total {
+                "exact"
+            } else {
+                "partial"
+            }
+        );
+    }
+}
+
+fn bench_fault_tolerance(c: &mut Criterion) {
+    fault_report();
+    let mut group = c.benchmark_group("e13_fault_tolerance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Overhead of the fault layer on a fault-free minute of ingest: the
+    // same trace with no plan installed vs an installed (but never
+    // matching) plan that forces the per-transfer checks.
+    let trace = flow_trace(5, 1_000.0, 60, 1.1);
+    group.bench_function("minute_no_fault_plan", |b| {
+        b.iter(|| {
+            let mut fs = deployment();
+            for rec in &trace {
+                fs.ingest_round_robin(rec);
+            }
+            fs.finish();
+            fs.network().total_bytes()
+        });
+    });
+    group.bench_function("minute_idle_fault_plan", |b| {
+        b.iter(|| {
+            let mut fs = deployment();
+            let mut plan = FaultPlan::seeded(13);
+            // A window that never overlaps the run keeps every check live.
+            plan.link_down(
+                fs.region_node(1),
+                fs.noc_node(),
+                Timestamp::from_secs(86_400),
+                Timestamp::from_secs(86_460),
+            );
+            fs.network_mut().install_faults(plan);
+            for rec in &trace {
+                fs.ingest_round_robin(rec);
+            }
+            fs.finish();
+            fs.network().total_bytes()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_tolerance);
+criterion_main!(benches);

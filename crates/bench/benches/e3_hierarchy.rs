@@ -91,7 +91,9 @@ fn factory_report() {
                 r.ts,
             );
         }
-        stats_total += h.pump(until);
+        stats_total += h
+            .pump(until)
+            .expect("benchmark hierarchy is fully connected");
     }
     let _ = horizon;
 

@@ -11,8 +11,10 @@
 //! epoch's summaries up to a network-wide store *and* into a [`FlowDb`],
 //! and answers FlowQL queries.
 
+use std::collections::BTreeSet;
+
 use megastream_datastore::store::DataStore;
-use megastream_datastore::summary::Summary;
+use megastream_datastore::summary::{StoredSummary, Summary};
 use megastream_datastore::trigger::TriggerEvent;
 use megastream_datastore::{AggregatorSpec, StorageStrategy};
 use megastream_flow::mask::GeneralizationSchema;
@@ -22,12 +24,25 @@ use megastream_flow::time::{TimeDelta, Timestamp};
 use megastream_flowdb::{FlowDb, QueryResult};
 use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
-use megastream_netsim::topology::Network;
+use megastream_netsim::topology::{Network, NodeId};
 use megastream_telemetry::{
     labeled, Counter, Histogram, ScopedTimer, Snapshot, Telemetry, TraceSnapshot, Tracer,
 };
 
-use crate::hierarchy::absorb_summary;
+use crate::hierarchy::{absorb_summary, summaries_mergeable};
+
+/// What a fan-out query does when some locations are unreachable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Error with [`FlowstreamError::Unreachable`] if any location the
+    /// query needs cannot be reached — never return partial data.
+    #[default]
+    FailFast,
+    /// Answer from the reachable locations and annotate the result's
+    /// [`Completeness`](megastream_flowdb::Completeness) — availability
+    /// over exactness.
+    Partial,
+}
 
 /// Configuration of a [`Flowstream`] deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +62,15 @@ pub struct FlowstreamConfig {
     pub schema: GeneralizationSchema,
     /// Storage strategy of region stores.
     pub storage: StorageStrategy,
+    /// What queries do when locations are unreachable.
+    pub degradation: DegradationPolicy,
+    /// Re-attempts after a transient summary-export failure.
+    pub export_retries: u32,
+    /// Backoff before the first export retry; doubles per retry.
+    pub export_backoff: TimeDelta,
+    /// Per-region spill buffer bound for summaries awaiting a recovered
+    /// uplink (oldest dropped, with accounting, on overflow).
+    pub spill_capacity_bytes: u64,
 }
 
 impl Default for FlowstreamConfig {
@@ -60,6 +84,10 @@ impl Default for FlowstreamConfig {
                 budget_bytes: 4 << 20,
                 fanout: 2,
             },
+            degradation: DegradationPolicy::default(),
+            export_retries: 3,
+            export_backoff: TimeDelta::from_millis(200),
+            spill_capacity_bytes: 4 << 20,
         }
     }
 }
@@ -71,6 +99,12 @@ pub enum FlowstreamError {
     Parse(megastream_flowdb::ParseError),
     /// The query failed to execute.
     Query(megastream_flowdb::QueryError),
+    /// The query needs locations that are currently unreachable and the
+    /// deployment runs [`DegradationPolicy::FailFast`].
+    Unreachable {
+        /// The unreachable locations with matching data.
+        locations: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for FlowstreamError {
@@ -78,6 +112,9 @@ impl std::fmt::Display for FlowstreamError {
         match self {
             FlowstreamError::Parse(e) => write!(f, "flowql parse error: {e}"),
             FlowstreamError::Query(e) => write!(f, "flowql execution error: {e}"),
+            FlowstreamError::Unreachable { locations } => {
+                write!(f, "unreachable locations: {}", locations.join(", "))
+            }
         }
     }
 }
@@ -118,6 +155,22 @@ pub struct FlowstreamStats {
     pub trigger_events: usize,
     /// Bytes moved over the simulated network (raw + summary transfers).
     pub network_bytes: u64,
+    /// Summary-export re-attempts after transient transfer failures.
+    pub export_retries: u64,
+    /// Summaries parked in a region spill buffer (uplink down).
+    pub spilled_summaries: u64,
+    /// Spilled summaries delivered after the uplink recovered.
+    pub flushed_summaries: u64,
+    /// Spilled summaries dropped to spill-buffer overflow.
+    pub dropped_summaries: u64,
+    /// Bytes those drops discarded.
+    pub dropped_bytes: u64,
+    /// Raw router→region accounting batches deferred to a later epoch
+    /// because the link was down (no data loss — records are already in
+    /// the region store).
+    pub raw_deferrals: u64,
+    /// Queries answered partially (completeness < 1).
+    pub partial_queries: u64,
 }
 
 /// Cached telemetry handles for the Flowstream fabric itself (per-router
@@ -146,10 +199,29 @@ pub struct Flowstream {
     /// Raw bytes received per (region, router) in the current epoch —
     /// transferred in one batch at rotation for link accounting.
     raw_pending: Vec<Vec<u64>>,
+    /// Per-region store-and-forward buffers for summaries whose export to
+    /// the NOC failed (uplink down); flushed on a later rotation.
+    spill: Vec<Vec<StoredSummary>>,
+    spill_bytes: Vec<u64>,
+    faults_seen: FaultCounters,
     epoch_end: Timestamp,
     now: Timestamp,
     rr: usize,
     trigger_log: Vec<TriggerEvent>,
+}
+
+/// Running totals of fault handling, copied into [`FlowstreamStats`].
+/// `partial_queries` is a [`Cell`](std::cell::Cell) because queries run
+/// through `&self`.
+#[derive(Debug, Clone, Default)]
+struct FaultCounters {
+    export_retries: u64,
+    spilled: u64,
+    flushed: u64,
+    dropped: u64,
+    dropped_bytes: u64,
+    raw_deferrals: u64,
+    partial_queries: std::cell::Cell<u64>,
 }
 
 impl Flowstream {
@@ -184,6 +256,9 @@ impl Flowstream {
             tracer: Tracer::disabled(),
             metrics: StreamMetrics::default(),
             raw_pending: vec![vec![0; routers_per_region]; regions],
+            spill: vec![Vec::new(); regions],
+            spill_bytes: vec![0; regions],
+            faults_seen: FaultCounters::default(),
             topology,
             config,
             regions: region_stores,
@@ -335,37 +410,42 @@ impl Flowstream {
     /// Closes the current epoch at `at`: flushes raw-transfer accounting,
     /// rotates region stores (②), exports summaries to the NOC store (③)
     /// and indexes Flowtrees into FlowDB (④).
+    ///
+    /// Fault handling: a down router→region link defers the batch's byte
+    /// accounting to the next rotation (records are already in the region
+    /// store, so nothing is lost); a failed region→NOC export is retried
+    /// with exponential backoff, then parked in the region's bounded spill
+    /// buffer and re-exported — and only then indexed in FlowDB — once the
+    /// uplink recovers.
     fn rotate(&mut self, at: Timestamp) {
         // ① account the raw router → region-store transfers of this epoch.
-        for (g, routers) in self.raw_pending.iter_mut().enumerate() {
-            for (r, pending) in routers.iter_mut().enumerate() {
-                if *pending > 0 {
-                    let from = self.topology.routers[g][r];
-                    let to = self.topology.regions[g];
-                    self.topology
-                        .network
-                        .transfer(from, to, *pending, at)
-                        .expect("router is connected to its region");
-                    *pending = 0;
+        for g in 0..self.raw_pending.len() {
+            for r in 0..self.raw_pending[g].len() {
+                let pending = self.raw_pending[g][r];
+                if pending == 0 {
+                    continue;
+                }
+                let from = self.topology.routers[g][r];
+                let to = self.topology.regions[g];
+                match self.topology.network.transfer(from, to, pending, at) {
+                    Ok(_) => self.raw_pending[g][r] = 0,
+                    Err(e) if e.is_transient() => {
+                        // Defer: the batch rides along at the next rotate.
+                        self.faults_seen.raw_deferrals += 1;
+                        self.tel.counter("flowstream.raw.deferred_total").inc();
+                    }
+                    Err(e) => panic!("router is connected to its region: {e}"),
                 }
             }
         }
+        // Recovery first: spilled summaries from earlier epochs, so the NOC
+        // absorbs late data before it rotates below.
+        self.flush_spill(at);
         // ② + ③ + ④.
-        for (g, store) in self.regions.iter_mut().enumerate() {
-            let exported = store.rotate_epoch(at);
+        for g in 0..self.regions.len() {
+            let exported = self.regions[g].rotate_epoch(at);
             for summary in exported {
-                let bytes = summary.wire_size() as u64;
-                self.topology
-                    .network
-                    .transfer(self.topology.regions[g], self.topology.noc, bytes, at)
-                    .expect("region is connected to the noc");
-                if let Summary::Flowtree(tree) = &summary.summary {
-                    self.flowdb
-                        .insert(format!("region-{g}"), summary.window, tree.clone());
-                }
-                if !absorb_summary(&mut self.noc, &summary) {
-                    self.noc.import_summary(summary, at);
-                }
+                self.export_to_noc(g, summary, at);
             }
         }
         if self.noc.epoch_due(at) {
@@ -379,6 +459,101 @@ impl Flowstream {
         self.epoch_end = at + self.config.epoch_len;
     }
 
+    /// Exports one region summary to the NOC with bounded retry +
+    /// exponential backoff, spilling it on persistent transient failure.
+    fn export_to_noc(&mut self, g: usize, summary: StoredSummary, at: Timestamp) {
+        let bytes = summary.wire_size() as u64;
+        let (from, to) = (self.topology.regions[g], self.topology.noc);
+        let mut attempt_at = at;
+        let mut backoff = self.config.export_backoff;
+        for attempt in 0..=self.config.export_retries {
+            match self.topology.network.transfer(from, to, bytes, attempt_at) {
+                Ok(_) => {
+                    self.deliver_to_noc(g, summary, at);
+                    return;
+                }
+                Err(e) if e.is_transient() && attempt < self.config.export_retries => {
+                    self.faults_seen.export_retries += 1;
+                    self.tel.counter("flowstream.export.retries_total").inc();
+                    attempt_at += backoff;
+                    backoff = TimeDelta::from_micros(backoff.as_micros().saturating_mul(2));
+                }
+                Err(e) if e.is_transient() => {
+                    self.park(g, summary, at);
+                    return;
+                }
+                Err(e) => panic!("region is connected to the noc: {e}"),
+            }
+        }
+        unreachable!("loop always returns")
+    }
+
+    /// Indexes a delivered summary in FlowDB and merges it into the NOC
+    /// store.
+    fn deliver_to_noc(&mut self, g: usize, summary: StoredSummary, at: Timestamp) {
+        if let Summary::Flowtree(tree) = &summary.summary {
+            self.flowdb
+                .insert(format!("region-{g}"), summary.window, tree.clone());
+        }
+        if !absorb_summary(&mut self.noc, &summary) {
+            self.noc.import_summary(summary, at);
+        }
+    }
+
+    /// Parks a summary in region `g`'s spill buffer: merged into a
+    /// compatible parked summary where possible (P2), bounded with
+    /// oldest-first drops. FlowDB indexing is deferred until the flush —
+    /// the data has not reached the NOC yet.
+    fn park(&mut self, g: usize, summary: StoredSummary, at: Timestamp) {
+        let location = format!("region-{g}");
+        if let Some(existing) = self.spill[g]
+            .iter_mut()
+            .find(|s| summaries_mergeable(s, &summary))
+        {
+            let before = existing.wire_size() as u64;
+            existing.merge(&summary, &location, at);
+            self.spill_bytes[g] = self.spill_bytes[g] - before + existing.wire_size() as u64;
+        } else {
+            self.spill_bytes[g] += summary.wire_size() as u64;
+            self.spill[g].push(summary);
+        }
+        self.faults_seen.spilled += 1;
+        self.tel.counter("flowstream.spill.spilled_total").inc();
+        while self.spill_bytes[g] > self.config.spill_capacity_bytes && !self.spill[g].is_empty() {
+            let victim = self.spill[g].remove(0);
+            let bytes = victim.wire_size() as u64;
+            self.spill_bytes[g] -= bytes;
+            self.faults_seen.dropped += 1;
+            self.faults_seen.dropped_bytes += bytes;
+            self.tel.counter("flowstream.spill.dropped_total").inc();
+            self.tel
+                .counter("flowstream.spill.dropped_bytes_total")
+                .add(bytes);
+        }
+    }
+
+    /// Re-exports spilled summaries whose uplink has recovered; stops at
+    /// the first still-failing transfer per region.
+    fn flush_spill(&mut self, at: Timestamp) {
+        for g in 0..self.spill.len() {
+            let (from, to) = (self.topology.regions[g], self.topology.noc);
+            while let Some(summary) = self.spill[g].first().cloned() {
+                let bytes = summary.wire_size() as u64;
+                match self.topology.network.transfer(from, to, bytes, at) {
+                    Ok(_) => {
+                        self.spill[g].remove(0);
+                        self.spill_bytes[g] = self.spill_bytes[g].saturating_sub(bytes);
+                        self.faults_seen.flushed += 1;
+                        self.tel.counter("flowstream.spill.flushed_total").inc();
+                        self.deliver_to_noc(g, summary, at);
+                    }
+                    Err(e) if e.is_transient() => break,
+                    Err(e) => panic!("region is connected to the noc: {e}"),
+                }
+            }
+        }
+    }
+
     /// Flushes the current (partial) epoch so all ingested data is
     /// queryable.
     pub fn finish(&mut self) {
@@ -386,7 +561,8 @@ impl Flowstream {
         self.rotate(at);
     }
 
-    /// Runs a FlowQL query against the indexed summaries (⑤).
+    /// Runs a FlowQL query against the indexed summaries (⑤), under the
+    /// configured [`DegradationPolicy`].
     ///
     /// Note that `noc`-level summaries cover the same traffic as the
     /// per-region ones; restrict by `location` to avoid double counting
@@ -395,16 +571,69 @@ impl Flowstream {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowstreamError`] on parse or execution failures.
+    /// Returns [`FlowstreamError`] on parse or execution failures, and —
+    /// under [`DegradationPolicy::FailFast`] with unreachable locations
+    /// holding matching data — [`FlowstreamError::Unreachable`].
     pub fn query(&self, flowql: &str) -> Result<QueryResult, FlowstreamError> {
-        self.query_with(flowql, &self.tracer)
+        self.query_with(flowql, self.config.degradation, &self.tracer)
+    }
+
+    /// [`Flowstream::query`] under an explicit policy, overriding the
+    /// configured one for this call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flowstream::query`].
+    pub fn query_with_policy(
+        &self,
+        flowql: &str,
+        policy: DegradationPolicy,
+    ) -> Result<QueryResult, FlowstreamError> {
+        self.query_with(flowql, policy, &self.tracer)
+    }
+
+    /// Region locations (plus `noc`) currently unreachable from the cloud
+    /// vantage point, per the network's installed fault plan. Empty
+    /// without faults.
+    pub fn unreachable_locations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        if self.topology.network.faults().is_none() {
+            return out;
+        }
+        let cloud = self.topology.cloud;
+        for (g, &region) in self.topology.regions.iter().enumerate() {
+            if self
+                .topology
+                .network
+                .route_at(cloud, region, self.now)
+                .is_none()
+            {
+                out.insert(format!("region-{g}"));
+            }
+        }
+        if self
+            .topology
+            .network
+            .route_at(cloud, self.topology.noc, self.now)
+            .is_none()
+        {
+            out.insert("noc".to_owned());
+        }
+        out
     }
 
     /// [`Flowstream::query`] recording its causal lineage into `tracer`:
     /// a `flowstream.query` root span with a `parse` child and the FlowDB
     /// execution stages (plan, per-location fan-out, merge, operator run)
-    /// underneath.
-    fn query_with(&self, flowql: &str, tracer: &Tracer) -> Result<QueryResult, FlowstreamError> {
+    /// underneath. With unreachable locations, the root span is annotated
+    /// with the policy, the unreachable set, and the result's
+    /// completeness — so `explain` shows *why* a result is partial.
+    fn query_with(
+        &self,
+        flowql: &str,
+        policy: DegradationPolicy,
+        tracer: &Tracer,
+    ) -> Result<QueryResult, FlowstreamError> {
         let timer = ScopedTimer::start(&self.metrics.query_micros);
         self.metrics.queries.inc();
         let mut root = tracer.root("flowstream.query");
@@ -414,10 +643,46 @@ impl Flowstream {
         let parsed = megastream_flowdb::parse(flowql).map_err(FlowstreamError::Parse);
         drop(parse_span);
         parse_timer.stop();
+        let unavailable = self.unreachable_locations();
         let result = parsed.and_then(|query| {
-            self.flowdb
-                .execute_traced(&query, &root)
-                .map_err(FlowstreamError::Query)
+            if unavailable.is_empty() {
+                return self
+                    .flowdb
+                    .execute_traced(&query, &root)
+                    .map_err(FlowstreamError::Query);
+            }
+            root.annotate("degradation", &format!("{policy:?}"));
+            root.annotate(
+                "unreachable",
+                &unavailable.iter().cloned().collect::<Vec<_>>().join(","),
+            );
+            let partial = self
+                .flowdb
+                .execute_partial_traced(&query, &root, &unavailable)
+                .map_err(FlowstreamError::Query)?;
+            if partial.completeness.is_complete() {
+                // The query never needed the unreachable locations.
+                return Ok(partial);
+            }
+            root.annotate("completeness", &partial.completeness.to_string());
+            match policy {
+                DegradationPolicy::FailFast => Err(FlowstreamError::Unreachable {
+                    locations: self
+                        .flowdb
+                        .locations()
+                        .into_iter()
+                        .filter(|l| unavailable.contains(*l))
+                        .map(str::to_owned)
+                        .collect(),
+                }),
+                DegradationPolicy::Partial => {
+                    self.faults_seen
+                        .partial_queries
+                        .set(self.faults_seen.partial_queries.get() + 1);
+                    self.tel.counter("flowstream.query.partial_total").inc();
+                    Ok(partial)
+                }
+            }
         });
         if let Err(e) = &result {
             self.metrics.query_errors.inc();
@@ -438,7 +703,7 @@ impl Flowstream {
     /// explanation still carries the spans recorded up to the failure.
     pub fn explain(&self, flowql: &str) -> (Result<QueryResult, FlowstreamError>, Explanation) {
         let tracer = Tracer::new();
-        let result = self.query_with(flowql, &tracer);
+        let result = self.query_with(flowql, self.config.degradation, &tracer);
         (
             result,
             Explanation {
@@ -461,6 +726,13 @@ impl Flowstream {
         stats.flowdb_summaries = self.flowdb.len();
         stats.trigger_events = self.trigger_log.len();
         stats.network_bytes = self.topology.network.total_bytes();
+        stats.export_retries = self.faults_seen.export_retries;
+        stats.spilled_summaries = self.faults_seen.spilled;
+        stats.flushed_summaries = self.faults_seen.flushed;
+        stats.dropped_summaries = self.faults_seen.dropped;
+        stats.dropped_bytes = self.faults_seen.dropped_bytes;
+        stats.raw_deferrals = self.faults_seen.raw_deferrals;
+        stats.partial_queries = self.faults_seen.partial_queries.get();
         stats
     }
 
@@ -488,6 +760,32 @@ impl Flowstream {
     /// The simulated network with its transfer accounting.
     pub fn network(&self) -> &Network {
         &self.topology.network
+    }
+
+    /// Mutable access to the simulated network — install a
+    /// [`FaultPlan`](megastream_netsim::FaultPlan) here to script outages.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.topology.network
+    }
+
+    /// The network node hosting `region`'s data store.
+    pub fn region_node(&self, region: usize) -> NodeId {
+        self.topology.regions[region]
+    }
+
+    /// The network node hosting the NOC store.
+    pub fn noc_node(&self) -> NodeId {
+        self.topology.noc
+    }
+
+    /// The cloud node — the vantage point queries fan out from.
+    pub fn cloud_node(&self) -> NodeId {
+        self.topology.cloud
+    }
+
+    /// Summaries currently parked in `region`'s spill buffer.
+    pub fn spilled(&self, region: usize) -> usize {
+        self.spill[region].len()
     }
 
     /// Read access to a region's data store.

@@ -12,8 +12,8 @@ use megastream_datastore::store::{DataStore, StreamId};
 use megastream_datastore::summary::{StoredSummary, Summary};
 use megastream_datastore::trigger::TriggerEvent;
 use megastream_flow::record::FlowRecord;
-use megastream_flow::time::Timestamp;
-use megastream_netsim::topology::{Network, NodeId};
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_primitives::aggregator::Combinable;
 use megastream_telemetry::{labeled, Telemetry, TraceSpan, Tracer};
 
@@ -27,6 +27,66 @@ struct Entry {
     net: NodeId,
     parent: Option<usize>,
     depth: usize,
+    /// Store-and-forward buffer for summaries whose export failed: they are
+    /// re-merged (P2) while waiting and re-exported once the edge recovers.
+    spill: Vec<StoredSummary>,
+    spill_bytes: u64,
+}
+
+/// Retry/spill policy for [`StoreHierarchy::pump`] exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PumpPolicy {
+    /// Re-attempts after a transient transfer failure (0 = no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub initial_backoff: TimeDelta,
+    /// Per-edge spill buffer bound; the oldest spilled summaries are
+    /// dropped (with accounting) when an insert would exceed it.
+    pub spill_capacity_bytes: u64,
+}
+
+impl Default for PumpPolicy {
+    fn default() -> Self {
+        PumpPolicy {
+            max_retries: 3,
+            initial_backoff: TimeDelta::from_millis(200),
+            spill_capacity_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Fatal error from [`StoreHierarchy::pump`]: the topology itself is broken
+/// (transient faults are retried/spilled, never surfaced here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PumpError {
+    /// A transfer between two stores failed with a non-transient error.
+    Transfer {
+        /// The exporting store's network node.
+        from: NodeId,
+        /// The parent store's network node.
+        to: NodeId,
+        /// The underlying error ([`TransferError::NoRoute`] or
+        /// [`TransferError::UnknownNode`]).
+        source: TransferError,
+    },
+}
+
+impl std::fmt::Display for PumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PumpError::Transfer { from, to, source } => {
+                write!(f, "export {from} -> {to} failed fatally: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PumpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PumpError::Transfer { source, .. } => Some(source),
+        }
+    }
 }
 
 /// Statistics of one [`StoreHierarchy::pump`] pass.
@@ -40,6 +100,16 @@ pub struct ExportStats {
     pub exported_bytes: u64,
     /// Summaries absorbed into a parent's live aggregator (vs stored).
     pub absorbed: u64,
+    /// Transfer re-attempts after transient failures.
+    pub retries: u64,
+    /// Summaries parked in a spill buffer after retries were exhausted.
+    pub spilled: u64,
+    /// Previously spilled summaries delivered after the edge recovered.
+    pub flushed: u64,
+    /// Spilled summaries dropped because a spill buffer overflowed.
+    pub dropped: u64,
+    /// Bytes those drops discarded.
+    pub dropped_bytes: u64,
 }
 
 impl std::ops::AddAssign for ExportStats {
@@ -48,6 +118,11 @@ impl std::ops::AddAssign for ExportStats {
         self.exported_summaries += rhs.exported_summaries;
         self.exported_bytes += rhs.exported_bytes;
         self.absorbed += rhs.absorbed;
+        self.retries += rhs.retries;
+        self.spilled += rhs.spilled;
+        self.flushed += rhs.flushed;
+        self.dropped += rhs.dropped;
+        self.dropped_bytes += rhs.dropped_bytes;
     }
 }
 
@@ -58,6 +133,7 @@ pub struct StoreHierarchy {
     network: Network,
     tel: Telemetry,
     tracer: Tracer,
+    policy: PumpPolicy,
 }
 
 impl StoreHierarchy {
@@ -68,7 +144,29 @@ impl StoreHierarchy {
             network,
             tel: Telemetry::disabled(),
             tracer: Tracer::disabled(),
+            policy: PumpPolicy::default(),
         }
+    }
+
+    /// Sets the retry/spill policy [`pump`](Self::pump) uses.
+    pub fn set_pump_policy(&mut self, policy: PumpPolicy) {
+        self.policy = policy;
+    }
+
+    /// The retry/spill policy in effect.
+    pub fn pump_policy(&self) -> PumpPolicy {
+        self.policy
+    }
+
+    /// Summaries currently parked in `id`'s spill buffer (awaiting a
+    /// recovered edge to the parent).
+    pub fn spilled(&self, id: HierarchyId) -> usize {
+        self.entries[id.0].spill.len()
+    }
+
+    /// Bytes currently parked in `id`'s spill buffer.
+    pub fn spilled_bytes(&self, id: HierarchyId) -> u64 {
+        self.entries[id.0].spill_bytes
     }
 
     /// Connects the hierarchy (and every store in it, present or future) to
@@ -104,6 +202,8 @@ impl StoreHierarchy {
             net,
             parent: None,
             depth: 0,
+            spill: Vec::new(),
+            spill_bytes: 0,
         });
         HierarchyId(self.entries.len() - 1)
     }
@@ -126,6 +226,8 @@ impl StoreHierarchy {
             net,
             parent: Some(parent.0),
             depth,
+            spill: Vec::new(),
+            spill_bytes: 0,
         });
         HierarchyId(self.entries.len() - 1)
     }
@@ -202,7 +304,22 @@ impl StoreHierarchy {
     /// summary a parent can merge into one of its live aggregators is
     /// *absorbed* (so the parent's own epoch summarizes its children);
     /// anything else is imported into the parent's summary store.
-    pub fn pump(&mut self, now: Timestamp) -> ExportStats {
+    ///
+    /// Transient transfer failures (link/node down, loss — see
+    /// [`TransferError::is_transient`]) are retried with exponential
+    /// backoff per the installed [`PumpPolicy`]; summaries that still
+    /// cannot be delivered are parked in a bounded per-edge spill buffer
+    /// (re-merged while waiting, exercising P2 combinability) and
+    /// re-exported by a later pump once the edge recovers. Overflowing
+    /// the buffer drops the oldest spilled summaries with accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PumpError::Transfer`] only for non-transient failures
+    /// ([`TransferError::NoRoute`] / [`TransferError::UnknownNode`]) —
+    /// those mean the hierarchy is miswired, not that the network is
+    /// having a bad day.
+    pub fn pump(&mut self, now: Timestamp) -> Result<ExportStats, PumpError> {
         let pump_span = self.tel.span("hierarchy.pump");
         let trace_root = self.tracer.root("hierarchy.pump");
         let mut stats = ExportStats::default();
@@ -211,6 +328,11 @@ impl StoreHierarchy {
         let mut order: Vec<usize> = (0..self.entries.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].depth));
         for i in order {
+            // Recovery first: re-export anything spilled on this edge, so
+            // a parent rotating in this same pump sees the late data.
+            if !self.entries[i].spill.is_empty() {
+                self.flush_spill(i, now, &trace_root, &mut stats)?;
+            }
             if !self.entries[i].store.epoch_due(now) {
                 continue;
             }
@@ -245,26 +367,40 @@ impl StoreHierarchy {
             };
             let (from, to) = (self.entries[i].net, self.entries[parent].net);
             let mut level_bytes = 0u64;
-            let (mut absorbed, mut imported) = (0u64, 0u64);
+            let (mut absorbed, mut imported, mut spilled) = (0u64, 0u64, 0u64);
             for summary in exported {
                 let bytes = summary.wire_size() as u64;
-                self.network
-                    .transfer(from, to, bytes, now)
-                    .expect("hierarchy stores must be connected");
-                stats.exported_summaries += 1;
-                stats.exported_bytes += bytes;
-                level_bytes += bytes;
-                export_span.add_bytes(bytes);
-                export_span.add_records(1);
-                if absorb(&mut self.entries[parent].store, &summary) {
-                    stats.absorbed += 1;
-                    absorbed += 1;
-                } else {
-                    self.entries[parent].store.import_summary(summary, now);
-                    imported += 1;
+                match self.transfer_with_retry(from, to, bytes, now, &mut stats) {
+                    Ok(()) => {
+                        stats.exported_summaries += 1;
+                        stats.exported_bytes += bytes;
+                        level_bytes += bytes;
+                        export_span.add_bytes(bytes);
+                        export_span.add_records(1);
+                        if absorb(&mut self.entries[parent].store, &summary) {
+                            stats.absorbed += 1;
+                            absorbed += 1;
+                        } else {
+                            self.entries[parent].store.import_summary(summary, now);
+                            imported += 1;
+                        }
+                        absorb_span.add_bytes(bytes);
+                        absorb_span.add_records(1);
+                    }
+                    Err(err) if err.is_transient() => {
+                        if export_span.is_recording() {
+                            export_span.annotate("fault", &err.to_string());
+                        }
+                        self.park(i, summary, now, &mut stats);
+                        spilled += 1;
+                    }
+                    Err(source) => {
+                        return Err(PumpError::Transfer { from, to, source });
+                    }
                 }
-                absorb_span.add_bytes(bytes);
-                absorb_span.add_records(1);
+            }
+            if export_span.is_recording() && spilled > 0 {
+                export_span.annotate("spilled", &spilled.to_string());
             }
             if absorb_span.is_recording() {
                 absorb_span.annotate("absorbed", &absorbed.to_string());
@@ -282,7 +418,144 @@ impl StoreHierarchy {
             }
         }
         pump_span.finish();
-        stats
+        Ok(stats)
+    }
+
+    /// One transfer with bounded retry + exponential backoff. Each retry
+    /// happens at a later simulated timestamp (`now + backoff * 2^k`), so
+    /// a short outage window can end mid-sequence.
+    fn transfer_with_retry(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        now: Timestamp,
+        stats: &mut ExportStats,
+    ) -> Result<(), TransferError> {
+        let mut attempt_at = now;
+        let mut backoff = self.policy.initial_backoff;
+        for attempt in 0..=self.policy.max_retries {
+            match self.network.transfer(from, to, bytes, attempt_at) {
+                Ok(_) => return Ok(()),
+                Err(err) if err.is_transient() && attempt < self.policy.max_retries => {
+                    stats.retries += 1;
+                    self.tel.counter("hierarchy.export.retries_total").inc();
+                    attempt_at += backoff;
+                    backoff = TimeDelta::from_micros(backoff.as_micros().saturating_mul(2));
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        unreachable!("loop always returns")
+    }
+
+    /// Parks a summary in `i`'s spill buffer: merged into a compatible
+    /// already-spilled summary where possible (P2), bounded by the policy's
+    /// capacity with oldest-first drops.
+    fn park(&mut self, i: usize, summary: StoredSummary, now: Timestamp, stats: &mut ExportStats) {
+        let location = self.entries[i].store.name().to_string();
+        let cap = self.policy.spill_capacity_bytes;
+        let entry = &mut self.entries[i];
+        if let Some(existing) = entry
+            .spill
+            .iter_mut()
+            .find(|s| spill_mergeable(s, &summary))
+        {
+            let before = existing.wire_size() as u64;
+            existing.merge(&summary, &location, now);
+            entry.spill_bytes = entry.spill_bytes - before + existing.wire_size() as u64;
+        } else {
+            entry.spill_bytes += summary.wire_size() as u64;
+            entry.spill.push(summary);
+        }
+        stats.spilled += 1;
+        self.tel.counter("hierarchy.spill.spilled_total").inc();
+        while entry.spill_bytes > cap && !entry.spill.is_empty() {
+            let victim = entry.spill.remove(0);
+            let bytes = victim.wire_size() as u64;
+            entry.spill_bytes -= bytes;
+            stats.dropped += 1;
+            stats.dropped_bytes += bytes;
+            self.tel.counter("hierarchy.spill.dropped_total").inc();
+            self.tel
+                .counter("hierarchy.spill.dropped_bytes_total")
+                .add(bytes);
+        }
+        self.tel
+            .gauge("hierarchy.spill.buffered_bytes")
+            .set(entry.spill_bytes as i64);
+    }
+
+    /// Attempts to deliver `i`'s spilled summaries to its parent. Stops at
+    /// the first transient failure (the edge is still down); fatal errors
+    /// propagate.
+    fn flush_spill(
+        &mut self,
+        i: usize,
+        now: Timestamp,
+        trace_root: &TraceSpan,
+        stats: &mut ExportStats,
+    ) -> Result<(), PumpError> {
+        let Some(parent) = self.entries[i].parent else {
+            // A root cannot export; anything spilled here is unreachable.
+            return Ok(());
+        };
+        let (from, to) = (self.entries[i].net, self.entries[parent].net);
+        let mut flush_span = trace_root.child("flush");
+        if flush_span.is_recording() {
+            flush_span.annotate("store", self.entries[i].store.name());
+            flush_span.annotate("pending", &self.entries[i].spill.len().to_string());
+        }
+        while let Some(summary) = self.entries[i].spill.first().cloned() {
+            let bytes = summary.wire_size() as u64;
+            match self.network.transfer(from, to, bytes, now) {
+                Ok(_) => {
+                    self.entries[i].spill.remove(0);
+                    self.entries[i].spill_bytes = self.entries[i].spill_bytes.saturating_sub(bytes);
+                    stats.flushed += 1;
+                    stats.exported_summaries += 1;
+                    stats.exported_bytes += bytes;
+                    flush_span.add_bytes(bytes);
+                    flush_span.add_records(1);
+                    self.tel.counter("hierarchy.spill.flushed_total").inc();
+                    if absorb(&mut self.entries[parent].store, &summary) {
+                        stats.absorbed += 1;
+                    } else {
+                        self.entries[parent].store.import_summary(summary, now);
+                    }
+                }
+                Err(err) if err.is_transient() => {
+                    if flush_span.is_recording() {
+                        flush_span.annotate("fault", &err.to_string());
+                    }
+                    break;
+                }
+                Err(source) => {
+                    return Err(PumpError::Transfer { from, to, source });
+                }
+            }
+        }
+        self.tel
+            .gauge("hierarchy.spill.buffered_bytes")
+            .set(self.entries[i].spill_bytes as i64);
+        Ok(())
+    }
+}
+
+/// Whether two stored summaries can merge without panicking: same kind,
+/// and for Flowtrees / exact tables, matching configuration. Spill buffers
+/// use this to coalesce parked summaries (P2) while an edge is down.
+pub fn summaries_mergeable(a: &StoredSummary, b: &StoredSummary) -> bool {
+    spill_mergeable(a, b)
+}
+
+fn spill_mergeable(a: &StoredSummary, b: &StoredSummary) -> bool {
+    match (&a.summary, &b.summary) {
+        (Summary::Flowtree(x), Summary::Flowtree(y)) => x.config().compatible_with(y.config()),
+        (Summary::Exact(x), Summary::Exact(y)) => {
+            x.features() == y.features() && x.score_kind() == y.score_kind()
+        }
+        (x, y) => x.kind() == y.kind(),
     }
 }
 
@@ -389,7 +662,7 @@ mod tests {
             &rec("10.1.0.1", 7),
             Timestamp::from_secs(10),
         );
-        let stats = h.pump(Timestamp::from_secs(60));
+        let stats = h.pump(Timestamp::from_secs(60)).unwrap();
         assert_eq!(stats.rotations, 2);
         assert_eq!(stats.exported_summaries, 2);
         assert_eq!(stats.absorbed, 2);
@@ -417,7 +690,7 @@ mod tests {
                 &rec("10.1.0.1", 7),
                 Timestamp::from_secs(t),
             );
-            h.pump(Timestamp::from_secs(t + 50));
+            h.pump(Timestamp::from_secs(t + 50)).unwrap();
         }
         // The t=120 pump closed the parent epoch right after absorbing the
         // children's second exports (children rotate first within a pump).
@@ -441,7 +714,7 @@ mod tests {
             h.ingest_flow(a, &"ra".into(), &rec(&format!("10.0.{}.1", i % 50), 1), t);
             h.ingest_flow(b, &"rb".into(), &rec(&format!("10.1.{}.1", i % 50), 1), t);
         }
-        let stats = h.pump(Timestamp::from_secs(60));
+        let stats = h.pump(Timestamp::from_secs(60)).unwrap();
         let raw: u64 = [a, b].iter().map(|id| h.store(*id).stats().raw_bytes).sum();
         assert!(
             stats.exported_bytes < raw / 2,
@@ -473,9 +746,174 @@ mod tests {
             &rec("10.0.0.1", 5),
             Timestamp::from_secs(1),
         );
-        let stats = h.pump(Timestamp::from_secs(60));
+        let stats = h.pump(Timestamp::from_secs(60)).unwrap();
         assert_eq!(stats.absorbed, 0);
         assert_eq!(h.store(root).summaries().len(), 1);
+    }
+
+    #[test]
+    fn pump_surfaces_fatal_transfer_errors() {
+        // A child bound to a node with no link to its parent: NoRoute is a
+        // wiring bug and must surface as an error, not be swallowed.
+        let mut net = Network::new();
+        let p = net.add_node("p", NodeKind::DataStore);
+        let _linked = net.add_node("linked", NodeKind::DataStore);
+        let island = net.add_node("island", NodeKind::DataStore);
+        net.connect(p, _linked, LinkSpec::lan_1g());
+        let mut h = StoreHierarchy::new(net);
+        let root = h.add_root(store("p", 3600), p);
+        let child = h.add_child(store("c", 60), island, root);
+        h.ingest_flow(
+            child,
+            &"r".into(),
+            &rec("10.0.0.1", 5),
+            Timestamp::from_secs(1),
+        );
+        let err = h.pump(Timestamp::from_secs(60)).unwrap_err();
+        assert_eq!(
+            err,
+            PumpError::Transfer {
+                from: h.net_node(child),
+                to: h.net_node(root),
+                source: megastream_netsim::TransferError::NoRoute(
+                    h.net_node(child),
+                    h.net_node(root)
+                ),
+            }
+        );
+        assert!(err.to_string().contains("no route"));
+    }
+
+    #[test]
+    fn link_down_spills_then_flushes_and_converges() {
+        use megastream_netsim::FaultPlan;
+        // Reference run without faults.
+        let (mut ref_h, ref_root, ref_a, ref_b) = two_level();
+        // Faulted run: a's uplink is down across the t=60 rotation and
+        // recovers before t=120.
+        let (mut h, root, a, b) = two_level();
+        let mut plan = FaultPlan::seeded(42);
+        plan.link_down(
+            h.net_node(a),
+            h.net_node(root),
+            Timestamp::from_secs(50),
+            Timestamp::from_secs(100),
+        );
+        h.network_mut().install_faults(plan);
+        for (hh, aa, bb) in [(&mut ref_h, ref_a, ref_b), (&mut h, a, b)] {
+            for t in [10u64, 70] {
+                hh.ingest_flow(
+                    aa,
+                    &"ra".into(),
+                    &rec("10.0.0.1", 5),
+                    Timestamp::from_secs(t),
+                );
+                hh.ingest_flow(
+                    bb,
+                    &"rb".into(),
+                    &rec("10.1.0.1", 7),
+                    Timestamp::from_secs(t),
+                );
+            }
+        }
+        let ref_s1 = ref_h.pump(Timestamp::from_secs(60)).unwrap();
+        let s1 = h.pump(Timestamp::from_secs(60)).unwrap();
+        // b exported fine; a retried, gave up, and spilled.
+        assert_eq!(s1.exported_summaries, 1);
+        assert_eq!(s1.spilled, 1);
+        assert!(s1.retries >= 1);
+        assert_eq!(h.spilled(a), 1);
+        assert!(h.spilled_bytes(a) > 0);
+        assert_eq!(ref_s1.spilled, 0);
+        // Next pump runs after recovery: the spill flushes and the parent
+        // converges to the reference run's exact totals.
+        let ref_s2 = ref_h.pump(Timestamp::from_secs(120)).unwrap();
+        let s2 = h.pump(Timestamp::from_secs(120)).unwrap();
+        assert_eq!(s2.flushed, 1);
+        assert_eq!(h.spilled(a), 0);
+        assert_eq!(
+            h.store(root).live_flow_score(&FlowKey::root()).value(),
+            ref_h
+                .store(ref_root)
+                .live_flow_score(&FlowKey::root())
+                .value(),
+        );
+        assert_eq!(
+            s1.exported_summaries + s2.exported_summaries,
+            ref_s1.exported_summaries + ref_s2.exported_summaries,
+        );
+    }
+
+    #[test]
+    fn spilled_summaries_merge_while_waiting() {
+        use megastream_netsim::FaultPlan;
+        let (mut h, root, a, _b) = two_level();
+        let mut plan = FaultPlan::seeded(7);
+        // Down across both rotations.
+        plan.link_down(
+            h.net_node(a),
+            h.net_node(root),
+            Timestamp::from_secs(50),
+            Timestamp::from_secs(500),
+        );
+        h.network_mut().install_faults(plan);
+        for t in [10u64, 70] {
+            h.ingest_flow(
+                a,
+                &"ra".into(),
+                &rec("10.0.0.1", 5),
+                Timestamp::from_secs(t),
+            );
+        }
+        let s1 = h.pump(Timestamp::from_secs(60)).unwrap();
+        let s2 = h.pump(Timestamp::from_secs(120)).unwrap();
+        assert_eq!(s1.spilled + s2.spilled, 2);
+        // Both epochs merged into ONE parked summary (P2 combinability).
+        assert_eq!(h.spilled(a), 1);
+        // After recovery the single flushed summary carries both epochs
+        // (the root rotates at t=500 too, so count live + stored mass).
+        let s3 = h.pump(Timestamp::from_secs(500)).unwrap();
+        assert_eq!(s3.flushed, 1);
+        let total = h.store(root).live_flow_score(&FlowKey::root()).value()
+            + h.store(root)
+                .summaries()
+                .iter()
+                .filter_map(|s| match &s.summary {
+                    Summary::Flowtree(t) => Some(t.total().value()),
+                    _ => None,
+                })
+                .sum::<u64>();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn spill_overflow_drops_oldest_with_accounting() {
+        use megastream_netsim::FaultPlan;
+        let (mut h, root, a, _b) = two_level();
+        h.set_pump_policy(PumpPolicy {
+            max_retries: 0,
+            spill_capacity_bytes: 1, // any spill overflows immediately
+            ..PumpPolicy::default()
+        });
+        let mut plan = FaultPlan::seeded(7);
+        plan.link_down(
+            h.net_node(a),
+            h.net_node(root),
+            Timestamp::ZERO,
+            Timestamp::from_secs(500),
+        );
+        h.network_mut().install_faults(plan);
+        h.ingest_flow(
+            a,
+            &"ra".into(),
+            &rec("10.0.0.1", 5),
+            Timestamp::from_secs(10),
+        );
+        let s = h.pump(Timestamp::from_secs(60)).unwrap();
+        assert_eq!(s.spilled, 1);
+        assert_eq!(s.dropped, 1);
+        assert!(s.dropped_bytes > 0);
+        assert_eq!(h.spilled(a), 0);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub mod hierarchy;
 
 pub use application::{AppDirective, Application};
 pub use controller::{ControlAction, Controller, Rule, RuleId, SafetyEnvelope};
-pub use flowstream::{Explanation, Flowstream, FlowstreamConfig};
-pub use hierarchy::{ExportStats, HierarchyId, StoreHierarchy};
+pub use flowstream::{DegradationPolicy, Explanation, Flowstream, FlowstreamConfig};
+pub use hierarchy::{ExportStats, HierarchyId, PumpError, PumpPolicy, StoreHierarchy};
 
 // Re-export the member crates under short names for downstream users.
 pub use megastream_analytics as analytics;

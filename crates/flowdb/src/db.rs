@@ -4,8 +4,10 @@ use megastream_flow::time::TimeWindow;
 use megastream_flowtree::Flowtree;
 use megastream_telemetry::{labeled, ScopedTimer, Telemetry, TraceSpan, LATENCY_MICROS_BOUNDS};
 
+use std::collections::BTreeSet;
+
 use crate::ast::Query;
-use crate::exec::{execute_traced, QueryError, QueryResult};
+use crate::exec::{execute_partial_traced, execute_traced, QueryError, QueryResult};
 
 /// One indexed flow summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +146,60 @@ impl FlowDb {
         let result = execute_traced(self, query, parent);
         if result.is_err() {
             self.tel.counter("flowdb.exec.errors_total").inc();
+        }
+        timer.stop();
+        result
+    }
+
+    /// Degraded execution: summaries from `unavailable` locations are
+    /// excluded and the result's
+    /// [`Completeness`](crate::exec::Completeness) records locations
+    /// reached vs matching. If every matching location is unavailable the
+    /// result is empty with completeness `0/n`, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlowDb::execute`], except unreachable locations no longer
+    /// cause incomplete results to error.
+    pub fn execute_partial(
+        &self,
+        query: &Query,
+        unavailable: &BTreeSet<String>,
+    ) -> Result<QueryResult, QueryError> {
+        self.execute_partial_traced(query, &TraceSpan::disabled(), unavailable)
+    }
+
+    /// [`FlowDb::execute_partial`] with causal tracing: skipped locations
+    /// are recorded as `fanout` spans annotated `skipped=unreachable`, so
+    /// the lineage tree explains *why* a result is partial.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlowDb::execute_partial`].
+    pub fn execute_partial_traced(
+        &self,
+        query: &Query,
+        parent: &TraceSpan,
+        unavailable: &BTreeSet<String>,
+    ) -> Result<QueryResult, QueryError> {
+        if !self.tel.is_enabled() {
+            return execute_partial_traced(self, query, parent, unavailable);
+        }
+        let kind = query.op.kind();
+        let timer = ScopedTimer::start(&self.tel.histogram(
+            &labeled("flowdb.exec.micros", "op", kind),
+            LATENCY_MICROS_BOUNDS,
+        ));
+        self.tel
+            .counter(&labeled("flowdb.exec.total", "op", kind))
+            .inc();
+        let result = execute_partial_traced(self, query, parent, unavailable);
+        match &result {
+            Err(_) => self.tel.counter("flowdb.exec.errors_total").inc(),
+            Ok(r) if !r.completeness.is_complete() => {
+                self.tel.counter("flowdb.exec.partial_total").inc()
+            }
+            Ok(_) => {}
         }
         timer.stop();
         result

@@ -6,7 +6,7 @@
 //! With `GROUP BY location`, the merge-and-operate step runs once per
 //! location instead of across all of them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use megastream_flow::key::FlowKey;
@@ -54,6 +54,49 @@ pub struct ResultRow {
     pub location: Option<String>,
 }
 
+/// How much of the queried data a result actually covers: the locations
+/// whose summaries were consulted vs the locations that matched the query.
+/// A degraded (partial) execution skips unreachable locations, so
+/// `reached < total` — see [`FlowDb::execute_partial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completeness {
+    /// Locations whose summaries contributed to the result.
+    pub reached: usize,
+    /// Locations with summaries matching the query.
+    pub total: usize,
+}
+
+impl Completeness {
+    /// A fully complete result over `n` locations.
+    pub fn complete(n: usize) -> Self {
+        Completeness {
+            reached: n,
+            total: n,
+        }
+    }
+
+    /// `reached / total` as a fraction (1.0 when nothing matched at all —
+    /// an empty result is vacuously complete).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.reached as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every matching location was consulted.
+    pub fn is_complete(&self) -> bool {
+        self.reached == self.total
+    }
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} locations", self.reached, self.total)
+    }
+}
+
 /// The result of a FlowQL query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResult {
@@ -64,17 +107,24 @@ pub struct QueryResult {
     /// Result rows, most significant first (grouped queries order by
     /// location first).
     pub rows: Vec<ResultRow>,
+    /// Locations reached vs matching (always complete outside degraded
+    /// executions).
+    pub completeness: Completeness,
 }
 
 impl fmt::Display for QueryResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
             "-- {} over {} summaries, {} row(s)",
             self.op,
             self.summaries_used,
             self.rows.len()
         )?;
+        if !self.completeness.is_complete() {
+            write!(f, " [PARTIAL: {}]", self.completeness)?;
+        }
+        writeln!(f)?;
         let mut current_location: Option<&str> = None;
         for row in &self.rows {
             if let Some(loc) = &row.location {
@@ -191,6 +241,7 @@ pub(crate) fn execute_traced(
         if groups.is_empty() {
             return Err(QueryError::NoMatchingSummaries);
         }
+        let group_count = groups.len();
         let run = tel.timer("flowdb.run.micros");
         let mut rows = Vec::new();
         let mut used = 0;
@@ -218,9 +269,11 @@ pub(crate) fn execute_traced(
             op: format!("{} GROUP BY location", query.op),
             summaries_used: used,
             rows,
+            completeness: Completeness::complete(group_count),
         });
     }
     let plan = tel.timer("flowdb.plan.micros");
+    let location_count;
     let trees: Vec<&Flowtree> = if parent.is_recording() {
         // Traced path: attribute the scan to each contacted location — the
         // per-store fan-out a distributed deployment would make explicit.
@@ -233,6 +286,7 @@ pub(crate) fn execute_traced(
         }
         plan_span.add_records(by_location.values().map(|(g, _)| g.len() as u64).sum());
         plan_span.finish();
+        location_count = by_location.len();
         let mut all = Vec::new();
         for (location, (trees, bytes)) in by_location {
             let mut fanout_span = parent.child("fanout");
@@ -244,7 +298,16 @@ pub(crate) fn execute_traced(
         }
         all
     } else {
-        db.select(query).map(|e| &e.tree).collect()
+        let mut locations = BTreeSet::new();
+        let trees: Vec<&Flowtree> = db
+            .select(query)
+            .map(|e| {
+                locations.insert(e.location.as_str());
+                &e.tree
+            })
+            .collect();
+        location_count = locations.len();
+        trees
     };
     plan.stop();
     let used = trees.len();
@@ -263,6 +326,121 @@ pub(crate) fn execute_traced(
         op: query.op.to_string(),
         summaries_used: used,
         rows,
+        completeness: Completeness::complete(location_count),
+    })
+}
+
+/// Degraded execution: like [`execute_traced`] but summaries from
+/// `unavailable` locations are excluded from the merge instead of
+/// contributing, and the result's [`Completeness`] records how many of the
+/// matching locations were actually consulted. A `fanout` span annotated
+/// `skipped=unreachable` is emitted per excluded location, so `explain`
+/// shows *why* the result is partial.
+pub(crate) fn execute_partial_traced(
+    db: &FlowDb,
+    query: &Query,
+    parent: &TraceSpan,
+    unavailable: &BTreeSet<String>,
+) -> Result<QueryResult, QueryError> {
+    let tel = db.telemetry();
+    let where_key = query.where_key();
+    let plan = tel.timer("flowdb.plan.micros");
+    let mut plan_span = parent.child("plan");
+    let mut by_location: BTreeMap<&str, Vec<&Flowtree>> = BTreeMap::new();
+    for entry in db.select(query) {
+        by_location
+            .entry(entry.location.as_str())
+            .or_default()
+            .push(&entry.tree);
+    }
+    plan_span.add_records(by_location.values().map(|g| g.len() as u64).sum());
+    plan_span.finish();
+    plan.stop();
+    let total = by_location.len();
+    if total == 0 {
+        return Err(QueryError::NoMatchingSummaries);
+    }
+    let skipped: Vec<String> = by_location
+        .keys()
+        .filter(|loc| unavailable.contains(**loc))
+        .map(|loc| (*loc).to_owned())
+        .collect();
+    for loc in &skipped {
+        by_location.remove(loc.as_str());
+        let mut span = parent.child("fanout");
+        span.annotate("location", loc);
+        span.annotate("skipped", "unreachable");
+        span.finish();
+    }
+    let completeness = Completeness {
+        reached: by_location.len(),
+        total,
+    };
+    let op = if query.group_by_location {
+        format!("{} GROUP BY location", query.op)
+    } else {
+        query.op.to_string()
+    };
+    if by_location.is_empty() {
+        // Every matching location is unreachable: an empty (0/n) result,
+        // not an error — the caller chose degraded execution.
+        return Ok(QueryResult {
+            op,
+            summaries_used: 0,
+            rows: Vec::new(),
+            completeness,
+        });
+    }
+    let run = tel.timer("flowdb.run.micros");
+    let mut rows = Vec::new();
+    let mut used = 0;
+    if query.group_by_location {
+        for (location, trees) in &by_location {
+            let mut group_span = parent.child("fanout");
+            group_span.annotate("location", location);
+            group_span.add_records(trees.len() as u64);
+            used += trees.len();
+            let merge_span = group_span.child("merge");
+            let merged = merge_group(trees)?;
+            merge_span.finish();
+            let mut op_span = group_span.child("run");
+            op_span.annotate("op", query.op.kind());
+            let group_rows = run_op(&merged, &query.op, &where_key);
+            op_span.add_records(group_rows.len() as u64);
+            op_span.finish();
+            group_span.finish();
+            for mut row in group_rows {
+                row.location = Some((*location).to_owned());
+                rows.push(row);
+            }
+        }
+    } else {
+        let mut all: Vec<&Flowtree> = Vec::new();
+        for (location, trees) in &by_location {
+            let mut fanout_span = parent.child("fanout");
+            fanout_span.annotate("location", location);
+            fanout_span.add_records(trees.len() as u64);
+            fanout_span.add_bytes(trees.iter().map(|t| t.wire_size() as u64).sum());
+            all.extend(trees.iter().copied());
+            fanout_span.finish();
+        }
+        used = all.len();
+        let mut merge_span = parent.child("merge");
+        merge_span.add_records(used as u64);
+        let merged = merge_group(&all)?;
+        merge_span.finish();
+        let mut run_span = parent.child("run");
+        run_span.annotate("op", query.op.kind());
+        rows = run_op(&merged, &query.op, &where_key);
+        run_span.add_records(rows.len() as u64);
+        run_span.finish();
+    }
+    run.stop();
+    Ok(QueryResult {
+        op,
+        summaries_used: used,
+        rows,
+        completeness,
     })
 }
 
@@ -437,6 +615,95 @@ mod tests {
         );
         let q = parse("SELECT QUERY FROM ALL").unwrap();
         assert_eq!(db.execute(&q), Err(QueryError::IncompatibleSummaries));
+    }
+
+    #[test]
+    fn partial_execution_excludes_unavailable_locations() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        let unavailable: BTreeSet<String> = ["region-1".to_owned()].into();
+        let r = db.execute_partial(&q, &unavailable).unwrap();
+        // region-0 only: 150 packets, 2 of 4 summaries, 1 of 2 locations.
+        assert_eq!(r.rows[0].score, 150);
+        assert_eq!(r.summaries_used, 2);
+        assert_eq!(
+            r.completeness,
+            Completeness {
+                reached: 1,
+                total: 2
+            }
+        );
+        assert!((r.completeness.fraction() - 0.5).abs() < 1e-9);
+        assert!(!r.completeness.is_complete());
+        assert!(r.to_string().contains("[PARTIAL: 1/2 locations]"));
+        // The complete execution of the same query says so.
+        let full = db.execute(&q).unwrap();
+        assert!(full.completeness.is_complete());
+        assert_eq!(full.completeness, Completeness::complete(2));
+        assert!(!full.to_string().contains("PARTIAL"));
+    }
+
+    #[test]
+    fn partial_execution_composes_with_group_by() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL GROUP BY location").unwrap();
+        let unavailable: BTreeSet<String> = ["region-1".to_owned()].into();
+        let r = db.execute_partial(&q, &unavailable).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].location.as_deref(), Some("region-0"));
+        assert_eq!(
+            r.completeness,
+            Completeness {
+                reached: 1,
+                total: 2
+            }
+        );
+        assert!(r.op.contains("GROUP BY location"));
+    }
+
+    #[test]
+    fn all_locations_unavailable_is_empty_not_error() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        let unavailable: BTreeSet<String> = ["region-0".to_owned(), "region-1".to_owned()].into();
+        let r = db.execute_partial(&q, &unavailable).unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(r.summaries_used, 0);
+        assert_eq!(
+            r.completeness,
+            Completeness {
+                reached: 0,
+                total: 2
+            }
+        );
+        assert_eq!(r.completeness.fraction(), 0.0);
+        // But a query matching nothing at all still errors.
+        let q2 = parse("SELECT QUERY FROM [900, 999)").unwrap();
+        assert_eq!(
+            db.execute_partial(&q2, &unavailable),
+            Err(QueryError::NoMatchingSummaries)
+        );
+    }
+
+    #[test]
+    fn unavailable_set_not_matching_anything_is_complete() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        let unavailable: BTreeSet<String> = ["mars".to_owned()].into();
+        let r = db.execute_partial(&q, &unavailable).unwrap();
+        assert!(r.completeness.is_complete());
+        assert_eq!(r.rows[0].score, 1300);
+    }
+
+    #[test]
+    fn huge_time_range_is_parse_error_not_panic() {
+        // Seconds past u64::MAX / 1e6 would overflow Timestamp::from_secs.
+        let err = parse("SELECT QUERY FROM [0, 99999999999999999999]");
+        assert!(err.is_err());
+        let err = parse("SELECT QUERY FROM [0, 18446744073709551)").unwrap_err();
+        assert!(err.to_string().contains("out of range") || format!("{err:?}").contains("Range"));
+        // The largest representable bound still parses.
+        assert!(parse("SELECT QUERY FROM [0, 18446744073709)").is_ok());
     }
 
     #[test]

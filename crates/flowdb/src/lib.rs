@@ -42,5 +42,5 @@ pub mod parser;
 
 pub use ast::{Query, Restriction, SelectOp, TimeSelection};
 pub use db::FlowDb;
-pub use exec::{QueryError, QueryResult, ResultRow};
+pub use exec::{Completeness, QueryError, QueryResult, ResultRow};
 pub use parser::{parse, ParseError};

@@ -235,6 +235,18 @@ impl Parser {
         if end <= start {
             return Err(ParseError::EmptyTimeRange);
         }
+        // Timestamps are micros in a u64; a seconds literal past this bound
+        // would overflow (and panic) in Timestamp::from_secs. Surface it as
+        // a parse error instead — this path is reachable from user FlowQL.
+        const MAX_SECS: u64 = u64::MAX / 1_000_000;
+        for bound in [start, end] {
+            if bound > MAX_SECS {
+                return Err(ParseError::ValueOutOfRange {
+                    feature: "time range bound, seconds".into(),
+                    value: bound,
+                });
+            }
+        }
         Ok(TimeWindow::new(
             Timestamp::from_secs(start),
             Timestamp::from_secs(end),

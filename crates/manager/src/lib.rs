@@ -30,6 +30,6 @@ pub mod resources;
 
 pub use manager::Manager;
 pub use placement::PlacementPlan;
-pub use replication_ctl::{ReplicationController, ReplicationOrder};
+pub use replication_ctl::{AccessError, ReplicationController, ReplicationOrder};
 pub use requirements::{AggregationFormat, AppRequirement, RequirementRegistry};
 pub use resources::ResourceTracker;

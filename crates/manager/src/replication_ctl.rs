@@ -6,12 +6,66 @@
 //! simulated network (④).
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 use megastream_flow::time::Timestamp;
 use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_replication::policy::ReplicationPolicy;
 use megastream_replication::tracker::AccessTracker;
 use megastream_telemetry::{Telemetry, Tracer};
+
+/// Why [`ReplicationController::on_access`] could not serve an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The partition id was never registered with the controller.
+    UnknownPartition(usize),
+    /// Neither the owner nor any replica could ship the result: every
+    /// candidate source was down or unreachable at access time.
+    NoAvailableSource {
+        /// The partition whose sources were all unavailable.
+        partition: usize,
+        /// The error from the last source tried, if any transfer was
+        /// attempted at all.
+        last_error: Option<TransferError>,
+    },
+    /// A network transfer failed with a non-recoverable routing error.
+    Transfer(TransferError),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::UnknownPartition(p) => {
+                write!(f, "partition {p} was never registered")
+            }
+            AccessError::NoAvailableSource {
+                partition,
+                last_error,
+            } => {
+                write!(f, "no available source for partition {partition}")?;
+                if let Some(e) = last_error {
+                    write!(f, " (last error: {e})")?;
+                }
+                Ok(())
+            }
+            AccessError::Transfer(e) => write!(f, "access transfer failed: {e}"),
+        }
+    }
+}
+
+impl Error for AccessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccessError::Transfer(e) => Some(e),
+            AccessError::NoAvailableSource {
+                last_error: Some(e),
+                ..
+            } => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A partition registered with the controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +105,11 @@ pub struct ReplicationController {
     orders: Vec<ReplicationOrder>,
     /// Per-accessor tracking: a replica helps only the node that has it.
     replica_index: HashMap<(usize, NodeId), bool>,
+    /// Reads served by a surviving replica because the owner was down.
+    failovers: u64,
+    /// Replica placements skipped because the target or transfer was
+    /// unavailable (the read itself still succeeded).
+    placements_skipped: u64,
     tel: Telemetry,
     tracer: Tracer,
 }
@@ -68,6 +127,8 @@ impl ReplicationController {
             replication_bytes: 0,
             orders: Vec::new(),
             replica_index: HashMap::new(),
+            failovers: 0,
+            placements_skipped: 0,
             tel: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -116,16 +177,22 @@ impl ReplicationController {
     /// `result_bytes` if remote. Executes the query transfer on `network`
     /// and, if the policy says so, the replication transfer (Fig. 6 ③④).
     ///
+    /// Reads tolerate partial failure: when the owner is down or the
+    /// transfer from it fails, the controller fails the read over to the
+    /// first surviving replica (in placement order). Replica placement is
+    /// best-effort — a placement whose target node is down or whose
+    /// transfer hits a transient fault is skipped (the read already
+    /// succeeded), never retried within the same access.
+    ///
     /// Returns the replication order if one was issued.
     ///
     /// # Errors
     ///
-    /// Propagates [`TransferError`] if the network cannot route the
-    /// transfer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `partition` was never registered.
+    /// Returns [`AccessError::UnknownPartition`] for an unregistered
+    /// partition id, [`AccessError::NoAvailableSource`] when no source
+    /// (owner or replica) could ship the result, and
+    /// [`AccessError::Transfer`] when the replication transfer fails with
+    /// a non-transient routing error.
     pub fn on_access(
         &mut self,
         partition: usize,
@@ -133,8 +200,12 @@ impl ReplicationController {
         result_bytes: u64,
         network: &mut Network,
         now: Timestamp,
-    ) -> Result<Option<ReplicationOrder>, TransferError> {
-        let info = self.partitions[partition].clone();
+    ) -> Result<Option<ReplicationOrder>, AccessError> {
+        let info = self
+            .partitions
+            .get(partition)
+            .cloned()
+            .ok_or(AccessError::UnknownPartition(partition))?;
         let has_replica = *self
             .replica_index
             .get(&(partition, accessor))
@@ -156,24 +227,84 @@ impl ReplicationController {
             access_span.annotate("partition", &partition.to_string());
             access_span.annotate("accessor", &accessor.to_string());
         }
-        {
+        // Candidate sources in preference order: the owner, then every
+        // replica (any copy can serve a read).
+        let mut sources = vec![info.owner];
+        sources.extend(
+            info.replicas
+                .iter()
+                .copied()
+                .filter(|r| *r != accessor && *r != info.owner),
+        );
+        let mut served_by = None;
+        let mut last_error = None;
+        for source in sources {
+            if !network.node_up(source, now) {
+                last_error = Some(TransferError::NodeDown(source));
+                continue;
+            }
             let mut ship = access_span.child("ship");
+            if ship.is_recording() {
+                ship.annotate("source", &source.to_string());
+            }
             ship.add_bytes(result_bytes);
-            network.transfer(info.owner, accessor, result_bytes, now)?;
+            match network.transfer(source, accessor, result_bytes, now) {
+                Ok(_) => {
+                    if source != info.owner {
+                        self.failovers += 1;
+                        self.tel.counter("replication.failovers_total").inc();
+                        if access_span.is_recording() {
+                            access_span.annotate("failover", &source.to_string());
+                        }
+                    }
+                    served_by = Some(source);
+                    break;
+                }
+                Err(e) => {
+                    if ship.is_recording() {
+                        ship.annotate("error", &e.to_string());
+                    }
+                    last_error = Some(e);
+                }
+            }
         }
+        let Some(served_by) = served_by else {
+            return Err(AccessError::NoAvailableSource {
+                partition,
+                last_error,
+            });
+        };
         let state = self.tracker.record_access(partition, result_bytes, now);
         if self
             .policy
             .should_replicate(partition, state, info.size_bytes, self.tracker.history())
         {
+            // Placement is best-effort: the read already succeeded, so a
+            // down target or a transient transfer fault skips the replica
+            // instead of failing the access.
+            if !network.node_up(accessor, now) {
+                self.skip_placement(&mut access_span, "target node down");
+                return Ok(None);
+            }
             let mut replicate = access_span.child("replicate");
             if replicate.is_recording() {
-                replicate.annotate("from", &info.owner.to_string());
+                replicate.annotate("from", &served_by.to_string());
                 replicate.annotate("to", &accessor.to_string());
             }
             replicate.add_bytes(info.size_bytes);
+            match network.transfer(served_by, accessor, info.size_bytes, now) {
+                Ok(_) => {}
+                Err(e) if e.is_transient() => {
+                    if replicate.is_recording() {
+                        replicate.annotate("error", &e.to_string());
+                    }
+                    drop(replicate);
+                    self.skip_placement(&mut access_span, &e.to_string());
+                    return Ok(None);
+                }
+                Err(e) => return Err(AccessError::Transfer(e)),
+            }
             self.tracker.mark_replicated(partition);
-            network.transfer(info.owner, accessor, info.size_bytes, now)?;
             self.replication_bytes += info.size_bytes;
             self.tel
                 .counter("replication.replication_bytes_total")
@@ -182,7 +313,7 @@ impl ReplicationController {
             self.partitions[partition].replicas.push(accessor);
             let order = ReplicationOrder {
                 partition,
-                from: info.owner,
+                from: served_by,
                 to: accessor,
                 bytes: info.size_bytes,
             };
@@ -190,6 +321,16 @@ impl ReplicationController {
             return Ok(Some(order));
         }
         Ok(None)
+    }
+
+    fn skip_placement(&mut self, access_span: &mut megastream_telemetry::TraceSpan, why: &str) {
+        self.placements_skipped += 1;
+        self.tel
+            .counter("replication.placement_skipped_total")
+            .inc();
+        if access_span.is_recording() {
+            access_span.annotate("placement_skipped", why);
+        }
     }
 
     /// Replication orders issued so far.
@@ -215,6 +356,18 @@ impl ReplicationController {
     /// Bytes spent on replication transfers.
     pub fn replication_bytes(&self) -> u64 {
         self.replication_bytes
+    }
+
+    /// Reads served by a surviving replica because the owner was
+    /// unavailable.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Replica placements skipped because the target or the transfer was
+    /// unavailable at placement time.
+    pub fn placements_skipped(&self) -> u64 {
+        self.placements_skipped
     }
 
     /// The policy in force.
@@ -298,5 +451,111 @@ mod tests {
         let p = ctl.register_partition(owner, 10);
         let err = ctl.on_access(p, island, 100, &mut net, Timestamp::ZERO);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_partition_is_an_error_not_a_panic() {
+        let (mut net, _, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let err = ctl
+            .on_access(7, remote, 100, &mut net, Timestamp::ZERO)
+            .unwrap_err();
+        assert_eq!(err, AccessError::UnknownPartition(7));
+    }
+
+    #[test]
+    fn read_fails_over_to_surviving_replica() {
+        use megastream_netsim::FaultPlan;
+        let mut net = Network::new();
+        let owner = net.add_node("owner", NodeKind::DataStore);
+        let replica = net.add_node("replica", NodeKind::DataStore);
+        let reader = net.add_node("reader", NodeKind::DataStore);
+        net.connect(owner, replica, LinkSpec::wan_100m());
+        net.connect(owner, reader, LinkSpec::wan_100m());
+        net.connect(replica, reader, LinkSpec::wan_100m());
+
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let p = ctl.register_partition(owner, 1_000);
+        // First access from the replica node places a copy there.
+        let order = ctl
+            .on_access(p, replica, 100, &mut net, Timestamp::ZERO)
+            .unwrap()
+            .expect("Always policy replicates on first remote access");
+        assert_eq!(order.to, replica);
+
+        // Owner goes down; a read from `reader` must be served by the
+        // replica instead of failing.
+        let mut plan = FaultPlan::seeded(1);
+        plan.node_down(owner, Timestamp::from_secs(5), Timestamp::from_secs(50));
+        net.install_faults(plan);
+        let result = ctl.on_access(p, reader, 100, &mut net, Timestamp::from_secs(10));
+        // The read succeeded via failover (the partition is already
+        // replicated, so no new order is issued).
+        assert!(result.unwrap().is_none());
+        assert_eq!(ctl.failovers(), 1);
+        assert_eq!(ctl.remote_hits(), 2);
+    }
+
+    #[test]
+    fn lossy_placement_is_skipped_but_read_succeeds() {
+        use megastream_netsim::FaultPlan;
+        let (mut net, owner, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let p = ctl.register_partition(owner, 1_000);
+        // Seed 9 draws (delivered, lost) for the first two transfers on
+        // this link: the result ship succeeds, the replication transfer
+        // is lost, and the controller must skip the placement instead of
+        // failing the already-served read.
+        let mut plan = FaultPlan::seeded(9);
+        plan.link_loss(owner, remote, 0.5);
+        net.install_faults(plan);
+        let result = ctl.on_access(p, remote, 100, &mut net, Timestamp::ZERO);
+        assert!(result.unwrap().is_none());
+        assert_eq!(ctl.placements_skipped(), 1);
+        assert_eq!(ctl.replication_bytes(), 0);
+        assert!(ctl.orders().is_empty());
+        // Once the loss clears, the next access can still replicate: the
+        // skipped placement did not mark the tracker.
+        net.clear_faults();
+        let order = ctl
+            .on_access(p, remote, 100, &mut net, Timestamp::from_secs(1))
+            .unwrap();
+        assert!(order.is_some());
+        assert_eq!(ctl.replication_bytes(), 1_000);
+    }
+
+    #[test]
+    fn total_loss_reports_no_available_source() {
+        use megastream_netsim::FaultPlan;
+        let (mut net, owner, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let p = ctl.register_partition(owner, 1_000);
+        let mut plan = FaultPlan::seeded(2);
+        plan.link_loss(owner, remote, 1.0);
+        net.install_faults(plan);
+        let result = ctl.on_access(p, remote, 100, &mut net, Timestamp::ZERO);
+        // Total loss kills the read itself: every source transfer fails.
+        assert!(matches!(result, Err(AccessError::NoAvailableSource { .. })));
+    }
+
+    #[test]
+    fn all_sources_down_reports_no_available_source() {
+        use megastream_netsim::FaultPlan;
+        let (mut net, owner, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Never);
+        let p = ctl.register_partition(owner, 1_000);
+        let mut plan = FaultPlan::seeded(3);
+        plan.node_down(owner, Timestamp::ZERO, Timestamp::from_secs(100));
+        net.install_faults(plan);
+        let err = ctl
+            .on_access(p, remote, 100, &mut net, Timestamp::from_secs(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::NoAvailableSource {
+                partition: p,
+                last_error: Some(TransferError::NodeDown(owner)),
+            }
+        );
     }
 }

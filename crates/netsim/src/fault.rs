@@ -1,0 +1,223 @@
+//! Seeded, deterministic fault injection.
+//!
+//! The paper's whole premise is that mega-dataset analytics runs at the
+//! edge over *constrained, unreliable* links (§II "limited connectivity").
+//! A [`FaultPlan`] scripts the unreliability: scheduled link-down windows,
+//! node crash/restart windows, and per-link loss probabilities drawn from
+//! the vendored deterministic RNG. Installed on a
+//! [`Network`](crate::topology::Network), the plan makes
+//! [`transfer`](crate::topology::Network::transfer) fail with
+//! [`TransferError::LinkDown`](crate::topology::TransferError::LinkDown),
+//! [`NodeDown`](crate::topology::TransferError::NodeDown) or
+//! [`Lost`](crate::topology::TransferError::Lost) — and makes routing
+//! steer around dead elements where a detour exists.
+//!
+//! Everything is keyed to simulated time and a caller-chosen seed: two
+//! runs with the same plan produce byte-identical failure sequences.
+
+use std::collections::HashMap;
+
+use megastream_flow::time::Timestamp;
+use rand::prelude::{Rng, SeedableRng, StdRng};
+
+use crate::topology::NodeId;
+
+/// A half-open outage window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outage {
+    from: Timestamp,
+    until: Timestamp,
+}
+
+impl Outage {
+    fn covers(&self, now: Timestamp) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// A deterministic schedule of link/node failures plus per-link loss.
+///
+/// ```
+/// use megastream_flow::time::Timestamp;
+/// use megastream_netsim::fault::FaultPlan;
+/// use megastream_netsim::topology::{LinkSpec, Network, NodeKind, TransferError};
+///
+/// let mut net = Network::new();
+/// let a = net.add_node("edge", NodeKind::DataStore);
+/// let b = net.add_node("cloud", NodeKind::Cloud);
+/// net.connect(a, b, LinkSpec::wan_100m());
+///
+/// let mut plan = FaultPlan::seeded(7);
+/// plan.link_down(a, b, Timestamp::from_secs(60), Timestamp::from_secs(120));
+/// net.install_faults(plan);
+///
+/// assert!(net.transfer(a, b, 100, Timestamp::from_secs(10)).is_ok());
+/// assert_eq!(
+///     net.transfer(a, b, 100, Timestamp::from_secs(90)),
+///     Err(TransferError::LinkDown(a, b))
+/// );
+/// assert!(net.transfer(a, b, 100, Timestamp::from_secs(120)).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Link outage windows, keyed by normalized (lo, hi) endpoint pair.
+    link_outages: HashMap<(usize, usize), Vec<Outage>>,
+    /// Node crash windows (the node restarts when the window closes).
+    node_outages: HashMap<usize, Vec<Outage>>,
+    /// Per-link loss probability, keyed by normalized endpoint pair.
+    loss: HashMap<(usize, usize), f64>,
+    /// The deterministic loss-draw stream.
+    rng: StdRng,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan whose loss draws come from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            link_outages: HashMap::new(),
+            node_outages: HashMap::new(),
+            loss: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed the plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (usize, usize) {
+        let (x, y) = (a.index(), b.index());
+        (x.min(y), x.max(y))
+    }
+
+    /// Schedules the (bidirectional) link `a ↔ b` down for `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn link_down(&mut self, a: NodeId, b: NodeId, from: Timestamp, until: Timestamp) {
+        assert!(until > from, "empty link-down window");
+        self.link_outages
+            .entry(Self::key(a, b))
+            .or_default()
+            .push(Outage { from, until });
+    }
+
+    /// Schedules node `n` crashed for `[from, until)`; it restarts at
+    /// `until`. While down, every transfer from, to, or through `n` fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn node_down(&mut self, n: NodeId, from: Timestamp, until: Timestamp) {
+        assert!(until > from, "empty node-down window");
+        self.node_outages
+            .entry(n.index())
+            .or_default()
+            .push(Outage { from, until });
+    }
+
+    /// Sets the per-transfer loss probability of link `a ↔ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn link_loss(&mut self, a: NodeId, b: NodeId, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of [0, 1]"
+        );
+        self.loss.insert(Self::key(a, b), p);
+    }
+
+    /// Whether the link `a ↔ b` is inside an outage window at `now`.
+    pub fn is_link_down(&self, a: NodeId, b: NodeId, now: Timestamp) -> bool {
+        self.link_outages
+            .get(&Self::key(a, b))
+            .is_some_and(|ws| ws.iter().any(|w| w.covers(now)))
+    }
+
+    /// Whether node `n` is inside a crash window at `now`.
+    pub fn is_node_down(&self, n: NodeId, now: Timestamp) -> bool {
+        self.node_outages
+            .get(&n.index())
+            .is_some_and(|ws| ws.iter().any(|w| w.covers(now)))
+    }
+
+    /// Draws whether a transfer crossing `a → b` is lost. Consumes one RNG
+    /// draw *only* for links with a configured loss probability, so plans
+    /// without loss stay draw-free and schedules remain deterministic.
+    pub(crate) fn draw_loss(&mut self, a: NodeId, b: NodeId) -> bool {
+        match self.loss.get(&Self::key(a, b)).copied() {
+            Some(p) if p > 0.0 => self.rng.gen_bool(p),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let mut plan = FaultPlan::seeded(1);
+        let (a, b) = (NodeId(0), NodeId(1));
+        plan.link_down(a, b, Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(!plan.is_link_down(a, b, Timestamp::from_secs(9)));
+        assert!(plan.is_link_down(a, b, Timestamp::from_secs(10)));
+        assert!(plan.is_link_down(b, a, Timestamp::from_secs(19)));
+        assert!(!plan.is_link_down(a, b, Timestamp::from_secs(20)));
+    }
+
+    #[test]
+    fn node_windows_and_restart() {
+        let mut plan = FaultPlan::seeded(1);
+        let n = NodeId(3);
+        plan.node_down(n, Timestamp::ZERO, Timestamp::from_secs(5));
+        plan.node_down(n, Timestamp::from_secs(50), Timestamp::from_secs(60));
+        assert!(plan.is_node_down(n, Timestamp::from_secs(1)));
+        assert!(!plan.is_node_down(n, Timestamp::from_secs(5)));
+        assert!(plan.is_node_down(n, Timestamp::from_secs(55)));
+    }
+
+    #[test]
+    fn loss_draws_are_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(seed);
+            let (a, b) = (NodeId(0), NodeId(1));
+            plan.link_loss(a, b, 0.5);
+            (0..64).map(|_| plan.draw_loss(a, b)).collect()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn lossless_links_never_draw() {
+        let mut plan = FaultPlan::seeded(2);
+        let (a, b) = (NodeId(0), NodeId(1));
+        for _ in 0..32 {
+            assert!(!plan.draw_loss(a, b));
+        }
+        plan.link_loss(a, b, 0.0);
+        assert!(!plan.draw_loss(a, b));
+        plan.link_loss(a, b, 1.0);
+        assert!(plan.draw_loss(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty link-down window")]
+    fn rejects_empty_window() {
+        let mut plan = FaultPlan::seeded(0);
+        plan.link_down(
+            NodeId(0),
+            NodeId(1),
+            Timestamp::from_secs(5),
+            Timestamp::from_secs(5),
+        );
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`event`] — a generic discrete-event queue,
 //! * [`topology`] — nodes, links (bandwidth + latency), routing and
 //!   per-link byte accounting,
-//! * [`hierarchy`] — builders for the two topologies of Fig. 1.
+//! * [`hierarchy`] — builders for the two topologies of Fig. 1,
+//! * [`fault`] — seeded, deterministic fault injection (link-down windows,
+//!   node crash/restart schedules, per-link loss).
 //!
 //! All experiments run on simulated time, so results are reproducible given
 //! a seed: no wall-clock dependence anywhere.
@@ -20,10 +22,12 @@
 
 pub mod clock;
 pub mod event;
+pub mod fault;
 pub mod hierarchy;
 pub mod topology;
 
 pub use clock::SimClock;
 pub use event::EventQueue;
+pub use fault::FaultPlan;
 pub use hierarchy::{FactoryTopology, IspTopology};
 pub use topology::{LinkSpec, Network, NodeId, NodeKind, TransferError, TransferReceipt};

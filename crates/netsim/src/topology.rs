@@ -5,6 +5,8 @@ use std::fmt;
 
 use megastream_flow::time::{TimeDelta, Timestamp};
 
+use crate::fault::FaultPlan;
+
 /// Identifier of a network node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) usize);
@@ -113,6 +115,28 @@ pub enum TransferError {
     NoRoute(NodeId, NodeId),
     /// An endpoint id is not part of this network.
     UnknownNode(NodeId),
+    /// Every surviving path crosses this link, and it is inside a scheduled
+    /// outage window. Transient: retry after the window closes.
+    LinkDown(NodeId, NodeId),
+    /// The transfer needs this node (endpoint or only relay) but it is
+    /// inside a crash window. Transient: the node restarts when the window
+    /// closes.
+    NodeDown(NodeId),
+    /// The payload was dropped crossing this link (probabilistic loss).
+    /// Bytes already forwarded on upstream hops stay accounted — they did
+    /// cross those links. Transient: retry immediately.
+    Lost(NodeId, NodeId),
+}
+
+impl TransferError {
+    /// Whether retrying the same transfer later can succeed. `NoRoute` and
+    /// `UnknownNode` are topology bugs; the fault variants are transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransferError::LinkDown(..) | TransferError::NodeDown(..) | TransferError::Lost(..)
+        )
+    }
 }
 
 impl fmt::Display for TransferError {
@@ -120,6 +144,9 @@ impl fmt::Display for TransferError {
         match self {
             TransferError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
             TransferError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TransferError::LinkDown(a, b) => write!(f, "link {a} <-> {b} is down"),
+            TransferError::NodeDown(n) => write!(f, "node {n} is down"),
+            TransferError::Lost(a, b) => write!(f, "payload lost crossing {a} -> {b}"),
         }
     }
 }
@@ -160,6 +187,8 @@ pub struct Network {
     link_bytes: HashMap<(usize, usize), u64>,
     total_bytes: u64,
     transfers: u64,
+    faults: Option<FaultPlan>,
+    lost_transfers: u64,
 }
 
 impl Network {
@@ -223,8 +252,34 @@ impl Network {
     }
 
     /// Minimum-latency path (Dijkstra over per-hop latency), if one exists.
+    /// Ignores any installed fault plan; see [`route_at`](Self::route_at)
+    /// for fault-aware routing.
     pub fn route(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        self.dijkstra(from, to, None)
+    }
+
+    /// Minimum-latency path at simulated time `now`, steering around links
+    /// and nodes the installed [`FaultPlan`] has down. Without a plan this
+    /// is identical to [`route`](Self::route). Returns `None` if every
+    /// path is severed (or an endpoint is down).
+    pub fn route_at(&self, from: NodeId, to: NodeId, now: Timestamp) -> Option<Vec<NodeId>> {
+        self.dijkstra(from, to, self.faults.as_ref().map(|p| (p, now)))
+    }
+
+    fn dijkstra(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        faults: Option<(&FaultPlan, Timestamp)>,
+    ) -> Option<Vec<NodeId>> {
         if from.0 >= self.nodes.len() || to.0 >= self.nodes.len() {
+            return None;
+        }
+        let down_node = |id: usize| faults.is_some_and(|(p, now)| p.is_node_down(NodeId(id), now));
+        let down_link = |u: usize, v: usize| {
+            faults.is_some_and(|(p, now)| p.is_link_down(NodeId(u), NodeId(v), now))
+        };
+        if down_node(from.0) || down_node(to.0) {
             return None;
         }
         if from == to {
@@ -244,6 +299,9 @@ impl Network {
                 break;
             }
             for &v in &self.adjacency[u] {
+                if down_node(v) || down_link(u, v) {
+                    continue;
+                }
                 let spec = self.links[&(u, v)];
                 let nd = d + spec.latency.as_micros().max(1);
                 if nd < dist[v] {
@@ -267,12 +325,18 @@ impl Network {
     }
 
     /// Sends `bytes` from `from` to `to` at simulated time `now`,
-    /// accounting every byte to each link on the path.
+    /// accounting every byte to each link on the path. With a
+    /// [`FaultPlan`] installed, routing steers around dead links/nodes
+    /// where a detour exists; a payload dropped mid-path by probabilistic
+    /// loss still accounts the bytes it pushed across upstream hops.
     ///
     /// # Errors
     ///
-    /// Returns [`TransferError::UnknownNode`] for out-of-range ids and
-    /// [`TransferError::NoRoute`] if the nodes are not connected.
+    /// Returns [`TransferError::UnknownNode`] for out-of-range ids,
+    /// [`TransferError::NoRoute`] if the nodes are not connected, and —
+    /// with faults installed — [`TransferError::NodeDown`] /
+    /// [`TransferError::LinkDown`] when no surviving path exists at `now`,
+    /// or [`TransferError::Lost`] when a loss draw drops the payload.
     pub fn transfer(
         &mut self,
         from: NodeId,
@@ -286,9 +350,13 @@ impl Network {
         if to.0 >= self.nodes.len() {
             return Err(TransferError::UnknownNode(to));
         }
-        let path = self
+        let static_path = self
             .route(from, to)
             .ok_or(TransferError::NoRoute(from, to))?;
+        let path = match self.route_at(from, to, now) {
+            Some(p) => p,
+            None => return Err(self.diagnose_blocked(&static_path, from, to, now)),
+        };
         let mut at = now;
         for hop in path.windows(2) {
             let (u, v) = (hop[0].0, hop[1].0);
@@ -296,6 +364,14 @@ impl Network {
             at += spec.latency + spec.transmit_time(bytes);
             *self.link_bytes.entry((u, v)).or_default() += bytes;
             self.total_bytes += bytes;
+            let lost = self
+                .faults
+                .as_mut()
+                .is_some_and(|p| p.draw_loss(NodeId(u), NodeId(v)));
+            if lost {
+                self.lost_transfers += 1;
+                return Err(TransferError::Lost(NodeId(u), NodeId(v)));
+            }
         }
         self.transfers += 1;
         Ok(TransferReceipt {
@@ -306,6 +382,68 @@ impl Network {
             delivered_at: at,
             path,
         })
+    }
+
+    /// Explains *why* no fault-aware route exists: the first down node or
+    /// down link along the static minimum-latency path.
+    fn diagnose_blocked(
+        &self,
+        static_path: &[NodeId],
+        from: NodeId,
+        to: NodeId,
+        now: Timestamp,
+    ) -> TransferError {
+        if let Some(plan) = &self.faults {
+            for &n in static_path {
+                if plan.is_node_down(n, now) {
+                    return TransferError::NodeDown(n);
+                }
+            }
+            for hop in static_path.windows(2) {
+                if plan.is_link_down(hop[0], hop[1], now) {
+                    return TransferError::LinkDown(hop[0], hop[1]);
+                }
+            }
+            // The static path is clear but every detour it would need is
+            // not: report the hop whose link the plan severed elsewhere.
+            // (Only reachable when an outage cuts a non-static-path bridge;
+            // fall through to NoRoute as the honest answer.)
+        }
+        TransferError::NoRoute(from, to)
+    }
+
+    /// Installs a fault plan, replacing any previous one.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Removes the fault plan; the network becomes reliable again.
+    pub fn clear_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Whether node `n` is up at `now` (always true without a fault plan).
+    pub fn node_up(&self, n: NodeId, now: Timestamp) -> bool {
+        !self.faults.as_ref().is_some_and(|p| p.is_node_down(n, now))
+    }
+
+    /// Whether the link `a ↔ b` is up at `now` (always true without a
+    /// fault plan). Says nothing about whether the link exists.
+    pub fn link_up(&self, a: NodeId, b: NodeId, now: Timestamp) -> bool {
+        !self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.is_link_down(a, b, now))
+    }
+
+    /// Number of transfers dropped by probabilistic loss.
+    pub fn lost_transfers(&self) -> u64 {
+        self.lost_transfers
     }
 
     /// Total bytes that crossed any link (a payload traversing `h` hops
@@ -324,11 +462,12 @@ impl Network {
         self.transfers
     }
 
-    /// Resets all byte accounting (topology is kept).
+    /// Resets all byte accounting (topology and fault plan are kept).
     pub fn reset_accounting(&mut self) {
         self.link_bytes.clear();
         self.total_bytes = 0;
         self.transfers = 0;
+        self.lost_transfers = 0;
     }
 }
 
@@ -448,6 +587,94 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_node("a", NodeKind::Router);
         net.connect(a, a, LinkSpec::lan_1g());
+    }
+
+    #[test]
+    fn link_down_blocks_and_recovers() {
+        let (mut net, a, b, c) = chain();
+        let mut plan = FaultPlan::seeded(1);
+        plan.link_down(b, c, Timestamp::from_secs(60), Timestamp::from_secs(120));
+        net.install_faults(plan);
+        assert!(net.transfer(a, c, 10, Timestamp::from_secs(10)).is_ok());
+        assert_eq!(
+            net.transfer(a, c, 10, Timestamp::from_secs(60)),
+            Err(TransferError::LinkDown(b, c))
+        );
+        assert!(!net.link_up(b, c, Timestamp::from_secs(90)));
+        assert!(net.transfer(a, c, 10, Timestamp::from_secs(120)).is_ok());
+    }
+
+    #[test]
+    fn node_down_blocks_endpoints_and_relays() {
+        let (mut net, a, b, c) = chain();
+        let mut plan = FaultPlan::seeded(1);
+        plan.node_down(b, Timestamp::ZERO, Timestamp::from_secs(10));
+        net.install_faults(plan);
+        // b is the only relay between a and c.
+        assert_eq!(
+            net.transfer(a, c, 10, Timestamp::from_secs(5)),
+            Err(TransferError::NodeDown(b))
+        );
+        // ...and an endpoint itself.
+        assert_eq!(
+            net.transfer(a, b, 10, Timestamp::from_secs(5)),
+            Err(TransferError::NodeDown(b))
+        );
+        assert!(!net.node_up(b, Timestamp::from_secs(5)));
+        assert!(net.node_up(b, Timestamp::from_secs(10)));
+        assert!(net.transfer(a, c, 10, Timestamp::from_secs(10)).is_ok());
+    }
+
+    #[test]
+    fn routing_detours_around_down_link() {
+        // Triangle: a-b direct (fast) plus a-c-b detour (slower).
+        let mut net = Network::new();
+        let a = net.add_node("a", NodeKind::Router);
+        let b = net.add_node("b", NodeKind::Router);
+        let c = net.add_node("c", NodeKind::Router);
+        let fast = LinkSpec {
+            bandwidth_bps: 1_000_000,
+            latency: TimeDelta::from_millis(1),
+        };
+        let slow = LinkSpec {
+            bandwidth_bps: 1_000_000,
+            latency: TimeDelta::from_millis(10),
+        };
+        net.connect(a, b, fast);
+        net.connect(a, c, slow);
+        net.connect(c, b, slow);
+        let mut plan = FaultPlan::seeded(3);
+        plan.link_down(a, b, Timestamp::ZERO, Timestamp::from_secs(100));
+        net.install_faults(plan);
+        // Static route still prefers the direct link...
+        assert_eq!(net.route(a, b).unwrap(), vec![a, b]);
+        // ...but the fault-aware route and the transfer take the detour.
+        assert_eq!(net.route_at(a, b, Timestamp::ZERO).unwrap(), vec![a, c, b]);
+        let r = net.transfer(a, b, 10, Timestamp::ZERO).unwrap();
+        assert_eq!(r.path, vec![a, c, b]);
+    }
+
+    #[test]
+    fn loss_accounts_upstream_hops() {
+        let (mut net, a, _b, c) = chain();
+        let mut plan = FaultPlan::seeded(4);
+        plan.link_loss(_b, c, 1.0); // always lost on the second hop
+        net.install_faults(plan);
+        let err = net.transfer(a, c, 100, Timestamp::ZERO).unwrap_err();
+        assert_eq!(err, TransferError::Lost(_b, c));
+        assert!(err.is_transient());
+        // First hop delivered its bytes; second hop accounted them too
+        // (the payload died crossing it), but no receipt was issued.
+        assert_eq!(net.bytes_on(a, _b), 100);
+        assert_eq!(net.transfer_count(), 0);
+        assert_eq!(net.lost_transfers(), 1);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_transient() {
+        assert!(!TransferError::NoRoute(NodeId(0), NodeId(1)).is_transient());
+        assert!(!TransferError::UnknownNode(NodeId(9)).is_transient());
+        assert!(TransferError::NodeDown(NodeId(0)).is_transient());
     }
 
     #[test]

@@ -9,21 +9,44 @@
 //! cargo run --example network_monitoring
 //! cargo run --example network_monitoring -- --stats   # + telemetry report
 //! cargo run --example network_monitoring -- --trace   # + causal span trees
+//! cargo run --example network_monitoring -- --chaos   # + mid-run uplink outage
 //! ```
 
 use megastream::application::{AppDirective, Application, DdosDetectionApp};
-use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream::flowstream::{DegradationPolicy, Flowstream, FlowstreamConfig};
 use megastream_datastore::summary::Summary;
 use megastream_flow::addr::Ipv4Addr;
 use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_netsim::FaultPlan;
 use megastream_telemetry::{Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator, TrafficEvent};
+
+/// The operator queries during the outage: `Partial` answers what it can
+/// (annotated), `FailFast` refuses — both name the severed region.
+fn mid_outage_session(fs: &Flowstream) {
+    let q = "SELECT QUERY FROM ALL WHERE dst_ip = 100.64.0.1";
+    println!("--- mid-outage (unreachable: {:?}) ---", {
+        fs.unreachable_locations().into_iter().collect::<Vec<_>>()
+    });
+    println!("flowql> {q}  (degradation = partial)");
+    match fs.query_with_policy(q, DegradationPolicy::Partial) {
+        Ok(result) => print!("{result}"),
+        Err(e) => println!("error: {e}"),
+    }
+    println!("flowql> {q}  (degradation = fail-fast)");
+    match fs.query_with_policy(q, DegradationPolicy::FailFast) {
+        Ok(result) => print!("{result}"),
+        Err(e) => println!("error: {e}"),
+    }
+    println!();
+}
 
 fn main() {
     let stats = std::env::args().any(|a| a == "--stats");
     let want_trace = std::env::args().any(|a| a == "--trace");
+    let chaos = std::env::args().any(|a| a == "--chaos");
     let tel = if stats {
         Telemetry::new()
     } else {
@@ -66,8 +89,29 @@ fn main() {
     )
     .with_telemetry(&tel)
     .with_tracer(&tracer);
+
+    // --- chaos mode: region 1 loses its NOC uplink during the attack
+    // minute. Exports spill locally and re-aggregate after recovery; the
+    // operator sees annotated partial answers in the meantime.
+    if chaos {
+        let mut plan = FaultPlan::seeded(42);
+        plan.link_down(
+            fs.region_node(1),
+            fs.noc_node(),
+            Timestamp::from_secs(90),
+            Timestamp::from_secs(210),
+        );
+        fs.network_mut().install_faults(plan);
+        println!("chaos: region-1 uplink down for [90 s, 210 s)\n");
+    }
+
     let mut n = 0u64;
+    let mut probed = false;
     for rec in trace {
+        if chaos && !probed && rec.ts >= Timestamp::from_secs(150) {
+            probed = true;
+            mid_outage_session(&fs);
+        }
         fs.ingest_round_robin(&rec);
         n += 1;
     }
@@ -132,6 +176,21 @@ fn main() {
         "the injected attack must be detected"
     );
     println!("\nvictims identified: {}", app.victims().count());
+
+    // --- fault accounting: what did the outage cost, and did we recover?
+    if chaos {
+        let s = fs.stats();
+        println!("--- fault accounting ---");
+        println!("export retries:    {}", s.export_retries);
+        println!("summaries spilled: {}", s.spilled_summaries);
+        println!("summaries flushed: {}", s.flushed_summaries);
+        println!("summaries dropped: {}", s.dropped_summaries);
+        println!("partial queries:   {}", s.partial_queries);
+        println!(
+            "unreachable now:   {:?}\n",
+            fs.unreachable_locations().into_iter().collect::<Vec<_>>()
+        );
+    }
 
     // --- operations view: what did that run cost, per component?
     if stats {

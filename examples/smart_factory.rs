@@ -159,7 +159,9 @@ fn main() {
             }
         }
         // Epoch rotations push summaries up the hierarchy.
-        hierarchy.pump(until);
+        hierarchy
+            .pump(until)
+            .expect("factory hierarchy is fully connected");
         // Slow loop: the application watches machine-level summaries.
         for (idx, &mid) in machine_ids.iter().enumerate() {
             let summaries: Vec<_> = hierarchy

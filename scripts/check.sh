@@ -19,8 +19,8 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> observability e2e suites"
-cargo test --test telemetry_e2e --test tracing_e2e -q
+echo "==> observability + chaos e2e suites"
+cargo test --test telemetry_e2e --test tracing_e2e --test chaos_e2e -q
 
 echo "==> no #[ignore]d tests"
 if grep -rn '#\[ignore' --include='*.rs' tests crates examples; then

@@ -221,9 +221,9 @@ fn c7_hierarchy_pushes_summaries_up() {
         &rec("10.0.0.1", "1.1.1.1", 7),
         Timestamp::from_secs(1),
     );
-    h.pump(Timestamp::from_secs(30));
-    h.pump(Timestamp::from_secs(60));
-    h.pump(Timestamp::from_secs(120));
+    h.pump(Timestamp::from_secs(30)).unwrap();
+    h.pump(Timestamp::from_secs(60)).unwrap();
+    h.pump(Timestamp::from_secs(120)).unwrap();
     // The mass reached the factory level.
     let factory_total: u64 = h
         .store(root)

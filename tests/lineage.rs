@@ -134,7 +134,7 @@ fn faulty_sensor_traceable_from_the_top() {
         &rec("10.0.0.1", 1 << 40),
         Timestamp::from_secs(5),
     );
-    h.pump(Timestamp::from_secs(60));
+    h.pump(Timestamp::from_secs(60)).unwrap();
 
     // At the top, find the suspicious summary and walk its lineage back.
     let suspicious = h

@@ -180,7 +180,7 @@ fn pump_links_child_exports_to_parent_absorb_across_three_levels() {
         .packets(9)
         .build();
     h.ingest_flow(leaf, &"r".into(), &rec, Timestamp::from_secs(10));
-    let stats = h.pump(Timestamp::from_secs(60));
+    let stats = h.pump(Timestamp::from_secs(60)).unwrap();
     assert!(stats.exported_summaries > 0);
 
     let snap = tracer.snapshot();
