@@ -21,12 +21,14 @@ use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::ScoreKind;
 use megastream_flow::time::{TimeDelta, Timestamp};
-use megastream_flowdb::{FlowDb, QueryResult};
+use megastream_flowdb::par::fan_out;
+use megastream_flowdb::{FlowDb, Parallelism, QueryResult};
 use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
 use megastream_netsim::topology::{Network, NodeId};
 use megastream_telemetry::{
     labeled, Counter, Histogram, ScopedTimer, Snapshot, Telemetry, TraceSnapshot, Tracer,
+    LATENCY_MICROS_BOUNDS,
 };
 
 use crate::hierarchy::{absorb_summary, summaries_mergeable};
@@ -71,6 +73,11 @@ pub struct FlowstreamConfig {
     /// Per-region spill buffer bound for summaries awaiting a recovered
     /// uplink (oldest dropped, with accounting, on overflow).
     pub spill_capacity_bytes: u64,
+    /// Worker threads of the data plane: region epoch rotations and
+    /// FlowDB's per-location query fan-out. Every setting produces
+    /// bit-identical results ([`Parallelism::Sequential`] is the oracle
+    /// the equivalence tests compare against); only wall-clock differs.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FlowstreamConfig {
@@ -88,6 +95,7 @@ impl Default for FlowstreamConfig {
             export_retries: 3,
             export_backoff: TimeDelta::from_millis(200),
             spill_capacity_bytes: 4 << 20,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -211,9 +219,10 @@ pub struct Flowstream {
 }
 
 /// Running totals of fault handling, copied into [`FlowstreamStats`].
-/// `partial_queries` is a [`Cell`](std::cell::Cell) because queries run
-/// through `&self`.
-#[derive(Debug, Clone, Default)]
+/// `partial_queries` is atomic because queries run through `&self` — and,
+/// since the data plane went parallel, possibly from several threads at
+/// once.
+#[derive(Debug, Default)]
 struct FaultCounters {
     export_retries: u64,
     spilled: u64,
@@ -221,7 +230,7 @@ struct FaultCounters {
     dropped: u64,
     dropped_bytes: u64,
     raw_deferrals: u64,
-    partial_queries: std::cell::Cell<u64>,
+    partial_queries: std::sync::atomic::AtomicU64,
 }
 
 impl Flowstream {
@@ -251,6 +260,7 @@ impl Flowstream {
         );
         noc.install_aggregator(AggregatorSpec::Flowtree(tree_config));
         let epoch_end = Timestamp::ZERO + config.epoch_len;
+        let par = config.parallelism;
         Flowstream {
             tel: Telemetry::disabled(),
             tracer: Tracer::disabled(),
@@ -263,12 +273,26 @@ impl Flowstream {
             config,
             regions: region_stores,
             noc,
-            flowdb: FlowDb::new(),
+            flowdb: FlowDb::new().with_parallelism(par),
             epoch_end,
             now: Timestamp::ZERO,
             rr: 0,
             trigger_log: Vec::new(),
         }
+    }
+
+    /// Sets how many worker threads the data plane uses — region epoch
+    /// rotations in the pump and FlowDB's per-location query fan-out.
+    /// Every setting produces bit-identical results; only wall-clock time
+    /// differs. Can be changed at any point in a deployment's life.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.config.parallelism = par;
+        self.flowdb.set_parallelism(par);
+    }
+
+    /// The data-plane parallelism in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.config.parallelism
     }
 
     /// Connects the whole deployment to a telemetry registry: every region
@@ -441,9 +465,27 @@ impl Flowstream {
         // Recovery first: spilled summaries from earlier epochs, so the NOC
         // absorbs late data before it rotates below.
         self.flush_spill(at);
-        // ② + ③ + ④.
-        for g in 0..self.regions.len() {
-            let exported = self.regions[g].rotate_epoch(at);
+        // ② rotate every region store — sibling subtrees concurrently, per
+        // the parallelism knob; rotation touches only the store itself —
+        // then ③ + ④ export each region's summaries to the NOC in region
+        // order, exactly as the sequential loop did, so the observable
+        // outcome is identical for every worker count.
+        let workers = self.config.parallelism.worker_count(self.regions.len());
+        if self.tel.is_enabled() {
+            self.tel
+                .gauge("flowstream.rotate.workers")
+                .set(workers as i64);
+        }
+        let worker_micros = self
+            .tel
+            .histogram("flowstream.rotate.worker.micros", LATENCY_MICROS_BOUNDS);
+        let rotated: Vec<Vec<StoredSummary>> = fan_out(
+            self.regions.iter_mut().collect(),
+            workers,
+            |store| store.rotate_epoch(at),
+            |micros| worker_micros.record(micros),
+        );
+        for (g, exported) in rotated.into_iter().enumerate() {
             for summary in exported {
                 self.export_to_noc(g, summary, at);
             }
@@ -678,7 +720,7 @@ impl Flowstream {
                 DegradationPolicy::Partial => {
                     self.faults_seen
                         .partial_queries
-                        .set(self.faults_seen.partial_queries.get() + 1);
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     self.tel.counter("flowstream.query.partial_total").inc();
                     Ok(partial)
                 }
@@ -732,7 +774,10 @@ impl Flowstream {
         stats.dropped_summaries = self.faults_seen.dropped;
         stats.dropped_bytes = self.faults_seen.dropped_bytes;
         stats.raw_deferrals = self.faults_seen.raw_deferrals;
-        stats.partial_queries = self.faults_seen.partial_queries.get();
+        stats.partial_queries = self
+            .faults_seen
+            .partial_queries
+            .load(std::sync::atomic::Ordering::Relaxed);
         stats
     }
 

@@ -13,9 +13,13 @@ use megastream_datastore::summary::{StoredSummary, Summary};
 use megastream_datastore::trigger::TriggerEvent;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_flowdb::par::fan_out;
+use megastream_flowdb::Parallelism;
 use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_primitives::aggregator::Combinable;
-use megastream_telemetry::{labeled, Telemetry, TraceSpan, Tracer};
+use megastream_telemetry::{labeled, Telemetry, TraceSpan, Tracer, LATENCY_MICROS_BOUNDS};
+
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifier of a store within a hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -134,6 +138,7 @@ pub struct StoreHierarchy {
     tel: Telemetry,
     tracer: Tracer,
     policy: PumpPolicy,
+    par: Parallelism,
 }
 
 impl StoreHierarchy {
@@ -145,6 +150,7 @@ impl StoreHierarchy {
             tel: Telemetry::disabled(),
             tracer: Tracer::disabled(),
             policy: PumpPolicy::default(),
+            par: Parallelism::default(),
         }
     }
 
@@ -156,6 +162,20 @@ impl StoreHierarchy {
     /// The retry/spill policy in effect.
     pub fn pump_policy(&self) -> PumpPolicy {
         self.policy
+    }
+
+    /// Sets how many worker threads [`pump`](Self::pump) uses to rotate
+    /// sibling subtrees of one level concurrently. Every setting produces
+    /// the same observable outcome ([`Parallelism::Sequential`] is the
+    /// oracle the equivalence tests compare against); only wall-clock time
+    /// differs.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
+    /// The pump parallelism in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// Summaries currently parked in `id`'s spill buffer (awaiting a
@@ -323,102 +343,164 @@ impl StoreHierarchy {
         let pump_span = self.tel.span("hierarchy.pump");
         let trace_root = self.tracer.root("hierarchy.pump");
         let mut stats = ExportStats::default();
-        // Deepest first, so child exports are absorbed before parents
-        // rotate (when epochs align).
-        let mut order: Vec<usize> = (0..self.entries.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].depth));
-        for i in order {
-            // Recovery first: re-export anything spilled on this edge, so
-            // a parent rotating in this same pump sees the late data.
-            if !self.entries[i].spill.is_empty() {
-                self.flush_spill(i, now, &trace_root, &mut stats)?;
-            }
-            if !self.entries[i].store.epoch_due(now) {
-                continue;
-            }
-            let depth = self.entries[i].depth;
-            let level_span = if self.tel.is_enabled() {
-                Some(
-                    self.tel
-                        .span(&labeled("hierarchy.export", "level", &depth.to_string())),
-                )
-            } else {
-                None
-            };
-            let mut export_span = trace_root.child("export");
-            if export_span.is_recording() {
-                export_span.annotate("store", self.entries[i].store.name());
-                export_span.annotate("level", &depth.to_string());
-            }
-            let exported = self.entries[i].store.rotate_epoch(now);
-            stats.rotations += 1;
-            let Some(parent) = self.entries[i].parent else {
-                continue;
-            };
-            // The export's context stamps the parent-side re-aggregation,
-            // linking the two levels into one lineage tree.
-            let mut absorb_span = match export_span.context() {
-                Some(ctx) => {
-                    let mut s = self.tracer.span_in(ctx, "absorb");
-                    s.annotate("store", self.entries[parent].store.name());
-                    s
-                }
-                None => TraceSpan::disabled(),
-            };
-            let (from, to) = (self.entries[i].net, self.entries[parent].net);
-            let mut level_bytes = 0u64;
-            let (mut absorbed, mut imported, mut spilled) = (0u64, 0u64, 0u64);
-            for summary in exported {
-                let bytes = summary.wire_size() as u64;
-                match self.transfer_with_retry(from, to, bytes, now, &mut stats) {
-                    Ok(()) => {
-                        stats.exported_summaries += 1;
-                        stats.exported_bytes += bytes;
-                        level_bytes += bytes;
-                        export_span.add_bytes(bytes);
-                        export_span.add_records(1);
-                        if absorb(&mut self.entries[parent].store, &summary) {
-                            stats.absorbed += 1;
-                            absorbed += 1;
-                        } else {
-                            self.entries[parent].store.import_summary(summary, now);
-                            imported += 1;
-                        }
-                        absorb_span.add_bytes(bytes);
-                        absorb_span.add_records(1);
-                    }
-                    Err(err) if err.is_transient() => {
-                        if export_span.is_recording() {
-                            export_span.annotate("fault", &err.to_string());
-                        }
-                        self.park(i, summary, now, &mut stats);
-                        spilled += 1;
-                    }
-                    Err(source) => {
-                        return Err(PumpError::Transfer { from, to, source });
-                    }
+        // Deepest level first, so child exports are absorbed before parents
+        // rotate (when epochs align). Each level runs in three phases:
+        // spills flush first, in index order, so a parent rotating in this
+        // same pump sees the late data; then every due store of the level
+        // rotates — sibling subtrees concurrently, per the parallelism
+        // knob, since rotation touches only the store itself; finally the
+        // produced summaries export to the parents in index order. The
+        // retry/backoff/spill path is untouched and the export order is
+        // fixed, so the observable outcome is identical for every worker
+        // count.
+        let mut levels: BTreeMap<std::cmp::Reverse<usize>, Vec<usize>> = BTreeMap::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            levels
+                .entry(std::cmp::Reverse(entry.depth))
+                .or_default()
+                .push(i);
+        }
+        for level in levels.into_values() {
+            for &i in &level {
+                if !self.entries[i].spill.is_empty() {
+                    self.flush_spill(i, now, &trace_root, &mut stats)?;
                 }
             }
-            if export_span.is_recording() && spilled > 0 {
-                export_span.annotate("spilled", &spilled.to_string());
+            let due: Vec<usize> = level
+                .into_iter()
+                .filter(|&i| self.entries[i].store.epoch_due(now))
+                .collect();
+            if due.is_empty() {
+                continue;
             }
-            if absorb_span.is_recording() {
-                absorb_span.annotate("absorbed", &absorbed.to_string());
-                absorb_span.annotate("imported", &imported.to_string());
-            }
-            if let Some(span) = level_span {
-                self.tel
-                    .counter(&labeled(
-                        "hierarchy.export.bytes_total",
-                        "level",
-                        &depth.to_string(),
-                    ))
-                    .add(level_bytes);
-                span.finish();
+            let rotated = self.rotate_due(&due, now);
+            stats.rotations += due.len() as u64;
+            for (i, exported) in due.into_iter().zip(rotated) {
+                self.export_rotated(i, exported, now, &trace_root, &mut stats)?;
             }
         }
         pump_span.finish();
         Ok(stats)
+    }
+
+    /// Phase 2 of [`StoreHierarchy::pump`]: rotates the due stores of one
+    /// level — sibling subtrees — on up to [`Parallelism::worker_count`]
+    /// scoped threads, returning each store's exported summaries in the
+    /// order `due` lists them. Records the worker count and per-worker busy
+    /// time under `hierarchy.pump.workers` / `hierarchy.pump.worker.micros`.
+    fn rotate_due(&mut self, due: &[usize], now: Timestamp) -> Vec<Vec<StoredSummary>> {
+        let workers = self.par.worker_count(due.len());
+        if self.tel.is_enabled() {
+            self.tel.gauge("hierarchy.pump.workers").set(workers as i64);
+        }
+        let worker_micros = self
+            .tel
+            .histogram("hierarchy.pump.worker.micros", LATENCY_MICROS_BOUNDS);
+        let due_set: BTreeSet<usize> = due.iter().copied().collect();
+        let stores: Vec<&mut DataStore> = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| due_set.contains(i))
+            .map(|(_, entry)| &mut entry.store)
+            .collect();
+        fan_out(
+            stores,
+            workers,
+            |store| store.rotate_epoch(now),
+            |micros| worker_micros.record(micros),
+        )
+    }
+
+    /// Phase 3 of [`StoreHierarchy::pump`]: exports one rotated store's
+    /// summaries to its parent with the retry/backoff/spill semantics.
+    fn export_rotated(
+        &mut self,
+        i: usize,
+        exported: Vec<StoredSummary>,
+        now: Timestamp,
+        trace_root: &TraceSpan,
+        stats: &mut ExportStats,
+    ) -> Result<(), PumpError> {
+        let depth = self.entries[i].depth;
+        let level_span = if self.tel.is_enabled() {
+            Some(
+                self.tel
+                    .span(&labeled("hierarchy.export", "level", &depth.to_string())),
+            )
+        } else {
+            None
+        };
+        let mut export_span = trace_root.child("export");
+        if export_span.is_recording() {
+            export_span.annotate("store", self.entries[i].store.name());
+            export_span.annotate("level", &depth.to_string());
+        }
+        let Some(parent) = self.entries[i].parent else {
+            return Ok(());
+        };
+        // The export's context stamps the parent-side re-aggregation,
+        // linking the two levels into one lineage tree.
+        let mut absorb_span = match export_span.context() {
+            Some(ctx) => {
+                let mut s = self.tracer.span_in(ctx, "absorb");
+                s.annotate("store", self.entries[parent].store.name());
+                s
+            }
+            None => TraceSpan::disabled(),
+        };
+        let (from, to) = (self.entries[i].net, self.entries[parent].net);
+        let mut level_bytes = 0u64;
+        let (mut absorbed, mut imported, mut spilled) = (0u64, 0u64, 0u64);
+        for summary in exported {
+            let bytes = summary.wire_size() as u64;
+            match self.transfer_with_retry(from, to, bytes, now, stats) {
+                Ok(()) => {
+                    stats.exported_summaries += 1;
+                    stats.exported_bytes += bytes;
+                    level_bytes += bytes;
+                    export_span.add_bytes(bytes);
+                    export_span.add_records(1);
+                    if absorb(&mut self.entries[parent].store, &summary) {
+                        stats.absorbed += 1;
+                        absorbed += 1;
+                    } else {
+                        self.entries[parent].store.import_summary(summary, now);
+                        imported += 1;
+                    }
+                    absorb_span.add_bytes(bytes);
+                    absorb_span.add_records(1);
+                }
+                Err(err) if err.is_transient() => {
+                    if export_span.is_recording() {
+                        export_span.annotate("fault", &err.to_string());
+                    }
+                    self.park(i, summary, now, stats);
+                    spilled += 1;
+                }
+                Err(source) => {
+                    return Err(PumpError::Transfer { from, to, source });
+                }
+            }
+        }
+        if export_span.is_recording() && spilled > 0 {
+            export_span.annotate("spilled", &spilled.to_string());
+        }
+        if absorb_span.is_recording() {
+            absorb_span.annotate("absorbed", &absorbed.to_string());
+            absorb_span.annotate("imported", &imported.to_string());
+        }
+        if let Some(span) = level_span {
+            self.tel
+                .counter(&labeled(
+                    "hierarchy.export.bytes_total",
+                    "level",
+                    &depth.to_string(),
+                ))
+                .add(level_bytes);
+            span.finish();
+        }
+        Ok(())
     }
 
     /// One transfer with bounded retry + exponential backoff. Each retry

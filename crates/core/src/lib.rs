@@ -61,6 +61,7 @@ pub use application::{AppDirective, Application};
 pub use controller::{ControlAction, Controller, Rule, RuleId, SafetyEnvelope};
 pub use flowstream::{DegradationPolicy, Explanation, Flowstream, FlowstreamConfig};
 pub use hierarchy::{ExportStats, HierarchyId, PumpError, PumpPolicy, StoreHierarchy};
+pub use megastream_flowdb::Parallelism;
 
 // Re-export the member crates under short names for downstream users.
 pub use megastream_analytics as analytics;

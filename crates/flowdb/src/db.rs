@@ -8,6 +8,7 @@ use std::collections::BTreeSet;
 
 use crate::ast::Query;
 use crate::exec::{execute_partial_traced, execute_traced, QueryError, QueryResult};
+use crate::par::Parallelism;
 
 /// One indexed flow summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,7 @@ pub struct DbEntry {
 pub struct FlowDb {
     entries: Vec<DbEntry>,
     tel: Telemetry,
+    par: Parallelism,
 }
 
 impl PartialEq for FlowDb {
@@ -50,6 +52,26 @@ impl FlowDb {
     /// The telemetry handle execution stages record into.
     pub(crate) fn telemetry(&self) -> &Telemetry {
         &self.tel
+    }
+
+    /// Sets how many worker threads the per-location query fan-out uses.
+    /// The default is [`Parallelism::Auto`]; every setting produces the
+    /// same results ([`Parallelism::Sequential`] is the oracle the
+    /// equivalence tests compare against).
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
+    /// Builder-style [`FlowDb::set_parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.set_parallelism(par);
+        self
+    }
+
+    /// The fan-out parallelism in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// Inserts one flow summary.

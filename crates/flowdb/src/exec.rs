@@ -5,6 +5,15 @@
 //! then run the selected Flowtree operator restricted to the WHERE key.
 //! With `GROUP BY location`, the merge-and-operate step runs once per
 //! location instead of across all of them.
+//!
+//! The merge step is structured as a **per-location fan-out** (property P2:
+//! summaries combine across location): each contacted location's trees
+//! merge into one partial, and the partials combine in fixed location
+//! order. The fan-out runs on up to
+//! [`Parallelism::worker_count`](crate::Parallelism) scoped worker
+//! threads; because the partials are merged back in location order no
+//! matter which thread produced them, every [`Parallelism`](crate::par)
+//! setting yields the same result (`tests/parallel_e2e.rs` pins this).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -12,10 +21,11 @@ use std::fmt;
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flowtree::Flowtree;
-use megastream_telemetry::TraceSpan;
+use megastream_telemetry::{TraceSpan, LATENCY_MICROS_BOUNDS};
 
 use crate::ast::{Query, SelectOp};
 use crate::db::FlowDb;
+use crate::par::fan_out;
 
 /// A query-execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,19 +214,150 @@ fn merge_group(trees: &[&Flowtree]) -> Result<Flowtree, QueryError> {
     Ok(merged)
 }
 
+/// One location's share of a fan-out: the matching trees, in storage
+/// order, plus their wire bytes (0 unless the execution is traced — bytes
+/// only annotate `fanout` spans).
+struct LocationGroup<'a> {
+    location: &'a str,
+    trees: Vec<&'a Flowtree>,
+    bytes: u64,
+}
+
+/// The plan stage: matching summaries grouped by location, in location
+/// order (`BTreeMap` iteration), each group's trees in storage order.
+fn plan_groups<'a>(db: &'a FlowDb, query: &'a Query, want_bytes: bool) -> Vec<LocationGroup<'a>> {
+    let mut by_location: BTreeMap<&str, LocationGroup<'a>> = BTreeMap::new();
+    for entry in db.select(query) {
+        let group = by_location
+            .entry(entry.location.as_str())
+            .or_insert_with(|| LocationGroup {
+                location: entry.location.as_str(),
+                trees: Vec::new(),
+                bytes: 0,
+            });
+        if want_bytes {
+            group.bytes += entry.tree.wire_size() as u64;
+        }
+        group.trees.push(&entry.tree);
+    }
+    by_location.into_values().collect()
+}
+
+/// The fan-out + merge + operator stage shared by complete and degraded
+/// executions: every group in `groups` is scanned — concurrently on up to
+/// [`Parallelism::worker_count`](crate::Parallelism) workers — and the
+/// partial results are combined **in location order**, so the outcome is
+/// independent of the worker count. Returns the result rows and the number
+/// of summaries used.
+///
+/// Per-location `fanout` spans are recorded as children of `parent` from
+/// whichever thread runs them (the trace store is thread-safe); with
+/// `GROUP BY location` each carries its own `merge`/`run` children,
+/// otherwise a single top-level `merge` + `run` pair covers the
+/// cross-location combination.
+fn run_groups(
+    db: &FlowDb,
+    query: &Query,
+    parent: &TraceSpan,
+    groups: Vec<LocationGroup<'_>>,
+    where_key: &FlowKey,
+) -> Result<(Vec<ResultRow>, usize), QueryError> {
+    let tel = db.telemetry();
+    let used: usize = groups.iter().map(|g| g.trees.len()).sum();
+    let workers = db.parallelism().worker_count(groups.len());
+    if tel.is_enabled() {
+        tel.gauge("flowdb.fanout.workers").set(workers as i64);
+    }
+    let worker_micros = tel.histogram("flowdb.fanout.worker.micros", LATENCY_MICROS_BOUNDS);
+    let report = |micros: u64| worker_micros.record(micros);
+    if query.group_by_location {
+        // One merge-and-operate pass per location; rows concatenate in
+        // location order.
+        let per_location = fan_out(
+            groups,
+            workers,
+            |group| {
+                let mut group_span = parent.child("fanout");
+                group_span.annotate("location", group.location);
+                group_span.add_records(group.trees.len() as u64);
+                let merge_span = group_span.child("merge");
+                let merged = merge_group(&group.trees);
+                merge_span.finish();
+                let result = merged.map(|merged| {
+                    let mut op_span = group_span.child("run");
+                    op_span.annotate("op", query.op.kind());
+                    let group_rows = run_op(&merged, &query.op, where_key);
+                    op_span.add_records(group_rows.len() as u64);
+                    op_span.finish();
+                    group_rows
+                });
+                group_span.finish();
+                result.map(|rows| (group.location.to_owned(), rows))
+            },
+            report,
+        );
+        let mut rows = Vec::new();
+        for result in per_location {
+            let (location, group_rows) = result?;
+            for mut row in group_rows {
+                row.location = Some(location.clone());
+                rows.push(row);
+            }
+        }
+        return Ok((rows, used));
+    }
+    // Merge fan-out: each location merges its own trees into a partial,
+    // then the partials combine in location order.
+    let partials = fan_out(
+        groups,
+        workers,
+        |group| {
+            let mut fanout_span = parent.child("fanout");
+            fanout_span.annotate("location", group.location);
+            fanout_span.add_records(group.trees.len() as u64);
+            fanout_span.add_bytes(group.bytes);
+            let partial = merge_group(&group.trees);
+            fanout_span.finish();
+            partial
+        },
+        report,
+    );
+    let mut merge_span = parent.child("merge");
+    merge_span.add_records(used as u64);
+    let mut partials = partials.into_iter();
+    let mut merged = partials.next().ok_or(QueryError::NoMatchingSummaries)??;
+    for partial in partials {
+        let partial = partial?;
+        if !merged.config().compatible_with(partial.config()) {
+            return Err(QueryError::IncompatibleSummaries);
+        }
+        merged.merge(&partial);
+    }
+    merge_span.finish();
+    let mut run_span = parent.child("run");
+    run_span.annotate("op", query.op.kind());
+    let rows = run_op(&merged, &query.op, where_key);
+    run_span.add_records(rows.len() as u64);
+    run_span.finish();
+    Ok((rows, used))
+}
+
 /// Executes `query` against `db` with causal tracing. See
 /// [`FlowDb::execute`].
 ///
 /// The plan stage (summary selection/grouping) and the run stage
-/// (merge + operator) are timed separately into `flowdb.plan.micros` and
-/// `flowdb.run.micros` when the database has live telemetry.
+/// (fan-out + merge + operator) are timed separately into
+/// `flowdb.plan.micros` and `flowdb.run.micros` when the database has live
+/// telemetry; the fan-out additionally records the worker count into the
+/// `flowdb.fanout.workers` gauge and each worker's busy time into the
+/// `flowdb.fanout.worker.micros` histogram.
 ///
 /// When `parent` is a recording span, the
 /// execution emits a lineage tree under it — a `plan` span (summary
 /// selection), one `fanout` span per contacted location annotated with the
 /// summaries and bytes it contributed, a `merge` span, and a `run` span
 /// carrying the operator and row count. With a null `parent` every span
-/// site is a single branch and the original flat path runs.
+/// site is a single branch.
 pub(crate) fn execute_traced(
     db: &FlowDb,
     query: &Query,
@@ -224,106 +365,26 @@ pub(crate) fn execute_traced(
 ) -> Result<QueryResult, QueryError> {
     let tel = db.telemetry();
     let where_key = query.where_key();
-    if query.group_by_location {
-        // One merge-and-operate pass per location, location-ordered.
-        let plan = tel.timer("flowdb.plan.micros");
-        let mut plan_span = parent.child("plan");
-        let mut groups: BTreeMap<&str, Vec<&Flowtree>> = BTreeMap::new();
-        for entry in db.select(query) {
-            groups
-                .entry(entry.location.as_str())
-                .or_default()
-                .push(&entry.tree);
-        }
-        plan_span.add_records(groups.values().map(|g| g.len() as u64).sum());
-        plan_span.finish();
-        plan.stop();
-        if groups.is_empty() {
-            return Err(QueryError::NoMatchingSummaries);
-        }
-        let group_count = groups.len();
-        let run = tel.timer("flowdb.run.micros");
-        let mut rows = Vec::new();
-        let mut used = 0;
-        for (location, trees) in &groups {
-            let mut group_span = parent.child("fanout");
-            group_span.annotate("location", location);
-            group_span.add_records(trees.len() as u64);
-            used += trees.len();
-            let merge_span = group_span.child("merge");
-            let merged = merge_group(trees)?;
-            merge_span.finish();
-            let mut op_span = group_span.child("run");
-            op_span.annotate("op", query.op.kind());
-            let group_rows = run_op(&merged, &query.op, &where_key);
-            op_span.add_records(group_rows.len() as u64);
-            op_span.finish();
-            group_span.finish();
-            for mut row in group_rows {
-                row.location = Some((*location).to_owned());
-                rows.push(row);
-            }
-        }
-        run.stop();
-        return Ok(QueryResult {
-            op: format!("{} GROUP BY location", query.op),
-            summaries_used: used,
-            rows,
-            completeness: Completeness::complete(group_count),
-        });
-    }
     let plan = tel.timer("flowdb.plan.micros");
-    let location_count;
-    let trees: Vec<&Flowtree> = if parent.is_recording() {
-        // Traced path: attribute the scan to each contacted location — the
-        // per-store fan-out a distributed deployment would make explicit.
-        let mut plan_span = parent.child("plan");
-        let mut by_location: BTreeMap<&str, (Vec<&Flowtree>, u64)> = BTreeMap::new();
-        for entry in db.select(query) {
-            let slot = by_location.entry(entry.location.as_str()).or_default();
-            slot.1 += entry.tree.wire_size() as u64;
-            slot.0.push(&entry.tree);
-        }
-        plan_span.add_records(by_location.values().map(|(g, _)| g.len() as u64).sum());
-        plan_span.finish();
-        location_count = by_location.len();
-        let mut all = Vec::new();
-        for (location, (trees, bytes)) in by_location {
-            let mut fanout_span = parent.child("fanout");
-            fanout_span.annotate("location", location);
-            fanout_span.add_records(trees.len() as u64);
-            fanout_span.add_bytes(bytes);
-            all.extend(trees);
-            fanout_span.finish();
-        }
-        all
-    } else {
-        let mut locations = BTreeSet::new();
-        let trees: Vec<&Flowtree> = db
-            .select(query)
-            .map(|e| {
-                locations.insert(e.location.as_str());
-                &e.tree
-            })
-            .collect();
-        location_count = locations.len();
-        trees
-    };
+    let mut plan_span = parent.child("plan");
+    let groups = plan_groups(db, query, parent.is_recording());
+    plan_span.add_records(groups.iter().map(|g| g.trees.len() as u64).sum());
+    plan_span.finish();
     plan.stop();
-    let used = trees.len();
+    if groups.is_empty() {
+        return Err(QueryError::NoMatchingSummaries);
+    }
+    let location_count = groups.len();
     let run = tel.timer("flowdb.run.micros");
-    let mut merge_span = parent.child("merge");
-    merge_span.add_records(used as u64);
-    let merged = merge_group(&trees)?;
-    merge_span.finish();
-    let mut run_span = parent.child("run");
-    run_span.annotate("op", query.op.kind());
-    let rows = run_op(&merged, &query.op, &where_key);
-    run_span.add_records(rows.len() as u64);
-    run_span.finish();
+    let (rows, used) = run_groups(db, query, parent, groups, &where_key)?;
     run.stop();
+    let op = if query.group_by_location {
+        format!("{} GROUP BY location", query.op)
+    } else {
+        query.op.to_string()
+    };
     Ok(QueryResult {
-        op: query.op.to_string(),
+        op,
         summaries_used: used,
         rows,
         completeness: Completeness::complete(location_count),
@@ -346,34 +407,26 @@ pub(crate) fn execute_partial_traced(
     let where_key = query.where_key();
     let plan = tel.timer("flowdb.plan.micros");
     let mut plan_span = parent.child("plan");
-    let mut by_location: BTreeMap<&str, Vec<&Flowtree>> = BTreeMap::new();
-    for entry in db.select(query) {
-        by_location
-            .entry(entry.location.as_str())
-            .or_default()
-            .push(&entry.tree);
-    }
-    plan_span.add_records(by_location.values().map(|g| g.len() as u64).sum());
+    let mut groups = plan_groups(db, query, true);
+    plan_span.add_records(groups.iter().map(|g| g.trees.len() as u64).sum());
     plan_span.finish();
     plan.stop();
-    let total = by_location.len();
+    let total = groups.len();
     if total == 0 {
         return Err(QueryError::NoMatchingSummaries);
     }
-    let skipped: Vec<String> = by_location
-        .keys()
-        .filter(|loc| unavailable.contains(**loc))
-        .map(|loc| (*loc).to_owned())
-        .collect();
-    for loc in &skipped {
-        by_location.remove(loc.as_str());
+    groups.retain(|group| {
+        if !unavailable.contains(group.location) {
+            return true;
+        }
         let mut span = parent.child("fanout");
-        span.annotate("location", loc);
+        span.annotate("location", group.location);
         span.annotate("skipped", "unreachable");
         span.finish();
-    }
+        false
+    });
     let completeness = Completeness {
-        reached: by_location.len(),
+        reached: groups.len(),
         total,
     };
     let op = if query.group_by_location {
@@ -381,7 +434,7 @@ pub(crate) fn execute_partial_traced(
     } else {
         query.op.to_string()
     };
-    if by_location.is_empty() {
+    if groups.is_empty() {
         // Every matching location is unreachable: an empty (0/n) result,
         // not an error — the caller chose degraded execution.
         return Ok(QueryResult {
@@ -392,49 +445,7 @@ pub(crate) fn execute_partial_traced(
         });
     }
     let run = tel.timer("flowdb.run.micros");
-    let mut rows = Vec::new();
-    let mut used = 0;
-    if query.group_by_location {
-        for (location, trees) in &by_location {
-            let mut group_span = parent.child("fanout");
-            group_span.annotate("location", location);
-            group_span.add_records(trees.len() as u64);
-            used += trees.len();
-            let merge_span = group_span.child("merge");
-            let merged = merge_group(trees)?;
-            merge_span.finish();
-            let mut op_span = group_span.child("run");
-            op_span.annotate("op", query.op.kind());
-            let group_rows = run_op(&merged, &query.op, &where_key);
-            op_span.add_records(group_rows.len() as u64);
-            op_span.finish();
-            group_span.finish();
-            for mut row in group_rows {
-                row.location = Some((*location).to_owned());
-                rows.push(row);
-            }
-        }
-    } else {
-        let mut all: Vec<&Flowtree> = Vec::new();
-        for (location, trees) in &by_location {
-            let mut fanout_span = parent.child("fanout");
-            fanout_span.annotate("location", location);
-            fanout_span.add_records(trees.len() as u64);
-            fanout_span.add_bytes(trees.iter().map(|t| t.wire_size() as u64).sum());
-            all.extend(trees.iter().copied());
-            fanout_span.finish();
-        }
-        used = all.len();
-        let mut merge_span = parent.child("merge");
-        merge_span.add_records(used as u64);
-        let merged = merge_group(&all)?;
-        merge_span.finish();
-        let mut run_span = parent.child("run");
-        run_span.annotate("op", query.op.kind());
-        rows = run_op(&merged, &query.op, &where_key);
-        run_span.add_records(rows.len() as u64);
-        run_span.finish();
-    }
+    let (rows, used) = run_groups(db, query, parent, groups, &where_key)?;
     run.stop();
     Ok(QueryResult {
         op,

@@ -38,9 +38,11 @@ pub mod ast;
 pub mod db;
 pub mod exec;
 pub mod lexer;
+pub mod par;
 pub mod parser;
 
 pub use ast::{Query, Restriction, SelectOp, TimeSelection};
 pub use db::FlowDb;
 pub use exec::{Completeness, QueryError, QueryResult, ResultRow};
+pub use par::Parallelism;
 pub use parser::{parse, ParseError};

@@ -113,6 +113,25 @@ impl CountMinSketch {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// Whether `other` can combine with this sketch: same width, depth,
+    /// and seed, so the two share hash functions cell for cell.
+    pub fn compatible_with(&self, other: &Self) -> bool {
+        self.width == other.width && self.depth == other.depth && self.seed == other.seed
+    }
+
+    /// Non-panicking [`Combinable::combine`]: adds counters cell-wise and
+    /// returns `true`, or leaves `self` untouched and returns `false` when
+    /// the sketches are incompatible (different shape or seed). The merge
+    /// laws suite uses this to pin that mismatches are *rejected*, never a
+    /// panic or a silent corruption.
+    pub fn try_combine(&mut self, other: &Self) -> bool {
+        if !self.compatible_with(other) {
+            return false;
+        }
+        self.combine(other);
+        true
+    }
 }
 
 impl Combinable for CountMinSketch {

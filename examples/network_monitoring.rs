@@ -7,13 +7,15 @@
 //!
 //! ```text
 //! cargo run --example network_monitoring
-//! cargo run --example network_monitoring -- --stats   # + telemetry report
-//! cargo run --example network_monitoring -- --trace   # + causal span trees
-//! cargo run --example network_monitoring -- --chaos   # + mid-run uplink outage
+//! cargo run --example network_monitoring -- --stats     # + telemetry report
+//! cargo run --example network_monitoring -- --trace     # + causal span trees
+//! cargo run --example network_monitoring -- --chaos     # + mid-run uplink outage
+//! cargo run --example network_monitoring -- --threads 4 # parallel data plane
 //! ```
 
 use megastream::application::{AppDirective, Application, DdosDetectionApp};
 use megastream::flowstream::{DegradationPolicy, Flowstream, FlowstreamConfig};
+use megastream::Parallelism;
 use megastream_datastore::summary::Summary;
 use megastream_flow::addr::Ipv4Addr;
 use megastream_flow::mask::GeneralizationSchema;
@@ -43,10 +45,29 @@ fn mid_outage_session(fs: &Flowstream) {
     println!();
 }
 
+/// `--threads N` from the command line, or the `Auto` default.
+fn parallelism_flag() -> Parallelism {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive number, e.g. --threads 4");
+                    std::process::exit(2);
+                });
+            Parallelism::Threads(n)
+        }
+        None => Parallelism::default(),
+    }
+}
+
 fn main() {
     let stats = std::env::args().any(|a| a == "--stats");
     let want_trace = std::env::args().any(|a| a == "--trace");
     let chaos = std::env::args().any(|a| a == "--chaos");
+    let parallelism = parallelism_flag();
     let tel = if stats {
         Telemetry::new()
     } else {
@@ -84,6 +105,7 @@ fn main() {
         4,
         FlowstreamConfig {
             schema: GeneralizationSchema::dst_preserving(),
+            parallelism,
             ..Default::default()
         },
     )

@@ -3,11 +3,13 @@
 //!
 //! ```text
 //! cargo run --example quickstart
-//! cargo run --example quickstart -- --stats   # + telemetry walkthrough
-//! cargo run --example quickstart -- --trace   # + causal span trees
+//! cargo run --example quickstart -- --stats      # + telemetry walkthrough
+//! cargo run --example quickstart -- --trace      # + causal span trees
+//! cargo run --example quickstart -- --threads 4  # parallel query fan-out
 //! ```
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream::Parallelism;
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::TimeDelta;
@@ -15,9 +17,28 @@ use megastream_flowtree::{Flowtree, FlowtreeConfig};
 use megastream_telemetry::{Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
+/// `--threads N` from the command line, or the `Auto` default.
+fn parallelism_flag() -> Parallelism {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive number, e.g. --threads 4");
+                    std::process::exit(2);
+                });
+            Parallelism::Threads(n)
+        }
+        None => Parallelism::default(),
+    }
+}
+
 fn main() {
     let stats = std::env::args().any(|a| a == "--stats");
     let want_trace = std::env::args().any(|a| a == "--trace");
+    let parallelism = parallelism_flag();
     // 1. Generate a small synthetic sampled-NetFlow trace.
     let trace: Vec<_> = FlowTraceGenerator::new(FlowTraceConfig {
         seed: 7,
@@ -106,12 +127,18 @@ fn main() {
         tree.total()
     );
 
-    // 10. --stats / --trace: the same pipeline as a Flowstream deployment
-    // with the observability layers attached. --stats records aggregate
-    // metrics into one registry (per-router ingest counters, data-store
-    // rotation latency, FlowDB execution timings, the end-to-end FlowQL
-    // latency histogram); --trace records each query's causal span tree.
-    if stats || want_trace {
+    // 10. --stats / --trace / --threads: the same pipeline as a Flowstream
+    // deployment with the observability layers attached. --stats records
+    // aggregate metrics into one registry (per-router ingest counters,
+    // data-store rotation latency, FlowDB execution timings, the
+    // end-to-end FlowQL latency histogram); --trace records each query's
+    // causal span tree; --threads N answers the queries with an N-worker
+    // fan-out (same results by construction — DESIGN.md §10).
+    let threads_given = std::env::args().any(|a| a == "--threads");
+    if stats || want_trace || threads_given {
+        if threads_given {
+            println!("\nflowstream parallelism: {parallelism}");
+        }
         let tel = Telemetry::new();
         let tracer = Tracer::new();
         let mut fs = Flowstream::new(
@@ -119,6 +146,7 @@ fn main() {
             2,
             FlowstreamConfig {
                 epoch_len: TimeDelta::from_secs(30),
+                parallelism,
                 ..Default::default()
             },
         );

@@ -22,9 +22,23 @@ cargo test --workspace -q
 echo "==> observability + chaos e2e suites"
 cargo test --test telemetry_e2e --test tracing_e2e --test chaos_e2e -q
 
+echo "==> merge laws + parser fuzz-lite"
+cargo test --test merge_laws --test flowql_fuzz -q
+
+echo "==> parallel equivalence oracle (run twice: results must not flake)"
+cargo test --test parallel_e2e -q
+cargo test --test parallel_e2e -q
+
 echo "==> no #[ignore]d tests"
 if grep -rn '#\[ignore' --include='*.rs' tests crates examples; then
     echo "error: #[ignore]d tests are not allowed" >&2
+    exit 1
+fi
+
+echo "==> no unsafe code"
+if grep -rn 'unsafe ' --include='*.rs' src tests crates examples \
+    | grep -v 'forbid(unsafe_code)'; then
+    echo "error: unsafe code is not allowed (every crate forbids it)" >&2
     exit 1
 fi
 

@@ -1,0 +1,203 @@
+//! FlowQL parser fuzz-lite: thousands of seeded random inputs — raw byte
+//! soup, keyword-biased token salads, truncations and point mutations of
+//! valid queries — must all return `Err` (or a valid `Query`), **never
+//! panic**. The parser is reachable from user-supplied FlowQL, so panic
+//! freedom is part of its contract; this suite is deterministic (seeded),
+//! unlike a coverage-guided fuzzer, but runs on every `scripts/check.sh`.
+
+use rand::prelude::{Rng, SeedableRng, StdRng};
+
+use megastream_flowdb::parser::parse;
+
+/// Every query of the canonical E14 set plus the grammar corner cases the
+/// parser's own unit tests exercise — the mutation seeds.
+const VALID: &[&str] = &[
+    "SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8",
+    "SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8 GROUP BY location",
+    "SELECT TOPK 5 FROM ALL",
+    "SELECT TOPK 3 FROM ALL GROUP BY location",
+    "SELECT ABOVE 500 FROM ALL",
+    "SELECT HHH 2000 FROM ALL",
+    "SELECT DRILLDOWN FROM ALL WHERE src_ip = 10.0.0.0/8",
+    "SELECT QUERY FROM [0, 60) WHERE src_ip = 10.0.0.0/8",
+    "SELECT QUERY FROM ALL WHERE location = \"region-0\"",
+    "SELECT TOPK 5 FROM [60, 240) WHERE dst_ip = 0.0.0.0/0",
+    "SELECT TOPK 5 FROM [0, 60), [120, 180) \
+     WHERE src_ip = 10.0.0.0/8 AND dst_port = 53 AND location = \"region-0\"",
+    "select hhh 100 from all where proto = 17",
+    "SELECT QUERY FROM ALL WHERE dst_ip = 1.2.3.4",
+    "SELECT QUERY FROM ALL WHERE dst_port = 65535",
+];
+
+/// Words the lexer/parser care about, to bias random inputs toward deep
+/// grammar paths instead of dying in the lexer.
+const TOKENS: &[&str] = &[
+    "SELECT",
+    "QUERY",
+    "TOPK",
+    "ABOVE",
+    "HHH",
+    "DRILLDOWN",
+    "FROM",
+    "ALL",
+    "WHERE",
+    "AND",
+    "GROUP",
+    "BY",
+    "location",
+    "src_ip",
+    "dst_ip",
+    "proto",
+    "src_port",
+    "dst_port",
+    "=",
+    "[",
+    ")",
+    ",",
+    "10.0.0.0/8",
+    "1.2.3.4",
+    "\"region-0\"",
+    "0",
+    "5",
+    "53",
+    "60",
+    "65536",
+    "18446744073709551615",
+    "999999999999999999999",
+];
+
+/// `parse` must return, not unwind; on a panic the test names the input.
+fn must_not_panic(input: &str) {
+    let outcome = std::panic::catch_unwind(|| parse(input).map(|q| format!("{q:?}")));
+    assert!(outcome.is_ok(), "parser panicked on input: {input:?}");
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF102_F122);
+    for _ in 0..3000 {
+        let len = rng.gen_range(0usize..120);
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    // Printable ASCII reaches past the lexer more often.
+                    rng.gen_range(0x20u8..0x7F)
+                } else {
+                    rng.gen::<u8>()
+                }
+            })
+            .collect();
+        must_not_panic(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn random_token_salad_never_panics() {
+    // Grammar-adjacent inputs: real keywords in nonsense orders hit the
+    // parser's deep states (numbers after TOPK, ranges, conditions).
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..3000 {
+        let words = rng.gen_range(0usize..16);
+        let salad: Vec<&str> = (0..words)
+            .map(|_| TOKENS[rng.gen_range(0usize..TOKENS.len())])
+            .collect();
+        must_not_panic(&salad.join(" "));
+    }
+}
+
+#[test]
+fn truncations_of_valid_queries_never_panic() {
+    // Every prefix of every valid query: end-of-input handling in each
+    // parser state.
+    for q in VALID {
+        for end in 0..=q.len() {
+            if q.is_char_boundary(end) {
+                must_not_panic(&q[..end]);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutations_of_valid_queries_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xD15E_A5ED);
+    for _ in 0..2000 {
+        let mut bytes = VALID[rng.gen_range(0usize..VALID.len())]
+            .as_bytes()
+            .to_vec();
+        for _ in 0..rng.gen_range(1usize..4) {
+            match rng.gen_range(0u32..4) {
+                0 if !bytes.is_empty() => {
+                    // Overwrite a byte.
+                    let i = rng.gen_range(0usize..bytes.len());
+                    bytes[i] = rng.gen_range(0x20u8..0x7F);
+                }
+                1 if !bytes.is_empty() => {
+                    // Delete a byte.
+                    bytes.remove(rng.gen_range(0usize..bytes.len()));
+                }
+                2 => {
+                    // Insert a byte.
+                    let i = rng.gen_range(0usize..=bytes.len());
+                    bytes.insert(i, rng.gen_range(0x20u8..0x7F));
+                }
+                _ if bytes.len() >= 2 => {
+                    // Swap two bytes.
+                    let i = rng.gen_range(0usize..bytes.len());
+                    let j = rng.gen_range(0usize..bytes.len());
+                    bytes.swap(i, j);
+                }
+                _ => {}
+            }
+        }
+        must_not_panic(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn hostile_numbers_and_ranges_never_panic() {
+    // Directed cases for the arithmetic paths: u64 extremes in every
+    // numeric slot (k, thresholds, ports, time-range bounds — where an
+    // unguarded seconds→micros conversion would overflow).
+    let extremes = [
+        "0",
+        "1",
+        "65535",
+        "65536",
+        "4294967296",
+        "18446744073709551615",
+    ];
+    for n in extremes {
+        must_not_panic(&format!("SELECT TOPK {n} FROM ALL"));
+        must_not_panic(&format!("SELECT ABOVE {n} FROM ALL"));
+        must_not_panic(&format!("SELECT HHH {n} FROM ALL"));
+        must_not_panic(&format!("SELECT QUERY FROM ALL WHERE dst_port = {n}"));
+        must_not_panic(&format!("SELECT QUERY FROM ALL WHERE proto = {n}"));
+        for m in extremes {
+            must_not_panic(&format!("SELECT QUERY FROM [{n}, {m})"));
+        }
+    }
+    // Overlong literals overflow u64 in the lexer.
+    must_not_panic("SELECT TOPK 99999999999999999999999999 FROM ALL");
+    must_not_panic("SELECT QUERY FROM [99999999999999999999999999, 1)");
+    // Prefix edge cases.
+    for p in [
+        "0.0.0.0/0",
+        "255.255.255.255/32",
+        "1.2.3.4/33",
+        "300.1.1.1/8",
+        "1.2.3/8",
+        "::1/64",
+    ] {
+        must_not_panic(&format!("SELECT QUERY FROM ALL WHERE src_ip = {p}"));
+    }
+}
+
+#[test]
+fn valid_seed_queries_still_parse() {
+    // The mutation corpus must stay a corpus of *valid* queries, or the
+    // fuzz tests quietly degrade to byte soup.
+    for q in VALID {
+        assert!(parse(q).is_ok(), "seed query no longer parses: {q}");
+    }
+}

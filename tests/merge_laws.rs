@@ -1,0 +1,658 @@
+//! Merge-law property suite for every computing primitive (paper property
+//! P2, "combinable summaries").
+//!
+//! These laws are what make the parallel data plane correct: FlowDB's
+//! concurrent fan-out and the hierarchy pump merge partial summaries in a
+//! fixed order, and the laws below are the algebra that guarantees those
+//! partials combine into the same answer the sequential pass produces
+//! (`tests/parallel_e2e.rs` then pins the end-to-end equivalence).
+//!
+//! Per primitive: associativity, commutativity where the primitive claims
+//! it, identity on the empty summary, and — crucially — that capacity or
+//! shape mismatches are *rejected*, never a panic or silent corruption.
+
+use megastream::hierarchy::summaries_mergeable;
+use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
+use megastream_flow::addr::Ipv4Addr;
+use megastream_flow::key::FeatureSet;
+use megastream_flow::key::FlowKey;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::ScoreKind;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+use megastream_primitives::aggregator::{Combinable, ComputingPrimitive, Granularity};
+use megastream_primitives::cms::CountMinSketch;
+use megastream_primitives::exact::ExactFlowTable;
+use megastream_primitives::reservoir::Reservoir;
+use megastream_primitives::spacesaving::SpaceSaving;
+use megastream_primitives::timebin::TimeBinStats;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- helpers
+
+fn record(src: u32, dst: u32, packets: u64) -> FlowRecord {
+    FlowRecord::builder()
+        .proto(6)
+        .src(Ipv4Addr::from(src), 80)
+        .dst(Ipv4Addr::from(dst), 443)
+        .packets(packets.max(1))
+        .build()
+}
+
+fn cms_from(stream: &[(u64, u64)], seed: u64) -> CountMinSketch {
+    let mut cms = CountMinSketch::new(64, 4, seed);
+    for (key, weight) in stream {
+        cms.offer(key, *weight % 1000);
+    }
+    cms
+}
+
+fn exact_from(stream: &[(u32, u64)]) -> ExactFlowTable {
+    let mut t = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+    for (src, packets) in stream {
+        t.observe(&record(*src, 0x0808_0808, packets % 1000 + 1));
+    }
+    t
+}
+
+fn spacesaving_from(stream: &[(u64, u64)], capacity: usize) -> SpaceSaving<u64> {
+    let mut ss = SpaceSaving::new(capacity);
+    for (key, weight) in stream {
+        ss.offer(*key, *weight % 1000 + 1);
+    }
+    ss
+}
+
+fn timebin_from(stream: &[(u64, u64)], seed: u64) -> TimeBinStats {
+    let mut tb = TimeBinStats::new(TimeDelta::from_secs(1), seed);
+    for (ts, value) in stream {
+        // Integer-valued samples keep the f64 sums exact, so associativity
+        // can be asserted with `==` rather than a tolerance.
+        tb.ingest(
+            &((value % 100) as f64),
+            Timestamp::from_micros(ts % 10_000_000),
+        );
+    }
+    tb
+}
+
+fn tree_from(stream: &[(u32, u32)], capacity: usize) -> Flowtree {
+    let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(capacity));
+    for (src, dst) in stream {
+        tree.observe(&record(*src, *dst, 1));
+    }
+    tree
+}
+
+fn window(start: u64) -> TimeWindow {
+    TimeWindow::starting_at(Timestamp::from_secs(start), TimeDelta::from_secs(60))
+}
+
+// --------------------------------------------------------- count-min sketch
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cms_combine_is_associative(
+        a in vec((any::<u64>(), any::<u64>()), 0..40),
+        b in vec((any::<u64>(), any::<u64>()), 0..40),
+        c in vec((any::<u64>(), any::<u64>()), 0..40),
+    ) {
+        let (sa, sb, sc) = (cms_from(&a, 7), cms_from(&b, 7), cms_from(&c, 7));
+        // (a ∘ b) ∘ c
+        let mut left = sa.clone();
+        left.combine(&sb);
+        left.combine(&sc);
+        // a ∘ (b ∘ c)
+        let mut bc = sb.clone();
+        bc.combine(&sc);
+        let mut right = sa.clone();
+        right.combine(&bc);
+        prop_assert_eq!(left.total(), right.total());
+        for (key, _) in a.iter().chain(&b).chain(&c) {
+            prop_assert_eq!(left.estimate(key), right.estimate(key));
+        }
+    }
+
+    #[test]
+    fn cms_combine_is_commutative(
+        a in vec((any::<u64>(), any::<u64>()), 0..40),
+        b in vec((any::<u64>(), any::<u64>()), 0..40),
+    ) {
+        let (sa, sb) = (cms_from(&a, 9), cms_from(&b, 9));
+        let mut ab = sa.clone();
+        ab.combine(&sb);
+        let mut ba = sb.clone();
+        ba.combine(&sa);
+        prop_assert_eq!(ab.total(), ba.total());
+        for (key, _) in a.iter().chain(&b) {
+            prop_assert_eq!(ab.estimate(key), ba.estimate(key));
+        }
+    }
+
+    #[test]
+    fn cms_empty_is_identity(a in vec((any::<u64>(), any::<u64>()), 0..40)) {
+        let sa = cms_from(&a, 11);
+        let empty = CountMinSketch::new(64, 4, 11);
+        let mut left = sa.clone();
+        left.combine(&empty);
+        prop_assert_eq!(left.total(), sa.total());
+        let mut right = empty.clone();
+        right.combine(&sa);
+        prop_assert_eq!(right.total(), sa.total());
+        for (key, _) in &a {
+            prop_assert_eq!(left.estimate(key), sa.estimate(key));
+            prop_assert_eq!(right.estimate(key), sa.estimate(key));
+        }
+    }
+
+    #[test]
+    fn cms_shape_mismatch_is_rejected_not_a_panic(
+        a in vec((any::<u64>(), any::<u64>()), 0..20),
+        b in vec((any::<u64>(), any::<u64>()), 0..20),
+    ) {
+        let mut wide = cms_from(&a, 3);
+        let narrow = {
+            let mut cms = CountMinSketch::new(32, 4, 3);
+            for (key, weight) in &b {
+                cms.offer(key, *weight % 1000);
+            }
+            cms
+        };
+        let reseeded = cms_from(&b, 4);
+        let before = wide.clone();
+        prop_assert!(!wide.try_combine(&narrow));
+        prop_assert!(!wide.try_combine(&reseeded));
+        // A rejected combine must leave the receiver untouched.
+        prop_assert_eq!(wide.total(), before.total());
+        for (key, _) in &a {
+            prop_assert_eq!(wide.estimate(key), before.estimate(key));
+        }
+        prop_assert!(wide.try_combine(&cms_from(&b, 3)));
+    }
+}
+
+// ------------------------------------------------------------- exact table
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_combine_is_associative_and_commutative(
+        a in vec((any::<u32>(), any::<u64>()), 0..30),
+        b in vec((any::<u32>(), any::<u64>()), 0..30),
+        c in vec((any::<u32>(), any::<u64>()), 0..30),
+    ) {
+        let (ta, tb, tc) = (exact_from(&a), exact_from(&b), exact_from(&c));
+        let mut left = ta.clone();
+        left.combine(&tb);
+        left.combine(&tc);
+        let mut bc = tb.clone();
+        bc.combine(&tc);
+        let mut right = ta.clone();
+        right.combine(&bc);
+        prop_assert_eq!(left.total(), right.total());
+        prop_assert_eq!(left.len(), right.len());
+        for (key, score) in left.iter() {
+            prop_assert_eq!(score, right.query(key));
+        }
+        let mut ba = tb.clone();
+        ba.combine(&ta);
+        let mut ab = ta.clone();
+        ab.combine(&tb);
+        prop_assert_eq!(ab.total(), ba.total());
+        for (key, score) in ab.iter() {
+            prop_assert_eq!(score, ba.query(key));
+        }
+    }
+
+    #[test]
+    fn exact_empty_is_identity(a in vec((any::<u32>(), any::<u64>()), 0..30)) {
+        let ta = exact_from(&a);
+        let empty = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        let mut left = ta.clone();
+        left.combine(&empty);
+        prop_assert_eq!(left.total(), ta.total());
+        prop_assert_eq!(left.len(), ta.len());
+        let mut right = empty;
+        right.combine(&ta);
+        prop_assert_eq!(right.total(), ta.total());
+        prop_assert_eq!(right.len(), ta.len());
+    }
+}
+
+// ------------------------------------------------------------ space-saving
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spacesaving_total_is_preserved_in_any_association(
+        a in vec((any::<u64>(), any::<u64>()), 0..30),
+        b in vec((any::<u64>(), any::<u64>()), 0..30),
+        c in vec((any::<u64>(), any::<u64>()), 0..30),
+    ) {
+        let (sa, sb, sc) = (
+            spacesaving_from(&a, 8),
+            spacesaving_from(&b, 8),
+            spacesaving_from(&c, 8),
+        );
+        let mut left = sa.clone();
+        left.combine(&sb);
+        left.combine(&sc);
+        let mut bc = sb.clone();
+        bc.combine(&sc);
+        let mut right = sa.clone();
+        right.combine(&bc);
+        // Space-Saving is an approximation: under eviction only the *mass*
+        // is promised, and it must be identical in every association.
+        prop_assert_eq!(left.total(), right.total());
+        prop_assert_eq!(left.total(), sa.total() + sb.total() + sc.total());
+        prop_assert!(left.len() <= 8 && right.len() <= 8);
+    }
+
+    #[test]
+    fn spacesaving_is_exact_below_capacity(
+        a in vec(0u64..12, 0..20),
+        b in vec(0u64..12, 0..20),
+    ) {
+        // Keys are drawn from a domain smaller than the capacity, so no
+        // counter is ever evicted and the merge must be exact: associative,
+        // commutative, and equal to counting the concatenated stream.
+        let stream = |keys: &[u64]| {
+            let mut ss = SpaceSaving::new(16);
+            for key in keys {
+                ss.offer(*key, 1);
+            }
+            ss
+        };
+        let (sa, sb) = (stream(&a), stream(&b));
+        let mut ab = sa.clone();
+        ab.combine(&sb);
+        let mut ba = sb.clone();
+        ba.combine(&sa);
+        let mut truth = a.clone();
+        truth.extend(&b);
+        let exact = stream(&truth);
+        for key in 0u64..12 {
+            let want = exact.estimate(&key).map(|c| c.guaranteed());
+            prop_assert_eq!(ab.estimate(&key).map(|c| c.guaranteed()), want);
+            prop_assert_eq!(ba.estimate(&key).map(|c| c.guaranteed()), want);
+        }
+    }
+
+    #[test]
+    fn spacesaving_empty_is_identity_and_capacity_takes_max(
+        a in vec((any::<u64>(), any::<u64>()), 0..30),
+    ) {
+        let sa = spacesaving_from(&a, 8);
+        let empty: SpaceSaving<u64> = SpaceSaving::new(4);
+        let mut merged = sa.clone();
+        merged.combine(&empty);
+        prop_assert_eq!(merged.total(), sa.total());
+        // Capacity mismatches are resolved (max wins), never a panic.
+        prop_assert_eq!(merged.capacity(), 8);
+        let mut other_way: SpaceSaving<u64> = SpaceSaving::new(4);
+        other_way.combine(&sa);
+        prop_assert_eq!(other_way.total(), sa.total());
+        prop_assert_eq!(other_way.capacity(), 8);
+        prop_assert!(other_way.len() <= other_way.capacity());
+    }
+}
+
+// --------------------------------------------------------------- reservoir
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reservoir_deterministic_fields_obey_the_laws(
+        a in vec(any::<u64>(), 0..40),
+        b in vec(any::<u64>(), 0..40),
+        c in vec(any::<u64>(), 0..40),
+    ) {
+        // The sample itself is randomized (commutative in distribution
+        // only); `seen`, `capacity`, and the size bound are the
+        // deterministic contract every association must agree on.
+        let fill = |items: &[u64], seed: u64| {
+            let mut r = Reservoir::new(16, seed);
+            for item in items {
+                r.insert(*item);
+            }
+            r
+        };
+        let (ra, rb, rc) = (fill(&a, 1), fill(&b, 2), fill(&c, 3));
+        let mut left = ra.clone();
+        left.combine(&rb);
+        left.combine(&rc);
+        let mut bc = rb.clone();
+        bc.combine(&rc);
+        let mut right = ra.clone();
+        right.combine(&bc);
+        let total = (a.len() + b.len() + c.len()) as u64;
+        prop_assert_eq!(left.seen(), total);
+        prop_assert_eq!(right.seen(), total);
+        prop_assert!(left.len() <= left.capacity());
+        prop_assert!(right.len() <= right.capacity());
+    }
+
+    #[test]
+    fn reservoir_empty_is_exact_identity(a in vec(any::<u64>(), 1..40)) {
+        let mut filled = Reservoir::new(16, 5);
+        for item in &a {
+            filled.insert(*item);
+        }
+        // x ∘ ∅ is a strict no-op, ∅ ∘ x adopts x's sample verbatim —
+        // the empty reservoir is a two-sided identity on the *contents*,
+        // not just the counters.
+        let empty: Reservoir<u64> = Reservoir::new(16, 6);
+        let mut left = filled.clone();
+        left.combine(&empty);
+        prop_assert_eq!(left.items(), filled.items());
+        prop_assert_eq!(left.seen(), filled.seen());
+        let mut right: Reservoir<u64> = Reservoir::new(8, 6);
+        right.combine(&filled);
+        prop_assert_eq!(right.items(), filled.items());
+        prop_assert_eq!(right.seen(), filled.seen());
+        // Capacity mismatch resolves to the max, never a panic.
+        prop_assert_eq!(right.capacity(), 16);
+    }
+}
+
+// ----------------------------------------------------------- time binning
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timebin_combine_is_associative_and_commutative(
+        a in vec((any::<u64>(), any::<u64>()), 0..30),
+        b in vec((any::<u64>(), any::<u64>()), 0..30),
+        c in vec((any::<u64>(), any::<u64>()), 0..30),
+    ) {
+        let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(10));
+        let (sa, sb, sc) = (
+            timebin_from(&a, 1).snapshot(w),
+            timebin_from(&b, 2).snapshot(w),
+            timebin_from(&c, 3).snapshot(w),
+        );
+        let mut left = sa.clone();
+        left.combine(&sb);
+        left.combine(&sc);
+        let mut bc = sb.clone();
+        bc.combine(&sc);
+        let mut right = sa.clone();
+        right.combine(&bc);
+        prop_assert_eq!(left.len(), right.len());
+        for ((ts_l, bin_l), (ts_r, bin_r)) in left.iter().zip(right.iter()) {
+            prop_assert_eq!(ts_l, ts_r);
+            prop_assert_eq!(bin_l.count(), bin_r.count());
+            prop_assert_eq!(bin_l.sum(), bin_r.sum());
+            prop_assert_eq!(bin_l.min(), bin_r.min());
+            prop_assert_eq!(bin_l.max(), bin_r.max());
+        }
+        let mut ab = sa.clone();
+        ab.combine(&sb);
+        let mut ba = sb.clone();
+        ba.combine(&sa);
+        prop_assert_eq!(ab.len(), ba.len());
+        for ((_, bin_l), (_, bin_r)) in ab.iter().zip(ba.iter()) {
+            prop_assert_eq!(bin_l.count(), bin_r.count());
+            prop_assert_eq!(bin_l.sum(), bin_r.sum());
+        }
+    }
+
+    #[test]
+    fn timebin_width_mismatch_rebins_never_panics(
+        a in vec((any::<u64>(), any::<u64>()), 1..30),
+        b in vec((any::<u64>(), any::<u64>()), 1..30),
+    ) {
+        // A 1 s series combined with a 2 s series re-bins the finer one;
+        // the total count survives regardless of direction.
+        let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(10));
+        let fine = timebin_from(&a, 1).snapshot(w);
+        let coarse = {
+            let mut tb = TimeBinStats::new(TimeDelta::from_secs(2), 2);
+            for (ts, value) in &b {
+                tb.ingest(&((value % 100) as f64), Timestamp::from_micros(ts % 10_000_000));
+            }
+            tb.snapshot(w)
+        };
+        let count = |s: &megastream_primitives::timebin::BinnedSeries| {
+            s.iter().map(|(_, bin)| bin.count()).sum::<u64>()
+        };
+        let total = count(&fine) + count(&coarse);
+        let mut one = fine.clone();
+        one.combine(&coarse);
+        prop_assert_eq!(one.width(), TimeDelta::from_secs(2));
+        prop_assert_eq!(count(&one), total);
+        let mut other = coarse.clone();
+        other.combine(&fine);
+        prop_assert_eq!(other.width(), TimeDelta::from_secs(2));
+        prop_assert_eq!(count(&other), total);
+    }
+
+    #[test]
+    fn timebin_empty_window_is_identity(a in vec((any::<u64>(), any::<u64>()), 1..30)) {
+        let w = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(10));
+        let sa = timebin_from(&a, 1).snapshot(w);
+        let empty = TimeBinStats::new(TimeDelta::from_secs(1), 9)
+            .snapshot(TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::ZERO));
+        let mut merged = sa.clone();
+        merged.combine(&empty);
+        // The empty window must not distort the hull.
+        prop_assert_eq!(merged.window, sa.window);
+        prop_assert_eq!(merged.len(), sa.len());
+    }
+}
+
+// ---------------------------------------------------------------- flowtree
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flowtree_merge_is_associative_and_commutative_below_capacity(
+        a in vec((0u32..64, 0u32..64), 0..20),
+        b in vec((0u32..64, 0u32..64), 0..20),
+        c in vec((0u32..64, 0u32..64), 0..20),
+    ) {
+        // The P2 contract of Merge is observational: "scores of keys
+        // present in both trees add". The trie *structure* is allowed to
+        // differ with merge order (zero-score intermediate nodes are not
+        // rematerialized), so the laws are stated over the query surface —
+        // which is also all the parallel fan-out's answers depend on.
+        // Under compression even the scores are only mass-preserving,
+        // which is why the fan-out fixes one merge association instead of
+        // relying on associativity; see `DESIGN.md` §10.
+        let (ta, tb, tc) = (
+            tree_from(&a, 1 << 14),
+            tree_from(&b, 1 << 14),
+            tree_from(&c, 1 << 14),
+        );
+        let keys: Vec<FlowKey> = a
+            .iter()
+            .chain(&b)
+            .chain(&c)
+            .map(|(src, dst)| FlowKey::from_record(&record(*src, *dst, 1)))
+            .collect();
+        let mut left = ta.clone();
+        left.merge(&tb);
+        left.merge(&tc);
+        let mut bc = tb.clone();
+        bc.combine(&tc);
+        let mut right = ta.clone();
+        right.combine(&bc);
+        prop_assert_eq!(left.total(), right.total());
+        prop_assert_eq!(left.records(), right.records());
+        for key in &keys {
+            prop_assert_eq!(left.query(key), right.query(key));
+        }
+        let mut ab = ta.clone();
+        ab.merge(&tb);
+        let mut ba = tb.clone();
+        ba.merge(&ta);
+        prop_assert_eq!(ab.total(), ba.total());
+        prop_assert_eq!(ab.records(), ba.records());
+        for key in &keys {
+            prop_assert_eq!(ab.query(key), ba.query(key));
+        }
+    }
+
+    #[test]
+    fn flowtree_grouped_fold_equals_flat_fold(
+        a in vec((0u32..64, 0u32..64), 1..20),
+        b in vec((0u32..64, 0u32..64), 1..20),
+        c in vec((0u32..64, 0u32..64), 1..20),
+        d in vec((0u32..64, 0u32..64), 1..20),
+    ) {
+        // The exact shape the parallel fan-out relies on: pre-merging
+        // per-location partials and folding them in a fixed order answers
+        // every query like the flat left fold over the same sequence.
+        let trees = [
+            tree_from(&a, 1 << 14),
+            tree_from(&b, 1 << 14),
+            tree_from(&c, 1 << 14),
+            tree_from(&d, 1 << 14),
+        ];
+        let mut flat = trees[0].clone();
+        for tree in &trees[1..] {
+            flat.merge(tree);
+        }
+        let mut partial_one = trees[0].clone();
+        partial_one.merge(&trees[1]);
+        let mut partial_two = trees[2].clone();
+        partial_two.merge(&trees[3]);
+        let mut grouped = partial_one;
+        grouped.merge(&partial_two);
+        prop_assert_eq!(flat.total(), grouped.total());
+        prop_assert_eq!(flat.records(), grouped.records());
+        for (src, dst) in a.iter().chain(&b).chain(&c).chain(&d) {
+            let key = FlowKey::from_record(&record(*src, *dst, 1));
+            prop_assert_eq!(flat.query(&key), grouped.query(&key));
+        }
+    }
+
+    #[test]
+    fn flowtree_empty_is_identity(a in vec((0u32..64, 0u32..64), 0..20)) {
+        let ta = tree_from(&a, 1 << 14);
+        let empty = Flowtree::new(FlowtreeConfig::default().with_capacity(1 << 14));
+        let mut left = ta.clone();
+        left.merge(&empty);
+        prop_assert_eq!(&left, &ta);
+        let mut right = empty;
+        right.merge(&ta);
+        prop_assert_eq!(right.total(), ta.total());
+        prop_assert_eq!(right.records(), ta.records());
+        for (src, dst) in &a {
+            let key = FlowKey::from_record(&record(*src, *dst, 1));
+            prop_assert_eq!(right.query(&key), ta.query(&key));
+        }
+    }
+}
+
+// ------------------------------------------------- granularity (adaptive)
+
+#[test]
+fn granularity_dial_composition_laws() {
+    let g = Granularity::new(0.5);
+    // Coarsening composes multiplicatively…
+    assert_eq!(
+        g.coarsened(2.0).coarsened(4.0).value(),
+        g.coarsened(8.0).value()
+    );
+    // …refinement undoes coarsening while inside the clamp range…
+    assert_eq!(g.coarsened(4.0).refined(4.0).value(), g.value());
+    // …and both saturate instead of leaving (0, 1].
+    assert_eq!(Granularity::FULL.refined(1e9).value(), 1.0);
+    assert!(Granularity::new(1e-300).coarsened(1e300).value() > 0.0);
+    // Factors below 1 are treated as 1 (never refine-by-coarsening).
+    assert_eq!(g.coarsened(0.25).value(), g.value());
+    assert_eq!(g.refined(0.25).value(), g.value());
+}
+
+#[test]
+fn granularity_controller_is_deterministic() {
+    use megastream_primitives::adaptive::GranularityController;
+    let run = || {
+        let mut ctl = GranularityController::new(Granularity::FULL);
+        let mut dials = Vec::new();
+        for step in 0..20usize {
+            let g = ctl.update(8192 + step * 100, 4096, None);
+            dials.push(g.value());
+        }
+        dials
+    };
+    // Same feedback sequence → same dial trajectory, which is what lets
+    // the parallel pump adapt identically to the sequential one.
+    assert_eq!(run(), run());
+}
+
+// --------------------------------------------------------- cross-primitive
+
+#[test]
+fn mixed_summary_kinds_are_rejected_without_panic() {
+    let tree = Summary::Flowtree(tree_from(&[(1, 2)], 1 << 12));
+    let bins = Summary::Bins(timebin_from(&[(0, 1)], 1).snapshot(TimeWindow::starting_at(
+        Timestamp::ZERO,
+        TimeDelta::from_secs(10),
+    )));
+    let exact = Summary::Exact(exact_from(&[(1, 1)]));
+    let top = Summary::TopFlows({
+        let mut ss: SpaceSaving<FlowKey> = SpaceSaving::new(8);
+        ss.offer(FlowKey::from_record(&record(1, 2, 1)), 1);
+        ss
+    });
+    let kinds = [tree, bins, exact, top];
+    for (i, a) in kinds.iter().enumerate() {
+        for (j, b) in kinds.iter().enumerate() {
+            let sa = StoredSummary::new("a", window(0), a.clone(), Lineage::from_source("a"));
+            let sb = StoredSummary::new("b", window(60), b.clone(), Lineage::from_source("b"));
+            assert_eq!(
+                summaries_mergeable(&sa, &sb),
+                i == j,
+                "kinds {} / {} mergeability",
+                a.kind(),
+                b.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn incompatible_flowtree_configs_are_rejected_without_panic() {
+    // Same kind, different schema: the hierarchy must refuse the merge
+    // rather than corrupt or panic — this is the check the parallel pump
+    // runs before every spill-buffer coalesce.
+    let default_tree = tree_from(&[(1, 2)], 1 << 12);
+    let dst_tree = {
+        let config = FlowtreeConfig::default()
+            .with_capacity(1 << 12)
+            .with_schema(megastream_flow::mask::GeneralizationSchema::dst_preserving());
+        let mut tree = Flowtree::new(config);
+        tree.observe(&record(3, 4, 1));
+        tree
+    };
+    let sa = StoredSummary::new(
+        "a",
+        window(0),
+        Summary::Flowtree(default_tree.clone()),
+        Lineage::from_source("a"),
+    );
+    let sb = StoredSummary::new(
+        "b",
+        window(60),
+        Summary::Flowtree(dst_tree),
+        Lineage::from_source("b"),
+    );
+    assert!(!summaries_mergeable(&sa, &sb));
+    let sc = StoredSummary::new(
+        "c",
+        window(120),
+        Summary::Flowtree(default_tree),
+        Lineage::from_source("c"),
+    );
+    assert!(summaries_mergeable(&sa, &sc));
+}
