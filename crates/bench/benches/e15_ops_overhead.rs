@@ -1,0 +1,137 @@
+//! E15 — ops-plane overhead: sampling the registry into ring buffers and
+//! folding the windows through the health rules must be cheap enough to
+//! leave on in production. The sampler reads the same atomics the data
+//! plane writes (no locks on the read path after discovery) and runs once
+//! per cadence, so the cost scales with series count × tick rate, not
+//! with ingest volume.
+//!
+//! Shape expectations (recorded in EXPERIMENTS.md): the E11 ingest
+//! workload with a full ops plane ticking at the default one-second
+//! cadence lands within a couple percent of the telemetry-only run;
+//! tightening the cadence raises the cost proportionally; a single
+//! frame over a realistic registry is in the low-microsecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream::ops::OpsPlane;
+use megastream_bench::{flow_trace, rule};
+use megastream_telemetry::{MetricSampler, SamplerConfig, Telemetry};
+use std::sync::Arc;
+
+const SEC: u64 = 1_000_000;
+
+fn ops_overhead_report() {
+    rule("E15 — ingest throughput: ops plane disabled vs ticking (60k flows)");
+    let trace = flow_trace(2026, 500.0, 120, 1.1);
+    println!(
+        "{:>22} {:>12} {:>10} {:>10}",
+        "mode", "elapsed ms", "frames", "series"
+    );
+    // Cadence 0 = no ops plane; otherwise tick the sampler + health rules
+    // once per `cadence_micros` of simulated time. Minimum of five runs
+    // per mode — single runs swing several percent on scheduler noise,
+    // more than the effect under measurement.
+    for cadence_micros in [0, 10 * SEC, SEC, SEC / 10, SEC / 100] {
+        let mut best = f64::INFINITY;
+        let mut frames = 0u64;
+        let mut series = 0usize;
+        for _ in 0..5 {
+            let tel = Telemetry::new();
+            let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_telemetry(&tel);
+            let mut ops = if cadence_micros == 0 {
+                None
+            } else {
+                OpsPlane::new(
+                    &tel,
+                    SamplerConfig {
+                        cadence_micros,
+                        ..Default::default()
+                    },
+                )
+                .map(|mut plane| {
+                    for r in megastream::ops::standard_rules() {
+                        plane.add_rule(r);
+                    }
+                    plane
+                })
+            };
+            let start = std::time::Instant::now();
+            for r in &trace {
+                fs.ingest_round_robin(r);
+                if let Some(ops) = ops.as_mut() {
+                    ops.tick(r.ts);
+                }
+            }
+            fs.finish();
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            if let Some(o) = ops.as_ref() {
+                frames = o.sampler().total_frames();
+                series = o.sampler().series();
+            }
+        }
+        let mode = match cadence_micros {
+            0 => "telemetry only".to_string(),
+            c if c >= SEC => format!("cadence {} s", c / SEC),
+            c => format!("cadence {} ms", c / 1_000),
+        };
+        println!("{mode:>22} {best:>12.1} {frames:>10} {series:>10}");
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    ops_overhead_report();
+
+    let mut group = c.benchmark_group("e15_ops");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // A populated registry to sample: run the pipeline once, then measure
+    // the per-frame cost in isolation.
+    let tel = Telemetry::new();
+    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_telemetry(&tel);
+    for r in flow_trace(7, 500.0, 60, 1.1) {
+        fs.ingest_round_robin(&r);
+    }
+    fs.finish();
+    let registry = Arc::clone(tel.registry().expect("telemetry is enabled"));
+    println!("registry series sampled below: {}", registry.len());
+
+    group.bench_function("sampler_frame", |b| {
+        let mut s = MetricSampler::new(Arc::clone(&registry), SamplerConfig::default());
+        let mut now = 0u64;
+        b.iter(|| {
+            now += SEC;
+            s.force_sample(black_box(now));
+        });
+    });
+
+    group.bench_function("ops_tick_with_rules", |b| {
+        let mut ops = OpsPlane::standard(&tel).expect("telemetry is enabled");
+        let mut now = 0u64;
+        b.iter(|| {
+            now += SEC;
+            ops.force_tick(megastream_flow::time::Timestamp::from_micros(black_box(
+                now,
+            )));
+        });
+    });
+
+    // The cadence gate itself — the cost paid on every ingest when the
+    // cadence has NOT elapsed (the common case).
+    group.bench_function("ops_tick_gated_x1000", |b| {
+        let mut ops = OpsPlane::standard(&tel).expect("telemetry is enabled");
+        ops.force_tick(megastream_flow::time::Timestamp::from_micros(SEC));
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(ops.tick(megastream_flow::time::Timestamp::from_micros(SEC + 1)));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -27,7 +27,7 @@ use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
 use megastream_netsim::topology::{Network, NodeId};
 use megastream_telemetry::{
-    labeled, Counter, Histogram, ScopedTimer, Snapshot, Telemetry, TraceSnapshot, Tracer,
+    labeled, Counter, Gauge, Histogram, ScopedTimer, Snapshot, Telemetry, TraceSnapshot, Tracer,
     LATENCY_MICROS_BOUNDS,
 };
 
@@ -182,7 +182,8 @@ pub struct FlowstreamStats {
 }
 
 /// Cached telemetry handles for the Flowstream fabric itself (per-router
-/// ingest counters and FlowQL end-to-end latency).
+/// ingest counters, FlowQL end-to-end latency, rotation stage timers, and
+/// the watermark/spill gauges the ops plane's health rules watch).
 #[derive(Debug, Clone, Default)]
 struct StreamMetrics {
     /// `router_records[region][router]` — empty when telemetry is disabled.
@@ -190,6 +191,20 @@ struct StreamMetrics {
     query_micros: Histogram,
     queries: Counter,
     query_errors: Counter,
+    /// End-to-end wall-clock of one `rotate` pass.
+    rotate_micros: Histogram,
+    /// Per-stage wall-clock inside `rotate`: spill flush, region rotation,
+    /// NOC export + indexing.
+    stage_flush_micros: Histogram,
+    stage_rotate_micros: Histogram,
+    stage_export_micros: Histogram,
+    /// Newest ingested simulated timestamp (`flowstream.watermark_micros`).
+    watermark: Gauge,
+    /// Aggregate spill occupancy across regions, plus one labeled gauge
+    /// per region (`flowstream.spill.buffered_bytes{region=g}`).
+    spill_bytes_gauge: Gauge,
+    spill_summaries_gauge: Gauge,
+    spill_region_bytes: Vec<Gauge>,
 }
 
 /// The Fig. 5 system: routers → region data stores (Flowtree) → network
@@ -327,10 +342,44 @@ impl Flowstream {
                 ),
                 queries: tel.counter("flowstream.query.total"),
                 query_errors: tel.counter("flowstream.query.errors_total"),
+                rotate_micros: tel.histogram("flowstream.rotate.micros", LATENCY_MICROS_BOUNDS),
+                stage_flush_micros: tel
+                    .histogram("flowstream.stage.flush.micros", LATENCY_MICROS_BOUNDS),
+                stage_rotate_micros: tel
+                    .histogram("flowstream.stage.rotate.micros", LATENCY_MICROS_BOUNDS),
+                stage_export_micros: tel
+                    .histogram("flowstream.stage.export.micros", LATENCY_MICROS_BOUNDS),
+                watermark: tel.gauge("flowstream.watermark_micros"),
+                spill_bytes_gauge: tel.gauge("flowstream.spill.buffered_bytes"),
+                spill_summaries_gauge: tel.gauge("flowstream.spill.buffered_summaries"),
+                spill_region_bytes: (0..self.regions.len())
+                    .map(|g| {
+                        tel.gauge(&labeled(
+                            "flowstream.spill.buffered_bytes",
+                            "region",
+                            &g.to_string(),
+                        ))
+                    })
+                    .collect(),
             }
         } else {
             StreamMetrics::default()
         };
+    }
+
+    /// Refreshes the spill-occupancy gauges the ops plane's health rules
+    /// watch: one labeled gauge per region plus the aggregate bytes and
+    /// summary count.
+    fn update_spill_gauges(&self) {
+        for (g, gauge) in self.metrics.spill_region_bytes.iter().enumerate() {
+            gauge.set(self.spill_bytes[g] as i64);
+        }
+        self.metrics
+            .spill_bytes_gauge
+            .set(self.spill_bytes.iter().sum::<u64>() as i64);
+        self.metrics
+            .spill_summaries_gauge
+            .set(self.spill.iter().map(Vec::len).sum::<usize>() as i64);
     }
 
     /// Builder-style [`Flowstream::set_telemetry`].
@@ -406,6 +455,7 @@ impl Flowstream {
             self.rotate(at);
         }
         self.now = self.now.max(rec.ts);
+        self.metrics.watermark.set(self.now.as_micros() as i64);
         if let Some(counter) = self
             .metrics
             .router_records
@@ -442,6 +492,7 @@ impl Flowstream {
     /// buffer and re-exported — and only then indexed in FlowDB — once the
     /// uplink recovers.
     fn rotate(&mut self, at: Timestamp) {
+        let rotate_timer = ScopedTimer::start(&self.metrics.rotate_micros);
         // ① account the raw router → region-store transfers of this epoch.
         for g in 0..self.raw_pending.len() {
             for r in 0..self.raw_pending[g].len() {
@@ -464,7 +515,9 @@ impl Flowstream {
         }
         // Recovery first: spilled summaries from earlier epochs, so the NOC
         // absorbs late data before it rotates below.
+        let flush_timer = ScopedTimer::start(&self.metrics.stage_flush_micros);
         self.flush_spill(at);
+        flush_timer.stop();
         // ② rotate every region store — sibling subtrees concurrently, per
         // the parallelism knob; rotation touches only the store itself —
         // then ③ + ④ export each region's summaries to the NOC in region
@@ -479,12 +532,15 @@ impl Flowstream {
         let worker_micros = self
             .tel
             .histogram("flowstream.rotate.worker.micros", LATENCY_MICROS_BOUNDS);
+        let stage_timer = ScopedTimer::start(&self.metrics.stage_rotate_micros);
         let rotated: Vec<Vec<StoredSummary>> = fan_out(
             self.regions.iter_mut().collect(),
             workers,
             |store| store.rotate_epoch(at),
             |micros| worker_micros.record(micros),
         );
+        stage_timer.stop();
+        let export_timer = ScopedTimer::start(&self.metrics.stage_export_micros);
         for (g, exported) in rotated.into_iter().enumerate() {
             for summary in exported {
                 self.export_to_noc(g, summary, at);
@@ -498,7 +554,9 @@ impl Flowstream {
                 }
             }
         }
+        export_timer.stop();
         self.epoch_end = at + self.config.epoch_len;
+        rotate_timer.stop();
     }
 
     /// Exports one region summary to the NOC with bounded retry +
@@ -572,6 +630,7 @@ impl Flowstream {
                 .counter("flowstream.spill.dropped_bytes_total")
                 .add(bytes);
         }
+        self.update_spill_gauges();
     }
 
     /// Re-exports spilled summaries whose uplink has recovered; stops at
@@ -594,6 +653,7 @@ impl Flowstream {
                 }
             }
         }
+        self.update_spill_gauges();
     }
 
     /// Flushes the current (partial) epoch so all ingested data is

@@ -342,6 +342,13 @@ impl StoreHierarchy {
     pub fn pump(&mut self, now: Timestamp) -> Result<ExportStats, PumpError> {
         let pump_span = self.tel.span("hierarchy.pump");
         let trace_root = self.tracer.root("hierarchy.pump");
+        if self.tel.is_enabled() {
+            // Simulated-time progress of the pump loop — the ops plane's
+            // freshness rules compare this against "now".
+            self.tel
+                .gauge("hierarchy.watermark_micros")
+                .set(now.as_micros() as i64);
+        }
         let mut stats = ExportStats::default();
         // Deepest level first, so child exports are absorbed before parents
         // rotate (when epochs align). Each level runs in three phases:
@@ -563,9 +570,27 @@ impl StoreHierarchy {
                 .counter("hierarchy.spill.dropped_bytes_total")
                 .add(bytes);
         }
+        self.update_spill_gauges(i);
+    }
+
+    /// Refreshes the spill-occupancy gauges after store `i`'s buffer
+    /// changed: the per-store labeled gauge plus the hierarchy-wide
+    /// aggregate the ops plane's health rules watch.
+    fn update_spill_gauges(&self, i: usize) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        self.tel
+            .gauge(&labeled(
+                "hierarchy.spill.buffered_bytes",
+                "store",
+                self.entries[i].store.name(),
+            ))
+            .set(self.entries[i].spill_bytes as i64);
+        let total: u64 = self.entries.iter().map(|e| e.spill_bytes).sum();
         self.tel
             .gauge("hierarchy.spill.buffered_bytes")
-            .set(entry.spill_bytes as i64);
+            .set(total as i64);
     }
 
     /// Attempts to deliver `i`'s spilled summaries to its parent. Stops at
@@ -617,9 +642,7 @@ impl StoreHierarchy {
                 }
             }
         }
-        self.tel
-            .gauge("hierarchy.spill.buffered_bytes")
-            .set(self.entries[i].spill_bytes as i64);
+        self.update_spill_gauges(i);
         Ok(())
     }
 }

@@ -29,7 +29,9 @@
 //! * [`hierarchy`] — a hierarchy of data stores bound to a simulated
 //!   network, with epoch-driven upward summary export (Fig. 2b),
 //! * [`flowstream`] — the complete Flowstream system of Fig. 5
-//!   (routers → Flowtree data stores → FlowDB → FlowQL).
+//!   (routers → Flowtree data stores → FlowDB → FlowQL),
+//! * [`ops`] — the ops plane: time-series sampling, a rule-driven health
+//!   model with hysteresis, and dashboard/JSON/Prometheus exposition.
 //!
 //! # Quickstart
 //!
@@ -56,12 +58,14 @@ pub mod application;
 pub mod controller;
 pub mod flowstream;
 pub mod hierarchy;
+pub mod ops;
 
 pub use application::{AppDirective, Application};
 pub use controller::{ControlAction, Controller, Rule, RuleId, SafetyEnvelope};
 pub use flowstream::{DegradationPolicy, Explanation, Flowstream, FlowstreamConfig};
 pub use hierarchy::{ExportStats, HierarchyId, PumpError, PumpPolicy, StoreHierarchy};
 pub use megastream_flowdb::Parallelism;
+pub use ops::OpsPlane;
 
 // Re-export the member crates under short names for downstream users.
 pub use megastream_analytics as analytics;

@@ -72,6 +72,11 @@ struct StoreMetrics {
     imports: Counter,
     rotate_micros: Histogram,
     footprint: Gauge,
+    /// Newest ingested simulated timestamp — the ops plane's freshness
+    /// rules compare it against "now".
+    watermark: Gauge,
+    /// Simulated timestamp of the last epoch rotation (rotation lag).
+    last_rotation: Gauge,
 }
 
 impl StoreMetrics {
@@ -92,6 +97,12 @@ impl StoreMetrics {
                 LATENCY_MICROS_BOUNDS,
             ),
             footprint: tel.gauge(&labeled("datastore.footprint_bytes", "store", store)),
+            watermark: tel.gauge(&labeled("datastore.watermark_micros", "store", store)),
+            last_rotation: tel.gauge(&labeled(
+                "datastore.epoch.last_rotation_micros",
+                "store",
+                store,
+            )),
         }
     }
 }
@@ -293,6 +304,7 @@ impl DataStore {
         self.metrics
             .raw_bytes
             .add(std::mem::size_of::<FlowRecord>() as u64);
+        self.metrics.watermark.set(now.as_micros() as i64);
         self.note_source(stream);
         let ids: Vec<AggregatorId> = self
             .aggregators
@@ -321,6 +333,7 @@ impl DataStore {
         self.stats.raw_bytes += 16;
         self.metrics.scalars.inc();
         self.metrics.raw_bytes.add(16);
+        self.metrics.watermark.set(now.as_micros() as i64);
         self.note_source(stream);
         let ids: Vec<AggregatorId> = self
             .aggregators
@@ -349,6 +362,7 @@ impl DataStore {
     /// parent stores (Fig. 5 ③). Aggregator state is reset.
     pub fn rotate_epoch(&mut self, now: Timestamp) -> Vec<StoredSummary> {
         let timer = ScopedTimer::start(&self.metrics.rotate_micros);
+        self.metrics.last_rotation.set(now.as_micros() as i64);
         let window = TimeWindow::new(self.epoch_start, now.max(self.epoch_start));
         let mut exported = Vec::new();
         for (id, _, inst) in &mut self.aggregators {

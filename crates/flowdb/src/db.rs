@@ -166,11 +166,25 @@ impl FlowDb {
             .counter(&labeled("flowdb.exec.total", "op", kind))
             .inc();
         let result = execute_traced(self, query, parent);
-        if result.is_err() {
-            self.tel.counter("flowdb.exec.errors_total").inc();
+        match &result {
+            Err(_) => self.tel.counter("flowdb.exec.errors_total").inc(),
+            Ok(r) => {
+                self.record_result_metrics(r);
+            }
         }
         timer.stop();
         result
+    }
+
+    /// Result-shape metrics shared by the complete and partial execution
+    /// paths: the answer's row count and the completeness percentage the
+    /// ops plane's degradation rule watches.
+    fn record_result_metrics(&self, result: &QueryResult) {
+        self.tel
+            .histogram("flowdb.exec.rows", EXEC_ROWS_BOUNDS)
+            .record(result.rows.len() as u64);
+        let pct = (result.completeness.fraction() * 100.0).round() as i64;
+        self.tel.gauge("flowdb.exec.completeness_pct").set(pct);
     }
 
     /// Degraded execution: summaries from `unavailable` locations are
@@ -218,15 +232,21 @@ impl FlowDb {
         let result = execute_partial_traced(self, query, parent, unavailable);
         match &result {
             Err(_) => self.tel.counter("flowdb.exec.errors_total").inc(),
-            Ok(r) if !r.completeness.is_complete() => {
-                self.tel.counter("flowdb.exec.partial_total").inc()
+            Ok(r) => {
+                if !r.completeness.is_complete() {
+                    self.tel.counter("flowdb.exec.partial_total").inc();
+                }
+                self.record_result_metrics(r);
             }
-            Ok(_) => {}
         }
         timer.stop();
         result
     }
 }
+
+/// Bucket bounds for the per-query answer row count
+/// (`flowdb.exec.rows`).
+const EXEC_ROWS_BOUNDS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 10_000];
 
 #[cfg(test)]
 mod tests {

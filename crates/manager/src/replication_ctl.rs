@@ -201,6 +201,9 @@ impl ReplicationController {
         network: &mut Network,
         now: Timestamp,
     ) -> Result<Option<ReplicationOrder>, AccessError> {
+        // Records on drop, so every return path (local hit, failover,
+        // error) lands in the access-latency histogram.
+        let _access_timer = self.tel.timer("replication.access.micros");
         let info = self
             .partitions
             .get(partition)
@@ -311,6 +314,12 @@ impl ReplicationController {
                 .add(info.size_bytes);
             self.replica_index.insert((partition, accessor), true);
             self.partitions[partition].replicas.push(accessor);
+            self.tel.gauge("replication.replicas").set(
+                self.partitions
+                    .iter()
+                    .map(|p| p.replicas.len())
+                    .sum::<usize>() as i64,
+            );
             let order = ReplicationOrder {
                 partition,
                 from: served_by,

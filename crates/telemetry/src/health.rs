@@ -1,0 +1,684 @@
+//! The health model of the ops plane: declarative rules folded over the
+//! time-series windows into per-component states, with hysteresis and an
+//! append-only alert log.
+//!
+//! A [`HealthRule`] names a [`Signal`] (a windowed derivative the
+//! [`MetricSampler`] computes), a breach [`Direction`], and two
+//! thresholds. Each evaluation classifies the signal's current value as
+//! [`Healthy`](HealthStatus::Healthy),
+//! [`Degraded`](HealthStatus::Degraded) or
+//! [`Critical`](HealthStatus::Critical); hysteresis requires the *same*
+//! target state for `enter_after` (worsening) or `exit_after`
+//! (recovering) consecutive evaluations before the rule actually
+//! transitions, so a signal dancing around a threshold cannot flap the
+//! component. Every transition is appended to the [`Alert`] log with the
+//! observed value.
+//!
+//! A component's state is the worst state of its rules; the system's
+//! state is the worst component. Signals whose metric has no buffered
+//! data yet evaluate as `Healthy` — absence of evidence is not an
+//! outage.
+
+use crate::json;
+use crate::timeseries::MetricSampler;
+
+/// The three-state health classification of a rule, component, or the
+/// whole system. Ordered: `Healthy < Degraded < Critical`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthStatus {
+    /// Operating normally.
+    #[default]
+    Healthy,
+    /// Impaired but serving (the paper's "availability over exactness"
+    /// regime — spills buffering, partial answers).
+    Degraded,
+    /// Breaching the critical threshold; intervention expected.
+    Critical,
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Critical => "critical",
+        })
+    }
+}
+
+/// The windowed derivative a rule watches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal {
+    /// Reset-aware counter increase per second over the trailing window.
+    CounterRate {
+        /// Counter name.
+        name: String,
+        /// Trailing window, microseconds.
+        window_micros: u64,
+    },
+    /// The gauge's newest sampled value.
+    GaugeLevel {
+        /// Gauge name.
+        name: String,
+    },
+    /// Windowed histogram quantile (e.g. p99 latency inside the window).
+    WindowQuantile {
+        /// Histogram name.
+        name: String,
+        /// Quantile in `0.0..=1.0`.
+        q: f64,
+        /// Trailing window, microseconds.
+        window_micros: u64,
+    },
+    /// `now - gauge` in microseconds, for gauges holding a timestamp:
+    /// watermark freshness, epoch-rotation lag.
+    GaugeLag {
+        /// Gauge name (value interpreted as a microsecond timestamp).
+        name: String,
+    },
+    /// Microseconds since the counter or gauge last changed value —
+    /// liveness of a component that should be making progress.
+    Staleness {
+        /// Counter or gauge name.
+        name: String,
+    },
+}
+
+impl Signal {
+    /// The metric name the signal reads.
+    pub fn metric(&self) -> &str {
+        match self {
+            Signal::CounterRate { name, .. }
+            | Signal::GaugeLevel { name }
+            | Signal::WindowQuantile { name, .. }
+            | Signal::GaugeLag { name }
+            | Signal::Staleness { name } => name,
+        }
+    }
+
+    /// Evaluates the signal against the sampler's buffered history.
+    /// `None` when the metric has no (or not enough) frames yet.
+    pub fn value(&self, sampler: &MetricSampler, now_micros: u64) -> Option<f64> {
+        match self {
+            Signal::CounterRate {
+                name,
+                window_micros,
+            } => sampler.counter_rate(name, *window_micros),
+            Signal::GaugeLevel { name } => sampler.gauge_last(name).map(|v| v as f64),
+            Signal::WindowQuantile {
+                name,
+                q,
+                window_micros,
+            } => sampler
+                .window_quantile(name, *q, *window_micros)
+                .map(|v| v as f64),
+            Signal::GaugeLag { name } => sampler
+                .gauge_last(name)
+                .map(|v| now_micros.saturating_sub(v.max(0) as u64) as f64),
+            Signal::Staleness { name } => sampler.staleness_micros(name).map(|v| v as f64),
+        }
+    }
+}
+
+/// Which side of the thresholds is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Breach when the value rises above a threshold (rates, depths,
+    /// latencies, lags).
+    Above,
+    /// Breach when the value falls below a threshold (completeness,
+    /// throughput floors).
+    Below,
+}
+
+/// One declarative health rule. Build with [`HealthRule::new`] and the
+/// builder methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRule {
+    /// Rule name, unique within the monitor (e.g. `spill-occupancy`).
+    pub name: String,
+    /// The component the rule scores (e.g. `flowstream`, `hierarchy`).
+    pub component: String,
+    /// The windowed signal to watch.
+    pub signal: Signal,
+    /// Value beyond which the rule is `Degraded` (per `direction`).
+    pub degraded: f64,
+    /// Value beyond which the rule is `Critical` (per `direction`).
+    /// Must be at least as severe as `degraded`.
+    pub critical: f64,
+    /// Breach side.
+    pub direction: Direction,
+    /// Consecutive worsening evaluations before the state rises.
+    pub enter_after: u32,
+    /// Consecutive improving evaluations before the state falls.
+    pub exit_after: u32,
+}
+
+impl HealthRule {
+    /// A rule with `Above` direction and 2/2 hysteresis; adjust with the
+    /// builder methods.
+    pub fn new(
+        name: impl Into<String>,
+        component: impl Into<String>,
+        signal: Signal,
+        degraded: f64,
+        critical: f64,
+    ) -> Self {
+        HealthRule {
+            name: name.into(),
+            component: component.into(),
+            signal,
+            degraded,
+            critical,
+            direction: Direction::Above,
+            enter_after: 2,
+            exit_after: 2,
+        }
+    }
+
+    /// Flips the rule to breach when the value falls *below* thresholds.
+    #[must_use]
+    pub fn below(mut self) -> Self {
+        self.direction = Direction::Below;
+        self
+    }
+
+    /// Sets the hysteresis: `enter` consecutive breaches to rise,
+    /// `exit` consecutive clears to fall (each clamped to ≥ 1).
+    #[must_use]
+    pub fn hysteresis(mut self, enter: u32, exit: u32) -> Self {
+        self.enter_after = enter.max(1);
+        self.exit_after = exit.max(1);
+        self
+    }
+
+    /// Classifies one observed value (no hysteresis — that is the
+    /// monitor's job).
+    fn classify(&self, value: f64) -> HealthStatus {
+        let breach = |threshold: f64| match self.direction {
+            Direction::Above => value > threshold,
+            Direction::Below => value < threshold,
+        };
+        if breach(self.critical) {
+            HealthStatus::Critical
+        } else if breach(self.degraded) {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Healthy
+        }
+    }
+}
+
+/// One entry of the append-only alert log: a rule transitioned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Evaluation stamp (microseconds, caller's time base).
+    pub at_micros: u64,
+    /// The component the rule scores.
+    pub component: String,
+    /// The transitioning rule.
+    pub rule: String,
+    /// State before.
+    pub from: HealthStatus,
+    /// State after.
+    pub to: HealthStatus,
+    /// The signal value that completed the transition.
+    pub value: f64,
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>10.3}s] {:<12} {:<24} {} -> {} (value {:.3})",
+            self.at_micros as f64 / 1e6,
+            self.component,
+            self.rule,
+            self.from,
+            self.to,
+            self.value
+        )
+    }
+}
+
+/// Per-rule hysteresis state.
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    current: HealthStatus,
+    /// The state the signal currently argues for, if != current.
+    pending: Option<HealthStatus>,
+    /// Consecutive evaluations that argued for `pending`.
+    streak: u32,
+    /// Newest observed value (None before first evaluation with data).
+    last_value: Option<f64>,
+}
+
+/// Folds [`HealthRule`]s over a [`MetricSampler`]'s windows into
+/// per-component health, with an append-only [`Alert`] log.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    rules: Vec<HealthRule>,
+    states: Vec<RuleState>,
+    alerts: Vec<Alert>,
+    evaluations: u64,
+}
+
+impl HealthMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        HealthMonitor::default()
+    }
+
+    /// Adds a rule (evaluated from the next [`HealthMonitor::evaluate`]).
+    pub fn add_rule(&mut self, rule: HealthRule) {
+        self.rules.push(rule);
+        self.states.push(RuleState::default());
+    }
+
+    /// Builder-style [`HealthMonitor::add_rule`].
+    #[must_use]
+    pub fn with_rule(mut self, rule: HealthRule) -> Self {
+        self.add_rule(rule);
+        self
+    }
+
+    /// The installed rules.
+    pub fn rules(&self) -> &[HealthRule] {
+        &self.rules
+    }
+
+    /// Number of evaluation passes run.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evaluates every rule against the sampler's current history.
+    /// Call once per recorded frame (the ops plane does this for you).
+    pub fn evaluate(&mut self, sampler: &MetricSampler, now_micros: u64) {
+        self.evaluations += 1;
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            let Some(value) = rule.signal.value(sampler, now_micros) else {
+                // No data: hold the current state, clear any streak.
+                state.pending = None;
+                state.streak = 0;
+                continue;
+            };
+            state.last_value = Some(value);
+            let target = rule.classify(value);
+            if target == state.current {
+                state.pending = None;
+                state.streak = 0;
+                continue;
+            }
+            match state.pending {
+                Some(p) if p == target => state.streak += 1,
+                _ => {
+                    state.pending = Some(target);
+                    state.streak = 1;
+                }
+            }
+            let needed = if target > state.current {
+                rule.enter_after
+            } else {
+                rule.exit_after
+            };
+            if state.streak >= needed {
+                self.alerts.push(Alert {
+                    at_micros: now_micros,
+                    component: rule.component.clone(),
+                    rule: rule.name.clone(),
+                    from: state.current,
+                    to: target,
+                    value,
+                });
+                state.current = target;
+                state.pending = None;
+                state.streak = 0;
+            }
+        }
+    }
+
+    /// The current state of one rule (`Healthy` for unknown names).
+    pub fn rule_status(&self, rule: &str) -> HealthStatus {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .find(|(r, _)| r.name == rule)
+            .map(|(_, s)| s.current)
+            .unwrap_or_default()
+    }
+
+    /// The newest value a rule's signal produced, if any.
+    pub fn rule_value(&self, rule: &str) -> Option<f64> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .find(|(r, _)| r.name == rule)
+            .and_then(|(_, s)| s.last_value)
+    }
+
+    /// The worst state among a component's rules (`Healthy` for unknown
+    /// components).
+    pub fn component_status(&self, component: &str) -> HealthStatus {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(r, _)| r.component == component)
+            .map(|(_, s)| s.current)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// All components with rules, sorted and deduplicated.
+    pub fn components(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rules.iter().map(|r| r.component.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The worst state across every rule.
+    pub fn overall(&self) -> HealthStatus {
+        self.states
+            .iter()
+            .map(|s| s.current)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// The append-only alert log, oldest first.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Renders a human-readable health report: overall state, per
+    /// component and rule, then the alert log.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("overall: {}\n", self.overall());
+        for component in self.components() {
+            out.push_str(&format!(
+                "component {:<12} {}\n",
+                component,
+                self.component_status(&component)
+            ));
+            for (rule, state) in self.rules.iter().zip(&self.states) {
+                if rule.component != component {
+                    continue;
+                }
+                match state.last_value {
+                    Some(v) => out.push_str(&format!(
+                        "  rule {:<24} {:<8} value {:.3}\n",
+                        rule.name, state.current, v
+                    )),
+                    None => out.push_str(&format!(
+                        "  rule {:<24} {:<8} (no data)\n",
+                        rule.name, state.current
+                    )),
+                }
+            }
+        }
+        if !self.alerts.is_empty() {
+            out.push_str("alerts:\n");
+            for a in &self.alerts {
+                out.push_str(&format!("  {a}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the health state as a JSON object:
+    /// `{"overall": "...", "components": {name: "..."}, "rules":
+    /// [{"name": .., "component": .., "status": .., "value": ..}],
+    /// "alerts": [{"at_micros": .., "component": .., "rule": ..,
+    /// "from": .., "to": .., "value": ..}]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"overall\":");
+        json::write_string(&mut out, &self.overall().to_string());
+        out.push_str(",\"components\":{");
+        for (i, component) in self.components().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, component);
+            out.push(':');
+            json::write_string(&mut out, &self.component_status(component).to_string());
+        }
+        out.push_str("},\"rules\":[");
+        for (i, (rule, state)) in self.rules.iter().zip(&self.states).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_string(&mut out, &rule.name);
+            out.push_str(",\"component\":");
+            json::write_string(&mut out, &rule.component);
+            out.push_str(",\"status\":");
+            json::write_string(&mut out, &state.current.to_string());
+            match state.last_value {
+                Some(v) => out.push_str(&format!(",\"value\":{v}}}")),
+                None => out.push('}'),
+            }
+        }
+        out.push_str("],\"alerts\":[");
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"at_micros\":{},\"component\":", a.at_micros));
+            json::write_string(&mut out, &a.component);
+            out.push_str(",\"rule\":");
+            json::write_string(&mut out, &a.rule);
+            out.push_str(",\"from\":");
+            json::write_string(&mut out, &a.from.to_string());
+            out.push_str(",\"to\":");
+            json::write_string(&mut out, &a.to.to_string());
+            out.push_str(&format!(",\"value\":{}}}", a.value));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricSampler, SamplerConfig, Telemetry};
+    use std::sync::Arc;
+
+    const SEC: u64 = 1_000_000;
+
+    fn sampler(tel: &Telemetry) -> MetricSampler {
+        MetricSampler::new(
+            Arc::clone(tel.registry().unwrap()),
+            SamplerConfig {
+                cadence_micros: SEC,
+                capacity: 64,
+            },
+        )
+    }
+
+    fn gauge_rule(enter: u32, exit: u32) -> HealthRule {
+        HealthRule::new(
+            "depth",
+            "store",
+            Signal::GaugeLevel {
+                name: "depth".into(),
+            },
+            10.0,
+            100.0,
+        )
+        .hysteresis(enter, exit)
+    }
+
+    #[test]
+    fn status_ordering_is_severity() {
+        assert!(HealthStatus::Healthy < HealthStatus::Degraded);
+        assert!(HealthStatus::Degraded < HealthStatus::Critical);
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_breaches() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("depth");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(gauge_rule(2, 2));
+        // One breach tick: no transition yet.
+        g.set(50);
+        s.force_sample(0);
+        m.evaluate(&s, 0);
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        // A clear tick resets the streak.
+        g.set(5);
+        s.force_sample(SEC);
+        m.evaluate(&s, SEC);
+        // Two consecutive breaches transition.
+        g.set(50);
+        s.force_sample(2 * SEC);
+        m.evaluate(&s, 2 * SEC);
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        s.force_sample(3 * SEC);
+        m.evaluate(&s, 3 * SEC);
+        assert_eq!(m.overall(), HealthStatus::Degraded);
+        assert_eq!(m.alerts().len(), 1);
+        assert_eq!(m.alerts()[0].from, HealthStatus::Healthy);
+        assert_eq!(m.alerts()[0].to, HealthStatus::Degraded);
+    }
+
+    #[test]
+    fn flapping_signal_does_not_flap_state() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("depth");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(gauge_rule(2, 2));
+        // Alternate breach/clear every tick: with 2/2 hysteresis the rule
+        // must never leave Healthy.
+        for t in 0..20u64 {
+            g.set(if t % 2 == 0 { 50 } else { 5 });
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn critical_and_recovery_are_logged() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("depth");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(gauge_rule(1, 1));
+        g.set(500);
+        s.force_sample(0);
+        m.evaluate(&s, 0);
+        assert_eq!(m.overall(), HealthStatus::Critical);
+        g.set(0);
+        s.force_sample(SEC);
+        m.evaluate(&s, SEC);
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        let transitions: Vec<(HealthStatus, HealthStatus)> =
+            m.alerts().iter().map(|a| (a.from, a.to)).collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (HealthStatus::Healthy, HealthStatus::Critical),
+                (HealthStatus::Critical, HealthStatus::Healthy),
+            ]
+        );
+    }
+
+    #[test]
+    fn below_direction_breaches_low_values() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("completeness_pct");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(
+            HealthRule::new(
+                "completeness",
+                "flowstream",
+                Signal::GaugeLevel {
+                    name: "completeness_pct".into(),
+                },
+                99.0,
+                50.0,
+            )
+            .below()
+            .hysteresis(1, 1),
+        );
+        g.set(100);
+        s.force_sample(0);
+        m.evaluate(&s, 0);
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        g.set(80);
+        s.force_sample(SEC);
+        m.evaluate(&s, SEC);
+        assert_eq!(m.overall(), HealthStatus::Degraded);
+        g.set(10);
+        s.force_sample(2 * SEC);
+        m.evaluate(&s, 2 * SEC);
+        assert_eq!(m.overall(), HealthStatus::Critical);
+    }
+
+    #[test]
+    fn missing_metric_stays_healthy() {
+        let tel = Telemetry::new();
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(gauge_rule(1, 1));
+        s.force_sample(0);
+        m.evaluate(&s, 0);
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        assert_eq!(m.rule_value("depth"), None);
+        assert!(m.render_text().contains("(no data)"));
+    }
+
+    #[test]
+    fn component_is_worst_of_rules() {
+        let tel = Telemetry::new();
+        let a = tel.gauge("a");
+        let _b = tel.gauge("b");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new()
+            .with_rule(
+                HealthRule::new("ra", "x", Signal::GaugeLevel { name: "a".into() }, 1.0, 2.0)
+                    .hysteresis(1, 1),
+            )
+            .with_rule(
+                HealthRule::new("rb", "x", Signal::GaugeLevel { name: "b".into() }, 1.0, 2.0)
+                    .hysteresis(1, 1),
+            );
+        a.set(10);
+        s.force_sample(0);
+        m.evaluate(&s, 0);
+        assert_eq!(m.component_status("x"), HealthStatus::Critical);
+        assert_eq!(m.rule_status("rb"), HealthStatus::Healthy);
+        let json = m.render_json();
+        assert!(json.contains("\"overall\":\"critical\""));
+        assert!(json.contains("\"components\":{\"x\":\"critical\"}"));
+    }
+
+    #[test]
+    fn gauge_lag_measures_against_now() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("watermark_micros");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(
+            HealthRule::new(
+                "freshness",
+                "store",
+                Signal::GaugeLag {
+                    name: "watermark_micros".into(),
+                },
+                (5 * SEC) as f64,
+                (60 * SEC) as f64,
+            )
+            .hysteresis(1, 1),
+        );
+        g.set((10 * SEC) as i64);
+        s.force_sample(10 * SEC);
+        m.evaluate(&s, 10 * SEC);
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        // 20 s later the watermark has not moved: lag 20 s > 5 s.
+        s.force_sample(30 * SEC);
+        m.evaluate(&s, 30 * SEC);
+        assert_eq!(m.overall(), HealthStatus::Degraded);
+    }
+}

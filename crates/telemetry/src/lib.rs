@@ -25,6 +25,14 @@
 //!   head-based sampling and a lock-sharded ring-buffer store, exportable
 //!   as a text span tree or Chrome `trace_event` JSON. Like [`Telemetry`],
 //!   the default handle is disabled and costs one branch per span site.
+//! * The [`timeseries`] module samples a registry on a cadence into
+//!   fixed-capacity ring buffers and derives windowed rates and
+//!   histogram-delta percentiles; the [`health`] module folds those
+//!   windows through declarative rules with hysteresis into per-component
+//!   `Healthy`/`Degraded`/`Critical` states plus an alert log.
+//! * [`Snapshot::render_prometheus`] exposes the registry in the
+//!   Prometheus text format (sanitized names, escaped label values,
+//!   cumulative buckets).
 //!
 //! ```
 //! use megastream_telemetry::{Telemetry, LATENCY_MICROS_BOUNDS};
@@ -41,19 +49,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod json;
 mod metrics;
+mod prom;
 mod registry;
 mod span;
+pub mod timeseries;
 pub mod trace;
 
 use std::sync::Arc;
 
+pub use health::{Alert, Direction, HealthMonitor, HealthRule, HealthStatus, Signal};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LATENCY_MICROS_BOUNDS, SIZE_BYTES_BOUNDS,
 };
-pub use registry::{Registry, Snapshot};
+pub use registry::{MetricHandle, Registry, Snapshot};
 pub use span::{ScopedTimer, Span};
+pub use timeseries::{monotonic_increase, MetricSampler, SamplerConfig, WindowedHistogram};
 pub use trace::{
     SamplePolicy, SpanContext, SpanId, SpanRecord, TraceId, TraceSnapshot, TraceSpan, TraceStore,
     Tracer,

@@ -1,0 +1,260 @@
+//! Prometheus text-format exposition for registry [`Snapshot`]s.
+//!
+//! The registry stores labeled series as flat `base{key=value}` names
+//! (see [`crate::labeled`]); this module parses those back into base
+//! name + label pairs, sanitizes names into the Prometheus charset,
+//! escapes label values, and renders the `# TYPE`-grouped text format.
+//! Histograms are exposed with *cumulative* `_bucket{le="..."}` series —
+//! every configured bucket is emitted even at zero count, plus the
+//! `+Inf` bucket, `_sum`, and `_count`, so scrapes are well-formed.
+
+use crate::registry::Snapshot;
+
+/// Maps a metric name into the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; out-of-charset bytes (dots, dashes,
+/// spaces, anything else) become `_`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits an internal `base{key=value,key2=value2}` series name into its
+/// sanitized base and label pairs (keys sanitized, values verbatim for
+/// later escaping). Names without a label block pass through whole.
+fn split_series(name: &str) -> (String, Vec<(String, String)>) {
+    let Some(open) = name.find('{') else {
+        return (sanitize_name(name), Vec::new());
+    };
+    if !name.ends_with('}') {
+        return (sanitize_name(name), Vec::new());
+    }
+    let base = sanitize_name(&name[..open]);
+    let body = &name[open + 1..name.len() - 1];
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        if pair.is_empty() {
+            continue;
+        }
+        match pair.split_once('=') {
+            Some((k, v)) => labels.push((sanitize_name(k), v.to_owned())),
+            None => labels.push((sanitize_name(pair), String::new())),
+        }
+    }
+    (base, labels)
+}
+
+/// Renders a `{k="v",...}` block (empty string when no labels), with an
+/// optional extra label appended (used for `le`).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// Emits a `# TYPE` header the first time each base name appears.
+fn type_line(out: &mut String, last_base: &mut String, base: &str, kind: &str) {
+    if last_base != base {
+        out.push_str(&format!("# TYPE {base} {kind}\n"));
+        last_base.clear();
+        last_base.push_str(base);
+    }
+}
+
+/// Series sorted for grouped emission: `(sanitized base, labels, payload)`.
+type Series<T> = Vec<(String, Vec<(String, String)>, T)>;
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Internal `base{key=value}` series names become labeled series
+    /// under a shared sanitized base name with one `# TYPE` line per
+    /// base; label values are escaped; histograms emit cumulative
+    /// `_bucket` series for every bound (including zero-count buckets)
+    /// plus `+Inf`, `_sum`, and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+
+        let mut counters: Series<u64> = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let (base, labels) = split_series(name);
+                (base, labels, *v)
+            })
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (base, labels, value) in &counters {
+            type_line(&mut out, &mut last_base, base, "counter");
+            out.push_str(&format!("{base}{} {value}\n", render_labels(labels, None)));
+        }
+
+        last_base.clear();
+        let mut gauges: Series<i64> = self
+            .gauges
+            .iter()
+            .map(|(name, v)| {
+                let (base, labels) = split_series(name);
+                (base, labels, *v)
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (base, labels, value) in &gauges {
+            type_line(&mut out, &mut last_base, base, "gauge");
+            out.push_str(&format!("{base}{} {value}\n", render_labels(labels, None)));
+        }
+
+        last_base.clear();
+        let mut hists: Series<usize> = self
+            .histograms
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| {
+                let (base, labels) = split_series(name);
+                (base, labels, i)
+            })
+            .collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        for (base, labels, idx) in &hists {
+            let h = &self.histograms[*idx].1;
+            type_line(&mut out, &mut last_base, base, "histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{base}_bucket{} {cumulative}\n",
+                    render_labels(labels, Some(("le", &bound.to_string())))
+                ));
+            }
+            out.push_str(&format!(
+                "{base}_bucket{} {}\n",
+                render_labels(labels, Some(("le", "+Inf"))),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{base}_sum{} {}\n",
+                render_labels(labels, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{base}_count{} {}\n",
+                render_labels(labels, None),
+                h.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{labeled, Telemetry};
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("flowdb.exec.total"), "flowdb_exec_total");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let tel = Telemetry::new();
+        tel.counter(&labeled("hits", "path", "a\\b\"c\nd")).add(1);
+        let text = tel.snapshot().render_prometheus();
+        assert!(text.contains("hits{path=\"a\\\\b\\\"c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn groups_labeled_series_under_one_type_line() {
+        let tel = Telemetry::new();
+        tel.counter(&labeled("flowdb.exec.total", "op", "topk"))
+            .add(3);
+        tel.counter(&labeled("flowdb.exec.total", "op", "count"))
+            .add(5);
+        let text = tel.snapshot().render_prometheus();
+        assert_eq!(text.matches("# TYPE flowdb_exec_total counter").count(), 1);
+        assert!(text.contains("flowdb_exec_total{op=\"topk\"} 3"));
+        assert!(text.contains("flowdb_exec_total{op=\"count\"} 5"));
+    }
+
+    #[test]
+    fn histograms_emit_every_bucket_cumulatively() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat", &[10, 100, 1000]);
+        h.record(5);
+        h.record(500);
+        h.record(5000); // overflow
+        let text = tel.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        // The 100 bucket saw nothing directly; cumulative still emitted.
+        assert!(text.contains("lat_bucket{le=\"100\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 5505"));
+        assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn zero_count_histogram_is_fully_emitted() {
+        let tel = Telemetry::new();
+        let _h = tel.histogram("empty", &[1, 2]);
+        let text = tel.snapshot().render_prometheus();
+        assert!(text.contains("empty_bucket{le=\"1\"} 0"));
+        assert!(text.contains("empty_bucket{le=\"2\"} 0"));
+        assert!(text.contains("empty_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("empty_sum 0"));
+        assert!(text.contains("empty_count 0"));
+    }
+
+    #[test]
+    fn gauges_render_with_type() {
+        let tel = Telemetry::new();
+        tel.gauge("store.depth").set(-4);
+        let text = tel.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE store_depth gauge"));
+        assert!(text.contains("store_depth -4"));
+    }
+}

@@ -48,10 +48,19 @@ impl Registry {
         }
     }
 
+    /// Locks one shard, recovering from poisoning: metric cells are plain
+    /// atomics, so a panic mid-insert cannot leave them inconsistent.
+    fn lock_shard(
+        shard: &Mutex<HashMap<String, Metric>>,
+    ) -> std::sync::MutexGuard<'_, HashMap<String, Metric>> {
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     fn shard(&self, name: &str) -> std::sync::MutexGuard<'_, HashMap<String, Metric>> {
-        self.shards[shard_of(name)]
-            .lock()
-            .expect("telemetry registry poisoned")
+        Self::lock_shard(&self.shards[shard_of(name)])
     }
 
     /// Returns the counter registered under `name`, creating it on first use.
@@ -103,15 +112,33 @@ impl Registry {
 
     /// Number of registered metrics across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("telemetry registry poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()
     }
 
     /// Whether no metrics have been registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Live handles to every registered metric, in no particular order.
+    /// Intended for pollers (the time-series sampler) that cache the
+    /// handles and thereafter read values lock-free.
+    pub fn handles(&self) -> Vec<(String, MetricHandle)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = Self::lock_shard(shard);
+            for (name, metric) in shard.iter() {
+                let handle = match metric {
+                    Metric::Counter(cell) => MetricHandle::Counter(Counter(Some(Arc::clone(cell)))),
+                    Metric::Gauge(cell) => MetricHandle::Gauge(Gauge(Some(Arc::clone(cell)))),
+                    Metric::Histogram(core) => {
+                        MetricHandle::Histogram(Histogram(Some(Arc::clone(core))))
+                    }
+                };
+                out.push((name.clone(), handle));
+            }
+        }
+        out
     }
 
     /// Takes a consistent-enough point-in-time copy of every metric, sorted
@@ -120,7 +147,7 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         for shard in &self.shards {
-            let shard = shard.lock().expect("telemetry registry poisoned");
+            let shard = Self::lock_shard(shard);
             for (name, metric) in shard.iter() {
                 match metric {
                     Metric::Counter(cell) => snap.counters.push((
@@ -142,6 +169,18 @@ impl Registry {
         snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
         snap
     }
+}
+
+/// A live handle to one registered metric of any kind — what
+/// [`Registry::handles`] enumerates.
+#[derive(Debug, Clone)]
+pub enum MetricHandle {
+    /// A counter handle.
+    Counter(Counter),
+    /// A gauge handle.
+    Gauge(Gauge),
+    /// A histogram handle.
+    Histogram(Histogram),
 }
 
 /// A point-in-time copy of an entire registry, sorted by metric name.

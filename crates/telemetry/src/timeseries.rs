@@ -1,0 +1,727 @@
+//! Time-series sampling of the metric registry — the signal-history
+//! substrate of the ops plane.
+//!
+//! A [`MetricSampler`] walks a [`Registry`] on a caller-driven cadence and
+//! copies every metric's current state into fixed-capacity ring buffers.
+//! From those frames it computes *windowed derivatives* that point-in-time
+//! snapshots cannot express: counter rates (reset-aware, Prometheus
+//! `increase` semantics), gauge extrema, and histogram-delta percentiles
+//! (the p50/p95/p99 of only the samples recorded *inside* a window).
+//!
+//! Time is supplied by the caller in microseconds, so the sampler works
+//! identically against wall-clock time and the repo's simulated time — the
+//! deterministic tests drive it with simulated timestamps.
+//!
+//! Hot-path cost: in steady state a [`MetricSampler::sample`] re-reads the
+//! tracked metrics through their cached handles straight into pre-sized
+//! rings — no allocation, no string hashing. Allocation happens only when
+//! a metric is *discovered* (first tick that sees it), detected cheaply by
+//! comparing [`Registry::len`] against the tracked count.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use megastream_telemetry::{MetricSampler, SamplerConfig, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! let counter = tel.counter("requests_total");
+//! if let Some(registry) = tel.registry() {
+//!     let mut sampler = MetricSampler::new(Arc::clone(registry), SamplerConfig::default());
+//!     sampler.force_sample(0);
+//!     counter.add(30);
+//!     sampler.force_sample(2_000_000); // t = 2 s
+//!     assert_eq!(sampler.counter_delta("requests_total", 2_000_000), Some(30));
+//!     assert_eq!(sampler.counter_rate("requests_total", 2_000_000), Some(15.0));
+//! }
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::registry::{MetricHandle, Registry};
+
+/// Configuration of a [`MetricSampler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Minimum spacing between frames for [`MetricSampler::sample`]
+    /// (microseconds). Calls arriving earlier are no-ops.
+    pub cadence_micros: u64,
+    /// Frames each ring holds; the oldest frame is overwritten when full.
+    pub capacity: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            // One frame per second, ten minutes of history.
+            cadence_micros: 1_000_000,
+            capacity: 600,
+        }
+    }
+}
+
+/// Prometheus-style `increase` over an observed cumulative sequence:
+/// monotone steps contribute their delta; a drop is a *counter reset* and
+/// the post-reset value counts as increments since the reset. Never
+/// negative, never panics.
+pub fn monotonic_increase<I: IntoIterator<Item = u64>>(values: I) -> u64 {
+    let mut iter = values.into_iter();
+    let Some(mut prev) = iter.next() else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for v in iter {
+        total = total.saturating_add(if v >= prev { v - prev } else { v });
+        prev = v;
+    }
+    total
+}
+
+/// One ring of `u64` frames, indexed by global tick number.
+#[derive(Debug, Clone)]
+struct Ring {
+    slots: Vec<u64>,
+    /// Tick at which this ring recorded its first frame.
+    since: u64,
+    /// One past the last recorded tick.
+    until: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize, since: u64) -> Self {
+        Ring {
+            slots: vec![0; capacity.max(1)],
+            since,
+            until: since,
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        let cap = self.slots.len() as u64;
+        self.slots[(self.until % cap) as usize] = v;
+        self.until += 1;
+        if self.until - self.since > cap {
+            self.since = self.until - cap;
+        }
+    }
+
+    /// The value recorded at global tick `t`, if still buffered.
+    fn at(&self, t: u64) -> Option<u64> {
+        if t < self.since || t >= self.until {
+            return None;
+        }
+        Some(self.slots[(t % self.slots.len() as u64) as usize])
+    }
+}
+
+#[derive(Debug)]
+struct CounterSeries {
+    name: String,
+    handle: Counter,
+    ring: Ring,
+}
+
+#[derive(Debug)]
+struct GaugeSeries {
+    name: String,
+    handle: Gauge,
+    /// Gauge values are `i64`; stored as raw bits to reuse [`Ring`].
+    ring: Ring,
+}
+
+#[derive(Debug)]
+struct HistSeries {
+    name: String,
+    handle: Histogram,
+    bounds: Vec<u64>,
+    /// Cumulative per-bucket counts, flattened: frame `t` occupies
+    /// `[slot(t) * stride, (slot(t) + 1) * stride)`.
+    buckets: Vec<u64>,
+    stride: usize,
+    counts: Ring,
+    sums: Ring,
+}
+
+/// A windowed view of one histogram: the per-bucket sample counts recorded
+/// between two frames, with reset-aware deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedHistogram {
+    /// Inclusive bucket upper bounds (one fewer than `counts`).
+    pub bounds: Vec<u64>,
+    /// Samples per bucket recorded inside the window (overflow last).
+    pub counts: Vec<u64>,
+    /// Total samples recorded inside the window.
+    pub count: u64,
+    /// Sum of samples recorded inside the window.
+    pub sum: u64,
+    /// Wall/simulated time the window spans, in microseconds.
+    pub span_micros: u64,
+}
+
+impl WindowedHistogram {
+    /// Approximate quantile (`0.0..=1.0`) of the samples recorded inside
+    /// the window: the inclusive upper bound of the bucket holding the
+    /// q-th sample. Saturates at the last finite bound for samples in the
+    /// overflow bucket (a windowed view has no per-window max), and
+    /// returns 0 for an empty window.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => self.bounds.last().copied().unwrap_or(0),
+                };
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Samples per second recorded inside the window (0.0 for an
+    /// instantaneous or empty window).
+    pub fn rate_per_sec(&self) -> f64 {
+        if self.span_micros == 0 {
+            return 0.0;
+        }
+        self.count as f64 / (self.span_micros as f64 / 1e6)
+    }
+
+    /// Mean sample value inside the window (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Samples a [`Registry`] into fixed-capacity ring buffers and answers
+/// windowed queries over the buffered history. See the module docs for
+/// the model.
+#[derive(Debug)]
+pub struct MetricSampler {
+    registry: Arc<Registry>,
+    config: SamplerConfig,
+    counters: Vec<CounterSeries>,
+    gauges: Vec<GaugeSeries>,
+    hists: Vec<HistSeries>,
+    /// Global tick counter; rings index frames by it.
+    ticks: u64,
+    /// Stamp of every buffered tick (ring like the series rings).
+    stamps: Ring,
+    last_stamp: Option<u64>,
+}
+
+impl MetricSampler {
+    /// A sampler over `registry` with the given cadence and capacity.
+    pub fn new(registry: Arc<Registry>, config: SamplerConfig) -> Self {
+        let capacity = config.capacity.max(2);
+        MetricSampler {
+            registry,
+            config: SamplerConfig { capacity, ..config },
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            ticks: 0,
+            stamps: Ring::new(capacity, 0),
+            last_stamp: None,
+        }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// Number of frames currently buffered.
+    pub fn frames(&self) -> usize {
+        (self.stamps.until - self.stamps.since) as usize
+    }
+
+    /// Total frames recorded over the sampler's lifetime.
+    pub fn total_frames(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Number of metric series being tracked.
+    pub fn series(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.hists.len()
+    }
+
+    /// Records a frame if at least the configured cadence has elapsed
+    /// since the previous one (or none exists yet). Returns whether a
+    /// frame was recorded. `now_micros` must be non-decreasing across
+    /// calls; an out-of-order stamp is ignored.
+    pub fn sample(&mut self, now_micros: u64) -> bool {
+        match self.last_stamp {
+            Some(last) if now_micros < last.saturating_add(self.config.cadence_micros) => false,
+            _ => {
+                self.force_sample(now_micros);
+                true
+            }
+        }
+    }
+
+    /// Records a frame unconditionally (cadence ignored).
+    pub fn force_sample(&mut self, now_micros: u64) {
+        if let Some(last) = self.last_stamp {
+            if now_micros < last {
+                return;
+            }
+        }
+        self.discover();
+        self.stamps.push(now_micros);
+        for s in &mut self.counters {
+            s.ring.push(s.handle.get());
+        }
+        for s in &mut self.gauges {
+            s.ring.push(s.handle.get() as u64);
+        }
+        let cap = self.config.capacity;
+        for s in &mut self.hists {
+            let slot = (self.ticks % cap as u64) as usize;
+            let base = slot * s.stride;
+            let (count, sum) = match &s.handle.0 {
+                Some(core) => {
+                    for (i, bucket) in core.buckets.iter().enumerate() {
+                        s.buckets[base + i] = bucket.load(Ordering::Relaxed);
+                    }
+                    (
+                        core.count.load(Ordering::Relaxed),
+                        core.sum.load(Ordering::Relaxed),
+                    )
+                }
+                None => (0, 0),
+            };
+            s.counts.push(count);
+            s.sums.push(sum);
+        }
+        self.ticks += 1;
+        self.last_stamp = Some(now_micros);
+    }
+
+    /// Tracks any metrics registered since the last frame. Cheap when
+    /// nothing changed: one `len()` comparison.
+    fn discover(&mut self) {
+        if self.registry.len() == self.series() {
+            return;
+        }
+        let cap = self.config.capacity;
+        for (name, handle) in self.registry.handles() {
+            match handle {
+                MetricHandle::Counter(h) => {
+                    if !self.counters.iter().any(|s| s.name == name) {
+                        self.counters.push(CounterSeries {
+                            name,
+                            handle: h,
+                            ring: Ring::new(cap, self.ticks),
+                        });
+                    }
+                }
+                MetricHandle::Gauge(h) => {
+                    if !self.gauges.iter().any(|s| s.name == name) {
+                        self.gauges.push(GaugeSeries {
+                            name,
+                            handle: h,
+                            ring: Ring::new(cap, self.ticks),
+                        });
+                    }
+                }
+                MetricHandle::Histogram(h) => {
+                    if !self.hists.iter().any(|s| s.name == name) {
+                        let stride = match &h.0 {
+                            Some(core) => core.buckets.len(),
+                            None => 0,
+                        };
+                        let bounds = match &h.0 {
+                            Some(core) => core.bounds.clone(),
+                            None => Vec::new(),
+                        };
+                        self.hists.push(HistSeries {
+                            name,
+                            handle: h,
+                            bounds,
+                            buckets: vec![0; stride * cap],
+                            stride,
+                            counts: Ring::new(cap, self.ticks),
+                            sums: Ring::new(cap, self.ticks),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The stamp of the newest buffered frame.
+    pub fn latest_stamp(&self) -> Option<u64> {
+        self.last_stamp
+    }
+
+    /// The ticks whose stamps fall inside `[newest - window, newest]`,
+    /// as an inclusive `(first, last)` pair — `None` with fewer than two
+    /// buffered frames (a window needs two endpoints).
+    fn window_ticks(&self, window_micros: u64) -> Option<(u64, u64)> {
+        if self.ticks - self.stamps.since < 2 {
+            return None;
+        }
+        let last = self.ticks - 1;
+        let newest = self.stamps.at(last)?;
+        let start_stamp = newest.saturating_sub(window_micros);
+        let mut first = last;
+        while first > self.stamps.since {
+            match self.stamps.at(first - 1) {
+                Some(s) if s >= start_stamp => first -= 1,
+                _ => break,
+            }
+        }
+        if first == last {
+            // Window shorter than one cadence: use the adjacent frame.
+            first = last - 1;
+        }
+        Some((first, last))
+    }
+
+    /// Reset-aware counter increase over the trailing `window_micros`.
+    /// `None` if the counter is unknown or fewer than two frames cover it.
+    pub fn counter_delta(&self, name: &str, window_micros: u64) -> Option<u64> {
+        let s = self.counters.iter().find(|s| s.name == name)?;
+        let (first, last) = self.window_ticks(window_micros)?;
+        let first = first.max(s.ring.since);
+        if last <= first || last >= s.ring.until {
+            return None;
+        }
+        Some(monotonic_increase(
+            (first..=last).filter_map(|t| s.ring.at(t)),
+        ))
+    }
+
+    /// Counter increase per second over the trailing `window_micros`.
+    pub fn counter_rate(&self, name: &str, window_micros: u64) -> Option<f64> {
+        let delta = self.counter_delta(name, window_micros)?;
+        let (first, last) = self.window_ticks(window_micros)?;
+        let span = self.stamps.at(last)?.saturating_sub(self.stamps.at(first)?);
+        if span == 0 {
+            return Some(0.0);
+        }
+        Some(delta as f64 / (span as f64 / 1e6))
+    }
+
+    /// Per-frame reset-aware counter increases across the trailing
+    /// `window_micros` — the series a sparkline renders. Oldest first.
+    pub fn counter_increments(&self, name: &str, window_micros: u64) -> Vec<u64> {
+        let Some(s) = self.counters.iter().find(|s| s.name == name) else {
+            return Vec::new();
+        };
+        let Some((first, last)) = self.window_ticks(window_micros) else {
+            return Vec::new();
+        };
+        let first = first.max(s.ring.since);
+        let mut out = Vec::new();
+        let mut prev: Option<u64> = None;
+        for t in first..=last {
+            let Some(v) = s.ring.at(t) else { continue };
+            if let Some(p) = prev {
+                out.push(if v >= p { v - p } else { v });
+            }
+            prev = Some(v);
+        }
+        out
+    }
+
+    /// The gauge's value in the newest frame.
+    pub fn gauge_last(&self, name: &str) -> Option<i64> {
+        let s = self.gauges.iter().find(|s| s.name == name)?;
+        if self.ticks == 0 || self.ticks <= s.ring.since {
+            return None;
+        }
+        s.ring.at(self.ticks - 1).map(|v| v as i64)
+    }
+
+    /// Per-frame gauge values across the trailing `window_micros`, oldest
+    /// first — the series a sparkline renders.
+    pub fn gauge_series(&self, name: &str, window_micros: u64) -> Vec<i64> {
+        let Some(s) = self.gauges.iter().find(|s| s.name == name) else {
+            return Vec::new();
+        };
+        let Some((first, last)) = self.window_ticks(window_micros) else {
+            return Vec::new();
+        };
+        (first.max(s.ring.since)..=last)
+            .filter_map(|t| s.ring.at(t).map(|v| v as i64))
+            .collect()
+    }
+
+    /// The gauge's maximum across the trailing `window_micros`.
+    pub fn gauge_max(&self, name: &str, window_micros: u64) -> Option<i64> {
+        let s = self.gauges.iter().find(|s| s.name == name)?;
+        let (first, last) = self.window_ticks(window_micros)?;
+        (first.max(s.ring.since)..=last)
+            .filter_map(|t| s.ring.at(t).map(|v| v as i64))
+            .max()
+    }
+
+    /// Microseconds since the named counter or gauge last changed value,
+    /// judged from the buffered frames (a lower bound when the change
+    /// predates the ring). `None` for unknown metrics or a single frame.
+    pub fn staleness_micros(&self, name: &str) -> Option<u64> {
+        let ring = self
+            .counters
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.ring)
+            .or_else(|| self.gauges.iter().find(|s| s.name == name).map(|s| &s.ring))?;
+        if self.ticks == 0 || self.ticks <= ring.since {
+            return None;
+        }
+        let last = self.ticks - 1;
+        let newest = ring.at(last)?;
+        let newest_stamp = self.stamps.at(last)?;
+        let mut t = last;
+        while t > ring.since.max(self.stamps.since) {
+            match ring.at(t - 1) {
+                Some(v) if v == newest => t -= 1,
+                _ => break,
+            }
+        }
+        Some(newest_stamp.saturating_sub(self.stamps.at(t)?))
+    }
+
+    /// The histogram's reset-aware windowed view over the trailing
+    /// `window_micros`: how many samples landed in each bucket *inside*
+    /// the window. `None` if the histogram is unknown or not covered by
+    /// two frames yet.
+    pub fn histogram_window(&self, name: &str, window_micros: u64) -> Option<WindowedHistogram> {
+        let s = self.hists.iter().find(|s| s.name == name)?;
+        let (first, last) = self.window_ticks(window_micros)?;
+        let first = first.max(s.counts.since);
+        if last <= first || last >= s.counts.until {
+            return None;
+        }
+        let cap = self.config.capacity as u64;
+        let bucket_at = |t: u64, i: usize| -> u64 { s.buckets[(t % cap) as usize * s.stride + i] };
+        let mut counts = vec![0u64; s.stride];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = monotonic_increase((first..=last).map(|t| bucket_at(t, i)));
+        }
+        let count = monotonic_increase((first..=last).filter_map(|t| s.counts.at(t)));
+        let sum = monotonic_increase((first..=last).filter_map(|t| s.sums.at(t)));
+        let span_micros = self.stamps.at(last)?.saturating_sub(self.stamps.at(first)?);
+        Some(WindowedHistogram {
+            bounds: s.bounds.clone(),
+            counts,
+            count,
+            sum,
+            span_micros,
+        })
+    }
+
+    /// Windowed quantile shorthand:
+    /// `histogram_window(name, w).map(|h| h.quantile(q))`.
+    pub fn window_quantile(&self, name: &str, q: f64, window_micros: u64) -> Option<u64> {
+        Some(self.histogram_window(name, window_micros)?.quantile(q))
+    }
+
+    /// Names of all tracked counters, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.counters.iter().map(|s| s.name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Names of all tracked gauges, sorted.
+    pub fn gauge_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.gauges.iter().map(|s| s.name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Names of all tracked histograms, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.hists.iter().map(|s| s.name.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, LATENCY_MICROS_BOUNDS};
+
+    const SEC: u64 = 1_000_000;
+
+    fn sampler(tel: &Telemetry, cadence: u64, cap: usize) -> MetricSampler {
+        MetricSampler::new(
+            Arc::clone(tel.registry().unwrap()),
+            SamplerConfig {
+                cadence_micros: cadence,
+                capacity: cap,
+            },
+        )
+    }
+
+    #[test]
+    fn cadence_gates_frames() {
+        let tel = Telemetry::new();
+        tel.counter("c").inc();
+        let mut s = sampler(&tel, SEC, 16);
+        assert!(s.sample(0));
+        assert!(!s.sample(SEC / 2));
+        assert!(s.sample(SEC));
+        assert!(!s.sample(SEC)); // same stamp: below cadence
+        assert_eq!(s.frames(), 2);
+    }
+
+    #[test]
+    fn counter_rate_and_delta() {
+        let tel = Telemetry::new();
+        let c = tel.counter("events");
+        let mut s = sampler(&tel, SEC, 16);
+        s.force_sample(0);
+        c.add(10);
+        s.force_sample(SEC);
+        c.add(30);
+        s.force_sample(2 * SEC);
+        assert_eq!(s.counter_delta("events", 2 * SEC), Some(40));
+        assert_eq!(s.counter_delta("events", SEC), Some(30));
+        let rate = s.counter_rate("events", 2 * SEC).unwrap();
+        assert!((rate - 20.0).abs() < 1e-9, "{rate}");
+        assert_eq!(s.counter_increments("events", 2 * SEC), vec![10, 30]);
+    }
+
+    #[test]
+    fn monotonic_increase_handles_resets() {
+        assert_eq!(monotonic_increase([5, 8, 12]), 7);
+        // Reset: 12 → 3 counts the 3 post-reset increments.
+        assert_eq!(monotonic_increase([5, 12, 3, 7]), 7 + 3 + 4);
+        assert_eq!(monotonic_increase([7]), 0);
+        assert_eq!(monotonic_increase([]), 0);
+    }
+
+    #[test]
+    fn gauge_last_and_max() {
+        let tel = Telemetry::new();
+        let g = tel.gauge("depth");
+        let mut s = sampler(&tel, SEC, 16);
+        g.set(5);
+        s.force_sample(0);
+        g.set(-3);
+        s.force_sample(SEC);
+        assert_eq!(s.gauge_last("depth"), Some(-3));
+        assert_eq!(s.gauge_max("depth", 2 * SEC), Some(5));
+    }
+
+    #[test]
+    fn staleness_tracks_last_change() {
+        let tel = Telemetry::new();
+        let c = tel.counter("c");
+        let mut s = sampler(&tel, SEC, 16);
+        c.inc();
+        s.force_sample(0);
+        s.force_sample(SEC);
+        s.force_sample(2 * SEC);
+        assert_eq!(s.staleness_micros("c"), Some(2 * SEC));
+        c.inc();
+        s.force_sample(3 * SEC);
+        assert_eq!(s.staleness_micros("c"), Some(0));
+    }
+
+    #[test]
+    fn histogram_window_isolates_the_window() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat", LATENCY_MICROS_BOUNDS);
+        let mut s = sampler(&tel, SEC, 16);
+        h.record(10); // before the first frame: invisible to windows
+        s.force_sample(0);
+        h.record(100);
+        h.record(150);
+        s.force_sample(SEC);
+        h.record(5_000);
+        s.force_sample(2 * SEC);
+        let w = s.histogram_window("lat", SEC).unwrap();
+        assert_eq!(w.count, 1);
+        assert_eq!(w.quantile(0.99), 5_000);
+        let w2 = s.histogram_window("lat", 2 * SEC).unwrap();
+        assert_eq!(w2.count, 3);
+        // Median of {100, 150, 5000} is 150 → bucket upper bound 200.
+        assert_eq!(w2.quantile(0.5), 200);
+        assert_eq!(w2.sum, 100 + 150 + 5_000);
+        assert_eq!(w2.span_micros, 2 * SEC);
+        assert!((w2.rate_per_sec() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_quantile_is_zero() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat", LATENCY_MICROS_BOUNDS);
+        h.record(10);
+        let mut s = sampler(&tel, SEC, 16);
+        s.force_sample(0);
+        s.force_sample(SEC);
+        let w = s.histogram_window("lat", SEC).unwrap();
+        assert_eq!(w.count, 0);
+        assert_eq!(w.quantile(0.5), 0);
+        assert_eq!(w.rate_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_recent_frames() {
+        let tel = Telemetry::new();
+        let c = tel.counter("c");
+        let mut s = sampler(&tel, SEC, 4);
+        for t in 0..10u64 {
+            c.add(1);
+            s.force_sample(t * SEC);
+        }
+        assert_eq!(s.frames(), 4);
+        // Only the last 4 frames (values 7..=10) are visible.
+        assert_eq!(s.counter_delta("c", 3 * SEC), Some(3));
+        assert_eq!(s.counter_delta("c", 100 * SEC), Some(3));
+    }
+
+    #[test]
+    fn late_metrics_join_midstream() {
+        let tel = Telemetry::new();
+        let mut s = sampler(&tel, SEC, 16);
+        s.force_sample(0);
+        let c = tel.counter("late");
+        c.add(2);
+        s.force_sample(SEC);
+        c.add(3);
+        s.force_sample(2 * SEC);
+        assert_eq!(s.counter_delta("late", 2 * SEC), Some(3));
+    }
+
+    #[test]
+    fn out_of_order_stamp_is_ignored() {
+        let tel = Telemetry::new();
+        tel.counter("c").inc();
+        let mut s = sampler(&tel, SEC, 16);
+        s.force_sample(5 * SEC);
+        s.force_sample(SEC); // ignored
+        assert_eq!(s.frames(), 1);
+        assert_eq!(s.latest_stamp(), Some(5 * SEC));
+    }
+
+    #[test]
+    fn steady_state_sampling_does_not_grow_series() {
+        let tel = Telemetry::new();
+        tel.counter("a").inc();
+        tel.gauge("b").set(1);
+        tel.histogram("c", &[1, 10]).record(5);
+        let mut s = sampler(&tel, SEC, 8);
+        s.force_sample(0);
+        let series = s.series();
+        for t in 1..50u64 {
+            s.force_sample(t * SEC);
+        }
+        assert_eq!(s.series(), series);
+    }
+}

@@ -220,7 +220,10 @@ impl TraceStore {
 
     fn push(&self, record: SpanRecord) {
         let shard = (record.id.0 as usize) % SHARD_COUNT;
-        let mut shard = self.shards[shard].lock().expect("trace store poisoned");
+        let mut shard = match self.shards[shard].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         if shard.spans.len() >= self.per_shard_capacity {
             shard.spans.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -232,7 +235,10 @@ impl TraceStore {
     pub fn snapshot(&self) -> TraceSnapshot {
         let mut spans = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("trace store poisoned");
+            let shard = match shard.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             spans.extend(shard.spans.iter().cloned());
         }
         spans.sort_by_key(|s| s.id);
@@ -247,7 +253,10 @@ impl TraceStore {
     /// Discards every stored span (sampling counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("trace store poisoned").spans.clear();
+            match shard.lock() {
+                Ok(mut guard) => guard.spans.clear(),
+                Err(poisoned) => poisoned.into_inner().spans.clear(),
+            }
         }
     }
 }

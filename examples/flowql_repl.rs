@@ -7,6 +7,8 @@
 //! flowql> SELECT TOPK 5 FROM ALL WHERE location = "region-0"
 //! flowql> SELECT QUERY FROM [0, 120) WHERE src_ip = 10.0.0.0/8
 //! flowql> :explain SELECT TOPK 5 FROM ALL WHERE location = "region-0"
+//! flowql> :health
+//! flowql> :metrics prom
 //! flowql> \help
 //! ```
 //!
@@ -16,8 +18,9 @@
 use std::io::{self, BufRead, Write};
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
-use megastream_flow::time::TimeDelta;
-use megastream_telemetry::Tracer;
+use megastream::ops::OpsPlane;
+use megastream_flow::time::{TimeDelta, Timestamp};
+use megastream_telemetry::{Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 const HELP: &str = "\
@@ -30,6 +33,8 @@ FlowQL grammar:
            | proto = <n> | src_port = <n> | dst_port = <n>
 meta commands: \\help  \\locations  \\windows <location>
                :explain <query>  (EXPLAIN ANALYZE — result + span tree)
+               :health           (component states + alert log)
+               :metrics [prom]   (metric snapshot — text or Prometheus)
                \\quit";
 
 fn main() {
@@ -41,7 +46,14 @@ fn main() {
     } else {
         Tracer::disabled()
     };
-    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default()).with_tracer(&tracer);
+    // Telemetry is always on in the shell so `:health` / `:metrics` have
+    // something to show; the ops plane samples once per simulated second.
+    let tel = Telemetry::new();
+    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default())
+        .with_telemetry(&tel)
+        .with_tracer(&tracer);
+    let mut ops = OpsPlane::standard(&tel).expect("telemetry is enabled");
+    let mut clock = Timestamp::ZERO;
     for rec in FlowTraceGenerator::new(FlowTraceConfig {
         seed: 2026,
         flows_per_sec: 250.0,
@@ -49,6 +61,8 @@ fn main() {
         ..Default::default()
     }) {
         fs.ingest_round_robin(&rec);
+        clock = clock.max(rec.ts);
+        ops.tick(rec.ts);
     }
     fs.finish();
     eprintln!(
@@ -75,6 +89,23 @@ fn main() {
                 for w in fs.flowdb().windows_of(loc) {
                     println!("{w}");
                 }
+            }
+            ":health" | "\\health" => {
+                // Fold the queries run since the last frame into a fresh
+                // one, then report.
+                clock += TimeDelta::from_secs(1);
+                ops.force_tick(clock);
+                print!("{}", ops.health_report());
+            }
+            ":metrics" | "\\metrics" => {
+                clock += TimeDelta::from_secs(1);
+                ops.force_tick(clock);
+                print!("{}", tel.snapshot().render_text());
+            }
+            ":metrics prom" | "\\metrics prom" => {
+                clock += TimeDelta::from_secs(1);
+                ops.force_tick(clock);
+                print!("{}", tel.snapshot().render_prometheus());
             }
             _ if line.starts_with(":explain") || line.starts_with("\\explain") => {
                 let q = line
@@ -130,5 +161,16 @@ fn main() {
             println!("{result}");
         }
         print!("{explanation}");
+        println!("flowql> :health");
+        clock += TimeDelta::from_secs(1);
+        ops.force_tick(clock);
+        print!("{}", ops.health_report());
+        println!("flowql> :metrics prom");
+        clock += TimeDelta::from_secs(1);
+        ops.force_tick(clock);
+        for line in tel.snapshot().render_prometheus().lines().take(12) {
+            println!("{line}");
+        }
+        println!("...");
     }
 }

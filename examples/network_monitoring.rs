@@ -11,10 +11,17 @@
 //! cargo run --example network_monitoring -- --trace     # + causal span trees
 //! cargo run --example network_monitoring -- --chaos     # + mid-run uplink outage
 //! cargo run --example network_monitoring -- --threads 4 # parallel data plane
+//! cargo run --example network_monitoring -- --health    # + live health alerts
+//! cargo run --example network_monitoring -- --watch     # + periodic dashboards
 //! ```
+//!
+//! `--chaos --health` shows the ops plane reacting live: the flowstream
+//! component flips Degraded when region-1's spill buffer fills during the
+//! outage window and recovers to Healthy after the flush.
 
 use megastream::application::{AppDirective, Application, DdosDetectionApp};
 use megastream::flowstream::{DegradationPolicy, Flowstream, FlowstreamConfig};
+use megastream::ops::OpsPlane;
 use megastream::Parallelism;
 use megastream_datastore::summary::Summary;
 use megastream_flow::addr::Ipv4Addr;
@@ -67,8 +74,10 @@ fn main() {
     let stats = std::env::args().any(|a| a == "--stats");
     let want_trace = std::env::args().any(|a| a == "--trace");
     let chaos = std::env::args().any(|a| a == "--chaos");
+    let want_health = std::env::args().any(|a| a == "--health");
+    let want_watch = std::env::args().any(|a| a == "--watch");
     let parallelism = parallelism_flag();
-    let tel = if stats {
+    let tel = if stats || want_health || want_watch {
         Telemetry::new()
     } else {
         Telemetry::disabled()
@@ -127,17 +136,52 @@ fn main() {
         println!("chaos: region-1 uplink down for [90 s, 210 s)\n");
     }
 
+    // --health / --watch: the ops plane samples the registry once per
+    // simulated second, folds the windows through the standard health
+    // rules, prints alerts as they fire, and (--watch) renders a dashboard
+    // frame every 30 simulated seconds.
+    let mut ops = if want_health || want_watch {
+        OpsPlane::standard(&tel)
+    } else {
+        None
+    };
+    let mut alerts_printed = 0usize;
     let mut n = 0u64;
     let mut probed = false;
+    let mut last_end = Timestamp::ZERO;
     for rec in trace {
         if chaos && !probed && rec.ts >= Timestamp::from_secs(150) {
             probed = true;
             mid_outage_session(&fs);
         }
         fs.ingest_round_robin(&rec);
+        last_end = last_end.max(rec.ts);
         n += 1;
+        if let Some(ops) = ops.as_mut() {
+            if ops.tick(rec.ts) {
+                for alert in &ops.health().alerts()[alerts_printed..] {
+                    println!("health: {alert}");
+                }
+                alerts_printed = ops.health().alerts().len();
+                if want_watch && ops.sampler().frames().is_multiple_of(30) {
+                    print!("{}", ops.render_dashboard());
+                }
+            }
+        }
     }
     fs.finish();
+    if let Some(ops) = ops.as_mut() {
+        // A final frame past the last rotation, so post-recovery flushes
+        // (and the alert back to Healthy) are observed.
+        for s in 1..=4u64 {
+            ops.force_tick(last_end + TimeDelta::from_secs(s));
+        }
+        for alert in &ops.health().alerts()[alerts_printed..] {
+            println!("health: {alert}");
+        }
+        println!("\n--- health ---");
+        print!("{}", ops.health_report());
+    }
     println!(
         "ingested {n} flow records into {} region stores ({} summaries indexed, {} bytes moved)\n",
         fs.regions(),

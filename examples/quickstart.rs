@@ -6,13 +6,16 @@
 //! cargo run --example quickstart -- --stats      # + telemetry walkthrough
 //! cargo run --example quickstart -- --trace      # + causal span trees
 //! cargo run --example quickstart -- --threads 4  # parallel query fan-out
+//! cargo run --example quickstart -- --health     # + ops-plane health report
+//! cargo run --example quickstart -- --watch      # + live dashboard frames
 //! ```
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream::ops::OpsPlane;
 use megastream::Parallelism;
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
-use megastream_flow::time::TimeDelta;
+use megastream_flow::time::{TimeDelta, Timestamp};
 use megastream_flowtree::{Flowtree, FlowtreeConfig};
 use megastream_telemetry::{Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
@@ -133,9 +136,13 @@ fn main() {
     // data-store rotation latency, FlowDB execution timings, the
     // end-to-end FlowQL latency histogram); --trace records each query's
     // causal span tree; --threads N answers the queries with an N-worker
-    // fan-out (same results by construction — DESIGN.md §10).
+    // fan-out (same results by construction — DESIGN.md §10); --health
+    // folds the sampled registry through the standard health rules and
+    // prints the report; --watch also renders dashboard frames.
     let threads_given = std::env::args().any(|a| a == "--threads");
-    if stats || want_trace || threads_given {
+    let want_health = std::env::args().any(|a| a == "--health");
+    let want_watch = std::env::args().any(|a| a == "--watch");
+    if stats || want_trace || threads_given || want_health || want_watch {
         if threads_given {
             println!("\nflowstream parallelism: {parallelism}");
         }
@@ -150,12 +157,18 @@ fn main() {
                 ..Default::default()
             },
         );
-        if stats {
+        if stats || want_health || want_watch {
             fs.set_telemetry(&tel);
         }
         if want_trace {
             fs.set_tracer(&tracer);
         }
+        let mut ops = if want_health || want_watch {
+            OpsPlane::standard(&tel)
+        } else {
+            None
+        };
+        let mut last_end = Timestamp::ZERO;
         for rec in FlowTraceGenerator::new(FlowTraceConfig {
             seed: 7,
             flows_per_sec: 200.0,
@@ -165,6 +178,12 @@ fn main() {
             ..Default::default()
         }) {
             fs.ingest_round_robin(&rec);
+            last_end = last_end.max(rec.ts);
+            if let Some(ops) = ops.as_mut() {
+                if ops.tick(rec.ts) && want_watch && ops.sampler().frames().is_multiple_of(60) {
+                    print!("\n{}", ops.render_dashboard());
+                }
+            }
         }
         fs.finish();
         fs.query("SELECT TOPK 3 FROM ALL WHERE location = \"region-0\"")
@@ -174,6 +193,15 @@ fn main() {
         if stats {
             println!("\n--- telemetry ({} metrics) ---", tel.snapshot().len());
             print!("{}", fs.telemetry_report());
+        }
+        if let Some(ops) = ops.as_mut() {
+            // One frame past the end so the session's queries are folded in.
+            ops.force_tick(last_end + TimeDelta::from_secs(1));
+            if want_watch {
+                print!("\n{}", ops.render_dashboard());
+            }
+            println!("\n--- health ---");
+            print!("{}", ops.health_report());
         }
         if want_trace {
             println!(

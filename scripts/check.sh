@@ -22,6 +22,9 @@ cargo test --workspace -q
 echo "==> observability + chaos e2e suites"
 cargo test --test telemetry_e2e --test tracing_e2e --test chaos_e2e -q
 
+echo "==> ops plane: e2e + time-series property suites"
+cargo test --test ops_e2e --test ops_timeseries -q
+
 echo "==> merge laws + parser fuzz-lite"
 cargo test --test merge_laws --test flowql_fuzz -q
 
@@ -32,6 +35,23 @@ cargo test --test parallel_e2e -q
 echo "==> no #[ignore]d tests"
 if grep -rn '#\[ignore' --include='*.rs' tests crates examples; then
     echo "error: #[ignore]d tests are not allowed" >&2
+    exit 1
+fi
+
+echo "==> no unwrap/expect in telemetry non-test code"
+# The observability layer must not be able to panic the data plane:
+# strip everything from the first #[cfg(test)] marker to EOF, then look
+# for panicking accessors in what remains.
+fail=0
+for f in crates/telemetry/src/*.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -n '\.unwrap()\|\.expect(' \
+        | sed "s|^|$f:|"; then
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "error: unwrap()/expect( in telemetry non-test code" >&2
     exit 1
 fi
 

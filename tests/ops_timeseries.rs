@@ -1,0 +1,166 @@
+//! Property tests for the time-series layer (DESIGN.md §11): windowed
+//! histogram-delta quantiles must agree with an oracle computed from the
+//! raw recorded values, empty windows must read as empty rather than
+//! stale, counter deltas must equal the recorded increments, and
+//! `monotonic_increase` must absorb counter resets.
+
+use std::sync::Arc;
+
+use megastream_telemetry::{
+    monotonic_increase, MetricSampler, SamplerConfig, Telemetry, LATENCY_MICROS_BOUNDS,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const SEC: u64 = 1_000_000;
+
+fn sampler_over(tel: &Telemetry) -> MetricSampler {
+    MetricSampler::new(
+        Arc::clone(tel.registry().expect("telemetry is enabled")),
+        SamplerConfig::default(),
+    )
+}
+
+/// The bucket bound sample `v` reports under the histogram's rule: the
+/// first inclusive upper bound `>= v`, saturating at the last finite
+/// bound for overflow samples (mirroring `WindowedHistogram::quantile`,
+/// which has no per-window max to report).
+fn bucket_bound(v: u64, bounds: &[u64]) -> u64 {
+    bounds
+        .iter()
+        .copied()
+        .find(|&b| b >= v)
+        .or_else(|| bounds.last().copied())
+        .expect("bounds are non-empty")
+}
+
+/// Oracle quantile over the raw values: sort, take the `ceil(q·n)`-th
+/// sample, map it to its bucket bound. Bucketization is monotone in the
+/// sample value, so this is exactly the bucket the windowed view must
+/// report.
+fn oracle_quantile(values: &[u64], q: f64, bounds: &[u64]) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    bucket_bound(sorted[rank - 1], bounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The windowed p50/p90/p99 equal the oracle over exactly the raw
+    /// values recorded inside the window — samples recorded before the
+    /// window's first frame (the warmup batch) must not leak in.
+    #[test]
+    fn windowed_quantiles_match_oracle(
+        warmup in vec(0u64..20_000_000, 0..100),
+        batch in vec(0u64..20_000_000, 1..200),
+    ) {
+        let tel = Telemetry::new();
+        let h = tel.histogram("q.micros", LATENCY_MICROS_BOUNDS);
+        for &v in &warmup {
+            h.record(v);
+        }
+        let mut s = sampler_over(&tel);
+        s.force_sample(0);
+        for &v in &batch {
+            h.record(v);
+        }
+        s.force_sample(SEC);
+        let w = s.histogram_window("q.micros", SEC).expect("two frames cover the series");
+        prop_assert_eq!(w.count, batch.len() as u64);
+        prop_assert_eq!(w.sum, batch.iter().sum::<u64>());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                w.quantile(q),
+                oracle_quantile(&batch, q, LATENCY_MICROS_BOUNDS),
+                "q = {}", q
+            );
+        }
+    }
+
+    /// A counter's windowed delta equals the sum of the increments
+    /// recorded inside the window, for every window size.
+    #[test]
+    fn counter_delta_matches_recorded_increments(incs in vec(0u64..500, 1..50)) {
+        let tel = Telemetry::new();
+        let c = tel.counter("c.total");
+        let mut s = sampler_over(&tel);
+        s.force_sample(0);
+        for (i, &d) in incs.iter().enumerate() {
+            c.add(d);
+            s.force_sample((i as u64 + 1) * SEC);
+        }
+        let n = incs.len() as u64;
+        // Full window: every increment. Trailing windows: the suffix.
+        prop_assert_eq!(s.counter_delta("c.total", n * SEC), Some(incs.iter().sum()));
+        for k in 1..=incs.len() {
+            let suffix: u64 = incs[incs.len() - k..].iter().sum();
+            prop_assert_eq!(
+                s.counter_delta("c.total", k as u64 * SEC),
+                Some(suffix),
+                "trailing {} frames", k
+            );
+        }
+    }
+
+    /// `monotonic_increase` over a concatenation with a guaranteed drop
+    /// at the seam: the post-reset value counts as increments since the
+    /// reset, each monotone run contributes `last - first`.
+    #[test]
+    fn counter_reset_splits_increase(
+        a0 in 1u64..1_000,
+        da in vec(0u64..1_000, 1..40),
+        db in vec(0u64..1_000, 1..40),
+        b0 in 0u64..1_000,
+    ) {
+        let mut a = vec![a0];
+        for &d in &da {
+            let next = a.last().expect("non-empty") + d;
+            a.push(next);
+        }
+        let last_a = *a.last().expect("non-empty");
+        let b_start = b0 % last_a; // strictly below the pre-reset value
+        let mut b = vec![b_start];
+        for &d in &db {
+            let next = b.last().expect("non-empty") + d;
+            b.push(next);
+        }
+        let inc_a = monotonic_increase(a.iter().copied());
+        let inc_b = monotonic_increase(b.iter().copied());
+        prop_assert_eq!(inc_a, last_a - a0);
+        prop_assert_eq!(inc_b, b.last().expect("non-empty") - b_start);
+        let full = a.iter().chain(b.iter()).copied();
+        prop_assert_eq!(monotonic_increase(full), inc_a + b_start + inc_b);
+    }
+}
+
+/// A window in which nothing was recorded reads as empty — zero count,
+/// zero quantiles, zero rate — not as a stale echo of earlier samples.
+#[test]
+fn empty_window_reads_as_empty() {
+    let tel = Telemetry::new();
+    let h = tel.histogram("q.micros", LATENCY_MICROS_BOUNDS);
+    h.record(500);
+    let mut s = sampler_over(&tel);
+    s.force_sample(0);
+    s.force_sample(SEC); // no samples recorded in between
+    let w = s
+        .histogram_window("q.micros", SEC)
+        .expect("two frames cover the series");
+    assert_eq!(w.count, 0);
+    assert_eq!(w.sum, 0);
+    assert_eq!(w.quantile(0.5), 0);
+    assert_eq!(w.quantile(0.99), 0);
+    assert_eq!(w.rate_per_sec(), 0.0);
+    assert_eq!(s.window_quantile("q.micros", 0.99, SEC), Some(0));
+}
+
+/// Degenerate inputs: no observations and a single observation both have
+/// zero increase (an increase needs two frames).
+#[test]
+fn monotonic_increase_degenerate_inputs() {
+    assert_eq!(monotonic_increase([]), 0);
+    assert_eq!(monotonic_increase([42]), 0);
+    assert_eq!(monotonic_increase([7, 7, 7]), 0);
+}
