@@ -1,0 +1,253 @@
+//! The `lint.allow` suppression file.
+//!
+//! Every suppression is a *policy decision with a rationale*, checked into
+//! the repository next to the code it excuses. The format is line-based:
+//!
+//! ```text
+//! # comment
+//! <pass> <path> <key> -- <justification>
+//! ```
+//!
+//! e.g.
+//!
+//! ```text
+//! panic-surface crates/flowtree/src/tree.rs expect -- arena ids are \
+//!     internal invariants; a dangling id is a bug, not a recoverable state
+//! ```
+//!
+//! Rules:
+//! * the justification is mandatory and non-empty — an excuse without a
+//!   reason is rejected at parse time;
+//! * an entry matches every finding with the same `(pass, path, key)`
+//!   triple (line numbers are deliberately not part of the key: code moves,
+//!   policy does not);
+//! * an entry that matches **no** finding is itself an error (`stale`), so
+//!   the allowlist can only shrink as the code improves — it never
+//!   accumulates dead excuses;
+//! * `Warn`-level findings are not allowlistable: they never fail the gate,
+//!   so excusing them would only hide information.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::findings::{Finding, Level};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Pass id the entry applies to.
+    pub pass: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Finding key it matches (`unwrap`, `HashMap`, a metric name, …).
+    pub key: String,
+    /// Why the suppression is sound. Mandatory.
+    pub justification: String,
+    /// 1-based line in `lint.allow` (for error reporting).
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Loads `path`, returning an empty allowlist if the file is absent.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the line-based format. Lines ending in `\` continue onto the
+    /// next line, so long justifications can wrap.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        let mut pending = String::new();
+        let mut start_line = 0u32;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let joined = if pending.is_empty() {
+                start_line = line_no;
+                raw.trim().to_string()
+            } else {
+                format!("{pending} {}", raw.trim())
+            };
+            if let Some(stripped) = joined.strip_suffix('\\') {
+                pending = stripped.trim_end().to_string();
+                continue;
+            }
+            pending = String::new();
+            let line = joined.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, justification) = line
+                .split_once(" -- ")
+                .ok_or_else(|| format!("lint.allow:{start_line}: missing ` -- justification`"))?;
+            let justification = justification.trim();
+            if justification.is_empty() {
+                return Err(format!("lint.allow:{start_line}: empty justification"));
+            }
+            let fields: Vec<&str> = head.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(format!(
+                    "lint.allow:{start_line}: expected `<pass> <path> <key> -- <justification>`, \
+                     got {} fields before ` -- `",
+                    fields.len()
+                ));
+            }
+            entries.push(AllowEntry {
+                pass: fields[0].to_string(),
+                path: fields[1].to_string(),
+                key: fields[2].to_string(),
+                justification: justification.to_string(),
+                line: start_line,
+            });
+        }
+        if !pending.is_empty() {
+            return Err("lint.allow: dangling line continuation at EOF".to_string());
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Splits `findings` into (kept, suppressed) and reports stale entries.
+    /// Only `Deny` findings are eligible for suppression.
+    pub fn apply(&self, findings: Vec<Finding>) -> AllowOutcome {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for f in findings {
+            let hit = (f.level == Level::Deny)
+                .then(|| {
+                    self.entries
+                        .iter()
+                        .position(|e| e.pass == f.pass && e.path == f.file && e.key == f.key)
+                })
+                .flatten();
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed.push(f);
+                }
+                None => kept.push(f),
+            }
+        }
+        let stale: Vec<AllowEntry> = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        AllowOutcome {
+            kept,
+            suppressed,
+            stale,
+        }
+    }
+
+    /// Renders the allowlist as a JSON array of entries.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"pass\":\"{}\",\"path\":\"{}\",\"key\":\"{}\",\"justification\":\"{}\"}}",
+                crate::findings::json_escape(&e.pass),
+                crate::findings::json_escape(&e.path),
+                crate::findings::json_escape(&e.key),
+                crate::findings::json_escape(&e.justification)
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Result of filtering findings through the allowlist.
+pub struct AllowOutcome {
+    /// Findings that survive (still fail the gate if `Deny`).
+    pub kept: Vec<Finding>,
+    /// Findings excused by an entry.
+    pub suppressed: Vec<Finding>,
+    /// Entries that matched nothing — themselves a gate failure.
+    pub stale: Vec<AllowEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &'static str, file: &str, key: &str) -> Finding {
+        Finding {
+            pass,
+            level: Level::Deny,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            key: key.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_and_match() {
+        let allow = Allowlist::parse(
+            "# header comment\n\
+             panic-surface crates/flow/src/mask.rs expect -- schema literals are const-valid\n",
+        )
+        .unwrap();
+        assert_eq!(allow.entries.len(), 1);
+        let out = allow.apply(vec![
+            finding("panic-surface", "crates/flow/src/mask.rs", "expect"),
+            finding("panic-surface", "crates/flow/src/mask.rs", "unwrap"),
+        ]);
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.kept.len(), 1);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        assert!(Allowlist::parse("p f k\n").is_err());
+        assert!(Allowlist::parse("p f k -- \n").is_err());
+        assert!(Allowlist::parse("p f -- why\n").is_err());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let allow = Allowlist::parse("determinism crates/x/src/a.rs HashMap -- audited\n").unwrap();
+        let out = allow.apply(vec![]);
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].key, "HashMap");
+    }
+
+    #[test]
+    fn warn_findings_are_not_suppressible() {
+        let allow = Allowlist::parse("panic-surface crates/x/src/a.rs index -- audited\n").unwrap();
+        let mut f = finding("panic-surface", "crates/x/src/a.rs", "index");
+        f.level = Level::Warn;
+        let out = allow.apply(vec![f]);
+        assert_eq!(out.kept.len(), 1, "warn finding must not be suppressed");
+        assert_eq!(out.stale.len(), 1, "entry matching only warns is stale");
+    }
+
+    #[test]
+    fn line_continuations() {
+        let allow = Allowlist::parse(
+            "panic-surface crates/a/src/b.rs expect -- a very \\\n    long reason\n",
+        )
+        .unwrap();
+        assert_eq!(allow.entries[0].justification, "a very long reason");
+    }
+}

@@ -1,0 +1,153 @@
+//! Findings: what a pass reports, how it is leveled, sorted, and rendered.
+
+use std::fmt::Write as _;
+
+/// Severity of a finding. `Deny` findings fail the run (exit 1) unless
+/// matched by a `lint.allow` entry; `Warn` findings are printed but never
+/// fail the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Advisory: printed, never fatal, never allowlistable.
+    Warn,
+    /// Gate: fatal unless allowlisted with a justification.
+    Deny,
+}
+
+impl Level {
+    /// Lowercase name used in text and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The pass that produced it (`panic-surface`, `determinism`, …).
+    pub pass: &'static str,
+    /// Severity after any CLI level overrides.
+    pub level: Level,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short stable key used for allowlist matching (`unwrap`, `HashMap`,
+    /// `Instant::now`, a metric name, a lock edge `a->b`, …).
+    pub key: String,
+    /// Human-oriented explanation of this specific site.
+    pub message: String,
+}
+
+impl Finding {
+    /// Deterministic ordering: by file, then position, then pass and key —
+    /// two runs over the same tree always diff clean.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str, String) {
+        (
+            self.file.clone(),
+            self.line,
+            self.col,
+            self.pass,
+            self.key.clone(),
+        )
+    }
+
+    /// `path:line:col: [level] pass/key: message`
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}/{}: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.level.name(),
+            self.pass,
+            self.key,
+            self.message
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string body (without surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (used by `megalint --json`).
+pub fn render_json_array(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pass\":\"{}\",\"level\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"key\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(f.pass),
+            f.level.name(),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.key),
+            json_escape(&f.message)
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering() {
+        let f = Finding {
+            pass: "panic-surface",
+            level: Level::Deny,
+            file: "crates/flow/src/x.rs".into(),
+            line: 3,
+            col: 9,
+            key: "unwrap".into(),
+            message: "non-test unwrap()".into(),
+        };
+        assert_eq!(
+            f.render_text(),
+            "crates/flow/src/x.rs:3:9: [deny] panic-surface/unwrap: non-test unwrap()"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let f = Finding {
+            pass: "gates",
+            level: Level::Warn,
+            file: "a.rs".into(),
+            line: 1,
+            col: 1,
+            key: "k".into(),
+            message: "say \"hi\"".into(),
+        };
+        let json = render_json_array(&[f]);
+        assert!(json.contains("\\\"hi\\\""));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

@@ -1,0 +1,477 @@
+//! A minimal, faithful Rust lexer.
+//!
+//! The whole point of `megalint` over the `grep`/`awk` gates it replaces is
+//! that findings come from *token* space, not byte space: an `unwrap()` in a
+//! doc comment, a `panic!` inside a raw string, or an `unsafe` spelled in a
+//! test-fixture string literal must not trip a gate, while the same token in
+//! code must. The lexer therefore handles the lexical constructs that defeat
+//! regexes:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * line comments and doc comments (`//`, `///`, `//!`),
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r#"…"#`, `br##"…"##`),
+//! * char literals vs lifetimes (`'a'` is a char, `'a` in `&'a str` is a
+//!   lifetime, `'_` is the anonymous lifetime),
+//! * raw identifiers (`r#fn`) vs raw strings (`r#"…"`).
+//!
+//! Output is a flat [`Token`] stream with byte offsets and 1-based
+//! line/column positions. Comments and whitespace are skipped; passes only
+//! see code. The lexer never fails: unknown bytes become `Punct` tokens so
+//! analysis degrades gracefully instead of aborting a whole file.
+
+/// What a token is. Only the distinctions the passes need are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `HashMap`, `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (without a trailing quote).
+    Lifetime,
+    /// A character or byte-character literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Any string-like literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#`.
+    StrLit,
+    /// A numeric literal.
+    NumLit,
+    /// A single punctuation byte (`.`, `(`, `[`, `!`, `#`, …).
+    Punct(u8),
+}
+
+/// One lexed token with its position in the source file.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// For [`TokenKind::StrLit`] tokens: the literal's *contents* (between
+    /// the quotes, escapes left as written). For other kinds, the raw text.
+    pub fn str_contents<'a>(&self, src: &'a str) -> &'a str {
+        let text = self.text(src);
+        let bytes = text.as_bytes();
+        let mut start = 0;
+        while start < bytes.len() && (bytes[start] == b'b' || bytes[start] == b'r') {
+            start += 1;
+        }
+        let hashes = bytes[start..].iter().take_while(|&&b| b == b'#').count();
+        start += hashes;
+        if start < bytes.len() && bytes[start] == b'"' {
+            let inner_start = start + 1;
+            let inner_end = text.len().saturating_sub(1 + hashes);
+            if inner_start <= inner_end {
+                return &text[inner_start..inner_end];
+            }
+        }
+        text
+    }
+}
+
+/// Lexes `src` into a token stream, skipping comments and whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    self.string_body();
+                    self.emit(TokenKind::StrLit, start, line, col);
+                }
+                b'r' | b'b' if self.is_literal_prefix() => {
+                    self.prefixed_literal();
+                    // prefixed_literal emits nothing itself; classify here.
+                    let kind = if self.src[start..self.pos].contains(&b'"') {
+                        TokenKind::StrLit
+                    } else if self.src[start..self.pos].contains(&b'\'') {
+                        TokenKind::CharLit
+                    } else {
+                        TokenKind::Ident // raw identifier r#foo
+                    };
+                    self.emit(kind, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.quote();
+                    self.emit(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.emit(TokenKind::NumLit, start, line, col);
+                }
+                b if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.ident();
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                other => {
+                    self.bump();
+                    self.emit(TokenKind::Punct(other), start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Is the `r`/`b` at the cursor the start of a raw string, byte string,
+    /// byte char, or raw identifier (as opposed to a plain identifier that
+    /// merely begins with `r` or `b`)?
+    fn is_literal_prefix(&self) -> bool {
+        match self.peek(0) {
+            b'r' => matches!(self.peek(1), b'"' | b'#'),
+            b'b' => match self.peek(1) {
+                b'"' | b'\'' => true,
+                b'r' => matches!(self.peek(2), b'"' | b'#'),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'`, or `r#ident`.
+    fn prefixed_literal(&mut self) {
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        if self.peek(0) == b'r' {
+            self.bump();
+            let mut hashes = 0;
+            while self.peek(0) == b'#' {
+                self.bump();
+                hashes += 1;
+            }
+            if self.peek(0) == b'"' {
+                self.raw_string_body(hashes);
+            } else {
+                // `r#ident` raw identifier (hashes == 1 in valid Rust).
+                self.ident();
+            }
+        } else if self.peek(0) == b'"' {
+            self.string_body();
+        } else if self.peek(0) == b'\'' {
+            self.quote();
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Nested: `/* a /* b */ c */` only closes at depth 0.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body starting at the opening quote.
+    fn string_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes a raw-string body `"…"##` whose opener had `hashes` guards.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime). Called with
+    /// the cursor on the opening `'`.
+    fn quote(&mut self) -> TokenKind {
+        self.bump(); // '
+        match self.peek(0) {
+            b'\\' => {
+                // Escaped char literal: '\n', '\u{1F600}', '\''. Consume
+                // the escaped character first so '\'' closes correctly.
+                self.bump();
+                if self.pos < self.src.len() {
+                    self.bump();
+                }
+                while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                    self.bump();
+                }
+                if self.pos < self.src.len() {
+                    self.bump();
+                }
+                TokenKind::CharLit
+            }
+            b if b == b'_' || b.is_ascii_alphabetic() => {
+                // Could be 'a' (char) or 'a / 'static (lifetime): scan the
+                // identifier; a closing quote right after means char literal.
+                self.ident();
+                if self.peek(0) == b'\'' {
+                    self.bump();
+                    TokenKind::CharLit
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            0 => TokenKind::Lifetime, // dangling quote at EOF
+            _ => {
+                // Non-alphabetic char literal: '+', '3', or multibyte.
+                while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                    self.bump();
+                }
+                if self.pos < self.src.len() {
+                    self.bump();
+                }
+                TokenKind::CharLit
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Precision is not needed: consume digits/underscores/hex letters,
+        // one fractional part (but never a `..` range), and a type suffix.
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_ascii_digit())
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_invisible() {
+        assert!(idents("// x.unwrap()\n/* panic!() */ let y = 1;").contains(&"let".to_string()));
+        assert!(!idents("// x.unwrap()\n").contains(&"unwrap".to_string()));
+        assert!(!idents("/// doc .unwrap()\nfn f() {}").contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap */ still comment */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "call .unwrap() here";"#;
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        let toks = lex(src);
+        let lit = toks.iter().find(|t| t.kind == TokenKind::StrLit).unwrap();
+        assert_eq!(lit.str_contents(src), "call .unwrap() here");
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r##"let s = r#"panic!("inside") "quoted""#; let x = 1;"##;
+        assert!(!idents(src).contains(&"panic".to_string()));
+        assert!(idents(src).contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"unsafe "; let b = br#"unsafe "#; unsafe_code"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"unsafe_code".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 1, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let q = '\''; let n = '\n'; let u = '\u{1F600}';";
+        let chars = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#fn = 1;";
+        assert!(idents(src).contains(&"r#fn".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..10 { a[i]; }";
+        let nums: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::NumLit)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let src = "fn f() {\n    x.unwrap();\n}";
+        let toks = lex(src);
+        let unwrap = toks
+            .iter()
+            .find(|t| t.text(src) == "unwrap")
+            .expect("unwrap token");
+        assert_eq!(unwrap.line, 2);
+        assert_eq!(unwrap.col, 7);
+    }
+
+    #[test]
+    fn float_literals_and_method_calls() {
+        let src = "let x = 1.5e3; let y = 2.max(3); vec.len()";
+        let ids = idents(src);
+        assert!(ids.contains(&"max".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+}

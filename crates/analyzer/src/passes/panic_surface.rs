@@ -1,0 +1,211 @@
+//! Pass `panic-surface`: the data plane must not be able to panic.
+//!
+//! PR 3 made degradation graceful (`DegradationPolicy::Partial`,
+//! `AccessError`, spill buffers) and PR 6 put the observability layer on
+//! the invariant that *telemetry must never panic the pipeline it
+//! observes*. Both only hold if the panicking accessors stay out of
+//! non-test data-plane code. This pass finds them lexically — which, unlike
+//! the `grep` gate it replaces, ignores doc comments, string literals, and
+//! `#[cfg(test)]` modules, and keeps scanning *after* a test module instead
+//! of truncating at the first marker.
+
+use crate::findings::{Finding, Level};
+use crate::lexer::TokenKind;
+use crate::passes::{live_ident, report, Ctx, Pass};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct PanicSurface;
+
+const MACROS: &[(&str, &str)] = &[
+    ("panic", "panic"),
+    ("unreachable", "unreachable"),
+    ("todo", "todo"),
+    ("unimplemented", "unimplemented"),
+];
+
+impl Pass for PanicSurface {
+    fn id(&self) -> &'static str {
+        "panic-surface"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable! and slice-indexing in data-plane non-test code"
+    }
+
+    fn explain(&self) -> &'static str {
+        "WHAT: flags `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, and \
+`unimplemented!` in the non-test code of the data-plane crates (flow, flowtree, flowdb, \
+datastore, primitives, replication, telemetry), at deny level. Direct slice/array indexing \
+`x[i]` is reported at warn level: the Flowtree node arena indexes by id as a designed \
+invariant, so indexing is advisory information, not a gate.\n\
+WHY: PR 3's graceful-degradation contract routes every fault through Result/AccessError \
+paths (Partial results, spill buffers, failover) — one reachable panic in merge, rotate, \
+or query turns a survivable fault into an outage. The telemetry crate is held to the same \
+bar because the observability layer must never take down the data plane it watches \
+(previously enforced by an awk/grep gate that could not see comments or strings).\n\
+ALLOWLIST: a deny finding may be excused in lint.allow only with a justification, e.g. a \
+documented `# Panics` API contract or an internal invariant whose violation is a bug by \
+definition."
+    }
+
+    fn run(&self, ctx: &Ctx<'_>, level: Level, out: &mut Vec<Finding>) {
+        for file in &ctx.ws.files {
+            if !file.is_data_plane() {
+                continue;
+            }
+            scan_file(self.id(), file, level, out);
+        }
+    }
+}
+
+fn scan_file(pass: &'static str, file: &SourceFile, level: Level, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — require the preceding dot so local
+        // functions merely named `unwrap` don't count, and the following
+        // `(` so field accesses don't.
+        for name in ["unwrap", "expect"] {
+            if live_ident(file, i, name)
+                && i > 0
+                && toks[i - 1].kind == TokenKind::Punct(b'.')
+                && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct(b'('))
+            {
+                report(
+                    out,
+                    file,
+                    i,
+                    pass,
+                    level,
+                    name,
+                    format!("`.{name}(…)` in data-plane non-test code can panic the pipeline"),
+                );
+            }
+        }
+        // Panicking macros: `panic!(…)` etc.
+        for (name, key) in MACROS {
+            if live_ident(file, i, name)
+                && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct(b'!'))
+            {
+                report(
+                    out,
+                    file,
+                    i,
+                    pass,
+                    level,
+                    key,
+                    format!("`{name}!` in data-plane non-test code"),
+                );
+            }
+        }
+        // Slice indexing `expr[i]` (warn): `[` directly after an ident,
+        // `)`, or `]`. Attributes (`#[…]`), array types (`[u8; 4]`), and
+        // macro brackets (`vec![…]`) are excluded by that adjacency rule.
+        if toks[i].kind == TokenKind::Punct(b'[') && i > 0 {
+            let prev = &toks[i - 1];
+            // A keyword before `[` means a slice pattern or item position
+            // (`let [a, b] = …`), not an index expression.
+            const KEYWORDS: &[&str] = &[
+                "let", "in", "mut", "ref", "return", "match", "if", "while", "else", "move", "as",
+                "box", "dyn", "impl", "for", "where", "use", "pub", "const", "static", "type",
+                "fn", "break", "continue", "loop", "await", "yield",
+            ];
+            let is_index_receiver = match prev.kind {
+                TokenKind::Ident => !KEYWORDS.contains(&prev.text(&file.text)),
+                TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
+                _ => false,
+            };
+            if is_index_receiver && prev.kind == TokenKind::Ident {
+                // `ident [` could still be macro input or array type after
+                // `ident!` was already excluded by adjacency; `if x [` is
+                // not valid Rust, so ident-adjacent `[` is indexing.
+                report(
+                    out,
+                    file,
+                    i,
+                    pass,
+                    Level::Warn,
+                    "index",
+                    format!(
+                        "direct indexing `{}[…]` panics when out of bounds; advisory",
+                        prev.text(&file.text)
+                    ),
+                );
+            } else if is_index_receiver {
+                report(
+                    out,
+                    file,
+                    i,
+                    pass,
+                    Level::Warn,
+                    "index",
+                    "direct indexing of call/index result panics when out of bounds; advisory"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    fn run_on(path: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![SourceFile::from_text(path, src.to_string())],
+        };
+        let ctx = Ctx {
+            ws: &ws,
+            design_md: None,
+        };
+        let mut out = Vec::new();
+        PanicSurface.run(&ctx, Level::Deny, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_live_unwrap_not_comment_or_string() {
+        let src = "// a.unwrap() in a comment\n\
+                   fn f(x: Option<u8>) -> u8 { let s = \".unwrap()\"; x.unwrap() }\n";
+        let found = run_on("crates/flow/src/a.rs", src);
+        let unwraps: Vec<_> = found.iter().filter(|f| f.key == "unwrap").collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 2);
+    }
+
+    #[test]
+    fn ignores_test_module_and_non_data_plane() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }\n";
+        assert!(run_on("crates/flow/src/a.rs", src).is_empty());
+        let live = "fn f() { x.unwrap(); }";
+        assert!(run_on("crates/manager/src/a.rs", live).is_empty());
+    }
+
+    #[test]
+    fn flags_macros() {
+        let src = "fn f() { unreachable!(\"no\"); }";
+        let found = run_on("crates/primitives/src/a.rs", src);
+        assert_eq!(found.iter().filter(|f| f.key == "unreachable").count(), 1);
+    }
+
+    #[test]
+    fn indexing_is_warn_level() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] }";
+        let found = run_on("crates/flowtree/src/a.rs", src);
+        let idx: Vec<_> = found.iter().filter(|f| f.key == "index").collect();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[0].level, Level::Warn);
+    }
+
+    #[test]
+    fn attributes_and_array_types_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f() -> Vec<u8> { vec![1] }";
+        let found = run_on("crates/flow/src/a.rs", src);
+        assert!(found.iter().all(|f| f.key != "index"), "{found:?}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixture-corpus integration tests.
+//!
+//! Each pass must fire on its known-bad fixture — so these tests fail if a
+//! pass is disabled, its scope shrinks, or its detection regresses — and
+//! the whole analyzer must stay silent on the known-clean fixture, which
+//! is saturated with decoys (banned constructs inside comments, plain and
+//! raw strings, and test modules). The fixture `.rs` files live under
+//! `tests/fixtures/`, which cargo never compiles and the workspace walker
+//! skips, so they are only ever seen through `SourceFile::from_text`.
+
+use std::collections::BTreeMap;
+
+use megastream_analyzer::allow::Allowlist;
+use megastream_analyzer::findings::{Finding, Level};
+use megastream_analyzer::passes::Ctx;
+use megastream_analyzer::source::{SourceFile, Workspace};
+use megastream_analyzer::{run_with, Report};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lints fixture contents mounted at data-plane paths, no allowlist.
+fn analyze(files: &[(&str, &str)]) -> Report {
+    let ws = Workspace {
+        files: files
+            .iter()
+            .map(|(path, name)| SourceFile::from_text(path, fixture(name)))
+            .collect(),
+    };
+    let ctx = Ctx {
+        ws: &ws,
+        design_md: None,
+    };
+    run_with(&ctx, &Allowlist::default(), &BTreeMap::new()).expect("analyzer run")
+}
+
+fn denies<'r>(report: &'r Report, pass: &str) -> Vec<&'r Finding> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.pass == pass && f.level == Level::Deny)
+        .collect()
+}
+
+fn count_key(findings: &[&Finding], key: &str) -> usize {
+    findings.iter().filter(|f| f.key == key).count()
+}
+
+#[test]
+fn panic_surface_fires_on_bad_fixture() {
+    let report = analyze(&[("crates/flowdb/src/fixture.rs", "panic_surface_bad.rs")]);
+    let found = denies(&report, "panic-surface");
+    assert_eq!(count_key(&found, "unwrap"), 2, "{found:#?}");
+    assert_eq!(count_key(&found, "expect"), 1, "{found:#?}");
+    assert_eq!(count_key(&found, "panic"), 1, "{found:#?}");
+    assert_eq!(count_key(&found, "unreachable"), 1, "{found:#?}");
+    // The second unwrap sits AFTER the #[cfg(test)] module — the region the
+    // old awk gate truncated away. Prove it is seen.
+    let test_mod_line = fixture("panic_surface_bad.rs")
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .expect("fixture has a test module") as u32
+        + 1;
+    assert!(
+        found
+            .iter()
+            .any(|f| f.key == "unwrap" && f.line > test_mod_line),
+        "no finding after the test module: {found:#?}"
+    );
+    // Indexing is advisory.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.key == "index" && f.level == Level::Warn));
+}
+
+#[test]
+fn determinism_fires_on_bad_fixture() {
+    let report = analyze(&[("crates/primitives/src/fixture.rs", "determinism_bad.rs")]);
+    let found = denies(&report, "determinism");
+    assert_eq!(count_key(&found, "Instant::now"), 1, "{found:#?}");
+    assert_eq!(count_key(&found, "SystemTime::now"), 1, "{found:#?}");
+    assert!(count_key(&found, "HashMap") >= 2, "{found:#?}");
+    assert!(count_key(&found, "HashSet") >= 2, "{found:#?}");
+}
+
+#[test]
+fn lock_discipline_fires_on_cross_file_cycle() {
+    let report = analyze(&[
+        ("crates/datastore/src/fix_a.rs", "lock_cycle_a.rs"),
+        ("crates/datastore/src/fix_b.rs", "lock_cycle_b.rs"),
+    ]);
+    let found = denies(&report, "lock-discipline");
+    // Both edges of the table/index cycle are reported, plus the send
+    // under a live guard.
+    assert!(count_key(&found, "table->index") >= 1, "{found:#?}");
+    assert!(count_key(&found, "index->table") >= 1, "{found:#?}");
+    assert_eq!(count_key(&found, "table->send"), 1, "{found:#?}");
+    let cycle = report.lock_graph.find_cycle().expect("cycle detected");
+    assert!(cycle.contains(&"table".to_string()));
+    assert!(cycle.contains(&"index".to_string()));
+}
+
+#[test]
+fn lock_discipline_half_a_alone_is_acyclic() {
+    // Each half on its own is fine: the cycle only exists across files,
+    // which is exactly what per-file review misses.
+    let report = analyze(&[("crates/datastore/src/fix_a.rs", "lock_cycle_a.rs")]);
+    assert!(denies(&report, "lock-discipline").is_empty());
+    assert!(report.lock_graph.find_cycle().is_none());
+    assert_eq!(report.lock_graph.edges.len(), 1);
+}
+
+#[test]
+fn metric_registry_fires_on_bad_fixture() {
+    let report = analyze(&[("crates/flowdb/src/fixture.rs", "metric_bad.rs")]);
+    let found = denies(&report, "metric-registry");
+    assert_eq!(count_key(&found, "BadName"), 1, "{found:#?}");
+    // Cross-type reuse is reported at both sites.
+    assert_eq!(count_key(&found, "shared.metric"), 2, "{found:#?}");
+    // The clean histogram is collected but not flagged.
+    assert!(report
+        .metric_table
+        .metrics
+        .contains_key("fixture.latency.micros"));
+}
+
+#[test]
+fn gates_fire_on_bad_fixture() {
+    let report = analyze(&[("crates/flow/src/fixture.rs", "gates_bad.rs")]);
+    let found = denies(&report, "gates");
+    assert_eq!(count_key(&found, "unsafe"), 2, "{found:#?}");
+    assert_eq!(count_key(&found, "ignore"), 1, "{found:#?}");
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let report = analyze(&[("crates/flowdb/src/fixture.rs", "clean.rs")]);
+    assert!(
+        report.findings.is_empty(),
+        "decoys leaked through: {:#?}",
+        report.findings
+    );
+    assert!(!report.is_failure());
+}
+
+#[test]
+fn every_pass_fired_somewhere() {
+    // Meta-check: the corpus exercises all five passes, so disabling any
+    // one of them flips at least one assertion above. Run the whole corpus
+    // together and require one deny per pass id.
+    let report = analyze(&[
+        ("crates/flowdb/src/f1.rs", "panic_surface_bad.rs"),
+        ("crates/primitives/src/f2.rs", "determinism_bad.rs"),
+        ("crates/datastore/src/f3.rs", "lock_cycle_a.rs"),
+        ("crates/datastore/src/f4.rs", "lock_cycle_b.rs"),
+        ("crates/flowdb/src/f5.rs", "metric_bad.rs"),
+        ("crates/flow/src/f6.rs", "gates_bad.rs"),
+    ]);
+    for pass in [
+        "panic-surface",
+        "determinism",
+        "lock-discipline",
+        "metric-registry",
+        "gates",
+    ] {
+        assert!(
+            !denies(&report, pass).is_empty(),
+            "pass {pass} produced no deny findings on the corpus"
+        );
+    }
+}
+
+#[test]
+fn allowlist_suppresses_and_goes_stale() {
+    let ws = Workspace {
+        files: vec![SourceFile::from_text(
+            "crates/flowdb/src/fixture.rs",
+            fixture("panic_surface_bad.rs"),
+        )],
+    };
+    let ctx = Ctx {
+        ws: &ws,
+        design_md: None,
+    };
+    let allow = Allowlist::parse(
+        "panic-surface crates/flowdb/src/fixture.rs unwrap -- fixture exercise\n\
+         panic-surface crates/other/src/gone.rs unwrap -- matches nothing\n",
+    )
+    .expect("parse");
+    let report = run_with(&ctx, &allow, &BTreeMap::new()).expect("run");
+    assert_eq!(
+        report
+            .suppressed
+            .iter()
+            .filter(|f| f.key == "unwrap")
+            .count(),
+        2
+    );
+    assert!(report.findings.iter().all(|f| f.key != "unwrap"));
+    assert_eq!(report.stale_allows.len(), 1, "unmatched entry is stale");
+    assert!(report.is_failure(), "stale entries fail the gate");
+}
+
+#[test]
+fn warn_override_downgrades_a_pass() {
+    let ws = Workspace {
+        files: vec![SourceFile::from_text(
+            "crates/flowdb/src/fixture.rs",
+            fixture("panic_surface_bad.rs"),
+        )],
+    };
+    let ctx = Ctx {
+        ws: &ws,
+        design_md: None,
+    };
+    let mut levels = BTreeMap::new();
+    levels.insert("panic-surface".to_string(), Level::Warn);
+    let report = run_with(&ctx, &Allowlist::default(), &levels).expect("run");
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.pass == "panic-surface")
+        .all(|f| f.level == Level::Warn));
+    assert!(!report.is_failure());
+}

@@ -1,0 +1,29 @@
+//! Known-bad fixture for the `determinism` pass.
+
+// Decoy: Instant::now() in a comment.
+/* Decoy: SystemTime::now() in a block comment. */
+
+use std::collections::{HashMap, HashSet}; // deny: HashMap + HashSet idents
+
+fn decoys() -> &'static str {
+    "HashMap and Instant::now() in a string are fine"
+}
+
+fn live() -> u128 {
+    let t = std::time::Instant::now(); // deny: Instant::now
+    let w = std::time::SystemTime::now(); // deny: SystemTime::now
+    let m: HashMap<u32, u32> = HashMap::new(); // deny: HashMap (x2)
+    let s: HashSet<u32> = HashSet::new(); // deny: HashSet (x2)
+    drop((w, m, s));
+    t.elapsed().as_micros()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_hash_maps() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture for the `gates` pass: real `unsafe` and `#[ignore]`
+//! tokens, surrounded by decoys the old grep gates would have tripped on
+//! (or, for `forbid(unsafe_code)`, needed a special exemption for).
+
+#![forbid(unsafe_code)] // decoy: `unsafe_code` is a different token
+
+// Decoy: the word unsafe and #[ignore] in a comment.
+
+fn decoy() -> &'static str {
+    "unsafe { } and #[ignore] in a string are fine"
+}
+
+unsafe fn live() {} // deny: unsafe
+
+fn live2() {
+    unsafe { core::hint::unreachable_unchecked() } // deny: unsafe
+}
+
+#[ignore] // deny: ignore — even outside #[cfg(test)]
+fn skipped_test() {}

@@ -1,0 +1,10 @@
+//! Known-bad fixture (half A) for the `lock-discipline` pass: acquires
+//! `table` then `index`; half B acquires them in the opposite order, so
+//! the workspace-wide acquisition graph has a cycle.
+
+fn forward(&self) {
+    let a = self.table.lock();
+    let b = self.index.lock();
+    drop(b);
+    drop(a);
+}

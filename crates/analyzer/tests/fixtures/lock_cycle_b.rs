@@ -1,0 +1,15 @@
+//! Known-bad fixture (half B) for the `lock-discipline` pass: opposite
+//! acquisition order from half A, plus a channel send under a live guard.
+
+fn backward(&self) {
+    let b = self.index.lock();
+    let a = self.table.lock();
+    drop(a);
+    drop(b);
+}
+
+fn send_under_lock(&self) {
+    let g = self.table.lock();
+    self.tx.send(1); // deny: send while `table` is held
+    drop(g);
+}

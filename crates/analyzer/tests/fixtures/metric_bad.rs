@@ -1,0 +1,14 @@
+//! Known-bad fixture for the `metric-registry` pass: a name violating the
+//! dotted convention and one name registered at two different types.
+
+// Decoy: counter("comment.decoy") in a comment is not a registration.
+
+fn live(t: &Telemetry) {
+    t.counter("BadName").add(1); // deny: convention
+    t.counter("shared.metric").add(1); // deny: cross-type (with gauge below)
+}
+
+fn live2(t: &Telemetry) {
+    t.gauge("shared.metric").set(7); // deny: cross-type (with counter above)
+    t.histogram("fixture.latency.micros").observe(1); // clean
+}

@@ -1,0 +1,42 @@
+//! Known-bad fixture for the `panic-surface` pass. Every decoy below must
+//! stay silent; every live site must be reported. Loaded by
+//! `tests/fixtures.rs` under a data-plane path — the workspace walker
+//! skips `fixtures/` directories, so this file is never linted in place
+//! (and never compiled: cargo only builds top-level files in `tests/`).
+
+// Decoy: a comment mentioning .unwrap() and panic!("boom").
+/* Decoy: nested /* block comment */ containing .expect("x") and arr[0]. */
+
+fn decoys() -> (&'static str, &'static str) {
+    let plain = "calling .unwrap() or .expect(\"x\") in a string is fine";
+    let raw = r#"raw string with panic!("boom"), unreachable!() and v[i]"#;
+    (plain, raw)
+}
+
+fn live(map: &std::collections::BTreeMap<u32, u32>, arr: &[u32]) -> u32 {
+    let a = map.get(&1).unwrap(); // deny: unwrap
+    let b = map.get(&2).expect("present"); // deny: expect
+    if *a > 3 {
+        panic!("boom"); // deny: panic
+    }
+    if *b > 4 {
+        unreachable!(); // deny: unreachable
+    }
+    arr[0] // warn: index
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_anything_goes() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        panic!("fine here");
+    }
+}
+
+// Code AFTER the test module — the old awk gate truncated at the first
+// `#[cfg(test)]` and never saw this function.
+fn after_tests(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() // deny: unwrap (post-test-module)
+}

@@ -1,0 +1,87 @@
+//! Workspace self-run: the analyzer's own acceptance test.
+//!
+//! Runs every pass over the real repository (two directories up from this
+//! crate) with the checked-in `lint.allow` and requires the gate to pass:
+//! zero unexcused deny findings, zero stale allowlist entries, and an
+//! acyclic lock graph. This is the test that breaks when someone adds an
+//! `unwrap()` to the data plane without a justification.
+
+use std::path::Path;
+
+use megastream_analyzer::findings::Level;
+use megastream_analyzer::{run, Config};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_clean_modulo_allowlist() {
+    let report = run(&Config::new(workspace_root())).expect("analyzer run");
+    let denies: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Deny)
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "unexcused deny findings — fix them or add a justified lint.allow \
+         entry:\n{denies:#?}"
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale lint.allow entries — the code they excused is fixed, remove \
+         them:\n{:#?}",
+        report.stale_allows
+    );
+    assert!(!report.is_failure());
+    // Sanity: this really scanned the workspace, not an empty directory.
+    assert!(report.files > 50, "only {} files scanned", report.files);
+}
+
+#[test]
+fn lock_graph_is_acyclic_and_nonempty() {
+    let report = run(&Config::new(workspace_root())).expect("analyzer run");
+    assert!(
+        !report.lock_graph.locks.is_empty(),
+        "the telemetry registry and trace store are lock-sharded; finding \
+         no locks at all means the scanner broke"
+    );
+    assert_eq!(
+        report.lock_graph.find_cycle(),
+        None,
+        "lock acquisition-order graph has a cycle"
+    );
+}
+
+#[test]
+fn findings_are_deterministically_sorted() {
+    let a = run(&Config::new(workspace_root())).expect("run a");
+    let b = run(&Config::new(workspace_root())).expect("run b");
+    let render = |r: &megastream_analyzer::Report| r.render_json();
+    assert_eq!(render(&a), render(&b), "two runs must be byte-identical");
+    let keys: Vec<_> = a
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.col, f.pass, f.key.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        keys, sorted,
+        "findings not in (file, line, col, pass, key) order"
+    );
+}
+
+#[test]
+fn every_allow_entry_is_used_and_justified() {
+    let report = run(&Config::new(workspace_root())).expect("analyzer run");
+    // Parsing already rejects empty justifications; staleness already
+    // rejects unused entries. Cross-check both through the report: every
+    // suppressed finding maps to an entry, and nothing is stale.
+    assert!(report.stale_allows.is_empty());
+    assert!(
+        !report.suppressed.is_empty(),
+        "lint.allow is non-empty, so some findings must be suppressed"
+    );
+}

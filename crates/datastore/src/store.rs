@@ -1,6 +1,6 @@
 //! The [`DataStore`]: collect & aggregate (Fig. 2a, Fig. 4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use megastream_flow::key::FlowKey;
@@ -143,7 +143,7 @@ pub struct DataStore {
     /// Streams each aggregator subscribed to; empty = all streams of the
     /// matching type ("instances of computing primitives … have subscribed
     /// to the respective data streams").
-    subscriptions: HashMap<AggregatorId, Vec<StreamId>>,
+    subscriptions: BTreeMap<AggregatorId, Vec<StreamId>>,
     /// Streams that contributed to the current epoch (for lineage).
     epoch_sources: Vec<StreamId>,
     summaries: SummaryStore,
@@ -169,7 +169,7 @@ impl DataStore {
             epoch_start: Timestamp::ZERO,
             next_agg_id: 0,
             aggregators: Vec::new(),
-            subscriptions: HashMap::new(),
+            subscriptions: BTreeMap::new(),
             epoch_sources: Vec::new(),
             triggers: TriggerEngine::new(),
             stats: StoreStats::default(),

@@ -280,16 +280,34 @@ impl GeneralizationSchema {
         let mut a = self.normalize(a);
         let mut b = self.normalize(b);
         // Lift the deeper key until both are at the same depth, then lift in
-        // lock-step until they coincide. Terminates at the root.
+        // lock-step until they coincide. `parent` returns `None` only at the
+        // root, where the loop conditions are already false (the root is its
+        // own common ancestor) — so a `None` ends the lift instead of
+        // panicking.
         while self.depth(&a) > self.depth(&b) {
-            a = self.parent(&a).expect("non-root key has a parent");
+            match self.parent(&a) {
+                Some(p) => a = p,
+                None => break,
+            }
         }
         while self.depth(&b) > self.depth(&a) {
-            b = self.parent(&b).expect("non-root key has a parent");
+            match self.parent(&b) {
+                Some(p) => b = p,
+                None => break,
+            }
         }
         while a != b {
-            a = self.parent(&a).expect("non-root key has a parent");
-            b = self.parent(&b).expect("non-root key has a parent");
+            match (self.parent(&a), self.parent(&b)) {
+                (Some(pa), Some(pb)) => {
+                    a = pa;
+                    b = pb;
+                }
+                // Only the root has no parent; two distinct keys cannot both
+                // be the root, so reaching here means one key already is —
+                // return it as the ancestor rather than panicking.
+                (None, _) => return a,
+                (_, None) => return b,
+            }
         }
         a
     }

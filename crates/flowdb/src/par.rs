@@ -12,6 +12,8 @@
 
 use std::num::NonZeroUsize;
 
+use megastream_telemetry::clock;
+
 /// How many worker threads data-plane fan-outs use.
 ///
 /// Applies to FlowDB's per-location query fan-out and (through the same
@@ -76,9 +78,9 @@ where
 {
     let workers = workers.clamp(1, items.len().max(1));
     if workers <= 1 {
-        let started = std::time::Instant::now();
+        let started = clock::start();
         let out: Vec<U> = items.into_iter().map(&f).collect();
-        report(started.elapsed().as_micros() as u64);
+        report(started.elapsed_micros());
         return out;
     }
     // Striped assignment: worker w takes items w, w+workers, w+2*workers…
@@ -93,15 +95,21 @@ where
             .into_iter()
             .map(|stripe| {
                 scope.spawn(|| {
-                    let started = std::time::Instant::now();
+                    let started = clock::start();
                     let out: Vec<(usize, U)> =
                         stripe.into_iter().map(|(i, item)| (i, f(item))).collect();
-                    (out, started.elapsed().as_micros() as u64)
+                    (out, started.elapsed_micros())
                 })
             })
             .collect();
         for handle in handles {
-            let (out, micros) = handle.join().expect("fan-out worker panicked");
+            // A worker panic is re-raised on the caller's thread as-is:
+            // this introduces no new panic site, it propagates the
+            // original one across the scope boundary.
+            let (out, micros) = match handle.join() {
+                Ok(pair) => pair,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             indexed.extend(out);
             busy.push(micros);
         }

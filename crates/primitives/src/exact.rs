@@ -6,7 +6,7 @@
 //! hierarchical heavy hitters* ([`ExactFlowTable::hhh`]) for recall/precision
 //! measurements.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use megastream_flow::key::{FeatureSet, FlowKey};
 use megastream_flow::mask::GeneralizationSchema;
@@ -51,7 +51,9 @@ pub struct HhhItem {
 pub struct ExactFlowTable {
     features: FeatureSet,
     score_kind: ScoreKind,
-    counts: HashMap<FlowKey, Popularity>,
+    // Ordered so iteration, `iter()`, and ancestor aggregation in `hhh`
+    // are key-deterministic rather than hasher-seed-dependent.
+    counts: BTreeMap<FlowKey, Popularity>,
     total: Popularity,
 }
 
@@ -62,7 +64,7 @@ impl ExactFlowTable {
         ExactFlowTable {
             features,
             score_kind,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             total: Popularity::ZERO,
         }
     }
@@ -115,7 +117,7 @@ impl ExactFlowTable {
         self.score_kind
     }
 
-    /// Iterates over `(key, score)` pairs in unspecified order.
+    /// Iterates over `(key, score)` pairs in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, Popularity)> {
         self.counts.iter().map(|(k, v)| (k, *v))
     }
@@ -138,7 +140,7 @@ impl ExactFlowTable {
     /// by key.
     pub fn hhh(&self, schema: &GeneralizationSchema, threshold: Popularity) -> Vec<HhhItem> {
         // Aggregate every stored key's score into all of its ancestors.
-        let mut totals: HashMap<FlowKey, Popularity> = HashMap::new();
+        let mut totals: BTreeMap<FlowKey, Popularity> = BTreeMap::new();
         for (key, score) in &self.counts {
             for anc in schema.self_and_ancestors(key) {
                 *totals.entry(anc).or_default() += *score;

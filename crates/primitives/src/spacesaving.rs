@@ -5,8 +5,7 @@
 //! lists (§V) and one of the baselines Flowtree is compared against in the
 //! E7 experiment.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use megastream_flow::time::{TimeWindow, Timestamp};
 
@@ -41,14 +40,17 @@ impl SsCounter {
 /// assert!(top[0].1.count >= 100);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct SpaceSaving<K: Eq + Hash> {
+pub struct SpaceSaving<K: Ord> {
     capacity: usize,
-    counters: HashMap<K, SsCounter>,
+    // Ordered so that iteration — and therefore min-eviction tie-breaking
+    // and truncation among equal counts — is a function of the keys alone,
+    // never of hasher seeding or insertion history.
+    counters: BTreeMap<K, SsCounter>,
     /// Total weight offered (kept for relative thresholds).
     total: u64,
 }
 
-impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+impl<K: Ord + Clone> SpaceSaving<K> {
     /// Creates a sketch tracking at most `capacity` keys.
     ///
     /// # Panics
@@ -58,7 +60,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         assert!(capacity > 0, "space-saving capacity must be non-zero");
         SpaceSaving {
             capacity,
-            counters: HashMap::with_capacity(capacity + 1),
+            counters: BTreeMap::new(),
             total: 0,
         }
     }
@@ -80,21 +82,37 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
             );
             return;
         }
-        // Evict the minimum counter and inherit its count as error.
-        let (min_key, min_count) = self
+        // Evict the minimum counter and inherit its count as error. Among
+        // equal minimum counts, `min_by_key` keeps the first in BTreeMap
+        // iteration order — the smallest key — so eviction is deterministic.
+        // `capacity > 0` makes the map non-empty here; if that invariant
+        // ever broke we degrade to a plain insert instead of panicking.
+        match self
             .counters
             .iter()
             .min_by_key(|(_, c)| c.count)
             .map(|(k, c)| (k.clone(), c.count))
-            .expect("capacity > 0 implies non-empty");
-        self.counters.remove(&min_key);
-        self.counters.insert(
-            key,
-            SsCounter {
-                count: min_count + weight,
-                error: min_count,
-            },
-        );
+        {
+            Some((min_key, min_count)) => {
+                self.counters.remove(&min_key);
+                self.counters.insert(
+                    key,
+                    SsCounter {
+                        count: min_count + weight,
+                        error: min_count,
+                    },
+                );
+            }
+            None => {
+                self.counters.insert(
+                    key,
+                    SsCounter {
+                        count: weight,
+                        error: 0,
+                    },
+                );
+            }
+        }
     }
 
     /// Estimated counter for `key`, if monitored.
@@ -131,8 +149,9 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         assert!(capacity > 0, "space-saving capacity must be non-zero");
         self.capacity = capacity;
         if self.counters.len() > capacity {
-            let mut entries: Vec<(K, SsCounter)> = self.counters.drain().collect();
-            entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
+            let mut entries: Vec<(K, SsCounter)> =
+                std::mem::take(&mut self.counters).into_iter().collect();
+            sort_descending(&mut entries);
             entries.truncate(capacity);
             self.counters = entries.into_iter().collect();
         }
@@ -142,7 +161,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     pub fn top_k(&self, k: usize) -> Vec<(K, SsCounter)> {
         let mut entries: Vec<(K, SsCounter)> =
             self.counters.iter().map(|(k, c)| (k.clone(), *c)).collect();
-        entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
+        sort_descending(&mut entries);
         entries.truncate(k);
         entries
     }
@@ -156,12 +175,18 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
             .filter(|(_, c)| c.guaranteed() >= threshold)
             .map(|(k, c)| (k.clone(), *c))
             .collect();
-        entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
+        sort_descending(&mut entries);
         entries
     }
 }
 
-impl<K: Eq + Hash + Clone> Combinable for SpaceSaving<K> {
+/// Sorts by estimated count descending, breaking count ties by ascending
+/// key so every ranking (and every capacity truncation) is deterministic.
+fn sort_descending<K: Ord>(entries: &mut [(K, SsCounter)]) {
+    entries.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
+}
+
+impl<K: Ord + Clone> Combinable for SpaceSaving<K> {
     /// Merges two sketches: counts and errors add for shared keys, then the
     /// result is truncated back to the larger capacity. Estimates never
     /// underestimate the combined stream for keys that survive truncation.
@@ -181,7 +206,7 @@ impl<K: Eq + Hash + Clone> Combinable for SpaceSaving<K> {
     }
 }
 
-impl<K: Eq + Hash + Clone> ComputingPrimitive for SpaceSaving<K> {
+impl<K: Ord + Clone> ComputingPrimitive for SpaceSaving<K> {
     type Item = (K, u64);
     type Summary = SpaceSaving<K>;
 
@@ -227,6 +252,7 @@ impl<K: Eq + Hash + Clone> ComputingPrimitive for SpaceSaving<K> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashMap;
 
     #[test]
     fn never_underestimates() {

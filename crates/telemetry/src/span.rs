@@ -1,8 +1,7 @@
 //! Timing scopes: [`Span`] for labeled pipeline stages and [`ScopedTimer`]
 //! for recording into a specific histogram.
 
-use std::time::Instant;
-
+use crate::clock::{self, Stopwatch};
 use crate::metrics::Histogram;
 use crate::Telemetry;
 
@@ -17,7 +16,7 @@ use crate::Telemetry;
 pub struct Span {
     tel: Telemetry,
     name: String,
-    start: Option<Instant>,
+    start: Option<Stopwatch>,
     finished: bool,
 }
 
@@ -31,7 +30,7 @@ impl Span {
             } else {
                 String::new()
             },
-            start: if enabled { Some(Instant::now()) } else { None },
+            start: if enabled { Some(clock::start()) } else { None },
             finished: false,
         }
     }
@@ -61,7 +60,7 @@ impl Span {
         match self.start {
             None => 0,
             Some(start) => {
-                let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                let micros = start.elapsed_micros();
                 self.tel
                     .histogram(
                         &format!("{}.micros", self.name),
@@ -89,7 +88,7 @@ impl Drop for Span {
 #[derive(Debug)]
 pub struct ScopedTimer {
     hist: Histogram,
-    start: Option<Instant>,
+    start: Option<Stopwatch>,
 }
 
 impl ScopedTimer {
@@ -98,7 +97,7 @@ impl ScopedTimer {
     pub fn start(hist: &Histogram) -> Self {
         ScopedTimer {
             start: if hist.is_enabled() {
-                Some(Instant::now())
+                Some(clock::start())
             } else {
                 None
             },
@@ -116,7 +115,7 @@ impl ScopedTimer {
         match self.start.take() {
             None => 0,
             Some(start) => {
-                let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                let micros = start.elapsed_micros();
                 self.hist.record(micros);
                 micros
             }

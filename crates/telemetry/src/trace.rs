@@ -46,7 +46,8 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+
+use crate::clock::{self, Stopwatch};
 
 use crate::json;
 
@@ -135,7 +136,7 @@ struct Shard {
 /// threads order consistently.
 #[derive(Debug)]
 pub struct TraceStore {
-    epoch: Instant,
+    epoch: Stopwatch,
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     policy: SamplePolicy,
@@ -151,7 +152,7 @@ impl TraceStore {
     /// capacity (rounded up to a multiple of the shard count).
     pub fn with_policy_and_capacity(policy: SamplePolicy, capacity: usize) -> Self {
         TraceStore {
-            epoch: Instant::now(),
+            epoch: clock::start(),
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
@@ -212,10 +213,8 @@ impl TraceStore {
         SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
     }
 
-    fn micros_since_epoch(&self, at: Instant) -> u64 {
-        at.duration_since(self.epoch)
-            .as_micros()
-            .min(u128::from(u64::MAX)) as u64
+    fn micros_since_epoch(&self, at: Stopwatch) -> u64 {
+        at.micros_since(&self.epoch)
     }
 
     fn push(&self, record: SpanRecord) {
@@ -373,7 +372,7 @@ pub struct TraceSpan {
     id: SpanId,
     parent: Option<SpanId>,
     name: String,
-    start: Option<Instant>,
+    start: Option<Stopwatch>,
     bytes: u64,
     records: u64,
     attrs: Vec<(String, String)>,
@@ -411,7 +410,7 @@ impl TraceSpan {
             id,
             parent,
             name: name.to_owned(),
-            start: Some(Instant::now()),
+            start: Some(clock::start()),
             bytes: 0,
             records: 0,
             attrs: Vec::new(),
@@ -476,7 +475,7 @@ impl TraceSpan {
         let (Some(store), Some(start)) = (self.store.take(), self.start) else {
             return 0;
         };
-        let duration = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let duration = start.elapsed_micros();
         store.push(SpanRecord {
             trace: self.trace,
             id: self.id,

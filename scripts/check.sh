@@ -32,34 +32,13 @@ echo "==> parallel equivalence oracle (run twice: results must not flake)"
 cargo test --test parallel_e2e -q
 cargo test --test parallel_e2e -q
 
-echo "==> no #[ignore]d tests"
-if grep -rn '#\[ignore' --include='*.rs' tests crates examples; then
-    echo "error: #[ignore]d tests are not allowed" >&2
-    exit 1
-fi
-
-echo "==> no unwrap/expect in telemetry non-test code"
-# The observability layer must not be able to panic the data plane:
-# strip everything from the first #[cfg(test)] marker to EOF, then look
-# for panicking accessors in what remains.
-fail=0
-for f in crates/telemetry/src/*.rs; do
-    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
-        | grep -n '\.unwrap()\|\.expect(' \
-        | sed "s|^|$f:|"; then
-        fail=1
-    fi
-done
-if [ "$fail" -ne 0 ]; then
-    echo "error: unwrap()/expect( in telemetry non-test code" >&2
-    exit 1
-fi
-
-echo "==> no unsafe code"
-if grep -rn 'unsafe ' --include='*.rs' src tests crates examples \
-    | grep -v 'forbid(unsafe_code)'; then
-    echo "error: unsafe code is not allowed (every crate forbids it)" >&2
-    exit 1
-fi
+echo "==> megalint (static analysis, deny mode)"
+# Replaces the old grep/awk gates (#[ignore], telemetry unwrap/expect,
+# unsafe) with the lexer-aware analyzer: it tokenizes instead of pattern
+# matching (no false hits in strings/comments, no files truncated at the
+# first test module) and adds the determinism, lock-discipline, and
+# metric-registry passes. Suppressions live in lint.allow, each with a
+# mandatory justification; stale entries fail the gate.
+cargo run -q --release -p megastream-analyzer -- --root .
 
 echo "All checks passed."
