@@ -1,0 +1,120 @@
+//! E16 — accounting-plane overhead: the scoped-activity profiler, the
+//! per-query cost meter, and the incremental store-memory account must be
+//! free when off and cheap when on.
+//!
+//! Shape expectations (recorded in EXPERIMENTS.md): a disabled profiler
+//! adds <1% to the E11 ingest workload (its guard is one branch on a
+//! `None`); an enabled profiler costs two clock reads plus a thread-local
+//! stack push/pop per activity; cost metering rides on counts the
+//! executor already has, so `query` latency is unchanged within noise;
+//! the incremental memory account turns the O(#summaries) deep-size walk
+//! into an O(1) read.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use megastream::flowstream::{Flowstream, FlowstreamConfig};
+use megastream_bench::{flow_trace, rule};
+use megastream_telemetry::Profiler;
+
+fn ingest_overhead_report() {
+    rule("E16 — ingest throughput: profiler off vs disabled-handle vs enabled (60k flows)");
+    let trace = flow_trace(2026, 500.0, 120, 1.1);
+    println!("{:>10} {:>12} {:>12}", "mode", "elapsed ms", "paths");
+    for mode in ["off", "disabled", "enabled"] {
+        let profiler = if mode == "enabled" {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
+        let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+        // "off" measures the baseline without even attaching the handle;
+        // "disabled" attaches the null handle the guard must make free.
+        if mode != "off" {
+            fs.set_profiler(&profiler);
+        }
+        let start = std::time::Instant::now();
+        for r in &trace {
+            fs.ingest_round_robin(r);
+        }
+        fs.finish();
+        println!(
+            "{:>10} {:>12.1} {:>12}",
+            mode,
+            start.elapsed().as_secs_f64() * 1e3,
+            profiler.snapshot().activities.len(),
+        );
+    }
+}
+
+fn bench_accounting(c: &mut Criterion) {
+    ingest_overhead_report();
+
+    let mut group = c.benchmark_group("e16_accounting");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    // Raw guard cost, null vs live: the disabled path is the one that
+    // rides in production by default.
+    let disabled = Profiler::disabled();
+    let enabled = Profiler::new();
+    for (name, prof) in [("disabled", &disabled), ("enabled", &enabled)] {
+        group.bench_function(BenchmarkId::new("activity_guard_x1000", name), |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    let _g = black_box(prof).activity("bench.activity");
+                }
+            });
+        });
+    }
+
+    // End-to-end ingest with and without a live profiler (the E11 workload
+    // shape — this is the <1% disabled-path acceptance gate).
+    let trace = flow_trace(7, 500.0, 30, 1.1);
+    for (name, make) in [
+        ("disabled", Profiler::disabled as fn() -> Profiler),
+        ("enabled", Profiler::new as fn() -> Profiler),
+    ] {
+        group.bench_function(BenchmarkId::new("flowstream_ingest_15k", name), |b| {
+            b.iter(|| {
+                let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+                fs.set_profiler(&make());
+                for r in &trace {
+                    fs.ingest_round_robin(r);
+                }
+                fs.stats().flows
+            });
+        });
+    }
+
+    // Cost metering rides along with every query; the meter itself is the
+    // difference between this and the pre-PR query path (counts the
+    // planner already computed, two Stopwatch reads).
+    let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default());
+    for r in &trace {
+        fs.ingest_round_robin(r);
+    }
+    fs.finish();
+    group.bench_function("query_with_cost_meter", |b| {
+        b.iter(|| {
+            fs.query(black_box("SELECT TOPK 5 FROM ALL"))
+                .expect("query")
+                .cost
+                .work_units()
+        });
+    });
+
+    // The incremental account vs the independent recompute: what the
+    // `store.memory.bytes` gauge saves at every rotation.
+    let store = fs.region_store(0);
+    group.bench_function("store_accounted_bytes", |b| {
+        b.iter(|| black_box(store).accounted_bytes());
+    });
+    group.bench_function("store_deep_bytes_recompute", |b| {
+        b.iter(|| black_box(store).deep_bytes());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accounting);
+criterion_main!(benches);

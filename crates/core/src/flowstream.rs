@@ -12,6 +12,7 @@
 //! and answers FlowQL queries.
 
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 use megastream_datastore::store::DataStore;
 use megastream_datastore::summary::{StoredSummary, Summary};
@@ -26,9 +27,10 @@ use megastream_flowdb::{FlowDb, Parallelism, QueryResult};
 use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
 use megastream_netsim::topology::{Network, NodeId};
+use megastream_primitives::SpaceSaving;
 use megastream_telemetry::{
-    labeled, Counter, Gauge, Histogram, ScopedTimer, Snapshot, Telemetry, TraceSnapshot, Tracer,
-    LATENCY_MICROS_BOUNDS,
+    labeled, Counter, Gauge, Histogram, ProfileSnapshot, Profiler, ScopedTimer, Snapshot,
+    Telemetry, TraceSnapshot, Tracer, LATENCY_MICROS_BOUNDS,
 };
 
 use crate::hierarchy::{absorb_summary, summaries_mergeable};
@@ -207,12 +209,24 @@ struct StreamMetrics {
     spill_region_bytes: Vec<Gauge>,
 }
 
+/// Capacity of the bounded heavy-query log: only the heaviest ~64 distinct
+/// FlowQL texts are tracked exactly; lighter ones may be evicted with the
+/// usual SpaceSaving overestimation bound.
+pub const HEAVY_QUERY_LOG_CAPACITY: usize = 64;
+
 /// The Fig. 5 system: routers → region data stores (Flowtree) → network
 /// store + FlowDB → FlowQL.
 #[derive(Debug)]
 pub struct Flowstream {
     tel: Telemetry,
     tracer: Tracer,
+    profiler: Profiler,
+    /// Bounded top-K heavy-query log: FlowQL text → accumulated
+    /// deterministic work units
+    /// ([`QueryCost::work_units`](megastream_flowdb::QueryCost::work_units)).
+    /// A mutex because queries run through `&self`, possibly from several
+    /// threads.
+    heavy_queries: Mutex<SpaceSaving<String>>,
     metrics: StreamMetrics,
     topology: IspTopology,
     config: FlowstreamConfig,
@@ -279,6 +293,8 @@ impl Flowstream {
         Flowstream {
             tel: Telemetry::disabled(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
+            heavy_queries: Mutex::new(SpaceSaving::new(HEAVY_QUERY_LOG_CAPACITY)),
             metrics: StreamMetrics::default(),
             raw_pending: vec![vec![0; routers_per_region]; regions],
             spill: vec![Vec::new(); regions],
@@ -410,6 +426,50 @@ impl Flowstream {
         &self.tracer
     }
 
+    /// Connects the deployment to a scoped-activity profiler: ingest,
+    /// rotation stages, and FlowQL query phases record into its activity
+    /// tree (see [`Profiler`]). Passing [`Profiler::disabled`] detaches
+    /// again at one-branch cost per activity site.
+    pub fn set_profiler(&mut self, profiler: &Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Builder-style [`Flowstream::set_profiler`].
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: &Profiler) -> Self {
+        self.set_profiler(profiler);
+        self
+    }
+
+    /// The profiler activity sites record into (disabled unless
+    /// [`Flowstream::set_profiler`] was called).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Snapshot of aggregated profile activities (empty when profiling is
+    /// off).
+    pub fn profile_snapshot(&self) -> ProfileSnapshot {
+        self.profiler.snapshot()
+    }
+
+    /// The top `k` heaviest queries by accumulated deterministic work
+    /// units — FlowQL text with total
+    /// [`work_units`](megastream_flowdb::QueryCost::work_units), heaviest
+    /// first, ties broken by query text. The log is bounded
+    /// ([SpaceSaving], capacity [`HEAVY_QUERY_LOG_CAPACITY`]), so
+    /// long-running deployments keep only the heavy tail.
+    pub fn heavy_queries(&self, k: usize) -> Vec<(String, u64)> {
+        let log = match self.heavy_queries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        log.top_k(k)
+            .into_iter()
+            .map(|(q, c)| (q, c.count))
+            .collect()
+    }
+
     /// Snapshot of all recorded trace spans (empty when tracing is off).
     pub fn trace_snapshot(&self) -> TraceSnapshot {
         self.tracer.snapshot()
@@ -454,6 +514,9 @@ impl Flowstream {
             let at = self.epoch_end;
             self.rotate(at);
         }
+        // Started after any rotations so `flowstream.rotate` stays a root
+        // activity of its own rather than nesting under every ingest.
+        let _activity = self.profiler.activity("flowstream.ingest");
         self.now = self.now.max(rec.ts);
         self.metrics.watermark.set(self.now.as_micros() as i64);
         if let Some(counter) = self
@@ -464,7 +527,7 @@ impl Flowstream {
         {
             counter.inc();
         }
-        self.raw_pending[region][router] += std::mem::size_of::<FlowRecord>() as u64;
+        self.raw_pending[region][router] += FlowRecord::WIRE_BYTES as u64;
         let stream = format!("router-{region}-{router}");
         let events = self.regions[region].ingest_flow(&stream.as_str().into(), rec, rec.ts);
         self.trigger_log.extend(events);
@@ -493,6 +556,7 @@ impl Flowstream {
     /// uplink recovers.
     fn rotate(&mut self, at: Timestamp) {
         let rotate_timer = ScopedTimer::start(&self.metrics.rotate_micros);
+        let _activity = self.profiler.activity("flowstream.rotate");
         // ① account the raw router → region-store transfers of this epoch.
         for g in 0..self.raw_pending.len() {
             for r in 0..self.raw_pending[g].len() {
@@ -516,7 +580,9 @@ impl Flowstream {
         // Recovery first: spilled summaries from earlier epochs, so the NOC
         // absorbs late data before it rotates below.
         let flush_timer = ScopedTimer::start(&self.metrics.stage_flush_micros);
+        let flush_activity = self.profiler.activity("flush_spill");
         self.flush_spill(at);
+        drop(flush_activity);
         flush_timer.stop();
         // ② rotate every region store — sibling subtrees concurrently, per
         // the parallelism knob; rotation touches only the store itself —
@@ -533,14 +599,17 @@ impl Flowstream {
             .tel
             .histogram("flowstream.rotate.worker.micros", LATENCY_MICROS_BOUNDS);
         let stage_timer = ScopedTimer::start(&self.metrics.stage_rotate_micros);
+        let regions_activity = self.profiler.activity("rotate_regions");
         let rotated: Vec<Vec<StoredSummary>> = fan_out(
             self.regions.iter_mut().collect(),
             workers,
             |store| store.rotate_epoch(at),
             |micros| worker_micros.record(micros),
         );
+        drop(regions_activity);
         stage_timer.stop();
         let export_timer = ScopedTimer::start(&self.metrics.stage_export_micros);
+        let export_activity = self.profiler.activity("export");
         for (g, exported) in rotated.into_iter().enumerate() {
             for summary in exported {
                 self.export_to_noc(g, summary, at);
@@ -554,6 +623,7 @@ impl Flowstream {
                 }
             }
         }
+        drop(export_activity);
         export_timer.stop();
         self.epoch_end = at + self.config.epoch_len;
         rotate_timer.stop();
@@ -738,13 +808,17 @@ impl Flowstream {
     ) -> Result<QueryResult, FlowstreamError> {
         let timer = ScopedTimer::start(&self.metrics.query_micros);
         self.metrics.queries.inc();
+        let _activity = self.profiler.activity("flowstream.query");
         let mut root = tracer.root("flowstream.query");
         root.annotate("flowql", flowql);
         let parse_timer = self.tel.timer("flowdb.parse.micros");
+        let parse_activity = self.profiler.activity("parse");
         let parse_span = root.child("parse");
         let parsed = megastream_flowdb::parse(flowql).map_err(FlowstreamError::Parse);
         drop(parse_span);
+        drop(parse_activity);
         parse_timer.stop();
+        let _exec_activity = self.profiler.activity("execute");
         let unavailable = self.unreachable_locations();
         let result = parsed.and_then(|query| {
             if unavailable.is_empty() {
@@ -786,9 +860,21 @@ impl Flowstream {
                 }
             }
         });
-        if let Err(e) = &result {
-            self.metrics.query_errors.inc();
-            root.annotate("error", &e.to_string());
+        match &result {
+            Err(e) => {
+                self.metrics.query_errors.inc();
+                root.annotate("error", &e.to_string());
+            }
+            Ok(r) => {
+                // Cost metering: annotate the trace root and charge the
+                // heavy-query log with the execution's deterministic work.
+                root.annotate("cost", &r.cost.to_string());
+                let mut log = match self.heavy_queries.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                log.offer(flowql.to_owned(), r.cost.work_units());
+            }
         }
         timer.stop();
         result

@@ -17,7 +17,9 @@ use megastream_flowdb::par::fan_out;
 use megastream_flowdb::Parallelism;
 use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_primitives::aggregator::Combinable;
-use megastream_telemetry::{labeled, Telemetry, TraceSpan, Tracer, LATENCY_MICROS_BOUNDS};
+use megastream_telemetry::{
+    labeled, Profiler, Telemetry, TraceSpan, Tracer, LATENCY_MICROS_BOUNDS,
+};
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -137,6 +139,7 @@ pub struct StoreHierarchy {
     network: Network,
     tel: Telemetry,
     tracer: Tracer,
+    profiler: Profiler,
     policy: PumpPolicy,
     par: Parallelism,
 }
@@ -149,6 +152,7 @@ impl StoreHierarchy {
             network,
             tel: Telemetry::disabled(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             policy: PumpPolicy::default(),
             par: Parallelism::default(),
         }
@@ -212,6 +216,27 @@ impl StoreHierarchy {
     /// The tracer pump passes record into.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Connects the hierarchy to a scoped-activity profiler: every
+    /// [`StoreHierarchy::pump`] records a `hierarchy.pump` activity with
+    /// `flush_spill`, `rotate_level`, and `export_level` phases. Passing
+    /// [`Profiler::disabled`] detaches again at one-branch cost per site.
+    pub fn set_profiler(&mut self, profiler: &Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// The profiler pump passes record into.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Total accounted deep memory of every store in the hierarchy:
+    /// the sum of each store's incrementally maintained
+    /// [`accounted_bytes`](DataStore::accounted_bytes) (live aggregator
+    /// state plus stored summaries).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.store.accounted_bytes()).sum()
     }
 
     /// Adds a root store (no parent — typically the cloud/datacenter).
@@ -341,6 +366,7 @@ impl StoreHierarchy {
     /// having a bad day.
     pub fn pump(&mut self, now: Timestamp) -> Result<ExportStats, PumpError> {
         let pump_span = self.tel.span("hierarchy.pump");
+        let _activity = self.profiler.activity("hierarchy.pump");
         let trace_root = self.tracer.root("hierarchy.pump");
         if self.tel.is_enabled() {
             // Simulated-time progress of the pump loop — the ops plane's
@@ -368,11 +394,13 @@ impl StoreHierarchy {
                 .push(i);
         }
         for level in levels.into_values() {
+            let flush_activity = self.profiler.activity("flush_spill");
             for &i in &level {
                 if !self.entries[i].spill.is_empty() {
                     self.flush_spill(i, now, &trace_root, &mut stats)?;
                 }
             }
+            drop(flush_activity);
             let due: Vec<usize> = level
                 .into_iter()
                 .filter(|&i| self.entries[i].store.epoch_due(now))
@@ -380,11 +408,15 @@ impl StoreHierarchy {
             if due.is_empty() {
                 continue;
             }
+            let rotate_activity = self.profiler.activity("rotate_level");
             let rotated = self.rotate_due(&due, now);
+            drop(rotate_activity);
             stats.rotations += due.len() as u64;
+            let export_activity = self.profiler.activity("export_level");
             for (i, exported) in due.into_iter().zip(rotated) {
                 self.export_rotated(i, exported, now, &trace_root, &mut stats)?;
             }
+            drop(export_activity);
         }
         pump_span.finish();
         Ok(stats)

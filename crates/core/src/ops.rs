@@ -13,7 +13,8 @@
 
 use megastream_flow::time::Timestamp;
 use megastream_telemetry::{
-    HealthMonitor, HealthRule, HealthStatus, MetricSampler, SamplerConfig, Signal, Telemetry,
+    BurnSource, HealthMonitor, HealthRule, HealthStatus, MetricSampler, SamplerConfig, Signal,
+    Telemetry,
 };
 use std::sync::Arc;
 
@@ -166,6 +167,7 @@ impl OpsPlane {
             "flowstream.spill.buffered_bytes",
             "hierarchy.spill.buffered_bytes",
             "flowdb.exec.completeness_pct",
+            "flowdb.index_bytes",
         ] {
             let series = self.sampler.gauge_series(name, window);
             if series.is_empty() {
@@ -193,6 +195,40 @@ impl OpsPlane {
                 w.quantile(0.99),
             ));
         }
+        let mut slo_lines = String::new();
+        for rule in ["latency-burn", "completeness-burn"] {
+            if let Some(v) = self.monitor.rule_value(rule) {
+                slo_lines.push_str(&format!(
+                    "   {rule:<40} {v:>8.2}x {}\n",
+                    self.monitor.rule_status(rule)
+                ));
+            }
+        }
+        if !slo_lines.is_empty() {
+            out.push_str("── slo burn rates (long ∧ short window)\n");
+            out.push_str(&slo_lines);
+        }
+        // Per-store accounted memory, newest value per gauge.
+        let mut memory_lines = String::new();
+        for name in self.sampler.gauge_names() {
+            if !name.starts_with("store.memory.bytes") {
+                continue;
+            }
+            if let Some(last) = self.sampler.gauge_last(&name) {
+                memory_lines.push_str(&format!("   {name:<40} {last:>10} B\n"));
+            }
+        }
+        if !memory_lines.is_empty() {
+            out.push_str("── store memory (accounted deep bytes)\n");
+            out.push_str(&memory_lines);
+        }
+        let notes = self.monitor.notes();
+        if !notes.is_empty() {
+            out.push_str("── notes\n");
+            for n in notes {
+                out.push_str(&format!("   {n}\n"));
+            }
+        }
         let alerts = self.monitor.alerts();
         if !alerts.is_empty() {
             out.push_str("── alerts (newest last)\n");
@@ -207,7 +243,14 @@ impl OpsPlane {
 /// The default rule set [`OpsPlane::standard`] installs, over the
 /// aggregate metric names the data-plane crates record. Rules evaluate
 /// as `Healthy` until their metric first appears, so the set is safe to
-/// install on any deployment.
+/// install on any deployment — but a rule whose metric *never* registers
+/// surfaces a one-time "signal missing" note in the health report (see
+/// [`HealthMonitor::notes`]) rather than staying silently green.
+///
+/// The set includes two multi-window SLO burn-rate rules
+/// ([`Signal::BurnRate`]): `latency-burn` over the end-to-end FlowQL
+/// latency histogram and `completeness-burn` over the partial-answer
+/// ratio.
 pub fn standard_rules() -> Vec<HealthRule> {
     vec![
         // Any spilled bytes mean an uplink is down and data is buffering;
@@ -283,6 +326,45 @@ pub fn standard_rules() -> Vec<HealthRule> {
             },
             0.2,
             5.0,
+        ),
+        // SLO burn rates (multi-window: both the long and the short window
+        // must burn, so single blips cannot trip the rule).
+        //
+        // Latency SLO: 99% of FlowQL round-trips complete within 100 ms.
+        // Burn > 2 means the budget drains twice as fast as allowed.
+        HealthRule::new(
+            "latency-burn",
+            "flowdb",
+            Signal::BurnRate {
+                source: BurnSource::HistogramAbove {
+                    name: "flowstream.query.micros".into(),
+                    threshold_micros: 100_000,
+                },
+                objective_pct: 99.0,
+                long_window_micros: 60 * SEC,
+                short_window_micros: 15 * SEC,
+            },
+            2.0,
+            10.0,
+        ),
+        // Completeness SLO: 99% of answers complete. An outage turning
+        // the standing queries partial burns the budget ~100x and flips
+        // the rule Degraded/Critical after the 2-tick hysteresis; the
+        // short window clears quickly on recovery.
+        HealthRule::new(
+            "completeness-burn",
+            "flowdb",
+            Signal::BurnRate {
+                source: BurnSource::CounterRatio {
+                    bad: "flowstream.query.partial_total".into(),
+                    total: "flowstream.query.total".into(),
+                },
+                objective_pct: 99.0,
+                long_window_micros: 60 * SEC,
+                short_window_micros: 15 * SEC,
+            },
+            2.0,
+            10.0,
         ),
     ]
 }

@@ -244,9 +244,35 @@ impl AggregatorInstance {
             AggregatorInstance::TimeBins(b) => b.footprint_bytes(),
             AggregatorInstance::TopFlows { sketch, .. } => sketch.footprint_bytes(),
             AggregatorInstance::Exact(t) => t.footprint_bytes(),
-            AggregatorInstance::RawRing { buf, .. } => {
-                buf.len() * std::mem::size_of::<FlowRecord>()
-            }
+            AggregatorInstance::RawRing { buf, .. } => buf.len() * FlowRecord::WIRE_BYTES,
+        }
+    }
+
+    /// Deterministic deep memory footprint in bytes (accounting plane):
+    /// a pure function of element counts, never allocator capacities, so
+    /// the incrementally maintained `store.memory.bytes` gauge can be
+    /// verified against an independent recompute.
+    pub fn deep_bytes(&self) -> usize {
+        match self {
+            AggregatorInstance::Flowtree(t) => ComputingPrimitive::deep_bytes(t),
+            AggregatorInstance::SampledSeries(s) => s.footprint_bytes(),
+            AggregatorInstance::TimeBins(b) => b.footprint_bytes(),
+            AggregatorInstance::TopFlows { sketch, .. } => ComputingPrimitive::deep_bytes(sketch),
+            AggregatorInstance::Exact(t) => ComputingPrimitive::deep_bytes(t),
+            AggregatorInstance::RawRing { buf, .. } => buf.len() * FlowRecord::WIRE_BYTES + 32,
+        }
+    }
+
+    /// Number of discrete elements the aggregator currently holds (zero
+    /// for scalar aggregators without a meaningful element count).
+    pub fn node_count(&self) -> usize {
+        match self {
+            AggregatorInstance::Flowtree(t) => ComputingPrimitive::node_count(t),
+            AggregatorInstance::SampledSeries(s) => ComputingPrimitive::node_count(s),
+            AggregatorInstance::TimeBins(b) => ComputingPrimitive::node_count(b),
+            AggregatorInstance::TopFlows { sketch, .. } => ComputingPrimitive::node_count(sketch),
+            AggregatorInstance::Exact(t) => ComputingPrimitive::node_count(t),
+            AggregatorInstance::RawRing { buf, .. } => buf.len(),
         }
     }
 
@@ -290,7 +316,7 @@ impl AggregatorInstance {
             AggregatorInstance::Exact(t) => t.adapt(feedback),
             AggregatorInstance::RawRing { buf, capacity, .. } => {
                 // Shrink the ring if over budget.
-                let per_rec = std::mem::size_of::<FlowRecord>();
+                let per_rec = FlowRecord::WIRE_BYTES;
                 let max_records = (feedback.footprint_budget / per_rec).max(1);
                 if *capacity > max_records {
                     *capacity = max_records;
@@ -435,10 +461,7 @@ mod tests {
             }
             other => panic!("expected raw summary, got {}", other.kind()),
         }
-        assert_eq!(
-            ring.footprint_bytes(),
-            3 * std::mem::size_of::<FlowRecord>()
-        );
+        assert_eq!(ring.footprint_bytes(), 3 * FlowRecord::WIRE_BYTES);
     }
 
     #[test]
@@ -469,7 +492,7 @@ mod tests {
         }
         let before = ring.footprint_bytes();
         ring.adapt(&AdaptationFeedback::budget(before / 10));
-        assert!(ring.footprint_bytes() <= before / 10 + std::mem::size_of::<FlowRecord>());
+        assert!(ring.footprint_bytes() <= before / 10 + FlowRecord::WIRE_BYTES);
     }
 
     #[test]

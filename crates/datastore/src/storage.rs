@@ -45,6 +45,13 @@ pub struct SummaryStore {
     summaries: Vec<StoredSummary>,
     evicted: u64,
     aggregated: u64,
+    /// Incrementally maintained sum of the stored summaries'
+    /// [`StoredSummary::deep_bytes`]: adjusted by delta at every insert,
+    /// eviction, and hierarchical aggregation instead of re-walking the
+    /// store. The accounting property tests assert it equals the
+    /// independent recompute [`SummaryStore::deep_bytes`] after arbitrary
+    /// operation sequences.
+    deep_accounted: usize,
 }
 
 impl SummaryStore {
@@ -57,6 +64,7 @@ impl SummaryStore {
             summaries: Vec::new(),
             evicted: 0,
             aggregated: 0,
+            deep_accounted: 0,
         }
     }
 
@@ -67,6 +75,7 @@ impl SummaryStore {
 
     /// Inserts a summary and enforces the strategy at time `now`.
     pub fn insert(&mut self, summary: StoredSummary, now: Timestamp) {
+        self.deep_accounted += summary.deep_bytes();
         self.summaries.push(summary);
         self.enforce(now);
     }
@@ -76,12 +85,21 @@ impl SummaryStore {
         match self.strategy {
             StorageStrategy::FixedExpiration { ttl } => {
                 let before = self.summaries.len();
-                self.summaries.retain(|s| s.window.end + ttl > now);
+                let mut dropped = 0usize;
+                self.summaries.retain(|s| {
+                    let keep = s.window.end + ttl > now;
+                    if !keep {
+                        dropped += s.deep_bytes();
+                    }
+                    keep
+                });
+                self.deep_accounted = self.deep_accounted.saturating_sub(dropped);
                 self.evicted += (before - self.summaries.len()) as u64;
             }
             StorageStrategy::RoundRobin { budget_bytes } => {
                 while self.total_bytes() > budget_bytes && !self.summaries.is_empty() {
-                    self.summaries.remove(0);
+                    let gone = self.summaries.remove(0);
+                    self.deep_accounted = self.deep_accounted.saturating_sub(gone.deep_bytes());
                     self.evicted += 1;
                 }
             }
@@ -97,7 +115,8 @@ impl SummaryStore {
                         if self.summaries.is_empty() {
                             break;
                         }
-                        self.summaries.remove(0);
+                        let gone = self.summaries.remove(0);
+                        self.deep_accounted = self.deep_accounted.saturating_sub(gone.deep_bytes());
                         self.evicted += 1;
                     }
                 }
@@ -125,16 +144,24 @@ impl SummaryStore {
             }
             if group.len() >= 2 {
                 // Merge group members into the first, back to front so
-                // indices stay valid.
+                // indices stay valid. Accounting: the group's pre-merge
+                // deep bytes leave the store, the compressed result's
+                // enter — one delta per aggregation step.
                 let mut base = self.summaries[group[0]].clone();
+                let mut removed_deep = base.deep_bytes();
                 for &j in group[1..].iter().rev() {
                     let other = self.summaries.remove(j);
+                    removed_deep += other.deep_bytes();
                     base.merge(&other, &self.location, now);
                 }
                 base.level = level + 1;
                 base.summary.degrade(fanout);
                 base.lineage
                     .record("hierarchical-aggregate", &self.location, now);
+                self.deep_accounted = self
+                    .deep_accounted
+                    .saturating_sub(removed_deep)
+                    .saturating_add(base.deep_bytes());
                 self.summaries[group[0]] = base;
                 self.aggregated += 1;
                 return true;
@@ -146,6 +173,21 @@ impl SummaryStore {
     /// Total stored bytes.
     pub fn total_bytes(&self) -> usize {
         self.summaries.iter().map(|s| s.wire_size()).sum()
+    }
+
+    /// Total deterministic deep in-memory bytes of the stored summaries,
+    /// recomputed independently from scratch (the accounting-plane
+    /// counterpart of [`SummaryStore::total_bytes`]). The property tests
+    /// compare this against [`SummaryStore::accounted_deep_bytes`].
+    pub fn deep_bytes(&self) -> usize {
+        self.summaries.iter().map(|s| s.deep_bytes()).sum()
+    }
+
+    /// The incrementally maintained deep-byte account (what the
+    /// `store.memory.bytes` gauge carries). Equal to
+    /// [`SummaryStore::deep_bytes`] by the accounting invariant.
+    pub fn accounted_deep_bytes(&self) -> usize {
+        self.deep_accounted
     }
 
     /// Number of stored summaries.

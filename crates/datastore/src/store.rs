@@ -72,6 +72,10 @@ struct StoreMetrics {
     imports: Counter,
     rotate_micros: Histogram,
     footprint: Gauge,
+    /// Deterministic deep memory account (live aggregators + stored
+    /// summaries), maintained incrementally at merge/compress/rotate
+    /// boundaries — the accounting plane's per-store gauge.
+    memory: Gauge,
     /// Newest ingested simulated timestamp — the ops plane's freshness
     /// rules compare it against "now".
     watermark: Gauge,
@@ -97,6 +101,7 @@ impl StoreMetrics {
                 LATENCY_MICROS_BOUNDS,
             ),
             footprint: tel.gauge(&labeled("datastore.footprint_bytes", "store", store)),
+            memory: tel.gauge(&labeled("store.memory.bytes", "store", store)),
             watermark: tel.gauge(&labeled("datastore.watermark_micros", "store", store)),
             last_rotation: tel.gauge(&labeled(
                 "datastore.epoch.last_rotation_micros",
@@ -299,11 +304,9 @@ impl DataStore {
         now: Timestamp,
     ) -> Vec<TriggerEvent> {
         self.stats.flows += 1;
-        self.stats.raw_bytes += std::mem::size_of::<FlowRecord>() as u64;
+        self.stats.raw_bytes += FlowRecord::WIRE_BYTES as u64;
         self.metrics.flows.inc();
-        self.metrics
-            .raw_bytes
-            .add(std::mem::size_of::<FlowRecord>() as u64);
+        self.metrics.raw_bytes.add(FlowRecord::WIRE_BYTES as u64);
         self.metrics.watermark.set(now.as_micros() as i64);
         self.note_source(stream);
         let ids: Vec<AggregatorId> = self
@@ -400,6 +403,7 @@ impl DataStore {
             .exported_bytes
             .add(exported.iter().map(|s| s.wire_size() as u64).sum());
         self.metrics.footprint.set(self.footprint_bytes() as i64);
+        self.metrics.memory.set(self.accounted_bytes() as i64);
         timer.stop();
         exported
     }
@@ -411,6 +415,7 @@ impl DataStore {
         self.metrics.imports.inc();
         self.summaries.insert(summary, now);
         self.metrics.footprint.set(self.footprint_bytes() as i64);
+        self.metrics.memory.set(self.accounted_bytes() as i64);
     }
 
     // ------------------------------------------------------------------
@@ -491,6 +496,32 @@ impl DataStore {
         self.live_footprint() + self.summaries.total_bytes()
     }
 
+    /// Deterministic deep memory size of the whole store, recomputed
+    /// independently from scratch: every live aggregator's `deep_bytes`
+    /// plus every stored summary's. The accounting property tests compare
+    /// this against [`DataStore::accounted_bytes`].
+    pub fn deep_bytes(&self) -> usize {
+        let live: usize = self
+            .aggregators
+            .iter()
+            .map(|(_, _, inst)| inst.deep_bytes())
+            .sum();
+        live + self.summaries.deep_bytes()
+    }
+
+    /// The incrementally maintained deep-byte account carried by the
+    /// `store.memory.bytes` gauge: live aggregators (O(#aggregators), each
+    /// a pure function of its element count) plus the summary store's
+    /// delta-maintained total.
+    pub fn accounted_bytes(&self) -> usize {
+        let live: usize = self
+            .aggregators
+            .iter()
+            .map(|(_, _, inst)| inst.deep_bytes())
+            .sum();
+        live + self.summaries.accounted_deep_bytes()
+    }
+
     /// Distributes `budget` equally across aggregators and lets each adapt
     /// (property P4 driven by the store).
     pub fn adapt_aggregators(&mut self, budget: usize, ingest_rate: f64) {
@@ -506,6 +537,7 @@ impl DataStore {
         for (_, _, inst) in &mut self.aggregators {
             inst.adapt(&feedback);
         }
+        self.metrics.memory.set(self.accounted_bytes() as i64);
     }
 }
 

@@ -12,7 +12,7 @@ use megastream_flow::record::FlowRecord;
 use megastream_flow::score::{Popularity, ScoreKind};
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 use megastream_flowtree::Flowtree;
-use megastream_primitives::aggregator::Combinable;
+use megastream_primitives::aggregator::{Combinable, ComputingPrimitive};
 use megastream_primitives::exact::ExactFlowTable;
 use megastream_primitives::sampling::SampledSeries;
 use megastream_primitives::spacesaving::SpaceSaving;
@@ -116,7 +116,36 @@ impl Summary {
             Summary::Bins(b) => b.len() * 320 + 32,
             Summary::TopFlows(ss) => ss.len() * (std::mem::size_of::<FlowKey>() + 16) + 32,
             Summary::Exact(t) => t.len() * (std::mem::size_of::<FlowKey>() + 8) + 32,
-            Summary::Raw { records, .. } => records.len() * std::mem::size_of::<FlowRecord>() + 32,
+            Summary::Raw { records, .. } => records.len() * FlowRecord::WIRE_BYTES + 32,
+        }
+    }
+
+    /// Deterministic deep in-memory size in bytes — the accounting-plane
+    /// counterpart of [`Summary::wire_size`]. A pure function of element
+    /// counts (never allocator capacities), so independently recomputing
+    /// it always reproduces the incrementally maintained gauges.
+    pub fn deep_bytes(&self) -> usize {
+        match self {
+            Summary::Flowtree(t) => t.deep_bytes(),
+            Summary::TopFlows(ss) => ComputingPrimitive::deep_bytes(ss),
+            Summary::Exact(t) => ComputingPrimitive::deep_bytes(t),
+            Summary::Raw { records, .. } => records.len() * FlowRecord::WIRE_BYTES + 32,
+            // Scalar summaries: the wire estimate is already a pure
+            // function of their element counts.
+            Summary::Series(_) | Summary::Bins(_) => self.wire_size(),
+        }
+    }
+
+    /// Number of discrete elements (tree nodes, counters, entries,
+    /// records) the summary holds.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Summary::Flowtree(t) => t.node_count(),
+            Summary::Series(s) => s.len(),
+            Summary::Bins(b) => b.len(),
+            Summary::TopFlows(ss) => ss.len(),
+            Summary::Exact(t) => t.len(),
+            Summary::Raw { records, .. } => records.len(),
         }
     }
 
@@ -238,6 +267,16 @@ impl StoredSummary {
     /// The payload's approximate size in bytes.
     pub fn wire_size(&self) -> usize {
         self.summary.wire_size() + 64
+    }
+
+    /// Deterministic deep in-memory size: the payload's
+    /// [`Summary::deep_bytes`] plus this record's fixed metadata header.
+    /// Lineage strings are excluded deliberately — they grow with merge
+    /// *history*, and the accounting invariant (incremental gauge ==
+    /// independent recompute) must be a function of structure, not of the
+    /// path that produced it.
+    pub fn deep_bytes(&self) -> usize {
+        self.summary.deep_bytes() + 64
     }
 
     /// Merges a compatible stored summary into this one: payloads combine,

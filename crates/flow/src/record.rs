@@ -28,6 +28,12 @@ pub struct FlowRecord {
 }
 
 impl FlowRecord {
+    /// The accounting plane's canonical per-record byte cost: what one
+    /// raw record contributes to `raw_bytes` stats, ring-buffer
+    /// footprints, and deep-size accounting. A single definition so
+    /// every accounting site charges the same amount.
+    pub const WIRE_BYTES: usize = std::mem::size_of::<FlowRecord>();
+
     /// Starts building a record; unset fields default to zero.
     pub fn builder() -> FlowRecordBuilder {
         FlowRecordBuilder::default()

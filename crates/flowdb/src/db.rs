@@ -177,14 +177,21 @@ impl FlowDb {
     }
 
     /// Result-shape metrics shared by the complete and partial execution
-    /// paths: the answer's row count and the completeness percentage the
-    /// ops plane's degradation rule watches.
+    /// paths: the answer's row count, the completeness percentage the
+    /// ops plane's degradation rule watches, and the cost-accounting
+    /// distributions (bytes merged and nodes visited per query).
     fn record_result_metrics(&self, result: &QueryResult) {
         self.tel
             .histogram("flowdb.exec.rows", EXEC_ROWS_BOUNDS)
             .record(result.rows.len() as u64);
         let pct = (result.completeness.fraction() * 100.0).round() as i64;
         self.tel.gauge("flowdb.exec.completeness_pct").set(pct);
+        self.tel
+            .histogram("flowdb.cost.bytes_merged", COST_BYTES_BOUNDS)
+            .record(result.cost.bytes_merged);
+        self.tel
+            .histogram("flowdb.cost.nodes_visited", COST_NODES_BOUNDS)
+            .record(result.cost.nodes_visited as u64);
     }
 
     /// Degraded execution: summaries from `unavailable` locations are
@@ -247,6 +254,18 @@ impl FlowDb {
 /// Bucket bounds for the per-query answer row count
 /// (`flowdb.exec.rows`).
 const EXEC_ROWS_BOUNDS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 10_000];
+
+/// Bucket bounds for per-query merged wire bytes
+/// (`flowdb.cost.bytes_merged`).
+const COST_BYTES_BOUNDS: &[u64] = &[
+    1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// Bucket bounds for per-query Flowtree nodes visited
+/// (`flowdb.cost.nodes_visited`).
+const COST_NODES_BOUNDS: &[u64] = &[
+    16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
+];
 
 #[cfg(test)]
 mod tests {

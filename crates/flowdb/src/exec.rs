@@ -21,7 +21,7 @@ use std::fmt;
 use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flowtree::Flowtree;
-use megastream_telemetry::{TraceSpan, LATENCY_MICROS_BOUNDS};
+use megastream_telemetry::{clock, TraceSpan, LATENCY_MICROS_BOUNDS};
 
 use crate::ast::{Query, SelectOp};
 use crate::db::FlowDb;
@@ -107,6 +107,76 @@ impl fmt::Display for Completeness {
     }
 }
 
+/// Per-query resource accounting: how much work an execution did and how
+/// long its stages took.
+///
+/// The *work* fields (locations, summaries, nodes, bytes, rows) are pure
+/// functions of the database contents and the query, so they are
+/// **bit-identical across [`Parallelism`](crate::par) settings** — the
+/// equivalence tests pin this. The `*_micros` *timing* fields are
+/// wall-clock measurements and vary run to run; they are deliberately
+/// **excluded from `PartialEq`/`Eq`** so result comparison (and the
+/// sequential-vs-threaded oracle) stays exact.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCost {
+    /// Locations whose summaries were consulted (fan-out width).
+    pub locations: usize,
+    /// Stored summaries merged to answer the query.
+    pub summaries: usize,
+    /// Total materialized Flowtree nodes in the consulted summaries.
+    pub nodes_visited: usize,
+    /// Total wire bytes of the consulted summaries (the merge input).
+    pub bytes_merged: u64,
+    /// Result rows produced.
+    pub rows_returned: usize,
+    /// Wall-clock micros spent selecting and grouping summaries.
+    pub plan_micros: u64,
+    /// Wall-clock micros spent in the fan-out + merge + operator stage.
+    pub run_micros: u64,
+    /// Wall-clock micros for the whole execution.
+    pub total_micros: u64,
+}
+
+impl QueryCost {
+    /// Deterministic work units for ranking queries by expense: bytes
+    /// merged dominate (the merge step is the paper's costly primitive),
+    /// with node and row counts as tie-breakers. Stable across runs and
+    /// parallelism settings, unlike wall-clock time.
+    pub fn work_units(&self) -> u64 {
+        self.bytes_merged + self.nodes_visited as u64 + self.rows_returned as u64
+    }
+}
+
+impl PartialEq for QueryCost {
+    fn eq(&self, other: &Self) -> bool {
+        // Timing fields excluded: only deterministic work is compared.
+        self.locations == other.locations
+            && self.summaries == other.summaries
+            && self.nodes_visited == other.nodes_visited
+            && self.bytes_merged == other.bytes_merged
+            && self.rows_returned == other.rows_returned
+    }
+}
+
+impl Eq for QueryCost {}
+
+impl fmt::Display for QueryCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} location(s), {} summaries, {} nodes, {} B merged, {} row(s) in {}us (plan {}us, run {}us)",
+            self.locations,
+            self.summaries,
+            self.nodes_visited,
+            self.bytes_merged,
+            self.rows_returned,
+            self.total_micros,
+            self.plan_micros,
+            self.run_micros,
+        )
+    }
+}
+
 /// The result of a FlowQL query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResult {
@@ -120,6 +190,8 @@ pub struct QueryResult {
     /// Locations reached vs matching (always complete outside degraded
     /// executions).
     pub completeness: Completeness,
+    /// Resource accounting for the execution that produced this result.
+    pub cost: QueryCost,
 }
 
 impl fmt::Display for QueryResult {
@@ -215,17 +287,18 @@ fn merge_group(trees: &[&Flowtree]) -> Result<Flowtree, QueryError> {
 }
 
 /// One location's share of a fan-out: the matching trees, in storage
-/// order, plus their wire bytes (0 unless the execution is traced — bytes
-/// only annotate `fanout` spans).
+/// order, plus their wire bytes and materialized node counts (which feed
+/// both `fanout` span annotations and the result's [`QueryCost`]).
 struct LocationGroup<'a> {
     location: &'a str,
     trees: Vec<&'a Flowtree>,
     bytes: u64,
+    nodes: usize,
 }
 
 /// The plan stage: matching summaries grouped by location, in location
 /// order (`BTreeMap` iteration), each group's trees in storage order.
-fn plan_groups<'a>(db: &'a FlowDb, query: &'a Query, want_bytes: bool) -> Vec<LocationGroup<'a>> {
+fn plan_groups<'a>(db: &'a FlowDb, query: &'a Query) -> Vec<LocationGroup<'a>> {
     let mut by_location: BTreeMap<&str, LocationGroup<'a>> = BTreeMap::new();
     for entry in db.select(query) {
         let group = by_location
@@ -234,13 +307,26 @@ fn plan_groups<'a>(db: &'a FlowDb, query: &'a Query, want_bytes: bool) -> Vec<Lo
                 location: entry.location.as_str(),
                 trees: Vec::new(),
                 bytes: 0,
+                nodes: 0,
             });
-        if want_bytes {
-            group.bytes += entry.tree.wire_size() as u64;
-        }
+        group.bytes += entry.tree.wire_size() as u64;
+        group.nodes += entry.tree.node_count();
         group.trees.push(&entry.tree);
     }
     by_location.into_values().collect()
+}
+
+/// The deterministic work half of a [`QueryCost`], read off the planned
+/// groups before the fan-out consumes them (timing and row count are
+/// filled in afterwards).
+fn cost_of_groups(groups: &[LocationGroup<'_>]) -> QueryCost {
+    QueryCost {
+        locations: groups.len(),
+        summaries: groups.iter().map(|g| g.trees.len()).sum(),
+        nodes_visited: groups.iter().map(|g| g.nodes).sum(),
+        bytes_merged: groups.iter().map(|g| g.bytes).sum(),
+        ..QueryCost::default()
+    }
 }
 
 /// The fan-out + merge + operator stage shared by complete and degraded
@@ -365,19 +451,31 @@ pub(crate) fn execute_traced(
 ) -> Result<QueryResult, QueryError> {
     let tel = db.telemetry();
     let where_key = query.where_key();
-    let plan = tel.timer("flowdb.plan.micros");
+    let clock_total = clock::start();
     let mut plan_span = parent.child("plan");
-    let groups = plan_groups(db, query, parent.is_recording());
+    let groups = plan_groups(db, query);
     plan_span.add_records(groups.iter().map(|g| g.trees.len() as u64).sum());
     plan_span.finish();
-    plan.stop();
+    let plan_micros = clock_total.elapsed_micros();
+    if tel.is_enabled() {
+        tel.histogram("flowdb.plan.micros", LATENCY_MICROS_BOUNDS)
+            .record(plan_micros);
+    }
     if groups.is_empty() {
         return Err(QueryError::NoMatchingSummaries);
     }
+    let mut cost = cost_of_groups(&groups);
+    cost.plan_micros = plan_micros;
     let location_count = groups.len();
-    let run = tel.timer("flowdb.run.micros");
+    let clock_run = clock::start();
     let (rows, used) = run_groups(db, query, parent, groups, &where_key)?;
-    run.stop();
+    cost.run_micros = clock_run.elapsed_micros();
+    if tel.is_enabled() {
+        tel.histogram("flowdb.run.micros", LATENCY_MICROS_BOUNDS)
+            .record(cost.run_micros);
+    }
+    cost.rows_returned = rows.len();
+    cost.total_micros = clock_total.elapsed_micros();
     let op = if query.group_by_location {
         format!("{} GROUP BY location", query.op)
     } else {
@@ -388,6 +486,7 @@ pub(crate) fn execute_traced(
         summaries_used: used,
         rows,
         completeness: Completeness::complete(location_count),
+        cost,
     })
 }
 
@@ -405,12 +504,16 @@ pub(crate) fn execute_partial_traced(
 ) -> Result<QueryResult, QueryError> {
     let tel = db.telemetry();
     let where_key = query.where_key();
-    let plan = tel.timer("flowdb.plan.micros");
+    let clock_total = clock::start();
     let mut plan_span = parent.child("plan");
-    let mut groups = plan_groups(db, query, true);
+    let mut groups = plan_groups(db, query);
     plan_span.add_records(groups.iter().map(|g| g.trees.len() as u64).sum());
     plan_span.finish();
-    plan.stop();
+    let plan_micros = clock_total.elapsed_micros();
+    if tel.is_enabled() {
+        tel.histogram("flowdb.plan.micros", LATENCY_MICROS_BOUNDS)
+            .record(plan_micros);
+    }
     let total = groups.len();
     if total == 0 {
         return Err(QueryError::NoMatchingSummaries);
@@ -429,6 +532,10 @@ pub(crate) fn execute_partial_traced(
         reached: groups.len(),
         total,
     };
+    // Cost counts only the work actually done: skipped locations
+    // contribute nothing to the fan-out, merge, or node walks.
+    let mut cost = cost_of_groups(&groups);
+    cost.plan_micros = plan_micros;
     let op = if query.group_by_location {
         format!("{} GROUP BY location", query.op)
     } else {
@@ -437,21 +544,30 @@ pub(crate) fn execute_partial_traced(
     if groups.is_empty() {
         // Every matching location is unreachable: an empty (0/n) result,
         // not an error — the caller chose degraded execution.
+        cost.total_micros = clock_total.elapsed_micros();
         return Ok(QueryResult {
             op,
             summaries_used: 0,
             rows: Vec::new(),
             completeness,
+            cost,
         });
     }
-    let run = tel.timer("flowdb.run.micros");
+    let clock_run = clock::start();
     let (rows, used) = run_groups(db, query, parent, groups, &where_key)?;
-    run.stop();
+    cost.run_micros = clock_run.elapsed_micros();
+    if tel.is_enabled() {
+        tel.histogram("flowdb.run.micros", LATENCY_MICROS_BOUNDS)
+            .record(cost.run_micros);
+    }
+    cost.rows_returned = rows.len();
+    cost.total_micros = clock_total.elapsed_micros();
     Ok(QueryResult {
         op,
         summaries_used: used,
         rows,
         completeness,
+        cost,
     })
 }
 
@@ -715,6 +831,46 @@ mod tests {
         assert!(err.to_string().contains("out of range") || format!("{err:?}").contains("Range"));
         // The largest representable bound still parses.
         assert!(parse("SELECT QUERY FROM [0, 18446744073709)").is_ok());
+    }
+
+    #[test]
+    fn query_cost_accounts_deterministic_work() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.cost.locations, 2);
+        assert_eq!(r.cost.summaries, 4);
+        assert_eq!(r.cost.summaries, r.summaries_used);
+        assert_eq!(r.cost.rows_returned, r.rows.len());
+        assert!(r.cost.nodes_visited > 0);
+        assert!(r.cost.bytes_merged > 0);
+        assert!(r.cost.work_units() >= r.cost.bytes_merged);
+        // Equality ignores wall-clock timing: a re-run compares equal even
+        // though its micros differ.
+        let again = db.execute(&q).unwrap();
+        assert_eq!(r, again);
+        assert_eq!(r.cost, again.cost);
+        let text = r.cost.to_string();
+        assert!(text.contains("2 location(s)"));
+        assert!(text.contains("4 summaries"));
+    }
+
+    #[test]
+    fn partial_cost_counts_only_reached_locations() {
+        let db = db();
+        let q = parse("SELECT QUERY FROM ALL").unwrap();
+        let full = db.execute(&q).unwrap();
+        let unavailable: BTreeSet<String> = ["region-1".to_owned()].into();
+        let r = db.execute_partial(&q, &unavailable).unwrap();
+        assert_eq!(r.cost.locations, 1);
+        assert_eq!(r.cost.summaries, 2);
+        assert!(r.cost.bytes_merged < full.cost.bytes_merged);
+        assert!(r.cost.nodes_visited < full.cost.nodes_visited);
+        // All locations down: zero work, zero rows.
+        let all: BTreeSet<String> = ["region-0".to_owned(), "region-1".to_owned()].into();
+        let empty = db.execute_partial(&q, &all).unwrap();
+        assert_eq!(empty.cost.work_units(), 0);
+        assert_eq!(empty.cost.locations, 0);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod parser;
 
 pub use ast::{Query, Restriction, SelectOp, TimeSelection};
 pub use db::FlowDb;
-pub use exec::{Completeness, QueryError, QueryResult, ResultRow};
+pub use exec::{Completeness, QueryCost, QueryError, QueryResult, ResultRow};
 pub use par::Parallelism;
 pub use parser::{parse, ParseError};

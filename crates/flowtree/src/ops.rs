@@ -147,6 +147,14 @@ impl ComputingPrimitive for Flowtree {
     fn footprint_bytes(&self) -> usize {
         self.wire_size()
     }
+
+    fn deep_bytes(&self) -> usize {
+        Flowtree::deep_bytes(self)
+    }
+
+    fn node_count(&self) -> usize {
+        Flowtree::node_count(self)
+    }
 }
 
 #[cfg(test)]

@@ -129,6 +129,29 @@ impl Flowtree {
         self.len * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<u64>())
     }
 
+    /// Deterministic deep in-memory footprint in bytes: per-node arena and
+    /// index payload plus the parent/child link structure, computed from
+    /// the *materialized node count* alone (never from `Vec` capacities or
+    /// free-list length, so structurally equal trees always agree). This
+    /// is the quantity the accounting plane's `store.memory.bytes` gauges
+    /// carry; the wire size above stays the export-volume measure.
+    pub fn deep_bytes(&self) -> usize {
+        // Arena slot + index entry + child-link slot per live node. Every
+        // non-root node occupies exactly one parent's child slot; charging
+        // one `usize` per node over-counts the root's missing slot by one
+        // word, which the fixed header absorbs.
+        let per_node = std::mem::size_of::<Node>()
+            + std::mem::size_of::<FlowKey>()
+            + 2 * std::mem::size_of::<usize>();
+        self.len * per_node + std::mem::size_of::<Self>()
+    }
+
+    /// Number of materialized nodes — an alias of [`Flowtree::len`] named
+    /// for the accounting plane's per-query work counters.
+    pub fn node_count(&self) -> usize {
+        self.len
+    }
+
     /// Ingests one raw flow record ("uses existing network traces as input
     /// and works on the fly").
     pub fn observe(&mut self, record: &FlowRecord) {

@@ -383,6 +383,28 @@ impl ReplicationController {
     pub fn policy(&self) -> &ReplicationPolicy {
         &self.policy
     }
+
+    /// Deterministic logical memory of the controller's bookkeeping,
+    /// following the accounting-plane convention (a pure function of
+    /// element counts, never allocator capacities): the access tracker,
+    /// the partition table with its replica lists, the order log, and
+    /// the replica index. The unbounded parts — retirement history,
+    /// order log, replica index — are exactly what an operator watching
+    /// a long-lived manager needs to see grow.
+    pub fn deep_bytes(&self) -> usize {
+        let replicas: usize = self
+            .partitions
+            .iter()
+            .map(|p| p.replicas.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        self.tracker.deep_bytes()
+            + self.partitions.len() * std::mem::size_of::<PartitionInfo>()
+            + replicas
+            + self.orders.len() * std::mem::size_of::<ReplicationOrder>()
+            + self.replica_index.len()
+                * (std::mem::size_of::<(usize, NodeId)>() + std::mem::size_of::<bool>())
+            + std::mem::size_of::<Self>()
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +418,22 @@ mod tests {
         let remote = net.add_node("remote", NodeKind::DataStore);
         net.connect(owner, remote, LinkSpec::wan_100m());
         (net, owner, remote)
+    }
+
+    #[test]
+    fn deep_bytes_tracks_bookkeeping_growth() {
+        let (mut net, owner, remote) = setup();
+        let mut ctl = ReplicationController::new(ReplicationPolicy::Always);
+        let empty = ctl.deep_bytes();
+        let p = ctl.register_partition(owner, 1_000);
+        let registered = ctl.deep_bytes();
+        assert!(registered > empty, "partition table must be accounted");
+        ctl.on_access(p, remote, 300, &mut net, Timestamp::ZERO)
+            .unwrap();
+        // The replica list, the order log, and the replica index all grew.
+        assert!(ctl.deep_bytes() > registered);
+        // Pure function of counts: a clone agrees exactly.
+        assert_eq!(ctl.clone().deep_bytes(), ctl.deep_bytes());
     }
 
     #[test]

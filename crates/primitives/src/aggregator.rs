@@ -177,6 +177,23 @@ pub trait ComputingPrimitive {
 
     /// Approximate current storage footprint in bytes.
     fn footprint_bytes(&self) -> usize;
+
+    /// Deterministic deep memory footprint in bytes: the logical size of
+    /// every owned element as a pure function of element *counts* — never
+    /// allocator capacities — so two structurally equal summaries always
+    /// report the same value regardless of how they were built. This is
+    /// the quantity the accounting plane's `store.memory.bytes` gauges
+    /// carry. Defaults to [`ComputingPrimitive::footprint_bytes`].
+    fn deep_bytes(&self) -> usize {
+        self.footprint_bytes()
+    }
+
+    /// Number of discrete elements the primitive currently holds (tree
+    /// nodes, monitored counters, table entries, sketch cells). Defaults
+    /// to zero for primitives without a meaningful element count.
+    fn node_count(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

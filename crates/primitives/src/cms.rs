@@ -201,6 +201,16 @@ impl ComputingPrimitive for CountMinSketch {
     fn footprint_bytes(&self) -> usize {
         self.width * self.depth * std::mem::size_of::<u64>()
     }
+
+    fn deep_bytes(&self) -> usize {
+        // The cell matrix plus the fixed header — a pure function of the
+        // dimensions, which never change after construction.
+        self.width * self.depth * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+
+    fn node_count(&self) -> usize {
+        self.width * self.depth
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,17 @@ impl ComputingPrimitive for ExactFlowTable {
     fn footprint_bytes(&self) -> usize {
         self.counts.len() * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<Popularity>())
     }
+
+    fn deep_bytes(&self) -> usize {
+        // Per-entry payload plus the fixed header — a pure function of
+        // the entry count, independent of insertion history.
+        self.counts.len() * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<Popularity>())
+            + std::mem::size_of::<Self>()
+    }
+
+    fn node_count(&self) -> usize {
+        self.counts.len()
+    }
 }
 
 #[cfg(test)]

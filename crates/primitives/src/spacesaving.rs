@@ -246,6 +246,17 @@ impl<K: Ord + Clone> ComputingPrimitive for SpaceSaving<K> {
     fn footprint_bytes(&self) -> usize {
         self.counters.len() * (std::mem::size_of::<K>() + std::mem::size_of::<SsCounter>())
     }
+
+    fn deep_bytes(&self) -> usize {
+        // Per-counter payload plus the fixed header — a pure function of
+        // the monitored-key count, independent of insertion history.
+        self.counters.len() * (std::mem::size_of::<K>() + std::mem::size_of::<SsCounter>())
+            + std::mem::size_of::<Self>()
+    }
+
+    fn node_count(&self) -> usize {
+        self.counters.len()
+    }
 }
 
 #[cfg(test)]

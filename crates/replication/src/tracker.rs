@@ -104,6 +104,20 @@ impl AccessTracker {
             .inc();
         self.history.push(p.shipped_bytes);
         *p = PartitionState::default();
+        self.tel
+            .gauge("replication.memory.bytes")
+            .set(self.deep_bytes() as i64);
+    }
+
+    /// Deterministic logical memory of the tracker, following the
+    /// data-plane accounting convention: a pure function of the partition
+    /// and history *counts* (never allocator capacities), plus a fixed
+    /// per-struct header — so structurally equal trackers always agree.
+    /// The only unbounded part is the retirement history.
+    pub fn deep_bytes(&self) -> usize {
+        self.partitions.len() * std::mem::size_of::<PartitionState>()
+            + self.history.len() * std::mem::size_of::<u64>()
+            + std::mem::size_of::<Self>()
     }
 
     /// Total-volume samples of retired partitions.
@@ -152,6 +166,38 @@ mod tests {
         assert_eq!(t.state(0), PartitionState::default());
         t.seed_history([10, 20]);
         assert_eq!(t.history().len(), 3);
+    }
+
+    #[test]
+    fn deep_bytes_is_a_pure_function_of_counts() {
+        let mut t = AccessTracker::new(3);
+        let base = t.deep_bytes();
+        assert_eq!(
+            base,
+            3 * std::mem::size_of::<PartitionState>() + std::mem::size_of::<AccessTracker>()
+        );
+        // Accesses do not change the footprint; retirement grows history.
+        t.record_access(1, 9, Timestamp::ZERO);
+        assert_eq!(t.deep_bytes(), base);
+        t.retire(1);
+        assert_eq!(t.deep_bytes(), base + std::mem::size_of::<u64>());
+        // Structurally equal trackers agree regardless of construction path.
+        let mut u = AccessTracker::new(3);
+        u.seed_history([9]);
+        assert_eq!(u.deep_bytes(), t.deep_bytes());
+    }
+
+    #[test]
+    fn retire_updates_memory_gauge() {
+        let tel = Telemetry::new();
+        let mut t = AccessTracker::new(2);
+        t.set_telemetry(&tel);
+        t.record_access(0, 70, Timestamp::ZERO);
+        t.retire(0);
+        assert_eq!(
+            tel.snapshot().gauge("replication.memory.bytes"),
+            Some(t.deep_bytes() as i64)
+        );
     }
 
     #[test]

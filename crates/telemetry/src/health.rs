@@ -17,7 +17,15 @@
 //! A component's state is the worst state of its rules; the system's
 //! state is the worst component. Signals whose metric has no buffered
 //! data yet evaluate as `Healthy` — absence of evidence is not an
-//! outage.
+//! outage — but a rule whose metric was **never registered at all**
+//! surfaces a one-time "signal missing" note (see
+//! [`HealthMonitor::notes`]): a misspelled rule silently reporting
+//! Healthy forever is a monitoring outage of its own.
+//!
+//! [`Signal::BurnRate`] adds multi-window SLO burn-rate alerting: a rule
+//! trips only when both a long and a short trailing window consume the
+//! error budget faster than the threshold, which resists flapping by
+//! construction.
 
 use crate::json;
 use crate::timeseries::MetricSampler;
@@ -44,6 +52,33 @@ impl std::fmt::Display for HealthStatus {
             HealthStatus::Critical => "critical",
         })
     }
+}
+
+/// What a [`Signal::BurnRate`] counts as "bad" events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BurnSource {
+    /// Histogram samples above a latency threshold — e.g. FlowQL
+    /// executions slower than the objective
+    /// (`flowdb.exec.micros{op=...}` over `threshold_micros`).
+    HistogramAbove {
+        /// Histogram name.
+        name: String,
+        /// Samples above this value count against the error budget.
+        threshold_micros: u64,
+    },
+    /// The ratio of two counters' windowed increases — e.g. partial
+    /// query answers over total answers
+    /// (`flowdb.exec.partial_total` / `flowdb.exec.total{op=...}`).
+    ///
+    /// The `bad` counter may legitimately never register while the system
+    /// is healthy (lazily-registered error counters); a missing `bad`
+    /// counter reads as zero as long as `total` has data.
+    CounterRatio {
+        /// Counter of bad events.
+        bad: String,
+        /// Counter of all events.
+        total: String,
+    },
 }
 
 /// The windowed derivative a rule watches.
@@ -82,10 +117,32 @@ pub enum Signal {
         /// Counter or gauge name.
         name: String,
     },
+    /// Multi-window SLO burn rate: how fast the error budget implied by
+    /// `objective_pct` is being consumed, evaluated over a long *and* a
+    /// short trailing window. The signal's value is the **minimum** of the
+    /// two windows' burn rates, so a rule's threshold only trips when both
+    /// windows exceed it — the long window filters noise, the short window
+    /// guarantees the breach is still happening (classic multi-window
+    /// burn-rate alerting, resistant to flapping by construction).
+    ///
+    /// A burn rate of 1.0 means the budget is consumed exactly at the
+    /// objective's rate; 10.0 means ten times faster.
+    BurnRate {
+        /// What counts against the error budget.
+        source: BurnSource,
+        /// The service-level objective as a percentage (e.g. `99.0` allows
+        /// 1% bad events).
+        objective_pct: f64,
+        /// The long trailing window, microseconds.
+        long_window_micros: u64,
+        /// The short trailing window, microseconds.
+        short_window_micros: u64,
+    },
 }
 
 impl Signal {
-    /// The metric name the signal reads.
+    /// The primary metric name the signal reads (for burn rates, the
+    /// metric whose absence means the signal cannot evaluate).
     pub fn metric(&self) -> &str {
         match self {
             Signal::CounterRate { name, .. }
@@ -93,7 +150,18 @@ impl Signal {
             | Signal::WindowQuantile { name, .. }
             | Signal::GaugeLag { name }
             | Signal::Staleness { name } => name,
+            Signal::BurnRate { source, .. } => match source {
+                BurnSource::HistogramAbove { name, .. } => name,
+                BurnSource::CounterRatio { total, .. } => total,
+            },
         }
+    }
+
+    /// The metric names that must exist for the signal to ever produce a
+    /// value. A burn rate's `bad` counter is *not* required — it may
+    /// legitimately stay unregistered while the system is healthy.
+    pub fn required_metrics(&self) -> Vec<&str> {
+        vec![self.metric()]
     }
 
     /// Evaluates the signal against the sampler's buffered history.
@@ -116,6 +184,44 @@ impl Signal {
                 .gauge_last(name)
                 .map(|v| now_micros.saturating_sub(v.max(0) as u64) as f64),
             Signal::Staleness { name } => sampler.staleness_micros(name).map(|v| v as f64),
+            Signal::BurnRate {
+                source,
+                objective_pct,
+                long_window_micros,
+                short_window_micros,
+            } => {
+                let budget = (1.0 - objective_pct / 100.0).max(1e-9);
+                let long = source.bad_fraction(sampler, *long_window_micros)?;
+                let short = source.bad_fraction(sampler, *short_window_micros)?;
+                // Min of the windows: both must burn for the rule to trip.
+                Some(long.min(short) / budget)
+            }
+        }
+    }
+}
+
+impl BurnSource {
+    /// The fraction of events inside the trailing window that count
+    /// against the budget. `None` when the underlying metrics have no
+    /// (or not enough) frames yet.
+    fn bad_fraction(&self, sampler: &MetricSampler, window_micros: u64) -> Option<f64> {
+        match self {
+            BurnSource::HistogramAbove {
+                name,
+                threshold_micros,
+            } => sampler
+                .histogram_window(name, window_micros)
+                .map(|h| h.fraction_above(*threshold_micros)),
+            BurnSource::CounterRatio { bad, total } => {
+                let total = sampler.counter_delta(total, window_micros)?;
+                // A bad counter that never registered simply read zero.
+                let bad = sampler.counter_delta(bad, window_micros).unwrap_or(0);
+                if total == 0 {
+                    Some(0.0)
+                } else {
+                    Some(bad as f64 / total as f64)
+                }
+            }
         }
     }
 }
@@ -251,6 +357,9 @@ struct RuleState {
     streak: u32,
     /// Newest observed value (None before first evaluation with data).
     last_value: Option<f64>,
+    /// Whether the one-time "signal missing" note for this rule was
+    /// already emitted (the watched metric was never registered).
+    missing_noted: bool,
 }
 
 /// Folds [`HealthRule`]s over a [`MetricSampler`]'s windows into
@@ -260,6 +369,9 @@ pub struct HealthMonitor {
     rules: Vec<HealthRule>,
     states: Vec<RuleState>,
     alerts: Vec<Alert>,
+    /// One-time diagnostic notes (e.g. a rule whose metric was never
+    /// registered) — append-only, like the alert log.
+    notes: Vec<String>,
     evaluations: u64,
 }
 
@@ -298,7 +410,28 @@ impl HealthMonitor {
         self.evaluations += 1;
         for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
             let Some(value) = rule.signal.value(sampler, now_micros) else {
-                // No data: hold the current state, clear any streak.
+                // No data: hold the current state, clear any streak. If
+                // the watched metric was *never registered* (not merely
+                // short on history), surface it once — a rule silently
+                // reporting Healthy against a misspelled or never-started
+                // signal is a monitoring outage of its own.
+                if !state.missing_noted {
+                    let missing: Vec<&str> = rule
+                        .signal
+                        .required_metrics()
+                        .into_iter()
+                        .filter(|m| !sampler.has_metric(m))
+                        .collect();
+                    if !missing.is_empty() {
+                        state.missing_noted = true;
+                        self.notes.push(format!(
+                            "rule {} ({}): signal missing — metric {} never registered",
+                            rule.name,
+                            rule.component,
+                            missing.join(", ")
+                        ));
+                    }
+                }
                 state.pending = None;
                 state.streak = 0;
                 continue;
@@ -391,6 +524,12 @@ impl HealthMonitor {
         &self.alerts
     }
 
+    /// One-time diagnostic notes, oldest first: currently, rules whose
+    /// watched metric was never registered ("signal missing").
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
     /// Renders a human-readable health report: overall state, per
     /// component and rule, then the alert log.
     pub fn render_text(&self) -> String {
@@ -410,11 +549,21 @@ impl HealthMonitor {
                         "  rule {:<24} {:<8} value {:.3}\n",
                         rule.name, state.current, v
                     )),
+                    None if state.missing_noted => out.push_str(&format!(
+                        "  rule {:<24} {:<8} (signal missing)\n",
+                        rule.name, state.current
+                    )),
                     None => out.push_str(&format!(
                         "  rule {:<24} {:<8} (no data)\n",
                         rule.name, state.current
                     )),
                 }
+            }
+        }
+        if !self.notes.is_empty() {
+            out.push_str("notes:\n");
+            for n in &self.notes {
+                out.push_str(&format!("  {n}\n"));
             }
         }
         if !self.alerts.is_empty() {
@@ -619,7 +768,7 @@ mod tests {
     }
 
     #[test]
-    fn missing_metric_stays_healthy() {
+    fn missing_metric_stays_healthy_but_is_noted() {
         let tel = Telemetry::new();
         let mut s = sampler(&tel);
         let mut m = HealthMonitor::new().with_rule(gauge_rule(1, 1));
@@ -627,6 +776,42 @@ mod tests {
         m.evaluate(&s, 0);
         assert_eq!(m.overall(), HealthStatus::Healthy);
         assert_eq!(m.rule_value("depth"), None);
+        // Never-registered metric: a one-time "signal missing" note, not
+        // a silent Healthy.
+        assert_eq!(m.notes().len(), 1);
+        assert!(m.notes()[0].contains("signal missing"));
+        assert!(m.notes()[0].contains("depth"));
+        let text = m.render_text();
+        assert!(text.contains("(signal missing)"));
+        assert!(text.contains("notes:"));
+        // The note is one-time: further evaluations do not repeat it.
+        s.force_sample(SEC);
+        m.evaluate(&s, SEC);
+        assert_eq!(m.notes().len(), 1);
+    }
+
+    #[test]
+    fn registered_but_short_history_is_no_data_not_missing() {
+        let tel = Telemetry::new();
+        let _c = tel.counter("events");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(
+            HealthRule::new(
+                "rate",
+                "x",
+                Signal::CounterRate {
+                    name: "events".into(),
+                    window_micros: 10 * SEC,
+                },
+                1.0,
+                2.0,
+            )
+            .hysteresis(1, 1),
+        );
+        // One frame: the counter exists but a rate needs two endpoints.
+        s.force_sample(0);
+        m.evaluate(&s, 0);
+        assert!(m.notes().is_empty());
         assert!(m.render_text().contains("(no data)"));
     }
 
@@ -653,6 +838,154 @@ mod tests {
         let json = m.render_json();
         assert!(json.contains("\"overall\":\"critical\""));
         assert!(json.contains("\"components\":{\"x\":\"critical\"}"));
+    }
+
+    fn completeness_burn_rule() -> HealthRule {
+        HealthRule::new(
+            "completeness-burn",
+            "flowstream",
+            Signal::BurnRate {
+                source: BurnSource::CounterRatio {
+                    bad: "partial".into(),
+                    total: "total".into(),
+                },
+                objective_pct: 99.0,
+                long_window_micros: 10 * SEC,
+                short_window_micros: 3 * SEC,
+            },
+            1.0,
+            10.0,
+        )
+        .hysteresis(2, 2)
+    }
+
+    #[test]
+    fn burn_rate_counter_ratio_trips_on_sustained_burn() {
+        let tel = Telemetry::new();
+        let total = tel.counter("total");
+        let partial = tel.counter("partial");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(completeness_burn_rule());
+        // Healthy traffic: 10 answers/s, none partial.
+        for t in 0..5u64 {
+            total.add(10);
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        // Outage: half the answers go partial — 50% bad vs a 1% budget is
+        // a 50x burn; after the 2-tick hysteresis the rule trips.
+        for t in 5..10u64 {
+            total.add(10);
+            partial.add(5);
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.rule_status("completeness-burn"), HealthStatus::Critical);
+        // Recovery: the short window clears first, dragging the min down.
+        for t in 10..25u64 {
+            total.add(10);
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.rule_status("completeness-burn"), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn burn_rate_short_blip_does_not_trip() {
+        let tel = Telemetry::new();
+        let total = tel.counter("total");
+        let partial = tel.counter("partial");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(completeness_burn_rule());
+        for t in 0..20u64 {
+            total.add(50);
+            if t == 8 {
+                // One partial answer among ~150 in even the short window:
+                // 0.67% bad against the 1% budget is a burn below 1.0, so
+                // neither window ever argues for a transition.
+                partial.add(1);
+            }
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn burn_rate_missing_bad_counter_reads_zero() {
+        let tel = Telemetry::new();
+        let total = tel.counter("total");
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(completeness_burn_rule());
+        for t in 0..5u64 {
+            total.add(10);
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        // The bad counter never registered: the signal still evaluates
+        // (burn 0.0) and no "signal missing" note fires — only `total`
+        // is required.
+        assert_eq!(m.rule_value("completeness-burn"), Some(0.0));
+        assert!(m.notes().is_empty());
+    }
+
+    #[test]
+    fn burn_rate_histogram_above_threshold() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("latency", &[100, 1_000, 10_000]);
+        let mut s = sampler(&tel);
+        let mut m = HealthMonitor::new().with_rule(
+            HealthRule::new(
+                "latency-burn",
+                "flowdb",
+                Signal::BurnRate {
+                    source: BurnSource::HistogramAbove {
+                        name: "latency".into(),
+                        threshold_micros: 1_000,
+                    },
+                    objective_pct: 90.0,
+                    long_window_micros: 10 * SEC,
+                    short_window_micros: 3 * SEC,
+                },
+                1.0,
+                5.0,
+            )
+            .hysteresis(1, 1),
+        );
+        // All fast: zero burn.
+        for t in 0..3u64 {
+            h.record(50);
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.overall(), HealthStatus::Healthy);
+        // All slow: 100% bad vs a 10% budget is a 10x burn → Critical.
+        for t in 3..8u64 {
+            for _ in 0..10 {
+                h.record(50_000);
+            }
+            s.force_sample(t * SEC);
+            m.evaluate(&s, t * SEC);
+        }
+        assert_eq!(m.rule_status("latency-burn"), HealthStatus::Critical);
+    }
+
+    #[test]
+    fn fraction_above_is_bucket_exact_on_bounds() {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat", &[100, 1_000]);
+        let mut s = sampler(&tel);
+        s.force_sample(0);
+        h.record(50); // bucket ≤ 100
+        h.record(500); // bucket ≤ 1_000
+        h.record(5_000); // overflow
+        s.force_sample(SEC);
+        let w = s.histogram_window("lat", 10 * SEC).unwrap();
+        assert!((w.fraction_above(1_000) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((w.fraction_above(100) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((w.fraction_above(0) - 1.0).abs() < 1e-9);
     }
 
     #[test]

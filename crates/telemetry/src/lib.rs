@@ -25,6 +25,11 @@
 //!   head-based sampling and a lock-sharded ring-buffer store, exportable
 //!   as a text span tree or Chrome `trace_event` JSON. Like [`Telemetry`],
 //!   the default handle is disabled and costs one branch per span site.
+//! * The [`profile`] module adds scoped-activity profiling: a [`Profiler`]
+//!   (default-disabled, one branch per site) maintains an explicit
+//!   per-thread activity stack via RAII [`ActivityGuard`]s and aggregates
+//!   inclusive/exclusive time per call path, exportable as a
+//!   `flamegraph.pl`-compatible collapsed-stack file or a top-N table.
 //! * The [`timeseries`] module samples a registry on a cadence into
 //!   fixed-capacity ring buffers and derives windowed rates and
 //!   histogram-delta percentiles; the [`health`] module folds those
@@ -53,6 +58,7 @@ pub mod clock;
 pub mod health;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod prom;
 mod registry;
 mod span;
@@ -61,10 +67,11 @@ pub mod trace;
 
 use std::sync::Arc;
 
-pub use health::{Alert, Direction, HealthMonitor, HealthRule, HealthStatus, Signal};
+pub use health::{Alert, BurnSource, Direction, HealthMonitor, HealthRule, HealthStatus, Signal};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LATENCY_MICROS_BOUNDS, SIZE_BYTES_BOUNDS,
 };
+pub use profile::{ActivityGuard, ActivityStat, ProfileSnapshot, Profiler};
 pub use registry::{MetricHandle, Registry, Snapshot};
 pub use span::{ScopedTimer, Span};
 pub use timeseries::{monotonic_increase, MetricSampler, SamplerConfig, WindowedHistogram};

@@ -200,6 +200,25 @@ impl WindowedHistogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Fraction of windowed samples above `threshold` (0.0 if the window
+    /// is empty). Bucketed approximation: a bucket counts as *above* unless
+    /// its inclusive upper bound is ≤ `threshold`, so thresholds on bucket
+    /// bounds are exact and others round pessimistically — the SLO
+    /// burn-rate rules prefer a false alarm to a missed burn.
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut above = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            match self.bounds.get(i) {
+                Some(&bound) if bound <= threshold => {}
+                _ => above += c,
+            }
+        }
+        above as f64 / self.count as f64
+    }
 }
 
 /// Samples a [`Registry`] into fixed-capacity ring buffers and answers
@@ -362,6 +381,17 @@ impl MetricSampler {
     /// The stamp of the newest buffered frame.
     pub fn latest_stamp(&self) -> Option<u64> {
         self.last_stamp
+    }
+
+    /// Whether the sampler has ever tracked a metric called `name` (of any
+    /// kind). Health rules use this to distinguish a metric that exists but
+    /// has too little history yet from one that was **never registered** —
+    /// the latter usually means a misspelled rule or a component that never
+    /// came up.
+    pub fn has_metric(&self, name: &str) -> bool {
+        self.counters.iter().any(|s| s.name == name)
+            || self.gauges.iter().any(|s| s.name == name)
+            || self.hists.iter().any(|s| s.name == name)
     }
 
     /// The ticks whose stamps fall inside `[newest - window, newest]`,

@@ -20,7 +20,7 @@ use std::io::{self, BufRead, Write};
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
 use megastream::ops::OpsPlane;
 use megastream_flow::time::{TimeDelta, Timestamp};
-use megastream_telemetry::{Telemetry, Tracer};
+use megastream_telemetry::{Profiler, Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 const HELP: &str = "\
@@ -35,6 +35,8 @@ meta commands: \\help  \\locations  \\windows <location>
                :explain <query>  (EXPLAIN ANALYZE — result + span tree)
                :health           (component states + alert log)
                :metrics [prom]   (metric snapshot — text or Prometheus)
+               :profile [<file>] (top activities + heaviest queries;
+                                  with <file>, write collapsed stacks)
                \\quit";
 
 fn main() {
@@ -46,12 +48,15 @@ fn main() {
     } else {
         Tracer::disabled()
     };
-    // Telemetry is always on in the shell so `:health` / `:metrics` have
-    // something to show; the ops plane samples once per simulated second.
+    // Telemetry and the profiler are always on in the shell so `:health`
+    // / `:metrics` / `:profile` have something to show; the ops plane
+    // samples once per simulated second.
     let tel = Telemetry::new();
+    let profiler = Profiler::new();
     let mut fs = Flowstream::new(2, 4, FlowstreamConfig::default())
         .with_telemetry(&tel)
-        .with_tracer(&tracer);
+        .with_tracer(&tracer)
+        .with_profiler(&profiler);
     let mut ops = OpsPlane::standard(&tel).expect("telemetry is enabled");
     let mut clock = Timestamp::ZERO;
     for rec in FlowTraceGenerator::new(FlowTraceConfig {
@@ -106,6 +111,24 @@ fn main() {
                 clock += TimeDelta::from_secs(1);
                 ops.force_tick(clock);
                 print!("{}", tel.snapshot().render_prometheus());
+            }
+            _ if line.starts_with(":profile") || line.starts_with("\\profile") => {
+                let file = line
+                    .trim_start_matches(":profile")
+                    .trim_start_matches("\\profile")
+                    .trim();
+                let snap = fs.profile_snapshot();
+                print!("{}", snap.render_top(10));
+                println!("heaviest queries (by work units):");
+                for (q, work) in fs.heavy_queries(5) {
+                    println!("{work:>12}  {q}");
+                }
+                if !file.is_empty() {
+                    match std::fs::write(file, snap.render_collapsed()) {
+                        Ok(()) => println!("collapsed stacks -> {file}"),
+                        Err(e) => println!("could not write {file}: {e}"),
+                    }
+                }
             }
             _ if line.starts_with(":explain") || line.starts_with("\\explain") => {
                 let q = line
@@ -172,5 +195,11 @@ fn main() {
             println!("{line}");
         }
         println!("...");
+        println!("flowql> :profile");
+        print!("{}", fs.profile_snapshot().render_top(5));
+        println!("heaviest queries (by work units):");
+        for (q, work) in fs.heavy_queries(3) {
+            println!("{work:>12}  {q}");
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! cargo run --example network_monitoring -- --threads 4 # parallel data plane
 //! cargo run --example network_monitoring -- --health    # + live health alerts
 //! cargo run --example network_monitoring -- --watch     # + periodic dashboards
+//! cargo run --example network_monitoring -- --profile   # + flamegraph profile
 //! ```
 //!
 //! `--chaos --health` shows the ops plane reacting live: the flowstream
@@ -29,7 +30,7 @@ use megastream_flow::mask::GeneralizationSchema;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
 use megastream_netsim::FaultPlan;
-use megastream_telemetry::{Telemetry, Tracer};
+use megastream_telemetry::{Profiler, Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator, TrafficEvent};
 
 /// The operator queries during the outage: `Partial` answers what it can
@@ -87,6 +88,12 @@ fn main() {
     } else {
         Tracer::disabled()
     };
+    let want_profile = std::env::args().any(|a| a == "--profile");
+    let profiler = if want_profile {
+        Profiler::new()
+    } else {
+        Profiler::disabled()
+    };
     let victim: Ipv4Addr = "100.64.0.1".parse().unwrap();
     let attack_window =
         TimeWindow::starting_at(Timestamp::from_secs(120), TimeDelta::from_secs(60));
@@ -119,7 +126,8 @@ fn main() {
         },
     )
     .with_telemetry(&tel)
-    .with_tracer(&tracer);
+    .with_tracer(&tracer)
+    .with_profiler(&profiler);
 
     // --- chaos mode: region 1 loses its NOC uplink during the attack
     // minute. Exports spill locally and re-aggregate after recovery; the
@@ -280,5 +288,22 @@ fn main() {
             fs.trace_snapshot().trace_ids().len()
         );
         print!("{}", fs.trace_report());
+    }
+
+    // --- cost view: where the run's time went, and which FlowQL queries
+    // did the most deterministic work.
+    if want_profile {
+        let snap = fs.profile_snapshot();
+        println!("\n--- profile ({} paths) ---", snap.activities.len());
+        print!("{}", snap.render_top(10));
+        println!("\n--- heaviest queries (by work units) ---");
+        for (q, work) in fs.heavy_queries(3) {
+            println!("{work:>12}  {q}");
+        }
+        let path = std::path::Path::new("target").join("network_monitoring.collapsed");
+        match std::fs::write(&path, snap.render_collapsed()) {
+            Ok(()) => println!("collapsed stacks -> {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
     }
 }

@@ -9,8 +9,9 @@
 //! while region-1 is unreachable and recovers after the flush.
 //!
 //! ```text
-//! cargo run --example opsview             # a dashboard frame every 30 s
-//! cargo run --example opsview -- --live   # redraw in place (ANSI clear)
+//! cargo run --example opsview              # a dashboard frame every 30 s
+//! cargo run --example opsview -- --live    # redraw in place (ANSI clear)
+//! cargo run --example opsview -- --profile # + flamegraph profile at exit
 //! ```
 //!
 //! The run ends with the final dashboard, the health report with the
@@ -20,13 +21,21 @@ use megastream::flowstream::{DegradationPolicy, Flowstream, FlowstreamConfig};
 use megastream::ops::OpsPlane;
 use megastream_flow::time::{TimeDelta, Timestamp};
 use megastream_netsim::FaultPlan;
-use megastream_telemetry::Telemetry;
+use megastream_telemetry::{Profiler, Telemetry};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 fn main() {
     let live = std::env::args().any(|a| a == "--live");
+    let want_profile = std::env::args().any(|a| a == "--profile");
     let tel = Telemetry::new();
-    let mut fs = Flowstream::new(3, 2, FlowstreamConfig::default()).with_telemetry(&tel);
+    let profiler = if want_profile {
+        Profiler::new()
+    } else {
+        Profiler::disabled()
+    };
+    let mut fs = Flowstream::new(3, 2, FlowstreamConfig::default())
+        .with_telemetry(&tel)
+        .with_profiler(&profiler);
     let mut plan = FaultPlan::seeded(7);
     plan.link_down(
         fs.region_node(1),
@@ -88,4 +97,14 @@ fn main() {
         println!("{line}");
     }
     println!("...");
+    if want_profile {
+        let snap = fs.profile_snapshot();
+        println!("\n=== profile ({} paths) ===", snap.activities.len());
+        print!("{}", snap.render_top(10));
+        let path = std::path::Path::new("target").join("opsview.collapsed");
+        match std::fs::write(&path, snap.render_collapsed()) {
+            Ok(()) => println!("collapsed stacks -> {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }

@@ -8,6 +8,7 @@
 //! cargo run --example quickstart -- --threads 4  # parallel query fan-out
 //! cargo run --example quickstart -- --health     # + ops-plane health report
 //! cargo run --example quickstart -- --watch      # + live dashboard frames
+//! cargo run --example quickstart -- --profile    # + flamegraph profile
 //! ```
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
@@ -17,7 +18,7 @@ use megastream_flow::key::FlowKey;
 use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeDelta, Timestamp};
 use megastream_flowtree::{Flowtree, FlowtreeConfig};
-use megastream_telemetry::{Telemetry, Tracer};
+use megastream_telemetry::{Profiler, Telemetry, Tracer};
 use megastream_workloads::netflow::{FlowTraceConfig, FlowTraceGenerator};
 
 /// `--threads N` from the command line, or the `Auto` default.
@@ -138,11 +139,14 @@ fn main() {
     // causal span tree; --threads N answers the queries with an N-worker
     // fan-out (same results by construction — DESIGN.md §10); --health
     // folds the sampled registry through the standard health rules and
-    // prints the report; --watch also renders dashboard frames.
+    // prints the report; --watch also renders dashboard frames; --profile
+    // aggregates scoped activities into a flamegraph (top-N table on
+    // stdout plus a collapsed-stack file for flamegraph.pl).
     let threads_given = std::env::args().any(|a| a == "--threads");
     let want_health = std::env::args().any(|a| a == "--health");
     let want_watch = std::env::args().any(|a| a == "--watch");
-    if stats || want_trace || threads_given || want_health || want_watch {
+    let want_profile = std::env::args().any(|a| a == "--profile");
+    if stats || want_trace || threads_given || want_health || want_watch || want_profile {
         if threads_given {
             println!("\nflowstream parallelism: {parallelism}");
         }
@@ -162,6 +166,10 @@ fn main() {
         }
         if want_trace {
             fs.set_tracer(&tracer);
+        }
+        let profiler = Profiler::new();
+        if want_profile {
+            fs.set_profiler(&profiler);
         }
         let mut ops = if want_health || want_watch {
             OpsPlane::standard(&tel)
@@ -209,6 +217,16 @@ fn main() {
                 fs.trace_snapshot().spans.len()
             );
             print!("{}", fs.trace_report());
+        }
+        if want_profile {
+            let snap = fs.profile_snapshot();
+            println!("\n--- profile ({} paths) ---", snap.activities.len());
+            print!("{}", snap.render_top(10));
+            let path = std::path::Path::new("target").join("quickstart.collapsed");
+            match std::fs::write(&path, snap.render_collapsed()) {
+                Ok(()) => println!("collapsed stacks -> {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
         }
     }
 }

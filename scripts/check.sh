@@ -32,6 +32,22 @@ echo "==> parallel equivalence oracle (run twice: results must not flake)"
 cargo test --test parallel_e2e -q
 cargo test --test parallel_e2e -q
 
+echo "==> accounting plane: profiler/cost e2e + accounting property suites"
+cargo test --test profile_e2e --test accounting_props -q
+
+echo "==> collapsed-stack export (quickstart --profile)"
+cargo run -q --release --example quickstart -- --profile >/dev/null
+test -s target/quickstart.collapsed
+# Every line must be `path count` with a positive integer count and no
+# empty `;`-separated frames — the format flamegraph.pl consumes.
+awk '
+  {
+    if (NF < 2 || $NF !~ /^[0-9]+$/ || $NF == "0") { print "bad line: " $0; exit 1 }
+    path = $0; sub(/ [0-9]+$/, "", path)
+    if (path == "" || path ~ /^;/ || path ~ /;;/ || path ~ /;$/) { print "bad path: " $0; exit 1 }
+  }
+' target/quickstart.collapsed
+
 echo "==> megalint (static analysis, deny mode)"
 # Replaces the old grep/awk gates (#[ignore], telemetry unwrap/expect,
 # unsafe) with the lexer-aware analyzer: it tokenizes instead of pattern
