@@ -33,7 +33,7 @@ impl Pass for Determinism {
 outside the one sanctioned site, `crates/telemetry/src/clock.rs` (bench harnesses, the \
 vendored criterion shim, tests, and examples are exempt); (b) the identifiers `HashMap` / \
 `HashSet` in non-test code of the result-affecting crates (flow, flowtree, flowdb, \
-datastore, primitives, replication).\n\
+datastore, primitives, replication, storage).\n\
 WHY: the PR 4 equivalence proof (tests/parallel_e2e.rs, tests/merge_laws.rs) shows \
 Sequential and Threads(n) runs are bit-identical — which is only true because partials \
 merge in fixed BTreeMap location order and no result path consults a clock. A stray \

@@ -36,7 +36,7 @@ impl Pass for PanicSurface {
     fn explain(&self) -> &'static str {
         "WHAT: flags `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, and \
 `unimplemented!` in the non-test code of the data-plane crates (flow, flowtree, flowdb, \
-datastore, primitives, replication, telemetry), at deny level. Direct slice/array indexing \
+datastore, primitives, replication, storage, telemetry), at deny level. Direct slice/array indexing \
 `x[i]` is reported at warn level: the Flowtree node arena indexes by id as a designed \
 invariant, so indexing is advisory information, not a gate.\n\
 WHY: PR 3's graceful-degradation contract routes every fault through Result/AccessError \

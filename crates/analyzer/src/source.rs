@@ -27,6 +27,7 @@ pub const DATA_PLANE_CRATES: &[&str] = &[
     "datastore",
     "primitives",
     "replication",
+    "storage",
     "telemetry",
 ];
 
@@ -40,6 +41,7 @@ pub const RESULT_AFFECTING_CRATES: &[&str] = &[
     "datastore",
     "primitives",
     "replication",
+    "storage",
 ];
 
 /// Vendored stand-ins for crates.io packages (offline build): analyzed only

@@ -12,6 +12,7 @@
 //! and answers FlowQL queries.
 
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::sync::Mutex;
 
 use megastream_datastore::store::DataStore;
@@ -28,12 +29,16 @@ use megastream_flowtree::FlowtreeConfig;
 use megastream_netsim::hierarchy::IspTopology;
 use megastream_netsim::topology::{Network, NodeId};
 use megastream_primitives::SpaceSaving;
+use megastream_storage::{
+    ColdTier, EpochBundle, EpochMeta, Frame, RecoveryReport, RegionStatsSnapshot, SegmentError,
+    SyncPolicy, WalRecord,
+};
 use megastream_telemetry::{
     labeled, Counter, Gauge, Histogram, ProfileSnapshot, Profiler, ScopedTimer, Snapshot,
     Telemetry, TraceSnapshot, Tracer, LATENCY_MICROS_BOUNDS,
 };
 
-use crate::hierarchy::{absorb_summary, summaries_mergeable};
+use crate::hierarchy::{absorb_summary, jitter_micros, summaries_mergeable};
 
 /// What a fan-out query does when some locations are unreachable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,6 +77,10 @@ pub struct FlowstreamConfig {
     pub export_retries: u32,
     /// Backoff before the first export retry; doubles per retry.
     pub export_backoff: TimeDelta,
+    /// Seed of the deterministic jitter added to each export backoff so
+    /// concurrent regions don't retry in lock-step (thundering herd). The
+    /// same seed reproduces the same retry schedule bit-for-bit.
+    pub export_jitter_seed: u64,
     /// Per-region spill buffer bound for summaries awaiting a recovered
     /// uplink (oldest dropped, with accounting, on overflow).
     pub spill_capacity_bytes: u64,
@@ -96,6 +105,7 @@ impl Default for FlowstreamConfig {
             degradation: DegradationPolicy::default(),
             export_retries: 3,
             export_backoff: TimeDelta::from_millis(200),
+            export_jitter_seed: 0,
             spill_capacity_bytes: 4 << 20,
             parallelism: Parallelism::default(),
         }
@@ -245,6 +255,11 @@ pub struct Flowstream {
     now: Timestamp,
     rr: usize,
     trigger_log: Vec<TriggerEvent>,
+    /// Optional durable cold tier: ingests are WAL-logged, every rotation
+    /// seals one checksummed epoch segment, and
+    /// [`Flowstream::recover`] rebuilds the deployment from both after a
+    /// crash. `None` keeps the system purely in-memory.
+    cold: Option<ColdTier>,
 }
 
 /// Running totals of fault handling, copied into [`FlowstreamStats`].
@@ -309,7 +324,71 @@ impl Flowstream {
             now: Timestamp::ZERO,
             rr: 0,
             trigger_log: Vec::new(),
+            cold: None,
         }
+    }
+
+    /// Attaches a durable cold tier: from here on every ingested record is
+    /// WAL-logged before it is applied and every rotation seals one
+    /// checksummed epoch segment in the tier's directory. Attach before
+    /// the first ingest (or right after [`Flowstream::recover`]) so the
+    /// journal covers the deployment's whole history.
+    ///
+    /// Storage failures never disturb the data plane: the tier is marked
+    /// dead on the first real I/O error and the stream degrades to
+    /// in-memory operation ([`Flowstream::cold_tier_dead`] turns true).
+    pub fn attach_cold_tier(&mut self, tier: ColdTier) {
+        self.cold = Some(tier);
+    }
+
+    /// The attached cold tier, if any.
+    pub fn cold_tier(&self) -> Option<&ColdTier> {
+        self.cold.as_ref()
+    }
+
+    /// Mutable access to the attached cold tier — e.g. to install a
+    /// [`FaultSpec`](megastream_storage::FaultSpec) in crash tests.
+    pub fn cold_tier_mut(&mut self) -> Option<&mut ColdTier> {
+        self.cold.as_mut()
+    }
+
+    /// Detaches and returns the cold tier; the stream continues in-memory.
+    pub fn detach_cold_tier(&mut self) -> Option<ColdTier> {
+        self.cold.take()
+    }
+
+    /// Whether an attached cold tier has died (injected crash point or
+    /// real storage failure). A durability harness polls this after each
+    /// ingest to decide when to kill and recover the deployment.
+    pub fn cold_tier_dead(&self) -> bool {
+        self.cold.as_ref().is_some_and(ColdTier::is_dead)
+    }
+
+    /// Whether a cold tier is attached and still accepting writes.
+    fn cold_active(&self) -> bool {
+        self.cold.as_ref().is_some_and(|t| !t.is_dead())
+    }
+
+    /// Runs one cold-tier operation, declaring the tier dead on any real
+    /// failure so the data plane degrades to in-memory instead of
+    /// erroring. No-op when no live tier is attached.
+    fn cold_op(&mut self, op: impl FnOnce(&mut ColdTier) -> Result<(), SegmentError>) {
+        let Some(tier) = self.cold.as_mut() else {
+            return;
+        };
+        if tier.is_dead() {
+            return;
+        }
+        if let Err(e) = op(tier) {
+            if !matches!(e, SegmentError::TierDead) {
+                tier.mark_dead(e);
+            }
+        }
+    }
+
+    /// Journals one frame into the cold tier's open epoch segment.
+    fn cold_frame(&mut self, frame: Frame) {
+        self.cold_op(|t| t.append_frame(&frame));
     }
 
     /// Sets how many worker threads the data plane uses — region epoch
@@ -501,6 +580,12 @@ impl Flowstream {
     /// Ingests one flow record observed at `router` in `region` (①).
     /// Records must arrive in non-decreasing time order.
     ///
+    /// With a cold tier attached, the record is WAL-logged *before* it is
+    /// applied: a record is either durable and applied, or neither. When
+    /// the WAL write fails the tier is marked dead and the record is
+    /// dropped un-applied — after [`Flowstream::recover`], the client
+    /// re-sends from exactly that record.
+    ///
     /// # Panics
     ///
     /// Panics if `region`/`router` are out of range.
@@ -514,6 +599,32 @@ impl Flowstream {
             let at = self.epoch_end;
             self.rotate(at);
         }
+        if self.cold_active() {
+            let wrec = WalRecord {
+                rr: self.rr as u64,
+                region: region as u32,
+                router: router as u32,
+                record: *rec,
+            };
+            let mut logged = false;
+            self.cold_op(|t| {
+                t.wal_append(&wrec)?;
+                logged = true;
+                Ok(())
+            });
+            if !logged {
+                // WAL'd ⇔ applied: an un-logged record is never applied,
+                // so recovery converges with a client that re-sends it.
+                return;
+            }
+        }
+        self.apply_ingest(region, router, rec);
+    }
+
+    /// The in-memory half of [`Flowstream::ingest`]: applies one record
+    /// whose timestamp is within the current epoch. WAL replay calls this
+    /// directly — the replayed record is already in the journal.
+    fn apply_ingest(&mut self, region: usize, router: usize, rec: &FlowRecord) {
         // Started after any rotations so `flowstream.rotate` stays a root
         // activity of its own rather than nesting under every ingest.
         let _activity = self.profiler.activity("flowstream.ingest");
@@ -557,6 +668,8 @@ impl Flowstream {
     fn rotate(&mut self, at: Timestamp) {
         let rotate_timer = ScopedTimer::start(&self.metrics.rotate_micros);
         let _activity = self.profiler.activity("flowstream.rotate");
+        // Open this epoch's segment before any frame can be produced.
+        self.cold_op(|t| t.begin_epoch(at));
         // ① account the raw router → region-store transfers of this epoch.
         for g in 0..self.raw_pending.len() {
             for r in 0..self.raw_pending[g].len() {
@@ -625,8 +738,49 @@ impl Flowstream {
         }
         drop(export_activity);
         export_timer.stop();
+        if self.cold_active() {
+            // The Meta frame is written last: replay reruns the epoch's
+            // deliveries/parks and then snaps counters and cursors to the
+            // authoritative end-of-epoch values. Sealing renames the
+            // segment into place atomically; only then is the WAL — whose
+            // records this epoch just made redundant — reset.
+            let meta = Frame::Meta(self.snapshot_meta());
+            self.cold_frame(meta);
+            self.cold_op(|t| t.seal_epoch());
+            self.cold_op(|t| t.wal_reset());
+        }
         self.epoch_end = at + self.config.epoch_len;
         rotate_timer.stop();
+    }
+
+    /// End-of-epoch snapshot journaled as the sealing [`Frame::Meta`]:
+    /// everything recovery cannot re-derive by replaying the epoch's
+    /// frames — watermark, round-robin cursor, fault counters, deferred
+    /// raw-transfer accounting, and per-region ingest statistics.
+    fn snapshot_meta(&self) -> EpochMeta {
+        EpochMeta {
+            now: self.now,
+            rr: self.rr as u64,
+            export_retries: self.faults_seen.export_retries,
+            spilled: self.faults_seen.spilled,
+            flushed: self.faults_seen.flushed,
+            dropped: self.faults_seen.dropped,
+            dropped_bytes: self.faults_seen.dropped_bytes,
+            raw_deferrals: self.faults_seen.raw_deferrals,
+            raw_pending: self.raw_pending.clone(),
+            region_stats: self
+                .regions
+                .iter()
+                .map(|store| {
+                    let s = store.stats();
+                    RegionStatsSnapshot {
+                        flows: s.flows,
+                        scalars: s.scalars,
+                        raw_bytes: s.raw_bytes,
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Exports one region summary to the NOC with bounded retry +
@@ -639,13 +793,26 @@ impl Flowstream {
         for attempt in 0..=self.config.export_retries {
             match self.topology.network.transfer(from, to, bytes, attempt_at) {
                 Ok(_) => {
+                    if self.cold_active() {
+                        self.cold_frame(Frame::Exported {
+                            region: g as u32,
+                            summary: summary.clone(),
+                        });
+                    }
                     self.deliver_to_noc(g, summary, at);
                     return;
                 }
                 Err(e) if e.is_transient() && attempt < self.config.export_retries => {
                     self.faults_seen.export_retries += 1;
                     self.tel.counter("flowstream.export.retries_total").inc();
-                    attempt_at += backoff;
+                    let salt = at
+                        .as_micros()
+                        .wrapping_mul(31)
+                        .wrapping_add((g as u64) << 40)
+                        .wrapping_add(bytes)
+                        .wrapping_add(u64::from(attempt));
+                    attempt_at +=
+                        backoff + jitter_micros(self.config.export_jitter_seed, salt, backoff);
                     backoff = TimeDelta::from_micros(backoff.as_micros().saturating_mul(2));
                 }
                 Err(e) if e.is_transient() => {
@@ -675,6 +842,14 @@ impl Flowstream {
     /// oldest-first drops. FlowDB indexing is deferred until the flush —
     /// the data has not reached the NOC yet.
     fn park(&mut self, g: usize, summary: StoredSummary, at: Timestamp) {
+        // Journal the incoming summary pre-merge: replay reruns this very
+        // method, reproducing the merge/overflow decisions bit-for-bit.
+        if self.cold_active() {
+            self.cold_frame(Frame::Parked {
+                region: g as u32,
+                summary: summary.clone(),
+            });
+        }
         let location = format!("region-{g}");
         if let Some(existing) = self.spill[g]
             .iter_mut()
@@ -716,6 +891,12 @@ impl Flowstream {
                         self.spill_bytes[g] = self.spill_bytes[g].saturating_sub(bytes);
                         self.faults_seen.flushed += 1;
                         self.tel.counter("flowstream.spill.flushed_total").inc();
+                        if self.cold_active() {
+                            self.cold_frame(Frame::Flushed {
+                                region: g as u32,
+                                summary: summary.clone(),
+                            });
+                        }
                         self.deliver_to_noc(g, summary, at);
                     }
                     Err(e) if e.is_transient() => break,
@@ -731,6 +912,162 @@ impl Flowstream {
     pub fn finish(&mut self) {
         let at = self.epoch_end.max(self.now);
         self.rotate(at);
+    }
+
+    /// Rebuilds a deployment from a cold tier's on-disk state after a
+    /// crash: sealed epoch segments replay first (rebuilding region
+    /// summary stores, the NOC store, FlowDB, and spill buffers), then the
+    /// WAL replays the current epoch's ingests. The recovered stream
+    /// converges bit-identically with a never-crashed run on query
+    /// results, accounted bytes, live scores, and ingest statistics —
+    /// telemetry counters and simulated-network byte meters are
+    /// deliberately *not* restored (they describe the process, not the
+    /// data).
+    ///
+    /// Torn tails are truncated and bit-flipped frames quarantined during
+    /// the underlying [`ColdTier::open`]; the returned
+    /// [`RecoveryReport`] counts both. A record whose WAL append failed at
+    /// crash time was never applied, so the client re-sends from exactly
+    /// the first unacknowledged record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentError`] when the store is unreadable or an epoch
+    /// segment is missing from the sequence — corruption *within* frames
+    /// is repaired, not fatal.
+    pub fn recover(
+        regions: usize,
+        routers_per_region: usize,
+        config: FlowstreamConfig,
+        dir: &Path,
+        sync: SyncPolicy,
+        tel: &Telemetry,
+    ) -> Result<(Self, RecoveryReport), SegmentError> {
+        let (tier, report) = ColdTier::open(dir, sync, tel.clone())?;
+        let mut fs = Flowstream::new(regions, routers_per_region, config);
+        fs.set_telemetry(tel);
+        for bundle in &report.bundles {
+            fs.replay_bundle(bundle);
+        }
+        // Attach only now: sealed-epoch replay must never write frames.
+        fs.cold = Some(tier);
+        let replayed = tel.counter("storage.wal.replayed_total");
+        for rec in &report.wal_records {
+            fs.replay_wal_record(rec);
+            replayed.inc();
+        }
+        Ok((fs, report))
+    }
+
+    /// Replays one sealed epoch. Every summary a region exported this
+    /// epoch — delivered (`Exported`) or parked — also entered its summary
+    /// store at rotation, so those rebuild the rotation first; then the
+    /// frames rerun the epoch's deliveries and parks in their original
+    /// order; the closing `Meta` frame snaps counters and cursors to their
+    /// authoritative end-of-epoch values.
+    fn replay_bundle(&mut self, bundle: &EpochBundle) {
+        let at = bundle.at;
+        let mut rotated: Vec<Vec<StoredSummary>> = vec![Vec::new(); self.regions.len()];
+        for frame in &bundle.frames {
+            if let Frame::Exported { region, summary } | Frame::Parked { region, summary } = frame {
+                if let Some(row) = rotated.get_mut(*region as usize) {
+                    row.push(summary.clone());
+                }
+            }
+        }
+        // Every region rotated this epoch (possibly exporting nothing) —
+        // restore unconditionally so epoch starts and counts line up.
+        for (g, summaries) in rotated.iter().enumerate() {
+            self.regions[g].restore_rotation(summaries, at);
+        }
+        for frame in &bundle.frames {
+            match frame {
+                Frame::Flushed { region, summary } => {
+                    let g = *region as usize;
+                    if g >= self.regions.len() {
+                        continue;
+                    }
+                    if let Some(front) =
+                        (!self.spill[g].is_empty()).then(|| self.spill[g].remove(0))
+                    {
+                        self.spill_bytes[g] =
+                            self.spill_bytes[g].saturating_sub(front.wire_size() as u64);
+                    }
+                    self.deliver_to_noc(g, summary.clone(), at);
+                }
+                Frame::Exported { region, summary } => {
+                    let g = *region as usize;
+                    if g < self.regions.len() {
+                        self.deliver_to_noc(g, summary.clone(), at);
+                    }
+                }
+                Frame::Parked { region, summary } => {
+                    let g = *region as usize;
+                    if g < self.regions.len() {
+                        self.park(g, summary.clone(), at);
+                    }
+                }
+                Frame::Meta(meta) => self.apply_meta(meta),
+            }
+        }
+        if self.noc.epoch_due(at) {
+            let exported = self.noc.rotate_epoch(at);
+            for summary in exported {
+                if let Summary::Flowtree(tree) = &summary.summary {
+                    self.flowdb.insert("noc", summary.window, tree.clone());
+                }
+            }
+        }
+        self.epoch_end = at + self.config.epoch_len;
+        self.update_spill_gauges();
+    }
+
+    /// Applies a journaled end-of-epoch snapshot (see
+    /// [`Flowstream::snapshot_meta`]).
+    fn apply_meta(&mut self, meta: &EpochMeta) {
+        self.now = meta.now;
+        self.rr = meta.rr as usize;
+        self.faults_seen.export_retries = meta.export_retries;
+        self.faults_seen.spilled = meta.spilled;
+        self.faults_seen.flushed = meta.flushed;
+        self.faults_seen.dropped = meta.dropped;
+        self.faults_seen.dropped_bytes = meta.dropped_bytes;
+        self.faults_seen.raw_deferrals = meta.raw_deferrals;
+        for (g, row) in meta.raw_pending.iter().enumerate() {
+            let Some(mine) = self.raw_pending.get_mut(g) else {
+                break;
+            };
+            for (r, &pending) in row.iter().enumerate() {
+                if let Some(slot) = mine.get_mut(r) {
+                    *slot = pending;
+                }
+            }
+        }
+        for (g, snap) in meta.region_stats.iter().enumerate() {
+            if g >= self.regions.len() {
+                break;
+            }
+            self.regions[g].restore_ingest_stats(snap.flows, snap.scalars, snap.raw_bytes);
+        }
+    }
+
+    /// Replays one WAL record of the epoch in flight at crash time: it is
+    /// re-logged into the fresh WAL (preserving the original round-robin
+    /// cursor, so a second crash before the next seal still recovers) and
+    /// applied. Records are guaranteed in-epoch — a record beyond the
+    /// epoch end would have rotated (and reset the WAL) before being
+    /// logged.
+    fn replay_wal_record(&mut self, wrec: &WalRecord) {
+        let region = wrec.region as usize;
+        let router = wrec.router as usize;
+        if region >= self.regions.len() || router >= self.raw_pending[region].len() {
+            return;
+        }
+        let rec = wrec.record;
+        let copy = *wrec;
+        self.cold_op(|t| t.wal_append(&copy));
+        self.apply_ingest(region, router, &rec);
+        self.rr = wrec.rr as usize;
     }
 
     /// Runs a FlowQL query against the indexed summaries (⑤), under the

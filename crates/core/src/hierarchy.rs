@@ -17,6 +17,7 @@ use megastream_flowdb::par::fan_out;
 use megastream_flowdb::Parallelism;
 use megastream_netsim::topology::{Network, NodeId, TransferError};
 use megastream_primitives::aggregator::Combinable;
+use megastream_storage::{ColdTier, Frame, SegmentError};
 use megastream_telemetry::{
     labeled, Profiler, Telemetry, TraceSpan, Tracer, LATENCY_MICROS_BOUNDS,
 };
@@ -49,6 +50,11 @@ pub struct PumpPolicy {
     /// Per-edge spill buffer bound; the oldest spilled summaries are
     /// dropped (with accounting) when an insert would exceed it.
     pub spill_capacity_bytes: u64,
+    /// Seed of the deterministic retry jitter: each backoff step is
+    /// stretched by up to half its length, decorrelating the retry storms
+    /// of many edges hitting the same outage. Same seed → bit-identical
+    /// schedule, so determinism tests hold.
+    pub jitter_seed: u64,
 }
 
 impl Default for PumpPolicy {
@@ -57,8 +63,24 @@ impl Default for PumpPolicy {
             max_retries: 3,
             initial_backoff: TimeDelta::from_millis(200),
             spill_capacity_bytes: 4 << 20,
+            jitter_seed: 0,
         }
     }
+}
+
+/// Deterministic backoff jitter (SplitMix64 over `seed ^ salt`): a delta in
+/// `[0, backoff/2)`, so retries from different edges decorrelate while any
+/// fixed seed reproduces the exact schedule.
+pub(crate) fn jitter_micros(seed: u64, salt: u64, backoff: TimeDelta) -> TimeDelta {
+    let mut z = (seed ^ salt).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let span = backoff.as_micros() / 2;
+    if span == 0 {
+        return TimeDelta::ZERO;
+    }
+    TimeDelta::from_micros(z % span)
 }
 
 /// Fatal error from [`StoreHierarchy::pump`]: the topology itself is broken
@@ -142,6 +164,11 @@ pub struct StoreHierarchy {
     profiler: Profiler,
     policy: PumpPolicy,
     par: Parallelism,
+    /// Optional durable audit trail: every delivered summary of a pump is
+    /// journaled as one epoch segment (write-through, sealed per pump).
+    cold: Option<ColdTier>,
+    /// Frames accumulated during the current pump, flushed at its end.
+    pump_audit: Vec<Frame>,
 }
 
 impl StoreHierarchy {
@@ -155,6 +182,53 @@ impl StoreHierarchy {
             profiler: Profiler::disabled(),
             policy: PumpPolicy::default(),
             par: Parallelism::default(),
+            cold: None,
+            pump_audit: Vec::new(),
+        }
+    }
+
+    /// Attaches a durable cold tier as a write-through audit trail: each
+    /// [`StoreHierarchy::pump`] that delivers summaries seals one epoch
+    /// segment recording them (exports as `Exported` frames, recovered
+    /// spills as `Flushed`), verifiable offline with `mega-fsck`. A failed
+    /// tier is marked dead and the pump continues in memory.
+    pub fn attach_cold_tier(&mut self, tier: ColdTier) {
+        self.cold = Some(tier);
+    }
+
+    /// The attached audit tier, if any.
+    pub fn cold_tier(&self) -> Option<&ColdTier> {
+        self.cold.as_ref()
+    }
+
+    /// Detaches and returns the audit tier.
+    pub fn detach_cold_tier(&mut self) -> Option<ColdTier> {
+        self.cold.take()
+    }
+
+    /// Seals the frames collected during one pump into an epoch segment on
+    /// the audit tier. Any failure kills the tier (first error retained via
+    /// [`ColdTier::first_error`]); the data plane is never disturbed.
+    fn write_pump_audit(&mut self, now: Timestamp) {
+        let frames = std::mem::take(&mut self.pump_audit);
+        let Some(tier) = self.cold.as_mut() else {
+            return;
+        };
+        if frames.is_empty() || tier.is_dead() {
+            return;
+        }
+        let result = (|| -> Result<(), SegmentError> {
+            tier.begin_epoch(now)?;
+            for frame in &frames {
+                tier.append_frame(frame)?;
+            }
+            tier.seal_epoch()?;
+            tier.wal_reset()
+        })();
+        if let Err(e) = result {
+            if !matches!(e, SegmentError::TierDead) {
+                tier.mark_dead(e);
+            }
         }
     }
 
@@ -418,6 +492,7 @@ impl StoreHierarchy {
             }
             drop(export_activity);
         }
+        self.write_pump_audit(now);
         pump_span.finish();
         Ok(stats)
     }
@@ -500,6 +575,12 @@ impl StoreHierarchy {
                     level_bytes += bytes;
                     export_span.add_bytes(bytes);
                     export_span.add_records(1);
+                    if self.cold.is_some() {
+                        self.pump_audit.push(Frame::Exported {
+                            region: i as u32,
+                            summary: summary.clone(),
+                        });
+                    }
                     if absorb(&mut self.entries[parent].store, &summary) {
                         stats.absorbed += 1;
                         absorbed += 1;
@@ -561,7 +642,14 @@ impl StoreHierarchy {
                 Err(err) if err.is_transient() && attempt < self.policy.max_retries => {
                     stats.retries += 1;
                     self.tel.counter("hierarchy.export.retries_total").inc();
-                    attempt_at += backoff;
+                    let salt = now
+                        .as_micros()
+                        .wrapping_mul(31)
+                        .wrapping_add((from.index() as u64) << 40)
+                        .wrapping_add((to.index() as u64) << 20)
+                        .wrapping_add(bytes)
+                        .wrapping_add(attempt as u64);
+                    attempt_at += backoff + jitter_micros(self.policy.jitter_seed, salt, backoff);
                     backoff = TimeDelta::from_micros(backoff.as_micros().saturating_mul(2));
                 }
                 Err(err) => return Err(err),
@@ -600,6 +688,11 @@ impl StoreHierarchy {
             self.tel.counter("hierarchy.spill.dropped_total").inc();
             self.tel
                 .counter("hierarchy.spill.dropped_bytes_total")
+                .add(bytes);
+            // Per-edge attribution, so a durability audit can pin a drop to
+            // the specific store whose uplink overflowed its buffer.
+            self.tel
+                .counter(&labeled("hierarchy.spill.dropped_bytes", "edge", &location))
                 .add(bytes);
         }
         self.update_spill_gauges(i);
@@ -657,6 +750,12 @@ impl StoreHierarchy {
                     flush_span.add_bytes(bytes);
                     flush_span.add_records(1);
                     self.tel.counter("hierarchy.spill.flushed_total").inc();
+                    if self.cold.is_some() {
+                        self.pump_audit.push(Frame::Flushed {
+                            region: i as u32,
+                            summary: summary.clone(),
+                        });
+                    }
                     if absorb(&mut self.entries[parent].store, &summary) {
                         stats.absorbed += 1;
                     } else {
@@ -978,6 +1077,74 @@ mod tests {
         assert_eq!(
             s1.exported_summaries + s2.exported_summaries,
             ref_s1.exported_summaries + ref_s2.exported_summaries,
+        );
+    }
+
+    /// A pump with a cold tier attached seals one verifiable epoch segment
+    /// journaling every delivered summary.
+    #[test]
+    fn pump_audit_seals_verifiable_epochs() {
+        let dir =
+            std::env::temp_dir().join(format!("megastream-pump-audit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut h, _root, a, b) = two_level();
+        let tier = ColdTier::create(
+            &dir,
+            megastream_storage::SyncPolicy::OnSeal,
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        h.attach_cold_tier(tier);
+        for (id, src) in [(a, "10.0.0.1"), (b, "10.1.0.1")] {
+            h.ingest_flow(id, &"r".into(), &rec(src, 5), Timestamp::from_secs(10));
+        }
+        let stats = h.pump(Timestamp::from_secs(60)).unwrap();
+        assert_eq!(stats.exported_summaries, 2);
+        assert!(!h.cold_tier().unwrap().is_dead());
+        let report = megastream_storage::fsck::fsck(&dir, false).unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+        assert_eq!(report.segments.len(), 1, "one pump → one sealed epoch");
+        assert_eq!(report.clean_frames, 2, "both exports journaled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The pump's retry backoff carries deterministic seeded jitter: the
+    /// same seed reproduces the same retry schedule bit-for-bit, and any
+    /// seed converges to the same data — jitter shifts timing, never
+    /// outcomes.
+    #[test]
+    fn pump_retry_jitter_is_seed_deterministic() {
+        use megastream_netsim::FaultPlan;
+        let run = |jitter_seed: u64| {
+            let (mut h, root, a, b) = two_level();
+            h.set_pump_policy(PumpPolicy {
+                jitter_seed,
+                ..PumpPolicy::default()
+            });
+            let mut plan = FaultPlan::seeded(42);
+            plan.link_down(
+                h.net_node(a),
+                h.net_node(root),
+                Timestamp::from_secs(50),
+                Timestamp::from_secs(100),
+            );
+            h.network_mut().install_faults(plan);
+            for (id, src) in [(a, "10.0.0.1"), (b, "10.1.0.1")] {
+                h.ingest_flow(id, &"r".into(), &rec(src, 5), Timestamp::from_secs(10));
+            }
+            let s1 = h.pump(Timestamp::from_secs(60)).unwrap();
+            let s2 = h.pump(Timestamp::from_secs(120)).unwrap();
+            let score = h.store(root).live_flow_score(&FlowKey::root()).value();
+            (s1, s2, score)
+        };
+        let first = run(1234);
+        assert_eq!(first, run(1234), "same seed must be bit-identical");
+        assert!(first.0.retries >= 1, "the outage forces retries");
+        let other = run(5678);
+        assert_eq!(first.2, other.2, "jitter shifts timing, never data");
+        assert_eq!(
+            first.0.spilled + first.1.flushed,
+            other.0.spilled + other.1.flushed
         );
     }
 

@@ -65,6 +65,7 @@ pub use controller::{ControlAction, Controller, Rule, RuleId, SafetyEnvelope};
 pub use flowstream::{DegradationPolicy, Explanation, Flowstream, FlowstreamConfig};
 pub use hierarchy::{ExportStats, HierarchyId, PumpError, PumpPolicy, StoreHierarchy};
 pub use megastream_flowdb::Parallelism;
+pub use megastream_storage::{ColdTier, FaultMode, FaultSpec, RecoveryReport, SyncPolicy};
 pub use ops::OpsPlane;
 
 // Re-export the member crates under short names for downstream users.
@@ -77,4 +78,5 @@ pub use megastream_manager as manager;
 pub use megastream_netsim as netsim;
 pub use megastream_primitives as primitives;
 pub use megastream_replication as replication;
+pub use megastream_storage as storage;
 pub use megastream_workloads as workloads;

@@ -366,6 +366,21 @@ pub fn standard_rules() -> Vec<HealthRule> {
             2.0,
             10.0,
         ),
+        // Disk health of the durable cold tier: recovery quarantining
+        // corrupt frames means the disk (or a write path) is flipping
+        // bits — any sustained rate is critical. Deployments without a
+        // cold tier never register the metric and see only the one-time
+        // "signal missing" note.
+        HealthRule::new(
+            "disk-corruption",
+            "storage",
+            Signal::CounterRate {
+                name: "storage.recovery.corrupt_frames".into(),
+                window_micros: 30 * SEC,
+            },
+            0.0,
+            0.1,
+        ),
     ]
 }
 

@@ -419,6 +419,36 @@ impl DataStore {
     }
 
     // ------------------------------------------------------------------
+    // crash recovery (driven by the durable cold tier's replay)
+    // ------------------------------------------------------------------
+
+    /// Re-applies one sealed epoch rotation during crash recovery: the
+    /// summaries the original rotation exported are inserted back into the
+    /// summary store (same order, so round-robin eviction replays
+    /// identically) and the rotation bookkeeping — export accounting, epoch
+    /// counter, epoch start — is repeated. The caller re-delivers the same
+    /// summaries upward, exactly as the original rotation did.
+    pub fn restore_rotation(&mut self, exported: &[StoredSummary], at: Timestamp) {
+        for stored in exported {
+            self.stats.exported_bytes += stored.wire_size() as u64;
+            self.summaries.insert(stored.clone(), at);
+        }
+        self.epoch_start = at;
+        self.stats.epochs += 1;
+        self.metrics.footprint.set(self.footprint_bytes() as i64);
+        self.metrics.memory.set(self.accounted_bytes() as i64);
+    }
+
+    /// Restores the cumulative ingest counters from a recovery snapshot.
+    /// Absolute values: the raw records that produced them were summarized
+    /// and discarded, so they cannot be re-counted — only restored.
+    pub fn restore_ingest_stats(&mut self, flows: u64, scalars: u64, raw_bytes: u64) {
+        self.stats.flows = flows;
+        self.stats.scalars = scalars;
+        self.stats.raw_bytes = raw_bytes;
+    }
+
+    // ------------------------------------------------------------------
     // queries (the Data API of Fig. 4)
     // ------------------------------------------------------------------
 

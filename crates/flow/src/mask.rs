@@ -169,6 +169,13 @@ impl GeneralizationSchema {
         &self.ladders[feature.index()]
     }
 
+    /// The generalization step order. Together with [`Self::ladder`] this
+    /// exposes everything [`Self::new`] consumed, so a schema can be
+    /// serialized and rebuilt exactly (used by the cold-tier codec).
+    pub fn order(&self) -> &StepOrder {
+        &self.order
+    }
+
     /// Index of the rung at-or-below `len` on the ladder of `feature`.
     fn rung_index(&self, feature: Feature, len: u8) -> usize {
         let ladder = self.ladder(feature);

@@ -76,6 +76,31 @@ impl Flowtree {
         }
     }
 
+    /// Rebuilds a tree from its flat serialized form: the `(key, own score)`
+    /// pairs of every node (as read from [`Flowtree::nodes`]) plus the
+    /// record count. Entries are inserted shallow-first so deep nodes attach
+    /// under their true ancestors and the original topology — including
+    /// zero-score interior nodes — is reproduced exactly; the result
+    /// compares equal to the source tree under [`PartialEq`]. Used by the
+    /// cold-tier codec.
+    pub fn from_parts(
+        config: FlowtreeConfig,
+        nodes: Vec<(FlowKey, Popularity)>,
+        records: u64,
+    ) -> Self {
+        let mut tree = Flowtree::new(config);
+        let mut entries: Vec<(usize, FlowKey, Popularity)> = nodes
+            .into_iter()
+            .map(|(key, own)| (tree.config.schema.depth(&key), key, own))
+            .collect();
+        entries.sort_by_key(|(depth, _, _)| *depth);
+        for (_, key, own) in entries {
+            tree.insert_exact(&key, own);
+        }
+        tree.records = records;
+        tree
+    }
+
     /// The tree's configuration.
     pub fn config(&self) -> &FlowtreeConfig {
         &self.config

@@ -49,6 +49,24 @@ impl<T: Clone> Reservoir<T> {
         }
     }
 
+    /// Rebuilds a reservoir from its observable parts, or `None` if the
+    /// parts violate the invariants (`capacity == 0`, more items than
+    /// capacity, or more items than seen). The RNG is reseeded from `seed`:
+    /// the in-flight generator state is not observable, and [`PartialEq`]
+    /// deliberately ignores it, so a round-tripped reservoir compares equal
+    /// to the original. Used by the cold-tier codec.
+    pub fn from_parts(capacity: usize, seed: u64, seen: u64, items: Vec<T>) -> Option<Self> {
+        if capacity == 0 || items.len() > capacity || (items.len() as u64) > seen {
+            return None;
+        }
+        Some(Reservoir {
+            capacity,
+            seen,
+            items,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
     /// Offers one stream item to the reservoir.
     pub fn insert(&mut self, item: T) {
         self.seen += 1;

@@ -42,6 +42,15 @@ pub struct SampledSeries {
 }
 
 impl SampledSeries {
+    /// Rebuilds a series from its parts (the inverse of reading
+    /// [`SampledSeries::points`]), re-sorting by time so the ordering
+    /// invariant holds regardless of input order. Used by the cold-tier
+    /// codec to reconstruct summaries from disk.
+    pub fn from_parts(window: TimeWindow, mut points: Vec<SamplePoint>) -> Self {
+        points.sort_by_key(|p| p.ts);
+        SampledSeries { window, points }
+    }
+
     /// All retained points, ordered by time.
     pub fn points(&self) -> &[SamplePoint] {
         &self.points

@@ -115,9 +115,41 @@ impl<K: Ord + Clone> SpaceSaving<K> {
         }
     }
 
+    /// Rebuilds a sketch from its observable parts, or `None` if the parts
+    /// violate the invariants (`capacity == 0`, more entries than capacity,
+    /// or a counter whose error exceeds its count). Duplicate keys collapse
+    /// to the last occurrence. Used by the
+    /// cold-tier codec to reconstruct summaries from disk.
+    pub fn from_parts(capacity: usize, entries: Vec<(K, SsCounter)>, total: u64) -> Option<Self> {
+        if capacity == 0 {
+            return None;
+        }
+        let mut counters = BTreeMap::new();
+        for (key, counter) in entries {
+            if counter.error > counter.count {
+                return None;
+            }
+            counters.insert(key, counter);
+        }
+        if counters.len() > capacity {
+            return None;
+        }
+        Some(SpaceSaving {
+            capacity,
+            counters,
+            total,
+        })
+    }
+
     /// Estimated counter for `key`, if monitored.
     pub fn estimate(&self, key: &K) -> Option<SsCounter> {
         self.counters.get(key).copied()
+    }
+
+    /// Raw iteration over all monitored counters in key order. Used by the
+    /// cold-tier codec; prefer [`SpaceSaving::top_k`] for ranked queries.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &SsCounter)> {
+        self.counters.iter()
     }
 
     /// Total stream weight observed.

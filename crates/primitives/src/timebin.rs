@@ -53,6 +53,38 @@ impl BinStats {
         self.sample.insert(value);
     }
 
+    /// Rebuilds bin statistics from their parts, or `None` if the parts are
+    /// inconsistent: a NaN moment or bound (NaN would poison the quantile
+    /// sort's ordering contract), or `min > max` for a non-empty bin. Raw
+    /// IEEE-754 bounds are accepted as-is so an empty bin's `+∞/-∞`
+    /// sentinels round-trip exactly. Used by the cold-tier codec.
+    pub fn from_parts(
+        count: u64,
+        sum: f64,
+        sum_sq: f64,
+        min: f64,
+        max: f64,
+        sample: Reservoir<f64>,
+    ) -> Option<Self> {
+        if sum.is_nan() || sum_sq.is_nan() || min.is_nan() || max.is_nan() {
+            return None;
+        }
+        if count > 0 && min > max {
+            return None;
+        }
+        if sample.items().iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        Some(BinStats {
+            count,
+            sum,
+            sum_sq,
+            min,
+            max,
+            sample,
+        })
+    }
+
     /// Number of observations in the bin.
     pub fn count(&self) -> u64 {
         self.count
@@ -61,6 +93,23 @@ impl BinStats {
     /// Sum of observed values.
     pub fn sum(&self) -> f64 {
         self.sum
+    }
+
+    /// Sum of squared values (backs [`BinStats::stddev`]).
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// The raw `(min, max)` bounds, including the `(+∞, -∞)` sentinels of an
+    /// empty bin — the exact stored parts, unlike [`BinStats::min`] /
+    /// [`BinStats::max`] which hide the sentinels behind `Option`.
+    pub fn raw_bounds(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// The per-bin quantile reservoir.
+    pub fn sample(&self) -> &Reservoir<f64> {
+        &self.sample
     }
 
     /// Smallest observed value, or `None` for an empty bin.
@@ -118,9 +167,39 @@ pub struct BinnedSeries {
 }
 
 impl BinnedSeries {
+    /// Rebuilds a series from `(bin index, stats)` pairs, or `None` if
+    /// `width` is zero (a zero width would divide by zero in every lookup).
+    /// Duplicate indices are combined. Used by the cold-tier codec.
+    pub fn from_parts(
+        window: TimeWindow,
+        width: TimeDelta,
+        bins: Vec<(u64, BinStats)>,
+    ) -> Option<Self> {
+        if width.is_zero() {
+            return None;
+        }
+        let mut map: BTreeMap<u64, BinStats> = BTreeMap::new();
+        for (idx, stats) in bins {
+            map.entry(idx)
+                .and_modify(|b| b.combine(&stats))
+                .or_insert(stats);
+        }
+        Some(BinnedSeries {
+            window,
+            width,
+            bins: map,
+        })
+    }
+
     /// The bin width.
     pub fn width(&self) -> TimeDelta {
         self.width
+    }
+
+    /// Iterates over `(bin index, stats)` — the exact stored parts, inverse
+    /// of [`BinnedSeries::from_parts`].
+    pub fn raw_bins(&self) -> impl Iterator<Item = (u64, &BinStats)> {
+        self.bins.iter().map(|(idx, stats)| (*idx, stats))
     }
 
     /// Number of non-empty bins.

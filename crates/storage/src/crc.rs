@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) — the per-frame checksum of
+//! the segment format.
+//!
+//! The cold tier needs *bit-flip detection*, not cryptographic integrity:
+//! a frame whose stored CRC disagrees with a recomputation is quarantined
+//! rather than replayed (§DESIGN.md "Durability & crash recovery"). CRC-32
+//! is the standard choice for this job (Ethernet, zip, PNG); the table is
+//! built at first use so the crate stays zero-dependency.
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+/// One 256-entry lookup table, computed once.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// standard "crc32" every external tool computes, so segment files can be
+/// checked with stock utilities).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        // The index is masked to 8 bits, so it is always in range.
+        let entry = table.get(idx).copied().unwrap_or(0);
+        crc = (crc >> 8) ^ entry;
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "missed flip at {byte}:{bit}");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

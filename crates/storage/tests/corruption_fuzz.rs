@@ -1,0 +1,220 @@
+//! Corruption fuzz: arbitrary damage to any cold-tier file — truncation,
+//! bit flips, garbage appended — must never panic recovery or the
+//! verifier. Every failure surfaces as a typed [`SegmentError`]; every
+//! successful open leaves a store that a repair pass can verify clean.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
+use megastream_flow::addr::Ipv4Addr;
+use megastream_flow::record::FlowRecord;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_primitives::sampling::SampledSeries;
+use megastream_storage::fsck::fsck;
+use megastream_storage::{ColdTier, Frame, SyncPolicy, WalRecord};
+use megastream_telemetry::Telemetry;
+use proptest::prelude::*;
+use proptest::sample;
+
+fn summary(i: u64) -> StoredSummary {
+    StoredSummary::new(
+        format!("region-{i}"),
+        TimeWindow::starting_at(Timestamp::from_secs(i * 60), TimeDelta::from_secs(60)),
+        Summary::Series(SampledSeries::default()),
+        Lineage::from_source("router-0-0"),
+    )
+}
+
+fn wal_rec(i: u64) -> WalRecord {
+    WalRecord {
+        rr: i,
+        region: (i % 3) as u32,
+        router: (i % 2) as u32,
+        record: FlowRecord {
+            ts: Timestamp::from_secs(i),
+            proto: 6,
+            src_ip: Ipv4Addr::new(0x0a00_0000 | i as u32),
+            dst_ip: Ipv4Addr::new(0x0101_0101),
+            src_port: 5000,
+            dst_port: 443,
+            packets: i + 1,
+            bytes: 64 * (i + 1),
+        },
+    }
+}
+
+/// A pristine store — two sealed epochs plus live WAL records — captured
+/// once as `(relative file name, bytes)` pairs and restamped per case.
+fn pristine() -> &'static Vec<(String, Vec<u8>)> {
+    static FILES: OnceLock<Vec<(String, Vec<u8>)>> = OnceLock::new();
+    FILES.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("megastream-fuzz-seed-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut tier = ColdTier::create(&dir, SyncPolicy::Off, Telemetry::disabled())
+            .expect("seed store creates");
+        for epoch in 0..2u64 {
+            for i in 0..3 {
+                tier.wal_append(&wal_rec(epoch * 4 + i)).expect("wal");
+            }
+            tier.begin_epoch(Timestamp::from_secs((epoch + 1) * 60))
+                .expect("begin");
+            tier.append_frame(&Frame::Exported {
+                region: 0,
+                summary: summary(epoch),
+            })
+            .expect("frame");
+            tier.append_frame(&Frame::Parked {
+                region: 1,
+                summary: summary(epoch + 10),
+            })
+            .expect("frame");
+            tier.append_frame(&Frame::Flushed {
+                region: 1,
+                summary: summary(epoch + 20),
+            })
+            .expect("frame");
+            tier.seal_epoch().expect("seal");
+            tier.wal_reset().expect("reset");
+            tier.wal_append(&wal_rec(epoch * 4 + 3)).expect("wal");
+        }
+        drop(tier);
+        let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(&dir)
+            .expect("seed dir lists")
+            .filter_map(|e| {
+                let e = e.ok()?;
+                if !e.file_type().ok()?.is_file() {
+                    return None;
+                }
+                let name = e.file_name().into_string().ok()?;
+                Some((name.clone(), fs::read(dir.join(&name)).ok()?))
+            })
+            .collect();
+        files.sort();
+        let _ = fs::remove_dir_all(&dir);
+        assert!(files.len() >= 3, "expected 2 segments + WAL, got {files:?}");
+        files
+    })
+}
+
+fn case_dir() -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("megastream-fuzz-case-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("case dir creates");
+    dir
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Damage {
+    Truncate,
+    BitFlip,
+    Append,
+}
+
+/// Materializes the pristine store, damages one file, and returns the dir.
+fn damaged_store(target: usize, damage: Damage, offset: u64, garbage: &[u8]) -> PathBuf {
+    let files = pristine();
+    let dir = case_dir();
+    for (name, bytes) in files {
+        fs::write(dir.join(name), bytes).expect("case file writes");
+    }
+    let (name, bytes) = &files[target % files.len()];
+    let path = dir.join(name);
+    let mut bytes = bytes.clone();
+    match damage {
+        Damage::Truncate => bytes.truncate((offset % (bytes.len() as u64 + 1)) as usize),
+        Damage::BitFlip => {
+            if !bytes.is_empty() {
+                let at = (offset % bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << (offset % 8);
+            }
+        }
+        Damage::Append => bytes.extend_from_slice(garbage),
+    }
+    fs::write(&path, &bytes).expect("damaged file writes");
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Recovery and both fsck modes must return — Ok or a typed error —
+    /// for any single-file damage; a successful repair then verifies clean.
+    #[test]
+    fn damaged_stores_never_panic(
+        target in any::<usize>(),
+        kind in sample::select(vec![Damage::Truncate, Damage::BitFlip, Damage::Append]),
+        offset in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let dir = damaged_store(target, kind, offset, &garbage);
+
+        // Plain verify, then repair: any outcome but a panic is in
+        // contract. After a successful repair no CRC-corrupt frame may
+        // remain — repair quarantines them all. (Torn tails inside sealed
+        // segments stay *reported*: fsck never invents data.)
+        let _ = fsck(&dir, false);
+        if fsck(&dir, true).is_ok() {
+            let after = fsck(&dir, false);
+            prop_assert!(after.is_ok(), "verify after successful repair: {after:?}");
+            prop_assert!(
+                after.is_ok_and(|r| r.corrupt_frames == 0),
+                "repair must quarantine every corrupt frame"
+            );
+        }
+
+        // Recovery over the (repaired) store must also hold the contract,
+        // and a store it accepts must be fully usable.
+        match ColdTier::open(&dir, SyncPolicy::Off, Telemetry::disabled()) {
+            Ok((mut tier, _report)) => {
+                tier.wal_append(&wal_rec(99)).expect("recovered tier accepts WAL");
+                tier.begin_epoch(Timestamp::from_secs(600)).expect("begin after recovery");
+                tier.append_frame(&Frame::Exported { region: 0, summary: summary(99) })
+                    .expect("append after recovery");
+                tier.seal_epoch().expect("seal after recovery");
+                drop(tier);
+                let verify = fsck(&dir, false);
+                prop_assert!(
+                    verify.as_ref().is_ok_and(|r| r.corrupt_frames == 0),
+                    "recovery must quarantine every corrupt frame: {verify:?}"
+                );
+            }
+            Err(_typed) => {} // a typed refusal is an acceptable outcome
+        }
+
+        fs::remove_dir_all(&dir).expect("case dir removes");
+    }
+
+    /// Damage to *both* a sealed segment and the WAL at once.
+    #[test]
+    fn doubly_damaged_stores_never_panic(
+        t1 in any::<usize>(),
+        t2 in any::<usize>(),
+        o1 in any::<u64>(),
+        o2 in any::<u64>(),
+    ) {
+        let files = pristine();
+        let dir = case_dir();
+        for (name, bytes) in files {
+            fs::write(dir.join(name), bytes).expect("case file writes");
+        }
+        for (t, o) in [(t1, o1), (t2, o2)] {
+            let (name, bytes) = &files[t % files.len()];
+            let mut bytes = bytes.clone();
+            if !bytes.is_empty() {
+                let at = (o % bytes.len() as u64) as usize;
+                bytes[at] ^= 0x40;
+                bytes.truncate(bytes.len() - (o % 4) as usize);
+            }
+            fs::write(dir.join(name), &bytes).expect("damaged file writes");
+        }
+        let _ = fsck(&dir, false);
+        let _ = fsck(&dir, true);
+        let _ = ColdTier::open(&dir, SyncPolicy::Off, Telemetry::disabled());
+        fs::remove_dir_all(&dir).expect("case dir removes");
+    }
+}

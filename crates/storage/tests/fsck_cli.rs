@@ -1,0 +1,127 @@
+//! Exit-code contract of the `mega-fsck` binary: `0` clean, `1` problems
+//! found, `2` usage or I/O error — and `--repair` flips a bit-flipped
+//! store from dirty back to clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_primitives::sampling::SampledSeries;
+use megastream_storage::{ColdTier, FaultMode, FaultSpec, Frame, SyncPolicy};
+use megastream_telemetry::Telemetry;
+
+const FSCK: &str = env!("CARGO_BIN_EXE_mega-fsck");
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(FSCK)
+        .args(args)
+        .output()
+        .expect("mega-fsck runs");
+    (
+        out.status.code().expect("mega-fsck exits"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("megastream-fsck-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn summary(i: u64) -> StoredSummary {
+    StoredSummary::new(
+        format!("region-{i}"),
+        TimeWindow::starting_at(Timestamp::from_secs(i * 60), TimeDelta::from_secs(60)),
+        Summary::Series(SampledSeries::default()),
+        Lineage::from_source("router-0-0"),
+    )
+}
+
+/// Writes one sealed epoch; with `flip`, the second append lands a frame
+/// whose payload was bit-flipped after its CRC was computed — the silent
+/// disk corruption a verifier must flag.
+fn build_store(d: &Path, flip: bool) {
+    let mut tier =
+        ColdTier::create(d, SyncPolicy::Off, Telemetry::disabled()).expect("store creates");
+    tier.begin_epoch(Timestamp::from_secs(60)).expect("begin");
+    tier.append_frame(&Frame::Exported {
+        region: 0,
+        summary: summary(0),
+    })
+    .expect("frame");
+    if flip {
+        tier.set_fault(Some(FaultSpec {
+            at_op: tier.ops() + 1,
+            mode: FaultMode::BitFlip,
+        }));
+    }
+    tier.append_frame(&Frame::Exported {
+        region: 1,
+        summary: summary(1),
+    })
+    .expect("frame");
+    tier.set_fault(None);
+    tier.seal_epoch().expect("seal");
+    tier.wal_reset().expect("reset");
+}
+
+#[test]
+fn clean_store_exits_zero() {
+    let d = dir("clean");
+    build_store(&d, false);
+    let (code, stdout, stderr) = run(&[d.to_str().expect("utf8 path")]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+    fs::remove_dir_all(&d).expect("cleanup");
+}
+
+#[test]
+fn corrupt_store_exits_nonzero_then_repair_makes_it_clean() {
+    let d = dir("corrupt");
+    build_store(&d, true);
+    let path = d.to_str().expect("utf8 path");
+
+    let (code, stdout, stderr) = run(&[path]);
+    assert_eq!(
+        code, 1,
+        "a bit-flipped frame must be flagged\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stderr.contains("corrupt frame"), "stderr: {stderr}");
+
+    let (code, stdout, _) = run(&["--repair", path]);
+    assert_eq!(
+        code, 0,
+        "repair quarantines the frame and exits clean\nstdout: {stdout}"
+    );
+    assert!(stdout.contains("repaired 1 segment"), "stdout: {stdout}");
+    assert!(
+        d.join("quarantine")
+            .read_dir()
+            .expect("quarantine dir")
+            .next()
+            .is_some(),
+        "the corrupt frame is preserved for forensics"
+    );
+
+    let (code, _, _) = run(&[path]);
+    assert_eq!(code, 0, "the repaired store verifies clean");
+    fs::remove_dir_all(&d).expect("cleanup");
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2, "missing dir is a usage error: {stderr}");
+
+    let (code, _, stderr) = run(&["--bogus-flag", "x"]);
+    assert_eq!(code, 2, "unknown flag is a usage error: {stderr}");
+
+    let missing = std::env::temp_dir().join("megastream-fsck-cli-definitely-missing");
+    let _ = fs::remove_dir_all(&missing);
+    let (code, _, stderr) = run(&[missing.to_str().expect("utf8 path")]);
+    assert_eq!(code, 2, "unreadable dir is an I/O error: {stderr}");
+}

@@ -1,0 +1,142 @@
+//! Property suite for the cold-tier codec: an arbitrary [`StoredSummary`]
+//! encodes and decodes back to the identical value — structural equality,
+//! `deep_bytes()`/`wire_size()` equality, and byte-stable re-encoding —
+//! across every summary kind the data plane produces.
+
+use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
+use megastream_flow::addr::Ipv4Addr;
+use megastream_flow::key::{FeatureSet, FlowKey};
+use megastream_flow::record::FlowRecord;
+use megastream_flow::score::ScoreKind;
+use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+use megastream_primitives::aggregator::ComputingPrimitive;
+use megastream_primitives::exact::ExactFlowTable;
+use megastream_primitives::sampling::{SamplePoint, SampledSeries};
+use megastream_primitives::spacesaving::SpaceSaving;
+use megastream_primitives::timebin::TimeBinStats;
+use megastream_storage::{decode_stored_summary, encode_stored_summary};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn record(src: u32, dst: u32, packets: u64) -> FlowRecord {
+    FlowRecord::builder()
+        .proto(6)
+        .src(Ipv4Addr::from(src), 5000)
+        .dst(Ipv4Addr::from(dst), 443)
+        .packets(packets % 10_000 + 1)
+        .build()
+}
+
+/// Encode → decode must be the identity, sizes must agree, and a second
+/// roundtrip must be lossless too (recovered summaries re-journal without
+/// drift; exact byte stability is not promised — Flowtree arena order is
+/// normalized by decode).
+fn assert_roundtrip(summary: Summary, start: u64) {
+    let stored = StoredSummary::new(
+        format!("region-{}", start % 7),
+        TimeWindow::starting_at(
+            Timestamp::from_secs(start % 100_000),
+            TimeDelta::from_secs(60),
+        ),
+        summary,
+        Lineage::from_source(format!("router-{}", start % 5)),
+    );
+    let bytes = encode_stored_summary(&stored);
+    let decoded = decode_stored_summary(&bytes).expect("a valid encoding decodes");
+    prop_assert_eq!(&decoded, &stored);
+    prop_assert_eq!(decoded.summary.deep_bytes(), stored.summary.deep_bytes());
+    prop_assert_eq!(decoded.wire_size(), stored.wire_size());
+    let reencoded = encode_stored_summary(&decoded);
+    let twice = decode_stored_summary(&reencoded).expect("a re-encoding decodes");
+    prop_assert_eq!(&twice, &decoded);
+    prop_assert_eq!(twice.summary.deep_bytes(), decoded.summary.deep_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flowtree_summaries_roundtrip(
+        stream in vec((any::<u32>(), any::<u32>(), any::<u64>()), 0..48),
+        capacity in 8usize..96,
+        start in any::<u64>(),
+    ) {
+        let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(capacity));
+        for (s, d, p) in &stream {
+            tree.observe(&record(*s, *d, *p));
+        }
+        assert_roundtrip(Summary::Flowtree(tree), start);
+    }
+
+    #[test]
+    fn exact_table_summaries_roundtrip(
+        stream in vec((any::<u32>(), any::<u64>()), 0..48),
+        start in any::<u64>(),
+    ) {
+        let mut table = ExactFlowTable::new(FeatureSet::FIVE_TUPLE, ScoreKind::Packets);
+        for (s, p) in &stream {
+            table.observe(&record(*s, 0x0808_0808, *p));
+        }
+        assert_roundtrip(Summary::Exact(table), start);
+    }
+
+    #[test]
+    fn top_flows_summaries_roundtrip(
+        stream in vec((any::<u32>(), any::<u64>()), 0..48),
+        capacity in 4usize..32,
+        start in any::<u64>(),
+    ) {
+        let mut sketch = SpaceSaving::new(capacity);
+        for (s, w) in &stream {
+            sketch.offer(FlowKey::from_record(&record(*s, 1, 1)), w % 1_000 + 1);
+        }
+        assert_roundtrip(Summary::TopFlows(sketch), start);
+    }
+
+    #[test]
+    fn sampled_series_summaries_roundtrip(
+        // Integer-derived values: exact f64s, so equality is exact.
+        points in vec((0u64..600_000_000, any::<i32>(), 1u32..64), 0..48),
+        start in any::<u64>(),
+    ) {
+        let window = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(600));
+        let points = points
+            .into_iter()
+            .map(|(ts, value, weight)| SamplePoint {
+                ts: Timestamp::from_micros(ts),
+                value: f64::from(value),
+                weight: f64::from(weight),
+            })
+            .collect();
+        assert_roundtrip(Summary::Series(SampledSeries::from_parts(window, points)), start);
+    }
+
+    #[test]
+    fn binned_series_summaries_roundtrip(
+        samples in vec((0u64..600_000_000, any::<i16>()), 0..64),
+        width_secs in 1u64..30,
+        start in any::<u64>(),
+    ) {
+        let mut bins = TimeBinStats::new(TimeDelta::from_secs(width_secs), 7);
+        for (ts, value) in &samples {
+            bins.ingest(&f64::from(*value), Timestamp::from_micros(*ts));
+        }
+        let window = TimeWindow::starting_at(Timestamp::ZERO, TimeDelta::from_secs(600));
+        assert_roundtrip(Summary::Bins(bins.snapshot(window)), start);
+    }
+
+    #[test]
+    fn raw_summaries_roundtrip(
+        stream in vec((any::<u32>(), any::<u32>(), any::<u64>()), 0..48),
+        by_bytes in any::<bool>(),
+        start in any::<u64>(),
+    ) {
+        let records = stream
+            .iter()
+            .map(|(s, d, p)| record(*s, *d, *p))
+            .collect();
+        let score_kind = if by_bytes { ScoreKind::Bytes } else { ScoreKind::Packets };
+        assert_roundtrip(Summary::Raw { records, score_kind }, start);
+    }
+}

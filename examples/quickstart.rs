@@ -9,6 +9,8 @@
 //! cargo run --example quickstart -- --health     # + ops-plane health report
 //! cargo run --example quickstart -- --watch      # + live dashboard frames
 //! cargo run --example quickstart -- --profile    # + flamegraph profile
+//! cargo run --example quickstart -- --durable target/quickstart-store
+//!                                                # + checksummed cold tier
 //! ```
 
 use megastream::flowstream::{Flowstream, FlowstreamConfig};
@@ -37,6 +39,20 @@ fn parallelism_flag() -> Parallelism {
         }
         None => Parallelism::default(),
     }
+}
+
+/// `--durable <dir>` from the command line: a fresh cold-tier directory.
+fn durable_flag() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--durable").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with('-'))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                eprintln!("--durable needs a directory, e.g. --durable target/quickstart-store");
+                std::process::exit(2);
+            })
+    })
 }
 
 fn main() {
@@ -146,7 +162,15 @@ fn main() {
     let want_health = std::env::args().any(|a| a == "--health");
     let want_watch = std::env::args().any(|a| a == "--watch");
     let want_profile = std::env::args().any(|a| a == "--profile");
-    if stats || want_trace || threads_given || want_health || want_watch || want_profile {
+    let durable = durable_flag();
+    if stats
+        || want_trace
+        || threads_given
+        || want_health
+        || want_watch
+        || want_profile
+        || durable.is_some()
+    {
         if threads_given {
             println!("\nflowstream parallelism: {parallelism}");
         }
@@ -170,6 +194,17 @@ fn main() {
         let profiler = Profiler::new();
         if want_profile {
             fs.set_profiler(&profiler);
+        }
+        if let Some(dir) = durable.as_ref() {
+            // A fresh store each run: epoch segments + WAL land here.
+            let _ = std::fs::remove_dir_all(dir);
+            match megastream::ColdTier::create(dir, megastream::SyncPolicy::OnSeal, tel.clone()) {
+                Ok(tier) => fs.attach_cold_tier(tier),
+                Err(e) => {
+                    eprintln!("--durable: cannot create store at {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+            }
         }
         let mut ops = if want_health || want_watch {
             OpsPlane::standard(&tel)
@@ -198,6 +233,22 @@ fn main() {
             .expect("quickstart query");
         fs.query("SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8")
             .expect("quickstart query");
+        if let Some(dir) = durable.as_ref() {
+            match megastream::storage::fsck::fsck(dir, false) {
+                Ok(report) => println!(
+                    "\ndurable store: {} sealed segment(s), {} clean frame(s), \
+                     {} WAL record(s) -> {}",
+                    report.segments.len(),
+                    report.clean_frames,
+                    report.wal_records,
+                    dir.display()
+                ),
+                Err(e) => {
+                    eprintln!("--durable: verify failed for {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
         if stats {
             println!("\n--- telemetry ({} metrics) ---", tel.snapshot().len());
             print!("{}", fs.telemetry_report());

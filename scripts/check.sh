@@ -35,6 +35,16 @@ cargo test --test parallel_e2e -q
 echo "==> accounting plane: profiler/cost e2e + accounting property suites"
 cargo test --test profile_e2e --test accounting_props -q
 
+echo "==> durability: kill-and-restart recovery e2e"
+cargo test --test durability_e2e -q
+
+echo "==> durability: codec roundtrip properties + corruption fuzz + fsck CLI"
+cargo test -p megastream-storage --test roundtrip_props --test corruption_fuzz --test fsck_cli -q
+
+echo "==> mega-fsck verifies a quickstart-produced store (exit 0)"
+cargo run -q --release --example quickstart -- --durable target/quickstart-store >/dev/null
+cargo run -q --release -p megastream-storage --bin mega-fsck -- target/quickstart-store >/dev/null
+
 echo "==> collapsed-stack export (quickstart --profile)"
 cargo run -q --release --example quickstart -- --profile >/dev/null
 test -s target/quickstart.collapsed

@@ -190,6 +190,46 @@ fn same_seed_runs_are_identical() {
     assert_eq!(run_chaos(42), run_chaos(42));
 }
 
+/// The export-retry backoff carries deterministic seeded jitter (so real
+/// deployments don't retry in lock-step). Same seed → bit-identical run;
+/// a different seed shifts retry *timing* but never the data: region
+/// results and ingested-flow counts still converge exactly.
+#[test]
+fn jittered_backoff_is_seed_deterministic() {
+    let run = |jitter_seed: u64| {
+        let mut fs = Flowstream::new(
+            3,
+            2,
+            FlowstreamConfig {
+                epoch_len: TimeDelta::from_secs(30),
+                export_jitter_seed: jitter_seed,
+                ..Default::default()
+            },
+        );
+        let mut plan = FaultPlan::seeded(7);
+        plan.link_down(
+            fs.region_node(1),
+            fs.noc_node(),
+            Timestamp::from_secs(OUTAGE_FROM),
+            Timestamp::from_secs(OUTAGE_UNTIL),
+        );
+        fs.network_mut().install_faults(plan);
+        for rec in workload() {
+            fs.ingest_round_robin(&rec);
+        }
+        fs.finish();
+        (region_results(&fs), fs.stats())
+    };
+    let (rows_a, stats_a) = run(11);
+    let (rows_b, stats_b) = run(11);
+    assert_eq!(rows_a, rows_b, "same jitter seed must be bit-identical");
+    assert_eq!(stats_a, stats_b);
+    assert!(stats_a.export_retries > 0, "the outage forces retries");
+    let (rows_c, stats_c) = run(99);
+    assert_eq!(rows_a, rows_c, "jitter shifts timing, never data");
+    assert_eq!(stats_a.flows, stats_c.flows);
+}
+
 /// Fatal routing errors must surface, not be retried or spilled: an
 /// unknown node and a disconnected island are programming/topology errors.
 #[test]
