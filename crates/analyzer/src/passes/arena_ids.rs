@@ -1,0 +1,158 @@
+//! Pass `arena-ids`: flowtree node ids never become raw indices outside
+//! the arena module.
+//!
+//! PR 10 rebuilt `Flowtree` on an index-based arena whose `NodeId(u32)`
+//! handles are only meaningful against one arena's slot vector. The single
+//! sanctioned id → index conversion is `Arena::idx()` in
+//! `crates/flowtree/src/arena.rs`; every other `<id> as usize` is a slot
+//! index escaping its arena — the exact bug class (stale ids surviving a
+//! free-list recycle, ids applied to the wrong snapshot) the arena's
+//! private constructor exists to prevent.
+
+use crate::findings::{Finding, Level};
+use crate::lexer::TokenKind;
+use crate::passes::{report, Ctx, Pass};
+
+/// See module docs.
+pub struct ArenaIds;
+
+/// The one file allowed to turn node ids into slot indices.
+pub const ARENA_MODULE: &str = "crates/flowtree/src/arena.rs";
+
+/// Does `name` look like a node-id binding (`id`, `idx`, `ids`, or a
+/// snake_case identifier with one of those as its final segment)?
+fn id_like(name: &str) -> bool {
+    matches!(name, "id" | "idx" | "ids")
+        || name.ends_with("_id")
+        || name.ends_with("_idx")
+        || name.ends_with("_ids")
+}
+
+impl Pass for ArenaIds {
+    fn id(&self) -> &'static str {
+        "arena-ids"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`<node id> as usize` in flowtree outside the arena module"
+    }
+
+    fn explain(&self) -> &'static str {
+        "WHAT: flags `<ident> as usize` casts in `crates/flowtree/**` (outside \
+crates/flowtree/src/arena.rs) where the cast identifier is `id`/`idx`/`ids` or ends in \
+`_id`/`_idx`/`_ids` — including the tuple-field form `id.0 as usize`. Test code is \
+covered too: a test that indexes a slot vector by a raw id is rehearsing the same bug.\n\
+WHY: `NodeId(u32)` handles are only meaningful against one arena's slot vector, and the \
+arena recycles freed slots through a free list — a raw index survives a free/realloc and \
+silently reads the *new* occupant of the slot. `Arena::idx()` is the single sanctioned \
+conversion (it is private to the arena module for exactly this reason); everything \
+outside resolves ids through the arena's accessors, which keep the conversion adjacent \
+to the bounds and liveness invariants. This pass makes the `pub(crate)` boundary a \
+checked property instead of a convention.\n\
+ALLOWLIST: entries should be rare and must explain why the cast cannot outlive or \
+outrange its arena; prefer adding an accessor to the arena module instead."
+    }
+
+    fn run(&self, ctx: &Ctx<'_>, level: Level, out: &mut Vec<Finding>) {
+        for file in &ctx.ws.files {
+            if !file.rel_path.starts_with("crates/flowtree/") || file.rel_path == ARENA_MODULE {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 1..toks.len() {
+                // `as usize` — `as` lexes as an Ident like every keyword.
+                let is_cast = toks[i].kind == TokenKind::Ident
+                    && toks[i].text(&file.text) == "as"
+                    && toks.get(i + 1).is_some_and(|t| {
+                        t.kind == TokenKind::Ident && t.text(&file.text) == "usize"
+                    });
+                if !is_cast {
+                    continue;
+                }
+                // Walk back to the base identifier: either `<id> as usize`
+                // or the newtype-field form `<id>.0 as usize`.
+                let mut j = i - 1;
+                if toks[j].kind == TokenKind::NumLit
+                    && j >= 2
+                    && toks[j - 1].kind == TokenKind::Punct(b'.')
+                {
+                    j -= 2;
+                }
+                if toks[j].kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = toks[j].text(&file.text);
+                if id_like(name) {
+                    report(
+                        out,
+                        file,
+                        j,
+                        self.id(),
+                        level,
+                        name,
+                        format!(
+                            "`{name} as usize` outside the arena module: node ids are only \
+                             meaningful against one arena's slots — resolve through the \
+                             arena's accessors (`Arena::idx()` is the sole sanctioned \
+                             conversion)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceFile, Workspace};
+
+    fn run_on(path: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![SourceFile::from_text(path, src.to_string())],
+        };
+        let ctx = Ctx {
+            ws: &ws,
+            design_md: None,
+        };
+        let mut out = Vec::new();
+        ArenaIds.run(&ctx, Level::Deny, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_id_cast_in_flowtree() {
+        let src = "fn f(node_id: u32) { let _ = node_id as usize; }";
+        let found = run_on("crates/flowtree/src/tree.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "node_id");
+    }
+
+    #[test]
+    fn flags_newtype_field_form() {
+        let src = "fn f(id: NodeId) { let _ = id.0 as usize; }";
+        let found = run_on("crates/flowtree/src/ops.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "id");
+    }
+
+    #[test]
+    fn arena_module_and_other_crates_are_exempt() {
+        let src = "fn f(id: u32) { let _ = id as usize; }";
+        assert!(run_on("crates/flowtree/src/arena.rs", src).is_empty());
+        assert!(run_on("crates/datastore/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_id_casts_are_ignored() {
+        let src = "fn f(count: u32, valid: u32) { let _ = count as usize + valid as usize; }";
+        assert!(run_on("crates/flowtree/src/tree.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_covered() {
+        let src = "#[cfg(test)]\nmod tests { fn t(idx: u32) { let _ = idx as usize; } }";
+        assert_eq!(run_on("crates/flowtree/src/query.rs", src).len(), 1);
+    }
+}

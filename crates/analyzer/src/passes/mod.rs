@@ -6,6 +6,7 @@
 use crate::findings::{Finding, Level};
 use crate::source::{SourceFile, Workspace};
 
+pub mod arena_ids;
 pub mod determinism;
 pub mod gates;
 pub mod lock_discipline;
@@ -41,6 +42,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(panic_surface::PanicSurface),
         Box::new(determinism::Determinism),
+        Box::new(arena_ids::ArenaIds),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(metric_registry::MetricRegistry),
         Box::new(gates::Gates),

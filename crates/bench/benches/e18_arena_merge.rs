@@ -1,0 +1,169 @@
+//! E18 — the arena payoff: merge/compress throughput and bytes-per-node of
+//! the arena-backed `Flowtree` against the retired pointer-based
+//! implementation (kept verbatim as `OracleTree` behind the `oracle`
+//! feature, the same baseline the differential harness cross-checks).
+//!
+//! Prints, per tree size and skew: merge and compress latency for both
+//! implementations with the speedup multiple, and the deep memory
+//! footprint per live node with the reduction. Criterion then measures
+//! merge and compress on both implementations at each size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use megastream_bench::{flow_trace, rule, SKEWS};
+use megastream_flowtree::oracle::OracleTree;
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
+
+const CAPACITY: usize = 1 << 12;
+
+/// Builds both implementations from the identical trace prefix.
+fn build_pair(seed: u64, records: usize, skew: f64) -> (Flowtree, OracleTree) {
+    let trace = flow_trace(seed, 1_000.0, (records as u64 / 1_000).max(1), skew);
+    let config = FlowtreeConfig::default().with_capacity(CAPACITY);
+    let mut arena = Flowtree::new(config.clone());
+    let mut oracle = OracleTree::new(config);
+    for rec in trace.iter().take(records) {
+        arena.observe(rec);
+        oracle.observe(rec);
+    }
+    (arena, oracle)
+}
+
+/// Best-of-`reps` wall time of `f`, in microseconds.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn report() {
+    rule("E18 — arena-backed Flowtree vs pointer baseline");
+    println!(
+        "{:<9} {:>5} {:>6} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6} | {:>7} {:>7} {:>6}",
+        "records",
+        "skew",
+        "nodes",
+        "mrg-ptr µs",
+        "mrg-arn µs",
+        "x",
+        "cmp-ptr µs",
+        "cmp-arn µs",
+        "x",
+        "B/n-ptr",
+        "B/n-arn",
+        "save"
+    );
+    for &records in &[10_000usize, 100_000] {
+        for &skew in &SKEWS {
+            let (arena, oracle) = build_pair(42, records, skew);
+            let (arena_other, oracle_other) = build_pair(77, records, skew);
+            const REPS: usize = 5;
+
+            let merge_ptr = time_us(REPS, || {
+                let mut t = oracle.clone();
+                t.merge(&oracle_other);
+                std::hint::black_box(t.len());
+            });
+            let merge_arena = time_us(REPS, || {
+                let mut t = arena.clone();
+                t.merge(&arena_other);
+                std::hint::black_box(t.len());
+            });
+            let target = arena.len() / 4;
+            let compress_ptr = time_us(REPS, || {
+                let mut t = oracle.clone();
+                t.compress_to(target);
+                std::hint::black_box(t.len());
+            });
+            let compress_arena = time_us(REPS, || {
+                let mut t = arena.clone();
+                t.compress_to(target);
+                std::hint::black_box(t.len());
+            });
+            let bpn_ptr = oracle.deep_bytes() as f64 / oracle.len().max(1) as f64;
+            let bpn_arena = arena.deep_bytes() as f64 / arena.len().max(1) as f64;
+            println!(
+                "{:<9} {:>5.1} {:>6} | {:>10.1} {:>10.1} {:>5.2}x | {:>10.1} {:>10.1} {:>5.2}x | {:>7.1} {:>7.1} {:>5.1}%",
+                records,
+                skew,
+                arena.len(),
+                merge_ptr,
+                merge_arena,
+                merge_ptr / merge_arena.max(1e-9),
+                compress_ptr,
+                compress_arena,
+                compress_ptr / compress_arena.max(1e-9),
+                bpn_ptr,
+                bpn_arena,
+                100.0 * (1.0 - bpn_arena / bpn_ptr.max(1e-9)),
+            );
+        }
+    }
+}
+
+fn bench_arena_merge(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e18_arena_merge");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &records in &[10_000usize, 100_000] {
+        let (arena, oracle) = build_pair(42, records, 1.1);
+        let (arena_other, oracle_other) = build_pair(77, records, 1.1);
+        let target = arena.len() / 4;
+
+        group.bench_with_input(
+            BenchmarkId::new("merge_pointer", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = oracle.clone();
+                    t.merge(&oracle_other);
+                    t.len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge_arena", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = arena.clone();
+                    t.merge(&arena_other);
+                    t.len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compress_pointer", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = oracle.clone();
+                    t.compress_to(target);
+                    t.len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compress_arena", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = arena.clone();
+                    t.compress_to(target);
+                    t.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena_merge);
+criterion_main!(benches);

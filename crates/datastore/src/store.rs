@@ -81,6 +81,15 @@ struct StoreMetrics {
     watermark: Gauge,
     /// Simulated timestamp of the last epoch rotation (rotation lag).
     last_rotation: Gauge,
+    /// Live nodes across the store's *distinct* Flowtree arenas (shared
+    /// arenas counted once).
+    arena_nodes: Gauge,
+    /// Stored flowtree summaries that were hash-consed onto an
+    /// already-stored arena.
+    arena_dedup_hits: Gauge,
+    /// Bytes held by the store's distinct Flowtree arenas (the shareable
+    /// part of the deep-memory account).
+    arena_bytes: Gauge,
 }
 
 impl StoreMetrics {
@@ -108,6 +117,9 @@ impl StoreMetrics {
                 "store",
                 store,
             )),
+            arena_nodes: tel.gauge(&labeled("flowtree.arena.nodes", "store", store)),
+            arena_dedup_hits: tel.gauge(&labeled("flowtree.arena.dedup_hits", "store", store)),
+            arena_bytes: tel.gauge(&labeled("flowtree.arena.bytes", "store", store)),
         }
     }
 }
@@ -402,8 +414,7 @@ impl DataStore {
         self.metrics
             .exported_bytes
             .add(exported.iter().map(|s| s.wire_size() as u64).sum());
-        self.metrics.footprint.set(self.footprint_bytes() as i64);
-        self.metrics.memory.set(self.accounted_bytes() as i64);
+        self.update_memory_gauges();
         timer.stop();
         exported
     }
@@ -414,8 +425,7 @@ impl DataStore {
         summary.lineage.record("import", &self.name, now);
         self.metrics.imports.inc();
         self.summaries.insert(summary, now);
-        self.metrics.footprint.set(self.footprint_bytes() as i64);
-        self.metrics.memory.set(self.accounted_bytes() as i64);
+        self.update_memory_gauges();
     }
 
     // ------------------------------------------------------------------
@@ -435,8 +445,7 @@ impl DataStore {
         }
         self.epoch_start = at;
         self.stats.epochs += 1;
-        self.metrics.footprint.set(self.footprint_bytes() as i64);
-        self.metrics.memory.set(self.accounted_bytes() as i64);
+        self.update_memory_gauges();
     }
 
     /// Restores the cumulative ingest counters from a recovery snapshot.
@@ -550,6 +559,19 @@ impl DataStore {
             .map(|(_, _, inst)| inst.deep_bytes())
             .sum();
         live + self.summaries.accounted_deep_bytes()
+    }
+
+    /// Refreshes the footprint/memory gauges plus the flowtree arena gauges
+    /// (distinct-arena nodes/bytes and cross-summary dedup hits).
+    fn update_memory_gauges(&self) {
+        self.metrics.footprint.set(self.footprint_bytes() as i64);
+        self.metrics.memory.set(self.accounted_bytes() as i64);
+        let (nodes, bytes) = self.summaries.arena_stats();
+        self.metrics.arena_nodes.set(nodes as i64);
+        self.metrics.arena_bytes.set(bytes as i64);
+        self.metrics
+            .arena_dedup_hits
+            .set(self.summaries.dedup_hits() as i64);
     }
 
     /// Distributes `budget` equally across aggregators and lets each adapt

@@ -136,6 +136,24 @@ impl Summary {
         }
     }
 
+    /// The inner Flowtree, if this is a flowtree summary. The store-level
+    /// dedup and shared-arena accounting only apply to flowtrees (the one
+    /// summary kind with sharable storage).
+    pub fn as_flowtree(&self) -> Option<&Flowtree> {
+        match self {
+            Summary::Flowtree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the inner Flowtree, if this is a flowtree summary.
+    pub fn as_flowtree_mut(&mut self) -> Option<&mut Flowtree> {
+        match self {
+            Summary::Flowtree(t) => Some(t),
+            _ => None,
+        }
+    }
+
     /// Number of discrete elements (tree nodes, counters, entries,
     /// records) the summary holds.
     pub fn node_count(&self) -> usize {

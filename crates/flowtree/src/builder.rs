@@ -68,6 +68,16 @@ impl FlowtreeConfig {
         self
     }
 
+    /// The enforced ceiling on live arena nodes: the capacity plus
+    /// headroom for one in-flight observation chain (compression runs
+    /// *after* a root-to-leaf chain materializes, so a full chain of
+    /// `max_depth` new nodes above capacity must fit). Every allocation in
+    /// the tree asserts against this figure — it replaces the previous
+    /// ad-hoc "capacity plus whatever compression tolerates" slack.
+    pub fn node_budget(&self) -> usize {
+        self.capacity + self.schema.max_depth() + 2
+    }
+
     /// The node count compression targets.
     pub(crate) fn compact_target(&self) -> usize {
         ((self.capacity as f64) * self.compact_ratio)

@@ -51,11 +51,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod builder;
 mod ops;
+#[cfg(feature = "oracle")]
+pub mod oracle;
 mod query;
 mod tree;
 
 pub use builder::FlowtreeConfig;
 pub use query::{DrilldownEntry, TreeHhhItem};
-pub use tree::{Flowtree, NodeView};
+pub use tree::{FlatNode, FlatTreeError, Flowtree, NodeView, FLAT_NO_PARENT};

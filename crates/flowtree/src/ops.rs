@@ -7,7 +7,6 @@
 //! locations.
 
 use megastream_flow::record::FlowRecord;
-use megastream_flow::score::Popularity;
 use megastream_flow::time::{TimeWindow, Timestamp};
 use megastream_primitives::aggregator::{
     Combinable, ComputingPrimitive, Granularity, PrimitiveDescription,
@@ -34,19 +33,15 @@ impl Flowtree {
             self.config().compatible_with(other.config()),
             "cannot merge flowtrees with incompatible configurations"
         );
-        // Insert shallow keys first so deep nodes find their ancestors and
-        // no spurious intermediate chains are materialized.
-        let mut entries: Vec<(usize, megastream_flow::key::FlowKey, Popularity)> = other
-            .live_ids()
-            .map(|id| {
-                let n = other.node_ref(id);
-                (other.config().schema.depth(&n.0), n.0, n.1)
-            })
-            .collect();
-        entries.sort_by_key(|(depth, _, _)| *depth);
-        for (_, key, own) in entries {
-            if !own.is_zero() {
-                self.insert_exact(&key, own);
+        // The budget must cover the merge transient (both key sets live at
+        // once); compression at the end restores it.
+        self.reserve_nodes(other.len());
+        // `other`'s canonical pre-order lists every ancestor before its
+        // descendants, so each inserted key finds its true deepest
+        // materialized ancestor without any re-sorting.
+        for node in other.flat_nodes() {
+            if !node.own.is_zero() {
+                self.insert_exact(&node.key, node.own);
             }
         }
         *self.records_mut() += other.records();
@@ -67,7 +62,7 @@ impl Flowtree {
             self.config().compatible_with(other.config()),
             "cannot diff flowtrees with incompatible configurations"
         );
-        let ids: Vec<usize> = other.live_ids().collect();
+        let ids: Vec<_> = other.live_ids().collect();
         for id in ids {
             let (key, own) = other.node_ref(id);
             if own.is_zero() {
@@ -84,7 +79,7 @@ impl Flowtree {
     /// exposes a zero-score parent removes that parent too).
     pub(crate) fn prune_zero_leaves(&mut self) {
         loop {
-            let victims: Vec<usize> = self
+            let victims: Vec<_> = self
                 .live_ids()
                 .filter(|&id| {
                     id != self.root_id()
@@ -162,7 +157,7 @@ mod tests {
     use super::*;
     use crate::builder::FlowtreeConfig;
     use megastream_flow::key::FlowKey;
-    use megastream_flow::score::ScoreKind;
+    use megastream_flow::score::{Popularity, ScoreKind};
     use proptest::prelude::*;
 
     fn rec(src: &str, dst: &str, packets: u64) -> FlowRecord {

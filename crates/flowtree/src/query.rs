@@ -150,7 +150,7 @@ impl Flowtree {
             return Vec::new();
         }
         let scores = self.subtree_scores();
-        let mut ids: Vec<usize> = self.live_ids().collect();
+        let mut ids: Vec<_> = self.live_ids().collect();
         ids.sort_by(|&a, &b| {
             let (ka, kb) = (self.node_ref(a).0, self.node_ref(b).0);
             let schema = &self.config().schema;
@@ -177,10 +177,6 @@ impl Flowtree {
             }
         }
         reported
-    }
-
-    pub(crate) fn children_of(&self, id: usize) -> Vec<usize> {
-        self.node(id).children.clone()
     }
 }
 

@@ -1,24 +1,24 @@
-//! The Flowtree node store: a bounded arena of generalized-flow nodes.
+//! The Flowtree node store: a bounded, arena-backed tree of
+//! generalized-flow nodes with O(1) snapshots and structural dedup.
+//!
+//! Storage lives in an [`Arena`](crate::arena::Arena) behind an `Arc`:
+//! cloning a Flowtree copies four words and bumps a refcount; the first
+//! mutation after a snapshot copy-on-writes the arena (minting a fresh
+//! storage token). Structurally identical trees can share one arena via
+//! [`Flowtree::dedup_with`], and the accounting plane uses
+//! [`Flowtree::storage_token`] to count shared storage once.
 
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use megastream_flow::key::FlowKey;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::Popularity;
 
+use crate::arena::{Arena, IdMap, NodeId, Slot};
 use crate::builder::FlowtreeConfig;
-
-/// One materialized node.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct Node {
-    pub(crate) key: FlowKey,
-    /// Score attributed directly to this node: traffic observed at exactly
-    /// this key plus mass folded up from compressed descendants.
-    pub(crate) own: Popularity,
-    pub(crate) parent: Option<usize>,
-    pub(crate) children: Vec<usize>,
-}
 
 /// A read-only view of one Flowtree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,67 @@ pub struct NodeView {
     pub is_leaf: bool,
 }
 
+/// One node of a Flowtree's flat serialized form: pre-order position of
+/// the parent plus the node payload. Produced by [`Flowtree::flat_nodes`]
+/// and consumed by [`Flowtree::try_from_flat`]; the cold-tier codec ships
+/// this layout verbatim (arena slice + root-first pre-order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatNode {
+    /// The node's generalized flow key.
+    pub key: FlowKey,
+    /// The node's own score.
+    pub own: Popularity,
+    /// Index of the parent in the same flat sequence. Always strictly less
+    /// than the node's own index (pre-order), which makes cyclic or
+    /// forward parent links unrepresentable; [`FLAT_NO_PARENT`] for the
+    /// root, which is always entry 0.
+    pub parent: u32,
+}
+
+/// The `parent` sentinel of the root entry in a flat node sequence.
+pub const FLAT_NO_PARENT: u32 = u32::MAX;
+
+/// Why a flat node sequence was rejected by [`Flowtree::try_from_flat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatTreeError {
+    /// The sequence was empty (a tree always has at least its root).
+    Empty,
+    /// Entry 0 was not the wildcard root with the no-parent sentinel.
+    Root,
+    /// A parent index was not strictly smaller than the node's own index
+    /// (out of range, forward, or cyclic).
+    Order,
+    /// A parent key did not strictly contain its child's key.
+    Containment,
+    /// A key was not normalized/projected under the tree's schema.
+    Normalization,
+    /// The same key appeared twice.
+    Duplicate,
+    /// The node count exceeded the configuration's node budget.
+    Budget,
+}
+
+impl FlatTreeError {
+    /// Short static description, used as the codec's `Malformed` detail.
+    pub fn what(self) -> &'static str {
+        match self {
+            FlatTreeError::Empty => "flowtree frame: empty node list",
+            FlatTreeError::Root => "flowtree frame: entry 0 is not the root",
+            FlatTreeError::Order => "flowtree frame: parent index not pre-order",
+            FlatTreeError::Containment => "flowtree frame: parent does not contain child",
+            FlatTreeError::Normalization => "flowtree frame: key off the schema ladder",
+            FlatTreeError::Duplicate => "flowtree frame: duplicate key",
+            FlatTreeError::Budget => "flowtree frame: node count exceeds budget",
+        }
+    }
+}
+
+impl std::fmt::Display for FlatTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.what())
+    }
+}
+
 /// The Flowtree summary structure. See the [crate docs](crate) for an
 /// overview and the per-method docs for the Table II operators.
 #[derive(Debug, Clone)]
@@ -43,11 +104,12 @@ pub struct Flowtree {
     /// Capacity at construction time; the granularity dial scales
     /// `config.capacity` relative to this base.
     base_capacity: usize,
-    nodes: Vec<Option<Node>>,
-    free: Vec<usize>,
-    index: HashMap<FlowKey, usize>,
-    root: usize,
-    len: usize,
+    /// Enforced ceiling on live arena nodes. Normally
+    /// [`FlowtreeConfig::node_budget`]; bulk operations (merge, rebuild)
+    /// raise it explicitly for their transient and re-tighten afterwards —
+    /// every allocation asserts against it, replacing ad-hoc capacity math.
+    node_budget: usize,
+    arena: Arc<Arena>,
     total: Popularity,
     records: u64,
 }
@@ -55,40 +117,30 @@ pub struct Flowtree {
 impl Flowtree {
     /// Creates an empty Flowtree.
     pub fn new(config: FlowtreeConfig) -> Self {
-        let root_node = Node {
-            key: FlowKey::root(),
-            own: Popularity::ZERO,
-            parent: None,
-            children: Vec::new(),
-        };
-        let mut index = HashMap::new();
-        index.insert(FlowKey::root(), 0);
         Flowtree {
             base_capacity: config.capacity,
+            node_budget: config.node_budget(),
             config,
-            nodes: vec![Some(root_node)],
-            free: Vec::new(),
-            index,
-            root: 0,
-            len: 1,
+            arena: Arc::new(Arena::new()),
             total: Popularity::ZERO,
             records: 0,
         }
     }
 
-    /// Rebuilds a tree from its flat serialized form: the `(key, own score)`
-    /// pairs of every node (as read from [`Flowtree::nodes`]) plus the
-    /// record count. Entries are inserted shallow-first so deep nodes attach
-    /// under their true ancestors and the original topology — including
+    /// Rebuilds a tree from its `(key, own score)` pairs plus the record
+    /// count. Entries are inserted shallow-first so deep nodes attach under
+    /// their true ancestors and the original topology — including
     /// zero-score interior nodes — is reproduced exactly; the result
-    /// compares equal to the source tree under [`PartialEq`]. Used by the
-    /// cold-tier codec.
+    /// compares equal to the source tree under [`PartialEq`]. Prefer
+    /// [`Flowtree::try_from_flat`] for untrusted input: this constructor
+    /// trusts its caller and re-derives structure instead of validating it.
     pub fn from_parts(
         config: FlowtreeConfig,
         nodes: Vec<(FlowKey, Popularity)>,
         records: u64,
     ) -> Self {
         let mut tree = Flowtree::new(config);
+        tree.reserve_nodes(nodes.len());
         let mut entries: Vec<(usize, FlowKey, Popularity)> = nodes
             .into_iter()
             .map(|(key, own)| (tree.config.schema.depth(&key), key, own))
@@ -98,7 +150,71 @@ impl Flowtree {
             tree.insert_exact(&key, own);
         }
         tree.records = records;
+        tree.tighten_budget();
         tree
+    }
+
+    /// Validates and rebuilds a tree from its flat serialized form (see
+    /// [`FlatNode`]). Never panics: every structural attack — out-of-range
+    /// or cyclic parent links, duplicate keys, off-ladder keys, parents
+    /// that do not strictly contain their children, node counts beyond
+    /// the budget — returns a typed [`FlatTreeError`]. The dense pre-order
+    /// layout has no free list, so freed-slot overlap is unrepresentable
+    /// by construction.
+    pub fn try_from_flat(
+        config: FlowtreeConfig,
+        nodes: &[FlatNode],
+        records: u64,
+    ) -> Result<Self, FlatTreeError> {
+        let Some(first) = nodes.first() else {
+            return Err(FlatTreeError::Empty);
+        };
+        if !first.key.is_root() || first.parent != FLAT_NO_PARENT {
+            return Err(FlatTreeError::Root);
+        }
+        if nodes.len() > config.node_budget() {
+            return Err(FlatTreeError::Budget);
+        }
+        let mut tree = Flowtree::new(config);
+        let mut ids: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        ids.push(NodeId::ROOT);
+        Arc::make_mut(&mut tree.arena).slot_mut(NodeId::ROOT).own = first.own;
+        tree.total = first.own;
+        for (i, node) in nodes.iter().enumerate().skip(1) {
+            let parent_id = match usize::try_from(node.parent) {
+                Ok(p) if p < i => ids[p],
+                _ => return Err(FlatTreeError::Order),
+            };
+            let norm = tree
+                .config
+                .schema
+                .normalize(&node.key.project(tree.config.features));
+            if norm != node.key {
+                return Err(FlatTreeError::Normalization);
+            }
+            if tree.arena.lookup(&node.key).is_some() {
+                return Err(FlatTreeError::Duplicate);
+            }
+            let parent_key = tree.arena.slot(parent_id).key;
+            if !parent_key.contains(&node.key) || parent_key == node.key {
+                return Err(FlatTreeError::Containment);
+            }
+            // Strict containment is the *whole* structural invariant: keys
+            // generalize along a lattice (src and dst prefixes shorten
+            // independently), so a node attached under a generalized key
+            // that is not on the canonical ancestor chain is a legitimate,
+            // history-dependent shape — the frame carries that structure
+            // explicitly and it is reproduced verbatim.
+            let arena = Arc::make_mut(&mut tree.arena);
+            let id = arena.alloc(node.key);
+            arena.slot_mut(id).own = node.own;
+            arena.link_child(parent_id, id);
+            tree.total += node.own;
+            ids.push(id);
+        }
+        tree.records = records;
+        tree.tighten_budget();
+        Ok(tree)
     }
 
     /// The tree's configuration.
@@ -122,19 +238,20 @@ impl Flowtree {
     pub fn set_capacity(&mut self, capacity: usize) {
         assert!(capacity >= 1, "flowtree capacity must be at least 1");
         self.config.capacity = capacity;
-        if self.len > capacity {
+        if self.len() > capacity {
             self.compress_to(self.config.compact_target());
         }
+        self.tighten_budget();
     }
 
     /// Number of materialized nodes (including the root).
     pub fn len(&self) -> usize {
-        self.len
+        self.arena.len()
     }
 
     /// Whether the tree holds no data (only the empty root).
     pub fn is_empty(&self) -> bool {
-        self.len == 1 && self.total.is_zero()
+        self.len() == 1 && self.total.is_zero()
     }
 
     /// Total score ingested. Invariant: equals the sum of all own scores,
@@ -148,33 +265,115 @@ impl Flowtree {
         self.records
     }
 
-    /// Approximate size of the tree on the wire, in bytes (used by the
-    /// transfer-optimization experiments to account export volume).
+    /// Approximate size of the tree on the wire, in bytes: one flat frame
+    /// entry (key + own score + parent index) per node. Used by the
+    /// transfer-optimization experiments to account export volume.
     pub fn wire_size(&self) -> usize {
-        self.len * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<u64>())
+        self.len()
+            * (std::mem::size_of::<FlowKey>()
+                + std::mem::size_of::<u64>()
+                + std::mem::size_of::<u32>())
     }
 
-    /// Deterministic deep in-memory footprint in bytes: per-node arena and
-    /// index payload plus the parent/child link structure, computed from
-    /// the *materialized node count* alone (never from `Vec` capacities or
-    /// free-list length, so structurally equal trees always agree). This
-    /// is the quantity the accounting plane's `store.memory.bytes` gauges
-    /// carry; the wire size above stays the export-volume measure.
+    /// Deterministic deep in-memory footprint in bytes: the tree header
+    /// plus the arena ([`Flowtree::header_bytes`] +
+    /// [`Flowtree::arena_bytes`]). Still a pure function of the
+    /// materialized node count (never of slot-vector capacity or free-list
+    /// length), so structurally equal trees always agree. Trees sharing one
+    /// arena each report the full figure; the store-level accounting uses
+    /// the split accessors to count a shared arena once.
     pub fn deep_bytes(&self) -> usize {
-        // Arena slot + index entry + child-link slot per live node. Every
-        // non-root node occupies exactly one parent's child slot; charging
-        // one `usize` per node over-counts the root's missing slot by one
-        // word, which the fixed header absorbs.
-        let per_node = std::mem::size_of::<Node>()
+        self.header_bytes() + self.arena_bytes()
+    }
+
+    /// The non-shared part of [`Flowtree::deep_bytes`]: the per-tree
+    /// header that exists even when the arena is deduplicated away.
+    pub fn header_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+
+    /// The shareable part of [`Flowtree::deep_bytes`]: arena slot plus
+    /// key-index entry per live node, plus the fixed arena header. A pure
+    /// function of the node count.
+    pub fn arena_bytes(&self) -> usize {
+        let per_node = std::mem::size_of::<Slot>()
             + std::mem::size_of::<FlowKey>()
-            + 2 * std::mem::size_of::<usize>();
-        self.len * per_node + std::mem::size_of::<Self>()
+            + std::mem::size_of::<NodeId>();
+        self.len() * per_node + std::mem::size_of::<Arena>()
     }
 
     /// Number of materialized nodes — an alias of [`Flowtree::len`] named
     /// for the accounting plane's per-query work counters.
     pub fn node_count(&self) -> usize {
-        self.len
+        self.len()
+    }
+
+    /// The enforced ceiling on live arena nodes (see
+    /// [`FlowtreeConfig::node_budget`]); every node allocation asserts
+    /// against it.
+    pub fn node_budget(&self) -> usize {
+        self.node_budget
+    }
+
+    /// Number of allocated arena slots (live + free) — the arena's real
+    /// memory extent. Exposed for the arena law tests and benches.
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slots_len()
+    }
+
+    /// Number of arena slots currently on the free list.
+    pub fn arena_free(&self) -> usize {
+        self.arena.free_len()
+    }
+
+    /// The arena's storage-identity token: preserved by O(1) snapshots
+    /// ([`Clone`]) and by [`Flowtree::dedup_with`], re-minted whenever a
+    /// copy-on-write split or deep copy creates new storage. Two trees
+    /// report the same token exactly when they share one arena — the
+    /// accounting plane's key for counting shared storage once.
+    pub fn storage_token(&self) -> u64 {
+        self.arena.token()
+    }
+
+    /// Whether `self` and `other` share one arena (same `Arc`).
+    pub fn shares_storage_with(&self, other: &Flowtree) -> bool {
+        Arc::ptr_eq(&self.arena, &other.arena)
+    }
+
+    /// A structural fingerprint for value numbering: a commutative,
+    /// deterministic hash over the `(key, own score)` multiset plus the
+    /// tree's counters. Layout- and history-independent — equal trees hash
+    /// equal regardless of slot order or compression path. Used by the
+    /// summary store as a cheap pre-filter before [`Flowtree::dedup_with`].
+    pub fn value_number(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for id in self.arena.live_ids() {
+            let s = self.arena.slot(id);
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            s.key.hash(&mut h);
+            s.own.value().hash(&mut h);
+            acc = acc.wrapping_add(h.finish());
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.len().hash(&mut h);
+        self.total.value().hash(&mut h);
+        self.records.hash(&mut h);
+        acc.wrapping_add(h.finish())
+    }
+
+    /// Hash-consing across trees: if `canonical` is structurally equal to
+    /// `self` (same configuration, keys, scores, and counters), drop this
+    /// tree's arena and share `canonical`'s instead. Returns whether the
+    /// arenas were united; `false` when the trees differ or already share
+    /// storage. After a successful dedup the trees report one
+    /// [`Flowtree::storage_token`] and later mutation of either side
+    /// copy-on-writes, so sharing is never observable through the API.
+    pub fn dedup_with(&mut self, canonical: &Flowtree) -> bool {
+        if Arc::ptr_eq(&self.arena, &canonical.arena) || self != canonical {
+            return false;
+        }
+        self.arena = Arc::clone(&canonical.arena);
+        true
     }
 
     /// Ingests one raw flow record ("uses existing network traces as input
@@ -194,8 +393,7 @@ impl Flowtree {
             .schema
             .normalize(&key.project(self.config.features));
         let id = self.ensure_node(&key);
-        let node = self.node_mut(id);
-        node.own += score;
+        self.arena_mut().slot_mut(id).own += score;
         self.total += score;
         self.maybe_compress();
     }
@@ -208,76 +406,114 @@ impl Flowtree {
             .config
             .schema
             .normalize(&key.project(self.config.features));
-        let id = if let Some(&id) = self.index.get(&key) {
+        let id = if let Some(id) = self.arena.lookup(&key) {
             id
         } else {
             let anchor = self
                 .config
                 .schema
                 .ancestors(&key)
-                .find_map(|anc| self.index.get(&anc).copied())
-                .unwrap_or(self.root);
+                .find_map(|anc| self.arena.lookup(&anc))
+                .unwrap_or(NodeId::ROOT);
             self.attach_new(key, anchor)
         };
-        self.node_mut(id).own += score;
+        self.arena_mut().slot_mut(id).own += score;
         self.total += score;
     }
 
     pub(crate) fn maybe_compress(&mut self) {
-        if self.len > self.config.capacity {
+        if self.len() > self.config.capacity {
             self.compress_to(self.config.compact_target());
         }
+        self.tighten_budget();
     }
 
     /// **Compress** (Table II): folds the least-popular leaves into their
     /// parents until at most `target` nodes remain. Score mass is preserved
-    /// exactly; detail below the surviving nodes is lost.
+    /// exactly; detail below the surviving nodes is lost. Ties on the own
+    /// score break by key, so the fold order — and the resulting tree — is
+    /// a function of the tree's contents, never of arena layout.
     pub fn compress_to(&mut self, target: usize) {
         let target = target.max(1);
-        if self.len <= target {
+        if self.len() <= target {
             return;
         }
-        // Min-heap of (own score, id) over current leaves.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = self
+        // Min-heap of (own score, key, id) over current leaves.
+        let mut heap: BinaryHeap<Reverse<(u64, FlowKey, NodeId)>> = self
+            .arena
             .live_ids()
-            .filter(|&id| id != self.root && self.node(id).children.is_empty())
-            .map(|id| std::cmp::Reverse((self.node(id).own.value(), id)))
+            .filter(|&id| id != NodeId::ROOT && !self.arena.has_children(id))
+            .map(|id| {
+                let s = self.arena.slot(id);
+                Reverse((s.own.value(), s.key, id))
+            })
             .collect();
-        while self.len > target {
-            let Some(std::cmp::Reverse((score, id))) = heap.pop() else {
+        while self.len() > target {
+            let Some(Reverse((score, key, id))) = heap.pop() else {
                 break; // only the root remains
             };
-            // Skip stale entries (node already evicted, or gained children,
-            // or its score snapshot is outdated).
-            match &self.nodes[id] {
-                Some(n) if n.children.is_empty() && n.own.value() == score => {}
-                _ => continue,
+            // Skip stale entries (node already evicted — possibly with the
+            // slot reused under a new key — or gained children, or its
+            // score snapshot is outdated). Compression only frees slots,
+            // but the key check also guards the general reuse case.
+            {
+                let s = self.arena.slot(id);
+                if s.key != key || s.own.value() != score || s.first_child.is_some() {
+                    continue;
+                }
             }
-            let parent = self.node(id).parent.expect("non-root leaf has a parent");
-            let own = self.node(id).own;
-            self.node_mut(parent).own += own;
+            let (parent, own) = {
+                let s = self.arena.slot(id);
+                (s.parent, s.own)
+            };
+            self.arena_mut().slot_mut(parent).own += own;
             self.detach_and_free(id);
-            if parent != self.root && self.node(parent).children.is_empty() {
-                heap.push(std::cmp::Reverse((self.node(parent).own.value(), parent)));
+            if parent != NodeId::ROOT && !self.arena.has_children(parent) {
+                let s = self.arena.slot(parent);
+                heap.push(Reverse((s.own.value(), s.key, parent)));
             }
         }
     }
 
-    /// Read-only views of all nodes, in unspecified order, with subtree
-    /// scores computed.
+    /// Read-only views of all nodes in canonical pre-order (children in
+    /// key order), with subtree scores computed.
     pub fn nodes(&self) -> Vec<NodeView> {
         let subtree = self.subtree_scores();
-        self.live_ids()
+        self.preorder_ids()
+            .into_iter()
             .map(|id| {
-                let n = self.node(id);
+                let s = self.arena.slot(id);
                 NodeView {
-                    key: n.key,
-                    own_score: n.own,
+                    key: s.key,
+                    own_score: s.own,
                     subtree_score: subtree[id],
-                    is_leaf: n.children.is_empty(),
+                    is_leaf: s.first_child.is_none(),
                 }
             })
             .collect()
+    }
+
+    /// The tree's flat serialized form: every node in canonical pre-order
+    /// with its parent's position in the same sequence. This is the arena
+    /// slice the cold-tier codec ships as-is; see [`FlatNode`].
+    pub fn flat_nodes(&self) -> Vec<FlatNode> {
+        let mut pos: IdMap<u32> = IdMap::new(&self.arena, FLAT_NO_PARENT);
+        let mut out = Vec::with_capacity(self.len());
+        for id in self.preorder_ids() {
+            let s = self.arena.slot(id);
+            let parent = if id == NodeId::ROOT {
+                FLAT_NO_PARENT
+            } else {
+                pos[s.parent]
+            };
+            pos[id] = out.len() as u32;
+            out.push(FlatNode {
+                key: s.key,
+                own: s.own,
+                parent,
+            });
+        }
+        out
     }
 
     /// The view of a single key's node, if materialized.
@@ -286,19 +522,20 @@ impl Flowtree {
             .config
             .schema
             .normalize(&key.project(self.config.features));
-        let id = *self.index.get(&norm)?;
-        let n = self.node(id);
+        let id = self.arena.lookup(&norm)?;
+        let s = self.arena.slot(id);
         Some(NodeView {
-            key: n.key,
-            own_score: n.own,
+            key: s.key,
+            own_score: s.own,
             subtree_score: self.subtree_score_of(id),
-            is_leaf: n.children.is_empty(),
+            is_leaf: s.first_child.is_none(),
         })
     }
 
     /// Resets the tree to empty, keeping the configuration (including the
     /// original base capacity, so the granularity dial stays meaningful
-    /// across epoch rotations).
+    /// across epoch rotations). Drops this tree's reference to the arena —
+    /// outstanding snapshots keep theirs.
     pub fn clear(&mut self) {
         let base = self.base_capacity;
         *self = Flowtree::new(self.config.clone());
@@ -309,23 +546,35 @@ impl Flowtree {
     // internal plumbing
     // ------------------------------------------------------------------
 
-    pub(crate) fn root_id(&self) -> usize {
-        self.root
+    /// Mutable arena access: copy-on-write. If the arena is shared with a
+    /// snapshot or a deduplicated twin, this clones it (minting a fresh
+    /// storage token); a sole owner mutates in place.
+    fn arena_mut(&mut self) -> &mut Arena {
+        Arc::make_mut(&mut self.arena)
     }
 
-    pub(crate) fn node(&self, id: usize) -> &Node {
-        self.nodes[id].as_ref().expect("dangling node id")
+    /// Re-derives the node budget from the configuration, keeping
+    /// single-insert headroom above the current size (relevant only after
+    /// an over-capacity bulk rebuild).
+    fn tighten_budget(&mut self) {
+        let slack = self.config.schema.max_depth() + 2;
+        self.node_budget = self.config.node_budget().max(self.len() + slack);
     }
 
-    pub(crate) fn node_mut(&mut self, id: usize) -> &mut Node {
-        self.nodes[id].as_mut().expect("dangling node id")
+    /// Raises the budget for a bulk operation that transiently holds up to
+    /// `extra` nodes beyond the current size (merge, rebuild). The caller
+    /// re-tightens via [`Flowtree::tighten_budget`] / `maybe_compress`.
+    pub(crate) fn reserve_nodes(&mut self, extra: usize) {
+        let slack = self.config.schema.max_depth() + 2;
+        self.node_budget = self.node_budget.max(self.len() + extra + slack);
     }
 
-    pub(crate) fn live_ids(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(id, n)| n.as_ref().map(|_| id))
+    pub(crate) fn root_id(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    pub(crate) fn live_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.arena.live_ids()
     }
 
     pub(crate) fn records_mut(&mut self) -> &mut u64 {
@@ -333,36 +582,57 @@ impl Flowtree {
     }
 
     /// `(key, own score)` of a live node.
-    pub(crate) fn node_ref(&self, id: usize) -> (FlowKey, Popularity) {
-        let n = self.node(id);
-        (n.key, n.own)
+    pub(crate) fn node_ref(&self, id: NodeId) -> (FlowKey, Popularity) {
+        let s = self.arena.slot(id);
+        (s.key, s.own)
     }
 
     /// Whether the node currently has no children.
-    pub(crate) fn node_ref_children_empty(&self, id: usize) -> bool {
-        self.node(id).children.is_empty()
+    pub(crate) fn node_ref_children_empty(&self, id: NodeId) -> bool {
+        !self.arena.has_children(id)
+    }
+
+    /// Children of a node, in key order.
+    pub(crate) fn children_of(&self, id: NodeId) -> Vec<NodeId> {
+        self.arena.children(id).collect()
     }
 
     /// Arena id of `key`'s node (after normalization/projection), if any.
-    pub(crate) fn id_of(&self, key: &FlowKey) -> Option<usize> {
+    pub(crate) fn id_of(&self, key: &FlowKey) -> Option<NodeId> {
         let norm = self
             .config
             .schema
             .normalize(&key.project(self.config.features));
-        self.index.get(&norm).copied()
+        self.arena.lookup(&norm)
+    }
+
+    /// All live ids in canonical pre-order (children visited in key order).
+    fn preorder_ids(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![NodeId::ROOT];
+        let mut kids: Vec<NodeId> = Vec::new();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            kids.clear();
+            kids.extend(self.arena.children(id));
+            for &c in kids.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
     }
 
     /// Returns the id of `key`'s node, materializing it (and any missing
     /// ancestors) if needed. `key` must already be normalized and projected.
-    fn ensure_node(&mut self, key: &FlowKey) -> usize {
-        if let Some(&id) = self.index.get(key) {
+    fn ensure_node(&mut self, key: &FlowKey) -> NodeId {
+        if let Some(id) = self.arena.lookup(key) {
             return id;
         }
         // Walk up until we hit a materialized ancestor.
         let mut missing = vec![*key];
-        let mut anchor = self.root;
+        let mut anchor = NodeId::ROOT;
         for anc in self.config.schema.ancestors(key) {
-            if let Some(&id) = self.index.get(&anc) {
+            if let Some(id) = self.arena.lookup(&anc) {
                 anchor = id;
                 break;
             }
@@ -380,73 +650,44 @@ impl Flowtree {
     /// `parent`'s children that belong below the new node (keeps the
     /// invariant that each node's parent is its deepest materialized proper
     /// ancestor).
-    fn attach_new(&mut self, key: FlowKey, parent: usize) -> usize {
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.nodes[id] = Some(Node {
-                    key,
-                    own: Popularity::ZERO,
-                    parent: Some(parent),
-                    children: Vec::new(),
-                });
-                id
-            }
-            None => {
-                self.nodes.push(Some(Node {
-                    key,
-                    own: Popularity::ZERO,
-                    parent: Some(parent),
-                    children: Vec::new(),
-                }));
-                self.nodes.len() - 1
-            }
-        };
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation would exceed the node budget.
+    fn attach_new(&mut self, key: FlowKey, parent: NodeId) -> NodeId {
+        assert!(
+            self.arena.len() < self.node_budget,
+            "flowtree node budget exceeded ({} nodes)",
+            self.node_budget
+        );
+        let arena = self.arena_mut();
+        let id = arena.alloc(key);
         // Steal children of `parent` that are more specific than `key`.
-        let stolen: Vec<usize> = self
-            .node(parent)
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| key.contains(&self.node(c).key))
-            .collect();
-        for c in &stolen {
-            self.node_mut(*c).parent = Some(id);
+        let stolen: Vec<NodeId> = {
+            let shared: &Arena = arena;
+            shared
+                .children(parent)
+                .filter(|&c| key.contains(&shared.slot(c).key))
+                .collect()
+        };
+        for c in stolen {
+            arena.unlink_child(parent, c);
+            arena.link_child(id, c);
         }
-        let parent_node = self.node_mut(parent);
-        parent_node.children.retain(|c| !stolen.contains(c));
-        parent_node.children.push(id);
-        self.node_mut(id).children = stolen;
-        self.index.insert(key, id);
-        self.len += 1;
+        arena.link_child(parent, id);
         id
     }
 
     /// Removes a (leaf or internal) node from its parent and frees the slot.
     /// Children must have been handled by the caller.
-    pub(crate) fn detach_and_free(&mut self, id: usize) {
-        debug_assert!(id != self.root, "cannot remove the root");
-        debug_assert!(
-            self.node(id).children.is_empty(),
-            "cannot free a node with children"
-        );
-        let parent = self.node(id).parent.expect("non-root node has a parent");
-        self.node_mut(parent).children.retain(|&c| c != id);
-        let key = self.node(id).key;
-        match self.index.entry(key) {
-            Entry::Occupied(e) if *e.get() == id => {
-                e.remove();
-            }
-            _ => {}
-        }
-        self.nodes[id] = None;
-        self.free.push(id);
-        self.len -= 1;
+    pub(crate) fn detach_and_free(&mut self, id: NodeId) {
+        self.arena_mut().free(id);
     }
 
     /// Subtracts `amount` from a node's own score (saturating) and from the
     /// tree total, returning how much was actually removed.
-    pub(crate) fn remove_own(&mut self, id: usize, amount: Popularity) -> Popularity {
-        let node = self.node_mut(id);
+    pub(crate) fn remove_own(&mut self, id: NodeId, amount: Popularity) -> Popularity {
+        let node = self.arena_mut().slot_mut(id);
         let removed = if amount > node.own { node.own } else { amount };
         node.own -= removed;
         self.total -= removed;
@@ -454,21 +695,20 @@ impl Flowtree {
     }
 
     /// Post-order subtree scores for all live slots (dense by arena id).
-    pub(crate) fn subtree_scores(&self) -> Vec<Popularity> {
-        let mut scores = vec![Popularity::ZERO; self.nodes.len()];
+    pub(crate) fn subtree_scores(&self) -> IdMap<Popularity> {
+        let mut scores = IdMap::new(&self.arena, Popularity::ZERO);
         // Iterative post-order from the root.
-        let mut stack = vec![(self.root, false)];
+        let mut stack = vec![(NodeId::ROOT, false)];
         while let Some((id, expanded)) = stack.pop() {
             if expanded {
-                let n = self.node(id);
-                let mut s = n.own;
-                for &c in &n.children {
+                let mut s = self.arena.slot(id).own;
+                for c in self.arena.children(id) {
                     s += scores[c];
                 }
                 scores[id] = s;
             } else {
                 stack.push((id, true));
-                for &c in &self.node(id).children {
+                for c in self.arena.children(id) {
                     stack.push((c, false));
                 }
             }
@@ -476,13 +716,12 @@ impl Flowtree {
         scores
     }
 
-    pub(crate) fn subtree_score_of(&self, id: usize) -> Popularity {
+    pub(crate) fn subtree_score_of(&self, id: NodeId) -> Popularity {
         let mut total = Popularity::ZERO;
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
-            let n = self.node(cur);
-            total += n.own;
-            stack.extend(n.children.iter().copied());
+            total += self.arena.slot(cur).own;
+            stack.extend(self.arena.children(cur));
         }
         total
     }
@@ -494,53 +733,51 @@ impl Flowtree {
     ///
     /// Panics with a description of the first violated invariant.
     pub fn check_invariants(&self) {
+        self.arena.check();
+        assert!(
+            self.len() <= self.node_budget,
+            "arena len {} exceeds node budget {}",
+            self.len(),
+            self.node_budget
+        );
         let mut seen = 0usize;
         let mut own_sum = Popularity::ZERO;
-        for id in self.live_ids() {
+        for id in self.arena.live_ids() {
             seen += 1;
-            let n = self.node(id);
-            own_sum += n.own;
+            let s = self.arena.slot(id);
+            own_sum += s.own;
             assert_eq!(
-                self.index.get(&n.key),
-                Some(&id),
+                self.arena.lookup(&s.key),
+                Some(id),
                 "index out of sync for {}",
-                n.key
+                s.key
             );
-            if id == self.root {
-                assert!(n.parent.is_none(), "root has a parent");
-                assert!(n.key.is_root(), "root key is not the wildcard key");
+            if id == NodeId::ROOT {
+                assert!(s.parent.is_none(), "root has a parent");
+                assert!(s.key.is_root(), "root key is not the wildcard key");
             } else {
-                let p = n.parent.expect("non-root node without parent");
-                let pn = self.node(p);
+                assert!(s.parent.is_some(), "non-root node without parent");
+                let pn = self.arena.slot(s.parent);
                 assert!(
-                    pn.key.contains(&n.key) && pn.key != n.key,
+                    pn.key.contains(&s.key) && pn.key != s.key,
                     "parent {} does not strictly contain child {}",
                     pn.key,
-                    n.key
+                    s.key
                 );
                 assert!(
-                    pn.children.contains(&id),
+                    self.arena.children(s.parent).any(|c| c == id),
                     "parent {} missing child link to {}",
                     pn.key,
-                    n.key
-                );
-            }
-            for &c in &n.children {
-                assert_eq!(
-                    self.node(c).parent,
-                    Some(id),
-                    "child {} has wrong parent",
-                    self.node(c).key
+                    s.key
                 );
             }
             assert!(
-                self.config.schema.is_normalized(&n.key),
+                self.config.schema.is_normalized(&s.key),
                 "node key {} is not on the schema ladder",
-                n.key
+                s.key
             );
         }
-        assert_eq!(seen, self.len, "len out of sync with live nodes");
-        assert_eq!(self.index.len(), self.len, "index size mismatch");
+        assert_eq!(seen, self.len(), "len out of sync with live nodes");
         assert_eq!(
             own_sum, self.total,
             "score mass not conserved: sum {own_sum} != total {}",
@@ -551,21 +788,25 @@ impl Flowtree {
 
 impl PartialEq for Flowtree {
     /// Two Flowtrees are equal when they summarize the same mass at the same
-    /// keys under the same configuration (arena layout is irrelevant).
+    /// keys under the same configuration (arena layout, storage sharing,
+    /// and the transient node budget are all irrelevant).
     fn eq(&self, other: &Self) -> bool {
         if self.config != other.config
-            || self.len != other.len
+            || self.len() != other.len()
             || self.total != other.total
             || self.records != other.records
         {
             return false;
         }
-        self.live_ids().all(|id| {
-            let n = self.node(id);
+        if Arc::ptr_eq(&self.arena, &other.arena) {
+            return true;
+        }
+        self.arena.live_ids().all(|id| {
+            let s = self.arena.slot(id);
             other
-                .index
-                .get(&n.key)
-                .is_some_and(|&oid| other.node(oid).own == n.own)
+                .arena
+                .lookup(&s.key)
+                .is_some_and(|oid| other.arena.slot(oid).own == s.own)
         })
     }
 }
@@ -721,6 +962,156 @@ mod tests {
         let empty = t.wire_size();
         t.observe(&rec("10.0.0.1", "1.1.1.1", 7));
         assert!(t.wire_size() > empty);
+    }
+
+    #[test]
+    fn snapshot_is_cheap_and_isolated() {
+        let mut t = small_tree();
+        for i in 0..20u32 {
+            t.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 3));
+        }
+        let snap = t.clone();
+        assert!(t.shares_storage_with(&snap), "clone must share the arena");
+        assert_eq!(t.storage_token(), snap.storage_token());
+        // Mutating the original copy-on-writes: the snapshot is untouched
+        // and the storage identities diverge.
+        t.observe(&rec("10.9.9.9", "1.1.1.1", 100));
+        assert!(!t.shares_storage_with(&snap));
+        assert_ne!(t.storage_token(), snap.storage_token());
+        assert_eq!(snap.total().value(), 60);
+        assert_eq!(t.total().value(), 160);
+        snap.check_invariants();
+        t.check_invariants();
+    }
+
+    #[test]
+    fn value_number_is_layout_independent() {
+        // Same contents via different construction orders → same VN.
+        let mut a = small_tree();
+        let mut b = small_tree();
+        for i in 0..15u32 {
+            a.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 2));
+        }
+        for i in (0..15u32).rev() {
+            b.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 2));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.value_number(), b.value_number());
+        // Different contents → (overwhelmingly) different VN.
+        b.observe(&rec("10.0.0.1", "1.1.1.1", 1));
+        assert_ne!(a.value_number(), b.value_number());
+    }
+
+    #[test]
+    fn dedup_unites_equal_trees_only() {
+        let mut a = small_tree();
+        let mut b = small_tree();
+        for i in 0..10u32 {
+            a.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 2));
+            b.observe(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 2));
+        }
+        assert!(!a.shares_storage_with(&b));
+        assert!(a.dedup_with(&b), "equal trees must unite");
+        assert!(a.shares_storage_with(&b));
+        assert!(!a.dedup_with(&b), "already-shared trees report false");
+        let mut c = small_tree();
+        c.observe(&rec("10.0.0.1", "1.1.1.1", 1));
+        assert!(!c.dedup_with(&b), "different trees must not unite");
+        a.check_invariants();
+        b.check_invariants();
+    }
+
+    #[test]
+    fn flat_roundtrip_reproduces_tree() {
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(64));
+        for i in 0..150u32 {
+            t.observe(&rec(
+                &format!("10.{}.{}.9", i % 5, i % 40),
+                "1.1.1.1",
+                1 + u64::from(i % 11),
+            ));
+        }
+        let flat = t.flat_nodes();
+        assert_eq!(flat.len(), t.len());
+        assert_eq!(flat[0].parent, FLAT_NO_PARENT);
+        // Pre-order: every parent index precedes its node.
+        for (i, n) in flat.iter().enumerate().skip(1) {
+            assert!((n.parent as usize) < i);
+        }
+        let back = Flowtree::try_from_flat(t.config().clone(), &flat, t.records())
+            .expect("valid flat form decodes");
+        assert_eq!(back, t);
+        back.check_invariants();
+    }
+
+    #[test]
+    fn try_from_flat_rejects_structural_attacks() {
+        let mut t = small_tree();
+        t.observe(&rec("10.0.0.1", "1.1.1.1", 7));
+        let config = t.config().clone();
+        let flat = t.flat_nodes();
+
+        assert_eq!(
+            Flowtree::try_from_flat(config.clone(), &[], 0),
+            Err(FlatTreeError::Empty)
+        );
+        // Entry 0 must be the root.
+        let mut bad = flat.clone();
+        bad[0].parent = 0;
+        assert_eq!(
+            Flowtree::try_from_flat(config.clone(), &bad, 0),
+            Err(FlatTreeError::Root)
+        );
+        // Self/forward parent link (a cycle in pointer terms).
+        let mut bad = flat.clone();
+        bad[1].parent = 1;
+        assert_eq!(
+            Flowtree::try_from_flat(config.clone(), &bad, 0),
+            Err(FlatTreeError::Order)
+        );
+        // Out-of-range parent id.
+        let mut bad = flat.clone();
+        bad[2].parent = 9_999;
+        assert_eq!(
+            Flowtree::try_from_flat(config.clone(), &bad, 0),
+            Err(FlatTreeError::Order)
+        );
+        // Duplicate key.
+        let mut bad = flat.clone();
+        bad[2].key = bad[1].key;
+        assert!(Flowtree::try_from_flat(config.clone(), &bad, 0).is_err());
+        // Parent that does not contain the child.
+        let mut bad = flat.clone();
+        let deepest = bad.len() - 1;
+        bad.swap(1, deepest);
+        assert!(Flowtree::try_from_flat(config.clone(), &bad, 0).is_err());
+        // Node count beyond the budget.
+        let tight = FlowtreeConfig::default().with_capacity(1);
+        let mut big = Flowtree::new(config.clone());
+        for i in 0..40u32 {
+            big.insert_exact(
+                &FlowKey::from_record(&rec(&format!("10.0.{}.1", i), "1.1.1.1", 0)),
+                Popularity::new(1),
+            );
+        }
+        assert_eq!(
+            Flowtree::try_from_flat(tight, &big.flat_nodes(), 0),
+            Err(FlatTreeError::Budget)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node budget exceeded")]
+    fn budget_is_enforced_on_alloc() {
+        let mut t = Flowtree::new(FlowtreeConfig::default().with_capacity(4));
+        // insert_exact never compresses, so pushing far past the budget
+        // without a reserve must trip the assertion.
+        for i in 0..500u32 {
+            t.insert_exact(
+                &FlowKey::from_record(&rec(&format!("10.{}.{}.1", i % 50, i), "1.1.1.1", 0)),
+                Popularity::new(1),
+            );
+        }
     }
 
     proptest! {

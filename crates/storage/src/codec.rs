@@ -21,7 +21,7 @@ use megastream_flow::mask::{GeneralizationSchema, StepOrder};
 use megastream_flow::record::FlowRecord;
 use megastream_flow::score::{Popularity, ScoreKind};
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
-use megastream_flowtree::{Flowtree, FlowtreeConfig};
+use megastream_flowtree::{FlatNode, Flowtree, FlowtreeConfig};
 use megastream_primitives::exact::ExactFlowTable;
 use megastream_primitives::reservoir::Reservoir;
 use megastream_primitives::sampling::{SamplePoint, SampledSeries};
@@ -434,11 +434,15 @@ fn enc_flowtree(out: &mut Vec<u8>, tree: &Flowtree) {
     w_u64(out, config.capacity as u64);
     w_f64(out, config.compact_ratio);
     w_u64(out, tree.records());
-    let nodes = tree.nodes();
+    // One frame = the arena slice as-is: canonical pre-order, each node
+    // carrying its parent's position (always smaller than its own, so
+    // cycles are unrepresentable on the wire).
+    let nodes = tree.flat_nodes();
     w_count(out, nodes.len());
     for node in nodes {
         enc_flow_key(out, &node.key);
-        w_u64(out, node.own_score.value());
+        w_u64(out, node.own.value());
+        w_u32(out, node.parent);
     }
 }
 
@@ -462,12 +466,17 @@ fn dec_flowtree(r: &mut Reader<'_>) -> Result<Flowtree, SegmentError> {
         });
     }
     let records = r.u64("flowtree records")?;
-    let n = r.count(21 + 8, "flowtree nodes")?;
+    let n = r.count(21 + 8 + 4, "flowtree nodes")?;
     let mut nodes = Vec::with_capacity(n);
     for _ in 0..n {
         let key = dec_flow_key(r)?;
         let own = r.u64("flowtree node score")?;
-        nodes.push((key, Popularity::new(own)));
+        let parent = r.u32("flowtree node parent")?;
+        nodes.push(FlatNode {
+            key,
+            own: Popularity::new(own),
+            parent,
+        });
     }
     // Struct literal rather than the builder: `with_compact_ratio` clamps,
     // which would break exact roundtrip for ratios the builder never
@@ -479,7 +488,11 @@ fn dec_flowtree(r: &mut Reader<'_>) -> Result<Flowtree, SegmentError> {
         capacity,
         compact_ratio,
     };
-    Ok(Flowtree::from_parts(config, nodes, records))
+    // The validating constructor rejects every structural attack (cyclic
+    // or out-of-range parents, duplicate keys, budget overflow) with a
+    // typed error — decode never panics and never over-allocates.
+    Flowtree::try_from_flat(config, &nodes, records)
+        .map_err(|e| SegmentError::Malformed { what: e.what() })
 }
 
 fn enc_series(out: &mut Vec<u8>, s: &SampledSeries) {

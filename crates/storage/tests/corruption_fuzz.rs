@@ -12,9 +12,12 @@ use megastream_datastore::summary::{Lineage, StoredSummary, Summary};
 use megastream_flow::addr::Ipv4Addr;
 use megastream_flow::record::FlowRecord;
 use megastream_flow::time::{TimeDelta, TimeWindow, Timestamp};
+use megastream_flowtree::{Flowtree, FlowtreeConfig};
 use megastream_primitives::sampling::SampledSeries;
 use megastream_storage::fsck::fsck;
-use megastream_storage::{ColdTier, Frame, SyncPolicy, WalRecord};
+use megastream_storage::{
+    decode_stored_summary, encode_stored_summary, ColdTier, Frame, SyncPolicy, WalRecord,
+};
 use megastream_telemetry::Telemetry;
 use proptest::prelude::*;
 use proptest::sample;
@@ -216,5 +219,133 @@ proptest! {
         let _ = fsck(&dir, true);
         let _ = ColdTier::open(&dir, SyncPolicy::Off, Telemetry::disabled());
         fs::remove_dir_all(&dir).expect("case dir removes");
+    }
+}
+
+// ------------------------------------------------- arena-frame attacks
+//
+// A flowtree summary serializes as the arena slice itself: canonical
+// pre-order, each node carrying `(25-byte key, u64 own, u32 parent)` with
+// the parent's *position* in the same sequence. The decoder must treat
+// that as hostile input: parent links that are self-referential, forward,
+// or out of range; a root without the no-parent sentinel; duplicated keys;
+// and node counts beyond the configured budget all come back as typed
+// errors — never a panic, never an unbounded allocation. (Free-list
+// overlap, the classic arena-corruption vector, is *unrepresentable* on
+// the wire: the dense pre-order slice has no free list at all.)
+
+/// Bytes per serialized flowtree node: 5 × (u32 value + u8 len) key fields,
+/// u64 own score, u32 parent position.
+const NODE_WIRE: usize = 25 + 8 + 4;
+
+/// A stored summary wrapping a flowtree with a known node count, plus that
+/// count (the node section is the last `n × NODE_WIRE` bytes of the
+/// encoding, which is what the attack helpers patch).
+fn flowtree_summary() -> (StoredSummary, usize) {
+    let mut tree = Flowtree::new(FlowtreeConfig::default().with_capacity(256));
+    for i in 0..40u64 {
+        tree.observe(&wal_rec(i).record);
+    }
+    let n = tree.len();
+    let stored = StoredSummary::new(
+        "region-ft",
+        TimeWindow::starting_at(Timestamp::from_secs(0), TimeDelta::from_secs(60)),
+        Summary::Flowtree(tree),
+        Lineage::from_source("router-0-0"),
+    );
+    (stored, n)
+}
+
+/// Applies `patch` to a clean encoding and asserts the decoder refuses the
+/// result with an error rather than panicking (or accepting it).
+fn assert_rejected(what: &str, patch: impl FnOnce(&mut Vec<u8>, usize, usize)) {
+    let (stored, n) = flowtree_summary();
+    let mut buf = encode_stored_summary(&stored);
+    assert_eq!(
+        decode_stored_summary(&buf).as_ref().map(|s| &s.source),
+        Ok(&stored.source),
+        "clean frame must round-trip"
+    );
+    let node_section = buf.len() - n * NODE_WIRE;
+    patch(&mut buf, node_section, n);
+    assert!(
+        decode_stored_summary(&buf).is_err(),
+        "{what}: decoder accepted a corrupt arena frame"
+    );
+}
+
+/// Byte offset of node `i`'s parent field within the encoding.
+fn parent_at(node_section: usize, i: usize) -> usize {
+    node_section + i * NODE_WIRE + 25 + 8
+}
+
+#[test]
+fn arena_frame_self_parent_cycle_is_rejected() {
+    assert_rejected("self-cycle", |buf, nodes, n| {
+        assert!(n > 2);
+        let at = parent_at(nodes, 2);
+        buf[at..at + 4].copy_from_slice(&2u32.to_le_bytes());
+    });
+}
+
+#[test]
+fn arena_frame_forward_parent_is_rejected() {
+    assert_rejected("forward parent", |buf, nodes, n| {
+        let at = parent_at(nodes, 1);
+        buf[at..at + 4].copy_from_slice(&((n as u32) - 1).to_le_bytes());
+    });
+}
+
+#[test]
+fn arena_frame_out_of_range_parent_is_rejected() {
+    assert_rejected("out-of-range parent", |buf, nodes, _| {
+        let at = parent_at(nodes, 1);
+        buf[at..at + 4].copy_from_slice(&0xFFFF_FFF0u32.to_le_bytes());
+    });
+}
+
+#[test]
+fn arena_frame_root_without_sentinel_is_rejected() {
+    assert_rejected("root parent", |buf, nodes, _| {
+        let at = parent_at(nodes, 0);
+        buf[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+    });
+}
+
+#[test]
+fn arena_frame_duplicate_key_is_rejected() {
+    assert_rejected("duplicate key", |buf, nodes, n| {
+        assert!(n > 3);
+        let (src, dst) = (nodes + 2 * NODE_WIRE, nodes + 3 * NODE_WIRE);
+        let key: Vec<u8> = buf[src..src + 25].to_vec();
+        buf[dst..dst + 25].copy_from_slice(&key);
+    });
+}
+
+#[test]
+fn arena_frame_count_beyond_budget_is_rejected() {
+    assert_rejected("budget", |buf, nodes, _| {
+        // The config header precedes the node section:
+        // … [capacity u64][compact_ratio f64][records u64][count u32][nodes].
+        // A capacity of 1 makes the claimed node count exceed the node
+        // budget, which the decoder must bound *before* building anything.
+        let at = nodes - 4 - 8 - 8 - 8;
+        buf[at..at + 8].copy_from_slice(&1u64.to_le_bytes());
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single-bit flip anywhere in a flowtree frame decodes to Ok or a
+    /// typed error — never a panic, never an allocation proportional to a
+    /// corrupted length field.
+    #[test]
+    fn arena_frame_bit_flips_never_panic(at in any::<usize>(), bit in 0u8..8) {
+        let (stored, _) = flowtree_summary();
+        let mut buf = encode_stored_summary(&stored);
+        let len = buf.len();
+        buf[at % len] ^= 1 << bit;
+        let _ = decode_stored_summary(&buf);
     }
 }

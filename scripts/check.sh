@@ -35,6 +35,14 @@ cargo test --test parallel_e2e -q
 echo "==> accounting plane: profiler/cost e2e + accounting property suites"
 cargo test --test profile_e2e --test accounting_props -q
 
+echo "==> arena vs pointer-oracle differential harness"
+cargo test --test arena_differential -q
+
+echo "==> E18 smoke: arena-vs-pointer bench runs end-to-end"
+# The offline criterion shim runs everything unconditionally (~8 s); this
+# proves the arena/oracle pairing still builds and executes end-to-end.
+cargo bench -q -p megastream-bench --bench e18_arena_merge >/dev/null
+
 echo "==> durability: kill-and-restart recovery e2e"
 cargo test --test durability_e2e -q
 

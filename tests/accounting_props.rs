@@ -108,6 +108,50 @@ proptest! {
         }
     }
 
+    /// Duplicate-content inserts: value-numbered dedup must fire (every
+    /// copy after the first adopts the canonical arena), shared subtrees
+    /// must be charged *once*, and the delta-maintained account must still
+    /// equal the from-scratch recompute — the recompute walks distinct
+    /// storage tokens, so any double-count or missed discharge on the
+    /// dedup path shows up immediately.
+    #[test]
+    fn summary_store_dedup_accounts_shared_arenas_once(
+        flows in vec((any::<u32>(), any::<u32>()), 1..20),
+        copies in 2usize..8,
+    ) {
+        let mut store = SummaryStore::new(
+            StorageStrategy::FixedExpiration {
+                ttl: TimeDelta::from_secs(1_000_000),
+            },
+            "dedup-loc",
+        );
+        let single = epoch_summary("router-a", 0, &flows).summary.deep_bytes();
+        for e in 0..copies {
+            let now = Timestamp::from_secs((e as u64 + 1) * 60);
+            store.insert(epoch_summary("router-a", e as u64, &flows), now);
+            prop_assert_eq!(
+                store.accounted_deep_bytes(),
+                store.deep_bytes(),
+                "account diverged after duplicate insert {}",
+                e
+            );
+        }
+        // Every copy after the first carries identical content and must
+        // have adopted the first copy's arena.
+        prop_assert_eq!(store.dedup_hits(), copies as u64 - 1);
+        // All copies together hold exactly one distinct arena, so the
+        // store's deep size stays well below `copies` independent trees.
+        let (arena_nodes, arena_bytes) = store.arena_stats();
+        prop_assert!(arena_nodes > 0 && arena_bytes > 0);
+        prop_assert!(
+            store.deep_bytes() < copies * single,
+            "dedup saved nothing: {} copies of {} bytes occupy {}",
+            copies,
+            single,
+            store.deep_bytes()
+        );
+    }
+
     /// A full `DataStore` under arbitrary ingest/rotate/import schedules:
     /// live aggregators plus the summary store, with the
     /// `store.memory.bytes` gauge along for the ride.

@@ -551,6 +551,107 @@ proptest! {
             prop_assert_eq!(right.query(&key), ta.query(&key));
         }
     }
+
+    #[test]
+    fn flowtree_merge_with_own_snapshot_allocates_no_nodes(
+        a in vec((0u32..64, 0u32..64), 1..40),
+    ) {
+        // Dedup idempotence at the arena level: merging a tree with its
+        // own snapshot doubles every score but introduces no new keys, so
+        // the node count AND the arena slot count must stay put — the
+        // merge walks existing nodes instead of allocating. (The clone
+        // itself is an O(1) copy-on-write share; the merge's first write
+        // splits storage but must split it at the same size.)
+        let mut tree = tree_from(&a, 1 << 14);
+        let snap = tree.clone();
+        prop_assert!(snap.shares_storage_with(&tree));
+        let (len, slots, total) = (tree.len(), tree.arena_slots(), tree.total());
+        tree.merge(&snap);
+        prop_assert_eq!(tree.len(), len);
+        prop_assert_eq!(tree.arena_slots(), slots);
+        prop_assert_eq!(tree.total(), total + total);
+        tree.check_invariants();
+        snap.check_invariants();
+    }
+
+    #[test]
+    fn flowtree_snapshot_is_isolated_from_later_mutation(
+        a in vec((0u32..64, 0u32..64), 1..40),
+        b in vec((0u32..64, 0u32..64), 1..40),
+    ) {
+        // Copy-on-write isolation, both directions: a snapshot pins the
+        // observable state at clone time no matter what happens to the
+        // live tree afterwards, and mutating the snapshot never leaks
+        // back into the live tree.
+        let mut tree = tree_from(&a, 96);
+        let snap = tree.clone();
+        let frozen_nodes = snap.nodes();
+        let (frozen_total, frozen_records) = (snap.total(), snap.records());
+        for (src, dst) in &b {
+            tree.observe(&record(*src, *dst, 1));
+        }
+        tree.merge(&tree_from(&b, 96));
+        tree.compress_to(4);
+        prop_assert_eq!(snap.nodes(), frozen_nodes.clone());
+        prop_assert_eq!(snap.total(), frozen_total);
+        prop_assert_eq!(snap.records(), frozen_records);
+        snap.check_invariants();
+        // Reverse direction: mutate a second snapshot, the first and the
+        // (already-diverged) live tree are unaffected.
+        let mut scratch = snap.clone();
+        let live_nodes = tree.nodes();
+        scratch.clear();
+        prop_assert_eq!(snap.nodes(), frozen_nodes);
+        prop_assert_eq!(tree.nodes(), live_nodes);
+    }
+
+    #[test]
+    fn flowtree_free_list_reuse_never_resurrects_stale_state(
+        a in vec((0u32..48, 0u32..48), 8..40),
+        b in vec((48u32..96, 48u32..96, 1u64..50), 8..40),
+    ) {
+        // Compression frees slots onto the arena's free list; the inserts
+        // that follow recycle them. A recycled slot must behave as brand
+        // new: exactly the inserted mass, no trace of the previous
+        // occupant's key, score, or child links. Disjoint address pools
+        // make "trace of the old occupant" directly observable.
+        let mut tree = tree_from(&a, 1 << 14);
+        tree.compress_to(1);
+        prop_assert!(tree.arena_free() > 0, "compression must have freed slots");
+        let total_after_fold = tree.total();
+        for (src, dst, packets) in &b {
+            tree.add_mass(
+                &FlowKey::from_record(&record(*src, *dst, *packets)),
+                megastream_flow::score::Popularity::from(*packets),
+            );
+        }
+        tree.check_invariants();
+        for (src, dst, packets) in &b {
+            let key = FlowKey::from_record(&record(*src, *dst, *packets));
+            // Recycled slots carry exactly the new mass (keys in `b` are
+            // observed once per entry; duplicates within `b` accumulate).
+            let expect: u64 = b
+                .iter()
+                .filter(|(s, d, p)| {
+                    FlowKey::from_record(&record(*s, *d, *p)) == key
+                })
+                .map(|(_, _, p)| *p)
+                .sum();
+            prop_assert_eq!(
+                tree.get(&key).map(|n| n.own_score),
+                Some(megastream_flow::score::Popularity::from(expect))
+            );
+        }
+        // Mass from the folded-away `a` pool survives only at the root
+        // fold target — never inside a recycled slot.
+        prop_assert_eq!(
+            tree.total(),
+            total_after_fold
+                + megastream_flow::score::Popularity::from(
+                    b.iter().map(|(_, _, p)| *p).sum::<u64>()
+                )
+        );
+    }
 }
 
 // ------------------------------------------------- granularity (adaptive)
